@@ -1,0 +1,61 @@
+//! Criterion benchmarks: mapping throughput per router (backs the Fig. 3
+//! and ablation experiments — how expensive each routing strategy is).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qcs_core::mapper::Mapper;
+use qcs_core::place::{GraphSimilarityPlacer, TrivialPlacer};
+use qcs_core::route::{BidirectionalRouter, LookaheadRouter, NoiseAwareRouter, TrivialRouter};
+use qcs_topology::surface::surface17;
+
+fn routing_benchmarks(c: &mut Criterion) {
+    let device = surface17();
+    let qft = qcs_workloads::qft::qft(12).expect("qft builds");
+    let qaoa = qcs_workloads::qaoa::qaoa_maxcut_regular(12, 3, 2, 7).expect("qaoa builds");
+
+    let mut group = c.benchmark_group("route");
+    for (label, circuit) in [("qft12", &qft), ("qaoa12", &qaoa)] {
+        let mappers: Vec<(&str, Mapper)> = vec![
+            (
+                "trivial",
+                Mapper::new(Box::new(TrivialPlacer), Box::new(TrivialRouter)),
+            ),
+            (
+                "bidirectional",
+                Mapper::new(Box::new(TrivialPlacer), Box::new(BidirectionalRouter)),
+            ),
+            (
+                "lookahead",
+                Mapper::new(Box::new(TrivialPlacer), Box::new(LookaheadRouter::default())),
+            ),
+            (
+                "noise-aware",
+                Mapper::new(Box::new(TrivialPlacer), Box::new(NoiseAwareRouter)),
+            ),
+        ];
+        for (name, mapper) in mappers {
+            group.bench_with_input(BenchmarkId::new(name, label), circuit, |b, circuit| {
+                b.iter(|| mapper.map(circuit, &device).expect("maps"));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn placement_benchmarks(c: &mut Criterion) {
+    use qcs_core::place::Placer;
+    let device = qcs_topology::surface::surface_extended(5); // 49 qubits
+    let qaoa = qcs_workloads::qaoa::qaoa_maxcut_regular(20, 3, 2, 3).expect("qaoa builds");
+
+    let mut group = c.benchmark_group("place");
+    group.bench_function("trivial/qaoa20", |b| {
+        b.iter(|| TrivialPlacer.place(&qaoa, &device).expect("places"))
+    });
+    group.bench_function("graph-similarity/qaoa20", |b| {
+        b.iter(|| GraphSimilarityPlacer.place(&qaoa, &device).expect("places"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, routing_benchmarks, placement_benchmarks);
+criterion_main!(benches);

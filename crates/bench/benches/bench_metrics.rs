@@ -1,0 +1,43 @@
+//! Criterion benchmarks: interaction-graph extraction and Table-I metric
+//! computation (the profiling cost behind Figs. 4/5 and Table I).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qcs_circuit::interaction::interaction_graph;
+use qcs_graph::metrics::GraphMetrics;
+use qcs_graph::stats::correlation_matrix;
+use qcs_core::profile::CircuitProfile;
+
+fn metric_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    for n in [8usize, 16, 32] {
+        let qft = qcs_workloads::qft::qft(n).expect("qft builds");
+        group.bench_with_input(BenchmarkId::new("interaction_graph", n), &qft, |b, qft| {
+            b.iter(|| interaction_graph(qft));
+        });
+        let ig = interaction_graph(&qft);
+        group.bench_with_input(BenchmarkId::new("graph_metrics", n), &ig, |b, ig| {
+            b.iter(|| GraphMetrics::compute(ig));
+        });
+        group.bench_with_input(BenchmarkId::new("full_profile", n), &qft, |b, qft| {
+            b.iter(|| CircuitProfile::of(qft));
+        });
+    }
+    group.finish();
+}
+
+fn correlation_benchmarks(c: &mut Criterion) {
+    // Correlation matrix over 50 profiles (Section IV's pruning step).
+    let profiles: Vec<Vec<f64>> = (0..50)
+        .map(|i| {
+            let qft = qcs_workloads::qft::qft(3 + i % 12).expect("qft builds");
+            CircuitProfile::of(&qft).feature_vec()
+        })
+        .collect();
+    c.bench_function("correlation_matrix/50x22", |b| {
+        b.iter(|| correlation_matrix(&profiles));
+    });
+}
+
+criterion_group!(benches, metric_benchmarks, correlation_benchmarks);
+criterion_main!(benches);

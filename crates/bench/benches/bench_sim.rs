@@ -1,0 +1,50 @@
+//! Criterion benchmarks: state-vector simulation (the verification
+//! substrate's cost, bounding how large mapped circuits can be checked).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qcs_sim::exec::run_unitary;
+use qcs_sim::StateVector;
+
+fn simulation_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    for n in [8usize, 12, 16] {
+        let ghz = qcs_workloads::ghz::ghz_chain(n).expect("ghz builds");
+        group.bench_with_input(BenchmarkId::new("ghz", n), &ghz, |b, ghz| {
+            b.iter(|| run_unitary(ghz, StateVector::zero(n)));
+        });
+        let qft = qcs_workloads::qft::qft(n).expect("qft builds");
+        group.bench_with_input(BenchmarkId::new("qft", n), &qft, |b, qft| {
+            b.iter(|| run_unitary(qft, StateVector::zero(n)));
+        });
+    }
+    group.finish();
+}
+
+fn equivalence_benchmarks(c: &mut Criterion) {
+    use qcs_core::mapper::Mapper;
+    use qcs_topology::lattice::line_device;
+    use rand::SeedableRng;
+
+    let device = line_device(8);
+    let qft = qcs_workloads::qft::qft(6).expect("qft builds");
+    let outcome = Mapper::trivial().map(&qft, &device).expect("maps");
+    c.bench_function("mapped_equivalent/qft6_on_line8", |b| {
+        b.iter(|| {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+            qcs_sim::equiv::mapped_equivalent(
+                &outcome.decomposed,
+                &outcome.routed.circuit,
+                8,
+                outcome.routed.initial.as_assignment(),
+                outcome.routed.final_layout.as_assignment(),
+                1,
+                &mut rng,
+            )
+            .expect("equivalent")
+        });
+    });
+}
+
+criterion_group!(benches, simulation_benchmarks, equivalence_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks: benchmark-suite generation and full-suite
+//! mapping (the end-to-end cost of regenerating Fig. 3 / Fig. 5 data).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use qcs_bench::{fig3_device, map_suite, suite};
+use qcs_core::mapper::Mapper;
+use qcs_workloads::suite::SuiteConfig;
+
+fn suite_generation(c: &mut Criterion) {
+    let config = SuiteConfig {
+        count: 22,
+        max_qubits: 20,
+        max_gates: 500,
+        ..SuiteConfig::default()
+    };
+    c.bench_function("suite/generate22", |b| {
+        b.iter(|| suite(&config));
+    });
+}
+
+fn suite_mapping(c: &mut Criterion) {
+    let config = SuiteConfig {
+        count: 11,
+        max_qubits: 16,
+        max_gates: 300,
+        ..SuiteConfig::default()
+    };
+    let benchmarks = suite(&config);
+    let device = fig3_device();
+    let mapper = Mapper::trivial();
+    c.bench_function("suite/map11_trivial_surface97", |b| {
+        b.iter(|| map_suite(&benchmarks, &device, &mapper));
+    });
+}
+
+criterion_group!(benches, suite_generation, suite_mapping);
+criterion_main!(benches);

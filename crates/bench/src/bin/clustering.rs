@@ -1,0 +1,87 @@
+//! Experiment E7 (Section IV): clustering algorithms by their profiles.
+//!
+//! "Using this new metrics and the common circuit parameters, algorithms
+//! can be clustered based on their similarities. Ideally, quantum
+//! algorithms with similar properties are ought to show similar
+//! performance when run on specific chips using a given mapping
+//! strategy." The harness clusters the suite on the pruned Table-I
+//! metric subset and then checks the hypothesis: it reports the mapping
+//! overhead spread within each cluster versus across the whole suite.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use qcs_bench::{default_suite_config, fig3_device, map_suite, small_suite_config, suite};
+use qcs_core::mapper::Mapper;
+use qcs_core::profile::{cluster_profiles_selected, CircuitProfile};
+use qcs_graph::stats::{mean, std_dev};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        small_suite_config()
+    } else {
+        default_suite_config()
+    };
+    let device = fig3_device();
+    println!(
+        "profiling and mapping {} circuits on {}…\n",
+        config.count,
+        device.name()
+    );
+    let benchmarks = suite(&config);
+    let records = map_suite(&benchmarks, &device, &Mapper::trivial());
+    let profiles: Vec<CircuitProfile> = records.iter().map(|r| r.profile.clone()).collect();
+
+    let k = 4;
+    let mut rng = ChaCha8Rng::seed_from_u64(2022);
+    let clustering = cluster_profiles_selected(&profiles, k, &mut rng);
+    println!(
+        "k-means (k = {k}) on {:?}; inertia {:.1}, {} iterations\n",
+        qcs_graph::metrics::GraphMetrics::selected_names(),
+        clustering.inertia,
+        clustering.iterations
+    );
+
+    let overheads: Vec<f64> = records.iter().map(|r| r.report.gate_overhead_pct).collect();
+    println!(
+        "whole suite: mean overhead {:>7.1}%, std {:>7.1}",
+        mean(&overheads),
+        std_dev(&overheads)
+    );
+
+    let mut within_stds = Vec::new();
+    for c in 0..k {
+        let members: Vec<usize> = (0..records.len())
+            .filter(|&i| clustering.assignments[i] == c)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let ov: Vec<f64> = members.iter().map(|&i| overheads[i]).collect();
+        // Family composition.
+        let mut fams: std::collections::BTreeMap<&str, usize> = Default::default();
+        for &i in &members {
+            *fams.entry(records[i].family.as_str()).or_insert(0) += 1;
+        }
+        println!(
+            "\ncluster {c}: {} circuits, mean overhead {:>7.1}%, std {:>7.1}",
+            members.len(),
+            mean(&ov),
+            std_dev(&ov)
+        );
+        let comp: Vec<String> = fams.iter().map(|(f, n)| format!("{f}×{n}")).collect();
+        println!("  families: {}", comp.join(", "));
+        if ov.len() > 1 {
+            within_stds.push(std_dev(&ov));
+        }
+    }
+
+    let avg_within = mean(&within_stds);
+    println!(
+        "\nmean within-cluster overhead std: {avg_within:.1} vs suite-wide std {:.1}",
+        std_dev(&overheads)
+    );
+    println!("[paper's hypothesis: similar profiles -> similar mapping performance,");
+    println!(" i.e. within-cluster spread below the suite-wide spread]");
+}

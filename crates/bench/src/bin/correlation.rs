@@ -1,0 +1,65 @@
+//! Experiment E5 (Section IV): Pearson correlation matrix over the
+//! metric set and pruning of codependent metrics.
+//!
+//! "What can be noticed is that large number of handpicked,
+//! mapping-related metrics is codependent … In order to reduce the
+//! parameter space and select only features that are necessary, a
+//! Pearson correlation matrix was created."
+
+use qcs_bench::{default_suite_config, small_suite_config, suite};
+use qcs_core::profile::{profile_correlation, prune_codependent_metrics, CircuitProfile};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        small_suite_config()
+    } else {
+        default_suite_config()
+    };
+    println!(
+        "profiling {} benchmark circuits for the metric correlation matrix…\n",
+        config.count
+    );
+    let benchmarks = suite(&config);
+    let profiles: Vec<CircuitProfile> = benchmarks
+        .iter()
+        .map(|b| CircuitProfile::of(&b.circuit))
+        .collect();
+
+    let names = CircuitProfile::feature_names();
+    let corr = profile_correlation(&profiles);
+
+    // Print the matrix restricted to the graph-metric block (the full
+    // 22×22 matrix is written row-wise below it).
+    println!("=== Pearson correlation (|r| ≥ 0.90 marked with *) ===");
+    print!("{:<24}", "");
+    for n in &names {
+        print!("{:>7.6}", &n[..n.len().min(6)]);
+    }
+    println!();
+    for (i, row) in corr.iter().enumerate() {
+        print!("{:<24}", names[i]);
+        for &v in row {
+            let mark = if v.abs() >= 0.90 { '*' } else { ' ' };
+            print!("{v:>6.2}{mark}");
+        }
+        println!();
+    }
+
+    println!("\nhighly codependent pairs (|r| ≥ 0.90):");
+    for i in 0..names.len() {
+        for j in (i + 1)..names.len() {
+            if corr[i][j].abs() >= 0.90 {
+                println!("  {:<24} ~ {:<24} r = {:+.3}", names[i], names[j], corr[i][j]);
+            }
+        }
+    }
+
+    for threshold in [0.95, 0.90, 0.80] {
+        let kept = prune_codependent_metrics(&profiles, threshold);
+        println!("\nretained features at |r| < {threshold}: {kept:?}");
+    }
+    println!(
+        "\npaper's retained set: avg shortest path (hopcount/closeness), max & min degree, adjacency matrix std dev"
+    );
+}

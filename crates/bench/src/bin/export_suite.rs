@@ -1,0 +1,49 @@
+//! Exports the benchmark suite as OpenQASM files — the same artifact
+//! shape as the qbench suite \[34\] the paper used (a directory of .qasm
+//! circuits), so external toolchains (Qiskit, tket, …) can consume the
+//! exact benchmark instances behind Figs. 3 and 5.
+//!
+//! Usage: `cargo run -p qcs-bench --release --bin export_suite [dir]`
+//! (default output directory: `target/experiments/suite`).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use qcs_bench::default_suite_config;
+use qcs_circuit::qasm;
+use qcs_workloads::suite::generate_suite;
+
+fn main() -> std::io::Result<()> {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/experiments/suite"));
+    std::fs::create_dir_all(&dir)?;
+
+    let config = default_suite_config();
+    let suite = generate_suite(&config);
+    let mut manifest = String::from("name,family,synthetic,qubits,gates,two_qubit_pct,depth\n");
+    for b in &suite {
+        let path = dir.join(format!("{}.qasm", b.name));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(qasm::print(&b.circuit).as_bytes())?;
+        let s = b.stats();
+        manifest.push_str(&format!(
+            "{},{},{},{},{},{:.1},{}\n",
+            b.name,
+            b.family,
+            b.is_synthetic(),
+            s.qubits,
+            s.gates,
+            s.two_qubit_fraction * 100.0,
+            s.depth
+        ));
+    }
+    std::fs::write(dir.join("manifest.csv"), manifest)?;
+    println!(
+        "wrote {} circuits + manifest.csv to {}",
+        suite.len(),
+        dir.display()
+    );
+    Ok(())
+}

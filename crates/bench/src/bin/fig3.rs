@@ -1,0 +1,173 @@
+//! Experiment E2 (Fig. 3): impact of the circuit mapping process.
+//!
+//! Maps the 200-circuit benchmark suite onto the extended Surface-17
+//! device (97 qubits) with the trivial mapper, then prints the three
+//! panels:
+//!
+//! * (a) gate number vs circuit fidelity (circuits with < 400 gates);
+//! * (b) two-qubit gate percentage vs gate overhead (%);
+//! * (c) gate overhead (%) vs fidelity decrease (%) (< 400 gates).
+//!
+//! Synthetic (random) circuits correspond to the paper's blue squares,
+//! real algorithms to the orange circles. Pass `--panel a|b|c` to print
+//! one panel, `--quick` for a reduced suite.
+
+use qcs_bench::{
+    binned_means, default_suite_config, experiments_dir, fig3_device, map_suite, print_header,
+    row, small_suite_config, suite, write_records,
+};
+use qcs_core::mapper::Mapper;
+use qcs_core::report::{MappingRecord, SeriesSummary};
+use qcs_graph::stats::pearson;
+
+fn panel_a(records: &[MappingRecord]) {
+    println!("\n=== Fig. 3(a): gate number vs circuit fidelity (< 400 gates) ===");
+    let widths = [24usize, 10, 6, 12, 10];
+    print_header(&["circuit", "gates", "type", "fidelity", "overhead%"], &widths);
+    let mut rows: Vec<&MappingRecord> = records
+        .iter()
+        .filter(|r| r.report.input_gates < 400)
+        .collect();
+    rows.sort_by_key(|r| r.report.input_gates);
+    for r in &rows {
+        println!(
+            "{}",
+            row(
+                &[
+                    r.name.clone(),
+                    r.report.input_gates.to_string(),
+                    if r.synthetic { "synth" } else { "real" }.to_string(),
+                    format!("{:.4}", r.report.fidelity_after),
+                    format!("{:.1}", r.report.gate_overhead_pct),
+                ],
+                &widths
+            )
+        );
+    }
+    let pts: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r.report.input_gates as f64, r.report.fidelity_after))
+        .collect();
+    println!("\nbinned trend (gate count -> mean fidelity):");
+    for (x, y, n) in binned_means(&pts, 8) {
+        println!("  ~{x:>6.0} gates: {y:.4}  (n={n})");
+    }
+    let r = pearson(
+        &pts.iter().map(|p| p.0).collect::<Vec<_>>(),
+        &pts.iter().map(|p| p.1.ln()).collect::<Vec<_>>(),
+    );
+    println!("Pearson r (gates vs ln fidelity): {r:.3}  [paper: strong negative — exponential decay]");
+}
+
+fn panel_b(records: &[MappingRecord]) {
+    println!("\n=== Fig. 3(b): two-qubit gate % vs gate overhead (%) ===");
+    let split = |synthetic: bool| -> Vec<(f64, f64)> {
+        records
+            .iter()
+            .filter(|r| r.synthetic == synthetic)
+            .map(|r| {
+                (
+                    r.profile.stats.two_qubit_fraction * 100.0,
+                    r.report.gate_overhead_pct,
+                )
+            })
+            .collect()
+    };
+    for (label, pts) in [("synthetic (squares)", split(true)), ("real (circles)", split(false))] {
+        println!("\n{label}: {} circuits", pts.len());
+        for (x, y, n) in binned_means(&pts, 8) {
+            println!("  ~{x:>5.1}% 2q gates: mean overhead {y:>7.1}%  (n={n})");
+        }
+        if pts.len() > 2 {
+            let r = pearson(
+                &pts.iter().map(|p| p.0).collect::<Vec<_>>(),
+                &pts.iter().map(|p| p.1).collect::<Vec<_>>(),
+            );
+            println!("  Pearson r: {r:.3}  [paper: positive — more 2q gates, more routing]");
+        }
+    }
+}
+
+fn panel_c(records: &[MappingRecord]) {
+    println!("\n=== Fig. 3(c): gate overhead (%) vs fidelity decrease (%) (< 400 gates) ===");
+    let rows: Vec<&MappingRecord> = records
+        .iter()
+        .filter(|r| r.report.input_gates < 400)
+        .collect();
+    for (label, synth) in [("synthetic (squares)", true), ("real (circles)", false)] {
+        let pts: Vec<(f64, f64)> = rows
+            .iter()
+            .filter(|r| r.synthetic == synth)
+            .map(|r| (r.report.gate_overhead_pct, r.report.fidelity_decrease_pct))
+            .collect();
+        println!("\n{label}: {} circuits", pts.len());
+        for (x, y, n) in binned_means(&pts, 6) {
+            println!("  ~{x:>7.1}% overhead: mean fidelity decrease {y:>6.1}%  (n={n})");
+        }
+    }
+    let synth: Vec<&&MappingRecord> = rows.iter().filter(|r| r.synthetic).collect();
+    let real: Vec<&&MappingRecord> = rows.iter().filter(|r| !r.synthetic).collect();
+    let mean = |v: &[&&MappingRecord]| -> (f64, f64) {
+        if v.is_empty() {
+            return (0.0, 0.0);
+        }
+        (
+            v.iter().map(|r| r.report.gate_overhead_pct).sum::<f64>() / v.len() as f64,
+            v.iter().map(|r| r.report.fidelity_decrease_pct).sum::<f64>() / v.len() as f64,
+        )
+    };
+    let (so, sf) = mean(&synth);
+    let (ro, rf) = mean(&real);
+    println!("\nmeans: synthetic overhead {so:.1}% / fidelity drop {sf:.1}%");
+    println!("       real      overhead {ro:.1}% / fidelity drop {rf:.1}%");
+    println!("[paper: overhead and fidelity decrease higher on average for synthetic circuits]");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let panel = args
+        .iter()
+        .position(|a| a == "--panel")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let config = if quick {
+        small_suite_config()
+    } else {
+        default_suite_config()
+    };
+    let device = fig3_device();
+    println!(
+        "mapping {} benchmark circuits onto {} ({} qubits) with the trivial mapper…",
+        config.count,
+        device.name(),
+        device.qubit_count()
+    );
+    let benchmarks = suite(&config);
+    let records = map_suite(&benchmarks, &device, &Mapper::trivial());
+    println!("mapped {} circuits", records.len());
+
+    let refs: Vec<&MappingRecord> = records.iter().collect();
+    let summary = SeriesSummary::of(&refs);
+    println!(
+        "suite means: overhead {:.1}%, fidelity decrease {:.1}%, swaps {:.1}",
+        summary.mean_gate_overhead_pct, summary.mean_fidelity_decrease_pct, summary.mean_swaps
+    );
+
+    match panel.as_deref() {
+        Some("a") => panel_a(&records),
+        Some("b") => panel_b(&records),
+        Some("c") => panel_c(&records),
+        _ => {
+            panel_a(&records);
+            panel_b(&records);
+            panel_c(&records);
+        }
+    }
+
+    match write_records(&experiments_dir(), "fig3", &records) {
+        Ok(path) => println!("\nraw records written to {}", path.display()),
+        Err(e) => eprintln!("could not write records: {e}"),
+    }
+}

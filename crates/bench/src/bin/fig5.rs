@@ -1,0 +1,87 @@
+//! Experiment E6 (Fig. 5): gate overhead (%) vs interaction-graph
+//! parameters.
+//!
+//! "Fig. 5 shows that all circuits with high gate overhead had on
+//! average low variation in edge weight distribution, low average
+//! shortest path between qubits and higher max. degree, which are
+//! expected values from Tab. I."
+//!
+//! Each benchmark is mapped with the trivial mapper on the extended
+//! Surface-17 device; for each retained graph metric the harness prints
+//! the scatter as binned means plus the Pearson correlation with gate
+//! overhead, split into synthetic (squares) and real (circles) circuits.
+
+use qcs_bench::{
+    binned_means, default_suite_config, experiments_dir, fig3_device, map_suite,
+    small_suite_config, suite, write_records,
+};
+use qcs_core::mapper::Mapper;
+use qcs_core::report::MappingRecord;
+use qcs_graph::stats::pearson;
+
+fn metric_of(r: &MappingRecord, name: &str) -> f64 {
+    match name {
+        "weight_std" => r.profile.metrics.weight_std,
+        "adjacency_std" => r.profile.metrics.adjacency_std,
+        "avg_shortest_path" => r.profile.metrics.avg_shortest_path,
+        "max_degree" => r.profile.metrics.max_degree,
+        "min_degree" => r.profile.metrics.min_degree,
+        other => unreachable!("unknown metric {other}"),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        small_suite_config()
+    } else {
+        default_suite_config()
+    };
+    let device = fig3_device();
+    println!(
+        "mapping {} circuits onto {} with the trivial mapper…",
+        config.count,
+        device.name()
+    );
+    let benchmarks = suite(&config);
+    let records = map_suite(&benchmarks, &device, &Mapper::trivial());
+    println!("mapped {} circuits\n", records.len());
+
+    let panels = [
+        ("weight_std", "edge-weight distribution std dev"),
+        ("adjacency_std", "adjacency matrix std dev"),
+        ("avg_shortest_path", "average shortest path (hopcount)"),
+        ("max_degree", "maximal degree"),
+    ];
+
+    for (key, label) in panels {
+        println!("=== Fig. 5 panel: gate overhead (%) vs {label} ===");
+        for (series, synth) in [("synthetic (squares)", true), ("real (circles)", false)] {
+            let pts: Vec<(f64, f64)> = records
+                .iter()
+                .filter(|r| r.synthetic == synth)
+                .map(|r| (metric_of(r, key), r.report.gate_overhead_pct))
+                .collect();
+            if pts.len() < 3 {
+                continue;
+            }
+            let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+            println!("  {series}: n = {}, Pearson r = {:+.3}", pts.len(), pearson(&xs, &ys));
+            for (x, y, n) in binned_means(&pts, 6) {
+                println!("    {key} ~{x:>8.2}: mean overhead {y:>8.1}%  (n={n})");
+            }
+        }
+        // Combined correlation (the paper plots all points together).
+        let xs: Vec<f64> = records.iter().map(|r| metric_of(r, key)).collect();
+        let ys: Vec<f64> = records.iter().map(|r| r.report.gate_overhead_pct).collect();
+        println!("  all circuits: Pearson r = {:+.3}\n", pearson(&xs, &ys));
+    }
+
+    println!("expected signs (Table I): weight_std −, adjacency_std −/mixed, avg_shortest_path −, max_degree +");
+
+    match write_records(&experiments_dir(), "fig5", &records) {
+        Ok(path) => println!("\nraw records written to {}", path.display()),
+        Err(e) => eprintln!("could not write records: {e}"),
+    }
+}

@@ -1,0 +1,124 @@
+//! Experiment E9 (extension): scheduling and the control-electronics
+//! constraint.
+//!
+//! Mapping step 2 (Section III) schedules operations "to leverage
+//! parallelism and therefore shorten execution time", but "classical
+//! control constraints that come from the use of shared control
+//! electronics … limit the operations' parallelization". This harness
+//! quantifies both statements over the benchmark suite:
+//!
+//! * ASAP vs ALAP makespans (identical) and idle-time profiles;
+//! * makespan inflation as shared-control multiplexing tightens;
+//! * microarchitecture issue-width sweep: stall cycles and utilization.
+
+use qcs_bench::{print_header, row, small_suite_config, suite};
+use qcs_core::mapper::Mapper;
+use qcs_core::schedule::{schedule_alap, schedule_asap, ControlGroups};
+use qcs_graph::stats::mean;
+use qcs_stack::isa::{IsaProgram, DEFAULT_CYCLE_NS};
+use qcs_stack::microarch::Microarchitecture;
+use qcs_topology::surface::surface_extended;
+
+fn main() {
+    let config = small_suite_config();
+    let device = surface_extended(4);
+    let benchmarks = suite(&config);
+    println!(
+        "scheduling study over {} circuits mapped on {}\n",
+        config.count,
+        device.name()
+    );
+    // Map everything once with the trivial mapper; reschedule the native
+    // circuits under different constraints.
+    let mapper = Mapper::trivial();
+    let natives: Vec<_> = benchmarks
+        .iter()
+        .filter_map(|b| mapper.map(&b.circuit, &device).ok().map(|o| o.native))
+        .collect();
+    println!("mapped {} circuits\n", natives.len());
+    let durations = device.calibration().durations;
+
+    // --- ASAP vs ALAP ---------------------------------------------------
+    let mut asap_makespans = Vec::new();
+    let mut asap_idle = Vec::new();
+    let mut alap_idle = Vec::new();
+    for c in &natives {
+        let asap = schedule_asap(c, &durations, &ControlGroups::unconstrained());
+        let alap = schedule_alap(c, &durations, &ControlGroups::unconstrained());
+        assert_eq!(asap.makespan_ns, alap.makespan_ns);
+        asap_makespans.push(asap.makespan_ns);
+        asap_idle.push(asap.total_idle_ns(c.qubit_count()));
+        alap_idle.push(alap.total_idle_ns(c.qubit_count()));
+    }
+    println!("=== ASAP vs ALAP (unconstrained) ===");
+    println!("mean makespan: {:.0} ns (identical by construction)", mean(&asap_makespans));
+    println!("mean summed idle time: ASAP {:.0} ns, ALAP {:.0} ns", mean(&asap_idle), mean(&alap_idle));
+
+    // --- shared-control multiplexing sweep --------------------------------
+    println!("\n=== shared-control multiplexing (qubits per control group) ===");
+    let widths = [12usize, 16, 14];
+    print_header(&["groups", "mean makespan", "inflation %"], &widths);
+    let base = mean(&asap_makespans);
+    for stride in [0usize, 8, 4, 2, 1] {
+        let groups = if stride == 0 {
+            ControlGroups::unconstrained()
+        } else {
+            ControlGroups::multiplexed(device.qubit_count(), stride)
+        };
+        let label = if stride == 0 {
+            "none".to_string()
+        } else {
+            format!("{stride} lines")
+        };
+        let m: Vec<f64> = natives
+            .iter()
+            .map(|c| schedule_asap(c, &durations, &groups).makespan_ns)
+            .collect();
+        let mk = mean(&m);
+        println!(
+            "{}",
+            row(
+                &[
+                    label,
+                    format!("{mk:.0} ns"),
+                    format!("{:+.1}", (mk - base) / base * 100.0),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("[fewer drive lines -> more serialization -> longer programs]");
+
+    // --- microarchitecture issue width -----------------------------------
+    println!("\n=== microarchitecture issue-width sweep ===");
+    let widths = [12usize, 14, 14, 13];
+    print_header(&["issue width", "mean stalls", "mean cycles", "utilization"], &widths);
+    for w in [1usize, 2, 4, 8, 16] {
+        let engine = Microarchitecture::new(w);
+        let mut stalls = Vec::new();
+        let mut cycles = Vec::new();
+        let mut util = Vec::new();
+        for c in &natives {
+            let sched = schedule_asap(c, &durations, &ControlGroups::unconstrained());
+            let isa = IsaProgram::lower(&sched, DEFAULT_CYCLE_NS);
+            let t = engine.execute(&isa);
+            stalls.push(t.stall_cycles as f64);
+            cycles.push(t.cycles as f64);
+            util.push(t.utilization);
+        }
+        println!(
+            "{}",
+            row(
+                &[
+                    w.to_string(),
+                    format!("{:.1}", mean(&stalls)),
+                    format!("{:.1}", mean(&cycles)),
+                    format!("{:.3}", mean(&util)),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("[narrow issue engines stall on parallel layers — the microarchitectural");
+    println!(" face of the paper's control-electronics constraint]");
+}

@@ -1,0 +1,184 @@
+//! Shared experiment harness for the figure/table regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index); this library holds the
+//! common machinery: the Fig. 3 device, the benchmark suite, the
+//! suite-mapping loop producing [`MappingRecord`]s, and small text-table
+//! helpers for printing series the way the paper reports them.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use qcs_core::mapper::Mapper;
+use qcs_core::profile::CircuitProfile;
+use qcs_core::report::MappingRecord;
+use qcs_topology::device::Device;
+use qcs_topology::surface::surface_extended;
+use qcs_workloads::suite::{generate_suite, Benchmark, SuiteConfig};
+
+/// The device of Figs. 3 and 5: the extended Surface-17 lattice closest
+/// to the paper's 100 qubits (distance-7, 97 qubits).
+pub fn fig3_device() -> Device {
+    surface_extended(7)
+}
+
+/// The default 200-circuit suite configuration used by the experiments.
+pub fn default_suite_config() -> SuiteConfig {
+    SuiteConfig::default()
+}
+
+/// A smaller suite for quick runs and ablations.
+pub fn small_suite_config() -> SuiteConfig {
+    SuiteConfig {
+        count: 44,
+        max_qubits: 20,
+        max_gates: 800,
+        ..SuiteConfig::default()
+    }
+}
+
+/// Generates the suite for `config`.
+pub fn suite(config: &SuiteConfig) -> Vec<Benchmark> {
+    generate_suite(config)
+}
+
+/// Maps every benchmark with `mapper` onto `device`, producing one record
+/// per successfully-mapped circuit. Failures (e.g. a benchmark wider than
+/// the device) are reported on stderr and skipped.
+pub fn map_suite(
+    benchmarks: &[Benchmark],
+    device: &Device,
+    mapper: &Mapper,
+) -> Vec<MappingRecord> {
+    let mut records = Vec::with_capacity(benchmarks.len());
+    for b in benchmarks {
+        match mapper.map(&b.circuit, device) {
+            Ok(outcome) => records.push(MappingRecord {
+                name: b.name.clone(),
+                family: b.family.to_string(),
+                synthetic: b.is_synthetic(),
+                profile: CircuitProfile::of(&b.circuit),
+                report: outcome.report,
+            }),
+            Err(e) => eprintln!("skipping {}: {e}", b.name),
+        }
+    }
+    records
+}
+
+/// Writes records as JSON under `dir/name.json`, creating the directory.
+///
+/// # Errors
+///
+/// Propagates I/O and serialization errors.
+pub fn write_records(
+    dir: &Path,
+    name: &str,
+    records: &[MappingRecord],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = MappingRecord::to_json(records)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(json.as_bytes())?;
+    Ok(path)
+}
+
+/// The default output directory for experiment data
+/// (`target/experiments`).
+pub fn experiments_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from("target/experiments")
+}
+
+/// Formats one row of a fixed-width text table.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Prints a header + underline for a fixed-width text table.
+pub fn print_header(titles: &[&str], widths: &[usize]) {
+    let cells: Vec<String> = titles.iter().map(|t| t.to_string()).collect();
+    println!("{}", row(&cells, widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}
+
+/// Bins `(x, y)` points into `bins` equal-width x-bins and returns
+/// `(bin_centre, mean_y, count)` for the non-empty bins — the binned
+/// trend line behind the paper's scatter plots.
+pub fn binned_means(points: &[(f64, f64)], bins: usize) -> Vec<(f64, f64, usize)> {
+    if points.is_empty() || bins == 0 {
+        return Vec::new();
+    }
+    let xmin = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let xmax = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let width = ((xmax - xmin) / bins as f64).max(f64::MIN_POSITIVE);
+    let mut sums = vec![0.0; bins];
+    let mut counts = vec![0usize; bins];
+    for &(x, y) in points {
+        let b = (((x - xmin) / width) as usize).min(bins - 1);
+        sums[b] += y;
+        counts[b] += 1;
+    }
+    (0..bins)
+        .filter(|&b| counts[b] > 0)
+        .map(|b| {
+            (
+                xmin + (b as f64 + 0.5) * width,
+                sums[b] / counts[b] as f64,
+                counts[b],
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_device_is_97_qubit_surface() {
+        let dev = fig3_device();
+        assert_eq!(dev.qubit_count(), 97);
+        assert_eq!(dev.name(), "surface-97");
+    }
+
+    #[test]
+    fn small_suite_maps_cleanly() {
+        let suite = suite(&SuiteConfig {
+            count: 11,
+            max_qubits: 10,
+            max_gates: 200,
+            ..SuiteConfig::default()
+        });
+        let records = map_suite(&suite, &fig3_device(), &Mapper::trivial());
+        assert_eq!(records.len(), 11);
+        for r in &records {
+            assert!(r.report.gate_overhead_pct >= 0.0, "{}", r.name);
+            assert!(r.report.fidelity_after <= r.report.fidelity_before + 1e-12);
+        }
+    }
+
+    #[test]
+    fn binning_means() {
+        let pts = vec![(0.0, 1.0), (0.1, 3.0), (10.0, 5.0)];
+        let bins = binned_means(&pts, 2);
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].1, 2.0);
+        assert_eq!(bins[0].2, 2);
+        assert_eq!(bins[1].1, 5.0);
+        assert!(binned_means(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn table_rows_align() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

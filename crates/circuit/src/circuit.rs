@@ -1,0 +1,564 @@
+//! The [`Circuit`] type: an ordered list of gates over `n` qubits.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::gate::{Gate, GateKind, Qubit};
+
+/// Error type for circuit construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A gate referenced a qubit at or beyond the circuit width.
+    QubitOutOfRange {
+        /// Offending qubit index.
+        qubit: Qubit,
+        /// Circuit width.
+        width: usize,
+    },
+    /// A multi-qubit gate listed the same qubit twice.
+    DuplicateOperand(Qubit),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, width } => {
+                write!(f, "qubit {qubit} out of range for circuit of width {width}")
+            }
+            CircuitError::DuplicateOperand(q) => {
+                write!(f, "duplicate operand qubit {q} in multi-qubit gate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// Size statistics of a circuit — the "common algorithm parameters" the
+/// paper contrasts with interaction-graph metrics (Section III): number of
+/// qubits, number of gates, two-qubit-gate percentage and depth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Circuit width (declared qubits).
+    pub qubits: usize,
+    /// Total gate count (excluding barriers).
+    pub gates: usize,
+    /// Number of two-qubit unitary gates.
+    pub two_qubit_gates: usize,
+    /// Two-qubit gates as a fraction of all gates in `[0, 1]`.
+    pub two_qubit_fraction: f64,
+    /// Circuit depth (length of the longest dependency chain).
+    pub depth: usize,
+}
+
+/// A quantum circuit: a fixed number of qubits and an ordered gate list.
+///
+/// The builder methods append gates and return `&mut Self` so circuits can
+/// be written fluently. All builders validate operands.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::circuit::Circuit;
+///
+/// let mut bell = Circuit::with_name(2, "bell");
+/// bell.h(0)?.cnot(0, 1)?.measure_all();
+/// assert_eq!(bell.stats().two_qubit_gates, 1);
+/// # Ok::<(), qcs_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Circuit {
+    name: String,
+    qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `qubits` qubits.
+    pub fn new(qubits: usize) -> Self {
+        Circuit {
+            name: String::new(),
+            qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Creates an empty named circuit (names flow into experiment reports).
+    pub fn with_name(qubits: usize, name: impl Into<String>) -> Self {
+        Circuit {
+            name: name.into(),
+            qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// The circuit's name (may be empty).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the circuit.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of qubits (circuit width).
+    pub fn qubit_count(&self) -> usize {
+        self.qubits
+    }
+
+    /// Number of gates, *including* barriers and measurements.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gate list in program order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Iterates over the gates in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.gates.iter()
+    }
+
+    /// Appends a validated gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] if an operand exceeds the
+    /// circuit width, or [`CircuitError::DuplicateOperand`] if a
+    /// multi-qubit gate repeats an operand.
+    pub fn push(&mut self, gate: Gate) -> Result<&mut Self, CircuitError> {
+        let qs = gate.qubits();
+        for &q in &qs {
+            if q >= self.qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    width: self.qubits,
+                });
+            }
+        }
+        for i in 0..qs.len() {
+            for j in (i + 1)..qs.len() {
+                if qs[i] == qs[j] {
+                    return Err(CircuitError::DuplicateOperand(qs[i]));
+                }
+            }
+        }
+        self.gates.push(gate);
+        Ok(self)
+    }
+
+    /// Appends every gate of `other` (widths must already be compatible).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any appended gate fails validation against this
+    /// circuit's width.
+    pub fn extend_from(&mut self, other: &Circuit) -> Result<&mut Self, CircuitError> {
+        for &g in other.gates() {
+            self.push(g)?;
+        }
+        Ok(self)
+    }
+
+    // --- fluent builders -------------------------------------------------
+
+    /// Appends a Pauli-X gate. See [`Circuit::push`] for errors.
+    #[allow(missing_docs)]
+    pub fn x(&mut self, q: Qubit) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::X(q))
+    }
+    /// Appends a Pauli-Y gate. See [`Circuit::push`] for errors.
+    pub fn y(&mut self, q: Qubit) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Y(q))
+    }
+    /// Appends a Pauli-Z gate. See [`Circuit::push`] for errors.
+    pub fn z(&mut self, q: Qubit) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Z(q))
+    }
+    /// Appends a Hadamard gate. See [`Circuit::push`] for errors.
+    pub fn h(&mut self, q: Qubit) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::H(q))
+    }
+    /// Appends an S gate. See [`Circuit::push`] for errors.
+    pub fn s(&mut self, q: Qubit) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::S(q))
+    }
+    /// Appends an S† gate. See [`Circuit::push`] for errors.
+    pub fn sdg(&mut self, q: Qubit) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Sdg(q))
+    }
+    /// Appends a T gate. See [`Circuit::push`] for errors.
+    pub fn t(&mut self, q: Qubit) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::T(q))
+    }
+    /// Appends a T† gate. See [`Circuit::push`] for errors.
+    pub fn tdg(&mut self, q: Qubit) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Tdg(q))
+    }
+    /// Appends an Rx rotation. See [`Circuit::push`] for errors.
+    pub fn rx(&mut self, q: Qubit, angle: f64) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Rx(q, angle))
+    }
+    /// Appends an Ry rotation. See [`Circuit::push`] for errors.
+    pub fn ry(&mut self, q: Qubit, angle: f64) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Ry(q, angle))
+    }
+    /// Appends an Rz rotation. See [`Circuit::push`] for errors.
+    pub fn rz(&mut self, q: Qubit, angle: f64) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Rz(q, angle))
+    }
+    /// Appends a CNOT (control, target). See [`Circuit::push`] for errors.
+    pub fn cnot(&mut self, c: Qubit, t: Qubit) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Cnot(c, t))
+    }
+    /// Appends a CZ. See [`Circuit::push`] for errors.
+    pub fn cz(&mut self, c: Qubit, t: Qubit) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Cz(c, t))
+    }
+    /// Appends a controlled phase rotation. See [`Circuit::push`] for errors.
+    pub fn cphase(&mut self, c: Qubit, t: Qubit, angle: f64) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Cphase(c, t, angle))
+    }
+    /// Appends a SWAP. See [`Circuit::push`] for errors.
+    pub fn swap(&mut self, a: Qubit, b: Qubit) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Swap(a, b))
+    }
+    /// Appends a Toffoli (control, control, target). See [`Circuit::push`]
+    /// for errors.
+    pub fn toffoli(&mut self, a: Qubit, b: Qubit, t: Qubit) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Toffoli(a, b, t))
+    }
+    /// Appends a measurement. See [`Circuit::push`] for errors.
+    pub fn measure(&mut self, q: Qubit) -> Result<&mut Self, CircuitError> {
+        self.push(Gate::Measure(q))
+    }
+
+    /// Measures every qubit in index order.
+    pub fn measure_all(&mut self) -> &mut Self {
+        for q in 0..self.qubits {
+            self.gates.push(Gate::Measure(q));
+        }
+        self
+    }
+
+    /// Appends a barrier on every qubit.
+    pub fn barrier_all(&mut self) -> &mut Self {
+        for q in 0..self.qubits {
+            self.gates.push(Gate::Barrier(q));
+        }
+        self
+    }
+
+    // --- statistics -------------------------------------------------------
+
+    /// Gate count excluding barriers (the paper's "number of gates").
+    pub fn gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| !matches!(g, Gate::Barrier(_)))
+            .count()
+    }
+
+    /// Number of two-qubit unitary gates.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Two-qubit gates as a fraction of [`Circuit::gate_count`], 0 if empty.
+    pub fn two_qubit_fraction(&self) -> f64 {
+        let total = self.gate_count();
+        if total == 0 {
+            0.0
+        } else {
+            self.two_qubit_gate_count() as f64 / total as f64
+        }
+    }
+
+    /// Circuit depth: longest chain of gates sharing qubits. A run of
+    /// consecutive barriers acts as one synchronization point across all
+    /// its qubits and adds no depth of its own.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.qubits];
+        let mut max_depth = 0;
+        let mut i = 0;
+        while i < self.gates.len() {
+            if matches!(self.gates[i], Gate::Barrier(_)) {
+                // Gather the consecutive barrier run and synchronize.
+                let mut qs = Vec::new();
+                while i < self.gates.len() {
+                    if let Gate::Barrier(q) = self.gates[i] {
+                        qs.push(q);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let sync = qs.iter().map(|&q| level[q]).max().unwrap_or(0);
+                for &q in &qs {
+                    level[q] = sync;
+                }
+                continue;
+            }
+            let g = &self.gates[i];
+            let qs = g.qubits();
+            let end = qs.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
+            for &q in &qs {
+                level[q] = end;
+            }
+            max_depth = max_depth.max(end);
+            i += 1;
+        }
+        max_depth
+    }
+
+    /// Per-kind gate histogram.
+    pub fn gate_histogram(&self) -> BTreeMap<GateKind, usize> {
+        let mut h = BTreeMap::new();
+        for g in &self.gates {
+            *h.entry(g.kind()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// All size statistics in one record.
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats {
+            qubits: self.qubits,
+            gates: self.gate_count(),
+            two_qubit_gates: self.two_qubit_gate_count(),
+            two_qubit_fraction: self.two_qubit_fraction(),
+            depth: self.depth(),
+        }
+    }
+
+    /// The set of qubits that actually appear in at least one gate.
+    pub fn used_qubits(&self) -> Vec<Qubit> {
+        let mut used = vec![false; self.qubits];
+        for g in &self.gates {
+            for q in g.qubits() {
+                used[q] = true;
+            }
+        }
+        (0..self.qubits).filter(|&q| used[q]).collect()
+    }
+
+    /// Returns this circuit with all operands relabelled through `f`.
+    ///
+    /// The result has width `new_width`; the caller must guarantee `f`
+    /// stays within it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a relabelled gate fails validation.
+    pub fn relabeled<F: FnMut(Qubit) -> Qubit>(
+        &self,
+        new_width: usize,
+        mut f: F,
+    ) -> Result<Circuit, CircuitError> {
+        let mut c = Circuit::with_name(new_width, self.name.clone());
+        for g in &self.gates {
+            c.push(g.map_qubits(&mut f))?;
+        }
+        Ok(c)
+    }
+
+    /// The inverse circuit (gates reversed and individually inverted).
+    /// Non-unitary gates (measure, barrier) are dropped.
+    pub fn inverse(&self) -> Circuit {
+        let mut c = Circuit::with_name(self.qubits, format!("{}_inv", self.name));
+        for g in self.gates.iter().rev() {
+            if let Some(inv) = g.inverse() {
+                c.gates.push(inv);
+            }
+        }
+        c
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit '{}': {} qubits, {} gates, depth {}",
+            self.name,
+            self.qubits,
+            self.gate_count(),
+            self.depth()
+        )?;
+        for g in &self.gates {
+            writeln!(f, "  {g}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_circuit() -> Circuit {
+        // The 4-qubit circuit of Fig. 2 (five CNOTs).
+        let mut c = Circuit::with_name(4, "fig2");
+        c.cnot(1, 0)
+            .unwrap()
+            .cnot(1, 2)
+            .unwrap()
+            .cnot(2, 3)
+            .unwrap()
+            .cnot(2, 0)
+            .unwrap()
+            .cnot(1, 2)
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn push_validates_range() {
+        let mut c = Circuit::new(2);
+        assert!(matches!(
+            c.push(Gate::X(2)),
+            Err(CircuitError::QubitOutOfRange { qubit: 2, width: 2 })
+        ));
+    }
+
+    #[test]
+    fn push_validates_duplicates() {
+        let mut c = Circuit::new(3);
+        assert_eq!(c.push(Gate::Cnot(1, 1)), Err(CircuitError::DuplicateOperand(1)));
+        assert_eq!(
+            c.push(Gate::Toffoli(0, 2, 2)),
+            Err(CircuitError::DuplicateOperand(2))
+        );
+    }
+
+    #[test]
+    fn counts_and_fractions() {
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap().cnot(0, 1).unwrap().t(2).unwrap().cz(1, 2).unwrap();
+        c.barrier_all();
+        assert_eq!(c.gate_count(), 4);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        assert_eq!(c.two_qubit_fraction(), 0.5);
+        assert_eq!(c.len(), 7); // barriers counted in raw length
+    }
+
+    #[test]
+    fn empty_circuit_stats() {
+        let c = Circuit::new(3);
+        let s = c.stats();
+        assert_eq!(s.gates, 0);
+        assert_eq!(s.two_qubit_fraction, 0.0);
+        assert_eq!(s.depth, 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn depth_tracks_dependencies() {
+        let mut c = Circuit::new(3);
+        // Parallel H's → depth 1; CNOT(0,1) then CNOT(1,2) chain → depth 3.
+        c.h(0).unwrap().h(1).unwrap().h(2).unwrap();
+        assert_eq!(c.depth(), 1);
+        c.cnot(0, 1).unwrap().cnot(1, 2).unwrap();
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn barriers_synchronize_without_depth() {
+        let mut a = Circuit::new(2);
+        a.h(0).unwrap();
+        a.barrier_all();
+        a.h(1).unwrap();
+        // Without the barrier the H(1) would land at level 1; the barrier
+        // forces it after H(0) but adds no unit of depth itself.
+        assert_eq!(a.depth(), 2);
+    }
+
+    #[test]
+    fn fig2_statistics() {
+        let c = fig2_circuit();
+        let s = c.stats();
+        assert_eq!(s.qubits, 4);
+        assert_eq!(s.gates, 5);
+        assert_eq!(s.two_qubit_gates, 5);
+        assert_eq!(s.two_qubit_fraction, 1.0);
+        assert_eq!(s.depth, 5); // all five CNOTs chain through q1/q2
+    }
+
+    #[test]
+    fn histogram_counts_kinds() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().h(1).unwrap().cnot(0, 1).unwrap();
+        let h = c.gate_histogram();
+        assert_eq!(h[&GateKind::H], 2);
+        assert_eq!(h[&GateKind::Cnot], 1);
+    }
+
+    #[test]
+    fn used_qubits_skips_idle() {
+        let mut c = Circuit::new(4);
+        c.cnot(0, 2).unwrap();
+        assert_eq!(c.used_qubits(), vec![0, 2]);
+    }
+
+    #[test]
+    fn relabel_shifts_operands() {
+        let c = fig2_circuit();
+        let r = c.relabeled(8, |q| q + 4).unwrap();
+        assert_eq!(r.gates()[0], Gate::Cnot(5, 4));
+        assert_eq!(r.qubit_count(), 8);
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut c = Circuit::new(2);
+        c.s(0).unwrap().cnot(0, 1).unwrap().measure_all();
+        let inv = c.inverse();
+        assert_eq!(inv.gates(), &[Gate::Cnot(0, 1), Gate::Sdg(0)]);
+    }
+
+    #[test]
+    fn measure_all_in_order() {
+        let mut c = Circuit::new(3);
+        c.measure_all();
+        assert_eq!(
+            c.gates(),
+            &[Gate::Measure(0), Gate::Measure(1), Gate::Measure(2)]
+        );
+    }
+
+    #[test]
+    fn extend_from_appends() {
+        let mut a = Circuit::new(2);
+        a.h(0).unwrap();
+        let mut b = Circuit::new(2);
+        b.cnot(0, 1).unwrap();
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn iteration() {
+        let c = fig2_circuit();
+        assert_eq!(c.iter().count(), 5);
+        assert_eq!((&c).into_iter().count(), 5);
+    }
+}

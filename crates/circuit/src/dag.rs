@@ -1,0 +1,364 @@
+//! Gate-dependency DAG.
+//!
+//! Two gates depend on each other when they share a qubit; the DAG's
+//! longest path is the circuit depth, its level sets are the ASAP layers
+//! the scheduler starts from, and its *front layer* (gates with no
+//! unresolved predecessors) is what look-ahead routers such as SABRE
+//! iterate on.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Dependency DAG over the gates of a circuit.
+///
+/// Node `i` is the `i`-th gate of the source circuit (program order).
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::circuit::Circuit;
+/// use qcs_circuit::dag::DependencyDag;
+///
+/// let mut c = Circuit::new(3);
+/// c.h(0)?.cnot(0, 1)?.cnot(1, 2)?;
+/// let dag = DependencyDag::new(&c);
+/// assert_eq!(dag.depth(), 3);
+/// assert_eq!(dag.layers()[0], vec![0]); // only H(0) is initially ready
+/// # Ok::<(), qcs_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependencyDag {
+    gates: Vec<Gate>,
+    /// Direct successors of each gate.
+    successors: Vec<Vec<usize>>,
+    /// Direct predecessors of each gate.
+    predecessors: Vec<Vec<usize>>,
+    /// ASAP level of each gate (0-based).
+    levels: Vec<usize>,
+}
+
+impl DependencyDag {
+    /// Builds the DAG for `circuit`.
+    ///
+    /// Edges connect each gate to the *latest* earlier gate on each of its
+    /// qubits (transitively this reconstructs the full dependency order).
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut successors = vec![Vec::new(); n];
+        let mut predecessors = vec![Vec::new(); n];
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.qubit_count()];
+
+        for (i, g) in circuit.iter().enumerate() {
+            for q in g.qubits() {
+                if let Some(p) = last_on_qubit[q] {
+                    if !successors[p].contains(&i) {
+                        successors[p].push(i);
+                        predecessors[i].push(p);
+                    }
+                }
+                last_on_qubit[q] = Some(i);
+            }
+        }
+
+        // ASAP levels by a forward sweep (nodes are already topologically
+        // sorted because edges only point forward in program order).
+        let mut levels = vec![0usize; n];
+        for i in 0..n {
+            let base = predecessors[i]
+                .iter()
+                .map(|&p| levels[p] + 1)
+                .max()
+                .unwrap_or(0);
+            levels[i] = base;
+        }
+
+        DependencyDag {
+            gates: circuit.gates().to_vec(),
+            successors,
+            predecessors,
+            levels,
+        }
+    }
+
+    /// Number of gate nodes.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the DAG is empty.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gate at node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn gate(&self, i: usize) -> &Gate {
+        &self.gates[i]
+    }
+
+    /// Direct successors of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.successors[i]
+    }
+
+    /// Direct predecessors of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn predecessors(&self, i: usize) -> &[usize] {
+        &self.predecessors[i]
+    }
+
+    /// ASAP level of node `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn level(&self, i: usize) -> usize {
+        self.levels[i]
+    }
+
+    /// Depth: number of ASAP layers (= circuit depth when no barriers).
+    pub fn depth(&self) -> usize {
+        self.levels.iter().map(|&l| l + 1).max().unwrap_or(0)
+    }
+
+    /// The ASAP layers: `layers()[l]` lists the gate indices at level `l`,
+    /// each in program order.
+    pub fn layers(&self) -> Vec<Vec<usize>> {
+        let mut layers = vec![Vec::new(); self.depth()];
+        for (i, &l) in self.levels.iter().enumerate() {
+            layers[l].push(i);
+        }
+        layers
+    }
+
+    /// Gate indices with no predecessors (the initial *front layer*).
+    pub fn front_layer(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.predecessors[i].is_empty())
+            .collect()
+    }
+
+    /// Number of direct dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.successors.iter().map(Vec::len).sum()
+    }
+
+    /// Average number of gates per layer — a parallelism figure of merit
+    /// (1.0 means fully serial).
+    pub fn parallelism(&self) -> f64 {
+        if self.depth() == 0 {
+            0.0
+        } else {
+            self.len() as f64 / self.depth() as f64
+        }
+    }
+}
+
+/// Incremental front-layer tracker used by routing algorithms.
+///
+/// Starts at the DAG's front layer; [`FrontLayer::resolve`] retires a gate
+/// and activates any successors whose predecessors are all retired.
+#[derive(Debug, Clone)]
+pub struct FrontLayer<'a> {
+    dag: &'a DependencyDag,
+    unresolved_preds: Vec<usize>,
+    active: Vec<usize>,
+    resolved: usize,
+}
+
+impl<'a> FrontLayer<'a> {
+    /// Creates the tracker positioned at the initial front layer.
+    pub fn new(dag: &'a DependencyDag) -> Self {
+        let unresolved_preds: Vec<usize> =
+            (0..dag.len()).map(|i| dag.predecessors(i).len()).collect();
+        let active = dag.front_layer();
+        FrontLayer {
+            dag,
+            unresolved_preds,
+            active,
+            resolved: 0,
+        }
+    }
+
+    /// Currently executable gate indices (program order not guaranteed).
+    pub fn active(&self) -> &[usize] {
+        &self.active
+    }
+
+    /// Whether every gate has been resolved.
+    pub fn is_done(&self) -> bool {
+        self.resolved == self.dag.len()
+    }
+
+    /// Number of gates resolved so far.
+    pub fn resolved_count(&self) -> usize {
+        self.resolved
+    }
+
+    /// Marks active gate `i` as executed, activating newly-ready
+    /// successors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not currently active.
+    pub fn resolve(&mut self, i: usize) {
+        let pos = self
+            .active
+            .iter()
+            .position(|&g| g == i)
+            .expect("gate must be active to resolve");
+        self.active.swap_remove(pos);
+        self.resolved += 1;
+        for &s in self.dag.successors(i) {
+            self.unresolved_preds[s] -= 1;
+            if self.unresolved_preds[s] == 0 {
+                self.active.push(s);
+            }
+        }
+    }
+
+    /// The gates within `horizon` dependency steps behind the front layer
+    /// (the *extended set* SABRE-style heuristics look ahead into).
+    pub fn lookahead(&self, horizon: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut frontier: Vec<usize> = self.active.clone();
+        let mut seen = vec![false; self.dag.len()];
+        for &g in &frontier {
+            seen[g] = true;
+        }
+        for _ in 0..horizon {
+            let mut next = Vec::new();
+            for &g in &frontier {
+                for &s in self.dag.successors(g) {
+                    if !seen[s] {
+                        seen[s] = true;
+                        next.push(s);
+                        out.push(s);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    fn chain3() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap().cnot(0, 1).unwrap().cnot(1, 2).unwrap();
+        c
+    }
+
+    #[test]
+    fn builds_dependencies() {
+        let dag = DependencyDag::new(&chain3());
+        assert_eq!(dag.len(), 3);
+        assert_eq!(dag.predecessors(0), &[] as &[usize]);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.predecessors(2), &[1]);
+        assert_eq!(dag.successors(0), &[1]);
+        assert_eq!(dag.edge_count(), 2);
+    }
+
+    #[test]
+    fn no_duplicate_edges_for_shared_pair() {
+        // Two consecutive CNOTs on the same pair share both qubits but must
+        // produce a single dependency edge.
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).unwrap().cnot(0, 1).unwrap();
+        let dag = DependencyDag::new(&c);
+        assert_eq!(dag.edge_count(), 1);
+    }
+
+    #[test]
+    fn levels_and_layers() {
+        let mut c = Circuit::new(4);
+        c.h(0).unwrap().h(2).unwrap().cnot(0, 1).unwrap().cnot(2, 3).unwrap();
+        let dag = DependencyDag::new(&c);
+        assert_eq!(dag.depth(), 2);
+        let layers = dag.layers();
+        assert_eq!(layers[0], vec![0, 1]);
+        assert_eq!(layers[1], vec![2, 3]);
+        assert_eq!(dag.parallelism(), 2.0);
+    }
+
+    #[test]
+    fn depth_matches_circuit() {
+        let c = chain3();
+        assert_eq!(DependencyDag::new(&c).depth(), c.depth());
+    }
+
+    #[test]
+    fn empty_dag() {
+        let dag = DependencyDag::new(&Circuit::new(2));
+        assert!(dag.is_empty());
+        assert_eq!(dag.depth(), 0);
+        assert_eq!(dag.parallelism(), 0.0);
+        assert!(dag.front_layer().is_empty());
+    }
+
+    #[test]
+    fn front_layer_progression() {
+        let dag = DependencyDag::new(&chain3());
+        let mut fl = FrontLayer::new(&dag);
+        assert_eq!(fl.active(), &[0]);
+        fl.resolve(0);
+        assert_eq!(fl.active(), &[1]);
+        fl.resolve(1);
+        fl.resolve(2);
+        assert!(fl.is_done());
+        assert_eq!(fl.resolved_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be active")]
+    fn resolving_inactive_panics() {
+        let dag = DependencyDag::new(&chain3());
+        let mut fl = FrontLayer::new(&dag);
+        fl.resolve(2);
+    }
+
+    #[test]
+    fn lookahead_window() {
+        let dag = DependencyDag::new(&chain3());
+        let fl = FrontLayer::new(&dag);
+        assert_eq!(fl.lookahead(1), vec![1]);
+        assert_eq!(fl.lookahead(2), vec![1, 2]);
+        assert_eq!(fl.lookahead(10), vec![1, 2]); // exhausts early
+    }
+
+    #[test]
+    fn diamond_dependencies() {
+        // g0 = CNOT(0,1); g1 = H(0); g2 = H(1); g3 = CNOT(0,1).
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).unwrap().h(0).unwrap().h(1).unwrap().cnot(0, 1).unwrap();
+        let dag = DependencyDag::new(&c);
+        assert_eq!(dag.predecessors(3), &[1, 2]);
+        let mut fl = FrontLayer::new(&dag);
+        fl.resolve(0);
+        // Both H's become active; gate 3 needs both.
+        assert_eq!(fl.active().len(), 2);
+        fl.resolve(1);
+        assert!(!fl.active().contains(&3));
+        fl.resolve(2);
+        assert!(fl.active().contains(&3));
+    }
+}

@@ -1,0 +1,398 @@
+//! Decomposition to a device's primitive gate set.
+//!
+//! Section III, mapping step 1: "Decomposition of the gates of the circuit
+//! to the primitive gate set. Note that a quantum chip gate set does not
+//! necessarily have to match the one used in the circuit to be run."
+//!
+//! [`GateSet`] describes what a device natively executes (e.g. the
+//! CZ-based set of the Surface-7/17 transmon processors, or a CNOT-based
+//! IBM-style set); [`decompose_circuit`] rewrites a circuit into it using
+//! standard exact identities (verified against the state-vector simulator
+//! in `qcs-sim`'s tests).
+
+use std::collections::BTreeSet;
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::circuit::{Circuit, CircuitError};
+use crate::gate::{Gate, GateKind};
+
+/// A set of natively-supported gate kinds.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::decompose::GateSet;
+/// use qcs_circuit::gate::GateKind;
+///
+/// let surface = GateSet::surface_code_native();
+/// assert!(surface.contains(GateKind::Cz));
+/// assert!(!surface.contains(GateKind::Cnot));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GateSet {
+    kinds: BTreeSet<GateKind>,
+}
+
+impl GateSet {
+    /// Builds a gate set from explicit kinds. Measurement and barriers are
+    /// always included (they are control-plane, not unitary, operations).
+    pub fn new<I: IntoIterator<Item = GateKind>>(kinds: I) -> Self {
+        let mut set: BTreeSet<GateKind> = kinds.into_iter().collect();
+        set.insert(GateKind::Measure);
+        set.insert(GateKind::Barrier);
+        GateSet { kinds: set }
+    }
+
+    /// The CZ-based native set of surface-code transmon processors
+    /// (Versluis et al. \[32\]): single-qubit rotations + CZ.
+    pub fn surface_code_native() -> Self {
+        use GateKind::*;
+        GateSet::new([I, X, Y, Z, H, S, Sdg, T, Tdg, Rx, Ry, Rz, Cz])
+    }
+
+    /// A CNOT-based set in the style of IBM devices: rotations + CNOT.
+    pub fn ibm_style() -> Self {
+        use GateKind::*;
+        GateSet::new([I, X, Y, Z, H, S, Sdg, T, Tdg, Rx, Ry, Rz, Cnot])
+    }
+
+    /// A minimal calibrated set: Rx, Ry, Rz and CZ only. Exercises the
+    /// single-qubit-to-rotation rewrites.
+    pub fn rotations_plus_cz() -> Self {
+        use GateKind::*;
+        GateSet::new([Rx, Ry, Rz, Cz])
+    }
+
+    /// Every gate kind (no decomposition needed).
+    pub fn universal() -> Self {
+        GateSet::new(GateKind::all().iter().copied())
+    }
+
+    /// Whether `kind` is native.
+    pub fn contains(&self, kind: GateKind) -> bool {
+        self.kinds.contains(&kind)
+    }
+
+    /// Iterates over the native kinds in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = GateKind> + '_ {
+        self.kinds.iter().copied()
+    }
+
+    /// Number of native kinds.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the set is empty (never true in practice — measure/barrier
+    /// are always present).
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Whether the set can express any two-qubit entangling gate.
+    pub fn has_entangler(&self) -> bool {
+        self.contains(GateKind::Cnot) || self.contains(GateKind::Cz)
+    }
+}
+
+/// Error produced when a gate cannot be decomposed into the target set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecomposeError {
+    /// No rewrite chain reaches the target set for this gate kind.
+    Unsupported(GateKind),
+    /// The target set has no two-qubit entangling primitive at all.
+    NoEntangler,
+    /// Recursion guard tripped (indicates an internal rule cycle).
+    DepthExceeded(GateKind),
+    /// Rewritten gate failed circuit validation.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecomposeError::Unsupported(k) => write!(f, "gate '{k}' cannot reach the target set"),
+            DecomposeError::NoEntangler => {
+                write!(f, "target gate set has no two-qubit entangling primitive")
+            }
+            DecomposeError::DepthExceeded(k) => {
+                write!(f, "decomposition recursion limit hit for gate '{k}'")
+            }
+            DecomposeError::Circuit(e) => write!(f, "decomposition produced invalid gate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecomposeError {}
+
+impl From<CircuitError> for DecomposeError {
+    fn from(e: CircuitError) -> Self {
+        DecomposeError::Circuit(e)
+    }
+}
+
+const MAX_DEPTH: usize = 12;
+
+/// Decomposes a single gate into `target`-native gates (exact identities,
+/// equal up to global phase).
+///
+/// # Errors
+///
+/// See [`DecomposeError`].
+pub fn decompose_gate(gate: Gate, target: &GateSet) -> Result<Vec<Gate>, DecomposeError> {
+    decompose_rec(gate, target, 0)
+}
+
+fn decompose_rec(gate: Gate, target: &GateSet, depth: usize) -> Result<Vec<Gate>, DecomposeError> {
+    if target.contains(gate.kind()) {
+        return Ok(vec![gate]);
+    }
+    if depth >= MAX_DEPTH {
+        return Err(DecomposeError::DepthExceeded(gate.kind()));
+    }
+    let rewrite: Vec<Gate> = match gate {
+        // --- single-qubit rewrites (up to global phase) ---
+        Gate::I(_) => Vec::new(),
+        Gate::X(q) => vec![Gate::Rx(q, PI)],
+        Gate::Y(q) => vec![Gate::Ry(q, PI)],
+        Gate::Z(q) => vec![Gate::Rz(q, PI)],
+        // H = Ry(π/2) · Z  (apply Z first, then the rotation).
+        Gate::H(q) => vec![Gate::Z(q), Gate::Ry(q, FRAC_PI_2)],
+        Gate::S(q) => vec![Gate::Rz(q, FRAC_PI_2)],
+        Gate::Sdg(q) => vec![Gate::Rz(q, -FRAC_PI_2)],
+        Gate::T(q) => vec![Gate::Rz(q, FRAC_PI_4)],
+        Gate::Tdg(q) => vec![Gate::Rz(q, -FRAC_PI_4)],
+        Gate::Rx(..) | Gate::Ry(..) | Gate::Rz(..) => {
+            return Err(DecomposeError::Unsupported(gate.kind()))
+        }
+        // --- two-qubit rewrites ---
+        Gate::Cnot(c, t) => {
+            if target.contains(GateKind::Cz) {
+                vec![Gate::H(t), Gate::Cz(c, t), Gate::H(t)]
+            } else if target.has_entangler() {
+                return Err(DecomposeError::Unsupported(GateKind::Cnot));
+            } else {
+                return Err(DecomposeError::NoEntangler);
+            }
+        }
+        Gate::Cz(c, t) => {
+            if target.contains(GateKind::Cnot) {
+                vec![Gate::H(t), Gate::Cnot(c, t), Gate::H(t)]
+            } else if target.has_entangler() {
+                return Err(DecomposeError::Unsupported(GateKind::Cz));
+            } else {
+                return Err(DecomposeError::NoEntangler);
+            }
+        }
+        Gate::Swap(a, b) => vec![Gate::Cnot(a, b), Gate::Cnot(b, a), Gate::Cnot(a, b)],
+        // CP(θ) = Rz_t(θ/2) · CNOT · Rz_t(−θ/2) · CNOT · Rz_c(θ/2)
+        // (in circuit order below; equal up to global phase).
+        Gate::Cphase(c, t, a) => vec![
+            Gate::Rz(c, a / 2.0),
+            Gate::Rz(t, a / 2.0),
+            Gate::Cnot(c, t),
+            Gate::Rz(t, -a / 2.0),
+            Gate::Cnot(c, t),
+        ],
+        // Standard 6-CNOT, 7-T Toffoli network.
+        Gate::Toffoli(a, b, t) => vec![
+            Gate::H(t),
+            Gate::Cnot(b, t),
+            Gate::Tdg(t),
+            Gate::Cnot(a, t),
+            Gate::T(t),
+            Gate::Cnot(b, t),
+            Gate::Tdg(t),
+            Gate::Cnot(a, t),
+            Gate::T(b),
+            Gate::T(t),
+            Gate::H(t),
+            Gate::Cnot(a, b),
+            Gate::T(a),
+            Gate::Tdg(b),
+            Gate::Cnot(a, b),
+        ],
+        Gate::Measure(_) | Gate::Barrier(_) => {
+            unreachable!("measure/barrier are always in the target set")
+        }
+    };
+    let mut out = Vec::with_capacity(rewrite.len());
+    for g in rewrite {
+        out.extend(decompose_rec(g, target, depth + 1)?);
+    }
+    Ok(out)
+}
+
+/// Decomposes every gate of `circuit` into the `target` set.
+///
+/// # Errors
+///
+/// Returns the first [`DecomposeError`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::circuit::Circuit;
+/// use qcs_circuit::decompose::{decompose_circuit, GateSet};
+/// use qcs_circuit::gate::GateKind;
+///
+/// let mut c = Circuit::new(2);
+/// c.cnot(0, 1)?;
+/// let d = decompose_circuit(&c, &GateSet::surface_code_native())?;
+/// assert!(d.gates().iter().all(|g| g.kind() != GateKind::Cnot));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn decompose_circuit(circuit: &Circuit, target: &GateSet) -> Result<Circuit, DecomposeError> {
+    let mut out = Circuit::with_name(circuit.qubit_count(), circuit.name().to_string());
+    for &g in circuit.gates() {
+        for d in decompose_gate(g, target)? {
+            out.push(d)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_native(c: &Circuit, set: &GateSet) -> bool {
+        c.gates().iter().all(|g| set.contains(g.kind()))
+    }
+
+    #[test]
+    fn native_gates_pass_through() {
+        let set = GateSet::surface_code_native();
+        assert_eq!(decompose_gate(Gate::Cz(0, 1), &set).unwrap(), vec![Gate::Cz(0, 1)]);
+        assert_eq!(decompose_gate(Gate::H(0), &set).unwrap(), vec![Gate::H(0)]);
+    }
+
+    #[test]
+    fn cnot_to_cz() {
+        let set = GateSet::surface_code_native();
+        let d = decompose_gate(Gate::Cnot(0, 1), &set).unwrap();
+        assert_eq!(d, vec![Gate::H(1), Gate::Cz(0, 1), Gate::H(1)]);
+    }
+
+    #[test]
+    fn cz_to_cnot() {
+        let set = GateSet::ibm_style();
+        let d = decompose_gate(Gate::Cz(0, 1), &set).unwrap();
+        assert_eq!(d, vec![Gate::H(1), Gate::Cnot(0, 1), Gate::H(1)]);
+    }
+
+    #[test]
+    fn swap_to_three_entanglers() {
+        let ibm = GateSet::ibm_style();
+        let d = decompose_gate(Gate::Swap(0, 1), &ibm).unwrap();
+        assert_eq!(d.len(), 3);
+        assert!(d.iter().all(|g| g.kind() == GateKind::Cnot));
+        // Via CZ: each CNOT costs 2 extra H's.
+        let cz = GateSet::surface_code_native();
+        let d = decompose_gate(Gate::Swap(0, 1), &cz).unwrap();
+        assert_eq!(d.iter().filter(|g| g.kind() == GateKind::Cz).count(), 3);
+        assert_eq!(d.iter().filter(|g| g.kind() == GateKind::H).count(), 6);
+    }
+
+    #[test]
+    fn toffoli_fully_decomposes() {
+        let set = GateSet::rotations_plus_cz();
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2).unwrap();
+        let d = decompose_circuit(&c, &set).unwrap();
+        assert!(all_native(&d, &set));
+        assert!(d.gate_count() > 15);
+    }
+
+    #[test]
+    fn single_qubit_rewrites_to_rotations() {
+        let set = GateSet::rotations_plus_cz();
+        for g in [
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::H(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+        ] {
+            let d = decompose_gate(g, &set).unwrap();
+            assert!(
+                d.iter().all(|x| set.contains(x.kind())),
+                "{g:?} decomposed to non-native {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_drops_when_not_native() {
+        let set = GateSet::rotations_plus_cz();
+        assert!(decompose_gate(Gate::I(0), &set).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cphase_structure() {
+        let set = GateSet::ibm_style();
+        let d = decompose_gate(Gate::Cphase(0, 1, 1.0), &set).unwrap();
+        assert_eq!(d.iter().filter(|g| g.kind() == GateKind::Cnot).count(), 2);
+        assert_eq!(d.iter().filter(|g| g.kind() == GateKind::Rz).count(), 3);
+    }
+
+    #[test]
+    fn no_entangler_error() {
+        let set = GateSet::new([GateKind::Rx, GateKind::Ry, GateKind::Rz]);
+        assert_eq!(
+            decompose_gate(Gate::Cnot(0, 1), &set),
+            Err(DecomposeError::NoEntangler)
+        );
+        assert!(!set.has_entangler());
+    }
+
+    #[test]
+    fn rotation_without_native_rotation_errors() {
+        let set = GateSet::new([GateKind::H, GateKind::Cnot]);
+        assert_eq!(
+            decompose_gate(Gate::Rz(0, 0.5), &set),
+            Err(DecomposeError::Unsupported(GateKind::Rz))
+        );
+    }
+
+    #[test]
+    fn full_circuit_decomposition_counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap().cnot(0, 1).unwrap().swap(1, 2).unwrap().measure_all();
+        let set = GateSet::surface_code_native();
+        let d = decompose_circuit(&c, &set).unwrap();
+        assert!(all_native(&d, &set));
+        // Measurements survive decomposition.
+        assert_eq!(
+            d.gates().iter().filter(|g| g.kind() == GateKind::Measure).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn universal_set_is_identity_transform() {
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2).unwrap().cphase(0, 2, 0.3).unwrap();
+        let d = decompose_circuit(&c, &GateSet::universal()).unwrap();
+        assert_eq!(d.gates(), c.gates());
+    }
+
+    #[test]
+    fn gate_set_constructors() {
+        assert!(GateSet::universal().contains(GateKind::Toffoli));
+        assert!(GateSet::ibm_style().contains(GateKind::Cnot));
+        assert!(!GateSet::ibm_style().contains(GateKind::Cz));
+        // Measure/barrier always present.
+        assert!(GateSet::new([]).contains(GateKind::Measure));
+        assert!(GateSet::new([]).contains(GateKind::Barrier));
+        assert!(!GateSet::rotations_plus_cz().is_empty());
+        assert!(GateSet::rotations_plus_cz().len() >= 4);
+        assert!(GateSet::rotations_plus_cz().iter().any(|k| k == GateKind::Cz));
+    }
+}

@@ -1,0 +1,268 @@
+//! ASCII circuit rendering.
+//!
+//! Renders circuits as textual wire diagrams, one row per qubit, gates
+//! packed into ASAP layers (the same layering as [`crate::dag`]). Useful
+//! in examples, experiment logs and debugging sessions:
+//!
+//! ```text
+//! q0: ─ H ──●───────
+//!           │
+//! q1: ──────X───●───
+//!               │
+//! q2: ──────────X───
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Per-layer cell contents for one qubit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Cell {
+    /// No gate here (wire passes through).
+    Wire,
+    /// A labelled gate box.
+    Label(String),
+    /// CNOT control dot.
+    Control,
+    /// CNOT target.
+    Target,
+    /// SWAP endpoint.
+    SwapEnd,
+    /// Vertical connector (between the endpoints of a 2q gate).
+    Vertical,
+}
+
+/// Renders `circuit` as an ASCII diagram.
+///
+/// Gates are grouped into dependency layers; two-qubit gates draw a
+/// vertical connector between their operands. Wide (≥ 3-operand) gates
+/// and measurements render as labelled boxes on each operand row.
+pub fn draw(circuit: &Circuit) -> String {
+    let n = circuit.qubit_count();
+    if n == 0 {
+        return String::new();
+    }
+    // Assign gates to layers exactly like Circuit::depth, but two-qubit
+    // connectors also reserve the rows *between* the operands so the
+    // vertical line never crosses another gate.
+    let mut level = vec![0usize; n];
+    let mut layers: Vec<Vec<(usize, Gate)>> = Vec::new();
+    for (idx, g) in circuit.iter().enumerate() {
+        let qs = g.qubits();
+        let (lo, hi) = match (qs.iter().min(), qs.iter().max()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            _ => continue,
+        };
+        let start = (lo..=hi).map(|q| level[q]).max().unwrap_or(0);
+        for q in lo..=hi {
+            level[q] = start + 1;
+        }
+        if layers.len() <= start {
+            layers.resize_with(start + 1, Vec::new);
+        }
+        layers[start].push((idx, *g));
+    }
+
+    // Build the cell matrix: rows = qubits, columns = layers.
+    let mut cells = vec![vec![Cell::Wire; layers.len()]; n];
+    for (col, layer) in layers.iter().enumerate() {
+        for (_, g) in layer {
+            let qs = g.qubits();
+            match *g {
+                Gate::Cnot(c, t) => {
+                    cells[c][col] = Cell::Control;
+                    cells[t][col] = Cell::Target;
+                    fill_vertical(&mut cells, col, c, t);
+                }
+                Gate::Cz(a, b) | Gate::Cphase(a, b, _) => {
+                    cells[a][col] = Cell::Control;
+                    cells[b][col] = Cell::Control;
+                    fill_vertical(&mut cells, col, a, b);
+                }
+                Gate::Swap(a, b) => {
+                    cells[a][col] = Cell::SwapEnd;
+                    cells[b][col] = Cell::SwapEnd;
+                    fill_vertical(&mut cells, col, a, b);
+                }
+                Gate::Toffoli(a, b, t) => {
+                    cells[a][col] = Cell::Control;
+                    cells[b][col] = Cell::Control;
+                    cells[t][col] = Cell::Target;
+                    let lo = a.min(b).min(t);
+                    let hi = a.max(b).max(t);
+                    fill_vertical(&mut cells, col, lo, hi);
+                }
+                Gate::Measure(q) => cells[q][col] = Cell::Label("M".into()),
+                Gate::Barrier(q) => cells[q][col] = Cell::Label("|".into()),
+                _ => {
+                    let label = short_label(g);
+                    cells[qs[0]][col] = Cell::Label(label);
+                }
+            }
+        }
+    }
+
+    // Column widths in display characters: the longest label in each.
+    let widths: Vec<usize> = (0..layers.len())
+        .map(|col| {
+            cells
+                .iter()
+                .map(|row| match &row[col] {
+                    Cell::Label(l) => l.chars().count(),
+                    _ => 1,
+                })
+                .max()
+                .unwrap_or(1)
+        })
+        .collect();
+
+    // Pads `s` with `fill` to exactly `w` display characters.
+    let pad = |s: &str, w: usize, fill: char| -> String {
+        let mut out: String = s.chars().take(w).collect();
+        for _ in out.chars().count()..w {
+            out.push(fill);
+        }
+        out
+    };
+
+    let mut out = String::new();
+    for q in 0..n {
+        // Gate row.
+        let mut line = format!("q{q:<2}: ─");
+        for (col, w) in widths.iter().enumerate() {
+            let cell = &cells[q][col];
+            let body = match cell {
+                Cell::Wire => "─".repeat(*w),
+                Cell::Label(l) => pad(l, *w, '─'),
+                Cell::Control => pad("●", *w, '─'),
+                Cell::Target => pad("X", *w, '─'),
+                Cell::SwapEnd => pad("x", *w, '─'),
+                Cell::Vertical => pad("┼", *w, '─'),
+            };
+            line.push_str(&body);
+            line.push_str("──");
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        // Connector row (between qubit rows).
+        if q + 1 < n {
+            let mut conn = String::from("      ");
+            for (col, w) in widths.iter().enumerate() {
+                let below_has_link = connector_between(&cells, col, q);
+                let c = if below_has_link { "│" } else { " " };
+                conn.push_str(c);
+                conn.push_str(&" ".repeat(*w + 1));
+            }
+            let trimmed = conn.trim_end();
+            if !trimmed.is_empty() {
+                out.push_str(trimmed);
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Whether the connector between rows `q` and `q+1` in `col` is inside a
+/// multi-qubit gate's vertical span.
+fn connector_between(cells: &[Vec<Cell>], col: usize, q: usize) -> bool {
+    let involved = |c: &Cell| {
+        matches!(
+            c,
+            Cell::Control | Cell::Target | Cell::SwapEnd | Cell::Vertical
+        )
+    };
+    involved(&cells[q][col]) && involved(&cells[q + 1][col])
+}
+
+fn fill_vertical(cells: &mut [Vec<Cell>], col: usize, a: usize, b: usize) {
+    let (lo, hi) = (a.min(b), a.max(b));
+    for row in cells.iter_mut().take(hi).skip(lo + 1) {
+        if row[col] == Cell::Wire {
+            row[col] = Cell::Vertical;
+        }
+    }
+}
+
+fn short_label(g: &Gate) -> String {
+    match g.angle() {
+        Some(a) => format!("{}({:.2})", g.name(), a),
+        None => g.name().to_uppercase(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_bell_circuit() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().cnot(0, 1).unwrap();
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].starts_with("q0"));
+        assert!(lines[0].contains('H'));
+        assert!(lines[0].contains('●'));
+        assert!(lines[2].starts_with("q1"));
+        assert!(lines[2].contains('X'));
+        // Connector between the rows.
+        assert!(lines[1].contains('│'));
+    }
+
+    #[test]
+    fn independent_gates_share_a_column() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().h(1).unwrap();
+        let art = draw(&c);
+        // Both H's in the first layer: each row exactly one H.
+        for line in art.lines().filter(|l| l.starts_with('q')) {
+            assert_eq!(line.matches('H').count(), 1);
+        }
+    }
+
+    #[test]
+    fn vertical_span_through_middle_qubit() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 2).unwrap();
+        let art = draw(&c);
+        let q1_line = art.lines().find(|l| l.starts_with("q1")).unwrap();
+        assert!(q1_line.contains('┼'), "middle wire must show the crossing: {art}");
+    }
+
+    #[test]
+    fn swap_and_measure_render() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).unwrap().measure(0).unwrap();
+        let art = draw(&c);
+        assert_eq!(art.matches('x').count(), 2);
+        assert!(art.contains('M'));
+    }
+
+    #[test]
+    fn rotation_labels_carry_angles() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.5).unwrap();
+        let art = draw(&c);
+        assert!(art.contains("rz(0.50)"));
+    }
+
+    #[test]
+    fn empty_circuit() {
+        assert!(draw(&Circuit::new(0)).is_empty());
+        let idle = draw(&Circuit::new(2));
+        assert_eq!(idle.lines().count(), 3); // two wires + connector row
+    }
+
+    #[test]
+    fn layering_blocks_overlap() {
+        // CNOT(0,2) spans rows 0..2, so H(1) cannot share its column.
+        let mut c = Circuit::new(3);
+        c.cnot(0, 2).unwrap().h(1).unwrap();
+        let art = draw(&c);
+        let q1_line = art.lines().find(|l| l.starts_with("q1")).unwrap();
+        let cross = q1_line.find('┼').unwrap();
+        let h = q1_line.find('H').unwrap();
+        assert!(h > cross, "H must render after the crossing column: {art}");
+    }
+}

@@ -1,0 +1,398 @@
+//! Quantum gates.
+//!
+//! The gate set covers what NISQ benchmark suites and device primitive
+//! sets need: Pauli and Clifford single-qubit gates, parametrized
+//! rotations, the CNOT/CZ/SWAP two-qubit family, Toffoli, measurement and
+//! barriers. Each gate knows its operands, arity, an inverse (where
+//! defined), and its OpenQASM name.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a (virtual or physical) qubit within a circuit or device.
+pub type Qubit = usize;
+
+/// A quantum gate (or scheduling directive) applied to specific qubits.
+///
+/// Angles are radians. Control qubits precede targets in the variant
+/// fields, matching OpenQASM operand order.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::gate::Gate;
+///
+/// let g = Gate::Cnot(0, 1);
+/// assert_eq!(g.qubits(), vec![0, 1]);
+/// assert!(g.is_two_qubit());
+/// assert_eq!(g.inverse(), Some(Gate::Cnot(0, 1))); // self-inverse
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Gate {
+    /// Identity (explicit wait) on a qubit.
+    I(Qubit),
+    /// Pauli-X.
+    X(Qubit),
+    /// Pauli-Y.
+    Y(Qubit),
+    /// Pauli-Z.
+    Z(Qubit),
+    /// Hadamard.
+    H(Qubit),
+    /// Phase gate S = diag(1, i).
+    S(Qubit),
+    /// S-dagger.
+    Sdg(Qubit),
+    /// T = diag(1, e^{iπ/4}).
+    T(Qubit),
+    /// T-dagger.
+    Tdg(Qubit),
+    /// Rotation about X by the angle (radians).
+    Rx(Qubit, f64),
+    /// Rotation about Y by the angle (radians).
+    Ry(Qubit, f64),
+    /// Rotation about Z by the angle (radians).
+    Rz(Qubit, f64),
+    /// Controlled-NOT: control, target.
+    Cnot(Qubit, Qubit),
+    /// Controlled-Z (symmetric).
+    Cz(Qubit, Qubit),
+    /// Controlled phase rotation by the angle: control, target, angle.
+    Cphase(Qubit, Qubit, f64),
+    /// SWAP of two qubits.
+    Swap(Qubit, Qubit),
+    /// Toffoli (CCX): control, control, target.
+    Toffoli(Qubit, Qubit, Qubit),
+    /// Computational-basis measurement.
+    Measure(Qubit),
+    /// Scheduling barrier across the listed qubit (one per qubit; the
+    /// circuit layer groups consecutive barriers).
+    Barrier(Qubit),
+}
+
+impl Gate {
+    /// The qubits this gate acts on, in operand order.
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match *self {
+            Gate::I(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::H(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _)
+            | Gate::Measure(q)
+            | Gate::Barrier(q) => vec![q],
+            Gate::Cnot(c, t) | Gate::Cz(c, t) | Gate::Swap(c, t) | Gate::Cphase(c, t, _) => {
+                vec![c, t]
+            }
+            Gate::Toffoli(a, b, t) => vec![a, b, t],
+        }
+    }
+
+    /// Number of qubit operands.
+    pub fn arity(&self) -> usize {
+        self.qubits().len()
+    }
+
+    /// Whether this is a two-qubit *unitary* gate (the class that drives
+    /// the mapping problem; barriers and measurements never count).
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(
+            self,
+            Gate::Cnot(..) | Gate::Cz(..) | Gate::Swap(..) | Gate::Cphase(..)
+        )
+    }
+
+    /// Whether this is a unitary operation (excludes measurement/barrier).
+    pub fn is_unitary(&self) -> bool {
+        !matches!(self, Gate::Measure(_) | Gate::Barrier(_))
+    }
+
+    /// Whether this gate is diagonal in the computational basis (commutes
+    /// with other diagonal gates on shared qubits — used by the optimizer
+    /// and schedulers).
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            Gate::I(_)
+                | Gate::Z(_)
+                | Gate::S(_)
+                | Gate::Sdg(_)
+                | Gate::T(_)
+                | Gate::Tdg(_)
+                | Gate::Rz(..)
+                | Gate::Cz(..)
+                | Gate::Cphase(..)
+        )
+    }
+
+    /// The rotation angle for parametrized gates, `None` otherwise.
+    pub fn angle(&self) -> Option<f64> {
+        match *self {
+            Gate::Rx(_, a) | Gate::Ry(_, a) | Gate::Rz(_, a) | Gate::Cphase(_, _, a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The inverse gate, or `None` for non-unitary operations.
+    pub fn inverse(&self) -> Option<Gate> {
+        Some(match *self {
+            Gate::I(q) => Gate::I(q),
+            Gate::X(q) => Gate::X(q),
+            Gate::Y(q) => Gate::Y(q),
+            Gate::Z(q) => Gate::Z(q),
+            Gate::H(q) => Gate::H(q),
+            Gate::S(q) => Gate::Sdg(q),
+            Gate::Sdg(q) => Gate::S(q),
+            Gate::T(q) => Gate::Tdg(q),
+            Gate::Tdg(q) => Gate::T(q),
+            Gate::Rx(q, a) => Gate::Rx(q, -a),
+            Gate::Ry(q, a) => Gate::Ry(q, -a),
+            Gate::Rz(q, a) => Gate::Rz(q, -a),
+            Gate::Cnot(c, t) => Gate::Cnot(c, t),
+            Gate::Cz(c, t) => Gate::Cz(c, t),
+            Gate::Cphase(c, t, a) => Gate::Cphase(c, t, -a),
+            Gate::Swap(a, b) => Gate::Swap(a, b),
+            Gate::Toffoli(a, b, t) => Gate::Toffoli(a, b, t),
+            Gate::Measure(_) | Gate::Barrier(_) => return None,
+        })
+    }
+
+    /// Whether `other` cancels this gate when applied immediately after it
+    /// on the same operands (inverse pair with exact angle match).
+    pub fn cancels_with(&self, other: &Gate) -> bool {
+        self.inverse().is_some_and(|inv| inv == *other)
+    }
+
+    /// The gate's mnemonic, matching its OpenQASM 2.0 spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::I(_) => "id",
+            Gate::X(_) => "x",
+            Gate::Y(_) => "y",
+            Gate::Z(_) => "z",
+            Gate::H(_) => "h",
+            Gate::S(_) => "s",
+            Gate::Sdg(_) => "sdg",
+            Gate::T(_) => "t",
+            Gate::Tdg(_) => "tdg",
+            Gate::Rx(..) => "rx",
+            Gate::Ry(..) => "ry",
+            Gate::Rz(..) => "rz",
+            Gate::Cnot(..) => "cx",
+            Gate::Cz(..) => "cz",
+            Gate::Cphase(..) => "cp",
+            Gate::Swap(..) => "swap",
+            Gate::Toffoli(..) => "ccx",
+            Gate::Measure(_) => "measure",
+            Gate::Barrier(_) => "barrier",
+        }
+    }
+
+    /// Returns the gate with each operand `q` replaced by `f(q)`.
+    ///
+    /// This is how mapping applies a virtual→physical placement.
+    pub fn map_qubits<F: FnMut(Qubit) -> Qubit>(&self, mut f: F) -> Gate {
+        match *self {
+            Gate::I(q) => Gate::I(f(q)),
+            Gate::X(q) => Gate::X(f(q)),
+            Gate::Y(q) => Gate::Y(f(q)),
+            Gate::Z(q) => Gate::Z(f(q)),
+            Gate::H(q) => Gate::H(f(q)),
+            Gate::S(q) => Gate::S(f(q)),
+            Gate::Sdg(q) => Gate::Sdg(f(q)),
+            Gate::T(q) => Gate::T(f(q)),
+            Gate::Tdg(q) => Gate::Tdg(f(q)),
+            Gate::Rx(q, a) => Gate::Rx(f(q), a),
+            Gate::Ry(q, a) => Gate::Ry(f(q), a),
+            Gate::Rz(q, a) => Gate::Rz(f(q), a),
+            Gate::Cnot(c, t) => Gate::Cnot(f(c), f(t)),
+            Gate::Cz(c, t) => Gate::Cz(f(c), f(t)),
+            Gate::Cphase(c, t, a) => Gate::Cphase(f(c), f(t), a),
+            Gate::Swap(a, b) => Gate::Swap(f(a), f(b)),
+            Gate::Toffoli(a, b, t) => Gate::Toffoli(f(a), f(b), f(t)),
+            Gate::Measure(q) => Gate::Measure(f(q)),
+            Gate::Barrier(q) => Gate::Barrier(f(q)),
+        }
+    }
+
+    /// The kind of this gate, ignoring operands and parameters.
+    pub fn kind(&self) -> GateKind {
+        match self {
+            Gate::I(_) => GateKind::I,
+            Gate::X(_) => GateKind::X,
+            Gate::Y(_) => GateKind::Y,
+            Gate::Z(_) => GateKind::Z,
+            Gate::H(_) => GateKind::H,
+            Gate::S(_) => GateKind::S,
+            Gate::Sdg(_) => GateKind::Sdg,
+            Gate::T(_) => GateKind::T,
+            Gate::Tdg(_) => GateKind::Tdg,
+            Gate::Rx(..) => GateKind::Rx,
+            Gate::Ry(..) => GateKind::Ry,
+            Gate::Rz(..) => GateKind::Rz,
+            Gate::Cnot(..) => GateKind::Cnot,
+            Gate::Cz(..) => GateKind::Cz,
+            Gate::Cphase(..) => GateKind::Cphase,
+            Gate::Swap(..) => GateKind::Swap,
+            Gate::Toffoli(..) => GateKind::Toffoli,
+            Gate::Measure(_) => GateKind::Measure,
+            Gate::Barrier(_) => GateKind::Barrier,
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.angle() {
+            Some(a) => write!(f, "{}({})", self.name(), a)?,
+            None => write!(f, "{}", self.name())?,
+        }
+        let qs = self.qubits();
+        let names: Vec<String> = qs.iter().map(|q| format!("q{q}")).collect();
+        write!(f, " {}", names.join(", "))
+    }
+}
+
+/// Gate kind: the operand-free identity of a gate, used to express device
+/// primitive gate sets and gather per-kind statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum GateKind {
+    I,
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    Rx,
+    Ry,
+    Rz,
+    Cnot,
+    Cz,
+    Cphase,
+    Swap,
+    Toffoli,
+    Measure,
+    Barrier,
+}
+
+impl GateKind {
+    /// All gate kinds, in declaration order.
+    pub fn all() -> &'static [GateKind] {
+        use GateKind::*;
+        &[
+            I, X, Y, Z, H, S, Sdg, T, Tdg, Rx, Ry, Rz, Cnot, Cz, Cphase, Swap, Toffoli, Measure,
+            Barrier,
+        ]
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            GateKind::I => "id",
+            GateKind::X => "x",
+            GateKind::Y => "y",
+            GateKind::Z => "z",
+            GateKind::H => "h",
+            GateKind::S => "s",
+            GateKind::Sdg => "sdg",
+            GateKind::T => "t",
+            GateKind::Tdg => "tdg",
+            GateKind::Rx => "rx",
+            GateKind::Ry => "ry",
+            GateKind::Rz => "rz",
+            GateKind::Cnot => "cx",
+            GateKind::Cz => "cz",
+            GateKind::Cphase => "cp",
+            GateKind::Swap => "swap",
+            GateKind::Toffoli => "ccx",
+            GateKind::Measure => "measure",
+            GateKind::Barrier => "barrier",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_order() {
+        assert_eq!(Gate::Cnot(3, 1).qubits(), vec![3, 1]);
+        assert_eq!(Gate::Toffoli(0, 1, 2).qubits(), vec![0, 1, 2]);
+        assert_eq!(Gate::Rz(5, 0.3).qubits(), vec![5]);
+    }
+
+    #[test]
+    fn arity_and_classes() {
+        assert_eq!(Gate::H(0).arity(), 1);
+        assert_eq!(Gate::Swap(0, 1).arity(), 2);
+        assert_eq!(Gate::Toffoli(0, 1, 2).arity(), 3);
+        assert!(Gate::Cz(0, 1).is_two_qubit());
+        assert!(!Gate::Toffoli(0, 1, 2).is_two_qubit());
+        assert!(!Gate::Measure(0).is_unitary());
+        assert!(Gate::Rz(0, 1.0).is_diagonal());
+        assert!(!Gate::Cnot(0, 1).is_diagonal());
+    }
+
+    #[test]
+    fn inverses() {
+        assert_eq!(Gate::S(2).inverse(), Some(Gate::Sdg(2)));
+        assert_eq!(Gate::Tdg(2).inverse(), Some(Gate::T(2)));
+        assert_eq!(Gate::Rx(1, 0.5).inverse(), Some(Gate::Rx(1, -0.5)));
+        assert_eq!(Gate::Measure(0).inverse(), None);
+        assert_eq!(Gate::Barrier(0).inverse(), None);
+        // Self-inverse gates.
+        for g in [Gate::X(0), Gate::H(0), Gate::Cnot(0, 1), Gate::Swap(1, 2)] {
+            assert_eq!(g.inverse(), Some(g));
+        }
+    }
+
+    #[test]
+    fn cancellation() {
+        assert!(Gate::H(0).cancels_with(&Gate::H(0)));
+        assert!(Gate::S(0).cancels_with(&Gate::Sdg(0)));
+        assert!(!Gate::S(0).cancels_with(&Gate::S(0)));
+        assert!(!Gate::H(0).cancels_with(&Gate::H(1)));
+        assert!(Gate::Rz(0, 0.7).cancels_with(&Gate::Rz(0, -0.7)));
+    }
+
+    #[test]
+    fn map_qubits_relabels() {
+        let g = Gate::Toffoli(0, 1, 2).map_qubits(|q| q + 10);
+        assert_eq!(g, Gate::Toffoli(10, 11, 12));
+    }
+
+    #[test]
+    fn names_match_qasm() {
+        assert_eq!(Gate::Cnot(0, 1).name(), "cx");
+        assert_eq!(Gate::Toffoli(0, 1, 2).name(), "ccx");
+        assert_eq!(Gate::Sdg(0).name(), "sdg");
+    }
+
+    #[test]
+    fn display_includes_angle() {
+        assert_eq!(Gate::Rz(2, 0.5).to_string(), "rz(0.5) q2");
+        assert_eq!(Gate::Cnot(0, 1).to_string(), "cx q0, q1");
+    }
+
+    #[test]
+    fn kinds_cover_all() {
+        assert_eq!(GateKind::all().len(), 19);
+        assert_eq!(Gate::Cphase(0, 1, 0.2).kind(), GateKind::Cphase);
+        assert_eq!(GateKind::Cnot.to_string(), "cx");
+    }
+}

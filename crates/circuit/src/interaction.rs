@@ -1,0 +1,142 @@
+//! Qubit interaction graphs (Figs. 2 and 4 of the paper).
+//!
+//! "Interaction graphs are graphical representations of the two-qubit
+//! gates of a given quantum circuit. Edges represent two-qubit gates and
+//! nodes are the qubits that participate in those. If a circuit comprises
+//! multiple two-qubit gates between pairs of qubits, it results in a
+//! weighted graph which shows how often each pair of qubits interacts."
+
+use qcs_graph::Graph;
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Builds the weighted interaction graph of `circuit`.
+///
+/// Nodes are all circuit qubits `0..qubit_count()` (including idle ones,
+/// so metric vectors stay aligned with the declared width); every
+/// two-qubit unitary gate adds weight 1 to its pair's edge. Multi-qubit
+/// gates like Toffoli contribute weight 1 to **each** operand pair, since
+/// every pair must be adjacent (or decomposed) at mapping time.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::circuit::Circuit;
+/// use qcs_circuit::interaction::interaction_graph;
+///
+/// let mut c = Circuit::new(3);
+/// c.cnot(0, 1)?.cnot(0, 1)?.cz(1, 2)?;
+/// let g = interaction_graph(&c);
+/// assert_eq!(g.weight(0, 1), Some(2.0));
+/// assert_eq!(g.weight(1, 2), Some(1.0));
+/// assert_eq!(g.weight(0, 2), None);
+/// # Ok::<(), qcs_circuit::CircuitError>(())
+/// ```
+pub fn interaction_graph(circuit: &Circuit) -> Graph {
+    let mut g = Graph::with_nodes(circuit.qubit_count());
+    for gate in circuit.iter() {
+        match *gate {
+            Gate::Cnot(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) | Gate::Cphase(a, b, _) => {
+                g.add_edge(a, b).expect("circuit validation guarantees valid pairs");
+            }
+            Gate::Toffoli(a, b, t) => {
+                g.add_edge(a, b).expect("valid pair");
+                g.add_edge(a, t).expect("valid pair");
+                g.add_edge(b, t).expect("valid pair");
+            }
+            _ => {}
+        }
+    }
+    g
+}
+
+/// Like [`interaction_graph`] but restricted to the qubits that actually
+/// interact (isolated nodes removed, ids compacted in ascending order).
+///
+/// Returns the compacted graph and the mapping from new node id to the
+/// original qubit index.
+pub fn compact_interaction_graph(circuit: &Circuit) -> (Graph, Vec<usize>) {
+    let full = interaction_graph(circuit);
+    let keep: Vec<usize> = (0..full.node_count())
+        .filter(|&q| full.degree(q) > 0)
+        .collect();
+    let mut index_of = vec![usize::MAX; full.node_count()];
+    for (new, &old) in keep.iter().enumerate() {
+        index_of[old] = new;
+    }
+    let mut g = Graph::with_nodes(keep.len());
+    for (u, v, w) in full.edges() {
+        g.add_edge_weighted(index_of[u], index_of[v], w)
+            .expect("compacted edge is valid");
+    }
+    (g, keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_multiplicities() {
+        let mut c = Circuit::new(4);
+        c.cnot(1, 0).unwrap();
+        c.cnot(1, 2).unwrap();
+        c.cnot(2, 3).unwrap();
+        c.cnot(2, 0).unwrap();
+        c.cnot(1, 2).unwrap();
+        let g = interaction_graph(&c);
+        // Matches the Fig. 2 interaction graph.
+        assert_eq!(g.weight(0, 1), Some(1.0));
+        assert_eq!(g.weight(1, 2), Some(2.0));
+        assert_eq!(g.weight(2, 3), Some(1.0));
+        assert_eq!(g.weight(0, 2), Some(1.0));
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.total_weight(), 5.0);
+    }
+
+    #[test]
+    fn single_qubit_gates_ignored() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().t(1).unwrap().measure_all();
+        let g = interaction_graph(&c);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn toffoli_adds_all_pairs() {
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2).unwrap();
+        let g = interaction_graph(&c);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.weight(0, 2), Some(1.0));
+    }
+
+    #[test]
+    fn swap_and_cphase_count() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).unwrap().cphase(0, 1, 0.5).unwrap();
+        let g = interaction_graph(&c);
+        assert_eq!(g.weight(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn compact_drops_idle_qubits() {
+        let mut c = Circuit::new(5);
+        c.cnot(1, 3).unwrap().cnot(3, 4).unwrap();
+        let (g, back) = compact_interaction_graph(&c);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(back, vec![1, 3, 4]);
+        assert_eq!(g.weight(0, 1), Some(1.0)); // old (1,3)
+        assert_eq!(g.weight(1, 2), Some(1.0)); // old (3,4)
+    }
+
+    #[test]
+    fn compact_of_fully_idle_circuit() {
+        let c = Circuit::new(3);
+        let (g, back) = compact_interaction_graph(&c);
+        assert_eq!(g.node_count(), 0);
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Quantum circuit intermediate representation.
+//!
+//! This crate is the "quantum programming language / compiler front-end"
+//! substrate of the full-stack (Fig. 1 of the paper): an IR that the
+//! high-level workload generators produce and the mapping passes consume.
+//!
+//! * [`gate`] — the gate set: single-qubit Cliffords and rotations,
+//!   controlled gates, SWAP, Toffoli, measurement and barriers.
+//! * [`circuit`] — [`circuit::Circuit`]: an ordered gate list with a fluent
+//!   builder and the size statistics the paper characterizes circuits by
+//!   (gate count, qubit count, two-qubit-gate percentage, depth).
+//! * [`dag`] — gate dependency DAG: ASAP layering, depth, topological
+//!   traversal and the *front layer* used by look-ahead routers.
+//! * [`interaction`] — extraction of the weighted **qubit interaction
+//!   graph** (Fig. 2/4), the core object of the paper's Section IV.
+//! * [`qasm`] — printer and parser for an OpenQASM 2.0 subset, the
+//!   "low-level instructions" interchange of the stack.
+//! * [`decompose`] — rewriting to a device's primitive gate set
+//!   (mapping step 1 in Section III).
+//! * [`optimize`] — gate-cancellation and rotation-merging peepholes
+//!   (the compiler's "general optimization" from Section I).
+//! * [`commute`] — gate commutation rules and commutation-aware
+//!   cancellation (the technique of the paper's ref \[39\]).
+//! * [`draw`] — ASCII wire-diagram rendering for logs and examples.
+//!
+//! # Examples
+//!
+//! Build the Fig. 2 circuit and extract its interaction graph:
+//!
+//! ```
+//! use qcs_circuit::circuit::Circuit;
+//! use qcs_circuit::interaction::interaction_graph;
+//!
+//! let mut c = Circuit::new(4);
+//! c.cnot(1, 0)?.cnot(1, 2)?.cnot(2, 3)?.cnot(2, 0)?.cnot(1, 2)?;
+//! let g = interaction_graph(&c);
+//! assert_eq!(g.node_count(), 4);
+//! assert_eq!(g.weight(1, 2), Some(2.0)); // q1–q2 interact twice
+//! # Ok::<(), qcs_circuit::CircuitError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod commute;
+pub mod dag;
+pub mod decompose;
+pub mod draw;
+pub mod gate;
+pub mod interaction;
+pub mod optimize;
+pub mod qasm;
+
+pub use circuit::{Circuit, CircuitError};
+pub use gate::{Gate, Qubit};

@@ -1,0 +1,350 @@
+//! Peephole circuit optimization.
+//!
+//! The compiler layer of the stack performs "some general (e.g. gate
+//! cancellation) … optimization on the quantum circuit" (Section I). This
+//! module implements the standard passes:
+//!
+//! * [`cancel_inverse_pairs`] — removes adjacent gate/inverse pairs (H·H,
+//!   CNOT·CNOT, S·S†, Rz(a)·Rz(−a), …) where "adjacent" means no
+//!   intervening gate touches the pair's qubits;
+//! * [`merge_rotations`] — fuses runs of same-axis rotations on a qubit
+//!   into one, dropping rotations whose merged angle is ≡ 0 (mod 2π);
+//! * [`remove_identities`] — drops explicit identity gates;
+//! * [`optimize`] — runs all passes to a fixed point.
+
+use std::f64::consts::TAU;
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Removes adjacent inverse pairs; one left-to-right sweep.
+///
+/// Returns the optimized circuit and the number of gates removed.
+pub fn cancel_inverse_pairs(circuit: &Circuit) -> (Circuit, usize) {
+    // Stack of retained gate indices; the last gate on each qubit is the
+    // candidate for cancellation against an incoming gate.
+    let gates = circuit.gates();
+    let mut keep: Vec<Option<Gate>> = Vec::with_capacity(gates.len());
+    // last_on[q] = index into `keep` of the most recent retained gate on q.
+    let mut last_on: Vec<Option<usize>> = vec![None; circuit.qubit_count()];
+    let mut removed = 0usize;
+
+    for &g in gates {
+        let qs = g.qubits();
+        // A cancellation is possible only if every operand's latest gate is
+        // the *same* retained gate and it cancels with g.
+        let candidate = qs.first().and_then(|&q| last_on[q]);
+        let cancellable = g.is_unitary()
+            && candidate.is_some_and(|idx| {
+                qs.iter().all(|&q| last_on[q] == Some(idx))
+                    && keep[idx].is_some_and(|prev| prev.cancels_with(&g))
+            });
+        if cancellable {
+            let idx = candidate.expect("checked above");
+            keep[idx] = None;
+            removed += 2;
+            // Rewind last_on for the affected qubits to their previous gate.
+            for &q in &qs {
+                last_on[q] = keep[..idx]
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find(|(_, kg)| kg.is_some_and(|kg| kg.qubits().contains(&q)))
+                    .map(|(i, _)| i);
+            }
+        } else {
+            keep.push(Some(g));
+            let idx = keep.len() - 1;
+            for &q in &qs {
+                last_on[q] = Some(idx);
+            }
+        }
+    }
+
+    let mut out = Circuit::with_name(circuit.qubit_count(), circuit.name().to_string());
+    for g in keep.into_iter().flatten() {
+        out.push(g).expect("retained gate stays valid");
+    }
+    (out, removed)
+}
+
+/// Merges adjacent same-axis rotations on each qubit.
+///
+/// Returns the optimized circuit and the number of gates eliminated
+/// (merged-away plus zero-angle drops).
+pub fn merge_rotations(circuit: &Circuit) -> (Circuit, usize) {
+    let mut keep: Vec<Option<Gate>> = Vec::with_capacity(circuit.len());
+    let mut last_on: Vec<Option<usize>> = vec![None; circuit.qubit_count()];
+    let mut removed = 0usize;
+
+    for &g in circuit.gates() {
+        let qs = g.qubits();
+        let mergeable = match g {
+            Gate::Rx(q, a) | Gate::Ry(q, a) | Gate::Rz(q, a) => {
+                last_on[q].and_then(|idx| keep[idx]).and_then(|prev| {
+                    match (prev, g) {
+                        (Gate::Rx(pq, pa), Gate::Rx(..)) if pq == q => {
+                            Some((last_on[q].expect("checked"), Gate::Rx(q, pa + a)))
+                        }
+                        (Gate::Ry(pq, pa), Gate::Ry(..)) if pq == q => {
+                            Some((last_on[q].expect("checked"), Gate::Ry(q, pa + a)))
+                        }
+                        (Gate::Rz(pq, pa), Gate::Rz(..)) if pq == q => {
+                            Some((last_on[q].expect("checked"), Gate::Rz(q, pa + a)))
+                        }
+                        _ => None,
+                    }
+                })
+            }
+            _ => None,
+        };
+        if let Some((idx, merged)) = mergeable {
+            removed += 1;
+            let angle = merged.angle().expect("rotations carry angles");
+            if is_zero_mod_tau(angle) {
+                keep[idx] = None;
+                removed += 1;
+                let q = qs[0];
+                last_on[q] = keep[..idx]
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find(|(_, kg)| kg.is_some_and(|kg| kg.qubits().contains(&q)))
+                    .map(|(i, _)| i);
+            } else {
+                keep[idx] = Some(merged);
+            }
+        } else {
+            keep.push(Some(g));
+            let idx = keep.len() - 1;
+            for &q in &qs {
+                last_on[q] = Some(idx);
+            }
+        }
+    }
+
+    let mut out = Circuit::with_name(circuit.qubit_count(), circuit.name().to_string());
+    for g in keep.into_iter().flatten() {
+        out.push(g).expect("retained gate stays valid");
+    }
+    (out, removed)
+}
+
+fn is_zero_mod_tau(angle: f64) -> bool {
+    let r = angle.rem_euclid(TAU);
+    r.abs() < 1e-12 || (TAU - r).abs() < 1e-12
+}
+
+/// Drops explicit identity gates. Returns the circuit and removal count.
+pub fn remove_identities(circuit: &Circuit) -> (Circuit, usize) {
+    let mut out = Circuit::with_name(circuit.qubit_count(), circuit.name().to_string());
+    let mut removed = 0;
+    for &g in circuit.gates() {
+        if matches!(g, Gate::I(_)) {
+            removed += 1;
+        } else {
+            out.push(g).expect("gate stays valid");
+        }
+    }
+    (out, removed)
+}
+
+/// Summary of an [`optimize`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeReport {
+    /// Gates removed by inverse-pair cancellation.
+    pub cancelled: usize,
+    /// Gates removed by rotation merging.
+    pub merged: usize,
+    /// Identity gates dropped.
+    pub identities: usize,
+    /// Fixed-point iterations executed.
+    pub iterations: usize,
+}
+
+impl OptimizeReport {
+    /// Total gates eliminated.
+    pub fn total_removed(&self) -> usize {
+        self.cancelled + self.merged + self.identities
+    }
+}
+
+/// Runs all peephole passes to a fixed point.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::circuit::Circuit;
+/// use qcs_circuit::optimize::optimize;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0)?.h(0)?.cnot(0, 1)?.cnot(0, 1)?;
+/// let (opt, report) = optimize(&c);
+/// assert!(opt.is_empty());
+/// assert_eq!(report.cancelled, 4);
+/// # Ok::<(), qcs_circuit::CircuitError>(())
+/// ```
+pub fn optimize(circuit: &Circuit) -> (Circuit, OptimizeReport) {
+    let mut report = OptimizeReport::default();
+    let mut current = circuit.clone();
+    loop {
+        report.iterations += 1;
+        let before = current.len();
+        let (c, ids) = remove_identities(&current);
+        let (c, cancelled) = cancel_inverse_pairs(&c);
+        let (c, merged) = merge_rotations(&c);
+        report.identities += ids;
+        report.cancelled += cancelled;
+        report.merged += merged;
+        current = c;
+        if current.len() == before || report.iterations > 32 {
+            break;
+        }
+    }
+    (current, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn cancels_adjacent_h_pair() {
+        let mut c = Circuit::new(1);
+        c.h(0).unwrap().h(0).unwrap();
+        let (opt, n) = cancel_inverse_pairs(&c);
+        assert!(opt.is_empty());
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn cancels_s_sdg() {
+        let mut c = Circuit::new(1);
+        c.s(0).unwrap().sdg(0).unwrap();
+        let (opt, _) = cancel_inverse_pairs(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn does_not_cancel_across_blockers() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().cnot(0, 1).unwrap().h(0).unwrap();
+        let (opt, n) = cancel_inverse_pairs(&c);
+        assert_eq!(opt.len(), 3);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn cancels_cnot_pair() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).unwrap().cnot(0, 1).unwrap();
+        let (opt, _) = cancel_inverse_pairs(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn different_operand_order_does_not_cancel() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).unwrap().cnot(1, 0).unwrap();
+        let (opt, _) = cancel_inverse_pairs(&c);
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn partial_overlap_blocks_cancellation() {
+        // CNOT(0,1) then H(1) then CNOT(0,1): H blocks.
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).unwrap().h(1).unwrap().cnot(0, 1).unwrap();
+        let (opt, _) = cancel_inverse_pairs(&c);
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn cascading_cancellation() {
+        // X H H X collapses completely in one pass (inner pair first, then
+        // outer pair becomes adjacent on re-examination of last_on).
+        let mut c = Circuit::new(1);
+        c.x(0).unwrap().h(0).unwrap().h(0).unwrap().x(0).unwrap();
+        let (opt, report) = optimize(&c);
+        assert!(opt.is_empty(), "left {:?}", opt.gates());
+        assert_eq!(report.cancelled, 4);
+    }
+
+    #[test]
+    fn merges_rz_chain() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.25).unwrap().rz(0, 0.5).unwrap().rz(0, 0.25).unwrap();
+        let (opt, n) = merge_rotations(&c);
+        assert_eq!(opt.gates(), &[Gate::Rz(0, 1.0)]);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn merged_zero_rotation_drops() {
+        let mut c = Circuit::new(1);
+        c.rx(0, 0.7).unwrap().rx(0, -0.7).unwrap();
+        let (opt, n) = merge_rotations(&c);
+        assert!(opt.is_empty());
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn full_turn_drops() {
+        let mut c = Circuit::new(1);
+        c.ry(0, std::f64::consts::PI).unwrap().ry(0, std::f64::consts::PI).unwrap();
+        let (opt, _) = merge_rotations(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn different_axes_do_not_merge() {
+        let mut c = Circuit::new(1);
+        c.rx(0, 0.5).unwrap().rz(0, 0.5).unwrap();
+        let (opt, n) = merge_rotations(&c);
+        assert_eq!(opt.len(), 2);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn identity_removal() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::I(0)).unwrap();
+        c.h(1).unwrap();
+        let (opt, n) = remove_identities(&c);
+        assert_eq!(n, 1);
+        assert_eq!(opt.gates(), &[Gate::H(1)]);
+    }
+
+    #[test]
+    fn optimize_fixed_point_combination() {
+        // Rz(a) Rz(-a) leaves nothing, exposing an H H pair around it?
+        // H Rz(0.5) Rz(-0.5) H → H H → empty. Needs two iterations.
+        let mut c = Circuit::new(1);
+        c.h(0).unwrap().rz(0, 0.5).unwrap().rz(0, -0.5).unwrap().h(0).unwrap();
+        let (opt, report) = optimize(&c);
+        assert!(opt.is_empty());
+        assert!(report.iterations >= 2);
+        assert_eq!(report.total_removed(), 4);
+    }
+
+    #[test]
+    fn measurements_never_optimized_away() {
+        let mut c = Circuit::new(1);
+        c.measure(0).unwrap().measure(0).unwrap();
+        let (opt, _) = optimize(&c);
+        assert_eq!(
+            opt.gates().iter().filter(|g| g.kind() == GateKind::Measure).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn optimize_preserves_semantic_gates() {
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap().cnot(0, 1).unwrap().toffoli(0, 1, 2).unwrap();
+        let (opt, report) = optimize(&c);
+        assert_eq!(opt.gates(), c.gates());
+        assert_eq!(report.total_removed(), 0);
+    }
+}

@@ -1,0 +1,483 @@
+//! OpenQASM 2.0 subset printer and parser.
+//!
+//! This is the stack's "quantum assembly" interchange format (the QASM of
+//! Fig. 1): good enough to serialize every gate the IR supports and to
+//! read back what it wrote (round-trip safe), plus the common hand-written
+//! constructs (`pi`-expressions in angles, comments, `include`).
+//!
+//! Supported statements: `OPENQASM 2.0;`, `include "...";`, `qreg`/`creg`
+//! declarations (one quantum register), gate applications from the
+//! [`crate::gate::Gate`] set, `measure q[i] -> c[i];` and `barrier`.
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Error produced while parsing QASM source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseQasmError {
+    /// 1-based source line of the offending statement.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseQasmError {}
+
+/// Serializes `circuit` as OpenQASM 2.0.
+///
+/// The quantum register is named `q`, the classical register `c` (same
+/// width). Angles print with Rust's shortest round-trip `f64` formatting,
+/// so [`parse`] recovers them exactly.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::circuit::Circuit;
+/// use qcs_circuit::qasm;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0)?.cnot(0, 1)?;
+/// let text = qasm::print(&c);
+/// assert!(text.contains("cx q[0],q[1];"));
+/// let back = qasm::parse(&text)?;
+/// assert_eq!(back.gates(), c.gates());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn print(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.qubit_count());
+    let _ = writeln!(out, "creg c[{}];", circuit.qubit_count());
+    for g in circuit.iter() {
+        match *g {
+            Gate::Measure(q) => {
+                let _ = writeln!(out, "measure q[{q}] -> c[{q}];");
+            }
+            Gate::Barrier(q) => {
+                let _ = writeln!(out, "barrier q[{q}];");
+            }
+            _ => {
+                let qs = g.qubits();
+                let operands: Vec<String> = qs.iter().map(|q| format!("q[{q}]")).collect();
+                match g.angle() {
+                    Some(a) => {
+                        let _ = writeln!(out, "{}({}) {};", g.name(), a, operands.join(","));
+                    }
+                    None => {
+                        let _ = writeln!(out, "{} {};", g.name(), operands.join(","));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses OpenQASM 2.0 source into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] on unknown gates, malformed operands,
+/// missing register declarations, out-of-range indices or unsupported
+/// constructs (custom gate definitions, conditionals, multiple qregs).
+pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
+    let mut circuit: Option<Circuit> = None;
+    let mut pending: Vec<(usize, String)> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let no_comment = match raw.find("//") {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        for stmt in no_comment.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            pending.push((line, stmt.to_string()));
+        }
+    }
+
+    for (line, stmt) in pending {
+        let err = |message: String| ParseQasmError { line, message };
+        if stmt.starts_with("OPENQASM") || stmt.starts_with("include") || stmt.starts_with("creg")
+        {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("qreg") {
+            if circuit.is_some() {
+                return Err(err("multiple qreg declarations are not supported".into()));
+            }
+            let n = parse_reg_size(rest.trim())
+                .ok_or_else(|| err(format!("malformed qreg declaration '{stmt}'")))?;
+            circuit = Some(Circuit::new(n));
+            continue;
+        }
+
+        let c = circuit
+            .as_mut()
+            .ok_or_else(|| err("gate before qreg declaration".into()))?;
+
+        // Split head from operands at the first whitespace *outside* any
+        // angle parentheses (angle expressions may contain spaces).
+        let ws = stmt.find(|ch: char| ch.is_whitespace());
+        let split = match stmt.find('(') {
+            Some(open) if ws.is_none_or(|w| open < w) => stmt
+                .rfind(')')
+                .map(|close| close + 1)
+                .ok_or_else(|| err(format!("unclosed angle in '{stmt}'")))?,
+            _ => ws.ok_or_else(|| err(format!("malformed statement '{stmt}'")))?,
+        };
+        let (head, operand_text) = (stmt[..split].trim(), stmt[split..].trim());
+        if operand_text.is_empty() {
+            return Err(err(format!("missing operands in '{stmt}'")));
+        }
+
+        if head == "measure" {
+            // measure q[i] -> c[j]
+            let src = operand_text
+                .split("->")
+                .next()
+                .map(str::trim)
+                .ok_or_else(|| err("malformed measure".into()))?;
+            let q = parse_qubit(src).ok_or_else(|| err(format!("bad measure operand '{src}'")))?;
+            c.push(Gate::Measure(q))
+                .map_err(|e| err(e.to_string()))?;
+            continue;
+        }
+        if head == "barrier" {
+            for part in operand_text.split(',') {
+                let part = part.trim();
+                let q = parse_qubit(part)
+                    .ok_or_else(|| err(format!("bad barrier operand '{part}'")))?;
+                c.push(Gate::Barrier(q)).map_err(|e| err(e.to_string()))?;
+            }
+            continue;
+        }
+
+        // Gate name with optional parenthesized parameter list.
+        let (name, angles) = match head.find('(') {
+            Some(open) => {
+                let close = head
+                    .rfind(')')
+                    .ok_or_else(|| err(format!("unclosed angle in '{head}'")))?;
+                let exprs = &head[open + 1..close];
+                let parsed: Vec<f64> = exprs
+                    .split(',')
+                    .map(|e| eval_angle(e).ok_or_else(|| err(format!("bad angle '{e}'"))))
+                    .collect::<Result<_, _>>()?;
+                (&head[..open], parsed)
+            }
+            None => (head, Vec::new()),
+        };
+
+        let qubits: Vec<usize> = operand_text
+            .split(',')
+            .map(|p| parse_qubit(p.trim()))
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| err(format!("bad operands '{operand_text}'")))?;
+
+        let gates = build_gates(name, &angles, &qubits)
+            .ok_or_else(|| err(format!("unknown or malformed gate '{stmt}'")))?;
+        for gate in gates {
+            c.push(gate).map_err(|e| err(e.to_string()))?;
+        }
+    }
+
+    circuit.ok_or(ParseQasmError {
+        line: 0,
+        message: "no qreg declaration found".into(),
+    })
+}
+
+fn build_gates(name: &str, angles: &[f64], qs: &[usize]) -> Option<Vec<Gate>> {
+    let gate = match (name, angles, qs) {
+        ("id", [], &[q]) => Gate::I(q),
+        ("x", [], &[q]) => Gate::X(q),
+        ("y", [], &[q]) => Gate::Y(q),
+        ("z", [], &[q]) => Gate::Z(q),
+        ("h", [], &[q]) => Gate::H(q),
+        ("s", [], &[q]) => Gate::S(q),
+        ("sdg", [], &[q]) => Gate::Sdg(q),
+        ("t", [], &[q]) => Gate::T(q),
+        ("tdg", [], &[q]) => Gate::Tdg(q),
+        ("rx", &[a], &[q]) => Gate::Rx(q, a),
+        ("ry", &[a], &[q]) => Gate::Ry(q, a),
+        ("rz", &[a], &[q]) | ("u1", &[a], &[q]) => Gate::Rz(q, a),
+        ("cx", [], &[c, t]) => Gate::Cnot(c, t),
+        ("cz", [], &[c, t]) => Gate::Cz(c, t),
+        ("cp", &[a], &[c, t]) | ("cu1", &[a], &[c, t]) => Gate::Cphase(c, t, a),
+        ("swap", [], &[a, b]) => Gate::Swap(a, b),
+        ("ccx", [], &[a, b, t]) => Gate::Toffoli(a, b, t),
+        // qelib1 generic rotations, ZYZ-decomposed (equal up to global
+        // phase): u3(θ,φ,λ) = Rz(φ)·Ry(θ)·Rz(λ); u2(φ,λ) = u3(π/2,φ,λ).
+        ("u3", &[theta, phi, lambda], &[q]) => {
+            return Some(vec![Gate::Rz(q, lambda), Gate::Ry(q, theta), Gate::Rz(q, phi)])
+        }
+        ("u2", &[phi, lambda], &[q]) => {
+            return Some(vec![
+                Gate::Rz(q, lambda),
+                Gate::Ry(q, std::f64::consts::FRAC_PI_2),
+                Gate::Rz(q, phi),
+            ])
+        }
+        _ => return None,
+    };
+    Some(vec![gate])
+}
+
+/// Parses `q[i]` into `i`.
+fn parse_qubit(text: &str) -> Option<usize> {
+    let rest = text.strip_prefix("q[")?;
+    let idx = rest.strip_suffix(']')?;
+    idx.parse().ok()
+}
+
+/// Parses `name[n]` (e.g. `q[5]`) into the register size.
+fn parse_reg_size(text: &str) -> Option<usize> {
+    let open = text.find('[')?;
+    let close = text.rfind(']')?;
+    text[open + 1..close].parse().ok()
+}
+
+/// Evaluates a QASM angle expression: a float, `pi`, and `* / + -`
+/// combinations thereof with standard precedence (no parentheses).
+fn eval_angle(expr: &str) -> Option<f64> {
+    // Split on +/- at top level (respecting unary minus), then * and /.
+    let expr = expr.trim();
+    if expr.is_empty() {
+        return None;
+    }
+    let mut terms: Vec<(f64, char)> = Vec::new(); // (value, sign-op)
+    let mut current = String::new();
+    let mut op = '+';
+    let chars = expr.chars().peekable();
+    let mut prev_was_operand = false;
+    for ch in chars {
+        if (ch == '+' || ch == '-') && prev_was_operand {
+            terms.push((eval_product(current.trim())?, op));
+            current = String::new();
+            op = ch;
+            prev_was_operand = false;
+        } else {
+            if !ch.is_whitespace() {
+                prev_was_operand = prev_was_operand || ch != '-' && ch != '+';
+            }
+            current.push(ch);
+        }
+    }
+    terms.push((eval_product(current.trim())?, op));
+    let mut total = 0.0;
+    for (v, o) in terms {
+        if o == '+' {
+            total += v;
+        } else {
+            total -= v;
+        }
+    }
+    Some(total)
+}
+
+fn eval_product(expr: &str) -> Option<f64> {
+    let mut value = 1.0;
+    let mut op = '*';
+    for part in split_keep_ops(expr) {
+        match part.as_str() {
+            "*" | "/" => op = part.chars().next().expect("op char"),
+            token => {
+                let v = eval_atom(token)?;
+                if op == '*' {
+                    value *= v;
+                } else {
+                    if v == 0.0 {
+                        return None;
+                    }
+                    value /= v;
+                }
+            }
+        }
+    }
+    Some(value)
+}
+
+fn split_keep_ops(expr: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    for ch in expr.chars() {
+        if ch == '*' || ch == '/' {
+            if !cur.trim().is_empty() {
+                parts.push(cur.trim().to_string());
+            }
+            parts.push(ch.to_string());
+            cur = String::new();
+        } else {
+            cur.push(ch);
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur.trim().to_string());
+    }
+    parts
+}
+
+fn eval_atom(token: &str) -> Option<f64> {
+    let token = token.trim();
+    if let Some(rest) = token.strip_prefix('-') {
+        return eval_atom(rest).map(|v| -v);
+    }
+    if token == "pi" {
+        return Some(std::f64::consts::PI);
+    }
+    token.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .unwrap()
+            .rx(1, 0.12345)
+            .unwrap()
+            .cnot(0, 1)
+            .unwrap()
+            .cz(1, 2)
+            .unwrap()
+            .cphase(0, 2, -0.5)
+            .unwrap()
+            .swap(0, 2)
+            .unwrap()
+            .toffoli(0, 1, 2)
+            .unwrap()
+            .measure(2)
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn print_contains_expected_statements() {
+        let text = print(&sample_circuit());
+        assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.contains("qreg q[3];"));
+        assert!(text.contains("rx(0.12345) q[1];"));
+        assert!(text.contains("ccx q[0],q[1],q[2];"));
+        assert!(text.contains("measure q[2] -> c[2];"));
+    }
+
+    #[test]
+    fn round_trip_preserves_gates() {
+        let c = sample_circuit();
+        let back = parse(&print(&c)).unwrap();
+        assert_eq!(back.qubit_count(), c.qubit_count());
+        assert_eq!(back.gates(), c.gates());
+    }
+
+    #[test]
+    fn parses_pi_expressions() {
+        let src = "qreg q[1]; rz(pi/2) q[0]; rx(-pi/4) q[0]; ry(2*pi) q[0]; rz(pi) q[0];";
+        let c = parse(src).unwrap();
+        let angles: Vec<f64> = c.gates().iter().filter_map(Gate::angle).collect();
+        assert!((angles[0] - PI / 2.0).abs() < 1e-12);
+        assert!((angles[1] + PI / 4.0).abs() < 1e-12);
+        assert!((angles[2] - 2.0 * PI).abs() < 1e-12);
+        assert!((angles[3] - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_sum_angles() {
+        let src = "qreg q[1]; rz(pi/2 + pi/4) q[0]; rz(1.5 - 0.5) q[0];";
+        let c = parse(src).unwrap();
+        let angles: Vec<f64> = c.gates().iter().filter_map(Gate::angle).collect();
+        assert!((angles[0] - 3.0 * PI / 4.0).abs() < 1e-12);
+        assert!((angles[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let src = "// header\nOPENQASM 2.0;\n\nqreg q[2];\nh q[0]; // do an H\ncx q[0],q[1];\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.gates(), &[Gate::H(0), Gate::Cnot(0, 1)]);
+    }
+
+    #[test]
+    fn multiple_statements_per_line() {
+        let c = parse("qreg q[2]; h q[0]; h q[1]; cx q[0],q[1];").unwrap();
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn barrier_multiple_operands() {
+        let c = parse("qreg q[2]; barrier q[0],q[1];").unwrap();
+        assert_eq!(c.gates(), &[Gate::Barrier(0), Gate::Barrier(1)]);
+    }
+
+    #[test]
+    fn u1_and_cu1_aliases() {
+        let c = parse("qreg q[2]; u1(0.5) q[0]; cu1(0.25) q[0],q[1];").unwrap();
+        assert_eq!(c.gates(), &[Gate::Rz(0, 0.5), Gate::Cphase(0, 1, 0.25)]);
+    }
+
+    #[test]
+    fn u2_u3_decompose_to_zyz() {
+        let c = parse("qreg q[1]; u3(0.3,0.2,0.1) q[0]; u2(pi,0) q[0];").unwrap();
+        assert_eq!(
+            c.gates(),
+            &[
+                Gate::Rz(0, 0.1),
+                Gate::Ry(0, 0.3),
+                Gate::Rz(0, 0.2),
+                Gate::Rz(0, 0.0),
+                Gate::Ry(0, PI / 2.0),
+                Gate::Rz(0, PI),
+            ]
+        );
+    }
+
+    #[test]
+    fn u3_wrong_arity_rejected() {
+        assert!(parse("qreg q[1]; u3(0.1,0.2) q[0];").is_err());
+        assert!(parse("qreg q[2]; u3(0.1,0.2,0.3) q[0],q[1];").is_err());
+    }
+
+    #[test]
+    fn error_on_unknown_gate() {
+        let e = parse("qreg q[1]; frobnicate q[0];").unwrap_err();
+        assert!(e.message.contains("unknown"));
+    }
+
+    #[test]
+    fn error_on_missing_qreg() {
+        assert!(parse("h q[0];").is_err());
+        assert!(parse("OPENQASM 2.0;").is_err());
+    }
+
+    #[test]
+    fn error_on_out_of_range_operand() {
+        let e = parse("qreg q[1]; cx q[0],q[3];").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn error_on_bad_angle() {
+        assert!(parse("qreg q[1]; rz(abc) q[0];").is_err());
+        assert!(parse("qreg q[1]; rz(1/0) q[0];").is_err());
+    }
+
+    #[test]
+    fn error_on_second_qreg() {
+        assert!(parse("qreg q[1]; qreg r[2];").is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! The analytic fidelity model of Fig. 3.
+//!
+//! "Circuit fidelity is calculated as product of fidelities for all one-
+//! and two-qubit gates in the circuit, based on the error-rate values
+//! taken from \[32\]." This module implements exactly that estimator on a
+//! device's *calibrated* per-element fidelities, plus an optional
+//! decoherence factor driven by the schedule makespan.
+
+use serde::{Deserialize, Serialize};
+
+use qcs_circuit::circuit::Circuit;
+use qcs_circuit::gate::Gate;
+use qcs_topology::device::Device;
+
+use crate::schedule::Schedule;
+
+/// Estimator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct FidelityModel {
+    /// Include measurement fidelities in the product.
+    pub include_measurement: bool,
+    /// Multiply by `exp(−idle_time / T2)` per qubit (needs a schedule).
+    pub include_decoherence: bool,
+}
+
+
+impl FidelityModel {
+    /// The fidelity contribution of one gate on `device`, with operands
+    /// interpreted as **physical** qubits.
+    ///
+    /// * single-qubit gate → per-qubit calibrated fidelity;
+    /// * two-qubit gate → per-coupler calibrated fidelity (device-average
+    ///   two-qubit fidelity when the operands are not coupled, which only
+    ///   happens for *unmapped* circuits);
+    /// * SWAP → cubed coupler fidelity (3 native two-qubit gates);
+    /// * Toffoli → modelled as its standard decomposition: 6 two-qubit +
+    ///   9 single-qubit gates;
+    /// * barrier → 1; measurement → per-qubit readout fidelity when
+    ///   enabled.
+    pub fn gate_fidelity(&self, gate: &Gate, device: &Device) -> f64 {
+        let cal = device.calibration();
+        let two_qubit = |a: usize, b: usize| {
+            cal.two_qubit_fidelity(a, b)
+                .unwrap_or(cal.averages.two_qubit)
+        };
+        match *gate {
+            Gate::Barrier(_) => 1.0,
+            Gate::Measure(q) => {
+                if self.include_measurement {
+                    cal.readout_fidelity(q)
+                } else {
+                    1.0
+                }
+            }
+            Gate::Swap(a, b) => two_qubit(a, b).powi(3),
+            Gate::Cnot(a, b) | Gate::Cz(a, b) | Gate::Cphase(a, b, _) => two_qubit(a, b),
+            Gate::Toffoli(a, b, t) => {
+                let pairs = two_qubit(a, t) * two_qubit(b, t) * two_qubit(a, b);
+                pairs.powi(2)
+                    * cal.single_qubit_fidelity(a).powi(3)
+                    * cal.single_qubit_fidelity(b).powi(3)
+                    * cal.single_qubit_fidelity(t).powi(3)
+            }
+            _ => {
+                let q = gate.qubits()[0];
+                cal.single_qubit_fidelity(q)
+            }
+        }
+    }
+
+    /// Estimated fidelity of running `circuit` (physical operands) on
+    /// `device`: the product of per-gate fidelities.
+    pub fn circuit_fidelity(&self, circuit: &Circuit, device: &Device) -> f64 {
+        circuit
+            .iter()
+            .map(|g| self.gate_fidelity(g, device))
+            .product()
+    }
+
+    /// As [`FidelityModel::circuit_fidelity`], additionally weighted by
+    /// decoherence over each qubit's idle time when
+    /// `include_decoherence` is set.
+    pub fn circuit_fidelity_scheduled(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        schedule: &Schedule,
+    ) -> f64 {
+        let base = self.circuit_fidelity(circuit, device);
+        if !self.include_decoherence {
+            return base;
+        }
+        let t2 = device.calibration().coherence.t2_ns.max(1.0);
+        let idle = schedule.total_idle_ns(circuit.qubit_count());
+        base * (-idle / t2).exp()
+    }
+}
+
+/// Convenience: the paper's Fig. 3 estimator (gates only).
+pub fn estimate_fidelity(circuit: &Circuit, device: &Device) -> f64 {
+    FidelityModel::default().circuit_fidelity(circuit, device)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{schedule_asap, ControlGroups};
+    use qcs_topology::error::GateDurations;
+    use qcs_topology::lattice::line_device;
+
+    #[test]
+    fn product_of_gate_fidelities() {
+        let dev = line_device(3); // defaults: 1q 0.999, 2q 0.99
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap().cnot(0, 1).unwrap().cnot(1, 2).unwrap();
+        let f = estimate_fidelity(&c, &dev);
+        let expect = 0.999 * 0.99 * 0.99;
+        assert!((f - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_counts_as_three_gates() {
+        let dev = line_device(2);
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).unwrap();
+        let f = estimate_fidelity(&c, &dev);
+        assert!((f - 0.99f64.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_toggle() {
+        let dev = line_device(1);
+        let mut c = Circuit::new(1);
+        c.measure(0).unwrap();
+        assert_eq!(estimate_fidelity(&c, &dev), 1.0);
+        let with = FidelityModel {
+            include_measurement: true,
+            include_decoherence: false,
+        };
+        assert!((with.circuit_fidelity(&c, &dev) - 0.995).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_gate_count() {
+        let dev = line_device(4);
+        let mut short = Circuit::new(4);
+        short.cnot(0, 1).unwrap();
+        let mut long = short.clone();
+        long.cnot(1, 2).unwrap().cnot(2, 3).unwrap();
+        assert!(estimate_fidelity(&long, &dev) < estimate_fidelity(&short, &dev));
+    }
+
+    #[test]
+    fn per_edge_calibration_matters() {
+        let mut dev = line_device(3);
+        dev.calibration_mut().set_two_qubit_fidelity(0, 1, 0.5);
+        let mut on_bad = Circuit::new(3);
+        on_bad.cnot(0, 1).unwrap();
+        let mut on_good = Circuit::new(3);
+        on_good.cnot(1, 2).unwrap();
+        assert!(estimate_fidelity(&on_bad, &dev) < estimate_fidelity(&on_good, &dev));
+    }
+
+    #[test]
+    fn toffoli_costs_its_decomposition() {
+        let dev = line_device(3);
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2).unwrap();
+        let f = estimate_fidelity(&c, &dev);
+        let expect = (0.99f64.powi(3)).powi(2) * 0.999f64.powi(9);
+        assert!((f - expect).abs() < 1e-12);
+        assert!(f < 0.99f64.powi(3), "toffoli worse than a swap");
+    }
+
+    #[test]
+    fn decoherence_penalizes_idle_schedules() {
+        let dev = line_device(3);
+        // Qubit 2 idles while 0 and 1 run a long chain.
+        let mut c = Circuit::new(3);
+        c.h(2).unwrap();
+        for _ in 0..20 {
+            c.cnot(0, 1).unwrap();
+        }
+        c.cnot(1, 2).unwrap();
+        let sched = schedule_asap(&c, &GateDurations::default(), &ControlGroups::unconstrained());
+        let plain = FidelityModel::default();
+        let decoh = FidelityModel {
+            include_measurement: false,
+            include_decoherence: true,
+        };
+        let f_plain = plain.circuit_fidelity_scheduled(&c, &dev, &sched);
+        let f_decoh = decoh.circuit_fidelity_scheduled(&c, &dev, &sched);
+        assert!(f_decoh < f_plain);
+        assert_eq!(f_plain, plain.circuit_fidelity(&c, &dev));
+    }
+
+    #[test]
+    fn barrier_free() {
+        let dev = line_device(2);
+        let mut c = Circuit::new(2);
+        c.barrier_all();
+        assert_eq!(estimate_fidelity(&c, &dev), 1.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! The virtual↔physical qubit assignment evolved during routing.
+
+use serde::{Deserialize, Serialize};
+
+/// Error raised when constructing an invalid layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A virtual qubit mapped outside the device.
+    PhysicalOutOfRange {
+        /// Virtual qubit.
+        virt: usize,
+        /// Offending physical index.
+        phys: usize,
+        /// Device size.
+        device: usize,
+    },
+    /// Two virtual qubits mapped to the same physical qubit.
+    Collision {
+        /// The physical qubit claimed twice.
+        phys: usize,
+    },
+    /// More virtual than physical qubits.
+    TooManyVirtual {
+        /// Virtual count.
+        virt: usize,
+        /// Physical count.
+        phys: usize,
+    },
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::PhysicalOutOfRange { virt, phys, device } => write!(
+                f,
+                "virtual qubit {virt} mapped to physical {phys}, device has {device}"
+            ),
+            LayoutError::Collision { phys } => {
+                write!(f, "two virtual qubits mapped to physical qubit {phys}")
+            }
+            LayoutError::TooManyVirtual { virt, phys } => {
+                write!(f, "{virt} virtual qubits exceed {phys} physical qubits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// A (partial) bijection from virtual qubits `0..v` to physical qubits
+/// `0..p` with `v ≤ p`.
+///
+/// Routing mutates the layout with [`Layout::swap_physical`] every time a
+/// SWAP gate is inserted; the initial and final layouts together define
+/// the permutation contract that `qcs-sim`'s `mapped_equivalent` verifies.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_core::Layout;
+///
+/// let mut l = Layout::identity(2, 4);
+/// assert_eq!(l.phys_of(1), 1);
+/// l.swap_physical(1, 3); // SWAP inserted on couplers (1, 3)
+/// assert_eq!(l.phys_of(1), 3);
+/// assert_eq!(l.virt_at(1), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout {
+    virt_to_phys: Vec<usize>,
+    phys_to_virt: Vec<Option<usize>>,
+}
+
+impl Layout {
+    /// The identity layout: virtual `i` on physical `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `virtual_count > physical_count`.
+    pub fn identity(virtual_count: usize, physical_count: usize) -> Self {
+        assert!(
+            virtual_count <= physical_count,
+            "{virtual_count} virtual qubits exceed {physical_count} physical"
+        );
+        let virt_to_phys: Vec<usize> = (0..virtual_count).collect();
+        let mut phys_to_virt = vec![None; physical_count];
+        for (v, &p) in virt_to_phys.iter().enumerate() {
+            phys_to_virt[p] = Some(v);
+        }
+        Layout {
+            virt_to_phys,
+            phys_to_virt,
+        }
+    }
+
+    /// Builds a layout from an explicit assignment `virt_to_phys[v] = p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] on out-of-range targets, collisions, or
+    /// more virtual than physical qubits.
+    pub fn from_assignment(
+        virt_to_phys: Vec<usize>,
+        physical_count: usize,
+    ) -> Result<Self, LayoutError> {
+        if virt_to_phys.len() > physical_count {
+            return Err(LayoutError::TooManyVirtual {
+                virt: virt_to_phys.len(),
+                phys: physical_count,
+            });
+        }
+        let mut phys_to_virt = vec![None; physical_count];
+        for (v, &p) in virt_to_phys.iter().enumerate() {
+            if p >= physical_count {
+                return Err(LayoutError::PhysicalOutOfRange {
+                    virt: v,
+                    phys: p,
+                    device: physical_count,
+                });
+            }
+            if phys_to_virt[p].is_some() {
+                return Err(LayoutError::Collision { phys: p });
+            }
+            phys_to_virt[p] = Some(v);
+        }
+        Ok(Layout {
+            virt_to_phys,
+            phys_to_virt,
+        })
+    }
+
+    /// Number of placed virtual qubits.
+    pub fn virtual_count(&self) -> usize {
+        self.virt_to_phys.len()
+    }
+
+    /// Number of physical qubits.
+    pub fn physical_count(&self) -> usize {
+        self.phys_to_virt.len()
+    }
+
+    /// Physical home of virtual qubit `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn phys_of(&self, v: usize) -> usize {
+        self.virt_to_phys[v]
+    }
+
+    /// Virtual occupant of physical qubit `p` (`None` if free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn virt_at(&self, p: usize) -> Option<usize> {
+        self.phys_to_virt[p]
+    }
+
+    /// The full virtual→physical assignment.
+    pub fn as_assignment(&self) -> &[usize] {
+        &self.virt_to_phys
+    }
+
+    /// Exchanges the occupants of two physical qubits (either or both may
+    /// be empty) — the layout effect of inserting a SWAP gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or they coincide.
+    pub fn swap_physical(&mut self, p1: usize, p2: usize) {
+        assert!(p1 != p2, "cannot swap a physical qubit with itself");
+        let v1 = self.phys_to_virt[p1];
+        let v2 = self.phys_to_virt[p2];
+        self.phys_to_virt[p1] = v2;
+        self.phys_to_virt[p2] = v1;
+        if let Some(v) = v1 {
+            self.virt_to_phys[v] = p2;
+        }
+        if let Some(v) = v2 {
+            self.virt_to_phys[v] = p1;
+        }
+    }
+
+    /// Verifies internal consistency (both directions agree); used by
+    /// property tests.
+    pub fn is_consistent(&self) -> bool {
+        self.virt_to_phys
+            .iter()
+            .enumerate()
+            .all(|(v, &p)| p < self.phys_to_virt.len() && self.phys_to_virt[p] == Some(v))
+            && self
+                .phys_to_virt
+                .iter()
+                .enumerate()
+                .all(|(p, occ)| occ.is_none_or(|v| self.virt_to_phys.get(v) == Some(&p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_layout() {
+        let l = Layout::identity(3, 5);
+        assert_eq!(l.virtual_count(), 3);
+        assert_eq!(l.physical_count(), 5);
+        assert_eq!(l.phys_of(2), 2);
+        assert_eq!(l.virt_at(2), Some(2));
+        assert_eq!(l.virt_at(4), None);
+        assert!(l.is_consistent());
+    }
+
+    #[test]
+    fn from_assignment_valid() {
+        let l = Layout::from_assignment(vec![3, 0, 2], 4).unwrap();
+        assert_eq!(l.phys_of(0), 3);
+        assert_eq!(l.virt_at(3), Some(0));
+        assert_eq!(l.virt_at(1), None);
+        assert!(l.is_consistent());
+    }
+
+    #[test]
+    fn from_assignment_rejects_collision() {
+        assert_eq!(
+            Layout::from_assignment(vec![1, 1], 3).unwrap_err(),
+            LayoutError::Collision { phys: 1 }
+        );
+    }
+
+    #[test]
+    fn from_assignment_rejects_out_of_range() {
+        assert!(matches!(
+            Layout::from_assignment(vec![0, 7], 3).unwrap_err(),
+            LayoutError::PhysicalOutOfRange { virt: 1, phys: 7, device: 3 }
+        ));
+    }
+
+    #[test]
+    fn from_assignment_rejects_overflow() {
+        assert!(matches!(
+            Layout::from_assignment(vec![0, 1, 2], 2).unwrap_err(),
+            LayoutError::TooManyVirtual { virt: 3, phys: 2 }
+        ));
+    }
+
+    #[test]
+    fn swap_occupied_pair() {
+        let mut l = Layout::identity(2, 3);
+        l.swap_physical(0, 1);
+        assert_eq!(l.phys_of(0), 1);
+        assert_eq!(l.phys_of(1), 0);
+        assert!(l.is_consistent());
+    }
+
+    #[test]
+    fn swap_with_empty_slot() {
+        let mut l = Layout::identity(2, 4);
+        l.swap_physical(1, 3);
+        assert_eq!(l.phys_of(1), 3);
+        assert_eq!(l.virt_at(1), None);
+        assert_eq!(l.virt_at(3), Some(1));
+        assert!(l.is_consistent());
+    }
+
+    #[test]
+    fn swap_two_empty_slots() {
+        let mut l = Layout::identity(1, 3);
+        l.swap_physical(1, 2);
+        assert_eq!(l.phys_of(0), 0);
+        assert!(l.is_consistent());
+    }
+
+    #[test]
+    fn swaps_compose_to_permutation() {
+        let mut l = Layout::identity(4, 4);
+        l.swap_physical(0, 1);
+        l.swap_physical(1, 2);
+        l.swap_physical(2, 3);
+        // Virtual 0 walked to physical 3.
+        assert_eq!(l.phys_of(0), 3);
+        assert!(l.is_consistent());
+    }
+
+    #[test]
+    #[should_panic(expected = "with itself")]
+    fn swap_same_qubit_panics() {
+        let mut l = Layout::identity(2, 2);
+        l.swap_physical(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn identity_rejects_too_many_virtual() {
+        let _ = Layout::identity(5, 3);
+    }
+}

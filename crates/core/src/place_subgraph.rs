@@ -1,0 +1,329 @@
+//! Subgraph-isomorphism placement (the approach of the paper's refs
+//! \[41\] Jiang et al. and \[42\] Li et al.: "qubit mapping based on subgraph
+//! isomorphism").
+//!
+//! If the circuit's interaction graph is (edge-)isomorphic to a subgraph
+//! of the coupling graph, a matching embedding executes *every* two-qubit
+//! gate without routing. [`SubgraphPlacer`] runs a VF2-style backtracking
+//! search for such an embedding (most-constrained-first variable order,
+//! degree and adjacency pruning, step budget); when no embedding exists
+//! or the budget is exhausted it falls back to the greedy
+//! [`GraphSimilarityPlacer`].
+//!
+//! [`GraphSimilarityPlacer`]: crate::place::GraphSimilarityPlacer
+
+use qcs_circuit::circuit::Circuit;
+use qcs_circuit::interaction::interaction_graph;
+use qcs_graph::Graph;
+use qcs_topology::device::Device;
+
+use crate::layout::Layout;
+use crate::place::{GraphSimilarityPlacer, PlaceError, Placer};
+
+/// Exact-embedding placer with greedy fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubgraphPlacer {
+    /// Maximum number of backtracking steps before falling back
+    /// (default 200 000).
+    pub step_budget: usize,
+}
+
+impl Default for SubgraphPlacer {
+    fn default() -> Self {
+        SubgraphPlacer {
+            step_budget: 200_000,
+        }
+    }
+}
+
+/// Outcome of an embedding attempt (exposed for diagnostics/tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmbeddingOutcome {
+    /// A perfect embedding was found: every interacting pair is adjacent.
+    Exact(Vec<usize>),
+    /// No embedding exists (search space exhausted).
+    NoEmbedding,
+    /// The step budget ran out before the search finished.
+    BudgetExhausted,
+}
+
+impl SubgraphPlacer {
+    /// Searches for a monomorphism of `pattern` (the interaction graph,
+    /// edges only — weights are irrelevant for embeddability) into
+    /// `host` (the coupling graph). Returns the assignment
+    /// `pattern node → host node` when found.
+    ///
+    /// Isolated pattern nodes are placed greedily on the leftover host
+    /// nodes afterwards, so the search only works on interacting qubits.
+    pub fn find_embedding(&self, pattern: &Graph, host: &Graph) -> EmbeddingOutcome {
+        let n = pattern.node_count();
+        let m = host.node_count();
+        if n > m {
+            return EmbeddingOutcome::NoEmbedding;
+        }
+
+        // Variable order: interacting nodes, most-constrained (highest
+        // degree) first, then BFS-ish around already-ordered nodes so each
+        // new node has placed neighbours to prune against.
+        let mut order: Vec<usize> = Vec::new();
+        let mut chosen = vec![false; n];
+        let interacting: Vec<usize> = (0..n).filter(|&v| pattern.degree(v) > 0).collect();
+        for _ in 0..interacting.len() {
+            let next = interacting
+                .iter()
+                .copied()
+                .filter(|&v| !chosen[v])
+                .max_by_key(|&v| {
+                    let anchored = pattern
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&u| chosen[u])
+                        .count();
+                    (anchored, pattern.degree(v), usize::MAX - v)
+                })
+                .expect("interacting node remains");
+            chosen[next] = true;
+            order.push(next);
+        }
+
+        let mut assignment = vec![usize::MAX; n];
+        let mut used = vec![false; m];
+        let mut steps = 0usize;
+        let ok = self.backtrack(
+            pattern,
+            host,
+            &order,
+            0,
+            &mut assignment,
+            &mut used,
+            &mut steps,
+        );
+        match ok {
+            Some(true) => {
+                // Place isolated pattern nodes on any free host nodes.
+                let mut free = (0..m).filter(|&p| !used[p]);
+                for slot in assignment.iter_mut() {
+                    if *slot == usize::MAX {
+                        *slot = free.next().expect("n <= m leaves room");
+                    }
+                }
+                EmbeddingOutcome::Exact(assignment)
+            }
+            Some(false) => EmbeddingOutcome::NoEmbedding,
+            None => EmbeddingOutcome::BudgetExhausted,
+        }
+    }
+
+    /// Returns `Some(found)` on a finished search, `None` on budget
+    /// exhaustion.
+    #[allow(clippy::too_many_arguments)]
+    fn backtrack(
+        &self,
+        pattern: &Graph,
+        host: &Graph,
+        order: &[usize],
+        depth: usize,
+        assignment: &mut [usize],
+        used: &mut [bool],
+        steps: &mut usize,
+    ) -> Option<bool> {
+        if depth == order.len() {
+            return Some(true);
+        }
+        let v = order[depth];
+        let placed_nbrs: Vec<usize> = pattern
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| assignment[u] != usize::MAX)
+            .collect();
+
+        // Candidate hosts: adjacent to every placed neighbour's image
+        // (or all free hosts when v is the component anchor).
+        let candidates: Vec<usize> = if let Some(&first) = placed_nbrs.first() {
+            host.neighbors(assignment[first])
+                .iter()
+                .copied()
+                .filter(|&p| !used[p])
+                .filter(|&p| {
+                    placed_nbrs
+                        .iter()
+                        .all(|&u| host.has_edge(p, assignment[u]))
+                })
+                .collect()
+        } else {
+            (0..host.node_count()).filter(|&p| !used[p]).collect()
+        };
+
+        for p in candidates {
+            *steps += 1;
+            if *steps > self.step_budget {
+                return None;
+            }
+            if host.degree(p) < pattern.degree(v) {
+                continue; // degree pruning
+            }
+            assignment[v] = p;
+            used[p] = true;
+            match self.backtrack(pattern, host, order, depth + 1, assignment, used, steps) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => return None,
+            }
+            assignment[v] = usize::MAX;
+            used[p] = false;
+        }
+        Some(false)
+    }
+}
+
+impl Placer for SubgraphPlacer {
+    fn place(&self, circuit: &Circuit, device: &Device) -> Result<Layout, PlaceError> {
+        if circuit.qubit_count() > device.qubit_count() {
+            return Err(PlaceError::CircuitTooWide {
+                circuit: circuit.qubit_count(),
+                device: device.qubit_count(),
+            });
+        }
+        let pattern = interaction_graph(circuit);
+        match self.find_embedding(&pattern, device.coupling()) {
+            EmbeddingOutcome::Exact(assignment) => {
+                Ok(Layout::from_assignment(assignment, device.qubit_count())
+                    .expect("embedding is a valid partial injection"))
+            }
+            EmbeddingOutcome::NoEmbedding | EmbeddingOutcome::BudgetExhausted => {
+                GraphSimilarityPlacer.place(circuit, device)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "subgraph"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_graph::generate;
+    use qcs_topology::lattice::{grid_device, line_device, ring_device};
+    use qcs_topology::surface::surface17;
+
+    fn chain_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        for q in 1..n {
+            c.cnot(q - 1, q).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn embeds_path_into_line_exactly() {
+        let c = chain_circuit(5);
+        let dev = line_device(5);
+        let layout = SubgraphPlacer::default().place(&c, &dev).unwrap();
+        for q in 1..5 {
+            assert!(dev.are_adjacent(layout.phys_of(q - 1), layout.phys_of(q)));
+        }
+    }
+
+    #[test]
+    fn embeds_ring_into_grid() {
+        // A 4-cycle embeds into a 2×2 grid face.
+        let mut c = Circuit::new(4);
+        c.cnot(0, 1).unwrap().cnot(1, 2).unwrap().cnot(2, 3).unwrap().cnot(3, 0).unwrap();
+        let dev = grid_device(3, 3);
+        let layout = SubgraphPlacer::default().place(&c, &dev).unwrap();
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            assert!(
+                dev.are_adjacent(layout.phys_of(a), layout.phys_of(b)),
+                "edge ({a},{b}) not adjacent"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_impossible_embedding() {
+        // A 5-star cannot embed into a ring (max degree 2).
+        let placer = SubgraphPlacer::default();
+        let star = generate::star_graph(5);
+        let ring = generate::ring_graph(8);
+        assert_eq!(placer.find_embedding(&star, &ring), EmbeddingOutcome::NoEmbedding);
+    }
+
+    #[test]
+    fn falls_back_gracefully_when_no_embedding() {
+        // Star circuit on a ring device: fallback to greedy still yields a
+        // valid layout.
+        let mut c = Circuit::new(5);
+        for q in 1..5 {
+            c.cnot(0, q).unwrap();
+        }
+        let dev = ring_device(6);
+        let layout = SubgraphPlacer::default().place(&c, &dev).unwrap();
+        assert!(layout.is_consistent());
+        assert_eq!(layout.virtual_count(), 5);
+    }
+
+    #[test]
+    fn triangle_rejected_by_bipartite_host() {
+        // Grids are bipartite: no triangle embeds.
+        let placer = SubgraphPlacer::default();
+        let triangle = generate::complete_graph(3);
+        let grid = generate::grid_graph(4, 4);
+        assert_eq!(
+            placer.find_embedding(&triangle, &grid),
+            EmbeddingOutcome::NoEmbedding
+        );
+    }
+
+    #[test]
+    fn isolated_qubits_get_homes() {
+        let mut c = Circuit::new(5);
+        c.cnot(0, 1).unwrap(); // qubits 2..4 idle
+        let dev = line_device(6);
+        let layout = SubgraphPlacer::default().place(&c, &dev).unwrap();
+        assert!(layout.is_consistent());
+        assert!(dev.are_adjacent(layout.phys_of(0), layout.phys_of(1)));
+    }
+
+    #[test]
+    fn budget_exhaustion_falls_back() {
+        let placer = SubgraphPlacer { step_budget: 1 };
+        let c = chain_circuit(6);
+        let dev = surface17();
+        // Either embeds within 1 step (impossible) or falls back; both
+        // paths must produce a valid layout.
+        let layout = placer.place(&c, &dev).unwrap();
+        assert!(layout.is_consistent());
+    }
+
+    #[test]
+    fn mapping_with_subgraph_placer_eliminates_swaps_on_embeddable() {
+        use crate::mapper::Mapper;
+        use crate::route::LookaheadRouter;
+        let c = chain_circuit(8);
+        let dev = surface17();
+        let mapper = Mapper::new(
+            Box::new(SubgraphPlacer::default()),
+            Box::new(LookaheadRouter::default()),
+        );
+        let outcome = mapper.map(&c, &dev).unwrap();
+        assert_eq!(
+            outcome.report.swaps_inserted, 0,
+            "an embeddable chain must route swap-free"
+        );
+    }
+
+    #[test]
+    fn too_wide_errors() {
+        let c = chain_circuit(20);
+        let dev = line_device(5);
+        assert!(SubgraphPlacer::default().place(&c, &dev).is_err());
+    }
+
+    #[test]
+    fn placer_name() {
+        assert_eq!(SubgraphPlacer::default().name(), "subgraph");
+    }
+}

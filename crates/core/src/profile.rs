@@ -1,0 +1,236 @@
+//! Interaction-graph profiling of quantum circuits (Section IV).
+//!
+//! "We will broaden the scope of algorithm characterization by
+//! introducing interaction-graph-based profiling." A [`CircuitProfile`]
+//! couples the three classical size parameters with the Table I graph
+//! metric vector; over a benchmark suite the module reproduces the
+//! paper's analysis steps: the Pearson correlation matrix over metrics,
+//! the pruning of codependent metrics, and k-means clustering of
+//! algorithms by profile.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qcs_circuit::circuit::{Circuit, CircuitStats};
+use qcs_circuit::interaction::interaction_graph;
+use qcs_graph::cluster::{kmeans, Clustering};
+use qcs_graph::metrics::GraphMetrics;
+use qcs_graph::stats::{correlation_matrix, select_uncorrelated};
+
+/// A circuit's full characterization record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitProfile {
+    /// Circuit name.
+    pub name: String,
+    /// The classical size parameters (qubits, gates, 2q %, depth).
+    pub stats: CircuitStats,
+    /// The Table I interaction-graph metric vector.
+    pub metrics: GraphMetrics,
+}
+
+impl CircuitProfile {
+    /// Profiles one circuit.
+    pub fn of(circuit: &Circuit) -> Self {
+        CircuitProfile {
+            name: circuit.name().to_string(),
+            stats: circuit.stats(),
+            metrics: GraphMetrics::compute(&interaction_graph(circuit)),
+        }
+    }
+
+    /// The combined feature vector: classical parameters followed by the
+    /// graph metrics (aligned with [`CircuitProfile::feature_names`]).
+    pub fn feature_vec(&self) -> Vec<f64> {
+        let mut v = vec![
+            self.stats.qubits as f64,
+            self.stats.gates as f64,
+            self.stats.two_qubit_fraction,
+            self.stats.depth as f64,
+        ];
+        v.extend(self.metrics.to_vec());
+        v
+    }
+
+    /// Names aligned with [`CircuitProfile::feature_vec`].
+    pub fn feature_names() -> Vec<&'static str> {
+        let mut names = vec!["qubits", "gates", "two_qubit_fraction", "depth"];
+        names.extend(GraphMetrics::names());
+        names
+    }
+}
+
+/// The Pearson correlation matrix over the profiles' feature vectors
+/// (rows/columns aligned with [`CircuitProfile::feature_names`]).
+pub fn profile_correlation(profiles: &[CircuitProfile]) -> Vec<Vec<f64>> {
+    let samples: Vec<Vec<f64>> = profiles.iter().map(CircuitProfile::feature_vec).collect();
+    correlation_matrix(&samples)
+}
+
+/// The paper's metric-pruning step: greedily keeps features whose
+/// pairwise |Pearson| stays below `threshold`, returning the retained
+/// feature names.
+pub fn prune_codependent_metrics(
+    profiles: &[CircuitProfile],
+    threshold: f64,
+) -> Vec<&'static str> {
+    let corr = profile_correlation(profiles);
+    let names = CircuitProfile::feature_names();
+    select_uncorrelated(&corr, threshold)
+        .into_iter()
+        .map(|i| names[i])
+        .collect()
+}
+
+/// Clusters profiles into `k` groups by their feature vectors
+/// ("algorithms with similar properties ought to show similar
+/// performance").
+///
+/// # Panics
+///
+/// Panics if `profiles` is empty or `k` exceeds the profile count.
+pub fn cluster_profiles<R: Rng>(
+    profiles: &[CircuitProfile],
+    k: usize,
+    rng: &mut R,
+) -> Clustering {
+    let samples: Vec<Vec<f64>> = profiles.iter().map(CircuitProfile::feature_vec).collect();
+    kmeans_restarts(&samples, k, rng)
+}
+
+/// Runs k-means several times and keeps the lowest-inertia clustering
+/// (k-means is seeding-sensitive; restarts make the result robust).
+fn kmeans_restarts<R: Rng>(samples: &[Vec<f64>], k: usize, rng: &mut R) -> Clustering {
+    const RESTARTS: usize = 10;
+    let mut best: Option<Clustering> = None;
+    for _ in 0..RESTARTS {
+        let c = kmeans(samples, k, 200, rng);
+        if best.as_ref().is_none_or(|b| c.inertia < b.inertia) {
+            best = Some(c);
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+/// Clusters on the pruned Table I subset only (avg. shortest path,
+/// max/min degree, adjacency std. dev.) — the paper's proposal.
+///
+/// # Panics
+///
+/// Panics if `profiles` is empty or `k` exceeds the profile count.
+pub fn cluster_profiles_selected<R: Rng>(
+    profiles: &[CircuitProfile],
+    k: usize,
+    rng: &mut R,
+) -> Clustering {
+    let samples: Vec<Vec<f64>> = profiles
+        .iter()
+        .map(|p| p.metrics.selected_vec())
+        .collect();
+    kmeans_restarts(&samples, k, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn qft_profile(n: usize) -> CircuitProfile {
+        CircuitProfile::of(&qcs_workloads::qft::qft(n).unwrap())
+    }
+
+    fn ghz_profile(n: usize) -> CircuitProfile {
+        CircuitProfile::of(&qcs_workloads::ghz::ghz_chain(n).unwrap())
+    }
+
+    #[test]
+    fn profile_captures_both_views() {
+        let p = qft_profile(6);
+        assert_eq!(p.stats.qubits, 6);
+        assert_eq!(p.metrics.density, 1.0); // QFT: complete interaction graph
+        assert_eq!(
+            p.feature_vec().len(),
+            CircuitProfile::feature_names().len()
+        );
+    }
+
+    #[test]
+    fn fig4_contrast_same_params_different_graphs() {
+        // The paper's Fig. 4: a QAOA circuit and a random circuit with
+        // identical size parameters have very different graph metrics.
+        let qaoa = qcs_workloads::qaoa::fig4_qaoa(1).unwrap();
+        let s = qaoa.stats();
+        let random = qcs_workloads::random::random_like(
+            s.qubits,
+            s.gates,
+            s.two_qubit_fraction,
+            99,
+        )
+        .unwrap();
+        let pq = CircuitProfile::of(&qaoa);
+        let pr = CircuitProfile::of(&random);
+        // Same classical parameters…
+        assert_eq!(pq.stats.qubits, pr.stats.qubits);
+        assert_eq!(pq.stats.gates, pr.stats.gates);
+        assert!((pq.stats.two_qubit_fraction - pr.stats.two_qubit_fraction).abs() < 0.01);
+        // …different structure: the random graph is denser with higher
+        // max degree (paper: "more complex with full-connectivity").
+        assert!(pr.metrics.density > pq.metrics.density);
+        assert!(pr.metrics.max_degree > pq.metrics.max_degree);
+    }
+
+    #[test]
+    fn correlation_matrix_dimensions() {
+        let profiles: Vec<CircuitProfile> = (3..10).map(qft_profile).collect();
+        let corr = profile_correlation(&profiles);
+        let k = CircuitProfile::feature_names().len();
+        assert_eq!(corr.len(), k);
+        assert!((corr[0][0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruning_reduces_feature_count() {
+        let mut profiles: Vec<CircuitProfile> = (3..14).map(qft_profile).collect();
+        profiles.extend((3..14).map(ghz_profile));
+        let kept = prune_codependent_metrics(&profiles, 0.95);
+        assert!(!kept.is_empty());
+        assert!(kept.len() < CircuitProfile::feature_names().len());
+        // The first feature always survives the greedy pass.
+        assert_eq!(kept[0], "qubits");
+    }
+
+    #[test]
+    fn clustering_separates_families() {
+        // QFTs (dense) vs GHZ chains (sparse): two clear clusters on the
+        // selected metric subset. A narrow size band keeps within-family
+        // variance below the family gap.
+        let mut profiles: Vec<CircuitProfile> = (8..14).map(qft_profile).collect();
+        let split = profiles.len();
+        profiles.extend((8..14).map(ghz_profile));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let clustering = cluster_profiles_selected(&profiles, 2, &mut rng);
+        let qft_cluster = clustering.assignments[0];
+        assert!(
+            clustering.assignments[..split]
+                .iter()
+                .all(|&a| a == qft_cluster),
+            "QFT family split across clusters: {:?}",
+            clustering.assignments
+        );
+        assert!(
+            clustering.assignments[split..]
+                .iter()
+                .all(|&a| a != qft_cluster),
+            "GHZ family merged into QFT cluster: {:?}",
+            clustering.assignments
+        );
+    }
+
+    #[test]
+    fn full_feature_clustering_runs() {
+        let profiles: Vec<CircuitProfile> = (3..9).map(qft_profile).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let c = cluster_profiles(&profiles, 2, &mut rng);
+        assert_eq!(c.assignments.len(), profiles.len());
+    }
+}

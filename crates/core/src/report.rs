@@ -1,0 +1,138 @@
+//! Serializable experiment records for the figure harnesses.
+//!
+//! Each benchmark mapped in an experiment yields one [`MappingRecord`]
+//! joining provenance (family, synthetic flag), the circuit's profile and
+//! the mapping report — everything Figs. 3 and 5 plot.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mapper::MapReport;
+use crate::profile::CircuitProfile;
+
+/// One row of an experiment's raw data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingRecord {
+    /// Benchmark name.
+    pub name: String,
+    /// Workload family label (e.g. "qaoa", "random").
+    pub family: String,
+    /// Whether the paper would plot it as synthetic (square) or real
+    /// (circle).
+    pub synthetic: bool,
+    /// The circuit's profile (size parameters + graph metrics).
+    pub profile: CircuitProfile,
+    /// The mapping figures of merit.
+    pub report: MapReport,
+}
+
+impl MappingRecord {
+    /// Serializes a batch of records as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` errors (effectively unreachable for these
+    /// plain data types).
+    pub fn to_json(records: &[MappingRecord]) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(records)
+    }
+
+    /// Parses a batch of records from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<Vec<MappingRecord>, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Summary statistics over a set of records (one plotted series).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSummary {
+    /// Number of records.
+    pub count: usize,
+    /// Mean gate overhead (%).
+    pub mean_gate_overhead_pct: f64,
+    /// Mean fidelity decrease (%).
+    pub mean_fidelity_decrease_pct: f64,
+    /// Mean SWAPs inserted.
+    pub mean_swaps: f64,
+}
+
+impl SeriesSummary {
+    /// Aggregates records into a summary (zeros when empty).
+    pub fn of(records: &[&MappingRecord]) -> Self {
+        let n = records.len();
+        if n == 0 {
+            return SeriesSummary {
+                count: 0,
+                mean_gate_overhead_pct: 0.0,
+                mean_fidelity_decrease_pct: 0.0,
+                mean_swaps: 0.0,
+            };
+        }
+        let nf = n as f64;
+        SeriesSummary {
+            count: n,
+            mean_gate_overhead_pct: records
+                .iter()
+                .map(|r| r.report.gate_overhead_pct)
+                .sum::<f64>()
+                / nf,
+            mean_fidelity_decrease_pct: records
+                .iter()
+                .map(|r| r.report.fidelity_decrease_pct)
+                .sum::<f64>()
+                / nf,
+            mean_swaps: records
+                .iter()
+                .map(|r| r.report.swaps_inserted as f64)
+                .sum::<f64>()
+                / nf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::Mapper;
+    use qcs_topology::surface::surface17;
+
+    fn sample_record(name: &str, synthetic: bool) -> MappingRecord {
+        let c = qcs_workloads::qft::qft(5).unwrap();
+        let outcome = Mapper::trivial().map(&c, &surface17()).unwrap();
+        MappingRecord {
+            name: name.to_string(),
+            family: "qft".to_string(),
+            synthetic,
+            profile: CircuitProfile::of(&c),
+            report: outcome.report,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let records = vec![sample_record("a", false), sample_record("b", true)];
+        let json = MappingRecord::to_json(&records).unwrap();
+        let back = MappingRecord::from_json(&json).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let records = [sample_record("a", false), sample_record("b", false)];
+        let refs: Vec<&MappingRecord> = records.iter().collect();
+        let s = SeriesSummary::of(&refs);
+        assert_eq!(s.count, 2);
+        assert!(s.mean_gate_overhead_pct >= 0.0);
+        assert_eq!(s.mean_swaps, records[0].report.swaps_inserted as f64);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = SeriesSummary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_swaps, 0.0);
+    }
+}

@@ -1,0 +1,699 @@
+//! Routing: SWAP insertion to satisfy nearest-neighbour constraints.
+//!
+//! Mapping step 4 (Section III): "Routing or exchanging positions of
+//! virtual qubits on the chip such that all qubits that need to interact
+//! during circuit execution are adjacent … by inserting additional
+//! quantum gates called SWAPs."
+//!
+//! Four routers, spanning the design space of the paper's refs \[35\]–\[42\]:
+//!
+//! * [`TrivialRouter`] — the OpenQL-style baseline used in Figs. 3/5:
+//!   walk each blocked two-qubit gate's first operand along a shortest
+//!   path until adjacent.
+//! * [`BidirectionalRouter`] — same SWAP count, but both operands move
+//!   toward the middle of the path, halving the inserted depth.
+//! * [`LookaheadRouter`] — SABRE-style heuristic: maintains the DAG front
+//!   layer and greedily picks the SWAP minimizing summed distances over
+//!   the front layer plus a discounted extended set.
+//! * [`NoiseAwareRouter`] — hardware-aware routing over calibrated error
+//!   rates: the SWAP chain minimizes accumulated `−ln(fidelity)` instead
+//!   of hop count, detouring around bad couplers.
+
+use qcs_circuit::circuit::Circuit;
+use qcs_circuit::dag::{DependencyDag, FrontLayer};
+use qcs_circuit::gate::{Gate, GateKind};
+use qcs_graph::paths::shortest_path;
+use qcs_topology::device::Device;
+
+use crate::layout::Layout;
+
+/// Error raised during routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// A gate with more than two operands reached the router; decompose
+    /// the circuit first.
+    NonPrimitiveGate {
+        /// Offending gate kind.
+        kind: GateKind,
+        /// Gate index in the input circuit.
+        index: usize,
+    },
+    /// The layout does not match the circuit/device widths.
+    LayoutMismatch,
+    /// The router failed to make progress (internal heuristic livelock).
+    Unroutable {
+        /// Number of gates successfully routed before the stall.
+        routed: usize,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::NonPrimitiveGate { kind, index } => {
+                write!(f, "gate '{kind}' at index {index} has arity > 2; decompose first")
+            }
+            RouteError::LayoutMismatch => write!(f, "layout does not match circuit/device"),
+            RouteError::Unroutable { routed } => {
+                write!(f, "router stalled after routing {routed} gates")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A routed circuit: physical operands, device width, SWAPs inserted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedCircuit {
+    /// The physical circuit (operands are physical qubits; width equals
+    /// the device's qubit count).
+    pub circuit: Circuit,
+    /// Layout before the first gate.
+    pub initial: Layout,
+    /// Layout after the last gate.
+    pub final_layout: Layout,
+    /// Number of SWAP gates inserted.
+    pub swaps_inserted: usize,
+}
+
+impl RoutedCircuit {
+    /// Checks that every two-qubit gate acts on coupled physical qubits.
+    pub fn respects_connectivity(&self, device: &Device) -> bool {
+        self.circuit.gates().iter().all(|g| {
+            let qs = g.qubits();
+            qs.len() < 2 || device.are_adjacent(qs[0], qs[1])
+        })
+    }
+}
+
+/// A routing strategy.
+pub trait Router {
+    /// Routes `circuit` on `device` starting from `initial`.
+    ///
+    /// The input circuit must contain only gates of arity ≤ 2 (run
+    /// decomposition first for Toffolis).
+    ///
+    /// # Errors
+    ///
+    /// See [`RouteError`].
+    fn route(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        initial: Layout,
+    ) -> Result<RoutedCircuit, RouteError>;
+
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn check_inputs(circuit: &Circuit, device: &Device, initial: &Layout) -> Result<(), RouteError> {
+    if initial.virtual_count() != circuit.qubit_count()
+        || initial.physical_count() != device.qubit_count()
+    {
+        return Err(RouteError::LayoutMismatch);
+    }
+    for (i, g) in circuit.iter().enumerate() {
+        if g.arity() > 2 {
+            return Err(RouteError::NonPrimitiveGate {
+                kind: g.kind(),
+                index: i,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Emits the gate with operands translated to physical qubits.
+fn emit_physical(out: &mut Circuit, layout: &Layout, gate: &Gate) {
+    let phys = gate.map_qubits(|q| layout.phys_of(q));
+    out.push(phys).expect("physical operands are in device range");
+}
+
+/// Inserts a SWAP on physical qubits `(p, q)` and updates the layout.
+fn emit_swap(out: &mut Circuit, layout: &mut Layout, p: usize, q: usize, swaps: &mut usize) {
+    out.push(Gate::Swap(p, q)).expect("coupler endpoints are valid");
+    layout.swap_physical(p, q);
+    *swaps += 1;
+}
+
+/// The OpenQL-style trivial router (program order, shortest-path chains).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrivialRouter;
+
+impl Router for TrivialRouter {
+    fn route(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        initial: Layout,
+    ) -> Result<RoutedCircuit, RouteError> {
+        check_inputs(circuit, device, &initial)?;
+        let mut layout = initial.clone();
+        let mut out = Circuit::with_name(device.qubit_count(), circuit.name().to_string());
+        let mut swaps = 0usize;
+        for g in circuit.iter() {
+            if g.is_two_qubit() {
+                let qs = g.qubits();
+                let (pa, pb) = (layout.phys_of(qs[0]), layout.phys_of(qs[1]));
+                if !device.are_adjacent(pa, pb) {
+                    let path = shortest_path(device.coupling(), pa, pb)
+                        .expect("device is connected");
+                    // Walk the first operand up to the neighbour of pb.
+                    for w in path.windows(2).take(path.len() - 2) {
+                        emit_swap(&mut out, &mut layout, w[0], w[1], &mut swaps);
+                    }
+                }
+            }
+            emit_physical(&mut out, &layout, g);
+        }
+        Ok(RoutedCircuit {
+            circuit: out,
+            initial,
+            final_layout: layout,
+            swaps_inserted: swaps,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "trivial"
+    }
+}
+
+/// Meet-in-the-middle router: both operands move toward the path centre.
+/// Same SWAP count as [`TrivialRouter`], roughly half the inserted depth
+/// (the two SWAP chains run in parallel).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BidirectionalRouter;
+
+impl Router for BidirectionalRouter {
+    fn route(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        initial: Layout,
+    ) -> Result<RoutedCircuit, RouteError> {
+        check_inputs(circuit, device, &initial)?;
+        let mut layout = initial.clone();
+        let mut out = Circuit::with_name(device.qubit_count(), circuit.name().to_string());
+        let mut swaps = 0usize;
+        for g in circuit.iter() {
+            if g.is_two_qubit() {
+                let qs = g.qubits();
+                let (pa, pb) = (layout.phys_of(qs[0]), layout.phys_of(qs[1]));
+                if !device.are_adjacent(pa, pb) {
+                    let path = shortest_path(device.coupling(), pa, pb)
+                        .expect("device is connected");
+                    // path = [pa, x1, …, x_{k-1}, pb]; move pa forward
+                    // `fwd` hops and pb backward the remaining hops so they
+                    // end on adjacent sites. Interleave the two chains so a
+                    // scheduler can overlap them.
+                    let hops = path.len() - 2; // SWAPs needed in total
+                    let fwd = hops / 2;
+                    let mut fwd_steps: Vec<(usize, usize)> = (0..fwd)
+                        .map(|i| (path[i], path[i + 1]))
+                        .collect();
+                    let mut back_steps: Vec<(usize, usize)> = (0..hops - fwd)
+                        .map(|i| (path[path.len() - 1 - i], path[path.len() - 2 - i]))
+                        .collect();
+                    fwd_steps.reverse();
+                    back_steps.reverse();
+                    while !fwd_steps.is_empty() || !back_steps.is_empty() {
+                        if let Some((p, q)) = fwd_steps.pop() {
+                            emit_swap(&mut out, &mut layout, p, q, &mut swaps);
+                        }
+                        if let Some((p, q)) = back_steps.pop() {
+                            emit_swap(&mut out, &mut layout, p, q, &mut swaps);
+                        }
+                    }
+                }
+            }
+            emit_physical(&mut out, &layout, g);
+        }
+        Ok(RoutedCircuit {
+            circuit: out,
+            initial,
+            final_layout: layout,
+            swaps_inserted: swaps,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "bidirectional"
+    }
+}
+
+/// SABRE-style look-ahead router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LookaheadRouter {
+    /// Dependency-steps of look-ahead (extended set horizon).
+    pub lookahead_depth: usize,
+    /// Weight of the extended set in the SWAP score.
+    pub extended_weight: f64,
+}
+
+impl Default for LookaheadRouter {
+    fn default() -> Self {
+        LookaheadRouter {
+            lookahead_depth: 8,
+            extended_weight: 0.5,
+        }
+    }
+}
+
+impl Router for LookaheadRouter {
+    fn route(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        initial: Layout,
+    ) -> Result<RoutedCircuit, RouteError> {
+        check_inputs(circuit, device, &initial)?;
+        let mut layout = initial.clone();
+        let mut out = Circuit::with_name(device.qubit_count(), circuit.name().to_string());
+        let mut swaps = 0usize;
+        let dag = DependencyDag::new(circuit);
+        let mut fl = FrontLayer::new(&dag);
+        let mut last_swap: Option<(usize, usize)> = None;
+        // Generous stall guard: every gate should route within a chip
+        // diameter's worth of SWAPs.
+        let budget = (circuit.len() + 1) * (device.diameter() + 2) * 4;
+        let mut steps = 0usize;
+
+        while !fl.is_done() {
+            // Drain everything executable.
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                let active: Vec<usize> = fl.active().to_vec();
+                for gi in active {
+                    let g = dag.gate(gi);
+                    let executable = if g.is_two_qubit() {
+                        let qs = g.qubits();
+                        device.are_adjacent(layout.phys_of(qs[0]), layout.phys_of(qs[1]))
+                    } else {
+                        true
+                    };
+                    if executable {
+                        emit_physical(&mut out, &layout, g);
+                        fl.resolve(gi);
+                        progressed = true;
+                        last_swap = None;
+                    }
+                }
+            }
+            if fl.is_done() {
+                break;
+            }
+            steps += 1;
+            if steps > budget {
+                return Err(RouteError::Unroutable {
+                    routed: fl.resolved_count(),
+                });
+            }
+
+            // Blocked: score candidate SWAPs.
+            let front_pairs: Vec<(usize, usize)> = fl
+                .active()
+                .iter()
+                .map(|&gi| dag.gate(gi))
+                .filter(|g| g.is_two_qubit())
+                .map(|g| {
+                    let qs = g.qubits();
+                    (qs[0], qs[1])
+                })
+                .collect();
+            let ext_pairs: Vec<(usize, usize)> = fl
+                .lookahead(self.lookahead_depth)
+                .iter()
+                .map(|&gi| dag.gate(gi))
+                .filter(|g| g.is_two_qubit())
+                .map(|g| {
+                    let qs = g.qubits();
+                    (qs[0], qs[1])
+                })
+                .collect();
+
+            // Candidates: coupler edges touching any front-pair operand.
+            let mut candidates: Vec<(usize, usize)> = Vec::new();
+            for &(a, b) in &front_pairs {
+                for p in [layout.phys_of(a), layout.phys_of(b)] {
+                    for &q in device.neighbors(p) {
+                        let e = (p.min(q), p.max(q));
+                        if !candidates.contains(&e) {
+                            candidates.push(e);
+                        }
+                    }
+                }
+            }
+            candidates.sort_unstable();
+
+            let score = |layout: &Layout| -> f64 {
+                let front: f64 = front_pairs
+                    .iter()
+                    .map(|&(a, b)| device.distance(layout.phys_of(a), layout.phys_of(b)) as f64)
+                    .sum();
+                let ext: f64 = if ext_pairs.is_empty() {
+                    0.0
+                } else {
+                    ext_pairs
+                        .iter()
+                        .map(|&(a, b)| {
+                            device.distance(layout.phys_of(a), layout.phys_of(b)) as f64
+                        })
+                        .sum::<f64>()
+                        / ext_pairs.len() as f64
+                };
+                front + self.extended_weight * ext
+            };
+
+            let mut best: Option<((usize, usize), f64)> = None;
+            for &(p, q) in &candidates {
+                if last_swap == Some((p, q)) {
+                    continue; // forbid immediate undo (anti-oscillation)
+                }
+                let mut trial = layout.clone();
+                trial.swap_physical(p, q);
+                let s = score(&trial);
+                if best.as_ref().is_none_or(|&(_, bs)| s < bs) {
+                    best = Some(((p, q), s));
+                }
+            }
+            let ((p, q), _) = best.ok_or(RouteError::Unroutable {
+                routed: fl.resolved_count(),
+            })?;
+            emit_swap(&mut out, &mut layout, p, q, &mut swaps);
+            last_swap = Some((p, q));
+        }
+
+        Ok(RoutedCircuit {
+            circuit: out,
+            initial,
+            final_layout: layout,
+            swaps_inserted: swaps,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "lookahead"
+    }
+}
+
+/// Noise-aware router: SWAP chains minimize accumulated error instead of
+/// hop count, so routing detours around weak couplers.
+///
+/// Edge cost is `3 × (−ln f)` for a SWAP (3 native two-qubit gates) plus
+/// `−ln f` for the final gate's coupler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoiseAwareRouter;
+
+impl NoiseAwareRouter {
+    /// Dijkstra with predecessor tracking over −ln-fidelity SWAP costs.
+    fn best_chain(&self, device: &Device, from: usize, to: usize) -> Vec<usize> {
+        let n = device.qubit_count();
+        let edge_err = |u: usize, v: usize| -> f64 {
+            let f = device
+                .calibration()
+                .two_qubit_fidelity(u, v)
+                .unwrap_or(0.5)
+                .clamp(1e-9, 1.0);
+            -(f.ln())
+        };
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut done = vec![false; n];
+        dist[from] = 0.0;
+        for _ in 0..n {
+            let u = (0..n)
+                .filter(|&u| !done[u])
+                .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).expect("finite"))
+                .expect("some node undone");
+            if dist[u].is_infinite() {
+                break;
+            }
+            done[u] = true;
+            for &v in device.neighbors(u) {
+                let nd = dist[u] + 3.0 * edge_err(u, v);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = u;
+                }
+            }
+        }
+        // Best terminal: neighbour u of `to` minimizing chain + final gate.
+        let mut best_u = from;
+        let mut best_cost = f64::INFINITY;
+        for &u in device.neighbors(to) {
+            let c = dist[u] + edge_err(u, to);
+            if c < best_cost {
+                best_cost = c;
+                best_u = u;
+            }
+        }
+        // Reconstruct from → best_u.
+        let mut path = vec![best_u];
+        let mut cur = best_u;
+        while cur != from {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+}
+
+impl Router for NoiseAwareRouter {
+    fn route(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        initial: Layout,
+    ) -> Result<RoutedCircuit, RouteError> {
+        check_inputs(circuit, device, &initial)?;
+        let mut layout = initial.clone();
+        let mut out = Circuit::with_name(device.qubit_count(), circuit.name().to_string());
+        let mut swaps = 0usize;
+        for g in circuit.iter() {
+            if g.is_two_qubit() {
+                let qs = g.qubits();
+                let (pa, pb) = (layout.phys_of(qs[0]), layout.phys_of(qs[1]));
+                if !device.are_adjacent(pa, pb) {
+                    let chain = self.best_chain(device, pa, pb);
+                    for w in chain.windows(2) {
+                        emit_swap(&mut out, &mut layout, w[0], w[1], &mut swaps);
+                    }
+                }
+            }
+            emit_physical(&mut out, &layout, g);
+        }
+        Ok(RoutedCircuit {
+            circuit: out,
+            initial,
+            final_layout: layout,
+            swaps_inserted: swaps,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "noise-aware"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{Placer, TrivialPlacer};
+    use qcs_topology::lattice::{full_device, grid_device, line_device};
+    use qcs_topology::surface::surface7;
+
+    fn distant_pair_circuit() -> Circuit {
+        let mut c = Circuit::new(5);
+        c.cnot(0, 4).unwrap();
+        c
+    }
+
+    fn routers() -> Vec<Box<dyn Router>> {
+        vec![
+            Box::new(TrivialRouter),
+            Box::new(BidirectionalRouter),
+            Box::new(LookaheadRouter::default()),
+            Box::new(NoiseAwareRouter),
+        ]
+    }
+
+    #[test]
+    fn all_routers_satisfy_connectivity() {
+        let c = distant_pair_circuit();
+        let dev = line_device(5);
+        for r in routers() {
+            let init = TrivialPlacer.place(&c, &dev).unwrap();
+            let routed = r.route(&c, &dev, init).unwrap();
+            assert!(
+                routed.respects_connectivity(&dev),
+                "router {} violated connectivity",
+                r.name()
+            );
+            assert_eq!(routed.swaps_inserted, 3, "router {}", r.name());
+        }
+    }
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).unwrap().h(0).unwrap().measure_all();
+        let dev = line_device(3);
+        for r in routers() {
+            let init = TrivialPlacer.place(&c, &dev).unwrap();
+            let routed = r.route(&c, &dev, init).unwrap();
+            assert_eq!(routed.swaps_inserted, 0, "router {}", r.name());
+            assert_eq!(routed.final_layout, routed.initial, "router {}", r.name());
+        }
+    }
+
+    #[test]
+    fn full_device_never_swaps() {
+        let mut c = Circuit::new(4);
+        c.cnot(0, 3).unwrap().cz(1, 2).unwrap().cnot(3, 1).unwrap();
+        let dev = full_device(4);
+        for r in routers() {
+            let init = TrivialPlacer.place(&c, &dev).unwrap();
+            assert_eq!(r.route(&c, &dev, init).unwrap().swaps_inserted, 0);
+        }
+    }
+
+    #[test]
+    fn rejects_toffoli() {
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2).unwrap();
+        let dev = line_device(3);
+        let init = TrivialPlacer.place(&c, &dev).unwrap();
+        assert!(matches!(
+            TrivialRouter.route(&c, &dev, init),
+            Err(RouteError::NonPrimitiveGate { kind: GateKind::Toffoli, index: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_layout_mismatch() {
+        let c = distant_pair_circuit();
+        let dev = line_device(5);
+        let wrong = Layout::identity(3, 5);
+        assert_eq!(
+            TrivialRouter.route(&c, &dev, wrong).unwrap_err(),
+            RouteError::LayoutMismatch
+        );
+    }
+
+    #[test]
+    fn trivial_router_tracks_layout() {
+        let c = distant_pair_circuit();
+        let dev = line_device(5);
+        let routed = TrivialRouter
+            .route(&c, &dev, Layout::identity(5, 5))
+            .unwrap();
+        // Virtual 0 walked from physical 0 to physical 3.
+        assert_eq!(routed.final_layout.phys_of(0), 3);
+        assert_eq!(routed.final_layout.phys_of(4), 4);
+        assert!(routed.final_layout.is_consistent());
+    }
+
+    #[test]
+    fn bidirectional_halves_depth() {
+        // Distance-5 pair on a line of 6: 4 SWAPs. Trivial = serial chain
+        // (depth 5 incl. gate); bidirectional overlaps the two chains.
+        let mut c = Circuit::new(6);
+        c.cnot(0, 5).unwrap();
+        let dev = line_device(6);
+        let t = TrivialRouter.route(&c, &dev, Layout::identity(6, 6)).unwrap();
+        let b = BidirectionalRouter
+            .route(&c, &dev, Layout::identity(6, 6))
+            .unwrap();
+        assert_eq!(t.swaps_inserted, b.swaps_inserted);
+        assert!(
+            b.circuit.depth() < t.circuit.depth(),
+            "bidirectional {} vs trivial {}",
+            b.circuit.depth(),
+            t.circuit.depth()
+        );
+        assert!(b.respects_connectivity(&dev));
+    }
+
+    #[test]
+    fn lookahead_beats_trivial_on_repeated_pairs() {
+        // Program: (0,4) then (0,4) again. Trivial re-routes per gate but
+        // the moved layout persists, so second gate is free; lookahead
+        // must be no worse.
+        let mut c = Circuit::new(5);
+        c.cnot(0, 4).unwrap().cnot(0, 4).unwrap().cnot(0, 4).unwrap();
+        let dev = line_device(5);
+        let t = TrivialRouter.route(&c, &dev, Layout::identity(5, 5)).unwrap();
+        let l = LookaheadRouter::default()
+            .route(&c, &dev, Layout::identity(5, 5))
+            .unwrap();
+        assert!(l.swaps_inserted <= t.swaps_inserted);
+        assert!(l.respects_connectivity(&dev));
+    }
+
+    #[test]
+    fn lookahead_routes_surface7_fig2() {
+        let mut c = Circuit::new(4);
+        c.cnot(1, 0).unwrap().cnot(1, 2).unwrap().cnot(2, 3).unwrap();
+        c.cnot(2, 0).unwrap().cnot(1, 2).unwrap();
+        let dev = surface7();
+        let routed = LookaheadRouter::default()
+            .route(&c, &dev, Layout::identity(4, 7))
+            .unwrap();
+        assert!(routed.respects_connectivity(&dev));
+        // Fig. 2 shows one extra SWAP suffices for this circuit.
+        assert!(routed.swaps_inserted >= 1);
+    }
+
+    #[test]
+    fn noise_aware_detours_around_bad_coupler() {
+        // Grid 1x… no, need alternative paths: a 2x3 grid, route (0, 2).
+        // Degrade the direct middle coupler (1,2) so the router prefers
+        // the southern detour.
+        let mut dev = grid_device(2, 3);
+        // Path 0-1-2 (top row) vs 0-3-4-5-2 (bottom detour).
+        dev.calibration_mut().set_two_qubit_fidelity(0, 1, 0.30);
+        dev.calibration_mut().set_two_qubit_fidelity(1, 2, 0.30);
+        let mut c = Circuit::new(6);
+        c.cnot(0, 2).unwrap();
+        let routed = NoiseAwareRouter
+            .route(&c, &dev, Layout::identity(6, 6))
+            .unwrap();
+        assert!(routed.respects_connectivity(&dev));
+        // The detour costs 3 SWAPs instead of 1; it is chosen only when
+        // the error model makes it cheaper: 4 hops of good edges vs 2 of
+        // terrible ones. 3·(−ln 0.99)·3 + … let us simply check the router
+        // avoided the degraded couplers entirely.
+        for g in routed.circuit.gates() {
+            let qs = g.qubits();
+            if qs.len() == 2 {
+                let pair = (qs[0].min(qs[1]), qs[0].max(qs[1]));
+                assert_ne!(pair, (0, 1), "used degraded coupler (0,1)");
+                assert_ne!(pair, (1, 2), "used degraded coupler (1,2)");
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_and_barrier_pass_through() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().measure(0).unwrap();
+        c.barrier_all();
+        let dev = line_device(4);
+        let routed = TrivialRouter.route(&c, &dev, Layout::identity(2, 4)).unwrap();
+        assert_eq!(routed.circuit.len(), 4);
+        assert_eq!(routed.circuit.qubit_count(), 4);
+    }
+
+    #[test]
+    fn router_names() {
+        assert_eq!(TrivialRouter.name(), "trivial");
+        assert_eq!(LookaheadRouter::default().name(), "lookahead");
+        assert_eq!(NoiseAwareRouter.name(), "noise-aware");
+        assert_eq!(BidirectionalRouter.name(), "bidirectional");
+    }
+}

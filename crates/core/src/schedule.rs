@@ -1,0 +1,346 @@
+//! Gate scheduling: ASAP/ALAP timing with durations and shared-control
+//! constraints.
+//!
+//! Mapping step 2 (Section III): "Scheduling quantum operations to
+//! leverage parallelism and therefore shorten execution time", subject to
+//! the "classical control constraints that come from the use of shared
+//! control electronics … this limits the operations' parallelization".
+
+use serde::{Deserialize, Serialize};
+
+use qcs_circuit::circuit::Circuit;
+use qcs_circuit::gate::Gate;
+use qcs_topology::error::GateDurations;
+
+/// A gate with assigned start time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledGate {
+    /// Index of the gate in the source circuit.
+    pub index: usize,
+    /// The gate itself.
+    pub gate: Gate,
+    /// Start time in nanoseconds.
+    pub start_ns: f64,
+    /// Duration in nanoseconds.
+    pub duration_ns: f64,
+}
+
+impl ScheduledGate {
+    /// End time in nanoseconds.
+    pub fn end_ns(&self) -> f64 {
+        self.start_ns + self.duration_ns
+    }
+}
+
+/// A timed schedule of a circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Scheduled gates, ordered by source index.
+    pub gates: Vec<ScheduledGate>,
+    /// Total execution time (latest end) in nanoseconds.
+    pub makespan_ns: f64,
+}
+
+impl Schedule {
+    /// Number of scheduled operations.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Maximum number of gates overlapping at any instant — the
+    /// parallelism the control electronics must sustain.
+    pub fn peak_parallelism(&self) -> usize {
+        let mut events: Vec<(f64, i32)> = Vec::with_capacity(self.gates.len() * 2);
+        for g in &self.gates {
+            if g.duration_ns > 0.0 {
+                events.push((g.start_ns, 1));
+                events.push((g.end_ns(), -1));
+            }
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+        let mut cur = 0i32;
+        let mut peak = 0i32;
+        for (_, d) in events {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        peak.max(0) as usize
+    }
+
+    /// Total idle time summed over qubits that appear in the schedule
+    /// (time between a qubit's first and last op not spent operating).
+    pub fn total_idle_ns(&self, qubit_count: usize) -> f64 {
+        let mut first = vec![f64::INFINITY; qubit_count];
+        let mut last = vec![0.0f64; qubit_count];
+        let mut busy = vec![0.0f64; qubit_count];
+        for g in &self.gates {
+            for q in g.gate.qubits() {
+                first[q] = first[q].min(g.start_ns);
+                last[q] = last[q].max(g.end_ns());
+                busy[q] += g.duration_ns;
+            }
+        }
+        (0..qubit_count)
+            .filter(|&q| first[q].is_finite())
+            .map(|q| (last[q] - first[q]) - busy[q])
+            .sum()
+    }
+}
+
+/// Shared-control constraint: qubits in the same group share classical
+/// control hardware, so at most one *gate start* per group per instant.
+///
+/// An empty set of groups means unconstrained scheduling.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ControlGroups {
+    groups: Vec<Vec<usize>>,
+}
+
+impl ControlGroups {
+    /// No shared-control constraints.
+    pub fn unconstrained() -> Self {
+        ControlGroups::default()
+    }
+
+    /// Builds groups from explicit qubit lists.
+    pub fn new(groups: Vec<Vec<usize>>) -> Self {
+        ControlGroups { groups }
+    }
+
+    /// Groups every qubit with the others sharing `stride` (models
+    /// frequency-multiplexed drive lines: qubits `q`, `q + stride`, …).
+    pub fn multiplexed(qubit_count: usize, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        let mut groups = vec![Vec::new(); stride.min(qubit_count)];
+        for q in 0..qubit_count {
+            groups[q % stride].push(q);
+        }
+        ControlGroups { groups }
+    }
+
+    /// The group index of `q`, if any.
+    pub fn group_of(&self, q: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&q))
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether there are no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// The duration of `gate` under `durations` (barriers take zero time).
+pub fn gate_duration(gate: &Gate, durations: &GateDurations) -> f64 {
+    match gate {
+        Gate::Barrier(_) => 0.0,
+        Gate::Measure(_) => durations.measurement_ns,
+        Gate::Swap(..) => 3.0 * durations.two_qubit_ns, // 3 native 2q gates
+        g if g.is_two_qubit() => durations.two_qubit_ns,
+        Gate::Toffoli(..) => 6.0 * durations.two_qubit_ns + 9.0 * durations.single_qubit_ns,
+        _ => durations.single_qubit_ns,
+    }
+}
+
+/// ASAP (as-soon-as-possible) list scheduling.
+///
+/// Each gate starts at the max end-time of its operand qubits; when
+/// `controls` constrains a gate's qubits, its start is additionally
+/// pushed past the last start in the same control group (one gate start
+/// per group per instant).
+pub fn schedule_asap(
+    circuit: &Circuit,
+    durations: &GateDurations,
+    controls: &ControlGroups,
+) -> Schedule {
+    let mut qubit_free = vec![0.0f64; circuit.qubit_count()];
+    let mut group_last_start = vec![0.0f64; controls.len()];
+    let mut group_busy = vec![false; controls.len()];
+    let mut gates = Vec::with_capacity(circuit.len());
+    let mut makespan = 0.0f64;
+
+    for (index, g) in circuit.iter().enumerate() {
+        let qs = g.qubits();
+        let mut start = qs.iter().map(|&q| qubit_free[q]).fold(0.0, f64::max);
+        let dur = gate_duration(g, durations);
+        // Control constraint: strictly after the last start in the group.
+        if dur > 0.0 {
+            for &q in &qs {
+                if let Some(gr) = controls.group_of(q) {
+                    if group_busy[gr] && start <= group_last_start[gr] {
+                        start = group_last_start[gr] + 1.0; // 1 ns stagger
+                    }
+                }
+            }
+        }
+        for &q in &qs {
+            qubit_free[q] = start + dur;
+        }
+        if dur > 0.0 {
+            for &q in &qs {
+                if let Some(gr) = controls.group_of(q) {
+                    group_last_start[gr] = start;
+                    group_busy[gr] = true;
+                }
+            }
+        }
+        makespan = makespan.max(start + dur);
+        gates.push(ScheduledGate {
+            index,
+            gate: *g,
+            start_ns: start,
+            duration_ns: dur,
+        });
+    }
+
+    Schedule {
+        gates,
+        makespan_ns: makespan,
+    }
+}
+
+/// ALAP (as-late-as-possible) scheduling: same makespan as ASAP but gates
+/// are pushed toward the end, minimizing early idling (useful when
+/// decoherence clocks start at first use).
+pub fn schedule_alap(
+    circuit: &Circuit,
+    durations: &GateDurations,
+    controls: &ControlGroups,
+) -> Schedule {
+    let asap = schedule_asap(circuit, durations, controls);
+    let makespan = asap.makespan_ns;
+    // Reverse sweep: each gate ends when its qubits are next needed.
+    let mut qubit_need = vec![makespan; circuit.qubit_count()];
+    let mut gates: Vec<ScheduledGate> = Vec::with_capacity(circuit.len());
+    for (index, g) in circuit.iter().enumerate().rev() {
+        let qs = g.qubits();
+        let dur = gate_duration(g, durations);
+        let end = qs.iter().map(|&q| qubit_need[q]).fold(makespan, f64::min);
+        let start = end - dur;
+        for &q in &qs {
+            qubit_need[q] = start;
+        }
+        gates.push(ScheduledGate {
+            index,
+            gate: *g,
+            start_ns: start,
+            duration_ns: dur,
+        });
+    }
+    gates.reverse();
+    Schedule {
+        gates,
+        makespan_ns: makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn durs() -> GateDurations {
+        GateDurations::surface_code_defaults()
+    }
+
+    #[test]
+    fn parallel_gates_overlap() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().h(1).unwrap();
+        let s = schedule_asap(&c, &durs(), &ControlGroups::unconstrained());
+        assert_eq!(s.gates[0].start_ns, 0.0);
+        assert_eq!(s.gates[1].start_ns, 0.0);
+        assert_eq!(s.makespan_ns, 20.0);
+        assert_eq!(s.peak_parallelism(), 2);
+    }
+
+    #[test]
+    fn dependent_gates_serialize() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().cnot(0, 1).unwrap().measure(1).unwrap();
+        let s = schedule_asap(&c, &durs(), &ControlGroups::unconstrained());
+        assert_eq!(s.gates[1].start_ns, 20.0);
+        assert_eq!(s.gates[2].start_ns, 60.0);
+        assert_eq!(s.makespan_ns, 360.0);
+    }
+
+    #[test]
+    fn swap_costs_three_two_qubit_gates() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).unwrap();
+        let s = schedule_asap(&c, &durs(), &ControlGroups::unconstrained());
+        assert_eq!(s.makespan_ns, 120.0);
+    }
+
+    #[test]
+    fn control_groups_stagger_starts() {
+        // Two independent H's on qubits sharing a control line cannot
+        // start simultaneously.
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().h(1).unwrap();
+        let groups = ControlGroups::new(vec![vec![0, 1]]);
+        let s = schedule_asap(&c, &durs(), &groups);
+        assert_ne!(s.gates[0].start_ns, s.gates[1].start_ns);
+        assert!(s.makespan_ns > 20.0);
+    }
+
+    #[test]
+    fn multiplexed_groups() {
+        let g = ControlGroups::multiplexed(6, 2);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.group_of(0), Some(0));
+        assert_eq!(g.group_of(3), Some(1));
+        assert_eq!(g.group_of(4), Some(0));
+        assert!(!g.is_empty());
+        assert!(ControlGroups::unconstrained().is_empty());
+    }
+
+    #[test]
+    fn alap_same_makespan_later_starts() {
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap().h(1).unwrap().cnot(1, 2).unwrap();
+        let un = ControlGroups::unconstrained();
+        let asap = schedule_asap(&c, &durs(), &un);
+        let alap = schedule_alap(&c, &durs(), &un);
+        assert_eq!(asap.makespan_ns, alap.makespan_ns);
+        // H(0) has no successors: ALAP pushes it to the end.
+        assert!(alap.gates[0].start_ns > asap.gates[0].start_ns);
+        // Dependencies still respected.
+        assert!(alap.gates[2].start_ns >= alap.gates[1].end_ns());
+    }
+
+    #[test]
+    fn idle_time_accounting() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().h(0).unwrap().cnot(0, 1).unwrap();
+        let s = schedule_asap(&c, &durs(), &ControlGroups::unconstrained());
+        // Qubit 1 first appears at the CNOT: zero idle. Qubit 0 never
+        // idles between its ops.
+        assert_eq!(s.total_idle_ns(2), 0.0);
+    }
+
+    #[test]
+    fn barriers_zero_duration() {
+        let mut c = Circuit::new(2);
+        c.barrier_all();
+        let s = schedule_asap(&c, &durs(), &ControlGroups::unconstrained());
+        assert_eq!(s.makespan_ns, 0.0);
+        assert_eq!(s.peak_parallelism(), 0);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = schedule_asap(&Circuit::new(3), &durs(), &ControlGroups::unconstrained());
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.makespan_ns, 0.0);
+    }
+}

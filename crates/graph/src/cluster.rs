@@ -1,0 +1,239 @@
+//! K-means clustering of metric vectors.
+//!
+//! Section IV: "Using this new metrics and the common circuit parameters,
+//! algorithms can be clustered based on their similarities. Ideally,
+//! quantum algorithms with similar properties are ought to show similar
+//! performance when run on specific chips using a given mapping strategy."
+//!
+//! Features are z-score normalized before clustering so metrics on very
+//! different scales (gate counts vs coefficients in `[0, 1]`) contribute
+//! comparably.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::stats;
+
+/// Outcome of a k-means run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Cluster index (in `0..k`) assigned to each input sample.
+    pub assignments: Vec<usize>,
+    /// Final centroids in the *normalized* feature space.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of samples to their centroid (inertia).
+    pub inertia: f64,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl Clustering {
+    /// Number of samples in each cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let k = self.centroids.len();
+        let mut sizes = vec![0usize; k];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+/// Z-score normalizes feature columns in place; constant columns become 0.
+pub fn normalize_columns(samples: &mut [Vec<f64>]) {
+    let k = samples.first().map_or(0, Vec::len);
+    for j in 0..k {
+        let col: Vec<f64> = samples.iter().map(|r| r[j]).collect();
+        let m = stats::mean(&col);
+        let s = stats::std_dev(&col);
+        for row in samples.iter_mut() {
+            row[j] = if s > 0.0 { (row[j] - m) / s } else { 0.0 };
+        }
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Lloyd's k-means with k-means++-style seeding from `rng`.
+///
+/// Samples are z-score normalized internally; assignments refer to input
+/// order. The run is deterministic for a fixed RNG seed.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `samples` is empty, `k > samples.len()`, or the
+/// sample matrix is ragged.
+pub fn kmeans<R: Rng>(samples: &[Vec<f64>], k: usize, max_iter: usize, rng: &mut R) -> Clustering {
+    assert!(k > 0, "k must be positive");
+    assert!(!samples.is_empty(), "no samples to cluster");
+    assert!(k <= samples.len(), "more clusters than samples");
+    let dim = samples[0].len();
+    for s in samples {
+        assert_eq!(s.len(), dim, "ragged sample matrix");
+    }
+
+    let mut data = samples.to_vec();
+    normalize_columns(&mut data);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(data[rng.gen_range(0..data.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = data
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        let next = if total == 0.0 {
+            rng.gen_range(0..data.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut idx = data.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target <= d {
+                    idx = i;
+                    break;
+                }
+                target -= d;
+            }
+            idx
+        };
+        centroids.push(data[next].clone());
+    }
+
+    let mut assignments = vec![0usize; data.len()];
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in data.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    sq_dist(p, &centroids[a])
+                        .partial_cmp(&sq_dist(p, &centroids[b]))
+                        .expect("distances are finite")
+                })
+                .expect("k > 0");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in data.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (j, &x) in p.iter().enumerate() {
+                sums[assignments[i]][j] += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for j in 0..dim {
+                    centroids[c][j] = sums[c][j] / counts[c] as f64;
+                }
+            }
+            // Empty clusters keep their previous centroid.
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+
+    let inertia = data
+        .iter()
+        .enumerate()
+        .map(|(i, p)| sq_dist(p, &centroids[assignments[i]]))
+        .sum();
+
+    Clustering {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for i in 0..10 {
+            v.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            v.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+        }
+        v
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let samples = two_blobs();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let c = kmeans(&samples, 2, 100, &mut rng);
+        // Even-index samples are one blob, odd-index the other.
+        let a0 = c.assignments[0];
+        let a1 = c.assignments[1];
+        assert_ne!(a0, a1);
+        for i in (0..20).step_by(2) {
+            assert_eq!(c.assignments[i], a0);
+            assert_eq!(c.assignments[i + 1], a1);
+        }
+        assert_eq!(c.sizes(), vec![10, 10]);
+        assert!(c.inertia < 1.0);
+    }
+
+    #[test]
+    fn k_equals_one_groups_everything() {
+        let samples = two_blobs();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let c = kmeans(&samples, 1, 50, &mut rng);
+        assert!(c.assignments.iter().all(|&a| a == 0));
+        assert_eq!(c.sizes(), vec![20]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let samples = two_blobs();
+        let a = kmeans(&samples, 2, 100, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = kmeans(&samples, 2, 100, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normalize_zeroes_constant_columns() {
+        let mut samples = vec![vec![5.0, 1.0], vec![5.0, 3.0]];
+        normalize_columns(&mut samples);
+        assert_eq!(samples[0][0], 0.0);
+        assert_eq!(samples[1][0], 0.0);
+        assert!(samples[0][1] < 0.0 && samples[1][1] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more clusters than samples")]
+    fn rejects_k_too_large() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = kmeans(&[vec![1.0]], 2, 10, &mut rng);
+    }
+
+    #[test]
+    fn identical_points_any_k() {
+        let samples = vec![vec![1.0, 1.0]; 5];
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let c = kmeans(&samples, 2, 10, &mut rng);
+        assert_eq!(c.assignments.len(), 5);
+        assert_eq!(c.inertia, 0.0);
+    }
+}

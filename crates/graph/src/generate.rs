@@ -1,0 +1,221 @@
+//! Deterministic graph generators for tests, devices and workloads.
+
+use rand::Rng;
+
+use crate::graph::Graph;
+
+/// Path graph `0 - 1 - … - (n-1)`.
+pub fn path_graph(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i).expect("path edge is valid");
+    }
+    g
+}
+
+/// Ring (cycle) graph on `n` nodes; for `n < 3` this degenerates to a path.
+pub fn ring_graph(n: usize) -> Graph {
+    let mut g = path_graph(n);
+    if n >= 3 {
+        g.add_edge(n - 1, 0).expect("ring closure edge is valid");
+    }
+    g
+}
+
+/// Star graph: node 0 is the hub connected to `1..n`.
+pub fn star_graph(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(0, i).expect("star edge is valid");
+    }
+    g
+}
+
+/// Complete graph on `n` nodes.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v).expect("complete edge is valid");
+        }
+    }
+    g
+}
+
+/// Rectangular grid with `rows × cols` nodes; node `(r, c)` has id
+/// `r * cols + c` and connects to its 4-neighbourhood.
+pub fn grid_graph(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::with_nodes(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(id, id + 1).expect("grid edge is valid");
+            }
+            if r + 1 < rows {
+                g.add_edge(id, id + cols).expect("grid edge is valid");
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` random graph drawn from `rng`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let mut g = Graph::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v).expect("sampled edge is valid");
+            }
+        }
+    }
+    g
+}
+
+/// Connected Erdős–Rényi-style graph: samples `G(n, p)` then joins
+/// components along a random spanning chain so the result is connected.
+pub fn connected_random<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = erdos_renyi(n, p, rng);
+    if n == 0 {
+        return g;
+    }
+    // Join components: shuffle node order, walk it, and link each node whose
+    // component is new to a random earlier node.
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut comp = crate::paths::all_pairs_hopcount(&g);
+    let reachable = |comp: &Vec<Vec<usize>>, a: usize, b: usize| comp[a][b] != crate::paths::UNREACHABLE;
+    for i in 1..n {
+        let u = order[i];
+        let v = order[rng.gen_range(0..i)];
+        if !reachable(&comp, u, v) {
+            g.add_edge(u, v).expect("joining edge is valid");
+            comp = crate::paths::all_pairs_hopcount(&g);
+        }
+    }
+    g
+}
+
+/// Random `d`-regular-ish graph: a ring plus random chords until every node
+/// has degree at least `d` or no more chords can be added.
+///
+/// Used to synthesize QAOA problem instances (regular MaxCut graphs).
+pub fn regularish_graph<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
+    let mut g = if n >= 3 { ring_graph(n) } else { path_graph(n) };
+    if n < 2 {
+        return g;
+    }
+    let mut attempts = 0;
+    let max_attempts = n * n * 4;
+    while attempts < max_attempts {
+        attempts += 1;
+        let deficient: Vec<usize> = (0..n).filter(|&u| g.degree(u) < d).collect();
+        if deficient.is_empty() {
+            break;
+        }
+        let u = deficient[rng.gen_range(0..deficient.len())];
+        let v = rng.gen_range(0..n);
+        if u != v && !g.has_edge(u, v) {
+            g.add_edge(u, v).expect("chord is valid");
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn path_shape() {
+        let g = path_graph(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring_graph(5);
+        assert_eq!(g.edge_count(), 5);
+        assert!((0..5).all(|u| g.degree(u) == 2));
+        // Degenerate rings.
+        assert_eq!(ring_graph(2).edge_count(), 1);
+        assert_eq!(ring_graph(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star_graph(6);
+        assert_eq!(g.degree(0), 5);
+        assert!((1..6).all(|u| g.degree(u) == 1));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete_graph(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.density(), 1.0);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // Edges: 3*3 horizontal + 2*4 vertical = 17.
+        assert_eq!(g.edge_count(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+        assert!(paths::is_connected(&g));
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(erdos_renyi(6, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi(6, 1.0, &mut rng).edge_count(), 15);
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic_per_seed() {
+        let a = erdos_renyi(10, 0.4, &mut ChaCha8Rng::seed_from_u64(42));
+        let b = erdos_renyi(10, 0.4, &mut ChaCha8Rng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn connected_random_is_connected() {
+        for seed in 0..5 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = connected_random(12, 0.05, &mut rng);
+            assert!(paths::is_connected(&g), "seed {seed} not connected");
+        }
+    }
+
+    #[test]
+    fn regularish_reaches_degree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = regularish_graph(10, 3, &mut rng);
+        assert!((0..10).all(|u| g.degree(u) >= 3));
+        assert!(paths::is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn erdos_renyi_rejects_bad_p() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = erdos_renyi(3, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,524 @@
+//! Undirected weighted graph with dense `usize` node ids.
+//!
+//! The representation is an adjacency list mirrored by an edge map, tuned
+//! for the two access patterns the stack needs: neighbour scans during
+//! routing, and whole-matrix statistics during profiling.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a graph node (a virtual or physical qubit).
+pub type NodeId = usize;
+
+/// Error type for graph construction and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node id was at least the node count.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        len: usize,
+    },
+    /// An edge connected a node to itself, which interaction and coupling
+    /// graphs never contain.
+    SelfLoop(NodeId),
+    /// An edge weight was not a finite positive number.
+    BadWeight(f64),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range for graph with {len} nodes")
+            }
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+            GraphError::BadWeight(w) => write!(f, "edge weight {w} is not finite and positive"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected weighted graph.
+///
+/// Nodes are the integers `0..node_count()`. Parallel edges are merged by
+/// *accumulating* weights, matching how interaction graphs count repeated
+/// two-qubit gates between the same pair of qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_graph::Graph;
+///
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(0, 1)?;
+/// g.add_edge(0, 1)?; // accumulates: weight is now 2
+/// assert_eq!(g.weight(0, 1), Some(2.0));
+/// assert_eq!(g.edge_count(), 1);
+/// # Ok::<(), qcs_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(into = "GraphSerde", try_from = "GraphSerde")]
+pub struct Graph {
+    nodes: usize,
+    /// Canonical edge store: key is `(min(u, v), max(u, v))`.
+    edges: BTreeMap<(NodeId, NodeId), f64>,
+    /// Adjacency mirror for fast neighbour scans.
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+/// Edge-list wire format for [`Graph`] (JSON-friendly: no tuple map keys).
+#[derive(Serialize, Deserialize)]
+struct GraphSerde {
+    nodes: usize,
+    edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl From<Graph> for GraphSerde {
+    fn from(g: Graph) -> Self {
+        GraphSerde {
+            nodes: g.nodes,
+            edges: g.edges().collect(),
+        }
+    }
+}
+
+impl TryFrom<GraphSerde> for Graph {
+    type Error = GraphError;
+
+    fn try_from(s: GraphSerde) -> Result<Self, GraphError> {
+        let mut g = Graph::with_nodes(s.nodes);
+        for (u, v, w) in s.edges {
+            g.add_edge_weighted(u, v, w)?;
+        }
+        Ok(g)
+    }
+}
+
+impl Graph {
+    /// Creates an empty graph with zero nodes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            nodes: n,
+            edges: BTreeMap::new(),
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds a graph from an edge list, creating nodes as needed.
+    ///
+    /// Node count becomes `max id + 1`. Duplicate pairs accumulate weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] or [`GraphError::BadWeight`] on
+    /// invalid input edges.
+    pub fn from_edges<I>(edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId, f64)>,
+    {
+        let mut g = Graph::new();
+        for (u, v, w) in edges {
+            let need = u.max(v) + 1;
+            if need > g.nodes {
+                g.grow_to(need);
+            }
+            g.add_edge_weighted(u, v, w)?;
+        }
+        Ok(g)
+    }
+
+    /// Adds a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.nodes += 1;
+        self.adjacency.push(Vec::new());
+        self.nodes - 1
+    }
+
+    /// Ensures the graph has at least `n` nodes.
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.nodes {
+            self.nodes = n;
+            self.adjacency.resize(n, Vec::new());
+        }
+    }
+
+    /// Adds weight `1.0` to the edge `{u, v}` (creating it if absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is out of range or `u == v`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.add_edge_weighted(u, v, 1.0)
+    }
+
+    /// Adds weight `w` to the edge `{u, v}` (creating it if absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is out of range, `u == v`, or
+    /// `w` is not finite and positive.
+    pub fn add_edge_weighted(&mut self, u: NodeId, v: NodeId, w: f64) -> Result<(), GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if !w.is_finite() || w <= 0.0 {
+            return Err(GraphError::BadWeight(w));
+        }
+        let key = (u.min(v), u.max(v));
+        let entry = self.edges.entry(key).or_insert(0.0);
+        if *entry == 0.0 {
+            self.adjacency[u].push(v);
+            self.adjacency[v].push(u);
+        }
+        *entry += w;
+        Ok(())
+    }
+
+    /// Sets the weight of edge `{u, v}` exactly, replacing any prior value.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::add_edge_weighted`].
+    pub fn set_weight(&mut self, u: NodeId, v: NodeId, w: f64) -> Result<(), GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if !w.is_finite() || w <= 0.0 {
+            return Err(GraphError::BadWeight(w));
+        }
+        let key = (u.min(v), u.max(v));
+        if self.edges.insert(key, w).is_none() {
+            self.adjacency[u].push(v);
+            self.adjacency[v].push(u);
+        }
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v || u >= self.nodes || v >= self.nodes {
+            return false;
+        }
+        self.edges.contains_key(&(u.min(v), u.max(v)))
+    }
+
+    /// Weight of edge `{u, v}`, or `None` if absent.
+    pub fn weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        if u == v || u >= self.nodes || v >= self.nodes {
+            return None;
+        }
+        self.edges.get(&(u.min(v), u.max(v))).copied()
+    }
+
+    /// Neighbours of `u` in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adjacency[u]
+    }
+
+    /// Unweighted degree (number of incident edges) of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adjacency[u].len()
+    }
+
+    /// Weighted degree (sum of incident edge weights) of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn weighted_degree(&self, u: NodeId) -> f64 {
+        self.adjacency[u]
+            .iter()
+            .map(|&v| self.weight(u, v).unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Iterates over `(u, v, weight)` with `u < v`, ordered by `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.edges.iter().map(|(&(u, v), &w)| (u, v, w))
+    }
+
+    /// Total of all edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.values().sum()
+    }
+
+    /// Dense symmetric adjacency matrix; entry `[u][v]` is the edge weight
+    /// (0 where no edge exists, including the diagonal).
+    pub fn adjacency_matrix(&self) -> Vec<Vec<f64>> {
+        let mut m = vec![vec![0.0; self.nodes]; self.nodes];
+        for (u, v, w) in self.edges() {
+            m[u][v] = w;
+            m[v][u] = w;
+        }
+        m
+    }
+
+    /// Returns the graph with every weight replaced by `1.0` (the
+    /// *unweighted skeleton* used by hop-count based metrics).
+    pub fn to_unweighted(&self) -> Graph {
+        let mut g = Graph::with_nodes(self.nodes);
+        for (u, v, _) in self.edges() {
+            g.add_edge(u, v).expect("skeleton edge must be valid");
+        }
+        g
+    }
+
+    /// Relabels nodes by `perm` (new id of node `i` is `perm[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..node_count()`.
+    pub fn relabel(&self, perm: &[NodeId]) -> Graph {
+        assert_eq!(perm.len(), self.nodes, "permutation length mismatch");
+        let mut seen = vec![false; self.nodes];
+        for &p in perm {
+            assert!(p < self.nodes && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        let mut g = Graph::with_nodes(self.nodes);
+        for (u, v, w) in self.edges() {
+            g.add_edge_weighted(perm[u], perm[v], w)
+                .expect("relabelled edge must be valid");
+        }
+        g
+    }
+
+    /// Density: edges divided by the maximum possible `n(n-1)/2`.
+    ///
+    /// Returns 0 for graphs with fewer than two nodes.
+    pub fn density(&self) -> f64 {
+        if self.nodes < 2 {
+            return 0.0;
+        }
+        let max = self.nodes * (self.nodes - 1) / 2;
+        self.edges.len() as f64 / max as f64
+    }
+
+    /// Renders the graph in Graphviz DOT format (undirected), with edge
+    /// weights as labels — handy for visualizing interaction and coupling
+    /// graphs (`dot -Tpng`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcs_graph::Graph;
+    ///
+    /// let g = Graph::from_edges([(0, 1, 2.0)])?;
+    /// let dot = g.to_dot("ig");
+    /// assert!(dot.contains("graph ig {"));
+    /// assert!(dot.contains("0 -- 1 [label=\"2\"];"));
+    /// # Ok::<(), qcs_graph::GraphError>(())
+    /// ```
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = format!("graph {name} {{\n");
+        for u in 0..self.nodes {
+            out.push_str(&format!("  {u};\n"));
+        }
+        for (u, v, w) in self.edges() {
+            out.push_str(&format!("  {u} -- {v} [label=\"{w}\"];\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    fn check_node(&self, u: NodeId) -> Result<(), GraphError> {
+        if u >= self.nodes {
+            Err(GraphError::NodeOutOfRange {
+                node: u,
+                len: self.nodes,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph with {} nodes, {} edges", self.nodes, self.edges.len())?;
+        for (u, v, w) in self.edges() {
+            writeln!(f, "  {u} -- {v} [weight {w}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.density(), 0.0);
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = Graph::with_nodes(2);
+        let c = g.add_node();
+        assert_eq!(c, 2);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn weights_accumulate() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge_weighted(0, 1, 1.5).unwrap();
+        g.add_edge_weighted(1, 0, 2.5).unwrap();
+        assert_eq!(g.weight(0, 1), Some(4.0));
+        assert_eq!(g.weight(1, 0), Some(4.0));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.total_weight(), 4.0);
+    }
+
+    #[test]
+    fn set_weight_replaces() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge_weighted(0, 1, 3.0).unwrap();
+        g.set_weight(0, 1, 1.0).unwrap();
+        assert_eq!(g.weight(0, 1), Some(1.0));
+        // Setting on a fresh pair also creates the edge.
+        let mut h = Graph::with_nodes(2);
+        h.set_weight(0, 1, 2.0).unwrap();
+        assert_eq!(h.weight(0, 1), Some(2.0));
+        assert_eq!(h.degree(0), 1);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = Graph::with_nodes(2);
+        assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop(1)));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut g = Graph::with_nodes(2);
+        assert!(matches!(
+            g.add_edge(0, 5),
+            Err(GraphError::NodeOutOfRange { node: 5, len: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_weight() {
+        let mut g = Graph::with_nodes(2);
+        assert!(matches!(g.add_edge_weighted(0, 1, 0.0), Err(GraphError::BadWeight(_))));
+        assert!(matches!(g.add_edge_weighted(0, 1, -1.0), Err(GraphError::BadWeight(_))));
+        assert!(matches!(
+            g.add_edge_weighted(0, 1, f64::NAN),
+            Err(GraphError::BadWeight(_))
+        ));
+    }
+
+    #[test]
+    fn from_edges_grows() {
+        let g = Graph::from_edges([(0, 3, 1.0), (1, 2, 2.0)]).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.weight(1, 2), Some(2.0));
+    }
+
+    #[test]
+    fn adjacency_matrix_symmetric() {
+        let g = Graph::from_edges([(0, 1, 2.0), (1, 2, 3.0)]).unwrap();
+        let m = g.adjacency_matrix();
+        assert_eq!(m[0][1], 2.0);
+        assert_eq!(m[1][0], 2.0);
+        assert_eq!(m[2][1], 3.0);
+        assert_eq!(m[0][2], 0.0);
+        assert_eq!(m[0][0], 0.0);
+    }
+
+    #[test]
+    fn weighted_degree_sums() {
+        let g = Graph::from_edges([(0, 1, 2.0), (0, 2, 3.0)]).unwrap();
+        assert_eq!(g.weighted_degree(0), 5.0);
+        assert_eq!(g.weighted_degree(1), 2.0);
+    }
+
+    #[test]
+    fn unweighted_skeleton() {
+        let g = Graph::from_edges([(0, 1, 7.0)]).unwrap();
+        let s = g.to_unweighted();
+        assert_eq!(s.weight(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn relabel_permutes() {
+        let g = Graph::from_edges([(0, 1, 2.0), (1, 2, 3.0)]).unwrap();
+        let h = g.relabel(&[2, 0, 1]);
+        assert_eq!(h.weight(2, 0), Some(2.0));
+        assert_eq!(h.weight(0, 1), Some(3.0));
+        assert_eq!(h.weight(1, 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn relabel_rejects_non_permutation() {
+        let g = Graph::with_nodes(2);
+        let _ = g.relabel(&[0, 0]);
+    }
+
+    #[test]
+    fn density_of_triangle() {
+        let g = Graph::from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap();
+        assert_eq!(g.density(), 1.0);
+    }
+
+    #[test]
+    fn dot_output() {
+        let g = Graph::from_edges([(0, 1, 1.0), (1, 2, 2.5)]).unwrap();
+        let dot = g.to_dot("test");
+        assert!(dot.starts_with("graph test {"));
+        assert!(dot.contains("  2;"));
+        assert!(dot.contains("0 -- 1 [label=\"1\"];"));
+        assert!(dot.contains("1 -- 2 [label=\"2.5\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let g = Graph::from_edges([(0, 1, 1.0)]).unwrap();
+        let s = g.to_string();
+        assert!(s.contains("2 nodes"));
+        assert!(s.contains("0 -- 1"));
+    }
+}

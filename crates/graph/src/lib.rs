@@ -1,0 +1,49 @@
+//! Weighted-graph substrate for the NISQ full-stack reproduction.
+//!
+//! This crate provides the graph-theory toolbox that the paper's co-design
+//! example rests on:
+//!
+//! * [`Graph`] — a simple undirected weighted graph used both for *qubit
+//!   interaction graphs* (nodes are virtual qubits, edge weights count
+//!   two-qubit gates) and for *device coupling graphs* (nodes are physical
+//!   qubits, edges are couplers).
+//! * [`paths`] — shortest-path machinery (BFS hopcount, Dijkstra,
+//!   all-pairs) that the routers and the closeness/hopcount metrics use.
+//! * [`metrics`] — the Table I metric set: degree statistics,
+//!   hopcount/closeness, clustering coefficient, connectivity and
+//!   adjacency-matrix weight statistics.
+//! * [`stats`] — descriptive statistics and the Pearson correlation matrix
+//!   used in Section IV to prune codependent metrics.
+//! * [`cluster`] — k-means clustering of metric vectors ("algorithms with
+//!   similar properties ought to show similar performance").
+//! * [`generate`] — deterministic graph generators (path, ring, star, grid,
+//!   complete, Erdős–Rényi) used by tests and workload generators.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcs_graph::Graph;
+//! use qcs_graph::metrics::GraphMetrics;
+//!
+//! // The 4-qubit interaction graph of Fig. 2 (weights = CNOT multiplicities).
+//! let mut g = Graph::with_nodes(4);
+//! g.add_edge_weighted(0, 1, 1.0)?;
+//! g.add_edge_weighted(1, 2, 2.0)?;
+//! g.add_edge_weighted(2, 3, 1.0)?;
+//! g.add_edge_weighted(0, 2, 1.0)?;
+//!
+//! let m = GraphMetrics::compute(&g);
+//! assert_eq!(m.max_degree, 3.0);
+//! # Ok::<(), qcs_graph::GraphError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod generate;
+pub mod graph;
+pub mod metrics;
+pub mod paths;
+pub mod stats;
+
+pub use graph::{Graph, GraphError, NodeId};

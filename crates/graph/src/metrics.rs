@@ -1,0 +1,457 @@
+//! Table I metric set: graph-theory characterization of interaction graphs.
+//!
+//! The paper characterizes quantum algorithms by graph metrics of their
+//! qubit interaction graphs (Hernández & Van Mieghem's classification,
+//! ref. \[47\]), with a focus on the metrics related to mapping:
+//!
+//! * **hopcount / closeness** — average shortest path between node pairs;
+//!   large average hopcount → less connected graph → easier to map;
+//! * **maximal / minimal degree** — lower extremes → qubits interact less →
+//!   simpler to map;
+//! * **adjacency-matrix / weight-distribution statistics** — the trade-off
+//!   metric: bigger variance → a few pairs dominate the interactions →
+//!   less qubit movement, but also less parallelism.
+//!
+//! [`GraphMetrics::compute`] evaluates the full set in one pass so the
+//! profiler can build metric vectors for correlation pruning (Section IV)
+//! and clustering.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+use crate::paths::{all_pairs_hopcount, component_count, diameter, UNREACHABLE};
+use crate::stats;
+
+/// The complete metric vector of Table I (plus the auxiliary metrics the
+/// paper's correlation analysis starts from).
+///
+/// All fields are `f64` so the vector can feed directly into the Pearson
+/// correlation matrix and k-means clustering.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_graph::{generate, metrics::GraphMetrics};
+///
+/// let star = generate::star_graph(5);
+/// let m = GraphMetrics::compute(&star);
+/// assert_eq!(m.max_degree, 4.0);
+/// assert_eq!(m.min_degree, 1.0);
+/// assert_eq!(m.clustering_coefficient, 0.0); // no triangles in a star
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphMetrics {
+    /// Number of nodes (qubits participating in two-qubit gates).
+    pub nodes: f64,
+    /// Number of distinct edges (interacting qubit pairs).
+    pub edges: f64,
+    /// Average shortest-path hopcount over connected node pairs
+    /// (Table I "hopcount"); 0 when fewer than two nodes are connected.
+    pub avg_shortest_path: f64,
+    /// Closeness: reciprocal of `avg_shortest_path` (0 when undefined).
+    pub closeness: f64,
+    /// Longest shortest path over the graph (per component).
+    pub diameter: f64,
+    /// Maximum unweighted degree.
+    pub max_degree: f64,
+    /// Minimum unweighted degree.
+    pub min_degree: f64,
+    /// Mean unweighted degree.
+    pub avg_degree: f64,
+    /// Standard deviation of the degree distribution.
+    pub degree_std: f64,
+    /// Global clustering coefficient (average of local coefficients).
+    pub clustering_coefficient: f64,
+    /// Edge density in `[0, 1]`.
+    pub density: f64,
+    /// Number of connected components.
+    pub components: f64,
+    /// Largest edge weight (most-repeated qubit pair).
+    pub max_weight: f64,
+    /// Smallest edge weight.
+    pub min_weight: f64,
+    /// Mean edge weight.
+    pub mean_weight: f64,
+    /// Standard deviation of the edge-weight distribution
+    /// (Table I "weight distribution std. dev.").
+    pub weight_std: f64,
+    /// Variance of the edge-weight distribution.
+    pub weight_variance: f64,
+    /// Standard deviation over all off-diagonal adjacency-matrix entries
+    /// (zeros included), Table I "adjacency matrix std. dev."; this couples
+    /// sparsity and weight dispersion in a single number.
+    pub adjacency_std: f64,
+    /// Largest betweenness centrality over nodes (normalized by the
+    /// number of ordered pairs): how strongly the busiest qubit sits on
+    /// everyone else's shortest paths — a routing-hotspot indicator from
+    /// the same metric catalogue (ref \[47\]).
+    pub max_betweenness: f64,
+}
+
+impl GraphMetrics {
+    /// Computes every metric for `g`.
+    ///
+    /// Hopcount-family metrics are evaluated on the unweighted skeleton
+    /// (edge multiplicity does not shorten routing distance); weight-family
+    /// metrics use the weighted edges.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.node_count();
+        let degrees: Vec<f64> = (0..n).map(|u| g.degree(u) as f64).collect();
+        let weights: Vec<f64> = g.edges().map(|(_, _, w)| w).collect();
+
+        let hop = all_pairs_hopcount(g);
+        let mut hop_sum = 0usize;
+        let mut hop_pairs = 0usize;
+        for (i, row) in hop.iter().enumerate() {
+            for (j, &d) in row.iter().enumerate() {
+                if j > i && d != UNREACHABLE {
+                    hop_sum += d;
+                    hop_pairs += 1;
+                }
+            }
+        }
+        let avg_sp = if hop_pairs > 0 {
+            hop_sum as f64 / hop_pairs as f64
+        } else {
+            0.0
+        };
+
+        // Off-diagonal adjacency entries, zeros included. Each unordered
+        // pair appears twice in the matrix but that does not change mean or
+        // std, so iterate unordered pairs once.
+        let mut adj_entries = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                adj_entries.push(g.weight(u, v).unwrap_or(0.0));
+            }
+        }
+
+        GraphMetrics {
+            nodes: n as f64,
+            edges: g.edge_count() as f64,
+            avg_shortest_path: avg_sp,
+            closeness: if avg_sp > 0.0 { 1.0 / avg_sp } else { 0.0 },
+            diameter: diameter(g).unwrap_or(0) as f64,
+            max_degree: degrees.iter().copied().fold(0.0, f64::max),
+            min_degree: if n == 0 {
+                0.0
+            } else {
+                degrees.iter().copied().fold(f64::INFINITY, f64::min)
+            },
+            avg_degree: stats::mean(&degrees),
+            degree_std: stats::std_dev(&degrees),
+            clustering_coefficient: clustering_coefficient(g),
+            density: g.density(),
+            components: component_count(g) as f64,
+            max_weight: weights.iter().copied().fold(0.0, f64::max),
+            min_weight: if weights.is_empty() {
+                0.0
+            } else {
+                weights.iter().copied().fold(f64::INFINITY, f64::min)
+            },
+            mean_weight: stats::mean(&weights),
+            weight_std: stats::std_dev(&weights),
+            weight_variance: stats::variance(&weights),
+            adjacency_std: stats::std_dev(&adj_entries),
+            max_betweenness: betweenness_centrality(g)
+                .into_iter()
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// The metric names, in the order produced by [`GraphMetrics::to_vec`].
+    pub fn names() -> &'static [&'static str] {
+        &[
+            "nodes",
+            "edges",
+            "avg_shortest_path",
+            "closeness",
+            "diameter",
+            "max_degree",
+            "min_degree",
+            "avg_degree",
+            "degree_std",
+            "clustering_coefficient",
+            "density",
+            "components",
+            "max_weight",
+            "min_weight",
+            "mean_weight",
+            "weight_std",
+            "weight_variance",
+            "adjacency_std",
+            "max_betweenness",
+        ]
+    }
+
+    /// Flattens the metrics into a vector aligned with
+    /// [`GraphMetrics::names`], ready for correlation or clustering.
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.nodes,
+            self.edges,
+            self.avg_shortest_path,
+            self.closeness,
+            self.diameter,
+            self.max_degree,
+            self.min_degree,
+            self.avg_degree,
+            self.degree_std,
+            self.clustering_coefficient,
+            self.density,
+            self.components,
+            self.max_weight,
+            self.min_weight,
+            self.mean_weight,
+            self.weight_std,
+            self.weight_variance,
+            self.adjacency_std,
+            self.max_betweenness,
+        ]
+    }
+
+    /// The pruned metric subset that survives the paper's Pearson
+    /// correlation analysis: average shortest path (hopcount/closeness),
+    /// maximal and minimal degree, and adjacency-matrix standard deviation.
+    pub fn selected_names() -> &'static [&'static str] {
+        &["avg_shortest_path", "max_degree", "min_degree", "adjacency_std"]
+    }
+
+    /// The values of [`GraphMetrics::selected_names`], in order.
+    pub fn selected_vec(&self) -> Vec<f64> {
+        vec![
+            self.avg_shortest_path,
+            self.max_degree,
+            self.min_degree,
+            self.adjacency_std,
+        ]
+    }
+}
+
+/// Betweenness centrality of every node (Brandes' algorithm, unweighted),
+/// normalized by the number of ordered node pairs `(n−1)(n−2)` so values
+/// lie in `[0, 1]`; zeros for graphs with fewer than 3 nodes.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_graph::{generate, metrics::betweenness_centrality};
+///
+/// // The hub of a star lies on every pairwise shortest path.
+/// let bc = betweenness_centrality(&generate::star_graph(5));
+/// assert_eq!(bc[0], 1.0);
+/// assert_eq!(bc[1], 0.0);
+/// ```
+pub fn betweenness_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut centrality = vec![0.0f64; n];
+    if n < 3 {
+        return centrality;
+    }
+    for s in 0..n {
+        // Brandes: single-source shortest-path counts + dependency
+        // accumulation.
+        let mut stack: Vec<usize> = Vec::with_capacity(n);
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut sigma = vec![0.0f64; n];
+        let mut dist = vec![usize::MAX; n];
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &w in g.neighbors(v) {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w] == dist[v] + 1 {
+                    sigma[w] += sigma[v];
+                    preds[w].push(v);
+                }
+            }
+        }
+        let mut delta = vec![0.0f64; n];
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w] {
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                centrality[w] += delta[w];
+            }
+        }
+    }
+    let norm = ((n - 1) * (n - 2)) as f64;
+    for c in &mut centrality {
+        *c /= norm;
+    }
+    centrality
+}
+
+/// Local clustering coefficient of node `u`: fraction of neighbour pairs
+/// that are themselves connected. Nodes with degree < 2 have coefficient 0.
+pub fn local_clustering(g: &Graph, u: usize) -> f64 {
+    let nbrs = g.neighbors(u);
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if g.has_edge(nbrs[i], nbrs[j]) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (k as f64 * (k as f64 - 1.0))
+}
+
+/// Global clustering coefficient: mean local coefficient over all nodes
+/// (0 for the empty graph).
+pub fn clustering_coefficient(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n).map(|u| local_clustering(g, u)).sum::<f64>() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn metrics_on_empty_graph() {
+        let m = GraphMetrics::compute(&Graph::new());
+        assert_eq!(m.nodes, 0.0);
+        assert_eq!(m.avg_shortest_path, 0.0);
+        assert_eq!(m.closeness, 0.0);
+        assert_eq!(m.max_weight, 0.0);
+        assert_eq!(m.min_weight, 0.0);
+    }
+
+    #[test]
+    fn metrics_on_path() {
+        let g = generate::path_graph(4);
+        let m = GraphMetrics::compute(&g);
+        // Pairs: (0,1)=1 (0,2)=2 (0,3)=3 (1,2)=1 (1,3)=2 (2,3)=1 → avg 10/6.
+        assert!((m.avg_shortest_path - 10.0 / 6.0).abs() < 1e-12);
+        assert!((m.closeness - 6.0 / 10.0).abs() < 1e-12);
+        assert_eq!(m.diameter, 3.0);
+        assert_eq!(m.max_degree, 2.0);
+        assert_eq!(m.min_degree, 1.0);
+        assert_eq!(m.components, 1.0);
+        assert_eq!(m.clustering_coefficient, 0.0);
+    }
+
+    #[test]
+    fn metrics_on_complete() {
+        let g = generate::complete_graph(5);
+        let m = GraphMetrics::compute(&g);
+        assert_eq!(m.avg_shortest_path, 1.0);
+        assert_eq!(m.closeness, 1.0);
+        assert_eq!(m.clustering_coefficient, 1.0);
+        assert_eq!(m.density, 1.0);
+        assert_eq!(m.max_degree, 4.0);
+        assert_eq!(m.min_degree, 4.0);
+    }
+
+    #[test]
+    fn clustering_on_triangle_plus_tail() {
+        // Triangle 0-1-2 plus tail 2-3.
+        let g = Graph::from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        assert_eq!(local_clustering(&g, 0), 1.0);
+        assert_eq!(local_clustering(&g, 3), 0.0);
+        // Node 2 has neighbours {0, 1, 3}: one of three pairs linked.
+        assert!((local_clustering(&g, 2) - 1.0 / 3.0).abs() < 1e-12);
+        let expected = (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0;
+        assert!((clustering_coefficient(&g) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_stats() {
+        let g = Graph::from_edges([(0, 1, 2.0), (1, 2, 4.0)]).unwrap();
+        let m = GraphMetrics::compute(&g);
+        assert_eq!(m.max_weight, 4.0);
+        assert_eq!(m.min_weight, 2.0);
+        assert_eq!(m.mean_weight, 3.0);
+        assert_eq!(m.weight_variance, 1.0);
+        assert_eq!(m.weight_std, 1.0);
+    }
+
+    #[test]
+    fn adjacency_std_includes_zeros() {
+        // Triangle missing: 3 nodes, one edge of weight 3 → entries [3, 0, 0].
+        let g = Graph::from_edges([(0, 1, 3.0)]).unwrap();
+        let mut g3 = Graph::with_nodes(3);
+        g3.add_edge_weighted(0, 1, 3.0).unwrap();
+        let m = GraphMetrics::compute(&g3);
+        // mean = 1, variance = ((3-1)^2 + 1 + 1)/3 = 2 → std = sqrt(2).
+        assert!((m.adjacency_std - 2.0_f64.sqrt()).abs() < 1e-12);
+        drop(g);
+    }
+
+    #[test]
+    fn vector_round_trip_alignment() {
+        let g = generate::grid_graph(2, 3);
+        let m = GraphMetrics::compute(&g);
+        let v = m.to_vec();
+        assert_eq!(v.len(), GraphMetrics::names().len());
+        let idx = GraphMetrics::names()
+            .iter()
+            .position(|&n| n == "max_degree")
+            .unwrap();
+        assert_eq!(v[idx], m.max_degree);
+        assert_eq!(m.selected_vec().len(), GraphMetrics::selected_names().len());
+    }
+
+    #[test]
+    fn disconnected_components_counted() {
+        let mut g = generate::path_graph(3);
+        g.add_node();
+        let m = GraphMetrics::compute(&g);
+        assert_eq!(m.components, 2.0);
+        // Average shortest path only counts connected pairs.
+        assert!((m.avg_shortest_path - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn betweenness_of_path() {
+        // Path 0-1-2-3: node 1 lies on paths (0,2), (0,3); node 2 on
+        // (0,3), (1,3) → each 2 of the 6 ordered... per direction Brandes
+        // counts unordered-pair contributions twice; with (n−1)(n−2) = 6
+        // normalization each middle node gets 4/6.
+        let bc = betweenness_centrality(&generate::path_graph(4));
+        assert!(bc[0].abs() < 1e-12);
+        assert!((bc[1] - 4.0 / 6.0).abs() < 1e-12);
+        assert!((bc[2] - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn betweenness_of_complete_graph_is_zero() {
+        let bc = betweenness_centrality(&generate::complete_graph(5));
+        assert!(bc.iter().all(|&b| b.abs() < 1e-12));
+    }
+
+    #[test]
+    fn betweenness_in_metrics_vector() {
+        let m = GraphMetrics::compute(&generate::star_graph(6));
+        assert_eq!(m.max_betweenness, 1.0);
+        let m = GraphMetrics::compute(&generate::complete_graph(4));
+        assert_eq!(m.max_betweenness, 0.0);
+        // Tiny graphs defined as zero.
+        assert_eq!(GraphMetrics::compute(&generate::path_graph(2)).max_betweenness, 0.0);
+    }
+
+    #[test]
+    fn star_vs_path_hopcount_ordering() {
+        // Star is "more connected" (shorter paths) than a path of equal size:
+        // the paper's Table I reads large hopcount as easier to map.
+        let star = GraphMetrics::compute(&generate::star_graph(8));
+        let path = GraphMetrics::compute(&generate::path_graph(8));
+        assert!(star.avg_shortest_path < path.avg_shortest_path);
+        assert!(star.max_degree > path.max_degree);
+    }
+}

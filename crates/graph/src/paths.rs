@@ -1,0 +1,354 @@
+//! Shortest-path algorithms: BFS hopcounts, Dijkstra, all-pairs matrices.
+//!
+//! Routers use hop distances on the *device coupling graph* to steer SWAP
+//! chains; profiling uses all-pairs hopcounts on *interaction graphs* for
+//! the average-shortest-path (closeness) metric of Table I.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::graph::{Graph, NodeId};
+
+/// Distance value meaning "unreachable".
+pub const UNREACHABLE: usize = usize::MAX;
+
+/// Hop distances from `src` to every node (BFS). Unreachable nodes get
+/// [`UNREACHABLE`].
+///
+/// # Panics
+///
+/// Panics if `src` is out of range.
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<usize> {
+    assert!(src < g.node_count(), "source out of range");
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    dist[src] = 0;
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v] == UNREACHABLE {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs hop-distance matrix (one BFS per node, `O(n·(n+m))`).
+pub fn all_pairs_hopcount(g: &Graph) -> Vec<Vec<usize>> {
+    (0..g.node_count()).map(|s| bfs_distances(g, s)).collect()
+}
+
+/// One shortest path (as a node sequence, inclusive of endpoints) between
+/// `src` and `dst` by hop count, or `None` if disconnected.
+///
+/// Ties are broken deterministically by neighbour insertion order.
+///
+/// # Panics
+///
+/// Panics if either endpoint is out of range.
+pub fn shortest_path(g: &Graph, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    assert!(src < g.node_count() && dst < g.node_count(), "endpoint out of range");
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut prev = vec![UNREACHABLE; g.node_count()];
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    dist[src] = 0;
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        if u == dst {
+            break;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v] == UNREACHABLE {
+                dist[v] = dist[u] + 1;
+                prev[v] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    if dist[dst] == UNREACHABLE {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Enumerates *all* hop-shortest paths between `src` and `dst`.
+///
+/// Used by routers that score alternative SWAP chains (e.g. by fidelity).
+/// The number of shortest paths can grow combinatorially on lattices, so
+/// `cap` bounds the number returned (deterministically, in lexicographic
+/// order of the node sequences).
+///
+/// # Panics
+///
+/// Panics if either endpoint is out of range.
+pub fn all_shortest_paths(g: &Graph, src: NodeId, dst: NodeId, cap: usize) -> Vec<Vec<NodeId>> {
+    assert!(src < g.node_count() && dst < g.node_count(), "endpoint out of range");
+    if src == dst {
+        return vec![vec![src]];
+    }
+    let dist = bfs_distances(g, src);
+    if dist[dst] == UNREACHABLE {
+        return Vec::new();
+    }
+    // Walk backwards from dst along strictly-decreasing distance.
+    let mut out = Vec::new();
+    let mut stack: Vec<Vec<NodeId>> = vec![vec![dst]];
+    while let Some(partial) = stack.pop() {
+        if out.len() >= cap {
+            break;
+        }
+        let head = *partial.last().expect("partial path is non-empty");
+        if head == src {
+            let mut p = partial.clone();
+            p.reverse();
+            out.push(p);
+            continue;
+        }
+        // Deterministic order: sort predecessor candidates descending so the
+        // stack pops them ascending.
+        let mut preds: Vec<NodeId> = g
+            .neighbors(head)
+            .iter()
+            .copied()
+            .filter(|&v| dist[v] + 1 == dist[head])
+            .collect();
+        preds.sort_unstable_by(|a, b| b.cmp(a));
+        for v in preds {
+            let mut p = partial.clone();
+            p.push(v);
+            stack.push(p);
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapItem {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by cost; ties by node id for determinism.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra distances from `src` using a per-edge cost function.
+///
+/// Edge cost is produced by `cost(u, v, weight)` and must be non-negative;
+/// this lets noise-aware routing price an edge by `-ln(fidelity)` instead
+/// of hops. Unreachable nodes get `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if `src` is out of range or a produced cost is negative or NaN.
+pub fn dijkstra<F>(g: &Graph, src: NodeId, mut cost: F) -> Vec<f64>
+where
+    F: FnMut(NodeId, NodeId, f64) -> f64,
+{
+    assert!(src < g.node_count(), "source out of range");
+    let mut dist = vec![f64::INFINITY; g.node_count()];
+    dist[src] = 0.0;
+    let mut heap = BinaryHeap::from([HeapItem { cost: 0.0, node: src }]);
+    while let Some(HeapItem { cost: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            let w = g.weight(u, v).expect("adjacency implies edge");
+            let c = cost(u, v, w);
+            assert!(c >= 0.0, "edge cost must be non-negative, got {c}");
+            let nd = d + c;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(HeapItem { cost: nd, node: v });
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the graph is connected (true for the empty graph).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.node_count() == 0 {
+        return true;
+    }
+    bfs_distances(g, 0).iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Number of connected components.
+pub fn component_count(g: &Graph) -> usize {
+    let n = g.node_count();
+    let mut comp = vec![UNREACHABLE; n];
+    let mut count = 0;
+    for s in 0..n {
+        if comp[s] != UNREACHABLE {
+            continue;
+        }
+        count += 1;
+        comp[s] = count;
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v] == UNREACHABLE {
+                    comp[v] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Graph diameter (longest shortest path) over the largest component;
+/// `None` for graphs with no nodes.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.node_count() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for s in 0..g.node_count() {
+        for d in bfs_distances(g, s) {
+            if d != UNREACHABLE && d > best {
+                best = d;
+            }
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    fn path4() -> Graph {
+        generate::path_graph(4)
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path4();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::with_nodes(3);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, UNREACHABLE, UNREACHABLE]);
+    }
+
+    #[test]
+    fn shortest_path_endpoints() {
+        let g = path4();
+        assert_eq!(shortest_path(&g, 0, 3), Some(vec![0, 1, 2, 3]));
+        assert_eq!(shortest_path(&g, 2, 2), Some(vec![2]));
+    }
+
+    #[test]
+    fn shortest_path_disconnected() {
+        let g = Graph::with_nodes(2);
+        assert_eq!(shortest_path(&g, 0, 1), None);
+    }
+
+    #[test]
+    fn all_shortest_paths_on_square() {
+        // 0-1, 0-2, 1-3, 2-3: two shortest paths from 0 to 3.
+        let g = Graph::from_edges([(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)]).unwrap();
+        let paths = all_shortest_paths(&g, 0, 3, 10);
+        assert_eq!(paths.len(), 2);
+        assert!(paths.contains(&vec![0, 1, 3]));
+        assert!(paths.contains(&vec![0, 2, 3]));
+    }
+
+    #[test]
+    fn all_shortest_paths_capped() {
+        let g = Graph::from_edges([(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)]).unwrap();
+        assert_eq!(all_shortest_paths(&g, 0, 3, 1).len(), 1);
+    }
+
+    #[test]
+    fn all_shortest_paths_trivial_and_disconnected() {
+        let g = Graph::with_nodes(2);
+        assert_eq!(all_shortest_paths(&g, 0, 0, 5), vec![vec![0]]);
+        assert!(all_shortest_paths(&g, 0, 1, 5).is_empty());
+    }
+
+    #[test]
+    fn dijkstra_unit_costs_match_bfs() {
+        let g = generate::grid_graph(3, 3);
+        let d1 = dijkstra(&g, 0, |_, _, _| 1.0);
+        let d2 = bfs_distances(&g, 0);
+        for (a, b) in d1.iter().zip(d2.iter()) {
+            assert_eq!(*a as usize, *b);
+        }
+    }
+
+    #[test]
+    fn dijkstra_respects_costs() {
+        // 0-1 cheap-cheap via 2, expensive direct.
+        let mut g = Graph::with_nodes(3);
+        g.add_edge_weighted(0, 1, 10.0).unwrap();
+        g.add_edge_weighted(0, 2, 1.0).unwrap();
+        g.add_edge_weighted(2, 1, 1.0).unwrap();
+        let d = dijkstra(&g, 0, |_, _, w| w);
+        assert_eq!(d[1], 2.0);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        assert!(is_connected(&path4()));
+        assert!(is_connected(&Graph::new()));
+        let mut g = path4();
+        g.add_node();
+        assert!(!is_connected(&g));
+        assert_eq!(component_count(&g), 2);
+        assert_eq!(component_count(&path4()), 1);
+    }
+
+    #[test]
+    fn diameter_values() {
+        assert_eq!(diameter(&path4()), Some(3));
+        assert_eq!(diameter(&generate::complete_graph(5)), Some(1));
+        assert_eq!(diameter(&Graph::new()), None);
+        assert_eq!(diameter(&Graph::with_nodes(1)), Some(0));
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        let g = generate::grid_graph(2, 3);
+        let m = all_pairs_hopcount(&g);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0);
+            for (j, &d) in row.iter().enumerate() {
+                assert_eq!(d, m[j][i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Descriptive statistics, Pearson correlation and linear regression.
+//!
+//! Section IV of the paper builds a Pearson correlation matrix over the
+//! metric set "in order to reduce the parameter space and select only
+//! features that are necessary". [`correlation_matrix`] and
+//! [`select_uncorrelated`] implement that workflow.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; 0 for slices with fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum of a slice; `None` when empty.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
+}
+
+/// Maximum of a slice; `None` when empty.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// Median (average of the middle two for even lengths); `None` when empty.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in median input"));
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    })
+}
+
+/// Pearson correlation coefficient between two equally-long series.
+///
+/// Returns 0 when either series is constant (the coefficient is undefined;
+/// 0 is the conservative "no linear relation" answer the metric-pruning
+/// workflow wants).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Symmetric Pearson correlation matrix over feature columns.
+///
+/// `samples` is row-major: `samples[i][k]` is feature `k` of sample `i`.
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent lengths.
+pub fn correlation_matrix(samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let k = samples.first().map_or(0, Vec::len);
+    for row in samples {
+        assert_eq!(row.len(), k, "ragged sample matrix");
+    }
+    let columns: Vec<Vec<f64>> = (0..k)
+        .map(|j| samples.iter().map(|row| row[j]).collect())
+        .collect();
+    let mut m = vec![vec![0.0; k]; k];
+    for a in 0..k {
+        m[a][a] = 1.0;
+        for b in (a + 1)..k {
+            let r = pearson(&columns[a], &columns[b]);
+            m[a][b] = r;
+            m[b][a] = r;
+        }
+    }
+    m
+}
+
+/// Greedy feature selection by correlation threshold.
+///
+/// Walks features in the given order and keeps a feature only if its
+/// absolute Pearson correlation with every already-kept feature is below
+/// `threshold`. This reproduces the paper's pruning of codependent metrics
+/// ("large number of handpicked, mapping-related metrics is codependent").
+///
+/// Returns indices of the retained features.
+pub fn select_uncorrelated(corr: &[Vec<f64>], threshold: f64) -> Vec<usize> {
+    let mut kept: Vec<usize> = Vec::new();
+    for (f, row) in corr.iter().enumerate() {
+        if kept.iter().all(|&g| row[g].abs() < threshold) {
+            kept.push(f);
+        }
+    }
+    kept
+}
+
+/// Result of a simple least-squares line fit `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination `r²`.
+    pub r_squared: f64,
+}
+
+/// Least-squares linear regression of `ys` on `xs`.
+///
+/// Returns `None` if fewer than two points or `xs` is constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    assert_eq!(xs.len(), ys.len(), "series length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for i in 0..n {
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        sxy += (xs[i] - mx) * (ys[i] - my);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r = pearson(xs, ys);
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared: r * r,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn min_max_median() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(min(&xs), Some(1.0));
+        assert_eq!(max(&xs), Some(3.0));
+        assert_eq!(median(&xs), Some(2.0));
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_uncorrelated() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, -1.0, -1.0, 1.0];
+        assert!(pearson(&xs, &ys).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_matrix_shape_and_symmetry() {
+        let samples = vec![
+            vec![1.0, 2.0, 10.0],
+            vec![2.0, 4.0, 9.0],
+            vec![3.0, 6.0, 8.0],
+            vec![4.0, 8.0, 7.0],
+        ];
+        let m = correlation_matrix(&samples);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0][0], 1.0);
+        assert!((m[0][1] - 1.0).abs() < 1e-12); // col1 = 2·col0
+        assert!((m[0][2] + 1.0).abs() < 1e-12); // col2 descends
+        assert_eq!(m[1][2], m[2][1]);
+    }
+
+    #[test]
+    fn select_uncorrelated_prunes_duplicates() {
+        let samples = vec![
+            vec![1.0, 2.0, 5.0],
+            vec![2.0, 4.0, 3.0],
+            vec![3.0, 6.0, 8.0],
+            vec![4.0, 8.0, 1.0],
+        ];
+        let m = correlation_matrix(&samples);
+        let kept = select_uncorrelated(&m, 0.95);
+        assert_eq!(kept, vec![0, 2]); // feature 1 is 2× feature 0
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate() {
+        assert!(linear_fit(&[1.0], &[1.0]).is_none());
+        assert!(linear_fit(&[2.0, 2.0], &[1.0, 3.0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pearson_length_mismatch_panics() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Minimal complex arithmetic for state-vector simulation.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` parts.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_sim::C64;
+///
+/// let i = C64::I;
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// assert_eq!(C64::new(3.0, 4.0).norm_sqr(), 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// A real number.
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}`.
+    pub fn from_polar_unit(theta: f64) -> Self {
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Whether both parts are within `eps` of `other`'s.
+    pub fn approx_eq(self, other: C64, eps: f64) -> bool {
+        (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.conj(), C64::new(3.0, -4.0));
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!((z * z.conj()).re, 25.0);
+    }
+
+    #[test]
+    fn polar_unit() {
+        let z = C64::from_polar_unit(std::f64::consts::FRAC_PI_2);
+        assert!(z.approx_eq(C64::I, 1e-12));
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut z = C64::ONE;
+        z += C64::I;
+        assert_eq!(z.scale(2.0), C64::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2i");
+    }
+}

@@ -1,0 +1,298 @@
+//! Equivalence checking: the routing-correctness oracle.
+//!
+//! Mapping inserts SWAPs and relabels qubits, so the mapped circuit is
+//! only equivalent to the original *up to the tracked virtual→physical
+//! permutation*. [`mapped_equivalent`] verifies exactly that contract by
+//! simulating both circuits on random joint input states.
+
+use rand::Rng;
+
+use qcs_circuit::circuit::Circuit;
+
+use crate::complex::C64;
+use crate::exec::run_unitary;
+use crate::state::StateVector;
+
+/// Result details of a failed equivalence check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquivFailure {
+    /// Trial index at which the mismatch occurred.
+    pub trial: usize,
+    /// State fidelity observed (should be ~1).
+    pub fidelity: f64,
+}
+
+impl std::fmt::Display for EquivFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "equivalence failed at trial {}: state fidelity {:.6}",
+            self.trial, self.fidelity
+        )
+    }
+}
+
+impl std::error::Error for EquivFailure {}
+
+/// Checks two same-width circuits for equality up to global phase, by
+/// simulation on `trials` random input states.
+///
+/// This is a randomized check: agreement on several Haar-ish random states
+/// makes inequivalent unitaries astronomically unlikely to pass.
+///
+/// # Errors
+///
+/// Returns [`EquivFailure`] at the first mismatching trial.
+///
+/// # Panics
+///
+/// Panics if the circuits have different widths or the width exceeds the
+/// simulator limit.
+pub fn circuits_equivalent<R: Rng>(
+    a: &Circuit,
+    b: &Circuit,
+    trials: usize,
+    rng: &mut R,
+) -> Result<(), EquivFailure> {
+    assert_eq!(a.qubit_count(), b.qubit_count(), "width mismatch");
+    let n = a.qubit_count();
+    for trial in 0..trials {
+        let input = StateVector::random(n, rng);
+        let out_a = run_unitary(a, input.clone());
+        let out_b = run_unitary(b, input);
+        let fidelity = out_a.fidelity(&out_b);
+        if (1.0 - fidelity).abs() > 1e-9 {
+            return Err(EquivFailure { trial, fidelity });
+        }
+    }
+    Ok(())
+}
+
+/// Embeds an `n`-qubit state into `m ≥ n` qubits, placing virtual qubit
+/// `v` at physical position `placement[v]` and `|0⟩` elsewhere.
+///
+/// # Panics
+///
+/// Panics if `placement` is shorter than the state, repeats a physical
+/// qubit, or points beyond `m`.
+pub fn embed_state(state: &StateVector, m: usize, placement: &[usize]) -> StateVector {
+    let n = state.qubit_count();
+    assert!(placement.len() >= n, "placement too short");
+    assert!(m >= n, "target register too small");
+    let mut seen = vec![false; m];
+    for &p in &placement[..n] {
+        assert!(p < m, "placement out of range");
+        assert!(!seen[p], "placement repeats physical qubit {p}");
+        seen[p] = true;
+    }
+    let mut amps = vec![C64::ZERO; 1 << m];
+    for idx in 0..1usize << n {
+        let mut phys = 0usize;
+        for (v, &p) in placement[..n].iter().enumerate() {
+            if idx & (1 << v) != 0 {
+                phys |= 1 << p;
+            }
+        }
+        amps[phys] = state.amplitude(idx);
+    }
+    StateVector::from_amplitudes(amps)
+}
+
+/// Extracts the `n` virtual qubits back out of an `m`-qubit state given
+/// the layout `layout[v] = physical position of virtual v`, verifying the
+/// remaining physical qubits are exactly `|0⟩`.
+///
+/// Returns `None` if any amplitude mass sits outside the expected
+/// subspace (within `1e-9`).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`embed_state`].
+pub fn extract_state(state: &StateVector, n: usize, layout: &[usize]) -> Option<StateVector> {
+    let m = state.qubit_count();
+    assert!(layout.len() >= n, "layout too short");
+    let mut used = 0usize;
+    for &p in &layout[..n] {
+        assert!(p < m, "layout out of range");
+        used |= 1 << p;
+    }
+    let mut amps = vec![C64::ZERO; 1 << n];
+    let mut outside = 0.0;
+    for idx in 0..1usize << m {
+        let a = state.amplitude(idx);
+        if idx & !used != 0 {
+            outside += a.norm_sqr();
+            continue;
+        }
+        let mut virt = 0usize;
+        for (v, &p) in layout[..n].iter().enumerate() {
+            if idx & (1 << p) != 0 {
+                virt |= 1 << v;
+            }
+        }
+        amps[virt] = a;
+    }
+    if outside > 1e-9 {
+        return None;
+    }
+    Some(StateVector::from_amplitudes(amps))
+}
+
+/// Verifies that `mapped` (on a device register of `device_qubits`)
+/// implements `original` given the initial placement and final layout
+/// (`initial[v]` / `final_layout[v]` = physical home of virtual qubit `v`
+/// before / after execution).
+///
+/// # Errors
+///
+/// Returns [`EquivFailure`] at the first mismatching random trial; the
+/// reported fidelity is 0 when amplitude leaked onto unused physical
+/// qubits.
+///
+/// # Panics
+///
+/// Panics on inconsistent widths/placements or if `device_qubits`
+/// exceeds the simulator limit.
+pub fn mapped_equivalent<R: Rng>(
+    original: &Circuit,
+    mapped: &Circuit,
+    device_qubits: usize,
+    initial: &[usize],
+    final_layout: &[usize],
+    trials: usize,
+    rng: &mut R,
+) -> Result<(), EquivFailure> {
+    let n = original.qubit_count();
+    assert!(mapped.qubit_count() <= device_qubits, "mapped circuit too wide");
+    for trial in 0..trials {
+        let input = StateVector::random(n, rng);
+        let want = run_unitary(original, input.clone());
+        let embedded = embed_state(&input, device_qubits, initial);
+        let got_full = run_unitary(mapped, embedded);
+        let Some(got) = extract_state(&got_full, n, final_layout) else {
+            return Err(EquivFailure { trial, fidelity: 0.0 });
+        };
+        let fidelity = want.fidelity(&got);
+        if (1.0 - fidelity).abs() > 1e-9 {
+            return Err(EquivFailure { trial, fidelity });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn identical_circuits_equivalent() {
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap().cnot(0, 1).unwrap().toffoli(0, 1, 2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(circuits_equivalent(&c, &c.clone(), 3, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn detects_inequivalence() {
+        let mut a = Circuit::new(2);
+        a.cnot(0, 1).unwrap();
+        let mut b = Circuit::new(2);
+        b.cnot(1, 0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert!(circuits_equivalent(&a, &b, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn decomposition_identities_hold() {
+        use qcs_circuit::decompose::{decompose_circuit, GateSet};
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // Every tricky identity in the decomposer, against the simulator.
+        let mut cases: Vec<Circuit> = Vec::new();
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).unwrap();
+        cases.push(c);
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).unwrap();
+        cases.push(c);
+        let mut c = Circuit::new(2);
+        c.cphase(0, 1, 0.7).unwrap();
+        cases.push(c);
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2).unwrap();
+        cases.push(c);
+        let mut c = Circuit::new(1);
+        c.h(0).unwrap();
+        cases.push(c);
+        for set in [GateSet::surface_code_native(), GateSet::rotations_plus_cz()] {
+            for case in &cases {
+                let d = decompose_circuit(case, &set).unwrap();
+                circuits_equivalent(case, &d, 3, &mut rng)
+                    .unwrap_or_else(|e| panic!("{case:?} vs decomposition: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn embed_and_extract_round_trip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let s = StateVector::random(2, &mut rng);
+        let placement = [3, 1];
+        let big = embed_state(&s, 4, &placement);
+        let back = extract_state(&big, 2, &placement).unwrap();
+        assert!(back.approx_eq_up_to_phase(&s, 1e-12));
+        assert_eq!(back.amplitudes(), s.amplitudes());
+    }
+
+    #[test]
+    fn extract_detects_leakage() {
+        let mut big = StateVector::zero(3);
+        big.apply_h(2); // amplitude on a qubit outside the layout
+        assert!(extract_state(&big, 1, &[0]).is_none());
+    }
+
+    #[test]
+    fn mapped_equivalence_with_swap_insertion() {
+        // Original: CNOT(0, 1) between virtually adjacent qubits.
+        let mut original = Circuit::new(2);
+        original.cnot(0, 1).unwrap();
+        // Mapped onto a 3-qubit line where the pair starts at distance 2:
+        // SWAP(1, 2) brings virtual 1 (at physical 2) next to physical 0.
+        let mut mapped = Circuit::new(3);
+        mapped.swap(1, 2).unwrap().cnot(0, 1).unwrap();
+        let initial = [0, 2];
+        let final_layout = [0, 1]; // virtual 1 moved from 2 to 1
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        mapped_equivalent(&original, &mapped, 3, &initial, &final_layout, 3, &mut rng)
+            .expect("swap-routed circuit must be equivalent");
+    }
+
+    #[test]
+    fn mapped_equivalence_catches_wrong_layout() {
+        let mut original = Circuit::new(2);
+        original.cnot(0, 1).unwrap();
+        let mut mapped = Circuit::new(3);
+        mapped.swap(1, 2).unwrap().cnot(0, 1).unwrap();
+        let initial = [0, 2];
+        let wrong_final = [0, 2]; // stale layout
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        assert!(mapped_equivalent(
+            &original,
+            &mapped,
+            3,
+            &initial,
+            &wrong_final,
+            3,
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats physical qubit")]
+    fn embed_rejects_duplicate_placement() {
+        let s = StateVector::zero(2);
+        let _ = embed_state(&s, 3, &[1, 1]);
+    }
+}

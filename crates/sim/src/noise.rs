@@ -1,0 +1,296 @@
+//! Monte-Carlo Pauli noise: validating the analytic fidelity model.
+//!
+//! Fig. 3 of the paper computes circuit fidelity "as product of fidelities
+//! for all one- and two-qubit gates in the circuit". This module provides
+//! the stochastic counterpart: per-gate fault injection with the same
+//! per-gate error rates, so tests can confirm the analytic product equals
+//! the fault-free shot frequency.
+
+use rand::Rng;
+
+use qcs_circuit::circuit::Circuit;
+use qcs_circuit::gate::Gate;
+
+use crate::exec::apply_gate;
+use crate::state::StateVector;
+
+/// Per-gate error rates used by the noisy executor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Error probability of a single-qubit gate.
+    pub single_qubit_error: f64,
+    /// Error probability of a two-qubit gate.
+    pub two_qubit_error: f64,
+    /// Error probability of a measurement.
+    pub measurement_error: f64,
+}
+
+impl NoiseModel {
+    /// Builds a model from gate *fidelities* (error = 1 − fidelity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fidelity is outside `[0, 1]`.
+    pub fn from_fidelities(single: f64, two: f64, measurement: f64) -> Self {
+        for f in [single, two, measurement] {
+            assert!((0.0..=1.0).contains(&f), "fidelity must be in [0, 1]");
+        }
+        NoiseModel {
+            single_qubit_error: 1.0 - single,
+            two_qubit_error: 1.0 - two,
+            measurement_error: 1.0 - measurement,
+        }
+    }
+
+    /// The error probability applicable to `gate`.
+    pub fn error_for(&self, gate: &Gate) -> f64 {
+        match gate {
+            Gate::Measure(_) => self.measurement_error,
+            Gate::Barrier(_) => 0.0,
+            g if g.is_two_qubit() => self.two_qubit_error,
+            Gate::Toffoli(..) => self.two_qubit_error, // modelled as 2q-class
+            _ => self.single_qubit_error,
+        }
+    }
+
+    /// Analytic success probability: the product of per-gate success
+    /// probabilities — exactly the paper's Fig. 3 fidelity estimate.
+    pub fn analytic_success(&self, circuit: &Circuit) -> f64 {
+        circuit
+            .iter()
+            .map(|g| 1.0 - self.error_for(g))
+            .product()
+    }
+}
+
+/// Outcome of one noisy shot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shot {
+    /// Sampled final basis state.
+    pub outcome: usize,
+    /// Number of fault events injected during the shot.
+    pub faults: usize,
+}
+
+/// Runs one shot of `circuit` with Pauli fault injection: after each gate,
+/// with the model's error probability, a uniformly random Pauli (X, Y or
+/// Z) hits each operand qubit. Measurements are deferred to a final full
+/// sample.
+pub fn noisy_shot<R: Rng>(circuit: &Circuit, model: &NoiseModel, rng: &mut R) -> Shot {
+    let mut state = StateVector::zero(circuit.qubit_count());
+    let mut faults = 0;
+    for g in circuit.iter() {
+        if g.is_unitary() {
+            apply_gate(&mut state, g);
+        }
+        let p = model.error_for(g);
+        if p > 0.0 && rng.gen::<f64>() < p {
+            faults += 1;
+            for q in g.qubits() {
+                match rng.gen_range(0..3) {
+                    0 => state.apply_x(q),
+                    1 => state.apply_y(q),
+                    _ => state.apply_z(q),
+                }
+            }
+        }
+    }
+    Shot {
+        outcome: state.sample(rng),
+        faults,
+    }
+}
+
+/// Statistics from a batch of noisy shots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoisyRunStats {
+    /// Number of shots executed.
+    pub shots: usize,
+    /// Fraction of shots with zero fault events — the Monte-Carlo estimate
+    /// of the analytic fidelity product.
+    pub fault_free_fraction: f64,
+    /// Mean faults per shot.
+    pub mean_faults: f64,
+}
+
+/// Runs `shots` noisy shots and aggregates fault statistics.
+pub fn run_noisy<R: Rng>(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    shots: usize,
+    rng: &mut R,
+) -> NoisyRunStats {
+    let mut fault_free = 0usize;
+    let mut total_faults = 0usize;
+    for _ in 0..shots {
+        let s = noisy_shot(circuit, model, rng);
+        if s.faults == 0 {
+            fault_free += 1;
+        }
+        total_faults += s.faults;
+    }
+    NoisyRunStats {
+        shots,
+        fault_free_fraction: fault_free as f64 / shots.max(1) as f64,
+        mean_faults: total_faults as f64 / shots.max(1) as f64,
+    }
+}
+
+/// Total variation distance between the noisy empirical output
+/// distribution (over `shots` sampled shots) and the ideal noiseless
+/// distribution: `½ Σ_x |p_noisy(x) − p_ideal(x)|` in `[0, 1]`.
+///
+/// This is the distribution-level counterpart of the fault-free success
+/// probability — it keeps credit for faults that happen not to disturb
+/// the measured observable.
+///
+/// # Panics
+///
+/// Panics if `shots == 0` or the circuit exceeds the simulator limit.
+pub fn total_variation_distance<R: Rng>(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    shots: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(shots > 0, "need at least one shot");
+    let ideal = {
+        let mut s = StateVector::zero(circuit.qubit_count());
+        for g in circuit.iter() {
+            if g.is_unitary() {
+                apply_gate(&mut s, g);
+            }
+        }
+        s.probabilities()
+    };
+    let mut counts = vec![0usize; ideal.len()];
+    for _ in 0..shots {
+        counts[noisy_shot(circuit, model, rng).outcome] += 1;
+    }
+    0.5 * ideal
+        .iter()
+        .zip(&counts)
+        .map(|(&p, &c)| (c as f64 / shots as f64 - p).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap().cnot(0, 1).unwrap().cnot(1, 2).unwrap();
+        c.h(2).unwrap().cz(0, 2).unwrap();
+        c
+    }
+
+    #[test]
+    fn error_classification() {
+        let m = NoiseModel::from_fidelities(0.999, 0.99, 0.995);
+        assert!((m.error_for(&Gate::H(0)) - 0.001).abs() < 1e-12);
+        assert!((m.error_for(&Gate::Cz(0, 1)) - 0.01).abs() < 1e-12);
+        assert!((m.error_for(&Gate::Measure(0)) - 0.005).abs() < 1e-12);
+        assert_eq!(m.error_for(&Gate::Barrier(0)), 0.0);
+    }
+
+    #[test]
+    fn analytic_product() {
+        let m = NoiseModel::from_fidelities(0.999, 0.99, 1.0);
+        let c = sample_circuit();
+        // 2 single-qubit + 3 two-qubit gates.
+        let expected = 0.999f64.powi(2) * 0.99f64.powi(3);
+        assert!((m.analytic_success(&c) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_noise_is_fault_free() {
+        let m = NoiseModel::from_fidelities(1.0, 1.0, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let stats = run_noisy(&sample_circuit(), &m, 50, &mut rng);
+        assert_eq!(stats.fault_free_fraction, 1.0);
+        assert_eq!(stats.mean_faults, 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic() {
+        // Large error rates so the statistic converges quickly.
+        let m = NoiseModel::from_fidelities(0.95, 0.9, 1.0);
+        let c = sample_circuit();
+        let analytic = m.analytic_success(&c);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let stats = run_noisy(&c, &m, 4000, &mut rng);
+        assert!(
+            (stats.fault_free_fraction - analytic).abs() < 0.03,
+            "MC {} vs analytic {}",
+            stats.fault_free_fraction,
+            analytic
+        );
+    }
+
+    #[test]
+    fn more_gates_lower_success() {
+        let m = NoiseModel::from_fidelities(0.999, 0.99, 0.995);
+        let short = sample_circuit();
+        let mut long = short.clone();
+        long.extend_from(&short).unwrap();
+        assert!(m.analytic_success(&long) < m.analytic_success(&short));
+    }
+
+    #[test]
+    fn shots_report_faults() {
+        let m = NoiseModel::from_fidelities(0.0, 0.0, 1.0); // always fault
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let shot = noisy_shot(&sample_circuit(), &m, &mut rng);
+        assert_eq!(shot.faults, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "fidelity must be in")]
+    fn rejects_bad_fidelity() {
+        let _ = NoiseModel::from_fidelities(1.2, 0.9, 0.9);
+    }
+
+    #[test]
+    fn tvd_zero_without_noise() {
+        let m = NoiseModel::from_fidelities(1.0, 1.0, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        // Classical circuit: ideal distribution is a point mass, sampling
+        // noise vanishes, TVD is exactly 0.
+        let mut c = Circuit::new(2);
+        c.x(0).unwrap().cnot(0, 1).unwrap();
+        let tvd = total_variation_distance(&c, &m, 200, &mut rng);
+        assert_eq!(tvd, 0.0);
+    }
+
+    #[test]
+    fn tvd_grows_with_noise() {
+        let mut c = Circuit::new(2);
+        c.x(0).unwrap().cnot(0, 1).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let low = total_variation_distance(
+            &c,
+            &NoiseModel::from_fidelities(0.99, 0.99, 1.0),
+            2000,
+            &mut rng,
+        );
+        let high = total_variation_distance(
+            &c,
+            &NoiseModel::from_fidelities(0.7, 0.7, 1.0),
+            2000,
+            &mut rng,
+        );
+        assert!(high > low, "high-noise TVD {high} vs low-noise {low}");
+        assert!((0.0..=1.0).contains(&high));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shot")]
+    fn tvd_rejects_zero_shots() {
+        let m = NoiseModel::from_fidelities(1.0, 1.0, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let _ = total_variation_distance(&Circuit::new(1), &m, 0, &mut rng);
+    }
+}

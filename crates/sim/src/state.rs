@@ -1,0 +1,566 @@
+//! The [`StateVector`] and its gate kernels.
+//!
+//! Convention: qubit `q` is bit `q` of the basis index (little-endian), so
+//! basis state `|q_{n-1} … q_1 q_0⟩` has index `Σ q_k 2^k`.
+
+use rand::Rng;
+
+use crate::complex::C64;
+
+/// Exact quantum state of `n` qubits (`2^n` complex amplitudes).
+///
+/// # Examples
+///
+/// ```
+/// use qcs_sim::StateVector;
+///
+/// let mut s = StateVector::zero(2);
+/// s.apply_h(0);
+/// s.apply_cnot(0, 1);
+/// let p = s.probabilities();
+/// assert!((p[3] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    qubits: usize,
+    amps: Vec<C64>,
+}
+
+/// Practical qubit limit (2^24 amplitudes ≈ 256 MiB); constructors panic
+/// beyond it to fail fast instead of aborting on allocation.
+pub const MAX_QUBITS: usize = 24;
+
+impl StateVector {
+    /// The all-zeros state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits > MAX_QUBITS`.
+    pub fn zero(qubits: usize) -> Self {
+        assert!(
+            qubits <= MAX_QUBITS,
+            "state of {qubits} qubits exceeds the {MAX_QUBITS}-qubit simulator limit"
+        );
+        let mut amps = vec![C64::ZERO; 1 << qubits];
+        amps[0] = C64::ONE;
+        StateVector { qubits, amps }
+    }
+
+    /// A computational basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^qubits` or `qubits > MAX_QUBITS`.
+    pub fn basis(qubits: usize, index: usize) -> Self {
+        let mut s = StateVector::zero(qubits);
+        assert!(index < s.amps.len(), "basis index out of range");
+        s.amps[0] = C64::ZERO;
+        s.amps[index] = C64::ONE;
+        s
+    }
+
+    /// Builds a state from raw amplitudes, normalizing them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two, the norm is zero, or
+    /// the implied qubit count exceeds [`MAX_QUBITS`].
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        let len = amps.len();
+        assert!(len.is_power_of_two() && len > 0, "length must be a power of two");
+        let qubits = len.trailing_zeros() as usize;
+        assert!(qubits <= MAX_QUBITS, "too many qubits");
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        assert!(norm > 0.0, "cannot normalize the zero vector");
+        let amps = amps.into_iter().map(|a| a.scale(1.0 / norm)).collect();
+        StateVector { qubits, amps }
+    }
+
+    /// A Haar-ish random state (i.i.d. Gaussian-free: uniform box sampled
+    /// then normalized — adequate for equivalence spot-checks).
+    pub fn random<R: Rng>(qubits: usize, rng: &mut R) -> Self {
+        let amps: Vec<C64> = (0..1usize << qubits)
+            .map(|_| C64::new(rng.gen::<f64>() * 2.0 - 1.0, rng.gen::<f64>() * 2.0 - 1.0))
+            .collect();
+        StateVector::from_amplitudes(amps)
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.qubits
+    }
+
+    /// The amplitude of basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn amplitude(&self, index: usize) -> C64 {
+        self.amps[index]
+    }
+
+    /// All amplitudes, basis-index order.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Measurement probabilities for every basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Probability that qubit `q` measures 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn probability_of_one(&self, q: usize) -> f64 {
+        assert!(q < self.qubits, "qubit out of range");
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Samples a basis state from the measurement distribution.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let mut target = rng.gen::<f64>();
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if target <= p {
+                return i;
+            }
+            target -= p;
+        }
+        self.amps.len() - 1
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn inner_product(&self, other: &StateVector) -> C64 {
+        assert_eq!(self.qubits, other.qubits, "width mismatch");
+        let mut acc = C64::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// State fidelity `|⟨self|other⟩|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Whether the states are equal up to a global phase within `eps`.
+    pub fn approx_eq_up_to_phase(&self, other: &StateVector, eps: f64) -> bool {
+        if self.qubits != other.qubits {
+            return false;
+        }
+        (1.0 - self.fidelity(other)).abs() <= eps
+    }
+
+    // --- gate kernels ----------------------------------------------------
+
+    /// Applies an arbitrary 2×2 matrix `[[m00, m01], [m10, m11]]` to `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_single(&mut self, q: usize, m: [[C64; 2]; 2]) {
+        assert!(q < self.qubits, "qubit out of range");
+        let mask = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & mask == 0 {
+                let j = i | mask;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    /// Pauli-X on `q`.
+    pub fn apply_x(&mut self, q: usize) {
+        assert!(q < self.qubits, "qubit out of range");
+        let mask = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & mask == 0 {
+                self.amps.swap(i, i | mask);
+            }
+        }
+    }
+
+    /// Pauli-Y on `q`.
+    pub fn apply_y(&mut self, q: usize) {
+        self.apply_single(q, [[C64::ZERO, -C64::I], [C64::I, C64::ZERO]]);
+    }
+
+    /// Pauli-Z on `q`.
+    pub fn apply_z(&mut self, q: usize) {
+        self.apply_phase(q, C64::real(-1.0));
+    }
+
+    /// Hadamard on `q`.
+    pub fn apply_h(&mut self, q: usize) {
+        let h = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        self.apply_single(q, [[h, h], [h, -h]]);
+    }
+
+    /// Applies `diag(1, phase)` to `q` (S, T, Rz-like gates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_phase(&mut self, q: usize, phase: C64) {
+        assert!(q < self.qubits, "qubit out of range");
+        let mask = 1usize << q;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i & mask != 0 {
+                *a = *a * phase;
+            }
+        }
+    }
+
+    /// Rx(θ) on `q`.
+    pub fn apply_rx(&mut self, q: usize, theta: f64) {
+        let c = C64::real((theta / 2.0).cos());
+        let s = C64::new(0.0, -(theta / 2.0).sin());
+        self.apply_single(q, [[c, s], [s, c]]);
+    }
+
+    /// Ry(θ) on `q`.
+    pub fn apply_ry(&mut self, q: usize, theta: f64) {
+        let c = C64::real((theta / 2.0).cos());
+        let s = (theta / 2.0).sin();
+        self.apply_single(q, [[c, C64::real(-s)], [C64::real(s), c]]);
+    }
+
+    /// Rz(θ) on `q` (uses the symmetric `diag(e^{−iθ/2}, e^{iθ/2})`).
+    pub fn apply_rz(&mut self, q: usize, theta: f64) {
+        assert!(q < self.qubits, "qubit out of range");
+        let neg = C64::from_polar_unit(-theta / 2.0);
+        let pos = C64::from_polar_unit(theta / 2.0);
+        let mask = 1usize << q;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            *a = *a * if i & mask == 0 { neg } else { pos };
+        }
+    }
+
+    /// CNOT with control `c`, target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands coincide or are out of range.
+    pub fn apply_cnot(&mut self, c: usize, t: usize) {
+        assert!(c < self.qubits && t < self.qubits && c != t, "bad operands");
+        let cm = 1usize << c;
+        let tm = 1usize << t;
+        for i in 0..self.amps.len() {
+            if i & cm != 0 && i & tm == 0 {
+                self.amps.swap(i, i | tm);
+            }
+        }
+    }
+
+    /// CZ between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands coincide or are out of range.
+    pub fn apply_cz(&mut self, a: usize, b: usize) {
+        assert!(a < self.qubits && b < self.qubits && a != b, "bad operands");
+        let am = 1usize << a;
+        let bm = 1usize << b;
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & am != 0 && i & bm != 0 {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    /// Controlled phase `diag(1,1,1,e^{iθ})` between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands coincide or are out of range.
+    pub fn apply_cphase(&mut self, a: usize, b: usize, theta: f64) {
+        assert!(a < self.qubits && b < self.qubits && a != b, "bad operands");
+        let am = 1usize << a;
+        let bm = 1usize << b;
+        let ph = C64::from_polar_unit(theta);
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & am != 0 && i & bm != 0 {
+                *amp = *amp * ph;
+            }
+        }
+    }
+
+    /// SWAP of `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands coincide or are out of range.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.qubits && b < self.qubits && a != b, "bad operands");
+        let am = 1usize << a;
+        let bm = 1usize << b;
+        for i in 0..self.amps.len() {
+            if i & am != 0 && i & bm == 0 {
+                self.amps.swap(i, (i & !am) | bm);
+            }
+        }
+    }
+
+    /// Toffoli with controls `a`, `b` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands repeat or are out of range.
+    pub fn apply_toffoli(&mut self, a: usize, b: usize, t: usize) {
+        assert!(
+            a < self.qubits && b < self.qubits && t < self.qubits,
+            "qubit out of range"
+        );
+        assert!(a != b && a != t && b != t, "operands must be distinct");
+        let am = 1usize << a;
+        let bm = 1usize << b;
+        let tm = 1usize << t;
+        for i in 0..self.amps.len() {
+            if i & am != 0 && i & bm != 0 && i & tm == 0 {
+                self.amps.swap(i, i | tm);
+            }
+        }
+    }
+
+    /// Projective measurement of qubit `q`: collapses the state and
+    /// returns the observed bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn measure_collapse<R: Rng>(&mut self, q: usize, rng: &mut R) -> bool {
+        let p1 = self.probability_of_one(q);
+        let outcome = rng.gen::<f64>() < p1;
+        let mask = 1usize << q;
+        let keep = if outcome { mask } else { 0 };
+        let norm = if outcome { p1.sqrt() } else { (1.0 - p1).sqrt() };
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i & mask == keep {
+                *a = a.scale(1.0 / norm);
+            } else {
+                *a = C64::ZERO;
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::f64::consts::PI;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn zero_state() {
+        let s = StateVector::zero(3);
+        assert_eq!(s.qubit_count(), 3);
+        assert_eq!(s.amplitude(0), C64::ONE);
+        assert!((s.probabilities()[0] - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn x_flips_basis() {
+        let mut s = StateVector::zero(2);
+        s.apply_x(1);
+        assert_eq!(s.amplitude(0b10), C64::ONE);
+    }
+
+    #[test]
+    fn h_creates_superposition_and_is_involutive() {
+        let mut s = StateVector::zero(1);
+        s.apply_h(0);
+        assert!((s.probability_of_one(0) - 0.5).abs() < EPS);
+        s.apply_h(0);
+        assert!(s.amplitude(0).approx_eq(C64::ONE, EPS));
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut s = StateVector::zero(2);
+        s.apply_h(0);
+        s.apply_cnot(0, 1);
+        let p = s.probabilities();
+        assert!((p[0b00] - 0.5).abs() < EPS);
+        assert!((p[0b11] - 0.5).abs() < EPS);
+        assert!(p[0b01] < EPS && p[0b10] < EPS);
+    }
+
+    #[test]
+    fn cz_symmetry() {
+        let mut a = StateVector::random(3, &mut ChaCha8Rng::seed_from_u64(1));
+        let mut b = a.clone();
+        a.apply_cz(0, 2);
+        b.apply_cz(2, 0);
+        assert!(a.approx_eq_up_to_phase(&b, EPS));
+        assert_eq!(a.amplitudes(), b.amplitudes());
+    }
+
+    #[test]
+    fn cnot_equals_h_cz_h() {
+        let mut a = StateVector::random(2, &mut ChaCha8Rng::seed_from_u64(2));
+        let mut b = a.clone();
+        a.apply_cnot(0, 1);
+        b.apply_h(1);
+        b.apply_cz(0, 1);
+        b.apply_h(1);
+        assert!(a.approx_eq_up_to_phase(&b, 1e-10));
+    }
+
+    #[test]
+    fn swap_exchanges_amplitudes() {
+        let mut s = StateVector::basis(2, 0b01);
+        s.apply_swap(0, 1);
+        assert_eq!(s.amplitude(0b10), C64::ONE);
+        // SWAP == 3 CNOTs.
+        let mut a = StateVector::random(2, &mut ChaCha8Rng::seed_from_u64(3));
+        let mut b = a.clone();
+        a.apply_swap(0, 1);
+        b.apply_cnot(0, 1);
+        b.apply_cnot(1, 0);
+        b.apply_cnot(0, 1);
+        assert!(a.approx_eq_up_to_phase(&b, 1e-10));
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        for input in 0..8usize {
+            let mut s = StateVector::basis(3, input);
+            s.apply_toffoli(0, 1, 2);
+            let expected = if input & 0b011 == 0b011 {
+                input ^ 0b100
+            } else {
+                input
+            };
+            assert_eq!(s.amplitude(expected), C64::ONE, "input {input:03b}");
+        }
+    }
+
+    #[test]
+    fn rz_phases() {
+        let mut s = StateVector::basis(1, 1);
+        s.apply_rz(0, PI);
+        // e^{iπ/2} = i on |1⟩.
+        assert!(s.amplitude(1).approx_eq(C64::I, EPS));
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        let mut a = StateVector::random(1, &mut ChaCha8Rng::seed_from_u64(4));
+        let mut b = a.clone();
+        a.apply_rx(0, PI);
+        b.apply_x(0);
+        assert!(a.approx_eq_up_to_phase(&b, 1e-10));
+    }
+
+    #[test]
+    fn ry_pi_is_y_up_to_phase() {
+        let mut a = StateVector::random(1, &mut ChaCha8Rng::seed_from_u64(5));
+        let mut b = a.clone();
+        a.apply_ry(0, PI);
+        b.apply_y(0);
+        assert!(a.approx_eq_up_to_phase(&b, 1e-10));
+    }
+
+    #[test]
+    fn cphase_pi_is_cz() {
+        let mut a = StateVector::random(2, &mut ChaCha8Rng::seed_from_u64(6));
+        let mut b = a.clone();
+        a.apply_cphase(0, 1, PI);
+        b.apply_cz(0, 1);
+        assert!(a.approx_eq_up_to_phase(&b, 1e-10));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let s = StateVector::random(4, &mut ChaCha8Rng::seed_from_u64(7));
+        let total: f64 = s.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut s = StateVector::zero(1);
+        s.apply_x(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for _ in 0..20 {
+            assert_eq!(s.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn measurement_collapse() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut s = StateVector::zero(2);
+        s.apply_h(0);
+        s.apply_cnot(0, 1);
+        let bit = s.measure_collapse(0, &mut rng);
+        // Entanglement: qubit 1 must agree with qubit 0.
+        let p1 = s.probability_of_one(1);
+        if bit {
+            assert!((p1 - 1.0).abs() < EPS);
+        } else {
+            assert!(p1 < EPS);
+        }
+    }
+
+    #[test]
+    fn inner_product_and_fidelity() {
+        let s = StateVector::zero(2);
+        let mut t = StateVector::zero(2);
+        assert!((s.fidelity(&t) - 1.0).abs() < EPS);
+        t.apply_x(0);
+        assert!(s.fidelity(&t) < EPS);
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes() {
+        let s = StateVector::from_amplitudes(vec![C64::real(3.0), C64::real(4.0)]);
+        assert!((s.probabilities()[0] - 0.36).abs() < EPS);
+        assert!((s.probabilities()[1] - 0.64).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_amplitude_length_panics() {
+        let _ = StateVector::from_amplitudes(vec![C64::ONE; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_qubit_panics() {
+        let mut s = StateVector::zero(1);
+        s.apply_x(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn toffoli_duplicate_operand_panics() {
+        let mut s = StateVector::zero(3);
+        s.apply_toffoli(0, 0, 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Exact unitary-matrix extraction and comparison.
+//!
+//! For small circuits (≤ ~10 qubits) the full `2^n × 2^n` unitary can be
+//! built column by column, turning the randomized equivalence spot-check
+//! of [`crate::equiv`] into an *exact* proof — the gold standard for
+//! validating decomposition identities and optimizer rewrites.
+
+use qcs_circuit::circuit::Circuit;
+
+use crate::complex::C64;
+use crate::exec::run_unitary;
+use crate::state::StateVector;
+
+/// Hard cap on exact-unitary extraction (4^12 complex numbers ≈ 256 MiB).
+pub const MAX_UNITARY_QUBITS: usize = 12;
+
+/// A dense unitary matrix in column-major basis order
+/// (`columns[j][i] = ⟨i|U|j⟩`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unitary {
+    qubits: usize,
+    columns: Vec<Vec<C64>>,
+}
+
+impl Unitary {
+    /// Builds the unitary implemented by the unitary gates of `circuit`
+    /// (measurements/barriers are skipped as in
+    /// [`run_unitary`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit exceeds [`MAX_UNITARY_QUBITS`].
+    pub fn of_circuit(circuit: &Circuit) -> Self {
+        let n = circuit.qubit_count();
+        assert!(
+            n <= MAX_UNITARY_QUBITS,
+            "{n} qubits exceed the {MAX_UNITARY_QUBITS}-qubit unitary limit"
+        );
+        let dim = 1usize << n;
+        let columns = (0..dim)
+            .map(|j| {
+                run_unitary(circuit, StateVector::basis(n, j))
+                    .amplitudes()
+                    .to_vec()
+            })
+            .collect();
+        Unitary { qubits: n, columns }
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.qubits
+    }
+
+    /// Matrix dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        1 << self.qubits
+    }
+
+    /// The entry `⟨i|U|j⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn entry(&self, i: usize, j: usize) -> C64 {
+        self.columns[j][i]
+    }
+
+    /// Whether `self = e^{iθ} · other` for some global phase, within
+    /// `eps` per entry.
+    pub fn approx_eq_up_to_phase(&self, other: &Unitary, eps: f64) -> bool {
+        if self.qubits != other.qubits {
+            return false;
+        }
+        // Find a reference entry with significant magnitude to extract
+        // the relative phase.
+        let dim = self.dim();
+        let mut phase: Option<C64> = None;
+        for j in 0..dim {
+            for i in 0..dim {
+                let a = self.entry(i, j);
+                let b = other.entry(i, j);
+                if a.norm() > 0.5 / dim as f64 && b.norm() > 0.5 / dim as f64 {
+                    // phase = a / b  (unit modulus up to numerics).
+                    let denom = b.norm_sqr();
+                    phase = Some(C64::new(
+                        (a * b.conj()).re / denom,
+                        (a * b.conj()).im / denom,
+                    ));
+                    break;
+                }
+            }
+            if phase.is_some() {
+                break;
+            }
+        }
+        let Some(phase) = phase else {
+            // Both matrices ~zero everywhere significant — cannot happen
+            // for unitaries; treat as unequal.
+            return false;
+        };
+        for j in 0..dim {
+            for i in 0..dim {
+                let want = other.entry(i, j) * phase;
+                if !self.entry(i, j).approx_eq(want, eps) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Verifies unitarity: `U†U = I` within `eps`.
+    pub fn is_unitary(&self, eps: f64) -> bool {
+        let dim = self.dim();
+        for a in 0..dim {
+            for b in a..dim {
+                let mut dot = C64::ZERO;
+                for i in 0..dim {
+                    dot += self.columns[a][i].conj() * self.columns[b][i];
+                }
+                let want = if a == b { C64::ONE } else { C64::ZERO };
+                if !dot.approx_eq(want, eps) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Exact equality (up to global phase) of two same-width circuits.
+///
+/// # Panics
+///
+/// Panics if widths differ or exceed [`MAX_UNITARY_QUBITS`].
+pub fn circuits_equal_exact(a: &Circuit, b: &Circuit, eps: f64) -> bool {
+    assert_eq!(a.qubit_count(), b.qubit_count(), "width mismatch");
+    Unitary::of_circuit(a).approx_eq_up_to_phase(&Unitary::of_circuit(b), eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::decompose::{decompose_circuit, GateSet};
+
+    #[test]
+    fn hadamard_matrix() {
+        let mut c = Circuit::new(1);
+        c.h(0).unwrap();
+        let u = Unitary::of_circuit(&c);
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(u.entry(0, 0).approx_eq(C64::real(h), 1e-12));
+        assert!(u.entry(1, 1).approx_eq(C64::real(-h), 1e-12));
+        assert!(u.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn cnot_matrix() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).unwrap();
+        let u = Unitary::of_circuit(&c);
+        // |01⟩ (control=1) ↔ |11⟩.
+        assert!(u.entry(0b11, 0b01).approx_eq(C64::ONE, 1e-12));
+        assert!(u.entry(0b01, 0b11).approx_eq(C64::ONE, 1e-12));
+        assert!(u.entry(0b00, 0b00).approx_eq(C64::ONE, 1e-12));
+        assert!(u.entry(0b10, 0b10).approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn global_phase_ignored() {
+        // X vs Rx(π) = −iX: equal only up to phase.
+        let mut a = Circuit::new(1);
+        a.x(0).unwrap();
+        let mut b = Circuit::new(1);
+        b.rx(0, std::f64::consts::PI).unwrap();
+        assert!(circuits_equal_exact(&a, &b, 1e-10));
+        let ua = Unitary::of_circuit(&a);
+        let ub = Unitary::of_circuit(&b);
+        assert_ne!(ua, ub); // raw matrices differ
+        assert!(ua.approx_eq_up_to_phase(&ub, 1e-10));
+    }
+
+    #[test]
+    fn detects_inequality() {
+        let mut a = Circuit::new(1);
+        a.x(0).unwrap();
+        let mut b = Circuit::new(1);
+        b.z(0).unwrap();
+        assert!(!circuits_equal_exact(&a, &b, 1e-10));
+    }
+
+    #[test]
+    fn all_decomposition_identities_exact() {
+        // The decomposer's every rewrite, proven exactly.
+        let mut cases: Vec<Circuit> = Vec::new();
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).unwrap();
+        cases.push(c);
+        let mut c = Circuit::new(2);
+        c.cz(0, 1).unwrap();
+        cases.push(c);
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).unwrap();
+        cases.push(c);
+        let mut c = Circuit::new(2);
+        c.cphase(0, 1, 0.7321).unwrap();
+        cases.push(c);
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2).unwrap();
+        cases.push(c);
+        for g in [
+            qcs_circuit::gate::Gate::X(0),
+            qcs_circuit::gate::Gate::Y(0),
+            qcs_circuit::gate::Gate::Z(0),
+            qcs_circuit::gate::Gate::H(0),
+            qcs_circuit::gate::Gate::S(0),
+            qcs_circuit::gate::Gate::Sdg(0),
+            qcs_circuit::gate::Gate::T(0),
+            qcs_circuit::gate::Gate::Tdg(0),
+        ] {
+            let mut c = Circuit::new(1);
+            c.push(g).unwrap();
+            cases.push(c);
+        }
+        for set in [
+            GateSet::surface_code_native(),
+            GateSet::ibm_style(),
+            GateSet::rotations_plus_cz(),
+        ] {
+            for case in &cases {
+                let d = decompose_circuit(case, &set).unwrap();
+                assert!(
+                    circuits_equal_exact(case, &d, 1e-9),
+                    "decomposition of {:?} into {set:?} is not exact",
+                    case.gates()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unitarity_of_random_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap().cnot(0, 1).unwrap().t(2).unwrap().cz(1, 2).unwrap();
+        c.ry(0, 0.3).unwrap().toffoli(0, 1, 2).unwrap();
+        assert!(Unitary::of_circuit(&c).is_unitary(1e-10));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_wide_panics() {
+        let _ = Unitary::of_circuit(&Circuit::new(MAX_UNITARY_QUBITS + 1));
+    }
+}

@@ -1,0 +1,221 @@
+//! The control-electronics layer.
+//!
+//! Bottom of the classical stack (ref \[18\]): ISA instructions are
+//! dispatched onto analog channels. Each qubit has a drive channel for
+//! single-qubit gates; each coupler has a flux channel for two-qubit
+//! gates; a shared readout channel serves measurement (frequency
+//! multiplexed, so simultaneous readouts are allowed). Dispatch verifies
+//! the exclusivity invariant: a channel drives at most one operation per
+//! cycle.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::{Instruction, IsaProgram};
+
+/// Identifier of an analog control channel.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Channel {
+    /// Microwave drive line of one qubit.
+    Drive(usize),
+    /// Flux line of one coupler (canonical low-high order).
+    Flux(usize, usize),
+    /// The shared (multiplexed) readout line.
+    Readout,
+}
+
+impl std::fmt::Display for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Channel::Drive(q) => write!(f, "drive[{q}]"),
+            Channel::Flux(a, b) => write!(f, "flux[{a},{b}]"),
+            Channel::Readout => write!(f, "readout"),
+        }
+    }
+}
+
+/// One analog event on a channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlEvent {
+    /// Cycle at which the event fires.
+    pub cycle: u64,
+    /// Operation mnemonic.
+    pub op: String,
+}
+
+/// Error raised when the instruction stream violates channel exclusivity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelConflict {
+    /// The over-driven channel.
+    pub channel: Channel,
+    /// Cycle of the collision.
+    pub cycle: u64,
+}
+
+impl std::fmt::Display for ChannelConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "channel {} driven twice in cycle {}",
+            self.channel, self.cycle
+        )
+    }
+}
+
+impl std::error::Error for ChannelConflict {}
+
+/// The dispatched control trace: per-channel event streams.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ControlTrace {
+    channels: BTreeMap<Channel, Vec<ControlEvent>>,
+}
+
+impl ControlTrace {
+    /// Dispatches an ISA program onto control channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelConflict`] if two operations claim the same drive
+    /// or flux channel in the same cycle (multiplexed readout never
+    /// conflicts).
+    pub fn dispatch(program: &IsaProgram) -> Result<Self, ChannelConflict> {
+        let mut trace = ControlTrace::default();
+        let mut cycle = 0u64;
+        for inst in &program.instructions {
+            match inst {
+                Instruction::Qwait(n) => cycle += n,
+                Instruction::Op { name, qubits, .. } => {
+                    let channel = match (name.as_str(), qubits.as_slice()) {
+                        ("measure", _) => Channel::Readout,
+                        (_, &[q]) => Channel::Drive(q),
+                        (_, &[a, b]) => Channel::Flux(a.min(b), a.max(b)),
+                        (_, qs) => Channel::Flux(
+                            qs.iter().copied().min().unwrap_or(0),
+                            qs.iter().copied().max().unwrap_or(0),
+                        ),
+                    };
+                    let events = trace.channels.entry(channel.clone()).or_default();
+                    let exclusive = channel != Channel::Readout;
+                    if exclusive && events.iter().any(|e| e.cycle == cycle) {
+                        return Err(ChannelConflict { channel, cycle });
+                    }
+                    events.push(ControlEvent {
+                        cycle,
+                        op: name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Number of channels that saw at least one event.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Total events across channels.
+    pub fn event_count(&self) -> usize {
+        self.channels.values().map(Vec::len).sum()
+    }
+
+    /// Events on one channel, if any.
+    pub fn events(&self, channel: &Channel) -> Option<&[ControlEvent]> {
+        self.channels.get(channel).map(Vec::as_slice)
+    }
+
+    /// Iterates over `(channel, events)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&Channel, &[ControlEvent])> {
+        self.channels.iter().map(|(c, e)| (c, e.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::DEFAULT_CYCLE_NS;
+    use qcs_circuit::circuit::Circuit;
+    use qcs_core::schedule::{schedule_asap, ControlGroups};
+    use qcs_topology::error::GateDurations;
+
+    fn program(c: &Circuit) -> IsaProgram {
+        let s = schedule_asap(
+            c,
+            &GateDurations::surface_code_defaults(),
+            &ControlGroups::unconstrained(),
+        );
+        IsaProgram::lower(&s, DEFAULT_CYCLE_NS)
+    }
+
+    #[test]
+    fn routes_ops_to_channels() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().cnot(0, 1).unwrap().measure(1).unwrap();
+        let trace = ControlTrace::dispatch(&program(&c)).unwrap();
+        assert_eq!(trace.channel_count(), 3);
+        assert!(trace.events(&Channel::Drive(0)).is_some());
+        assert!(trace.events(&Channel::Flux(0, 1)).is_some());
+        assert_eq!(trace.events(&Channel::Readout).unwrap().len(), 1);
+        assert_eq!(trace.event_count(), 3);
+    }
+
+    #[test]
+    fn scheduled_circuits_never_conflict() {
+        // The ASAP scheduler serializes same-qubit gates, so dispatch of
+        // its output must always succeed.
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap().h(0).unwrap().cnot(0, 1).unwrap();
+        c.cz(1, 2).unwrap().measure_all();
+        assert!(ControlTrace::dispatch(&program(&c)).is_ok());
+    }
+
+    #[test]
+    fn simultaneous_readout_is_fine() {
+        let mut c = Circuit::new(3);
+        c.measure_all();
+        let trace = ControlTrace::dispatch(&program(&c)).unwrap();
+        let events = trace.events(&Channel::Readout).unwrap();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.cycle == 0));
+    }
+
+    #[test]
+    fn detects_conflicts_in_hand_built_programs() {
+        use crate::isa::Instruction;
+        let bad = IsaProgram {
+            cycle_ns: DEFAULT_CYCLE_NS,
+            instructions: vec![
+                Instruction::Op {
+                    name: "x".into(),
+                    angle: None,
+                    qubits: vec![0],
+                },
+                Instruction::Op {
+                    name: "h".into(),
+                    angle: None,
+                    qubits: vec![0],
+                },
+            ],
+            total_cycles: 1,
+        };
+        let err = ControlTrace::dispatch(&bad).unwrap_err();
+        assert_eq!(err.channel, Channel::Drive(0));
+        assert_eq!(err.cycle, 0);
+    }
+
+    #[test]
+    fn flux_channel_canonical_order() {
+        let mut c = Circuit::new(2);
+        c.cz(1, 0).unwrap();
+        let trace = ControlTrace::dispatch(&program(&c)).unwrap();
+        assert!(trace.events(&Channel::Flux(0, 1)).is_some());
+    }
+
+    #[test]
+    fn channel_display() {
+        assert_eq!(Channel::Drive(3).to_string(), "drive[3]");
+        assert_eq!(Channel::Flux(1, 4).to_string(), "flux[1,4]");
+        assert_eq!(Channel::Readout.to_string(), "readout");
+    }
+}

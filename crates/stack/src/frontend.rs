@@ -1,0 +1,90 @@
+//! The language front-end: program entry into the stack.
+
+use qcs_circuit::circuit::Circuit;
+use qcs_circuit::optimize::{optimize, OptimizeReport};
+use qcs_circuit::qasm::{self, ParseQasmError};
+
+/// Front-end configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frontend {
+    /// Run the high-level peephole optimizer (gate cancellation, rotation
+    /// merging) before handing the circuit to the compiler.
+    pub optimize: bool,
+}
+
+impl Default for Frontend {
+    fn default() -> Self {
+        Frontend { optimize: true }
+    }
+}
+
+/// A parsed-and-prepared program plus front-end diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedProgram {
+    /// The circuit entering the compiler.
+    pub circuit: Circuit,
+    /// What the optimizer did (all-zero when optimization is disabled).
+    pub optimization: OptimizeReport,
+}
+
+impl Frontend {
+    /// Accepts an OpenQASM 2.0 program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseQasmError`] on malformed source.
+    pub fn accept_qasm(&self, source: &str) -> Result<PreparedProgram, ParseQasmError> {
+        let circuit = qasm::parse(source)?;
+        Ok(self.accept_circuit(circuit))
+    }
+
+    /// Accepts an in-memory circuit.
+    pub fn accept_circuit(&self, circuit: Circuit) -> PreparedProgram {
+        if self.optimize {
+            let (optimized, report) = optimize(&circuit);
+            PreparedProgram {
+                circuit: optimized,
+                optimization: report,
+            }
+        } else {
+            PreparedProgram {
+                circuit,
+                optimization: OptimizeReport::default(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_optimizes() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\nh q[0];\ncx q[0],q[1];\n";
+        let prep = Frontend::default().accept_qasm(src).unwrap();
+        assert_eq!(prep.circuit.gate_count(), 1); // H pair cancelled
+        assert_eq!(prep.optimization.cancelled, 2);
+    }
+
+    #[test]
+    fn optimization_can_be_disabled() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nh q[0];\nh q[0];\n";
+        let prep = Frontend { optimize: false }.accept_qasm(src).unwrap();
+        assert_eq!(prep.circuit.gate_count(), 2);
+        assert_eq!(prep.optimization.total_removed(), 0);
+    }
+
+    #[test]
+    fn propagates_parse_errors() {
+        assert!(Frontend::default().accept_qasm("garbage q[0];").is_err());
+    }
+
+    #[test]
+    fn accepts_circuits_directly() {
+        let mut c = Circuit::new(2);
+        c.x(0).unwrap().x(0).unwrap();
+        let prep = Frontend::default().accept_circuit(c);
+        assert!(prep.circuit.is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! The executable quantum ISA layer (eQASM-style, refs \[14\]–\[17\]).
+//!
+//! The compiler's scheduled output is lowered to a timestamped
+//! instruction stream: quantum operations interleaved with explicit
+//! `QWAIT` timing instructions, quantized to the control cycle. This is
+//! the representation the microarchitecture executes and the
+//! control-electronics layer dispatches.
+
+use serde::{Deserialize, Serialize};
+
+use qcs_circuit::gate::Gate;
+use qcs_core::schedule::Schedule;
+
+/// Control cycle length in nanoseconds (eQASM's timing grid).
+pub const DEFAULT_CYCLE_NS: f64 = 20.0;
+
+/// One ISA instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// Advance the timeline by the given number of cycles.
+    Qwait(u64),
+    /// A quantum operation issued in the current cycle.
+    Op {
+        /// The gate mnemonic (QASM spelling).
+        name: String,
+        /// Rotation angle if parametrized.
+        angle: Option<f64>,
+        /// Physical operand qubits.
+        qubits: Vec<usize>,
+    },
+}
+
+impl Instruction {
+    fn from_gate(gate: &Gate) -> Self {
+        Instruction::Op {
+            name: gate.name().to_string(),
+            angle: gate.angle(),
+            qubits: gate.qubits(),
+        }
+    }
+}
+
+impl std::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Instruction::Qwait(n) => write!(f, "qwait {n}"),
+            Instruction::Op {
+                name,
+                angle,
+                qubits,
+            } => {
+                match angle {
+                    Some(a) => write!(f, "{name}({a})")?,
+                    None => write!(f, "{name}")?,
+                }
+                let ops: Vec<String> = qubits.iter().map(|q| format!("q{q}")).collect();
+                write!(f, " {}", ops.join(", "))
+            }
+        }
+    }
+}
+
+/// A lowered ISA program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsaProgram {
+    /// Cycle length used for quantization (ns).
+    pub cycle_ns: f64,
+    /// The instruction stream.
+    pub instructions: Vec<Instruction>,
+    /// Total program length in cycles.
+    pub total_cycles: u64,
+}
+
+impl IsaProgram {
+    /// Lowers a schedule to ISA instructions on a `cycle_ns` grid.
+    ///
+    /// Gates are issued in start-time order; a `QWAIT` is emitted whenever
+    /// the next gate starts in a later cycle than the previous issue.
+    /// Barriers vanish (they are purely compile-time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_ns` is not positive.
+    pub fn lower(schedule: &Schedule, cycle_ns: f64) -> Self {
+        assert!(cycle_ns > 0.0, "cycle length must be positive");
+        let mut timed: Vec<(&_, u64)> = schedule
+            .gates
+            .iter()
+            .filter(|g| !matches!(g.gate, Gate::Barrier(_)))
+            .map(|g| (g, (g.start_ns / cycle_ns).round() as u64))
+            .collect();
+        timed.sort_by_key(|&(g, cycle)| (cycle, g.index));
+
+        let mut instructions = Vec::with_capacity(timed.len());
+        let mut cursor = 0u64;
+        for (g, cycle) in &timed {
+            if *cycle > cursor {
+                instructions.push(Instruction::Qwait(cycle - cursor));
+                cursor = *cycle;
+            }
+            instructions.push(Instruction::from_gate(&g.gate));
+        }
+        let total_cycles = (schedule.makespan_ns / cycle_ns).ceil() as u64;
+        IsaProgram {
+            cycle_ns,
+            instructions,
+            total_cycles,
+        }
+    }
+
+    /// Number of quantum operations (excluding waits).
+    pub fn instruction_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i, Instruction::Op { .. }))
+            .count()
+    }
+
+    /// Number of `QWAIT` instructions.
+    pub fn wait_count(&self) -> usize {
+        self.instructions.len() - self.instruction_count()
+    }
+
+    /// Renders the program as assembly text.
+    pub fn to_assembly(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# cycle = {} ns\n", self.cycle_ns));
+        for i in &self.instructions {
+            out.push_str(&i.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::circuit::Circuit;
+    use qcs_core::schedule::{schedule_asap, ControlGroups};
+    use qcs_topology::error::GateDurations;
+
+    fn lower(c: &Circuit) -> IsaProgram {
+        let s = schedule_asap(
+            c,
+            &GateDurations::surface_code_defaults(),
+            &ControlGroups::unconstrained(),
+        );
+        IsaProgram::lower(&s, DEFAULT_CYCLE_NS)
+    }
+
+    #[test]
+    fn sequential_gates_get_waits() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().cnot(0, 1).unwrap();
+        let isa = lower(&c);
+        // h at cycle 0, cnot at cycle 1 (20 ns / 20 ns).
+        assert_eq!(isa.instruction_count(), 2);
+        assert_eq!(isa.wait_count(), 1);
+        assert_eq!(isa.instructions[1], Instruction::Qwait(1));
+        assert_eq!(isa.total_cycles, 3); // 20 + 40 ns = 60 ns = 3 cycles
+    }
+
+    #[test]
+    fn parallel_gates_share_cycle() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().h(1).unwrap();
+        let isa = lower(&c);
+        assert_eq!(isa.wait_count(), 0);
+        assert_eq!(isa.instruction_count(), 2);
+    }
+
+    #[test]
+    fn barriers_vanish() {
+        let mut c = Circuit::new(2);
+        c.barrier_all();
+        c.h(0).unwrap();
+        let isa = lower(&c);
+        assert_eq!(isa.instruction_count(), 1);
+    }
+
+    #[test]
+    fn assembly_output() {
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.5).unwrap().cnot(0, 1).unwrap();
+        let isa = lower(&c);
+        let text = isa.to_assembly();
+        assert!(text.contains("rz(0.5) q0"));
+        assert!(text.contains("cx q0, q1"));
+        assert!(text.contains("qwait 1"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Instruction::Qwait(4).to_string(), "qwait 4");
+        let op = Instruction::Op {
+            name: "cz".into(),
+            angle: None,
+            qubits: vec![2, 5],
+        };
+        assert_eq!(op.to_string(), "cz q2, q5");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_cycle() {
+        let s = schedule_asap(
+            &Circuit::new(1),
+            &GateDurations::surface_code_defaults(),
+            &ControlGroups::unconstrained(),
+        );
+        let _ = IsaProgram::lower(&s, 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Microarchitecture execution model.
+//!
+//! Between the ISA and the control electronics sits the
+//! microarchitecture (the paper's refs \[16\]/\[17\]): the classical engine
+//! that fetches timestamped quantum instructions and issues them to the
+//! analog channels. Its finite *issue width* is one concrete form of the
+//! "classical control constraints that … limit the operations'
+//! parallelization" (Section III).
+//!
+//! [`Microarchitecture::execute`] replays an [`IsaProgram`] cycle by
+//! cycle: instructions that exceed the issue width in their cycle spill
+//! into stall cycles, stretching the program and reducing utilization.
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::{Instruction, IsaProgram};
+
+/// A simple in-order issue engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Microarchitecture {
+    /// Maximum quantum operations issued per cycle.
+    pub issue_width: usize,
+}
+
+impl Default for Microarchitecture {
+    fn default() -> Self {
+        // A generous but finite issue width typical of published control
+        // microarchitectures.
+        Microarchitecture { issue_width: 8 }
+    }
+}
+
+/// Statistics from replaying a program through the issue engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    /// Quantum operations issued.
+    pub ops_issued: usize,
+    /// Total cycles consumed, including stalls.
+    pub cycles: u64,
+    /// Cycles added because a timestamp's operations exceeded the issue
+    /// width.
+    pub stall_cycles: u64,
+    /// Peak operations requested in any single timestamp.
+    pub peak_demand: usize,
+    /// `ops_issued / (cycles × issue_width)` in `[0, 1]`.
+    pub utilization: f64,
+}
+
+impl Microarchitecture {
+    /// Creates an engine with the given issue width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issue_width == 0`.
+    pub fn new(issue_width: usize) -> Self {
+        assert!(issue_width > 0, "issue width must be positive");
+        Microarchitecture { issue_width }
+    }
+
+    /// Replays `program`, returning issue statistics.
+    pub fn execute(&self, program: &IsaProgram) -> ExecutionTrace {
+        let mut cycles: u64 = 0;
+        let mut stall_cycles: u64 = 0;
+        let mut ops_issued = 0usize;
+        let mut peak_demand = 0usize;
+        let mut pending_in_cycle = 0usize;
+
+        let flush = |pending: usize, cycles: &mut u64, stalls: &mut u64, width: usize| {
+            if pending > width {
+                let extra = pending.div_ceil(width) as u64 - 1;
+                *cycles += extra;
+                *stalls += extra;
+            }
+        };
+
+        for inst in &program.instructions {
+            match inst {
+                Instruction::Qwait(n) => {
+                    peak_demand = peak_demand.max(pending_in_cycle);
+                    flush(
+                        pending_in_cycle,
+                        &mut cycles,
+                        &mut stall_cycles,
+                        self.issue_width,
+                    );
+                    pending_in_cycle = 0;
+                    cycles += n;
+                }
+                Instruction::Op { .. } => {
+                    pending_in_cycle += 1;
+                    ops_issued += 1;
+                }
+            }
+        }
+        peak_demand = peak_demand.max(pending_in_cycle);
+        flush(
+            pending_in_cycle,
+            &mut cycles,
+            &mut stall_cycles,
+            self.issue_width,
+        );
+        if ops_issued > 0 {
+            cycles += 1; // the final issue cycle itself
+        }
+        cycles = cycles.max(program.total_cycles);
+
+        let capacity = cycles as f64 * self.issue_width as f64;
+        ExecutionTrace {
+            ops_issued,
+            cycles,
+            stall_cycles,
+            peak_demand,
+            utilization: if capacity > 0.0 {
+                ops_issued as f64 / capacity
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::DEFAULT_CYCLE_NS;
+    use qcs_circuit::circuit::Circuit;
+    use qcs_core::schedule::{schedule_asap, ControlGroups};
+    use qcs_topology::error::GateDurations;
+
+    fn program(c: &Circuit) -> IsaProgram {
+        let s = schedule_asap(
+            c,
+            &GateDurations::surface_code_defaults(),
+            &ControlGroups::unconstrained(),
+        );
+        IsaProgram::lower(&s, DEFAULT_CYCLE_NS)
+    }
+
+    #[test]
+    fn wide_engine_never_stalls() {
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.h(q).unwrap();
+        }
+        let trace = Microarchitecture::new(8).execute(&program(&c));
+        assert_eq!(trace.stall_cycles, 0);
+        assert_eq!(trace.ops_issued, 4);
+        assert_eq!(trace.peak_demand, 4);
+    }
+
+    #[test]
+    fn narrow_engine_stalls() {
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.h(q).unwrap();
+        }
+        let trace = Microarchitecture::new(1).execute(&program(&c));
+        assert_eq!(trace.stall_cycles, 3); // 4 ops through a width-1 port
+        assert!(trace.cycles >= 4);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap().cnot(0, 1).unwrap().cnot(1, 2).unwrap();
+        for width in [1, 2, 8] {
+            let t = Microarchitecture::new(width).execute(&program(&c));
+            assert!(t.utilization > 0.0 && t.utilization <= 1.0, "width {width}");
+        }
+    }
+
+    #[test]
+    fn narrower_is_never_faster() {
+        let c = {
+            let mut c = Circuit::new(6);
+            for q in 0..6 {
+                c.h(q).unwrap();
+            }
+            for q in 0..5 {
+                c.cnot(q, q + 1).unwrap();
+            }
+            c
+        };
+        let p = program(&c);
+        let wide = Microarchitecture::new(8).execute(&p);
+        let narrow = Microarchitecture::new(1).execute(&p);
+        assert!(narrow.cycles >= wide.cycles);
+        assert_eq!(narrow.ops_issued, wide.ops_issued);
+    }
+
+    #[test]
+    fn empty_program() {
+        let t = Microarchitecture::default().execute(&program(&Circuit::new(2)));
+        assert_eq!(t.ops_issued, 0);
+        assert_eq!(t.utilization, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        let _ = Microarchitecture::new(0);
+    }
+}

@@ -1,0 +1,246 @@
+//! The end-to-end full-stack run: program text to control events.
+
+use qcs_circuit::circuit::Circuit;
+use qcs_circuit::qasm::ParseQasmError;
+use qcs_core::mapper::{MapError, MapOutcome, Mapper};
+use qcs_topology::device::Device;
+
+use crate::codesign::{select_mapper, AlgorithmInfo, HardwareInfo, MapperChoice};
+use crate::control::{ChannelConflict, ControlTrace};
+use crate::frontend::{Frontend, PreparedProgram};
+use crate::isa::{IsaProgram, DEFAULT_CYCLE_NS};
+
+/// Error raised anywhere along the stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StackError {
+    /// Front-end parse failure.
+    Parse(ParseQasmError),
+    /// Compiler (mapping) failure.
+    Map(MapError),
+    /// Control dispatch failure (indicates a scheduler bug — dispatch of
+    /// a consistent schedule cannot conflict).
+    Control(ChannelConflict),
+}
+
+impl std::fmt::Display for StackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StackError::Parse(e) => write!(f, "frontend: {e}"),
+            StackError::Map(e) => write!(f, "compiler: {e}"),
+            StackError::Control(e) => write!(f, "control: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+impl From<ParseQasmError> for StackError {
+    fn from(e: ParseQasmError) -> Self {
+        StackError::Parse(e)
+    }
+}
+impl From<MapError> for StackError {
+    fn from(e: MapError) -> Self {
+        StackError::Map(e)
+    }
+}
+impl From<ChannelConflict> for StackError {
+    fn from(e: ChannelConflict) -> Self {
+        StackError::Control(e)
+    }
+}
+
+/// Everything produced by one full-stack run.
+#[derive(Debug)]
+pub struct StackRun {
+    /// The front-end's prepared program.
+    pub prepared: PreparedProgram,
+    /// Which mapper the co-design layer selected.
+    pub mapper_choice: MapperChoice,
+    /// The compiler's outcome (routed circuit, schedule, report).
+    pub outcome: MapOutcome,
+    /// The lowered ISA program.
+    pub isa: IsaProgram,
+    /// The dispatched control trace.
+    pub control: ControlTrace,
+}
+
+/// The assembled full-stack: device at the bottom, co-design in the
+/// middle, front-end on top.
+#[derive(Debug)]
+pub struct FullStack {
+    device: Device,
+    frontend: Frontend,
+    /// When set, overrides the co-design mapper selection.
+    fixed_mapper: Option<Mapper>,
+    cycle_ns: f64,
+}
+
+impl FullStack {
+    /// Builds a stack over `device` with default front-end and co-design
+    /// mapper selection.
+    pub fn new(device: Device) -> Self {
+        FullStack {
+            device,
+            frontend: Frontend::default(),
+            fixed_mapper: None,
+            cycle_ns: DEFAULT_CYCLE_NS,
+        }
+    }
+
+    /// Forces a specific mapper instead of the co-design selection.
+    pub fn with_mapper(mut self, mapper: Mapper) -> Self {
+        self.fixed_mapper = Some(mapper);
+        self
+    }
+
+    /// Overrides the front-end.
+    pub fn with_frontend(mut self, frontend: Frontend) -> Self {
+        self.frontend = frontend;
+        self
+    }
+
+    /// Overrides the ISA cycle length (ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_ns` is not positive.
+    pub fn with_cycle_ns(mut self, cycle_ns: f64) -> Self {
+        assert!(cycle_ns > 0.0, "cycle length must be positive");
+        self.cycle_ns = cycle_ns;
+        self
+    }
+
+    /// The device at the bottom of the stack.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Runs an OpenQASM program through the whole stack.
+    ///
+    /// # Errors
+    ///
+    /// See [`StackError`].
+    pub fn run_qasm(&self, source: &str) -> Result<StackRun, StackError> {
+        let prepared = self.frontend.accept_qasm(source)?;
+        self.run_prepared(prepared)
+    }
+
+    /// Runs an in-memory circuit through the whole stack.
+    ///
+    /// # Errors
+    ///
+    /// See [`StackError`].
+    pub fn run_circuit(&self, circuit: &Circuit) -> Result<StackRun, StackError> {
+        let prepared = self.frontend.accept_circuit(circuit.clone());
+        self.run_prepared(prepared)
+    }
+
+    fn run_prepared(&self, prepared: PreparedProgram) -> Result<StackRun, StackError> {
+        // Co-design: join the upward hardware info with the downward
+        // algorithm info to pick the mapping strategy.
+        let (selected, choice) = select_mapper(
+            &AlgorithmInfo::of(&prepared.circuit),
+            &HardwareInfo::of(&self.device),
+        );
+        let (mapper, mapper_choice) = match &self.fixed_mapper {
+            Some(m) => (m, choice), // choice reported as advisory
+            None => (&selected, choice),
+        };
+        let outcome = mapper.map(&prepared.circuit, &self.device)?;
+        let isa = IsaProgram::lower(&outcome.schedule, self.cycle_ns);
+        let control = ControlTrace::dispatch(&isa)?;
+        Ok(StackRun {
+            prepared,
+            mapper_choice,
+            outcome,
+            isa,
+            control,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_topology::lattice::line_device;
+    use qcs_topology::surface::{surface17, surface7};
+
+    #[test]
+    fn end_to_end_qasm() {
+        let stack = FullStack::new(surface7());
+        let src = "OPENQASM 2.0;\nqreg q[4];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\ncx q[2],q[3];\nmeasure q[3] -> c[3];\n";
+        let run = stack.run_qasm(src).unwrap();
+        assert!(run.outcome.routed.respects_connectivity(&surface7()));
+        assert!(run.isa.instruction_count() >= run.outcome.native.gate_count());
+        assert!(run.control.event_count() > 0);
+        assert!(run.outcome.report.fidelity_after > 0.0);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let stack = FullStack::new(surface7());
+        assert!(matches!(
+            stack.run_qasm("h q[0];"),
+            Err(StackError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn too_wide_circuit_errors() {
+        let stack = FullStack::new(surface7());
+        let c = Circuit::new(20);
+        assert!(matches!(stack.run_circuit(&c), Err(StackError::Map(_))));
+    }
+
+    #[test]
+    fn fixed_mapper_override() {
+        let stack = FullStack::new(surface17()).with_mapper(Mapper::trivial());
+        let qft = qcs_workloads::qft::qft(6).unwrap();
+        let run = stack.run_circuit(&qft).unwrap();
+        assert_eq!(run.outcome.report.placer, "trivial");
+        assert_eq!(run.outcome.report.router, "trivial");
+    }
+
+    #[test]
+    fn codesign_runs_sparse_circuits_algorithm_driven() {
+        let stack = FullStack::new(surface17());
+        let ghz = qcs_workloads::ghz::ghz_chain(8).unwrap();
+        let run = stack.run_circuit(&ghz).unwrap();
+        assert_eq!(
+            run.mapper_choice,
+            crate::codesign::MapperChoice::AlgorithmDriven
+        );
+        assert_eq!(run.outcome.report.placer, "graph-similarity");
+    }
+
+    #[test]
+    fn mapped_program_verifies_against_simulator() {
+        use rand::SeedableRng;
+        let stack = FullStack::new(line_device(5)).with_mapper(Mapper::trivial());
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap().cnot(0, 2).unwrap().cz(1, 2).unwrap();
+        let run = stack.run_circuit(&c).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        qcs_sim::equiv::mapped_equivalent(
+            &run.prepared.circuit,
+            &run.outcome.routed.circuit,
+            5,
+            run.outcome.routed.initial.as_assignment(),
+            run.outcome.routed.final_layout.as_assignment(),
+            3,
+            &mut rng,
+        )
+        .expect("full-stack output must implement the source program");
+    }
+
+    #[test]
+    fn cycle_override() {
+        let stack = FullStack::new(surface7()).with_cycle_ns(10.0);
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap().cnot(0, 1).unwrap();
+        let run = stack.run_circuit(&c).unwrap();
+        assert_eq!(run.isa.cycle_ns, 10.0);
+        assert_eq!(stack.device().qubit_count(), 7);
+    }
+}

@@ -1,0 +1,306 @@
+//! The [`Device`] model: what the compiler knows about a quantum chip.
+
+use serde::{Deserialize, Serialize};
+
+use qcs_circuit::decompose::GateSet;
+use qcs_graph::paths::{all_pairs_hopcount, is_connected, UNREACHABLE};
+use qcs_graph::Graph;
+
+use crate::error::{Calibration, GateFidelities};
+
+/// Error raised when constructing an inconsistent device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The coupling graph is disconnected, so some qubit pairs could never
+    /// be routed together.
+    Disconnected,
+    /// The primitive gate set has no two-qubit entangler.
+    NoEntangler,
+    /// The calibration covers a different number of qubits than the
+    /// coupling graph.
+    CalibrationMismatch {
+        /// Qubits in the coupling graph.
+        coupling: usize,
+        /// Qubits in the calibration.
+        calibration: usize,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Disconnected => write!(f, "device coupling graph is disconnected"),
+            DeviceError::NoEntangler => {
+                write!(f, "device gate set lacks a two-qubit entangling primitive")
+            }
+            DeviceError::CalibrationMismatch {
+                coupling,
+                calibration,
+            } => write!(
+                f,
+                "calibration covers {calibration} qubits but coupling graph has {coupling}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// A quantum processor model: named coupling graph, primitive gate set and
+/// calibration, with precomputed all-pairs hop distances.
+///
+/// This is the bottom-of-stack information package that hardware-aware
+/// compilation consumes.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_topology::device::Device;
+/// use qcs_circuit::decompose::GateSet;
+/// use qcs_graph::generate;
+///
+/// let dev = Device::new(
+///     "line5",
+///     generate::path_graph(5),
+///     GateSet::ibm_style(),
+/// )?;
+/// assert_eq!(dev.distance(0, 4), 4);
+/// assert_eq!(dev.coupler_count(), 4);
+/// # Ok::<(), qcs_topology::device::DeviceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    name: String,
+    coupling: Graph,
+    gate_set: GateSet,
+    calibration: Calibration,
+    /// Precomputed hop distances (`usize::MAX` would mean unreachable, but
+    /// construction rejects disconnected graphs).
+    distances: Vec<Vec<usize>>,
+}
+
+impl Device {
+    /// Creates a device with uniform (class-average) calibration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::Disconnected`] for disconnected coupling
+    /// graphs and [`DeviceError::NoEntangler`] for gate sets without a
+    /// two-qubit primitive.
+    pub fn new(
+        name: impl Into<String>,
+        coupling: Graph,
+        gate_set: GateSet,
+    ) -> Result<Self, DeviceError> {
+        let calibration = Calibration::uniform(&coupling, GateFidelities::default());
+        Device::with_calibration(name, coupling, gate_set, calibration)
+    }
+
+    /// Creates a device with explicit calibration.
+    ///
+    /// # Errors
+    ///
+    /// As [`Device::new`], plus [`DeviceError::CalibrationMismatch`] when
+    /// the calibration width differs from the coupling graph.
+    pub fn with_calibration(
+        name: impl Into<String>,
+        coupling: Graph,
+        gate_set: GateSet,
+        calibration: Calibration,
+    ) -> Result<Self, DeviceError> {
+        if !is_connected(&coupling) || coupling.node_count() == 0 {
+            return Err(DeviceError::Disconnected);
+        }
+        if !gate_set.has_entangler() {
+            return Err(DeviceError::NoEntangler);
+        }
+        if calibration.qubit_count() != coupling.node_count() {
+            return Err(DeviceError::CalibrationMismatch {
+                coupling: coupling.node_count(),
+                calibration: calibration.qubit_count(),
+            });
+        }
+        let distances = all_pairs_hopcount(&coupling);
+        debug_assert!(distances
+            .iter()
+            .all(|row| row.iter().all(|&d| d != UNREACHABLE)));
+        Ok(Device {
+            name: name.into(),
+            coupling,
+            gate_set,
+            calibration,
+            distances,
+        })
+    }
+
+    /// The device's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.coupling.node_count()
+    }
+
+    /// Number of couplers (edges in the coupling graph).
+    pub fn coupler_count(&self) -> usize {
+        self.coupling.edge_count()
+    }
+
+    /// The coupling graph.
+    pub fn coupling(&self) -> &Graph {
+        &self.coupling
+    }
+
+    /// The primitive gate set.
+    pub fn gate_set(&self) -> &GateSet {
+        &self.gate_set
+    }
+
+    /// The calibration data.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Mutable calibration access (failure injection, recalibration).
+    pub fn calibration_mut(&mut self) -> &mut Calibration {
+        &mut self.calibration
+    }
+
+    /// Whether physical qubits `u` and `v` share a coupler.
+    pub fn are_adjacent(&self, u: usize, v: usize) -> bool {
+        self.coupling.has_edge(u, v)
+    }
+
+    /// Hop distance between physical qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is out of range.
+    pub fn distance(&self, u: usize, v: usize) -> usize {
+        self.distances[u][v]
+    }
+
+    /// Physical neighbours of qubit `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        self.coupling.neighbors(u)
+    }
+
+    /// Average hop distance over all qubit pairs (a compactness figure of
+    /// merit for comparing topologies).
+    pub fn average_distance(&self) -> f64 {
+        let n = self.qubit_count();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0usize;
+        let mut pairs = 0usize;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                sum += self.distances[u][v];
+                pairs += 1;
+            }
+        }
+        sum as f64 / pairs as f64
+    }
+
+    /// Device diameter: the largest hop distance between any qubit pair.
+    pub fn diameter(&self) -> usize {
+        self.distances
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_graph::generate;
+
+    fn line(n: usize) -> Device {
+        Device::new(format!("line{n}"), generate::path_graph(n), GateSet::ibm_style()).unwrap()
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let mut g = generate::path_graph(3);
+        g.add_node();
+        assert_eq!(
+            Device::new("bad", g, GateSet::ibm_style()).unwrap_err(),
+            DeviceError::Disconnected
+        );
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            Device::new("empty", Graph::new(), GateSet::ibm_style()).unwrap_err(),
+            DeviceError::Disconnected
+        );
+    }
+
+    #[test]
+    fn rejects_no_entangler() {
+        use qcs_circuit::gate::GateKind;
+        let set = GateSet::new([GateKind::Rx, GateKind::Rz]);
+        assert_eq!(
+            Device::new("bad", generate::path_graph(2), set).unwrap_err(),
+            DeviceError::NoEntangler
+        );
+    }
+
+    #[test]
+    fn rejects_calibration_mismatch() {
+        let g3 = generate::path_graph(3);
+        let g4 = generate::path_graph(4);
+        let cal = Calibration::uniform(&g4, GateFidelities::default());
+        assert!(matches!(
+            Device::with_calibration("bad", g3, GateSet::ibm_style(), cal),
+            Err(DeviceError::CalibrationMismatch { coupling: 3, calibration: 4 })
+        ));
+    }
+
+    #[test]
+    fn distances_precomputed() {
+        let dev = line(5);
+        assert_eq!(dev.distance(0, 4), 4);
+        assert_eq!(dev.distance(2, 2), 0);
+        assert_eq!(dev.diameter(), 4);
+        // Average over pairs of a path of 5: sum of hop distances = 20? Let
+        // us verify: pairs (d=1)×4, (d=2)×3, (d=3)×2, (d=4)×1 → 4+6+6+4=20,
+        // 10 pairs → 2.0.
+        assert!((dev.average_distance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let dev = line(4);
+        assert!(dev.are_adjacent(1, 2));
+        assert!(!dev.are_adjacent(0, 3));
+        assert_eq!(dev.neighbors(1), &[0, 2]);
+        assert_eq!(dev.coupler_count(), 3);
+    }
+
+    #[test]
+    fn calibration_hookup() {
+        let mut dev = line(3);
+        assert_eq!(dev.calibration().two_qubit_fidelity(0, 1), Some(0.99));
+        dev.calibration_mut().set_two_qubit_fidelity(0, 1, 0.8);
+        assert_eq!(dev.calibration().two_qubit_fidelity(0, 1), Some(0.8));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let dev = line(4);
+        let json = serde_json::to_string(&dev).unwrap();
+        let back: Device = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dev);
+    }
+}

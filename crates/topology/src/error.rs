@@ -1,0 +1,385 @@
+//! Gate error rates, durations, coherence times and per-element
+//! calibration.
+//!
+//! Default numbers follow the superconducting surface-code platform of
+//! Versluis et al. \[32\] (the error-rate source cited for Fig. 3 of the
+//! paper): ~0.1 % single-qubit gate error, ~1 % CZ error, ~0.5 % readout
+//! error, 20 ns single-qubit and 40 ns two-qubit gates.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use qcs_graph::Graph;
+
+/// Average gate fidelities of a device class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GateFidelities {
+    /// Single-qubit gate fidelity in `(0, 1]`.
+    pub single_qubit: f64,
+    /// Two-qubit gate fidelity in `(0, 1]`.
+    pub two_qubit: f64,
+    /// Measurement fidelity in `(0, 1]`.
+    pub measurement: f64,
+}
+
+impl GateFidelities {
+    /// The Versluis et al. \[32\] defaults: 99.9 % / 99.0 % / 99.5 %.
+    pub fn surface_code_defaults() -> Self {
+        GateFidelities {
+            single_qubit: 0.999,
+            two_qubit: 0.99,
+            measurement: 0.995,
+        }
+    }
+
+    /// A perfect (noise-free) device, useful for isolating overhead
+    /// effects in tests.
+    pub fn perfect() -> Self {
+        GateFidelities {
+            single_qubit: 1.0,
+            two_qubit: 1.0,
+            measurement: 1.0,
+        }
+    }
+}
+
+impl Default for GateFidelities {
+    fn default() -> Self {
+        Self::surface_code_defaults()
+    }
+}
+
+/// Gate durations in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GateDurations {
+    /// Single-qubit gate duration (ns).
+    pub single_qubit_ns: f64,
+    /// Two-qubit gate duration (ns).
+    pub two_qubit_ns: f64,
+    /// Measurement duration (ns).
+    pub measurement_ns: f64,
+}
+
+impl GateDurations {
+    /// Transmon defaults: 20 ns single-qubit, 40 ns CZ, 300 ns readout.
+    pub fn surface_code_defaults() -> Self {
+        GateDurations {
+            single_qubit_ns: 20.0,
+            two_qubit_ns: 40.0,
+            measurement_ns: 300.0,
+        }
+    }
+}
+
+impl Default for GateDurations {
+    fn default() -> Self {
+        Self::surface_code_defaults()
+    }
+}
+
+/// Qubit coherence times in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoherenceTimes {
+    /// Energy-relaxation time T1 (ns).
+    pub t1_ns: f64,
+    /// Dephasing time T2 (ns).
+    pub t2_ns: f64,
+}
+
+impl CoherenceTimes {
+    /// Transmon defaults: T1 = 30 µs, T2 = 20 µs.
+    pub fn surface_code_defaults() -> Self {
+        CoherenceTimes {
+            t1_ns: 30_000.0,
+            t2_ns: 20_000.0,
+        }
+    }
+}
+
+impl Default for CoherenceTimes {
+    fn default() -> Self {
+        Self::surface_code_defaults()
+    }
+}
+
+/// Per-element calibration data: individual fidelities for every qubit
+/// and every coupler, modelling the "error variability across the quantum
+/// device" that noise-aware compilation exploits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(into = "CalibrationSerde", from = "CalibrationSerde")]
+pub struct Calibration {
+    /// Device-average figures.
+    pub averages: GateFidelities,
+    /// Gate durations.
+    pub durations: GateDurations,
+    /// Coherence times.
+    pub coherence: CoherenceTimes,
+    /// Per-qubit single-qubit gate fidelity.
+    single_qubit: Vec<f64>,
+    /// Per-qubit readout fidelity.
+    readout: Vec<f64>,
+    /// Per-coupler two-qubit gate fidelity, keyed by `(min, max)`.
+    two_qubit: BTreeMap<(usize, usize), f64>,
+}
+
+/// JSON-friendly wire format for [`Calibration`] (tuple map keys are not
+/// representable in JSON objects).
+#[derive(Serialize, Deserialize)]
+struct CalibrationSerde {
+    averages: GateFidelities,
+    durations: GateDurations,
+    coherence: CoherenceTimes,
+    single_qubit: Vec<f64>,
+    readout: Vec<f64>,
+    two_qubit: Vec<(usize, usize, f64)>,
+}
+
+impl From<Calibration> for CalibrationSerde {
+    fn from(c: Calibration) -> Self {
+        CalibrationSerde {
+            averages: c.averages,
+            durations: c.durations,
+            coherence: c.coherence,
+            single_qubit: c.single_qubit,
+            readout: c.readout,
+            two_qubit: c.two_qubit.into_iter().map(|((u, v), f)| (u, v, f)).collect(),
+        }
+    }
+}
+
+impl From<CalibrationSerde> for Calibration {
+    fn from(s: CalibrationSerde) -> Self {
+        Calibration {
+            averages: s.averages,
+            durations: s.durations,
+            coherence: s.coherence,
+            single_qubit: s.single_qubit,
+            readout: s.readout,
+            two_qubit: s
+                .two_qubit
+                .into_iter()
+                .map(|(u, v, f)| ((u.min(v), u.max(v)), f))
+                .collect(),
+        }
+    }
+}
+
+impl Calibration {
+    /// Uniform calibration: every qubit and coupler at the class average.
+    pub fn uniform(coupling: &Graph, averages: GateFidelities) -> Self {
+        let n = coupling.node_count();
+        let two_qubit = coupling
+            .edges()
+            .map(|(u, v, _)| ((u.min(v), u.max(v)), averages.two_qubit))
+            .collect();
+        Calibration {
+            averages,
+            durations: GateDurations::default(),
+            coherence: CoherenceTimes::default(),
+            single_qubit: vec![averages.single_qubit; n],
+            readout: vec![averages.measurement; n],
+            two_qubit,
+        }
+    }
+
+    /// Calibration with per-element variability: each element's *error*
+    /// (1 − fidelity) is scaled by a factor drawn uniformly from
+    /// `[1 − spread, 1 + spread]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spread` is not in `[0, 1)`.
+    pub fn with_variability<R: rand::Rng>(
+        coupling: &Graph,
+        averages: GateFidelities,
+        spread: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&spread), "spread must be in [0, 1)");
+        let mut cal = Calibration::uniform(coupling, averages);
+        let jitter = |avg: f64, rng: &mut R| {
+            let err = (1.0 - avg) * (1.0 + spread * (rng.gen::<f64>() * 2.0 - 1.0));
+            (1.0 - err).clamp(0.0, 1.0)
+        };
+        for f in &mut cal.single_qubit {
+            *f = jitter(averages.single_qubit, rng);
+        }
+        for f in &mut cal.readout {
+            *f = jitter(averages.measurement, rng);
+        }
+        for f in cal.two_qubit.values_mut() {
+            *f = jitter(averages.two_qubit, rng);
+        }
+        cal
+    }
+
+    /// Number of calibrated qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.single_qubit.len()
+    }
+
+    /// Single-qubit gate fidelity of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn single_qubit_fidelity(&self, q: usize) -> f64 {
+        self.single_qubit[q]
+    }
+
+    /// Readout fidelity of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn readout_fidelity(&self, q: usize) -> f64 {
+        self.readout[q]
+    }
+
+    /// Two-qubit gate fidelity of the coupler `{u, v}`, or `None` when the
+    /// qubits are not coupled.
+    pub fn two_qubit_fidelity(&self, u: usize, v: usize) -> Option<f64> {
+        self.two_qubit.get(&(u.min(v), u.max(v))).copied()
+    }
+
+    /// Overrides the fidelity of one coupler (e.g. to model a degraded
+    /// edge in failure-injection tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coupler does not exist or `fidelity` is outside
+    /// `[0, 1]`.
+    pub fn set_two_qubit_fidelity(&mut self, u: usize, v: usize, fidelity: f64) {
+        assert!((0.0..=1.0).contains(&fidelity), "fidelity must be in [0, 1]");
+        let key = (u.min(v), u.max(v));
+        let slot = self
+            .two_qubit
+            .get_mut(&key)
+            .expect("coupler must exist in calibration");
+        *slot = fidelity;
+    }
+
+    /// Overrides the single-qubit fidelity of one qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range or `fidelity` is outside `[0, 1]`.
+    pub fn set_single_qubit_fidelity(&mut self, q: usize, fidelity: f64) {
+        assert!((0.0..=1.0).contains(&fidelity), "fidelity must be in [0, 1]");
+        self.single_qubit[q] = fidelity;
+    }
+
+    /// Iterates over `((u, v), fidelity)` for every calibrated coupler.
+    pub fn couplers(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        self.two_qubit.iter().map(|(&k, &f)| (k, f))
+    }
+
+    /// The worst two-qubit fidelity on the device (1.0 if no couplers).
+    pub fn worst_two_qubit_fidelity(&self) -> f64 {
+        self.two_qubit.values().copied().fold(1.0, f64::min)
+    }
+
+    /// The best two-qubit fidelity on the device (0.0 if no couplers).
+    pub fn best_two_qubit_fidelity(&self) -> f64 {
+        self.two_qubit.values().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_graph::generate;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn defaults_match_versluis() {
+        let f = GateFidelities::default();
+        assert_eq!(f.single_qubit, 0.999);
+        assert_eq!(f.two_qubit, 0.99);
+        assert_eq!(f.measurement, 0.995);
+        let d = GateDurations::default();
+        assert_eq!(d.two_qubit_ns, 40.0);
+        let c = CoherenceTimes::default();
+        assert!(c.t1_ns > c.t2_ns);
+    }
+
+    #[test]
+    fn uniform_calibration() {
+        let g = generate::path_graph(4);
+        let cal = Calibration::uniform(&g, GateFidelities::default());
+        assert_eq!(cal.qubit_count(), 4);
+        assert_eq!(cal.single_qubit_fidelity(2), 0.999);
+        assert_eq!(cal.two_qubit_fidelity(0, 1), Some(0.99));
+        assert_eq!(cal.two_qubit_fidelity(1, 0), Some(0.99)); // symmetric
+        assert_eq!(cal.two_qubit_fidelity(0, 2), None); // not coupled
+        assert_eq!(cal.readout_fidelity(0), 0.995);
+    }
+
+    #[test]
+    fn variability_stays_bracketed() {
+        let g = generate::grid_graph(3, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let avg = GateFidelities::default();
+        let cal = Calibration::with_variability(&g, avg, 0.5, &mut rng);
+        for ((u, v), f) in cal.couplers() {
+            let err = 1.0 - f;
+            let base = 1.0 - avg.two_qubit;
+            assert!(
+                err >= base * 0.5 - 1e-12 && err <= base * 1.5 + 1e-12,
+                "edge ({u},{v}) error {err} outside bracket"
+            );
+        }
+        // Variability actually varies.
+        let unique: std::collections::BTreeSet<u64> = cal
+            .couplers()
+            .map(|(_, f)| f.to_bits())
+            .collect();
+        assert!(unique.len() > 1);
+    }
+
+    #[test]
+    fn variability_deterministic_per_seed() {
+        let g = generate::path_graph(5);
+        let a = Calibration::with_variability(
+            &g,
+            GateFidelities::default(),
+            0.3,
+            &mut ChaCha8Rng::seed_from_u64(5),
+        );
+        let b = Calibration::with_variability(
+            &g,
+            GateFidelities::default(),
+            0.3,
+            &mut ChaCha8Rng::seed_from_u64(5),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn override_edge_fidelity() {
+        let g = generate::path_graph(3);
+        let mut cal = Calibration::uniform(&g, GateFidelities::default());
+        cal.set_two_qubit_fidelity(1, 0, 0.5);
+        assert_eq!(cal.two_qubit_fidelity(0, 1), Some(0.5));
+        assert_eq!(cal.worst_two_qubit_fidelity(), 0.5);
+        assert_eq!(cal.best_two_qubit_fidelity(), 0.99);
+        cal.set_single_qubit_fidelity(2, 0.9);
+        assert_eq!(cal.single_qubit_fidelity(2), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "coupler must exist")]
+    fn override_missing_edge_panics() {
+        let g = generate::path_graph(3);
+        let mut cal = Calibration::uniform(&g, GateFidelities::default());
+        cal.set_two_qubit_fidelity(0, 2, 0.5);
+    }
+
+    #[test]
+    fn perfect_fidelities() {
+        let f = GateFidelities::perfect();
+        assert_eq!(f.single_qubit, 1.0);
+        assert_eq!(f.two_qubit, 1.0);
+    }
+}

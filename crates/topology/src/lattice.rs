@@ -1,0 +1,161 @@
+//! Generic comparison topologies: grid, line, ring, heavy-hex, all-to-all.
+//!
+//! "For most technologies, including superconducting qubits and quantum
+//! dots, qubits are arranged in a 2D grid topology allowing only
+//! nearest-neighbor interactions" (Section III). These devices let the
+//! benchmarks contrast the surface lattice with other common layouts.
+
+use qcs_circuit::decompose::GateSet;
+use qcs_graph::{generate, Graph};
+
+use crate::device::Device;
+
+fn build(name: String, coupling: Graph, gate_set: GateSet) -> Device {
+    Device::new(name, coupling, gate_set).expect("generator produced a valid device")
+}
+
+/// A `rows × cols` square-grid device with CNOT-based primitives.
+///
+/// # Panics
+///
+/// Panics if the grid would be empty.
+pub fn grid_device(rows: usize, cols: usize) -> Device {
+    assert!(rows * cols > 0, "grid must contain at least one qubit");
+    build(
+        format!("grid-{rows}x{cols}"),
+        generate::grid_graph(rows, cols),
+        GateSet::ibm_style(),
+    )
+}
+
+/// A 1-D chain of `n` qubits.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn line_device(n: usize) -> Device {
+    assert!(n > 0, "line must contain at least one qubit");
+    build(format!("line-{n}"), generate::path_graph(n), GateSet::ibm_style())
+}
+
+/// A ring of `n` qubits (ion-trap-style shuttling loop).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ring_device(n: usize) -> Device {
+    assert!(n > 0, "ring must contain at least one qubit");
+    build(format!("ring-{n}"), generate::ring_graph(n), GateSet::ibm_style())
+}
+
+/// A fully-connected device (trapped-ion-style all-to-all interactions):
+/// mapping needs no routing at all, the zero-overhead baseline.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn full_device(n: usize) -> Device {
+    assert!(n > 0, "device must contain at least one qubit");
+    build(
+        format!("full-{n}"),
+        generate::complete_graph(n),
+        GateSet::ibm_style(),
+    )
+}
+
+/// An IBM-style heavy-hex lattice with `rows` hexagon rows and `cols`
+/// hexagon columns.
+///
+/// The heavy-hex graph is a hexagonal lattice with an extra qubit on every
+/// edge, keeping maximum degree 3 — the layout of IBM's Falcon/Eagle
+/// processors (the 127-qubit Eagle the paper's introduction mentions).
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+pub fn heavy_hex_device(rows: usize, cols: usize) -> Device {
+    assert!(rows > 0 && cols > 0, "heavy-hex needs at least one cell");
+    // Build the hexagonal lattice as a brick-wall grid, then subdivide
+    // every edge with a mid qubit.
+    //
+    // Brick-wall: take a (rows+1) × (2*cols+2) grid of corner nodes; keep
+    // vertical edges only on alternating columns per row parity.
+    let corner_rows = rows + 1;
+    let corner_cols = 2 * cols + 2;
+    let corner_id = |r: usize, c: usize| r * corner_cols + c;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for r in 0..corner_rows {
+        for c in 0..corner_cols {
+            if c + 1 < corner_cols {
+                edges.push((corner_id(r, c), corner_id(r, c + 1)));
+            }
+            if r + 1 < corner_rows && (c + r) % 2 == 0 {
+                edges.push((corner_id(r, c), corner_id(r + 1, c)));
+            }
+        }
+    }
+    // Subdivide: mid qubits get fresh ids after the corners.
+    let corners = corner_rows * corner_cols;
+    let mut g = Graph::with_nodes(corners + edges.len());
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        let mid = corners + i;
+        g.add_edge(u, mid).expect("valid subdivision edge");
+        g.add_edge(mid, v).expect("valid subdivision edge");
+    }
+    build(format!("heavy-hex-{rows}x{cols}"), g, GateSet::ibm_style())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_graph::paths::is_connected;
+
+    #[test]
+    fn grid_device_shape() {
+        let dev = grid_device(3, 4);
+        assert_eq!(dev.qubit_count(), 12);
+        assert_eq!(dev.coupler_count(), 17);
+        assert_eq!(dev.name(), "grid-3x4");
+    }
+
+    #[test]
+    fn line_and_ring() {
+        assert_eq!(line_device(6).diameter(), 5);
+        assert_eq!(ring_device(6).diameter(), 3);
+    }
+
+    #[test]
+    fn full_device_distance_one() {
+        let dev = full_device(5);
+        assert_eq!(dev.diameter(), 1);
+        assert_eq!(dev.average_distance(), 1.0);
+    }
+
+    #[test]
+    fn heavy_hex_degree_at_most_three() {
+        let dev = heavy_hex_device(2, 2);
+        assert!(is_connected(dev.coupling()));
+        for q in 0..dev.qubit_count() {
+            assert!(
+                dev.coupling().degree(q) <= 3,
+                "qubit {q} has degree {}",
+                dev.coupling().degree(q)
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_hex_mid_qubits_degree_two() {
+        let dev = heavy_hex_device(1, 1);
+        // Mid (subdivision) qubits have exactly degree 2.
+        let n = dev.qubit_count();
+        let deg2 = (0..n).filter(|&q| dev.coupling().degree(q) == 2).count();
+        assert!(deg2 * 2 >= n, "subdivision qubits should dominate");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn empty_grid_panics() {
+        let _ = grid_device(0, 3);
+    }
+}

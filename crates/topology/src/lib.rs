@@ -1,0 +1,41 @@
+//! Quantum device models: coupling graphs, primitive gate sets and
+//! calibration data.
+//!
+//! This crate is the "quantum chip" layer of the full-stack (Fig. 1).
+//! It exposes exactly the information the paper says must flow *up* the
+//! stack for hardware-aware compilation: "qubits' connectivity, gate error
+//! rates, error variability across the quantum device, primitive quantum
+//! gates" (Section I).
+//!
+//! * [`device`] — [`device::Device`]: coupling graph + primitive gate set +
+//!   calibration + precomputed hop distances.
+//! * [`error`] — gate fidelities, durations, coherence times and per-qubit
+//!   / per-edge calibration with device variability.
+//! * [`surface`] — the Surface-7 and Surface-17 processors of Versluis et
+//!   al. \[32\] and arbitrary-distance extensions of the same lattice
+//!   (the paper's "extended 100-qubit version of the Surface-17").
+//! * [`lattice`] — generic grid, line, ring, heavy-hex and all-to-all
+//!   devices for comparison studies.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcs_topology::surface::surface7;
+//!
+//! let dev = surface7();
+//! assert_eq!(dev.qubit_count(), 7);
+//! assert!(dev.are_adjacent(3, 5));
+//! assert!(!dev.are_adjacent(0, 6));
+//! assert_eq!(dev.distance(0, 3), 2);
+//! assert_eq!(dev.distance(0, 6), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod error;
+pub mod lattice;
+pub mod surface;
+
+pub use device::Device;
+pub use error::{Calibration, CoherenceTimes, GateDurations, GateFidelities};

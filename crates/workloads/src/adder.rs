@@ -1,0 +1,165 @@
+//! Cuccaro ripple-carry adder circuits.
+//!
+//! A textbook arithmetic workload: deep, Toffoli-dense, and with a linear
+//! chain interaction graph — representative of the reversible-arithmetic
+//! family in benchmark suites.
+
+use qcs_circuit::circuit::{Circuit, CircuitError};
+
+/// Qubit layout of [`cuccaro_adder`]: carry-in at 0, then interleaved
+/// `b_i`, `a_i` pairs, carry-out last; width `2n + 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdderLayout {
+    /// Number of bits per operand.
+    pub bits: usize,
+}
+
+impl AdderLayout {
+    /// Circuit width.
+    pub fn width(&self) -> usize {
+        2 * self.bits + 2
+    }
+    /// Carry-in ancilla qubit.
+    pub fn carry_in(&self) -> usize {
+        0
+    }
+    /// Qubit holding bit `i` of operand `b` (receives the sum).
+    pub fn b(&self, i: usize) -> usize {
+        1 + 2 * i
+    }
+    /// Qubit holding bit `i` of operand `a`.
+    pub fn a(&self, i: usize) -> usize {
+        2 + 2 * i
+    }
+    /// Carry-out qubit.
+    pub fn carry_out(&self) -> usize {
+        2 * self.bits + 1
+    }
+}
+
+fn maj(c: &mut Circuit, x: usize, y: usize, z: usize) -> Result<(), CircuitError> {
+    c.cnot(z, y)?;
+    c.cnot(z, x)?;
+    c.toffoli(x, y, z)?;
+    Ok(())
+}
+
+fn uma(c: &mut Circuit, x: usize, y: usize, z: usize) -> Result<(), CircuitError> {
+    c.toffoli(x, y, z)?;
+    c.cnot(z, x)?;
+    c.cnot(x, y)?;
+    Ok(())
+}
+
+/// Builds the `n`-bit Cuccaro ripple-carry adder: computes `b := a + b`
+/// with the carry in the carry-out qubit (layout per [`AdderLayout`]).
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for `n ≥ 1`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn cuccaro_adder(n: usize) -> Result<Circuit, CircuitError> {
+    assert!(n > 0, "adder needs at least one bit");
+    let l = AdderLayout { bits: n };
+    let mut c = Circuit::with_name(l.width(), format!("cuccaro-{n}"));
+    // MAJ ladder.
+    maj(&mut c, l.carry_in(), l.b(0), l.a(0))?;
+    for i in 1..n {
+        maj(&mut c, l.a(i - 1), l.b(i), l.a(i))?;
+    }
+    c.cnot(l.a(n - 1), l.carry_out())?;
+    // UMA ladder (reverse).
+    for i in (1..n).rev() {
+        uma(&mut c, l.a(i - 1), l.b(i), l.a(i))?;
+    }
+    uma(&mut c, l.carry_in(), l.b(0), l.a(0))?;
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_sim::exec::run_unitary;
+    use qcs_sim::StateVector;
+
+    /// Runs the adder classically on basis inputs and reads the sum.
+    fn add(n: usize, a: usize, b: usize) -> (usize, bool) {
+        let l = AdderLayout { bits: n };
+        let mut index = 0usize;
+        for i in 0..n {
+            if a >> i & 1 == 1 {
+                index |= 1 << l.a(i);
+            }
+            if b >> i & 1 == 1 {
+                index |= 1 << l.b(i);
+            }
+        }
+        let c = cuccaro_adder(n).unwrap();
+        let s = run_unitary(&c, StateVector::basis(l.width(), index));
+        let out = s
+            .probabilities()
+            .iter()
+            .position(|&p| p > 1.0 - 1e-9)
+            .expect("basis input must map to a basis output");
+        let mut sum = 0usize;
+        for i in 0..n {
+            if out >> l.b(i) & 1 == 1 {
+                sum |= 1 << i;
+            }
+        }
+        let carry = out >> l.carry_out() & 1 == 1;
+        // Operand a must be restored.
+        let mut a_out = 0usize;
+        for i in 0..n {
+            if out >> l.a(i) & 1 == 1 {
+                a_out |= 1 << i;
+            }
+        }
+        assert_eq!(a_out, a, "operand a must be preserved");
+        (sum, carry)
+    }
+
+    #[test]
+    fn adds_exhaustively_3_bits() {
+        for a in 0..8usize {
+            for b in 0..8usize {
+                let (sum, carry) = add(3, a, b);
+                let total = a + b;
+                assert_eq!(sum, total & 0b111, "{a}+{b}");
+                assert_eq!(carry, total > 7, "{a}+{b} carry");
+            }
+        }
+    }
+
+    #[test]
+    fn one_bit_adder_is_half_adder() {
+        assert_eq!(add(1, 1, 1), (0, true));
+        assert_eq!(add(1, 1, 0), (1, false));
+        assert_eq!(add(1, 0, 0), (0, false));
+    }
+
+    #[test]
+    fn gate_count_scales_linearly() {
+        let g4 = cuccaro_adder(4).unwrap().gate_count();
+        let g8 = cuccaro_adder(8).unwrap().gate_count();
+        // 6 gates per MAJ/UMA pair per bit + 1 carry CNOT.
+        assert_eq!(g4, 6 * 4 + 1);
+        assert_eq!(g8, 6 * 8 + 1);
+    }
+
+    #[test]
+    fn layout_indices_disjoint() {
+        let l = AdderLayout { bits: 3 };
+        let mut seen = std::collections::BTreeSet::new();
+        seen.insert(l.carry_in());
+        seen.insert(l.carry_out());
+        for i in 0..3 {
+            seen.insert(l.a(i));
+            seen.insert(l.b(i));
+        }
+        assert_eq!(seen.len(), l.width());
+    }
+}

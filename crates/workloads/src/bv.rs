@@ -1,0 +1,85 @@
+//! Bernstein–Vazirani circuits.
+//!
+//! BV finds a secret bit-string `s` with a single oracle query. The
+//! circuit uses `n` input qubits plus one ancilla; its interaction graph
+//! is a star centred on the ancilla, with one edge per set bit of `s`.
+
+use qcs_circuit::circuit::{Circuit, CircuitError};
+
+/// Builds the Bernstein–Vazirani circuit for an `n`-bit secret.
+///
+/// Qubits `0..n` are the input register; qubit `n` is the ancilla. The
+/// secret's bit `k` is `(secret >> k) & 1`.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for valid widths).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 63`, or `secret` has bits above `n`.
+pub fn bernstein_vazirani(n: usize, secret: u64) -> Result<Circuit, CircuitError> {
+    assert!(n > 0 && n <= 63, "secret width must be 1..=63");
+    assert!(secret < (1u64 << n), "secret wider than register");
+    let mut c = Circuit::with_name(n + 1, format!("bv-{n}-s{secret}"));
+    // Ancilla in |−⟩.
+    c.x(n)?;
+    c.h(n)?;
+    for q in 0..n {
+        c.h(q)?;
+    }
+    // Oracle: CNOT from each secret bit into the ancilla.
+    for q in 0..n {
+        if secret >> q & 1 == 1 {
+            c.cnot(q, n)?;
+        }
+    }
+    for q in 0..n {
+        c.h(q)?;
+    }
+    for q in 0..n {
+        c.measure(q)?;
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::interaction::interaction_graph;
+    use qcs_sim::exec::run;
+    use qcs_sim::StateVector;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn recovers_secret() {
+        let n = 5;
+        for secret in [0b10110u64, 0b00001, 0b11111, 0] {
+            let c = bernstein_vazirani(n, secret).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let (_, record) = run(&c, StateVector::zero(n + 1), &mut rng);
+            let mut measured = 0u64;
+            for &(q, bit) in &record {
+                if bit {
+                    measured |= 1 << q;
+                }
+            }
+            assert_eq!(measured, secret, "failed for secret {secret:b}");
+        }
+    }
+
+    #[test]
+    fn interaction_graph_is_ancilla_star() {
+        let c = bernstein_vazirani(6, 0b101101).unwrap();
+        let ig = interaction_graph(&c);
+        assert_eq!(ig.degree(6), 4); // four set bits
+        assert_eq!(ig.edge_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than register")]
+    fn rejects_oversized_secret() {
+        let _ = bernstein_vazirani(3, 0b1000);
+    }
+}

@@ -1,0 +1,79 @@
+//! GHZ state preparation circuits.
+
+use qcs_circuit::circuit::{Circuit, CircuitError};
+
+/// Linear-chain GHZ preparation: `H(0)` then a CNOT ladder — interaction
+/// graph is a path, the easiest possible routing case.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for `n ≥ 1`).
+pub fn ghz_chain(n: usize) -> Result<Circuit, CircuitError> {
+    let mut c = Circuit::with_name(n, format!("ghz-{n}"));
+    if n == 0 {
+        return Ok(c);
+    }
+    c.h(0)?;
+    for q in 1..n {
+        c.cnot(q - 1, q)?;
+    }
+    Ok(c)
+}
+
+/// Star-shaped GHZ preparation: all CNOTs fan out from qubit 0 —
+/// interaction graph is a star, stressing a single high-degree hub.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for `n ≥ 1`).
+pub fn ghz_star(n: usize) -> Result<Circuit, CircuitError> {
+    let mut c = Circuit::with_name(n, format!("ghz-star-{n}"));
+    if n == 0 {
+        return Ok(c);
+    }
+    c.h(0)?;
+    for q in 1..n {
+        c.cnot(0, q)?;
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::interaction::interaction_graph;
+    use qcs_graph::metrics::GraphMetrics;
+    use qcs_sim::exec::run_unitary;
+    use qcs_sim::StateVector;
+
+    #[test]
+    fn chain_prepares_ghz() {
+        let c = ghz_chain(4).unwrap();
+        let s = run_unitary(&c, StateVector::zero(4));
+        let p = s.probabilities();
+        assert!((p[0b0000] - 0.5).abs() < 1e-12);
+        assert!((p[0b1111] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_prepares_same_state() {
+        let a = run_unitary(&ghz_chain(5).unwrap(), StateVector::zero(5));
+        let b = run_unitary(&ghz_star(5).unwrap(), StateVector::zero(5));
+        assert!(a.approx_eq_up_to_phase(&b, 1e-10));
+    }
+
+    #[test]
+    fn interaction_shapes_differ() {
+        let chain = GraphMetrics::compute(&interaction_graph(&ghz_chain(8).unwrap()));
+        let star = GraphMetrics::compute(&interaction_graph(&ghz_star(8).unwrap()));
+        assert_eq!(chain.max_degree, 2.0);
+        assert_eq!(star.max_degree, 7.0);
+        assert!(star.avg_shortest_path < chain.avg_shortest_path);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(ghz_chain(0).unwrap().is_empty());
+        assert_eq!(ghz_chain(1).unwrap().gate_count(), 1);
+    }
+}

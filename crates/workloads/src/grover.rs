@@ -1,0 +1,260 @@
+//! Grover search circuits with Toffoli-ladder multi-controlled oracles.
+//!
+//! Interaction-graph-wise, Grover is ancilla-ladder shaped: heavy Toffoli
+//! traffic between adjacent ladder qubits, a "real algorithm" profile very
+//! unlike random circuits of the same size.
+
+use qcs_circuit::circuit::{Circuit, CircuitError};
+
+/// Appends a multi-controlled X (controls `controls`, target `t`) using
+/// the standard Toffoli ladder through `ancillas` (compute–act–uncompute).
+///
+/// Requires `ancillas.len() ≥ controls.len().saturating_sub(2)`.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] on invalid operands.
+///
+/// # Panics
+///
+/// Panics if too few ancillas are supplied.
+pub fn multi_controlled_x(
+    c: &mut Circuit,
+    controls: &[usize],
+    t: usize,
+    ancillas: &[usize],
+) -> Result<(), CircuitError> {
+    match controls.len() {
+        0 => {
+            c.x(t)?;
+        }
+        1 => {
+            c.cnot(controls[0], t)?;
+        }
+        2 => {
+            c.toffoli(controls[0], controls[1], t)?;
+        }
+        k => {
+            assert!(
+                ancillas.len() >= k - 2,
+                "need {} ancillas for {} controls, got {}",
+                k - 2,
+                k,
+                ancillas.len()
+            );
+            // Compute AND-ladder.
+            c.toffoli(controls[0], controls[1], ancillas[0])?;
+            for i in 2..k - 1 {
+                c.toffoli(controls[i], ancillas[i - 2], ancillas[i - 1])?;
+            }
+            c.toffoli(controls[k - 1], ancillas[k - 3], t)?;
+            // Uncompute.
+            for i in (2..k - 1).rev() {
+                c.toffoli(controls[i], ancillas[i - 2], ancillas[i - 1])?;
+            }
+            c.toffoli(controls[0], controls[1], ancillas[0])?;
+        }
+    }
+    Ok(())
+}
+
+/// Appends a multi-controlled Z over `qubits` (symmetric), using
+/// `ancillas` for the ladder.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] on invalid operands.
+///
+/// # Panics
+///
+/// Panics if `qubits` is empty or too few ancillas are supplied.
+pub fn multi_controlled_z(
+    c: &mut Circuit,
+    qubits: &[usize],
+    ancillas: &[usize],
+) -> Result<(), CircuitError> {
+    assert!(!qubits.is_empty(), "need at least one qubit");
+    match qubits.len() {
+        1 => {
+            c.z(qubits[0])?;
+        }
+        2 => {
+            c.cz(qubits[0], qubits[1])?;
+        }
+        _ => {
+            let (t, controls) = qubits.split_last().expect("non-empty");
+            c.h(*t)?;
+            multi_controlled_x(c, controls, *t, ancillas)?;
+            c.h(*t)?;
+        }
+    }
+    Ok(())
+}
+
+/// Number of physical qubits a Grover circuit over `n` search qubits
+/// occupies (search register plus Toffoli-ladder ancillas).
+pub fn grover_width(n: usize) -> usize {
+    n + n.saturating_sub(2)
+}
+
+/// Builds a Grover search circuit over `n` qubits marking basis state
+/// `marked`, with the textbook iteration count `⌊π/4 · √(2^n)⌋`
+/// (minimum 1).
+///
+/// Qubits `0..n` are the search register; the rest are ladder ancillas.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for valid inputs).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `marked ≥ 2^n`.
+pub fn grover(n: usize, marked: u64) -> Result<Circuit, CircuitError> {
+    grover_with_iterations(n, marked, optimal_iterations(n))
+}
+
+/// The textbook optimal Grover iteration count for `n` qubits.
+pub fn optimal_iterations(n: usize) -> usize {
+    let amplitude = (1u64 << n) as f64;
+    ((std::f64::consts::FRAC_PI_4 * amplitude.sqrt()).floor() as usize).max(1)
+}
+
+/// [`grover`] with an explicit iteration count.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for valid inputs).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `marked ≥ 2^n`.
+pub fn grover_with_iterations(
+    n: usize,
+    marked: u64,
+    iterations: usize,
+) -> Result<Circuit, CircuitError> {
+    assert!(n > 0, "need at least one search qubit");
+    assert!(n <= 63 && marked < (1u64 << n), "marked state out of range");
+    let width = grover_width(n);
+    let search: Vec<usize> = (0..n).collect();
+    let ancillas: Vec<usize> = (n..width).collect();
+    let mut c = Circuit::with_name(width, format!("grover-{n}-m{marked}"));
+
+    for q in 0..n {
+        c.h(q)?;
+    }
+    for _ in 0..iterations {
+        // Oracle: phase-flip the marked state.
+        for q in 0..n {
+            if marked >> q & 1 == 0 {
+                c.x(q)?;
+            }
+        }
+        multi_controlled_z(&mut c, &search, &ancillas)?;
+        for q in 0..n {
+            if marked >> q & 1 == 0 {
+                c.x(q)?;
+            }
+        }
+        // Diffusion about the mean.
+        for q in 0..n {
+            c.h(q)?;
+        }
+        for q in 0..n {
+            c.x(q)?;
+        }
+        multi_controlled_z(&mut c, &search, &ancillas)?;
+        for q in 0..n {
+            c.x(q)?;
+        }
+        for q in 0..n {
+            c.h(q)?;
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_sim::exec::run_unitary;
+    use qcs_sim::StateVector;
+
+    fn marked_probability(n: usize, marked: u64) -> f64 {
+        let c = grover(n, marked).unwrap();
+        let s = run_unitary(&c, StateVector::zero(c.qubit_count()));
+        // Sum probability over all states whose low n bits equal `marked`
+        // (ancillas are restored to |0⟩, but sum defensively).
+        let mask = (1usize << n) - 1;
+        s.probabilities()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask == marked as usize)
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    #[test]
+    fn amplifies_marked_state_small() {
+        for (n, marked) in [(2, 0b01u64), (3, 0b110), (4, 0b1011)] {
+            let p = marked_probability(n, marked);
+            assert!(p > 0.8, "n={n} marked={marked:b}: probability {p}");
+        }
+    }
+
+    #[test]
+    fn ancillas_restored() {
+        let n = 4;
+        let c = grover(n, 7).unwrap();
+        let s = run_unitary(&c, StateVector::zero(c.qubit_count()));
+        // No amplitude outside ancilla-|0⟩ subspace.
+        let ancilla_mask = !((1usize << n) - 1);
+        let leak: f64 = s
+            .probabilities()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & ancilla_mask != 0)
+            .map(|(_, p)| p)
+            .sum();
+        assert!(leak < 1e-9, "ancilla leakage {leak}");
+    }
+
+    #[test]
+    fn mcx_truth_table() {
+        // 3 controls, 1 ancilla, 1 target = 5 qubits.
+        let controls = [0, 1, 2];
+        let ancillas = [3];
+        let t = 4;
+        for input in 0..8usize {
+            let mut c = Circuit::new(5);
+            multi_controlled_x(&mut c, &controls, t, &ancillas).unwrap();
+            let s = run_unitary(&c, StateVector::basis(5, input));
+            let expect = if input == 0b111 { input | 1 << t } else { input };
+            assert!(
+                s.probabilities()[expect] > 1.0 - 1e-9,
+                "input {input:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn width_formula() {
+        assert_eq!(grover_width(2), 2);
+        assert_eq!(grover_width(3), 4);
+        assert_eq!(grover_width(5), 8);
+    }
+
+    #[test]
+    fn iteration_count_grows() {
+        assert_eq!(optimal_iterations(2), 1);
+        assert!(optimal_iterations(6) > optimal_iterations(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn mcx_rejects_missing_ancillas() {
+        let mut c = Circuit::new(5);
+        let _ = multi_controlled_x(&mut c, &[0, 1, 2, 3], 4, &[]);
+    }
+}

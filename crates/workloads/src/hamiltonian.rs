@@ -1,0 +1,153 @@
+//! Trotterized 2-local Hamiltonian simulation circuits.
+//!
+//! The workload class targeted by application-specific compilers such as
+//! 2QAN (the paper's ref \[31\], "a quantum compiler for 2-local qubit
+//! Hamiltonian simulation algorithms"): time evolution under
+//! `H = Σ_(u,v) J_uv Z_u Z_v + Σ_q h_q X_q`, first-order Trotterized.
+//! Its interaction graph equals the coupling pattern of `H`, making it
+//! the cleanest testbed for algorithm-driven placement.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use qcs_circuit::circuit::{Circuit, CircuitError};
+use qcs_graph::{generate, Graph};
+
+/// Builds a first-order-Trotter evolution circuit for an Ising-type
+/// Hamiltonian on `interactions` (edge weights are the couplings
+/// `J_uv`), with a transverse field on every qubit, for `steps` Trotter
+/// steps of length `dt`.
+///
+/// Each `ZZ(θ)` term is realized as `CNOT · Rz(2 J dt) · CNOT`; each
+/// field term as `Rx(2 h dt)` with `h = 1`.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for well-formed graphs).
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or `dt` is not finite.
+pub fn trotter_ising(interactions: &Graph, steps: usize, dt: f64) -> Result<Circuit, CircuitError> {
+    assert!(steps > 0, "need at least one Trotter step");
+    assert!(dt.is_finite(), "dt must be finite");
+    let n = interactions.node_count();
+    let mut c = Circuit::with_name(n, format!("ising-{n}q-s{steps}"));
+    for _ in 0..steps {
+        for (u, v, j) in interactions.edges() {
+            c.cnot(u, v)?;
+            c.rz(v, 2.0 * j * dt)?;
+            c.cnot(u, v)?;
+        }
+        for q in 0..n {
+            c.rx(q, 2.0 * dt)?;
+        }
+    }
+    Ok(c)
+}
+
+/// Ising evolution on a ring (the 1-D transverse-field Ising chain with
+/// periodic boundary).
+///
+/// # Errors
+///
+/// As [`trotter_ising`].
+pub fn ising_ring(qubits: usize, steps: usize, dt: f64) -> Result<Circuit, CircuitError> {
+    trotter_ising(&generate::ring_graph(qubits), steps, dt)
+}
+
+/// Ising evolution on a `rows × cols` square lattice (the 2-D model whose
+/// interaction graph matches grid devices exactly).
+///
+/// # Errors
+///
+/// As [`trotter_ising`].
+pub fn ising_grid(rows: usize, cols: usize, steps: usize, dt: f64) -> Result<Circuit, CircuitError> {
+    trotter_ising(&generate::grid_graph(rows, cols), steps, dt)
+}
+
+/// Ising evolution on a random `d`-regular-ish coupling graph with
+/// couplings drawn uniformly from `[0.5, 1.5]`.
+///
+/// # Errors
+///
+/// As [`trotter_ising`].
+pub fn ising_random(
+    qubits: usize,
+    degree: usize,
+    steps: usize,
+    dt: f64,
+    seed: u64,
+) -> Result<Circuit, CircuitError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let skeleton = generate::regularish_graph(qubits, degree, &mut rng);
+    let mut weighted = Graph::with_nodes(qubits);
+    for (u, v, _) in skeleton.edges() {
+        weighted
+            .add_edge_weighted(u, v, rng.gen_range(0.5..1.5))
+            .expect("valid edge");
+    }
+    trotter_ising(&weighted, steps, dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::interaction::interaction_graph;
+
+    #[test]
+    fn interaction_graph_matches_hamiltonian() {
+        let h = generate::grid_graph(2, 3);
+        let c = trotter_ising(&h, 3, 0.1).unwrap();
+        let ig = interaction_graph(&c);
+        assert_eq!(ig.edge_count(), h.edge_count());
+        for (u, v, _) in h.edges() {
+            // 2 CNOTs per edge per step × 3 steps.
+            assert_eq!(ig.weight(u, v), Some(6.0));
+        }
+    }
+
+    #[test]
+    fn gate_count_formula() {
+        let n = 6;
+        let steps = 4;
+        let c = ising_ring(n, steps, 0.05).unwrap();
+        // per step: n edges × 3 gates + n Rx.
+        assert_eq!(c.gate_count(), steps * (n * 3 + n));
+        assert_eq!(c.two_qubit_gate_count(), steps * n * 2);
+    }
+
+    #[test]
+    fn couplings_enter_angles() {
+        let mut h = Graph::with_nodes(2);
+        h.add_edge_weighted(0, 1, 2.5).unwrap();
+        let c = trotter_ising(&h, 1, 0.1).unwrap();
+        let angles: Vec<f64> = c.gates().iter().filter_map(|g| g.angle()).collect();
+        // Rz angle = 2 J dt = 0.5; Rx angles = 0.2.
+        assert!((angles[0] - 0.5).abs() < 1e-12);
+        assert!((angles[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_model_embeds_perfectly_on_grid_device() {
+        use qcs_circuit::circuit::Circuit;
+        let c: Circuit = ising_grid(2, 3, 2, 0.1).unwrap();
+        let ig = interaction_graph(&c);
+        // The interaction graph IS the 2×3 grid.
+        assert_eq!(ig.to_unweighted(), generate::grid_graph(2, 3));
+    }
+
+    #[test]
+    fn random_model_deterministic() {
+        assert_eq!(
+            ising_random(8, 3, 2, 0.1, 5).unwrap(),
+            ising_random(8, 3, 2, 0.1, 5).unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Trotter step")]
+    fn zero_steps_panics() {
+        let _ = ising_ring(4, 0, 0.1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Benchmark circuit generators — the reproduction's stand-in for the
+//! qbench suite \[34\] and the RevLib reversible circuits \[48\].
+//!
+//! The paper's experiments run over "200 quantum circuits … of a large
+//! variety in size (1–54 qubits, 5–100000 gates, 10–90 % two-qubit gate
+//! percentage) and type (random, reversible ones and those corresponding
+//! to real algorithms)". This crate generates a suite with the same
+//! envelope and the same real/synthetic split:
+//!
+//! * **Real algorithm families** — [`qaoa`], [`qft`], [`qpe`], [`grover`],
+//!   [`ghz`], [`wstate`], [`bv`], [`adder`], [`vqe`], [`hamiltonian`]
+//!   (trotterized Ising evolution), [`qvolume`] (quantum-volume model
+//!   circuits), [`supremacy`] (grid random-circuit-sampling pattern).
+//! * **Reversible oracles** — [`reversible`]: Toffoli/CNOT/X networks
+//!   standing in for RevLib.
+//! * **Synthetic circuits** — [`random`]: size-parameterized random gate
+//!   soup (the paper's "randomly generated circuits").
+//! * **The suite** — [`suite`]: a deterministic, seeded sampler producing
+//!   the 200-circuit benchmark collection used by the figure harnesses.
+//!
+//! All generators are deterministic in their seed.
+//!
+//! # Examples
+//!
+//! ```
+//! let qft = qcs_workloads::qft::qft(5)?;
+//! assert_eq!(qft.qubit_count(), 5);
+//! let ig = qcs_circuit::interaction::interaction_graph(&qft);
+//! assert_eq!(ig.density(), 1.0); // QFT couples every qubit pair
+//! # Ok::<(), qcs_circuit::CircuitError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod bv;
+pub mod ghz;
+pub mod grover;
+pub mod hamiltonian;
+pub mod qaoa;
+pub mod qft;
+pub mod qpe;
+pub mod qvolume;
+pub mod random;
+pub mod reversible;
+pub mod suite;
+pub mod supremacy;
+pub mod vqe;
+pub mod wstate;

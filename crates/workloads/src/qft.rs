@@ -1,0 +1,115 @@
+//! Quantum Fourier Transform circuits.
+//!
+//! The QFT is the densest-interacting standard algorithm: every qubit
+//! pair shares a controlled-phase gate, so its interaction graph is the
+//! complete graph — the opposite end of the spectrum from QAOA rings.
+
+use std::f64::consts::PI;
+
+use qcs_circuit::circuit::{Circuit, CircuitError};
+
+/// The standard `n`-qubit QFT with final bit-reversal SWAPs.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for `n ≥ 1`).
+pub fn qft(n: usize) -> Result<Circuit, CircuitError> {
+    let mut c = Circuit::with_name(n, format!("qft-{n}"));
+    for target in (0..n).rev() {
+        c.h(target)?;
+        for control in (0..target).rev() {
+            let k = target - control;
+            c.cphase(control, target, PI / (1u64 << k) as f64)?;
+        }
+    }
+    for q in 0..n / 2 {
+        c.swap(q, n - 1 - q)?;
+    }
+    Ok(c)
+}
+
+/// QFT without the trailing SWAP network (the common compiled form where
+/// downstream code re-indexes instead).
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for `n ≥ 1`).
+pub fn qft_no_swaps(n: usize) -> Result<Circuit, CircuitError> {
+    let mut c = qft(n)?;
+    // Rebuild without the trailing swaps rather than mutating in place.
+    let keep = c.len() - n / 2;
+    let mut out = Circuit::with_name(n, format!("qft-noswap-{n}"));
+    for &g in &c.gates()[..keep] {
+        out.push(g)?;
+    }
+    c.set_name("consumed");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::interaction::interaction_graph;
+    use qcs_sim::exec::run_unitary;
+    use qcs_sim::{C64, StateVector};
+
+    #[test]
+    fn gate_count_formula() {
+        let n = 6;
+        let c = qft(n).unwrap();
+        // n H + n(n−1)/2 cphase + n/2 swaps.
+        assert_eq!(c.gate_count(), n + n * (n - 1) / 2 + n / 2);
+    }
+
+    #[test]
+    fn interaction_graph_is_complete() {
+        let ig = interaction_graph(&qft(5).unwrap());
+        assert_eq!(ig.density(), 1.0);
+    }
+
+    #[test]
+    fn qft_of_zero_state_is_uniform() {
+        let c = qft(3).unwrap();
+        let s = run_unitary(&c, StateVector::zero(3));
+        let expect = 1.0 / 8.0f64;
+        for p in s.probabilities() {
+            assert!((p - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn qft_matches_dft_on_basis_state() {
+        // QFT|x⟩ = (1/√N) Σ_y e^{2πi x y / N} |y⟩ (with bit reversal folded
+        // in by the SWAP network).
+        let n = 3;
+        let x = 5usize;
+        let c = qft(n).unwrap();
+        let s = run_unitary(&c, StateVector::basis(n, x));
+        let len = 1usize << n;
+        let norm = 1.0 / (len as f64).sqrt();
+        for y in 0..len {
+            let phase = 2.0 * PI * (x as f64) * (y as f64) / len as f64;
+            let expect = C64::from_polar_unit(phase).scale(norm);
+            assert!(
+                s.amplitude(y).approx_eq(expect, 1e-9),
+                "amplitude at {y}: {} vs {}",
+                s.amplitude(y),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn no_swap_variant_drops_swaps() {
+        let with = qft(6).unwrap();
+        let without = qft_no_swaps(6).unwrap();
+        assert_eq!(with.gate_count() - 3, without.gate_count());
+        assert!(without.gates().iter().all(|g| g.name() != "swap"));
+    }
+
+    #[test]
+    fn single_qubit_qft_is_hadamard() {
+        let c = qft(1).unwrap();
+        assert_eq!(c.gate_count(), 1);
+    }
+}

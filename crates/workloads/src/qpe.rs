@@ -1,0 +1,144 @@
+//! Quantum phase estimation circuits.
+//!
+//! QPE estimates the eigenphase of a unitary; here the unitary is a
+//! single-qubit phase rotation `U = diag(1, e^{2πi φ})`, so the exact
+//! output is known and the simulator can verify the whole circuit. The
+//! interaction graph is a star from every counting qubit into the
+//! eigenstate register — a distinctive "funnel" profile between GHZ
+//! stars and QFT completeness.
+
+use std::f64::consts::PI;
+
+use qcs_circuit::circuit::{Circuit, CircuitError};
+
+/// Builds a QPE circuit with `precision` counting qubits estimating the
+/// phase `phi ∈ [0, 1)` of `U = diag(1, e^{2πi φ})`.
+///
+/// Layout: qubits `0..precision` are the counting register (qubit `k`
+/// weights `2^k`), qubit `precision` holds the eigenstate `|1⟩`.
+/// The circuit prepares the eigenstate, applies controlled powers of `U`,
+/// and finishes with the inverse QFT on the counting register.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for valid sizes).
+///
+/// # Panics
+///
+/// Panics if `precision == 0` or `phi` is outside `[0, 1)`.
+pub fn phase_estimation(precision: usize, phi: f64) -> Result<Circuit, CircuitError> {
+    assert!(precision > 0, "need at least one counting qubit");
+    assert!((0.0..1.0).contains(&phi), "phase must be in [0, 1)");
+    let target = precision;
+    let mut c = Circuit::with_name(precision + 1, format!("qpe-{precision}-phi{phi}"));
+    // Eigenstate |1⟩ of U.
+    c.x(target)?;
+    // Superposition over the counting register.
+    for q in 0..precision {
+        c.h(q)?;
+    }
+    // Controlled-U^(2^j): counting qubit k controls the power
+    // 2^(precision−1−k), matching the bit order of the swap-free inverse
+    // QFT below (which absorbs the usual bit-reversal SWAP network).
+    for k in 0..precision {
+        let angle = 2.0 * PI * phi * (1u64 << (precision - 1 - k)) as f64;
+        c.cphase(k, target, angle)?;
+    }
+    // Inverse QFT on the counting register (no swaps; bit-reversed
+    // reading is folded into the controlled-power weighting above).
+    inverse_qft_no_swap(&mut c, precision)?;
+    for q in 0..precision {
+        c.measure(q)?;
+    }
+    Ok(c)
+}
+
+/// Appends the swap-free inverse QFT on qubits `0..n`.
+fn inverse_qft_no_swap(c: &mut Circuit, n: usize) -> Result<(), CircuitError> {
+    for target in 0..n {
+        for control in 0..target {
+            let k = target - control;
+            c.cphase(control, target, -PI / (1u64 << k) as f64)?;
+        }
+        c.h(target)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::interaction::interaction_graph;
+    use qcs_sim::exec::run_unitary;
+    use qcs_sim::StateVector;
+
+    /// Runs QPE and returns the most probable counting-register value.
+    fn estimate(precision: usize, phi: f64) -> usize {
+        let c = phase_estimation(precision, phi).unwrap();
+        let s = run_unitary(&c, StateVector::zero(precision + 1));
+        let probs = s.probabilities();
+        let mask = (1usize << precision) - 1;
+        // Marginalize over the eigenstate qubit.
+        let mut counting = vec![0.0; 1 << precision];
+        for (i, p) in probs.iter().enumerate() {
+            counting[i & mask] += p;
+        }
+        counting
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+
+    #[test]
+    fn exact_phases_recovered() {
+        // φ = k / 2^n is represented exactly: QPE returns k with
+        // certainty.
+        for (precision, k) in [(3usize, 3u64), (4, 5), (4, 0), (5, 17)] {
+            let phi = k as f64 / (1u64 << precision) as f64;
+            let measured = estimate(precision, phi);
+            assert_eq!(
+                measured as u64, k,
+                "precision {precision}, phase {phi}: got {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn inexact_phase_lands_on_nearest() {
+        // φ = 0.3 with 4 bits: nearest grid points are 5/16 = 0.3125.
+        let measured = estimate(4, 0.3);
+        assert!(
+            measured == 5 || measured == 4,
+            "expected 4 or 5, got {measured}"
+        );
+    }
+
+    #[test]
+    fn interaction_profile_is_funnel_plus_counting_mesh() {
+        let c = phase_estimation(5, 0.25).unwrap();
+        let ig = interaction_graph(&c);
+        // The eigenstate qubit touches every counting qubit.
+        assert_eq!(ig.degree(5), 5);
+        // Counting register is fully meshed by the inverse QFT.
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                assert!(ig.has_edge(a, b), "counting pair ({a},{b}) missing");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_count_scales_quadratically() {
+        let c3 = phase_estimation(3, 0.5).unwrap().gate_count();
+        let c6 = phase_estimation(6, 0.5).unwrap().gate_count();
+        assert!(c6 > 2 * c3); // inverse QFT dominates with n²/2 cphases
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn rejects_out_of_range_phase() {
+        let _ = phase_estimation(3, 1.5);
+    }
+}

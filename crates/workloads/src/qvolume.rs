@@ -1,0 +1,108 @@
+//! Quantum-volume model circuits.
+//!
+//! The IBM quantum-volume protocol's circuit shape: square circuits
+//! (depth = width) of layers, each pairing the qubits under a random
+//! permutation and applying a generic two-qubit block to every pair. The
+//! interaction graph rapidly approaches all-to-all with near-uniform
+//! weights — the hardest regular mapping profile.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use qcs_circuit::circuit::{Circuit, CircuitError};
+
+/// Appends a pseudo-SU(4) block on `(a, b)`: rotations, CNOT, rotations,
+/// CNOT, rotations — the standard KAK-style template.
+fn su4_block<R: Rng>(c: &mut Circuit, a: usize, b: usize, rng: &mut R) -> Result<(), CircuitError> {
+    let rot = |c: &mut Circuit, q: usize, rng: &mut R| -> Result<(), CircuitError> {
+        c.rz(q, rng.gen::<f64>() * std::f64::consts::TAU)?;
+        c.ry(q, rng.gen::<f64>() * std::f64::consts::TAU)?;
+        c.rz(q, rng.gen::<f64>() * std::f64::consts::TAU)?;
+        Ok(())
+    };
+    rot(c, a, rng)?;
+    rot(c, b, rng)?;
+    c.cnot(a, b)?;
+    rot(c, a, rng)?;
+    rot(c, b, rng)?;
+    c.cnot(b, a)?;
+    rot(c, a, rng)?;
+    rot(c, b, rng)?;
+    Ok(())
+}
+
+/// Builds a quantum-volume model circuit: `depth` layers over `qubits`
+/// qubits (use `depth = qubits` for the square QV shape).
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for valid widths).
+///
+/// # Panics
+///
+/// Panics if `qubits < 2`.
+pub fn quantum_volume(qubits: usize, depth: usize, seed: u64) -> Result<Circuit, CircuitError> {
+    assert!(qubits >= 2, "quantum volume needs at least two qubits");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(qubits, format!("qvolume-{qubits}x{depth}"));
+    for _ in 0..depth {
+        // Random permutation, pair adjacent entries.
+        let mut perm: Vec<usize> = (0..qubits).collect();
+        for i in (1..perm.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        for pair in perm.chunks_exact(2) {
+            su4_block(&mut c, pair[0], pair[1], &mut rng)?;
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::interaction::interaction_graph;
+
+    #[test]
+    fn layer_structure() {
+        let n = 6;
+        let c = quantum_volume(n, 1, 1).unwrap();
+        // 3 pairs × (2 CNOT + 18 rotations) per layer.
+        assert_eq!(c.two_qubit_gate_count(), 6);
+        assert_eq!(c.gate_count(), 3 * 20);
+    }
+
+    #[test]
+    fn odd_width_leaves_one_idle_per_layer() {
+        let c = quantum_volume(5, 1, 2).unwrap();
+        assert_eq!(c.two_qubit_gate_count(), 4); // 2 pairs
+    }
+
+    #[test]
+    fn square_circuit_densifies_interactions() {
+        let n = 6;
+        let c = quantum_volume(n, n, 3).unwrap();
+        let ig = interaction_graph(&c);
+        // With 6 layers of random pairings most pairs appear.
+        assert!(ig.density() > 0.5, "density {}", ig.density());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            quantum_volume(4, 4, 7).unwrap(),
+            quantum_volume(4, 4, 7).unwrap()
+        );
+        assert_ne!(
+            quantum_volume(4, 4, 7).unwrap(),
+            quantum_volume(4, 4, 8).unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_qubit() {
+        let _ = quantum_volume(1, 1, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Random circuit generation — the paper's synthetic benchmark class.
+//!
+//! A random circuit is parameterized by exactly the three "common
+//! algorithm parameters" the paper contrasts with interaction-graph
+//! metrics: qubit count, gate count and two-qubit-gate percentage. Fig. 4
+//! exploits this: a random circuit generated to match a QAOA instance on
+//! those three numbers still has a completely different interaction graph.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use qcs_circuit::circuit::{Circuit, CircuitError};
+use qcs_circuit::gate::Gate;
+
+/// Specification of a random circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomSpec {
+    /// Number of qubits (≥ 1; two-qubit gates need ≥ 2).
+    pub qubits: usize,
+    /// Total gate count.
+    pub gates: usize,
+    /// Fraction of two-qubit gates in `[0, 1]`.
+    pub two_qubit_fraction: f64,
+    /// RNG seed (the generator is fully deterministic per seed).
+    pub seed: u64,
+}
+
+/// Generates a random circuit per `spec`.
+///
+/// Two-qubit gates are CNOT or CZ on uniformly random distinct pairs;
+/// single-qubit gates are drawn from {X, Y, Z, H, S, T, Rx, Ry, Rz} with
+/// uniform random angles. The realized two-qubit count is exactly
+/// `round(gates × fraction)` (placed at random positions), so the spec's
+/// percentage is honoured deterministically rather than in expectation.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for valid specs).
+///
+/// # Panics
+///
+/// Panics if `qubits == 0`, the fraction is outside `[0, 1]`, or a
+/// two-qubit gate is requested with fewer than 2 qubits.
+pub fn random_circuit(spec: &RandomSpec) -> Result<Circuit, CircuitError> {
+    assert!(spec.qubits > 0, "need at least one qubit");
+    assert!(
+        (0.0..=1.0).contains(&spec.two_qubit_fraction),
+        "two-qubit fraction must be in [0, 1]"
+    );
+    let two_qubit_count = (spec.gates as f64 * spec.two_qubit_fraction).round() as usize;
+    assert!(
+        two_qubit_count == 0 || spec.qubits >= 2,
+        "two-qubit gates need at least two qubits"
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    // Choose which positions hold two-qubit gates (partial Fisher–Yates).
+    let mut slots: Vec<bool> = (0..spec.gates).map(|i| i < two_qubit_count).collect();
+    for i in (1..slots.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        slots.swap(i, j);
+    }
+
+    let mut c = Circuit::with_name(spec.qubits, format!("random-{}", spec.seed));
+    for is_two in slots {
+        let gate = if is_two {
+            let a = rng.gen_range(0..spec.qubits);
+            let mut b = rng.gen_range(0..spec.qubits - 1);
+            if b >= a {
+                b += 1;
+            }
+            if rng.gen_bool(0.5) {
+                Gate::Cnot(a, b)
+            } else {
+                Gate::Cz(a, b)
+            }
+        } else {
+            let q = rng.gen_range(0..spec.qubits);
+            match rng.gen_range(0..9) {
+                0 => Gate::X(q),
+                1 => Gate::Y(q),
+                2 => Gate::Z(q),
+                3 => Gate::H(q),
+                4 => Gate::S(q),
+                5 => Gate::T(q),
+                6 => Gate::Rx(q, rng.gen::<f64>() * std::f64::consts::TAU),
+                7 => Gate::Ry(q, rng.gen::<f64>() * std::f64::consts::TAU),
+                _ => Gate::Rz(q, rng.gen::<f64>() * std::f64::consts::TAU),
+            }
+        };
+        c.push(gate)?;
+    }
+    Ok(c)
+}
+
+/// Convenience wrapper matching Fig. 4's caption: a random circuit with
+/// the same "size parameters" as a given real circuit.
+///
+/// # Errors
+///
+/// As [`random_circuit`].
+pub fn random_like(qubits: usize, gates: usize, two_qubit_fraction: f64, seed: u64) -> Result<Circuit, CircuitError> {
+    random_circuit(&RandomSpec {
+        qubits,
+        gates,
+        two_qubit_fraction,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honours_size_parameters_exactly() {
+        let spec = RandomSpec {
+            qubits: 6,
+            gates: 456,
+            two_qubit_fraction: 0.135,
+            seed: 42,
+        };
+        let c = random_circuit(&spec).unwrap();
+        assert_eq!(c.qubit_count(), 6);
+        assert_eq!(c.gate_count(), 456);
+        assert_eq!(c.two_qubit_gate_count(), 62); // round(456 × 0.135)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = RandomSpec {
+            qubits: 5,
+            gates: 100,
+            two_qubit_fraction: 0.4,
+            seed: 7,
+        };
+        assert_eq!(random_circuit(&spec).unwrap(), random_circuit(&spec).unwrap());
+        let other = RandomSpec { seed: 8, ..spec };
+        assert_ne!(random_circuit(&spec).unwrap(), random_circuit(&other).unwrap());
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let all_single = random_circuit(&RandomSpec {
+            qubits: 3,
+            gates: 50,
+            two_qubit_fraction: 0.0,
+            seed: 1,
+        })
+        .unwrap();
+        assert_eq!(all_single.two_qubit_gate_count(), 0);
+        let all_two = random_circuit(&RandomSpec {
+            qubits: 3,
+            gates: 50,
+            two_qubit_fraction: 1.0,
+            seed: 1,
+        })
+        .unwrap();
+        assert_eq!(all_two.two_qubit_gate_count(), 50);
+    }
+
+    #[test]
+    fn single_qubit_circuit() {
+        let c = random_circuit(&RandomSpec {
+            qubits: 1,
+            gates: 20,
+            two_qubit_fraction: 0.0,
+            seed: 3,
+        })
+        .unwrap();
+        assert_eq!(c.gate_count(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two qubits")]
+    fn rejects_impossible_two_qubit_request() {
+        let _ = random_circuit(&RandomSpec {
+            qubits: 1,
+            gates: 10,
+            two_qubit_fraction: 0.5,
+            seed: 0,
+        });
+    }
+
+    #[test]
+    fn operands_always_distinct() {
+        let c = random_circuit(&RandomSpec {
+            qubits: 2,
+            gates: 200,
+            two_qubit_fraction: 0.9,
+            seed: 11,
+        })
+        .unwrap();
+        for g in c.iter() {
+            let qs = g.qubits();
+            if qs.len() == 2 {
+                assert_ne!(qs[0], qs[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Reversible-logic circuits — the RevLib \[48\] substitute.
+//!
+//! RevLib circuits are classical reversible functions expressed as
+//! X/CNOT/Toffoli networks. This module synthesizes the same class:
+//! seeded random Toffoli networks (matching RevLib's size spread) and a
+//! deterministic reversible incrementer, both purely classical so the
+//! simulator can check them on basis states.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use qcs_circuit::circuit::{Circuit, CircuitError};
+use qcs_circuit::gate::Gate;
+
+use crate::grover::multi_controlled_x;
+
+/// Specification of a random reversible (Toffoli) network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReversibleSpec {
+    /// Number of bits (qubits).
+    pub qubits: usize,
+    /// Number of gates.
+    pub gates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a random reversible network of X, CNOT and Toffoli gates
+/// (weighted 20 / 40 / 40 %, Toffoli degrading to CNOT/X on narrow
+/// registers).
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for valid specs).
+///
+/// # Panics
+///
+/// Panics if `qubits == 0`.
+pub fn toffoli_network(spec: &ReversibleSpec) -> Result<Circuit, CircuitError> {
+    assert!(spec.qubits > 0, "need at least one bit");
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let mut c = Circuit::with_name(spec.qubits, format!("reversible-{}", spec.seed));
+    let pick_distinct = |rng: &mut ChaCha8Rng, n: usize, k: usize| -> Vec<usize> {
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in (1..pool.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    };
+    for _ in 0..spec.gates {
+        let roll = rng.gen_range(0..10);
+        let gate = if roll < 2 || spec.qubits == 1 {
+            Gate::X(rng.gen_range(0..spec.qubits))
+        } else if roll < 6 || spec.qubits == 2 {
+            let ops = pick_distinct(&mut rng, spec.qubits, 2);
+            Gate::Cnot(ops[0], ops[1])
+        } else {
+            let ops = pick_distinct(&mut rng, spec.qubits, 3);
+            Gate::Toffoli(ops[0], ops[1], ops[2])
+        };
+        c.push(gate)?;
+    }
+    Ok(c)
+}
+
+/// Builds a reversible incrementer: maps `|x⟩ → |x + 1 mod 2^n⟩` on the
+/// low `n` qubits, using `n.saturating_sub(2)` ladder ancillas above them.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for valid `n`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn incrementer(n: usize) -> Result<Circuit, CircuitError> {
+    assert!(n > 0, "incrementer needs at least one bit");
+    let ancilla_count = n.saturating_sub(2);
+    let width = n + ancilla_count;
+    let ancillas: Vec<usize> = (n..width).collect();
+    let mut c = Circuit::with_name(width, format!("increment-{n}"));
+    // From the top bit down: bit k flips iff all lower bits are 1.
+    for k in (1..n).rev() {
+        let controls: Vec<usize> = (0..k).collect();
+        multi_controlled_x(&mut c, &controls, k, &ancillas)?;
+    }
+    c.x(0)?;
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_sim::exec::run_unitary;
+    use qcs_sim::StateVector;
+
+    /// Applies a classical reversible circuit to a basis state and returns
+    /// the output basis index.
+    fn classical_out(c: &Circuit, input: usize) -> usize {
+        let s = run_unitary(c, StateVector::basis(c.qubit_count(), input));
+        s.probabilities()
+            .iter()
+            .position(|&p| p > 1.0 - 1e-9)
+            .expect("classical circuit must keep basis states")
+    }
+
+    #[test]
+    fn network_is_classical_permutation() {
+        let spec = ReversibleSpec {
+            qubits: 4,
+            gates: 30,
+            seed: 5,
+        };
+        let c = toffoli_network(&spec).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for input in 0..16usize {
+            seen.insert(classical_out(&c, input));
+        }
+        assert_eq!(seen.len(), 16, "must be a bijection");
+    }
+
+    #[test]
+    fn network_deterministic_and_sized() {
+        let spec = ReversibleSpec {
+            qubits: 6,
+            gates: 100,
+            seed: 9,
+        };
+        let a = toffoli_network(&spec).unwrap();
+        assert_eq!(a, toffoli_network(&spec).unwrap());
+        assert_eq!(a.gate_count(), 100);
+    }
+
+    #[test]
+    fn narrow_registers_degrade_gracefully() {
+        let one = toffoli_network(&ReversibleSpec {
+            qubits: 1,
+            gates: 10,
+            seed: 0,
+        })
+        .unwrap();
+        assert!(one.gates().iter().all(|g| g.arity() == 1));
+        let two = toffoli_network(&ReversibleSpec {
+            qubits: 2,
+            gates: 10,
+            seed: 0,
+        })
+        .unwrap();
+        assert!(two.gates().iter().all(|g| g.arity() <= 2));
+    }
+
+    #[test]
+    fn incrementer_counts() {
+        let n = 3;
+        let c = incrementer(n).unwrap();
+        for x in 0..8usize {
+            let out = classical_out(&c, x);
+            // Ancillas must be restored: output fits in low n bits.
+            assert_eq!(out >> n, 0, "ancilla leak for input {x}");
+            assert_eq!(out & 0b111, (x + 1) % 8, "increment of {x}");
+        }
+    }
+
+    #[test]
+    fn single_bit_incrementer_is_x() {
+        let c = incrementer(1).unwrap();
+        assert_eq!(c.gate_count(), 1);
+        assert_eq!(classical_out(&c, 0), 1);
+        assert_eq!(classical_out(&c, 1), 0);
+    }
+}

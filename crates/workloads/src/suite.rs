@@ -1,0 +1,362 @@
+//! The qbench-style benchmark suite.
+//!
+//! The paper's evaluation compiles "200 quantum circuits … of a large
+//! variety in size (1–54 qubits, 5–100000 gates, 10–90 % two-qubit gate
+//! percentage) and type (random, reversible ones and those corresponding
+//! to real algorithms)". [`generate_suite`] reproduces that collection
+//! deterministically from a seed, cycling through every workload family
+//! of this crate with sizes sampled across the same envelope.
+//!
+//! The default gate-count ceiling is 5 000 rather than 100 000 so the
+//! whole suite maps in seconds; the ceiling is a [`SuiteConfig`] knob and
+//! the envelope substitution is documented in DESIGN.md/EXPERIMENTS.md.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use qcs_circuit::circuit::{Circuit, CircuitStats};
+
+use crate::random::RandomSpec;
+use crate::reversible::ReversibleSpec;
+
+/// The benchmark families in the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Family {
+    /// Random gate soup (the paper's *synthetic* class).
+    Random,
+    /// Reversible Toffoli networks (RevLib substitute).
+    Reversible,
+    /// QAOA MaxCut.
+    Qaoa,
+    /// Quantum Fourier Transform.
+    Qft,
+    /// Grover search.
+    Grover,
+    /// GHZ preparation.
+    Ghz,
+    /// Bernstein–Vazirani.
+    BernsteinVazirani,
+    /// Cuccaro ripple-carry adder.
+    Adder,
+    /// Hardware-efficient VQE ansatz.
+    Vqe,
+    /// Quantum-volume model circuit.
+    QuantumVolume,
+    /// Grid random-circuit sampling.
+    Supremacy,
+    /// Quantum phase estimation.
+    Qpe,
+    /// W-state preparation cascade.
+    WState,
+    /// Trotterized transverse-field Ising evolution.
+    Ising,
+}
+
+impl Family {
+    /// All families, in sampling rotation order.
+    pub fn all() -> &'static [Family] {
+        use Family::*;
+        &[
+            Random,
+            Reversible,
+            Qaoa,
+            Qft,
+            Grover,
+            Ghz,
+            BernsteinVazirani,
+            Adder,
+            Vqe,
+            QuantumVolume,
+            Supremacy,
+            Qpe,
+            WState,
+            Ising,
+        ]
+    }
+
+    /// Whether the paper plots this family as "synthetically generated"
+    /// (squares) rather than a real algorithm (circles).
+    pub fn is_synthetic(&self) -> bool {
+        matches!(self, Family::Random)
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Family::Random => "random",
+            Family::Reversible => "reversible",
+            Family::Qaoa => "qaoa",
+            Family::Qft => "qft",
+            Family::Grover => "grover",
+            Family::Ghz => "ghz",
+            Family::BernsteinVazirani => "bv",
+            Family::Adder => "adder",
+            Family::Vqe => "vqe",
+            Family::QuantumVolume => "qvolume",
+            Family::Supremacy => "supremacy",
+            Family::Qpe => "qpe",
+            Family::WState => "wstate",
+            Family::Ising => "ising",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One suite entry: a circuit plus its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    /// Unique name within the suite.
+    pub name: String,
+    /// Generating family.
+    pub family: Family,
+    /// The circuit itself.
+    pub circuit: Circuit,
+}
+
+impl Benchmark {
+    /// Whether this entry belongs to the synthetic (random) class.
+    pub fn is_synthetic(&self) -> bool {
+        self.family.is_synthetic()
+    }
+
+    /// The circuit's size statistics.
+    pub fn stats(&self) -> CircuitStats {
+        self.circuit.stats()
+    }
+}
+
+/// Suite generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteConfig {
+    /// Number of benchmarks to produce (paper: 200).
+    pub count: usize,
+    /// Maximum circuit width (paper: 54).
+    pub max_qubits: usize,
+    /// Gate-count ceiling for the unbounded families (paper envelope:
+    /// 100 000; default here 5 000 for tractable full-suite runs).
+    pub max_gates: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            count: 200,
+            max_qubits: 54,
+            max_gates: 5_000,
+            seed: 0xDA7E_2022,
+        }
+    }
+}
+
+/// Log-uniform sample in `[lo, hi]`.
+fn log_uniform<R: Rng>(lo: usize, hi: usize, rng: &mut R) -> usize {
+    let (lo_f, hi_f) = (lo.max(1) as f64, hi.max(2) as f64);
+    let x = rng.gen::<f64>() * (hi_f.ln() - lo_f.ln()) + lo_f.ln();
+    (x.exp().round() as usize).clamp(lo, hi)
+}
+
+/// Generates the deterministic benchmark suite for `config`.
+///
+/// Families rotate round-robin so every class contributes ~equally; sizes
+/// are sampled per family across the paper's envelope. The result is
+/// fully reproducible for a fixed config.
+pub fn generate_suite(config: &SuiteConfig) -> Vec<Benchmark> {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let families = Family::all();
+    let mut out = Vec::with_capacity(config.count);
+    for i in 0..config.count {
+        let family = families[i % families.len()];
+        let seed = rng.gen::<u64>();
+        let circuit = build_member(family, config, seed, &mut rng);
+        out.push(Benchmark {
+            name: format!("{family}-{i:03}"),
+            family,
+            circuit,
+        });
+    }
+    out
+}
+
+fn build_member<R: Rng>(
+    family: Family,
+    config: &SuiteConfig,
+    seed: u64,
+    rng: &mut R,
+) -> Circuit {
+    let max_q = config.max_qubits.max(4);
+    match family {
+        Family::Random => {
+            let qubits = rng.gen_range(2..=max_q);
+            let gates = log_uniform(5, config.max_gates, rng);
+            let frac = rng.gen_range(0.10..=0.90);
+            crate::random::random_circuit(&RandomSpec {
+                qubits,
+                gates,
+                two_qubit_fraction: frac,
+                seed,
+            })
+            .expect("valid random spec")
+        }
+        Family::Reversible => {
+            let qubits = rng.gen_range(3..=max_q);
+            let gates = log_uniform(5, config.max_gates, rng);
+            crate::reversible::toffoli_network(&ReversibleSpec {
+                qubits,
+                gates,
+                seed,
+            })
+            .expect("valid reversible spec")
+        }
+        Family::Qaoa => {
+            let qubits = rng.gen_range(4..=max_q);
+            let degree = rng.gen_range(2..=4);
+            let layers = rng.gen_range(1..=8);
+            crate::qaoa::qaoa_maxcut_regular(qubits, degree, layers, seed)
+                .expect("valid qaoa instance")
+        }
+        Family::Qft => {
+            let qubits = rng.gen_range(2..=max_q.min(32));
+            crate::qft::qft(qubits).expect("valid qft")
+        }
+        Family::Grover => {
+            // Width = 2n − 2 must stay within max_qubits.
+            let n_max = (max_q + 2) / 2;
+            let n = rng.gen_range(2..=n_max.min(12));
+            // Cap iterations so gate count respects the ceiling.
+            let iters = crate::grover::optimal_iterations(n).min(20);
+            crate::grover::grover_with_iterations(n, rng.gen_range(0..1u64 << n), iters)
+                .expect("valid grover instance")
+        }
+        Family::Ghz => {
+            let qubits = rng.gen_range(2..=max_q);
+            if rng.gen_bool(0.5) {
+                crate::ghz::ghz_chain(qubits).expect("valid ghz")
+            } else {
+                crate::ghz::ghz_star(qubits).expect("valid ghz")
+            }
+        }
+        Family::BernsteinVazirani => {
+            let n = rng.gen_range(2..=max_q - 1);
+            let secret = rng.gen::<u64>() & ((1u64 << n.min(63)) - 1);
+            crate::bv::bernstein_vazirani(n.min(63), secret).expect("valid bv")
+        }
+        Family::Adder => {
+            let bits = rng.gen_range(1..=(max_q - 2) / 2);
+            crate::adder::cuccaro_adder(bits).expect("valid adder")
+        }
+        Family::Vqe => {
+            let qubits = rng.gen_range(2..=max_q);
+            let layers = rng.gen_range(1..=10);
+            crate::vqe::hardware_efficient_ansatz(qubits, layers, seed).expect("valid vqe")
+        }
+        Family::QuantumVolume => {
+            let qubits = rng.gen_range(2..=max_q.min(20));
+            crate::qvolume::quantum_volume(qubits, qubits, seed).expect("valid qv")
+        }
+        Family::Supremacy => {
+            let rows = rng.gen_range(2..=7);
+            let max_cols = (max_q / rows).max(2);
+            let cols = rng.gen_range(2..=max_cols.min(7));
+            let cycles = rng.gen_range(4..=20);
+            crate::supremacy::supremacy_grid(rows, cols, cycles, seed).expect("valid supremacy")
+        }
+        Family::Qpe => {
+            let precision = rng.gen_range(2..=max_q.min(24) - 1);
+            let phi = rng.gen_range(0.0..1.0);
+            crate::qpe::phase_estimation(precision, phi).expect("valid qpe")
+        }
+        Family::WState => {
+            let qubits = rng.gen_range(2..=max_q);
+            crate::wstate::w_state(qubits).expect("valid wstate")
+        }
+        Family::Ising => {
+            let qubits = rng.gen_range(4..=max_q);
+            let degree = rng.gen_range(2..=4);
+            let steps = rng.gen_range(1..=8);
+            crate::hamiltonian::ising_random(qubits, degree, steps, 0.1, seed)
+                .expect("valid ising")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_suite_has_200_members() {
+        let suite = generate_suite(&SuiteConfig {
+            count: 28, // two full rotations, cheap for tests
+            ..SuiteConfig::default()
+        });
+        assert_eq!(suite.len(), 28);
+        // Every family appears exactly twice in 28 entries.
+        for f in Family::all() {
+            assert_eq!(suite.iter().filter(|b| b.family == *f).count(), 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SuiteConfig {
+            count: 14,
+            ..SuiteConfig::default()
+        };
+        assert_eq!(generate_suite(&cfg), generate_suite(&cfg));
+        let other = SuiteConfig { seed: 1, ..cfg };
+        assert_ne!(generate_suite(&cfg), generate_suite(&other));
+    }
+
+    #[test]
+    fn suite_respects_envelope() {
+        let cfg = SuiteConfig {
+            count: 33,
+            max_qubits: 30,
+            max_gates: 2_000,
+            seed: 7,
+        };
+        for b in generate_suite(&cfg) {
+            let s = b.stats();
+            assert!(s.qubits <= 30, "{}: {} qubits", b.name, s.qubits);
+            assert!(s.gates >= 1, "{}: empty", b.name);
+            // Families with analytic size (qft, grover…) may exceed the
+            // random ceiling slightly; random/reversible must respect it.
+            if matches!(b.family, Family::Random | Family::Reversible) {
+                assert!(s.gates <= 2_000, "{}: {} gates", b.name, s.gates);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_flag_matches_family() {
+        let suite = generate_suite(&SuiteConfig {
+            count: 14,
+            ..SuiteConfig::default()
+        });
+        for b in &suite {
+            assert_eq!(b.is_synthetic(), b.family == Family::Random);
+        }
+        assert!(suite.iter().any(|b| b.is_synthetic()));
+        assert!(suite.iter().any(|b| !b.is_synthetic()));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let suite = generate_suite(&SuiteConfig {
+            count: 28,
+            ..SuiteConfig::default()
+        });
+        let names: std::collections::BTreeSet<&str> =
+            suite.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn family_display_round_trip() {
+        assert_eq!(Family::Qaoa.to_string(), "qaoa");
+        assert_eq!(Family::all().len(), 14);
+    }
+}

@@ -1,0 +1,141 @@
+//! Grid random-circuit-sampling ("supremacy-style") circuits.
+//!
+//! The Sycamore-experiment circuit shape the paper's introduction cites:
+//! qubits on a 2-D grid, cycles of random single-qubit gates from
+//! {√X, √Y, T} followed by CZ gates on one of four alternating grid-edge
+//! patterns. The interaction graph is exactly the grid — a perfect match
+//! for grid devices and a routing stress test for everything else.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use qcs_circuit::circuit::{Circuit, CircuitError};
+use qcs_circuit::gate::Gate;
+
+/// Builds a supremacy-style grid circuit on `rows × cols` qubits with the
+/// given number of cycles. Qubit `(r, c)` has index `r * cols + c`.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for valid grids).
+///
+/// # Panics
+///
+/// Panics if the grid is empty.
+pub fn supremacy_grid(
+    rows: usize,
+    cols: usize,
+    cycles: usize,
+    seed: u64,
+) -> Result<Circuit, CircuitError> {
+    assert!(rows * cols > 0, "grid must be non-empty");
+    let n = rows * cols;
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut circuit = Circuit::with_name(n, format!("supremacy-{rows}x{cols}-c{cycles}"));
+
+    // Initial Hadamard wall.
+    for q in 0..n {
+        circuit.h(q)?;
+    }
+
+    for cycle in 0..cycles {
+        // Random single-qubit layer: √X ≈ Rx(π/2), √Y ≈ Ry(π/2), T.
+        for q in 0..n {
+            let g = match rng.gen_range(0..3) {
+                0 => Gate::Rx(q, std::f64::consts::FRAC_PI_2),
+                1 => Gate::Ry(q, std::f64::consts::FRAC_PI_2),
+                _ => Gate::T(q),
+            };
+            circuit.push(g)?;
+        }
+        // CZ pattern: alternate among 4 stagger patterns.
+        match cycle % 4 {
+            0 => {
+                // Horizontal, even columns.
+                for r in 0..rows {
+                    for c in (0..cols.saturating_sub(1)).step_by(2) {
+                        circuit.cz(id(r, c), id(r, c + 1))?;
+                    }
+                }
+            }
+            1 => {
+                // Vertical, even rows.
+                for r in (0..rows.saturating_sub(1)).step_by(2) {
+                    for c in 0..cols {
+                        circuit.cz(id(r, c), id(r + 1, c))?;
+                    }
+                }
+            }
+            2 => {
+                // Horizontal, odd columns.
+                for r in 0..rows {
+                    for c in (1..cols.saturating_sub(1)).step_by(2) {
+                        circuit.cz(id(r, c), id(r, c + 1))?;
+                    }
+                }
+            }
+            _ => {
+                // Vertical, odd rows.
+                for r in (1..rows.saturating_sub(1)).step_by(2) {
+                    for c in 0..cols {
+                        circuit.cz(id(r, c), id(r + 1, c))?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::interaction::interaction_graph;
+    use qcs_graph::generate;
+
+    #[test]
+    fn interaction_graph_is_subset_of_grid() {
+        let (rows, cols) = (3, 4);
+        let c = supremacy_grid(rows, cols, 8, 1).unwrap();
+        let ig = interaction_graph(&c);
+        let grid = generate::grid_graph(rows, cols);
+        for (u, v, _) in ig.edges() {
+            assert!(grid.has_edge(u, v), "non-grid interaction ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn enough_cycles_cover_whole_grid() {
+        let (rows, cols) = (3, 3);
+        let c = supremacy_grid(rows, cols, 8, 2).unwrap();
+        let ig = interaction_graph(&c);
+        let grid = generate::grid_graph(rows, cols);
+        assert_eq!(ig.edge_count(), grid.edge_count());
+    }
+
+    #[test]
+    fn cycle_gate_counts() {
+        let c = supremacy_grid(2, 2, 4, 3).unwrap();
+        // 4 H + 4 cycles × 4 single-qubit; CZ pattern per cycle on 2×2:
+        // cycle 0: 2 horizontal; cycle 1: 2 vertical; cycle 2: 0; cycle 3: 0.
+        assert_eq!(c.gate_count(), 4 + 16 + 4);
+        assert_eq!(c.two_qubit_gate_count(), 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            supremacy_grid(3, 3, 5, 11).unwrap(),
+            supremacy_grid(3, 3, 5, 11).unwrap()
+        );
+    }
+
+    #[test]
+    fn single_row_grid() {
+        let c = supremacy_grid(1, 5, 4, 0).unwrap();
+        let ig = interaction_graph(&c);
+        // Only horizontal patterns can fire.
+        assert!(ig.edge_count() <= 4);
+    }
+}

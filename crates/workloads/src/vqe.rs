@@ -1,0 +1,83 @@
+//! Hardware-efficient VQE ansatz circuits.
+//!
+//! The variational workhorse of NISQ algorithms: alternating layers of
+//! parametrized single-qubit rotations and a linear CZ entangling chain.
+//! Its interaction graph is a path with weight equal to the layer count.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use qcs_circuit::circuit::{Circuit, CircuitError};
+
+/// Builds a hardware-efficient ansatz: `layers` rounds of per-qubit
+/// `Ry · Rz` rotations followed by a CZ chain, with a final rotation
+/// layer. Angles are seeded.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for `n ≥ 1`).
+///
+/// # Panics
+///
+/// Panics if `qubits == 0`.
+pub fn hardware_efficient_ansatz(
+    qubits: usize,
+    layers: usize,
+    seed: u64,
+) -> Result<Circuit, CircuitError> {
+    assert!(qubits > 0, "ansatz needs at least one qubit");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(qubits, format!("vqe-{qubits}q-l{layers}"));
+    let rotation_layer = |c: &mut Circuit, rng: &mut ChaCha8Rng| -> Result<(), CircuitError> {
+        for q in 0..qubits {
+            c.ry(q, rng.gen::<f64>() * std::f64::consts::TAU)?;
+            c.rz(q, rng.gen::<f64>() * std::f64::consts::TAU)?;
+        }
+        Ok(())
+    };
+    for _ in 0..layers {
+        rotation_layer(&mut c, &mut rng)?;
+        for q in 1..qubits {
+            c.cz(q - 1, q)?;
+        }
+    }
+    rotation_layer(&mut c, &mut rng)?;
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::interaction::interaction_graph;
+
+    #[test]
+    fn gate_count_formula() {
+        let (n, l) = (6, 3);
+        let c = hardware_efficient_ansatz(n, l, 1).unwrap();
+        assert_eq!(c.gate_count(), (l + 1) * 2 * n + l * (n - 1));
+    }
+
+    #[test]
+    fn interaction_graph_is_weighted_path() {
+        let c = hardware_efficient_ansatz(5, 4, 2).unwrap();
+        let ig = interaction_graph(&c);
+        assert_eq!(ig.edge_count(), 4);
+        assert_eq!(ig.weight(0, 1), Some(4.0));
+        assert_eq!(ig.weight(0, 2), None);
+    }
+
+    #[test]
+    fn zero_layers_still_rotates() {
+        let c = hardware_efficient_ansatz(3, 0, 5).unwrap();
+        assert_eq!(c.two_qubit_gate_count(), 0);
+        assert_eq!(c.gate_count(), 6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            hardware_efficient_ansatz(4, 2, 9).unwrap(),
+            hardware_efficient_ansatz(4, 2, 9).unwrap()
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! W-state preparation circuits.
+//!
+//! The W state `(|100…⟩ + |010…⟩ + … + |0…01⟩)/√n` is the other standard
+//! entanglement benchmark next to GHZ; its cascade construction yields a
+//! chain interaction graph with *decreasing* rotation angles — a
+//! real-algorithm profile with non-uniform single-qubit structure.
+
+use qcs_circuit::circuit::{Circuit, CircuitError};
+
+/// Builds an `n`-qubit W-state preparation via the standard cascade:
+/// qubit 0 starts in `|1⟩`; each step rotates part of the excitation
+/// amplitude onto the next qubit with a controlled-Ry built from
+/// `Ry · CZ · Ry`, followed by a CNOT redistributing the excitation.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] (unreachable for `n ≥ 1`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn w_state(n: usize) -> Result<Circuit, CircuitError> {
+    assert!(n > 0, "need at least one qubit");
+    let mut c = Circuit::with_name(n, format!("wstate-{n}"));
+    c.x(0)?;
+    for k in 1..n {
+        // Remaining excitation is on qubit k-1 with squared amplitude
+        // (n-k+1)/n relative weight; split off 1/(n-k+1) onto qubit k.
+        let remaining = (n - k + 1) as f64;
+        let theta = (1.0 / remaining.sqrt()).acos() * 2.0;
+        // Controlled-Ry(θ) with control k-1, target k, via the
+        // Ry(θ/2)·CZ·Ry(−θ/2) conjugation.
+        c.ry(k, theta / 2.0)?;
+        c.cz(k - 1, k)?;
+        c.ry(k, -theta / 2.0)?;
+        // Move the "remaining" branch onto qubit k: CNOT(k, k-1) clears
+        // the control when the excitation moved.
+        c.cnot(k, k - 1)?;
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::interaction::interaction_graph;
+    use qcs_sim::exec::run_unitary;
+    use qcs_sim::StateVector;
+
+    #[test]
+    fn produces_the_w_state() {
+        for n in 2..=6 {
+            let c = w_state(n).unwrap();
+            let s = run_unitary(&c, StateVector::zero(n));
+            let probs = s.probabilities();
+            let expect = 1.0 / n as f64;
+            for (i, p) in probs.iter().enumerate() {
+                if i.count_ones() == 1 {
+                    assert!(
+                        (p - expect).abs() < 1e-9,
+                        "n={n}: weight-1 state {i:b} has p={p}, want {expect}"
+                    );
+                } else {
+                    assert!(*p < 1e-9, "n={n}: state {i:b} has spurious p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_interaction_graph() {
+        let c = w_state(6).unwrap();
+        let ig = interaction_graph(&c);
+        assert_eq!(ig.edge_count(), 5);
+        for k in 1..6 {
+            assert_eq!(ig.weight(k - 1, k), Some(2.0)); // CZ + CNOT
+        }
+    }
+
+    #[test]
+    fn single_qubit_case() {
+        let c = w_state(1).unwrap();
+        let s = run_unitary(&c, StateVector::zero(1));
+        assert!((s.probabilities()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_count_linear() {
+        assert_eq!(w_state(5).unwrap().gate_count(), 1 + 4 * 4);
+    }
+}

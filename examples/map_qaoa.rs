@@ -1,0 +1,58 @@
+//! Mapping a QAOA workload: compare the trivial, look-ahead and
+//! algorithm-driven mappers on the same MaxCut instance across devices —
+//! the paper's motivating use case for algorithm-driven compilation.
+//!
+//! Run with: `cargo run --example map_qaoa`
+
+use nisq_codesign::core::mapper::Mapper;
+use nisq_codesign::topology::lattice::{full_device, grid_device};
+use nisq_codesign::topology::surface::surface17;
+use nisq_codesign::workloads::qaoa;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 3-regular MaxCut instance on 12 qubits, depth-2 QAOA.
+    let circuit = qaoa::qaoa_maxcut_regular(12, 3, 2, 0xC0FFEE)?;
+    let stats = circuit.stats();
+    println!(
+        "QAOA instance: {} qubits, {} gates, {:.1}% two-qubit, depth {}",
+        stats.qubits,
+        stats.gates,
+        stats.two_qubit_fraction * 100.0,
+        stats.depth
+    );
+
+    let devices = vec![surface17(), grid_device(4, 4), full_device(12)];
+    let mappers = vec![
+        ("trivial", Mapper::trivial()),
+        ("lookahead", Mapper::lookahead()),
+        ("algorithm-driven", Mapper::algorithm_driven()),
+    ];
+
+    println!(
+        "\n{:<14} {:<18} {:>7} {:>11} {:>11} {:>10}",
+        "device", "mapper", "swaps", "overhead%", "depth-ov%", "fidelity"
+    );
+    println!("{}", "-".repeat(76));
+    for device in &devices {
+        for (label, mapper) in &mappers {
+            let r = mapper.map(&circuit, device)?.report;
+            println!(
+                "{:<14} {:<18} {:>7} {:>11.1} {:>11.1} {:>10.4}",
+                device.name(),
+                label,
+                r.swaps_inserted,
+                r.gate_overhead_pct,
+                r.depth_overhead_pct,
+                r.fidelity_after
+            );
+        }
+    }
+
+    println!("\nreading the table:");
+    println!("  • the all-to-all device needs no routing at all (0 swaps);");
+    println!("  • on constrained devices the algorithm-driven mapper places the");
+    println!("    MaxCut graph into the lattice first, cutting the SWAP bill;");
+    println!("  • fewer inserted gates directly translate into higher estimated");
+    println!("    fidelity — the co-design argument of the paper.");
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Hardware-aware compilation in action: route around degraded couplers
+//! using calibration data, and watch estimated fidelity recover.
+//!
+//! Run with: `cargo run --example noise_aware`
+
+use nisq_codesign::core::mapper::Mapper;
+use nisq_codesign::core::place::TrivialPlacer;
+use nisq_codesign::core::route::{NoiseAwareRouter, TrivialRouter};
+use nisq_codesign::topology::lattice::grid_device;
+
+/// The couplers that degrade: the top-right "L" of the grid — exactly
+/// the corridor a hop-count router uses for corner-to-corner traffic.
+const DEGRADED: [(usize, usize); 4] = [(0, 1), (1, 2), (2, 5), (5, 8)];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 3×3 grid:
+    //
+    //   0 — 1 — 2
+    //   |   |   |
+    //   3 — 4 — 5
+    //   |   |   |
+    //   6 — 7 — 8
+    //
+    let mut device = grid_device(3, 3);
+    for (a, b) in DEGRADED {
+        device.calibration_mut().set_two_qubit_fidelity(a, b, 0.80);
+    }
+    println!(
+        "device {}: couplers {:?} degraded to fidelity 0.80 (rest at 0.99)",
+        device.name(),
+        DEGRADED
+    );
+
+    // A workload that repeatedly wants the corners to talk.
+    let mut circuit = nisq_codesign::circuit::circuit::Circuit::new(9);
+    for _ in 0..4 {
+        circuit.cnot(0, 8)?;
+    }
+    println!(
+        "workload: {} corner-to-corner CNOTs\n",
+        circuit.two_qubit_gate_count()
+    );
+
+    for (label, mapper) in [
+        (
+            "fidelity-blind (trivial router)",
+            Mapper::new(Box::new(TrivialPlacer), Box::new(TrivialRouter)),
+        ),
+        (
+            "noise-aware router",
+            Mapper::new(Box::new(TrivialPlacer), Box::new(NoiseAwareRouter)),
+        ),
+    ] {
+        let outcome = mapper.map(&circuit, &device)?;
+        let on_degraded = outcome
+            .routed
+            .circuit
+            .gates()
+            .iter()
+            .filter(|g| {
+                let qs = g.qubits();
+                qs.len() == 2
+                    && DEGRADED
+                        .iter()
+                        .any(|&(a, b)| (qs[0] == a && qs[1] == b) || (qs[0] == b && qs[1] == a))
+            })
+            .count();
+        println!("{label}:");
+        println!("  SWAPs inserted:          {}", outcome.report.swaps_inserted);
+        println!("  2q gates on bad couplers: {on_degraded}");
+        println!("  estimated fidelity:       {:.4}\n", outcome.report.fidelity_after);
+    }
+
+    println!("the noise-aware router detours through the healthy bottom-left of the");
+    println!("chip — the calibration-driven behaviour the paper calls \"noise-aware");
+    println!("compilation methods\" [30], enabled by error data flowing up the stack");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Interaction-graph profiling of a benchmark suite (the Section IV
+//! workflow): extract Table-I metrics, prune codependent ones with a
+//! Pearson correlation matrix, and cluster the algorithms.
+//!
+//! Run with: `cargo run --example profile_suite`
+
+use nisq_codesign::core::profile::{
+    cluster_profiles_selected, prune_codependent_metrics, CircuitProfile,
+};
+use nisq_codesign::workloads::suite::{generate_suite, SuiteConfig};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SuiteConfig {
+        count: 33,
+        max_qubits: 16,
+        max_gates: 500,
+        ..SuiteConfig::default()
+    };
+    let suite = generate_suite(&config);
+    println!("generated {} benchmark circuits\n", suite.len());
+
+    let profiles: Vec<CircuitProfile> = suite
+        .iter()
+        .map(|b| CircuitProfile::of(&b.circuit))
+        .collect();
+
+    // A few example profiles: classical parameters + graph metrics.
+    println!(
+        "{:<16} {:>6} {:>7} {:>6} {:>8} {:>8} {:>8}",
+        "circuit", "qubits", "gates", "2q%", "avg-sp", "max-deg", "adj-std"
+    );
+    println!("{}", "-".repeat(68));
+    for p in profiles.iter().take(11) {
+        println!(
+            "{:<16} {:>6} {:>7} {:>6.1} {:>8.2} {:>8.0} {:>8.2}",
+            p.name.chars().take(16).collect::<String>(),
+            p.stats.qubits,
+            p.stats.gates,
+            p.stats.two_qubit_fraction * 100.0,
+            p.metrics.avg_shortest_path,
+            p.metrics.max_degree,
+            p.metrics.adjacency_std
+        );
+    }
+
+    // Correlation pruning, as in the paper.
+    let kept = prune_codependent_metrics(&profiles, 0.9);
+    println!("\nfeatures retained at |r| < 0.9: {kept:?}");
+
+    // Clustering on the paper's selected metric subset.
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let clustering = cluster_profiles_selected(&profiles, 3, &mut rng);
+    println!("\nk-means (k = 3) on the selected Table-I metrics:");
+    for c in 0..3 {
+        let members: Vec<&str> = suite
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| clustering.assignments[*i] == c)
+            .map(|(_, b)| b.name.as_str())
+            .collect();
+        println!("  cluster {c} ({} members): {}", members.len(), members.join(", "));
+    }
+    println!(
+        "\n(algorithms in the same cluster should behave similarly under a given\n mapping strategy — the paper's Section IV hypothesis)"
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! # nisq-codesign
+//!
+//! Facade crate for the reproduction of *"Full-stack quantum computing
+//! systems in the NISQ era: algorithm-driven and hardware-aware compilation
+//! techniques"* (Bandic, Feld, Almudever — DATE 2022).
+//!
+//! The workspace implements every functional element of the quantum
+//! computing full-stack described by the paper, from circuit IR to device
+//! models, and the paper's co-design example: interaction-graph-based
+//! profiling driving hardware-aware quantum circuit mapping.
+//!
+//! Each layer lives in its own crate and is re-exported here:
+//!
+//! * [`graph`] — weighted graphs, Table I metrics, Pearson correlation,
+//!   k-means ([`qcs_graph`]).
+//! * [`circuit`] — circuit IR, DAG, QASM, interaction graphs
+//!   ([`qcs_circuit`]).
+//! * [`topology`] — Surface-7/17 devices, lattices, calibration
+//!   ([`qcs_topology`]).
+//! * [`sim`] — state-vector simulation and mapping verification
+//!   ([`qcs_sim`]).
+//! * [`workloads`] — benchmark generators and the qbench-style suite
+//!   ([`qcs_workloads`]).
+//! * [`core`] — placement, routing, scheduling, fidelity estimation and
+//!   profiling: the paper's contribution ([`qcs_core`]).
+//! * [`stack`] — the full-stack pipeline of Fig. 1 ([`qcs_stack`]).
+//!
+//! # Examples
+//!
+//! Map a QAOA circuit onto the Surface-7 chip and inspect the overhead:
+//!
+//! ```
+//! use nisq_codesign::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let device = surface7();
+//! let circuit = qcs_workloads::qaoa::qaoa_maxcut_ring(4, 1, 0xBEEF)?;
+//! let mapper = Mapper::trivial();
+//! let outcome = mapper.map(&circuit, &device)?;
+//! assert!(outcome.report.routed_two_qubit_gates >= outcome.report.original_two_qubit_gates);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use qcs_circuit as circuit;
+pub use qcs_core as core;
+pub use qcs_graph as graph;
+pub use qcs_sim as sim;
+pub use qcs_stack as stack;
+pub use qcs_topology as topology;
+pub use qcs_workloads as workloads;
+
+/// Convenience re-exports for examples and quick starts.
+pub mod prelude {
+    pub use qcs_circuit::circuit::Circuit;
+    pub use qcs_circuit::gate::Gate;
+    pub use qcs_core::mapper::Mapper;
+    pub use qcs_graph::Graph;
+    pub use qcs_topology::device::Device;
+    pub use qcs_topology::surface::{surface17, surface7, surface_extended};
+    pub use qcs_workloads;
+}

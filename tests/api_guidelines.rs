@@ -1,0 +1,98 @@
+//! API-guideline conformance checks (C-SEND-SYNC, C-GOOD-ERR,
+//! C-COMMON-TRAITS): the public types stay thread-safe and the error
+//! types stay well-behaved as the crates evolve.
+
+use nisq_codesign::circuit::circuit::{Circuit, CircuitError};
+use nisq_codesign::circuit::decompose::DecomposeError;
+use nisq_codesign::circuit::qasm::ParseQasmError;
+use nisq_codesign::core::layout::{Layout, LayoutError};
+use nisq_codesign::core::mapper::{MapError, MapReport};
+use nisq_codesign::core::place::PlaceError;
+use nisq_codesign::core::route::{RouteError, RoutedCircuit};
+use nisq_codesign::core::schedule::Schedule;
+use nisq_codesign::graph::{Graph, GraphError};
+use nisq_codesign::sim::StateVector;
+use nisq_codesign::stack::control::ChannelConflict;
+use nisq_codesign::stack::pipeline::StackError;
+use nisq_codesign::topology::device::{Device, DeviceError};
+use nisq_codesign::topology::Calibration;
+
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+
+#[test]
+fn data_types_are_send_and_sync() {
+    assert_send_sync::<Graph>();
+    assert_send_sync::<Circuit>();
+    assert_send_sync::<Device>();
+    assert_send_sync::<Calibration>();
+    assert_send_sync::<Layout>();
+    assert_send_sync::<StateVector>();
+    assert_send_sync::<Schedule>();
+    assert_send_sync::<RoutedCircuit>();
+    assert_send_sync::<MapReport>();
+}
+
+#[test]
+fn error_types_implement_error_send_sync() {
+    assert_error::<GraphError>();
+    assert_error::<CircuitError>();
+    assert_error::<ParseQasmError>();
+    assert_error::<DecomposeError>();
+    assert_error::<DeviceError>();
+    assert_error::<LayoutError>();
+    assert_error::<PlaceError>();
+    assert_error::<RouteError>();
+    assert_error::<MapError>();
+    assert_error::<ChannelConflict>();
+    assert_error::<StackError>();
+}
+
+#[test]
+fn error_messages_are_lowercase_without_trailing_punctuation() {
+    // C-GOOD-ERR style: concise, lowercase, no trailing period.
+    let messages = vec![
+        GraphError::SelfLoop(3).to_string(),
+        CircuitError::DuplicateOperand(1).to_string(),
+        DeviceError::Disconnected.to_string(),
+        LayoutError::Collision { phys: 2 }.to_string(),
+        PlaceError::CircuitTooWide {
+            circuit: 9,
+            device: 7,
+        }
+        .to_string(),
+        RouteError::LayoutMismatch.to_string(),
+    ];
+    for m in messages {
+        assert!(
+            m.chars().next().unwrap().is_lowercase(),
+            "message should start lowercase: {m}"
+        );
+        assert!(
+            !m.ends_with('.'),
+            "message should not end with a period: {m}"
+        );
+    }
+}
+
+#[test]
+fn devices_are_usable_across_threads() {
+    // The practical C-SEND-SYNC check: share a device and map on threads.
+    let device = std::sync::Arc::new(nisq_codesign::topology::surface::surface17());
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let device = std::sync::Arc::clone(&device);
+            std::thread::spawn(move || {
+                let c = nisq_codesign::workloads::ghz::ghz_chain(4 + i).unwrap();
+                nisq_codesign::core::mapper::Mapper::trivial()
+                    .map(&c, &device)
+                    .unwrap()
+                    .report
+                    .swaps_inserted
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join().unwrap();
+    }
+}

@@ -1,0 +1,221 @@
+//! Invariants of the experiment pipeline itself — the properties the
+//! paper's figures rely on, checked over a reduced suite so the whole
+//! file runs in seconds.
+
+use nisq_codesign::core::mapper::Mapper;
+use nisq_codesign::core::profile::{
+    profile_correlation, prune_codependent_metrics, CircuitProfile,
+};
+use nisq_codesign::core::report::MappingRecord;
+use nisq_codesign::topology::surface::surface_extended;
+use nisq_codesign::workloads::suite::{generate_suite, SuiteConfig};
+
+fn reduced_records() -> Vec<MappingRecord> {
+    let config = SuiteConfig {
+        count: 22,
+        max_qubits: 16,
+        max_gates: 400,
+        ..Default::default()
+    };
+    let device = surface_extended(4);
+    let mapper = Mapper::trivial();
+    generate_suite(&config)
+        .iter()
+        .map(|b| {
+            let outcome = mapper.map(&b.circuit, &device).expect("maps");
+            MappingRecord {
+                name: b.name.clone(),
+                family: b.family.to_string(),
+                synthetic: b.is_synthetic(),
+                profile: CircuitProfile::of(&b.circuit),
+                report: outcome.report,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn fig3_invariants_hold_per_record() {
+    for r in reduced_records() {
+        // Routing can only add gates.
+        assert!(
+            r.report.routed_gates >= r.report.decomposed_gates,
+            "{}: lost gates",
+            r.name
+        );
+        assert!(r.report.gate_overhead_pct >= 0.0, "{}", r.name);
+        // Fidelity product can only shrink as gates are added.
+        assert!(
+            r.report.fidelity_after <= r.report.fidelity_before + 1e-12,
+            "{}: fidelity grew",
+            r.name
+        );
+        assert!(
+            (0.0..=100.0).contains(&r.report.fidelity_decrease_pct),
+            "{}: decrease {}%",
+            r.name,
+            r.report.fidelity_decrease_pct
+        );
+        // SWAP accounting: each SWAP adds 3 native two-qubit gates.
+        assert_eq!(
+            r.report.routed_two_qubit_gates,
+            r.report.original_two_qubit_gates + 3 * r.report.swaps_inserted,
+            "{}: swap accounting",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn suite_and_mapping_fully_deterministic() {
+    let a = reduced_records();
+    let b = reduced_records();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn fig4_contrast_reproduces() {
+    // The centrepiece of Section IV: same size parameters, different
+    // graphs, different mapping cost.
+    let qaoa = nisq_codesign::workloads::qaoa::fig4_qaoa(4).unwrap();
+    let s = qaoa.stats();
+    let random =
+        nisq_codesign::workloads::random::random_like(s.qubits, s.gates, s.two_qubit_fraction, 99)
+            .unwrap();
+    assert_eq!(random.stats().gates, s.gates);
+    assert_eq!(random.stats().qubits, s.qubits);
+
+    let device = nisq_codesign::topology::surface::surface17();
+    let mapper = Mapper::trivial();
+    let rq = mapper.map(&qaoa, &device).unwrap().report;
+    let rr = mapper.map(&random, &device).unwrap().report;
+    assert!(
+        rr.swaps_inserted > rq.swaps_inserted,
+        "random ({}) must out-swap QAOA ({})",
+        rr.swaps_inserted,
+        rq.swaps_inserted
+    );
+    assert!(rr.fidelity_after < rq.fidelity_after);
+}
+
+#[test]
+fn correlation_matrix_well_formed_over_suite() {
+    let records = reduced_records();
+    let profiles: Vec<CircuitProfile> = records.iter().map(|r| r.profile.clone()).collect();
+    let corr = profile_correlation(&profiles);
+    let k = CircuitProfile::feature_names().len();
+    assert_eq!(corr.len(), k);
+    for (i, row) in corr.iter().enumerate() {
+        assert!((row[i] - 1.0).abs() < 1e-9);
+        for (j, &v) in row.iter().enumerate() {
+            assert!(v.abs() <= 1.0 + 1e-9);
+            assert!((v - corr[j][i]).abs() < 1e-12);
+        }
+    }
+    // Pruning monotonicity: a stricter threshold keeps no more features.
+    let loose = prune_codependent_metrics(&profiles, 0.95).len();
+    let strict = prune_codependent_metrics(&profiles, 0.70).len();
+    assert!(strict <= loose);
+}
+
+#[test]
+fn overhead_grows_with_connectivity_pressure() {
+    // The headline shape of Fig. 3(b): among same-shape random circuits,
+    // raising the two-qubit percentage raises routing overhead.
+    let device = surface_extended(4);
+    let mapper = Mapper::trivial();
+    let mut last = -1.0f64;
+    for (i, frac) in [0.1, 0.5, 0.9].iter().enumerate() {
+        let c = nisq_codesign::workloads::random::random_like(12, 600, *frac, 7 + i as u64)
+            .unwrap();
+        let r = mapper.map(&c, &device).unwrap().report;
+        assert!(
+            r.gate_overhead_pct > last,
+            "overhead not increasing at 2q fraction {frac}: {} <= {last}",
+            r.gate_overhead_pct
+        );
+        last = r.gate_overhead_pct;
+    }
+}
+
+#[test]
+fn fidelity_decays_with_gate_count() {
+    // Fig. 3(a): same family, growing size, strictly decaying fidelity.
+    let device = surface_extended(4);
+    let mapper = Mapper::trivial();
+    let mut last = f64::INFINITY;
+    for gates in [50, 200, 800] {
+        let c = nisq_codesign::workloads::random::random_like(10, gates, 0.3, 11).unwrap();
+        let r = mapper.map(&c, &device).unwrap().report;
+        assert!(
+            r.fidelity_after < last,
+            "fidelity not decaying at {gates} gates"
+        );
+        last = r.fidelity_after;
+    }
+}
+
+#[test]
+fn analytic_fidelity_matches_monte_carlo_on_mapped_circuit() {
+    // The Fig. 3 estimator (product of gate fidelities) must equal the
+    // fault-free shot frequency under Pauli fault injection with the same
+    // per-gate rates — across the *mapped* circuit, SWAPs included.
+    use nisq_codesign::sim::noise::{run_noisy, NoiseModel};
+    use rand::SeedableRng;
+
+    let circuit = nisq_codesign::workloads::ghz::ghz_chain(5).unwrap();
+    let device = nisq_codesign::topology::lattice::line_device(6);
+    // Inflate the error rates so the Monte-Carlo statistic converges with
+    // few shots; keep the ratio 1q:2q realistic.
+    let mut noisy_device = device.clone();
+    for q in 0..6 {
+        noisy_device.calibration_mut().set_single_qubit_fidelity(q, 0.98);
+    }
+    for ((u, v), _) in device.calibration().couplers().collect::<Vec<_>>() {
+        noisy_device.calibration_mut().set_two_qubit_fidelity(u, v, 0.90);
+    }
+    let outcome = Mapper::trivial().map(&circuit, &noisy_device).unwrap();
+    let analytic = outcome.report.fidelity_after;
+
+    let model = NoiseModel::from_fidelities(0.98, 0.90, 1.0);
+    assert!(
+        (model.analytic_success(&outcome.native) - analytic).abs() < 1e-9,
+        "fidelity model and noise model disagree analytically"
+    );
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+    let stats = run_noisy(&outcome.native, &model, 4000, &mut rng);
+    assert!(
+        (stats.fault_free_fraction - analytic).abs() < 0.03,
+        "Monte-Carlo {} vs analytic {analytic}",
+        stats.fault_free_fraction
+    );
+}
+
+#[test]
+fn convenience_mappers_work_end_to_end() {
+    let circuit = nisq_codesign::workloads::qaoa::qaoa_maxcut_ring(8, 1, 3).unwrap();
+    let device = nisq_codesign::topology::surface::surface17();
+    for mapper in [
+        Mapper::trivial(),
+        Mapper::lookahead(),
+        Mapper::algorithm_driven(),
+        Mapper::noise_aware(),
+        Mapper::subgraph(),
+        Mapper::sabre(),
+    ] {
+        let outcome = mapper.map(&circuit, &device).unwrap();
+        assert!(outcome.routed.respects_connectivity(&device));
+    }
+    // The ring embeds into the surface lattice: subgraph placement must
+    // find a zero-swap embedding.
+    let outcome = Mapper::subgraph().map(&circuit, &device).unwrap();
+    assert_eq!(outcome.report.swaps_inserted, 0);
+}
+
+#[test]
+fn records_survive_json_round_trip() {
+    let records = reduced_records();
+    let json = MappingRecord::to_json(&records).unwrap();
+    let back = MappingRecord::from_json(&json).unwrap();
+    assert_eq!(back, records);
+}

@@ -1,0 +1,193 @@
+//! Cross-crate correctness: every mapper on every device preserves
+//! circuit semantics, verified against the state-vector simulator, with
+//! property-based circuit generation.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use nisq_codesign::circuit::circuit::Circuit;
+use nisq_codesign::circuit::gate::Gate;
+use nisq_codesign::core::mapper::Mapper;
+use nisq_codesign::core::place::{GraphSimilarityPlacer, RandomPlacer, TrivialPlacer};
+use nisq_codesign::core::route::{
+    BidirectionalRouter, LookaheadRouter, NoiseAwareRouter, TrivialRouter,
+};
+use nisq_codesign::sim::equiv::mapped_equivalent;
+use nisq_codesign::topology::device::Device;
+use nisq_codesign::topology::lattice::{grid_device, line_device, ring_device};
+use nisq_codesign::topology::surface::surface7;
+
+/// proptest strategy: an arbitrary unitary gate on `n` qubits (arity ≤ 2
+/// so every router accepts it directly, plus Toffoli to exercise
+/// decomposition).
+fn gate_strategy(n: usize) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let q2 = move || {
+        (0..n, 0..n - 1).prop_map(move |(a, mut b)| {
+            if b >= a {
+                b += 1;
+            }
+            (a, b)
+        })
+    };
+    prop_oneof![
+        q.clone().prop_map(Gate::X),
+        q.clone().prop_map(Gate::H),
+        q.clone().prop_map(Gate::S),
+        q.clone().prop_map(Gate::T),
+        (q.clone(), -3.0..3.0f64).prop_map(|(q, a)| Gate::Rz(q, a)),
+        (q.clone(), -3.0..3.0f64).prop_map(|(q, a)| Gate::Ry(q, a)),
+        q2().prop_map(|(a, b)| Gate::Cnot(a, b)),
+        q2().prop_map(|(a, b)| Gate::Cz(a, b)),
+        q2().prop_map(|(a, b)| Gate::Swap(a, b)),
+        (q2(), -3.0..3.0f64).prop_map(|((a, b), th)| Gate::Cphase(a, b, th)),
+    ]
+}
+
+fn circuit_strategy(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(gate_strategy(n), 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::with_name(n, "prop");
+        for g in gates {
+            c.push(g).expect("strategy generates valid gates");
+        }
+        c
+    })
+}
+
+fn all_mappers() -> Vec<Mapper> {
+    vec![
+        Mapper::new(Box::new(TrivialPlacer), Box::new(TrivialRouter)),
+        Mapper::new(Box::new(TrivialPlacer), Box::new(BidirectionalRouter)),
+        Mapper::new(Box::new(TrivialPlacer), Box::new(LookaheadRouter::default())),
+        Mapper::new(Box::new(RandomPlacer { seed: 3 }), Box::new(TrivialRouter)),
+        Mapper::new(
+            Box::new(GraphSimilarityPlacer),
+            Box::new(LookaheadRouter::default()),
+        ),
+        Mapper::new(Box::new(GraphSimilarityPlacer), Box::new(NoiseAwareRouter)),
+    ]
+}
+
+fn check_mapping(circuit: &Circuit, device: &Device, mapper: &Mapper) {
+    let outcome = mapper
+        .map(circuit, device)
+        .unwrap_or_else(|e| panic!("{}-{} failed: {e}", mapper.placer_name(), mapper.router_name()));
+    // Invariant 1: connectivity respected.
+    assert!(
+        outcome.routed.respects_connectivity(device),
+        "{}-{} violated connectivity",
+        mapper.placer_name(),
+        mapper.router_name()
+    );
+    // Invariant 2: everything native after decomposition.
+    assert!(outcome
+        .native
+        .gates()
+        .iter()
+        .all(|g| device.gate_set().contains(g.kind())));
+    // Invariant 3: semantics preserved up to the tracked permutation.
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    mapped_equivalent(
+        circuit,
+        &outcome.routed.circuit,
+        device.qubit_count(),
+        outcome.routed.initial.as_assignment(),
+        outcome.routed.final_layout.as_assignment(),
+        2,
+        &mut rng,
+    )
+    .unwrap_or_else(|e| {
+        panic!(
+            "{}-{} broke semantics: {e}\ncircuit: {circuit}",
+            mapper.placer_name(),
+            mapper.router_name()
+        )
+    });
+    // Invariant 4: layouts stay internally consistent.
+    assert!(outcome.routed.initial.is_consistent());
+    assert!(outcome.routed.final_layout.is_consistent());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_circuits_map_correctly_on_line(c in circuit_strategy(4, 20)) {
+        let device = line_device(5);
+        for mapper in all_mappers() {
+            check_mapping(&c, &device, &mapper);
+        }
+    }
+
+    #[test]
+    fn random_circuits_map_correctly_on_surface7(c in circuit_strategy(5, 16)) {
+        let device = surface7();
+        for mapper in all_mappers() {
+            check_mapping(&c, &device, &mapper);
+        }
+    }
+
+    #[test]
+    fn random_circuits_map_correctly_on_grid(c in circuit_strategy(6, 14)) {
+        let device = grid_device(2, 4);
+        for mapper in all_mappers() {
+            check_mapping(&c, &device, &mapper);
+        }
+    }
+
+    #[test]
+    fn random_circuits_map_correctly_on_ring(c in circuit_strategy(4, 14)) {
+        let device = ring_device(6);
+        for mapper in all_mappers() {
+            check_mapping(&c, &device, &mapper);
+        }
+    }
+}
+
+#[test]
+fn toffoli_circuits_map_via_decomposition() {
+    let mut c = Circuit::new(3);
+    c.toffoli(0, 1, 2).unwrap().toffoli(2, 0, 1).unwrap();
+    let device = surface7();
+    for mapper in all_mappers() {
+        check_mapping(&c, &device, &mapper);
+    }
+}
+
+#[test]
+fn real_workloads_map_correctly() {
+    // Small instances of every "real algorithm" family, checked
+    // end-to-end on a line device (worst connectivity).
+    let circuits: Vec<Circuit> = vec![
+        nisq_codesign::workloads::ghz::ghz_chain(5).unwrap(),
+        nisq_codesign::workloads::ghz::ghz_star(5).unwrap(),
+        nisq_codesign::workloads::qft::qft(5).unwrap(),
+        nisq_codesign::workloads::qaoa::qaoa_maxcut_ring(5, 2, 1).unwrap(),
+        nisq_codesign::workloads::bv::bernstein_vazirani(4, 0b1011).unwrap(),
+        nisq_codesign::workloads::adder::cuccaro_adder(2).unwrap(),
+        nisq_codesign::workloads::vqe::hardware_efficient_ansatz(5, 2, 3).unwrap(),
+        nisq_codesign::workloads::qvolume::quantum_volume(4, 4, 5).unwrap(),
+        nisq_codesign::workloads::supremacy::supremacy_grid(2, 3, 6, 7).unwrap(),
+        nisq_codesign::workloads::reversible::toffoli_network(
+            &nisq_codesign::workloads::reversible::ReversibleSpec {
+                qubits: 5,
+                gates: 20,
+                seed: 2,
+            },
+        )
+        .unwrap(),
+    ];
+    let device = line_device(6);
+    let mapper = Mapper::trivial();
+    for c in &circuits {
+        check_mapping(c, &device, &mapper);
+    }
+}
+
+#[test]
+fn grover_maps_and_verifies() {
+    // Grover has measure-free ancilla structure; verify on surface-7.
+    let c = nisq_codesign::workloads::grover::grover_with_iterations(3, 5, 1).unwrap();
+    check_mapping(&c, &surface7(), &Mapper::lookahead());
+}
