@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Local mirror of .github/workflows/ci.yml — run before pushing.
+#
+# The workspace is hermetic (no crates.io dependencies), so every step
+# works fully offline. Steps, in CI order:
+#
+#   1. cargo build --release            release build, locked deps
+#   2. cargo test  --workspace -q       every crate's unit + integration tests
+#   3. cargo fmt   --check              formatting gate
+#   4. cargo clippy -- -D warnings      lint gate (all targets, all crates)
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release --locked
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -1,7 +1,8 @@
-//! Criterion benchmarks: mapping throughput per router (backs the Fig. 3
+//! Microbenchmarks (in-tree harness): mapping throughput per router (backs the Fig. 3
 //! and ablation experiments — how expensive each routing strategy is).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcs_bench::microbench::{BenchmarkId, Criterion};
+use qcs_bench::{criterion_group, criterion_main};
 
 use qcs_core::mapper::Mapper;
 use qcs_core::place::{GraphSimilarityPlacer, TrivialPlacer};
@@ -26,7 +27,10 @@ fn routing_benchmarks(c: &mut Criterion) {
             ),
             (
                 "lookahead",
-                Mapper::new(Box::new(TrivialPlacer), Box::new(LookaheadRouter::default())),
+                Mapper::new(
+                    Box::new(TrivialPlacer),
+                    Box::new(LookaheadRouter::default()),
+                ),
             ),
             (
                 "noise-aware",

@@ -1,12 +1,13 @@
-//! Criterion benchmarks: interaction-graph extraction and Table-I metric
+//! Microbenchmarks (in-tree harness): interaction-graph extraction and Table-I metric
 //! computation (the profiling cost behind Figs. 4/5 and Table I).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcs_bench::microbench::{BenchmarkId, Criterion};
+use qcs_bench::{criterion_group, criterion_main};
 
 use qcs_circuit::interaction::interaction_graph;
+use qcs_core::profile::CircuitProfile;
 use qcs_graph::metrics::GraphMetrics;
 use qcs_graph::stats::correlation_matrix;
-use qcs_core::profile::CircuitProfile;
 
 fn metric_benchmarks(c: &mut Criterion) {
     let mut group = c.benchmark_group("metrics");

@@ -1,7 +1,8 @@
-//! Criterion benchmarks: state-vector simulation (the verification
+//! Microbenchmarks (in-tree harness): state-vector simulation (the verification
 //! substrate's cost, bounding how large mapped circuits can be checked).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcs_bench::microbench::{BenchmarkId, Criterion};
+use qcs_bench::{criterion_group, criterion_main};
 
 use qcs_sim::exec::run_unitary;
 use qcs_sim::StateVector;
@@ -23,15 +24,15 @@ fn simulation_benchmarks(c: &mut Criterion) {
 
 fn equivalence_benchmarks(c: &mut Criterion) {
     use qcs_core::mapper::Mapper;
+    use qcs_rng::SeedableRng;
     use qcs_topology::lattice::line_device;
-    use rand::SeedableRng;
 
     let device = line_device(8);
     let qft = qcs_workloads::qft::qft(6).expect("qft builds");
     let outcome = Mapper::trivial().map(&qft, &device).expect("maps");
     c.bench_function("mapped_equivalent/qft6_on_line8", |b| {
         b.iter(|| {
-            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+            let mut rng = qcs_rng::ChaCha8Rng::seed_from_u64(1);
             qcs_sim::equiv::mapped_equivalent(
                 &outcome.decomposed,
                 &outcome.routed.circuit,

@@ -1,7 +1,8 @@
-//! Criterion benchmarks: benchmark-suite generation and full-suite
+//! Microbenchmarks (in-tree harness): benchmark-suite generation and full-suite
 //! mapping (the end-to-end cost of regenerating Fig. 3 / Fig. 5 data).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use qcs_bench::microbench::Criterion;
+use qcs_bench::{criterion_group, criterion_main};
 
 use qcs_bench::{fig3_device, map_suite, suite};
 use qcs_core::mapper::Mapper;

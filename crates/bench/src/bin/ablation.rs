@@ -7,8 +7,8 @@
 //! variability (where noise-aware routing should pull ahead in
 //! fidelity).
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use qcs_rng::ChaCha8Rng;
+use qcs_rng::SeedableRng;
 
 use qcs_bench::{map_suite, print_header, row, small_suite_config, suite};
 use qcs_core::mapper::Mapper;
@@ -25,7 +25,10 @@ fn mappers() -> Vec<Mapper> {
     vec![
         Mapper::new(Box::new(TrivialPlacer), Box::new(TrivialRouter)),
         Mapper::new(Box::new(TrivialPlacer), Box::new(BidirectionalRouter)),
-        Mapper::new(Box::new(TrivialPlacer), Box::new(LookaheadRouter::default())),
+        Mapper::new(
+            Box::new(TrivialPlacer),
+            Box::new(LookaheadRouter::default()),
+        ),
         Mapper::new(Box::new(GraphSimilarityPlacer), Box::new(TrivialRouter)),
         Mapper::new(
             Box::new(GraphSimilarityPlacer),
@@ -64,10 +67,22 @@ fn mean_fidelity(records: &[MappingRecord]) -> f64 {
 fn run_on(device: &Device, label: &str) {
     let config = small_suite_config();
     let benchmarks = suite(&config);
-    println!("\n=== {label}: {} circuits on {} ===", config.count, device.name());
+    println!(
+        "\n=== {label}: {} circuits on {} ===",
+        config.count,
+        device.name()
+    );
     let widths = [18usize, 14, 8, 11, 11, 11, 11];
     print_header(
-        &["placer", "router", "n", "overhead%", "depth-ov%", "swaps", "fidelity"],
+        &[
+            "placer",
+            "router",
+            "n",
+            "overhead%",
+            "depth-ov%",
+            "swaps",
+            "fidelity",
+        ],
         &widths,
     );
     for mapper in mappers() {

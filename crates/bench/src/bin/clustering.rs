@@ -8,8 +8,8 @@
 //! metric subset and then checks the hypothesis: it reports the mapping
 //! overhead spread within each cluster versus across the whole suite.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use qcs_rng::ChaCha8Rng;
+use qcs_rng::SeedableRng;
 
 use qcs_bench::{default_suite_config, fig3_device, map_suite, small_suite_config, suite};
 use qcs_core::mapper::Mapper;

@@ -50,7 +50,10 @@ fn main() {
     for i in 0..names.len() {
         for j in (i + 1)..names.len() {
             if corr[i][j].abs() >= 0.90 {
-                println!("  {:<24} ~ {:<24} r = {:+.3}", names[i], names[j], corr[i][j]);
+                println!(
+                    "  {:<24} ~ {:<24} r = {:+.3}",
+                    names[i], names[j], corr[i][j]
+                );
             }
         }
     }

@@ -49,9 +49,16 @@ fn main() {
 
     let stack = FullStack::new(device);
     let run = stack.run_circuit(&circuit).expect("stack runs");
-    println!("\nco-design decision at the compiler layer: {:?}", run.mapper_choice);
+    println!(
+        "\nco-design decision at the compiler layer: {:?}",
+        run.mapper_choice
+    );
     println!("\nper-layer artifact sizes for this program:");
-    println!("  application  : {} gates over {} qubits", circuit.gate_count(), circuit.qubit_count());
+    println!(
+        "  application  : {} gates over {} qubits",
+        circuit.gate_count(),
+        circuit.qubit_count()
+    );
     println!(
         "  front-end    : {} gates after optimization",
         run.prepared.circuit.gate_count()

@@ -7,8 +7,8 @@
 //! to perform all CNOT gates". The mapped circuit is verified against
 //! the state-vector simulator.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use qcs_rng::ChaCha8Rng;
+use qcs_rng::SeedableRng;
 
 use qcs_circuit::circuit::Circuit;
 use qcs_circuit::interaction::interaction_graph;
@@ -48,8 +48,14 @@ fn main() {
             "\n--- mapper: {} placement + {} routing ---",
             outcome.report.placer, outcome.report.router
         );
-        println!("initial layout (virtual -> physical): {:?}", outcome.routed.initial.as_assignment());
-        println!("final   layout (virtual -> physical): {:?}", outcome.routed.final_layout.as_assignment());
+        println!(
+            "initial layout (virtual -> physical): {:?}",
+            outcome.routed.initial.as_assignment()
+        );
+        println!(
+            "final   layout (virtual -> physical): {:?}",
+            outcome.routed.final_layout.as_assignment()
+        );
         println!("SWAPs inserted: {}", outcome.report.swaps_inserted);
         println!(
             "gates: {} -> {} native ({:+.1}% overhead)",

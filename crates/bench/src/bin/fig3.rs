@@ -13,8 +13,8 @@
 //! one panel, `--quick` for a reduced suite.
 
 use qcs_bench::{
-    binned_means, default_suite_config, experiments_dir, fig3_device, map_suite, print_header,
-    row, small_suite_config, suite, write_records,
+    binned_means, default_suite_config, experiments_dir, fig3_device, map_suite, print_header, row,
+    small_suite_config, suite, write_records,
 };
 use qcs_core::mapper::Mapper;
 use qcs_core::report::{MappingRecord, SeriesSummary};
@@ -23,7 +23,10 @@ use qcs_graph::stats::pearson;
 fn panel_a(records: &[MappingRecord]) {
     println!("\n=== Fig. 3(a): gate number vs circuit fidelity (< 400 gates) ===");
     let widths = [24usize, 10, 6, 12, 10];
-    print_header(&["circuit", "gates", "type", "fidelity", "overhead%"], &widths);
+    print_header(
+        &["circuit", "gates", "type", "fidelity", "overhead%"],
+        &widths,
+    );
     let mut rows: Vec<&MappingRecord> = records
         .iter()
         .filter(|r| r.report.input_gates < 400)
@@ -56,7 +59,9 @@ fn panel_a(records: &[MappingRecord]) {
         &pts.iter().map(|p| p.0).collect::<Vec<_>>(),
         &pts.iter().map(|p| p.1.ln()).collect::<Vec<_>>(),
     );
-    println!("Pearson r (gates vs ln fidelity): {r:.3}  [paper: strong negative — exponential decay]");
+    println!(
+        "Pearson r (gates vs ln fidelity): {r:.3}  [paper: strong negative — exponential decay]"
+    );
 }
 
 fn panel_b(records: &[MappingRecord]) {
@@ -73,7 +78,10 @@ fn panel_b(records: &[MappingRecord]) {
             })
             .collect()
     };
-    for (label, pts) in [("synthetic (squares)", split(true)), ("real (circles)", split(false))] {
+    for (label, pts) in [
+        ("synthetic (squares)", split(true)),
+        ("real (circles)", split(false)),
+    ] {
         println!("\n{label}: {} circuits", pts.len());
         for (x, y, n) in binned_means(&pts, 8) {
             println!("  ~{x:>5.1}% 2q gates: mean overhead {y:>7.1}%  (n={n})");
@@ -113,7 +121,10 @@ fn panel_c(records: &[MappingRecord]) {
         }
         (
             v.iter().map(|r| r.report.gate_overhead_pct).sum::<f64>() / v.len() as f64,
-            v.iter().map(|r| r.report.fidelity_decrease_pct).sum::<f64>() / v.len() as f64,
+            v.iter()
+                .map(|r| r.report.fidelity_decrease_pct)
+                .sum::<f64>()
+                / v.len() as f64,
         )
     };
     let (so, sf) = mean(&synth);

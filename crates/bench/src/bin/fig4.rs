@@ -52,7 +52,10 @@ fn main() {
     let mapper = Mapper::trivial();
     let oq = mapper.map(&qaoa, &device).expect("qaoa maps");
     let orr = mapper.map(&random, &device).expect("random maps");
-    println!("\nMapping both onto {} with the trivial mapper:", device.name());
+    println!(
+        "\nMapping both onto {} with the trivial mapper:",
+        device.name()
+    );
     println!(
         "  QAOA:   {} SWAPs, {:+.1}% gate overhead, fidelity decrease {:.1}%",
         oq.report.swaps_inserted, oq.report.gate_overhead_pct, oq.report.fidelity_decrease_pct

@@ -67,7 +67,11 @@ fn main() {
             }
             let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
             let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
-            println!("  {series}: n = {}, Pearson r = {:+.3}", pts.len(), pearson(&xs, &ys));
+            println!(
+                "  {series}: n = {}, Pearson r = {:+.3}",
+                pts.len(),
+                pearson(&xs, &ys)
+            );
             for (x, y, n) in binned_means(&pts, 6) {
                 println!("    {key} ~{x:>8.2}: mean overhead {y:>8.1}%  (n={n})");
             }

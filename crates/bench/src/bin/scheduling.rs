@@ -51,8 +51,15 @@ fn main() {
         alap_idle.push(alap.total_idle_ns(c.qubit_count()));
     }
     println!("=== ASAP vs ALAP (unconstrained) ===");
-    println!("mean makespan: {:.0} ns (identical by construction)", mean(&asap_makespans));
-    println!("mean summed idle time: ASAP {:.0} ns, ALAP {:.0} ns", mean(&asap_idle), mean(&alap_idle));
+    println!(
+        "mean makespan: {:.0} ns (identical by construction)",
+        mean(&asap_makespans)
+    );
+    println!(
+        "mean summed idle time: ASAP {:.0} ns, ALAP {:.0} ns",
+        mean(&asap_idle),
+        mean(&alap_idle)
+    );
 
     // --- shared-control multiplexing sweep --------------------------------
     println!("\n=== shared-control multiplexing (qubits per control group) ===");
@@ -92,7 +99,10 @@ fn main() {
     // --- microarchitecture issue width -----------------------------------
     println!("\n=== microarchitecture issue-width sweep ===");
     let widths = [12usize, 14, 14, 13];
-    print_header(&["issue width", "mean stalls", "mean cycles", "utilization"], &widths);
+    print_header(
+        &["issue width", "mean stalls", "mean cycles", "utilization"],
+        &widths,
+    );
     for w in [1usize, 2, 4, 8, 16] {
         let engine = Microarchitecture::new(w);
         let mut stalls = Vec::new();

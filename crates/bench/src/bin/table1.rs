@@ -88,7 +88,9 @@ fn main() {
         m_qft.max_degree,
         swaps_per_two_qubit(&qft)
     );
-    println!("[Table I: larger hopcount / lower degree -> simpler to map (fewer SWAPs per gate)]\n");
+    println!(
+        "[Table I: larger hopcount / lower degree -> simpler to map (fewer SWAPs per gate)]\n"
+    );
 
     // Demonstration 2: weight variance. Two circuits with the same
     // interaction-graph skeleton (a ring) but different weight spread:

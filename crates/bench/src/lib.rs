@@ -6,11 +6,15 @@
 //! suite-mapping loop producing [`MappingRecord`]s, and small text-table
 //! helpers for printing series the way the paper reports them.
 
+pub mod microbench;
+pub mod parallel;
+
+pub use parallel::{default_workers, map_suite_serial, map_suite_with_workers};
+
 use std::io::Write as _;
 use std::path::Path;
 
 use qcs_core::mapper::Mapper;
-use qcs_core::profile::CircuitProfile;
 use qcs_core::report::MappingRecord;
 use qcs_topology::device::Device;
 use qcs_topology::surface::surface_extended;
@@ -43,27 +47,13 @@ pub fn suite(config: &SuiteConfig) -> Vec<Benchmark> {
 }
 
 /// Maps every benchmark with `mapper` onto `device`, producing one record
-/// per successfully-mapped circuit. Failures (e.g. a benchmark wider than
-/// the device) are reported on stderr and skipped.
-pub fn map_suite(
-    benchmarks: &[Benchmark],
-    device: &Device,
-    mapper: &Mapper,
-) -> Vec<MappingRecord> {
-    let mut records = Vec::with_capacity(benchmarks.len());
-    for b in benchmarks {
-        match mapper.map(&b.circuit, device) {
-            Ok(outcome) => records.push(MappingRecord {
-                name: b.name.clone(),
-                family: b.family.to_string(),
-                synthetic: b.is_synthetic(),
-                profile: CircuitProfile::of(&b.circuit),
-                report: outcome.report,
-            }),
-            Err(e) => eprintln!("skipping {}: {e}", b.name),
-        }
-    }
-    records
+/// per successfully-mapped circuit in input order. Failures (e.g. a
+/// benchmark wider than the device) are reported on stderr and skipped.
+///
+/// Runs on the parallel engine with [`default_workers`] threads; the
+/// result is byte-identical to [`map_suite_serial`].
+pub fn map_suite(benchmarks: &[Benchmark], device: &Device, mapper: &Mapper) -> Vec<MappingRecord> {
+    map_suite_with_workers(benchmarks, device, mapper, default_workers())
 }
 
 /// Writes records as JSON under `dir/name.json`, creating the directory.
@@ -78,8 +68,7 @@ pub fn write_records(
 ) -> std::io::Result<std::path::PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = MappingRecord::to_json(records)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let json = MappingRecord::batch_to_json(records);
     let mut f = std::fs::File::create(&path)?;
     f.write_all(json.as_bytes())?;
     Ok(path)

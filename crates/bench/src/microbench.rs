@@ -1,0 +1,247 @@
+//! Minimal in-tree microbenchmark harness.
+//!
+//! Replaces the external `criterion` dependency with the small API
+//! surface the bench files use: [`Criterion`], [`BenchmarkId`],
+//! benchmark groups, [`Bencher::iter`], and the
+//! [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros. Each benchmark is
+//! warmed up, then timed in batches until a measurement budget is spent;
+//! mean, minimum and maximum per-iteration times are printed.
+//!
+//! Budgets are tunable via environment variables (milliseconds):
+//! `QCS_BENCH_WARMUP_MS` (default 50) and `QCS_BENCH_MEASURE_MS`
+//! (default 300). CI sets them low — these benches gate compilation and
+//! regression *visibility*, not statistical rigor.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export for convenient use in benchmark bodies.
+pub use std::hint::black_box;
+
+fn env_ms(key: &str, default_ms: u64) -> Duration {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(Duration::from_millis(default_ms), Duration::from_millis)
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+}
+
+/// Per-iteration timing statistics of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Total measured iterations.
+    pub iterations: u64,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest batch's per-iteration time.
+    pub min: Duration,
+    /// Slowest batch's per-iteration time.
+    pub max: Duration,
+}
+
+/// Runs one routine: warmup to size the batches, then timed batches until
+/// the measurement budget is exhausted.
+fn measure<O>(mut routine: impl FnMut() -> O) -> Sample {
+    let warmup_budget = env_ms("QCS_BENCH_WARMUP_MS", 50);
+    let measure_budget = env_ms("QCS_BENCH_MEASURE_MS", 300);
+
+    // Warmup: run until the budget is spent, tracking the iteration rate.
+    let warmup_start = Instant::now();
+    let mut warmup_iters: u64 = 0;
+    while warmup_start.elapsed() < warmup_budget || warmup_iters == 0 {
+        black_box(routine());
+        warmup_iters += 1;
+    }
+    let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+    // Aim for ~10 batches over the measurement budget.
+    let batch_iters = ((measure_budget.as_secs_f64() / 10.0 / per_iter).ceil() as u64).max(1);
+
+    let mut iterations: u64 = 0;
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    while total < measure_budget {
+        let start = Instant::now();
+        for _ in 0..batch_iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        let per = elapsed / u32::try_from(batch_iters).unwrap_or(u32::MAX);
+        min = min.min(per);
+        max = max.max(per);
+        total += elapsed;
+        iterations += batch_iters;
+    }
+    Sample {
+        iterations,
+        mean: total / u32::try_from(iterations).unwrap_or(u32::MAX),
+        min,
+        max,
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Collects timing routines inside a `Bencher::iter` call.
+pub struct Bencher {
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    /// Times `routine` under the harness budgets.
+    pub fn iter<O>(&mut self, routine: impl FnMut() -> O) {
+        self.sample = Some(measure(routine));
+    }
+}
+
+/// The harness entry point: runs benchmarks and prints a report line per
+/// benchmark.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, Sample)>,
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run(name.to_string(), f);
+        self
+    }
+
+    /// Opens a named group; benchmarks within it are reported as
+    /// `group/benchmark`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    fn run(&mut self, label: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { sample: None };
+        f(&mut b);
+        let sample = b.sample.expect("benchmark must call Bencher::iter");
+        println!(
+            "bench {label:<44} mean {:>10}  min {:>10}  max {:>10}  ({} iters)",
+            format_duration(sample.mean),
+            format_duration(sample.min),
+            format_duration(sample.max),
+            sample.iterations,
+        );
+        self.results.push((label, sample));
+    }
+
+    /// Prints the closing summary (count only; lines are live-printed).
+    pub fn final_summary(&self) {
+        println!("ran {} benchmarks", self.results.len());
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark labelled `group/name`.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{name}", self.name);
+        self.criterion.run(label, f);
+        self
+    }
+
+    /// Runs a benchmark labelled `group/id` with an explicit input (the
+    /// `criterion` signature kept so bench bodies read the same).
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        self.criterion.run(label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one runner function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::microbench::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`), mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::microbench::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_iterations() {
+        std::env::set_var("QCS_BENCH_WARMUP_MS", "1");
+        std::env::set_var("QCS_BENCH_MEASURE_MS", "5");
+        let sample = measure(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(sample.iterations > 0);
+        assert!(sample.min <= sample.mean && sample.mean <= sample.max);
+        std::env::remove_var("QCS_BENCH_WARMUP_MS");
+        std::env::remove_var("QCS_BENCH_MEASURE_MS");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("route", "qft12");
+        assert_eq!(id.id, "route/qft12");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

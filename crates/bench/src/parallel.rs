@@ -1,0 +1,160 @@
+//! Parallel suite-mapping engine.
+//!
+//! Maps a benchmark suite across a `std::thread::scope` worker pool while
+//! guaranteeing output *byte-identical* to the serial loop:
+//!
+//! * Work distribution is an atomic next-index counter, so threads steal
+//!   benchmarks dynamically (circuits vary wildly in mapping cost).
+//! * Every benchmark writes into its own pre-allocated slot, indexed by
+//!   input position; the final record sequence is the slot order, which
+//!   equals serial input order regardless of completion order.
+//! * The expensive shared state — the device's all-pairs distance matrix
+//!   and next-hop path reconstruction — is precomputed once inside
+//!   [`Device`](qcs_topology::device::Device) and borrowed read-only by
+//!   every worker through the scope, so no worker ever re-runs BFS or
+//!   re-derives distances.
+//! * Mapping itself is deterministic (no wall-clock, no thread-dependent
+//!   RNG), so each slot's record is a pure function of its benchmark.
+//!
+//! `Mapper` is shareable across threads because `Placer` and `Router`
+//! have `Send + Sync` supertraits.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use qcs_core::mapper::Mapper;
+use qcs_core::profile::CircuitProfile;
+use qcs_core::report::MappingRecord;
+use qcs_topology::device::Device;
+use qcs_workloads::suite::Benchmark;
+
+/// Default worker count: the machine's available parallelism (1 when it
+/// cannot be determined).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn map_one(benchmark: &Benchmark, device: &Device, mapper: &Mapper) -> Option<MappingRecord> {
+    match mapper.map(&benchmark.circuit, device) {
+        Ok(outcome) => Some(MappingRecord {
+            name: benchmark.name.clone(),
+            family: benchmark.family.to_string(),
+            synthetic: benchmark.is_synthetic(),
+            profile: CircuitProfile::of(&benchmark.circuit),
+            report: outcome.report,
+        }),
+        Err(e) => {
+            eprintln!("skipping {}: {e}", benchmark.name);
+            None
+        }
+    }
+}
+
+/// The serial reference implementation: one record per mapped benchmark,
+/// in input order; failures are reported on stderr and skipped.
+pub fn map_suite_serial(
+    benchmarks: &[Benchmark],
+    device: &Device,
+    mapper: &Mapper,
+) -> Vec<MappingRecord> {
+    benchmarks
+        .iter()
+        .filter_map(|b| map_one(b, device, mapper))
+        .collect()
+}
+
+/// Maps the suite over `workers` threads; the result is byte-identical to
+/// [`map_suite_serial`] for any worker count.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero or a worker thread panics.
+pub fn map_suite_with_workers(
+    benchmarks: &[Benchmark],
+    device: &Device,
+    mapper: &Mapper,
+    workers: usize,
+) -> Vec<MappingRecord> {
+    assert!(workers > 0, "worker count must be at least 1");
+    let workers = workers.min(benchmarks.len());
+    if workers <= 1 {
+        return map_suite_serial(benchmarks, device, mapper);
+    }
+
+    // One slot per benchmark, claimed via the shared counter. Each slot is
+    // locked exactly once (by the claiming worker), so the mutexes are
+    // uncontended — they exist to make the slot writes safe and clippy-
+    // and miri-visible rather than to arbitrate access.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<MappingRecord>>> =
+        benchmarks.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(benchmark) = benchmarks.get(i) else {
+                    break;
+                };
+                let record = map_one(benchmark, device, mapper);
+                *slots[i].lock().expect("slot lock never poisoned") = record;
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .filter_map(|slot| slot.into_inner().expect("slot lock never poisoned"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_workloads::suite::SuiteConfig;
+
+    fn tiny_suite() -> Vec<Benchmark> {
+        qcs_workloads::suite::generate_suite(&SuiteConfig {
+            count: 12,
+            max_qubits: 8,
+            max_gates: 120,
+            ..SuiteConfig::default()
+        })
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let benchmarks = tiny_suite();
+        let device = qcs_topology::surface::surface17();
+        let mapper = Mapper::trivial();
+        let serial = map_suite_serial(&benchmarks, &device, &mapper);
+        for workers in [1, 2, 3, 8] {
+            let parallel = map_suite_with_workers(&benchmarks, &device, &mapper, workers);
+            assert_eq!(parallel, serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn worker_count_above_suite_size_is_fine() {
+        let benchmarks = tiny_suite();
+        let device = qcs_topology::surface::surface17();
+        let mapper = Mapper::trivial();
+        let records = map_suite_with_workers(&benchmarks, &device, &mapper, 64);
+        assert_eq!(records.len(), benchmarks.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_workers_rejected() {
+        let device = qcs_topology::surface::surface17();
+        map_suite_with_workers(&[], &device, &Mapper::trivial(), 0);
+    }
+
+    #[test]
+    fn default_workers_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Determinism regression: the parallel suite-mapping engine must
+//! produce record sequences byte-identical to the serial loop for any
+//! worker count, and suite generation must be a pure function of its
+//! seed.
+
+use qcs_bench::{fig3_device, map_suite_serial, map_suite_with_workers, suite};
+use qcs_core::mapper::Mapper;
+use qcs_core::report::MappingRecord;
+use qcs_workloads::suite::SuiteConfig;
+
+fn test_config() -> SuiteConfig {
+    // Small enough for CI, large enough to exercise every family and
+    // both mapping outcomes (some members exceed smaller devices).
+    SuiteConfig {
+        count: 24,
+        max_qubits: 12,
+        max_gates: 300,
+        ..SuiteConfig::default()
+    }
+}
+
+#[test]
+fn suite_generation_is_seed_deterministic() {
+    let a = suite(&test_config());
+    let b = suite(&test_config());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.circuit, y.circuit);
+    }
+}
+
+#[test]
+fn record_sequences_identical_across_worker_counts() {
+    let benchmarks = suite(&test_config());
+    let device = fig3_device();
+    let mapper = Mapper::trivial();
+
+    let serial = map_suite_serial(&benchmarks, &device, &mapper);
+    let serial_json = MappingRecord::batch_to_json(&serial);
+    assert!(!serial.is_empty());
+
+    for workers in [1usize, 2, 8] {
+        let parallel = map_suite_with_workers(&benchmarks, &device, &mapper, workers);
+        assert_eq!(
+            parallel, serial,
+            "record sequence diverged at {workers} workers"
+        );
+        // Byte-identical serialization, not just structural equality.
+        assert_eq!(
+            MappingRecord::batch_to_json(&parallel),
+            serial_json,
+            "JSON bytes diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn lookahead_mapper_is_deterministic_in_parallel() {
+    // The lookahead router keeps mutable per-call state (front layer,
+    // anti-oscillation memory); two parallel runs must still agree.
+    let benchmarks = suite(&SuiteConfig {
+        count: 10,
+        max_qubits: 10,
+        max_gates: 150,
+        ..SuiteConfig::default()
+    });
+    let device = fig3_device();
+    let mapper = Mapper::lookahead();
+    let a = map_suite_with_workers(&benchmarks, &device, &mapper, 8);
+    let b = map_suite_with_workers(&benchmarks, &device, &mapper, 8);
+    assert_eq!(a, b);
+    assert_eq!(a, map_suite_serial(&benchmarks, &device, &mapper));
+}

@@ -1,0 +1,75 @@
+//! Wall-clock comparison of the serial vs parallel suite-mapping engine,
+//! for EXPERIMENTS.md. Ignored by default: run explicitly with
+//! `cargo test -p qcs-bench --release --test timing -- --ignored --nocapture`.
+
+use std::time::Instant;
+
+use qcs_bench::{fig3_device, map_suite_serial, map_suite_with_workers, suite};
+use qcs_core::mapper::Mapper;
+use qcs_workloads::suite::SuiteConfig;
+
+#[test]
+#[ignore = "timing run, not a correctness test"]
+fn time_serial_vs_parallel() {
+    let benchmarks = suite(&SuiteConfig::default()); // the full 200-circuit suite
+    let device = fig3_device();
+    let mapper = Mapper::trivial();
+
+    let t = Instant::now();
+    let serial = map_suite_serial(&benchmarks, &device, &mapper);
+    let serial_time = t.elapsed();
+    println!(
+        "serial:              {serial_time:?} ({} records)",
+        serial.len()
+    );
+
+    for workers in [1, 2, 4, 8] {
+        let t = Instant::now();
+        let parallel = map_suite_with_workers(&benchmarks, &device, &mapper, workers);
+        println!("{workers} worker(s):         {:?}", t.elapsed());
+        assert_eq!(parallel, serial);
+    }
+}
+
+#[test]
+#[ignore = "timing run, not a correctness test"]
+fn time_bfs_vs_cached_shortest_path() {
+    // The routers used to BFS the coupling graph per blocked gate; they now
+    // reconstruct the path from the device's precomputed distance matrix.
+    // Compare both on every qubit pair of the fig3 device, repeated.
+    let device = fig3_device();
+    let n = device.qubit_count();
+    const REPS: usize = 200;
+
+    let t = Instant::now();
+    let mut bfs_hops = 0usize;
+    for _ in 0..REPS {
+        for u in 0..n {
+            for v in 0..n {
+                bfs_hops += qcs_graph::paths::shortest_path(device.coupling(), u, v)
+                    .expect("connected")
+                    .len();
+            }
+        }
+    }
+    let bfs_time = t.elapsed();
+
+    let t = Instant::now();
+    let mut cached_hops = 0usize;
+    for _ in 0..REPS {
+        for u in 0..n {
+            for v in 0..n {
+                cached_hops += device.shortest_path(u, v).len();
+            }
+        }
+    }
+    let cached_time = t.elapsed();
+
+    assert_eq!(bfs_hops, cached_hops); // both are shortest, so equal lengths
+    println!("per-call BFS:        {bfs_time:?}  ({REPS}x all {n}x{n} pairs)");
+    println!("cached next-hop:     {cached_time:?}");
+    println!(
+        "speedup:             {:.1}x",
+        bfs_time.as_secs_f64() / cached_time.as_secs_f64()
+    );
+}

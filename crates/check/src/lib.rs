@@ -1,0 +1,236 @@
+//! Lightweight property-based testing for the workspace.
+//!
+//! Replaces the external `proptest` dependency with the two things the
+//! test suites actually need: a seeded value generator ([`Gen`]) and a
+//! case runner ([`check`]) that reruns a property over many derived
+//! seeds and, on failure, reports the exact case seed so the failure can
+//! be replayed with [`check_one`].
+//!
+//! Shrinking is deliberately omitted: every generator is driven by a
+//! single `u64` case seed, so a failing case is already minimal to
+//! reproduce (`check_one(name, seed, property)`).
+//!
+//! # Examples
+//!
+//! ```
+//! use qcs_check::{check, Gen};
+//!
+//! check("sort is idempotent", 64, |g| {
+//!     let mut xs = g.vec(0..20, |g| g.i64_in(-100..=100));
+//!     xs.sort_unstable();
+//!     let once = xs.clone();
+//!     xs.sort_unstable();
+//!     assert_eq!(once, xs);
+//! });
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use qcs_rng::{ChaCha8Rng, Rng, SeedableRng};
+
+/// A seeded source of arbitrary test values.
+///
+/// Each test case gets its own `Gen` derived from `(suite seed, case
+/// index)`, so cases are independent and individually replayable.
+#[derive(Debug)]
+pub struct Gen {
+    rng: ChaCha8Rng,
+    seed: u64,
+}
+
+impl Gen {
+    /// A generator for an explicit case seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The case seed this generator was built from (for failure
+    /// messages).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform `usize` in a half-open range.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `usize` in an inclusive range.
+    pub fn usize_in_incl(&mut self, range: RangeInclusive<usize>) -> usize {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `u64` over the full width.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Uniform `i64` in an inclusive range.
+    pub fn i64_in(&mut self, range: RangeInclusive<i64>) -> i64 {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `f64` in a half-open range.
+    pub fn f64_in(&mut self, range: Range<f64>) -> f64 {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        self.rng.gen()
+    }
+
+    /// Bernoulli draw.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<T>(&mut self, len: Range<usize>, mut element: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| element(self)).collect()
+    }
+
+    /// One item of a slice, uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose: empty slice");
+        &items[self.usize_in(0..items.len())]
+    }
+
+    /// A uniformly random permutation of `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.usize_in_incl(0..=i);
+            p.swap(i, j);
+        }
+        p
+    }
+
+    /// Direct access to the underlying RNG for call sites that need the
+    /// `qcs_rng` traits (e.g. simulator helpers taking `impl Rng`).
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+}
+
+/// Derives the per-case seed from the property name and case index, so
+/// distinct properties explore distinct streams even at case 0.
+fn case_seed(name: &str, case: u64) -> u64 {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs `property` over `cases` independent generators; panics with the
+/// failing case seed attached on the first failure.
+///
+/// # Panics
+///
+/// Re-raises the property's panic after printing the case seed needed to
+/// replay it via [`check_one`].
+pub fn check(name: &str, cases: u64, mut property: impl FnMut(&mut Gen)) {
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        run_case(name, seed, &mut property);
+    }
+}
+
+/// Replays a single case of `property` with an explicit seed (taken from
+/// a previous failure report).
+///
+/// # Panics
+///
+/// Propagates the property's panic.
+pub fn check_one(name: &str, seed: u64, mut property: impl FnMut(&mut Gen)) {
+    run_case(name, seed, &mut property);
+}
+
+fn run_case(name: &str, seed: u64, property: &mut impl FnMut(&mut Gen)) {
+    let mut g = Gen::from_seed(seed);
+    let result = catch_unwind(AssertUnwindSafe(|| property(&mut g)));
+    if let Err(panic) = result {
+        eprintln!(
+            "property '{name}' failed; replay with qcs_check::check_one(\"{name}\", {seed}, ...)"
+        );
+        resume_unwind(panic);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        check("det", 5, |g| first.push(g.u64()));
+        let mut second = Vec::new();
+        check("det", 5, |g| second.push(g.u64()));
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 5);
+    }
+
+    #[test]
+    fn distinct_properties_get_distinct_streams() {
+        let mut a = Vec::new();
+        check("alpha", 3, |g| a.push(g.u64()));
+        let mut b = Vec::new();
+        check("beta", 3, |g| b.push(g.u64()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn failure_reports_replayable_seed() {
+        let caught = std::panic::catch_unwind(|| {
+            check("always-fails", 1, |_| panic!("boom"));
+        });
+        assert!(caught.is_err());
+        // The failing seed equals case_seed("always-fails", 0); replaying
+        // must reproduce the failure.
+        let seed = case_seed("always-fails", 0);
+        let replay = std::panic::catch_unwind(|| {
+            check_one("always-fails", seed, |_| panic!("boom"));
+        });
+        assert!(replay.is_err());
+    }
+
+    #[test]
+    fn vec_respects_length_range() {
+        check("vec-len", 32, |g| {
+            let xs = g.vec(2..7, |g| g.f64_unit());
+            assert!((2..7).contains(&xs.len()));
+        });
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        check("perm", 32, |g| {
+            let n = g.usize_in(1..12);
+            let mut p = g.permutation(n);
+            p.sort_unstable();
+            assert_eq!(p, (0..n).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn choose_stays_in_bounds() {
+        check("choose", 32, |g| {
+            let item = *g.choose(&[1, 2, 3]);
+            assert!((1..=3).contains(&item));
+        });
+    }
+}

@@ -3,8 +3,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::gate::{Gate, GateKind, Qubit};
 
 /// Error type for circuit construction.
@@ -39,7 +37,7 @@ impl std::error::Error for CircuitError {}
 /// Size statistics of a circuit — the "common algorithm parameters" the
 /// paper contrasts with interaction-graph metrics (Section III): number of
 /// qubits, number of gates, two-qubit-gate percentage and depth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CircuitStats {
     /// Circuit width (declared qubits).
     pub qubits: usize,
@@ -52,6 +50,14 @@ pub struct CircuitStats {
     /// Circuit depth (length of the longest dependency chain).
     pub depth: usize,
 }
+
+qcs_json::impl_json_object!(CircuitStats {
+    qubits,
+    gates,
+    two_qubit_gates,
+    two_qubit_fraction,
+    depth,
+});
 
 /// A quantum circuit: a fixed number of qubits and an ordered gate list.
 ///
@@ -68,7 +74,7 @@ pub struct CircuitStats {
 /// assert_eq!(bell.stats().two_qubit_gates, 1);
 /// # Ok::<(), qcs_circuit::CircuitError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Circuit {
     name: String,
     qubits: usize,
@@ -443,7 +449,10 @@ mod tests {
     #[test]
     fn push_validates_duplicates() {
         let mut c = Circuit::new(3);
-        assert_eq!(c.push(Gate::Cnot(1, 1)), Err(CircuitError::DuplicateOperand(1)));
+        assert_eq!(
+            c.push(Gate::Cnot(1, 1)),
+            Err(CircuitError::DuplicateOperand(1))
+        );
         assert_eq!(
             c.push(Gate::Toffoli(0, 2, 2)),
             Err(CircuitError::DuplicateOperand(2))
@@ -453,7 +462,14 @@ mod tests {
     #[test]
     fn counts_and_fractions() {
         let mut c = Circuit::new(3);
-        c.h(0).unwrap().cnot(0, 1).unwrap().t(2).unwrap().cz(1, 2).unwrap();
+        c.h(0)
+            .unwrap()
+            .cnot(0, 1)
+            .unwrap()
+            .t(2)
+            .unwrap()
+            .cz(1, 2)
+            .unwrap();
         c.barrier_all();
         assert_eq!(c.gate_count(), 4);
         assert_eq!(c.two_qubit_gate_count(), 2);

@@ -183,7 +183,12 @@ mod tests {
     #[test]
     fn cancels_cnots_through_rz_on_control() {
         let mut c = Circuit::new(2);
-        c.cnot(0, 1).unwrap().rz(0, 0.5).unwrap().cnot(0, 1).unwrap();
+        c.cnot(0, 1)
+            .unwrap()
+            .rz(0, 0.5)
+            .unwrap()
+            .cnot(0, 1)
+            .unwrap();
         let (opt, n) = cancel_with_commutation(&c);
         assert_eq!(n, 2);
         assert_eq!(opt.gates(), &[Gate::Rz(0, 0.5)]);
@@ -216,7 +221,14 @@ mod tests {
     fn fixed_point_cascades() {
         // S Sdg wrapped in a commuting CZ pair: everything vanishes.
         let mut c = Circuit::new(2);
-        c.cz(0, 1).unwrap().s(0).unwrap().sdg(0).unwrap().cz(0, 1).unwrap();
+        c.cz(0, 1)
+            .unwrap()
+            .s(0)
+            .unwrap()
+            .sdg(0)
+            .unwrap()
+            .cz(0, 1)
+            .unwrap();
         let (opt, n) = cancel_with_commutation(&c);
         assert!(opt.is_empty(), "left {:?}", opt.gates());
         assert_eq!(n, 4);
@@ -230,7 +242,16 @@ mod tests {
         // integration tests).
         let _ = generate::path_graph(2); // keep dep used
         let mut c = Circuit::new(3);
-        c.cnot(0, 1).unwrap().t(0).unwrap().x(1).unwrap().cnot(0, 1).unwrap().h(2).unwrap();
+        c.cnot(0, 1)
+            .unwrap()
+            .t(0)
+            .unwrap()
+            .x(1)
+            .unwrap()
+            .cnot(0, 1)
+            .unwrap()
+            .h(2)
+            .unwrap();
         let (opt, n) = cancel_with_commutation(&c);
         assert_eq!(n, 2);
         assert_eq!(opt.gate_count(), 3);
@@ -239,7 +260,12 @@ mod tests {
     #[test]
     fn measurements_block_cancellation() {
         let mut c = Circuit::new(2);
-        c.cnot(0, 1).unwrap().measure(0).unwrap().cnot(0, 1).unwrap();
+        c.cnot(0, 1)
+            .unwrap()
+            .measure(0)
+            .unwrap()
+            .cnot(0, 1)
+            .unwrap();
         let (opt, n) = cancel_with_commutation(&c);
         assert_eq!(n, 0);
         assert_eq!(opt.len(), 3);

@@ -291,7 +291,14 @@ mod tests {
     #[test]
     fn levels_and_layers() {
         let mut c = Circuit::new(4);
-        c.h(0).unwrap().h(2).unwrap().cnot(0, 1).unwrap().cnot(2, 3).unwrap();
+        c.h(0)
+            .unwrap()
+            .h(2)
+            .unwrap()
+            .cnot(0, 1)
+            .unwrap()
+            .cnot(2, 3)
+            .unwrap();
         let dag = DependencyDag::new(&c);
         assert_eq!(dag.depth(), 2);
         let layers = dag.layers();
@@ -349,7 +356,14 @@ mod tests {
     fn diamond_dependencies() {
         // g0 = CNOT(0,1); g1 = H(0); g2 = H(1); g3 = CNOT(0,1).
         let mut c = Circuit::new(2);
-        c.cnot(0, 1).unwrap().h(0).unwrap().h(1).unwrap().cnot(0, 1).unwrap();
+        c.cnot(0, 1)
+            .unwrap()
+            .h(0)
+            .unwrap()
+            .h(1)
+            .unwrap()
+            .cnot(0, 1)
+            .unwrap();
         let dag = DependencyDag::new(&c);
         assert_eq!(dag.predecessors(3), &[1, 2]);
         let mut fl = FrontLayer::new(&dag);

@@ -14,8 +14,6 @@ use std::collections::BTreeSet;
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::circuit::{Circuit, CircuitError};
 use crate::gate::{Gate, GateKind};
 
@@ -31,7 +29,7 @@ use crate::gate::{Gate, GateKind};
 /// assert!(surface.contains(GateKind::Cz));
 /// assert!(!surface.contains(GateKind::Cnot));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GateSet {
     kinds: BTreeSet<GateKind>,
 }
@@ -95,6 +93,32 @@ impl GateSet {
     /// Whether the set can express any two-qubit entangling gate.
     pub fn has_entangler(&self) -> bool {
         self.contains(GateKind::Cnot) || self.contains(GateKind::Cz)
+    }
+}
+
+impl qcs_json::ToJson for GateSet {
+    /// Wire format: a sorted array of OpenQASM-style kind names.
+    fn to_json(&self) -> qcs_json::Json {
+        qcs_json::Json::Array(
+            self.kinds
+                .iter()
+                .map(|k| qcs_json::Json::String(k.to_string()))
+                .collect(),
+        )
+    }
+}
+
+impl qcs_json::FromJson for GateSet {
+    fn from_json(json: &qcs_json::Json) -> Result<Self, qcs_json::JsonError> {
+        let names = <Vec<String> as qcs_json::FromJson>::from_json(json)?;
+        let kinds = names
+            .iter()
+            .map(|n| GateKind::from_name(n))
+            .collect::<Option<Vec<_>>>()
+            .ok_or(qcs_json::JsonError::Type {
+                expected: "known gate kind name",
+            })?;
+        Ok(GateSet::new(kinds))
     }
 }
 
@@ -266,7 +290,10 @@ mod tests {
     #[test]
     fn native_gates_pass_through() {
         let set = GateSet::surface_code_native();
-        assert_eq!(decompose_gate(Gate::Cz(0, 1), &set).unwrap(), vec![Gate::Cz(0, 1)]);
+        assert_eq!(
+            decompose_gate(Gate::Cz(0, 1), &set).unwrap(),
+            vec![Gate::Cz(0, 1)]
+        );
         assert_eq!(decompose_gate(Gate::H(0), &set).unwrap(), vec![Gate::H(0)]);
     }
 
@@ -364,13 +391,22 @@ mod tests {
     #[test]
     fn full_circuit_decomposition_counts() {
         let mut c = Circuit::new(3);
-        c.h(0).unwrap().cnot(0, 1).unwrap().swap(1, 2).unwrap().measure_all();
+        c.h(0)
+            .unwrap()
+            .cnot(0, 1)
+            .unwrap()
+            .swap(1, 2)
+            .unwrap()
+            .measure_all();
         let set = GateSet::surface_code_native();
         let d = decompose_circuit(&c, &set).unwrap();
         assert!(all_native(&d, &set));
         // Measurements survive decomposition.
         assert_eq!(
-            d.gates().iter().filter(|g| g.kind() == GateKind::Measure).count(),
+            d.gates()
+                .iter()
+                .filter(|g| g.kind() == GateKind::Measure)
+                .count(),
             3
         );
     }
@@ -393,6 +429,8 @@ mod tests {
         assert!(GateSet::new([]).contains(GateKind::Barrier));
         assert!(!GateSet::rotations_plus_cz().is_empty());
         assert!(GateSet::rotations_plus_cz().len() >= 4);
-        assert!(GateSet::rotations_plus_cz().iter().any(|k| k == GateKind::Cz));
+        assert!(GateSet::rotations_plus_cz()
+            .iter()
+            .any(|k| k == GateKind::Cz));
     }
 }

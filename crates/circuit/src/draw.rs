@@ -54,8 +54,8 @@ pub fn draw(circuit: &Circuit) -> String {
             _ => continue,
         };
         let start = (lo..=hi).map(|q| level[q]).max().unwrap_or(0);
-        for q in lo..=hi {
-            level[q] = start + 1;
+        for l in &mut level[lo..=hi] {
+            *l = start + 1;
         }
         if layers.len() <= start {
             layers.resize_with(start + 1, Vec::new);
@@ -227,7 +227,10 @@ mod tests {
         c.cnot(0, 2).unwrap();
         let art = draw(&c);
         let q1_line = art.lines().find(|l| l.starts_with("q1")).unwrap();
-        assert!(q1_line.contains('┼'), "middle wire must show the crossing: {art}");
+        assert!(
+            q1_line.contains('┼'),
+            "middle wire must show the crossing: {art}"
+        );
     }
 
     #[test]

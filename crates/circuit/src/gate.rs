@@ -8,8 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a (virtual or physical) qubit within a circuit or device.
 pub type Qubit = usize;
 
@@ -28,7 +26,7 @@ pub type Qubit = usize;
 /// assert!(g.is_two_qubit());
 /// assert_eq!(g.inverse(), Some(Gate::Cnot(0, 1))); // self-inverse
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Gate {
     /// Identity (explicit wait) on a qubit.
     I(Qubit),
@@ -263,7 +261,7 @@ impl fmt::Display for Gate {
 
 /// Gate kind: the operand-free identity of a gate, used to express device
 /// primitive gate sets and gather per-kind statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum GateKind {
     I,
@@ -295,6 +293,14 @@ impl GateKind {
             I, X, Y, Z, H, S, Sdg, T, Tdg, Rx, Ry, Rz, Cnot, Cz, Cphase, Swap, Toffoli, Measure,
             Barrier,
         ]
+    }
+
+    /// Inverse of [`GateKind`]'s `Display` (OpenQASM-style names).
+    pub fn from_name(name: &str) -> Option<GateKind> {
+        GateKind::all()
+            .iter()
+            .copied()
+            .find(|k| k.to_string() == name)
     }
 }
 

@@ -38,7 +38,8 @@ pub fn interaction_graph(circuit: &Circuit) -> Graph {
     for gate in circuit.iter() {
         match *gate {
             Gate::Cnot(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) | Gate::Cphase(a, b, _) => {
-                g.add_edge(a, b).expect("circuit validation guarantees valid pairs");
+                g.add_edge(a, b)
+                    .expect("circuit validation guarantees valid pairs");
             }
             Gate::Toffoli(a, b, t) => {
                 g.add_edge(a, b).expect("valid pair");

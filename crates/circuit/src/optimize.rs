@@ -80,22 +80,20 @@ pub fn merge_rotations(circuit: &Circuit) -> (Circuit, usize) {
     for &g in circuit.gates() {
         let qs = g.qubits();
         let mergeable = match g {
-            Gate::Rx(q, a) | Gate::Ry(q, a) | Gate::Rz(q, a) => {
-                last_on[q].and_then(|idx| keep[idx]).and_then(|prev| {
-                    match (prev, g) {
-                        (Gate::Rx(pq, pa), Gate::Rx(..)) if pq == q => {
-                            Some((last_on[q].expect("checked"), Gate::Rx(q, pa + a)))
-                        }
-                        (Gate::Ry(pq, pa), Gate::Ry(..)) if pq == q => {
-                            Some((last_on[q].expect("checked"), Gate::Ry(q, pa + a)))
-                        }
-                        (Gate::Rz(pq, pa), Gate::Rz(..)) if pq == q => {
-                            Some((last_on[q].expect("checked"), Gate::Rz(q, pa + a)))
-                        }
-                        _ => None,
+            Gate::Rx(q, a) | Gate::Ry(q, a) | Gate::Rz(q, a) => last_on[q]
+                .and_then(|idx| keep[idx])
+                .and_then(|prev| match (prev, g) {
+                    (Gate::Rx(pq, pa), Gate::Rx(..)) if pq == q => {
+                        Some((last_on[q].expect("checked"), Gate::Rx(q, pa + a)))
                     }
-                })
-            }
+                    (Gate::Ry(pq, pa), Gate::Ry(..)) if pq == q => {
+                        Some((last_on[q].expect("checked"), Gate::Ry(q, pa + a)))
+                    }
+                    (Gate::Rz(pq, pa), Gate::Rz(..)) if pq == q => {
+                        Some((last_on[q].expect("checked"), Gate::Rz(q, pa + a)))
+                    }
+                    _ => None,
+                }),
             _ => None,
         };
         if let Some((idx, merged)) = mergeable {
@@ -274,7 +272,12 @@ mod tests {
     #[test]
     fn merges_rz_chain() {
         let mut c = Circuit::new(1);
-        c.rz(0, 0.25).unwrap().rz(0, 0.5).unwrap().rz(0, 0.25).unwrap();
+        c.rz(0, 0.25)
+            .unwrap()
+            .rz(0, 0.5)
+            .unwrap()
+            .rz(0, 0.25)
+            .unwrap();
         let (opt, n) = merge_rotations(&c);
         assert_eq!(opt.gates(), &[Gate::Rz(0, 1.0)]);
         assert_eq!(n, 2);
@@ -292,7 +295,10 @@ mod tests {
     #[test]
     fn full_turn_drops() {
         let mut c = Circuit::new(1);
-        c.ry(0, std::f64::consts::PI).unwrap().ry(0, std::f64::consts::PI).unwrap();
+        c.ry(0, std::f64::consts::PI)
+            .unwrap()
+            .ry(0, std::f64::consts::PI)
+            .unwrap();
         let (opt, _) = merge_rotations(&c);
         assert!(opt.is_empty());
     }
@@ -321,7 +327,14 @@ mod tests {
         // Rz(a) Rz(-a) leaves nothing, exposing an H H pair around it?
         // H Rz(0.5) Rz(-0.5) H → H H → empty. Needs two iterations.
         let mut c = Circuit::new(1);
-        c.h(0).unwrap().rz(0, 0.5).unwrap().rz(0, -0.5).unwrap().h(0).unwrap();
+        c.h(0)
+            .unwrap()
+            .rz(0, 0.5)
+            .unwrap()
+            .rz(0, -0.5)
+            .unwrap()
+            .h(0)
+            .unwrap();
         let (opt, report) = optimize(&c);
         assert!(opt.is_empty());
         assert!(report.iterations >= 2);
@@ -334,7 +347,10 @@ mod tests {
         c.measure(0).unwrap().measure(0).unwrap();
         let (opt, _) = optimize(&c);
         assert_eq!(
-            opt.gates().iter().filter(|g| g.kind() == GateKind::Measure).count(),
+            opt.gates()
+                .iter()
+                .filter(|g| g.kind() == GateKind::Measure)
+                .count(),
             2
         );
     }
@@ -342,7 +358,12 @@ mod tests {
     #[test]
     fn optimize_preserves_semantic_gates() {
         let mut c = Circuit::new(3);
-        c.h(0).unwrap().cnot(0, 1).unwrap().toffoli(0, 1, 2).unwrap();
+        c.h(0)
+            .unwrap()
+            .cnot(0, 1)
+            .unwrap()
+            .toffoli(0, 1, 2)
+            .unwrap();
         let (opt, report) = optimize(&c);
         assert_eq!(opt.gates(), c.gates());
         assert_eq!(report.total_removed(), 0);

@@ -25,7 +25,11 @@ pub struct ParseQasmError {
 
 impl std::fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -110,8 +114,7 @@ pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
 
     for (line, stmt) in pending {
         let err = |message: String| ParseQasmError { line, message };
-        if stmt.starts_with("OPENQASM") || stmt.starts_with("include") || stmt.starts_with("creg")
-        {
+        if stmt.starts_with("OPENQASM") || stmt.starts_with("include") || stmt.starts_with("creg") {
             continue;
         }
         if let Some(rest) = stmt.strip_prefix("qreg") {
@@ -151,8 +154,7 @@ pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
                 .map(str::trim)
                 .ok_or_else(|| err("malformed measure".into()))?;
             let q = parse_qubit(src).ok_or_else(|| err(format!("bad measure operand '{src}'")))?;
-            c.push(Gate::Measure(q))
-                .map_err(|e| err(e.to_string()))?;
+            c.push(Gate::Measure(q)).map_err(|e| err(e.to_string()))?;
             continue;
         }
         if head == "barrier" {
@@ -222,7 +224,11 @@ fn build_gates(name: &str, angles: &[f64], qs: &[usize]) -> Option<Vec<Gate>> {
         // qelib1 generic rotations, ZYZ-decomposed (equal up to global
         // phase): u3(θ,φ,λ) = Rz(φ)·Ry(θ)·Rz(λ); u2(φ,λ) = u3(π/2,φ,λ).
         ("u3", &[theta, phi, lambda], &[q]) => {
-            return Some(vec![Gate::Rz(q, lambda), Gate::Ry(q, theta), Gate::Rz(q, phi)])
+            return Some(vec![
+                Gate::Rz(q, lambda),
+                Gate::Ry(q, theta),
+                Gate::Rz(q, phi),
+            ])
         }
         ("u2", &[phi, lambda], &[q]) => {
             return Some(vec![

@@ -6,8 +6,6 @@
 //! device's *calibrated* per-element fidelities, plus an optional
 //! decoherence factor driven by the schedule makespan.
 
-use serde::{Deserialize, Serialize};
-
 use qcs_circuit::circuit::Circuit;
 use qcs_circuit::gate::Gate;
 use qcs_topology::device::Device;
@@ -15,15 +13,13 @@ use qcs_topology::device::Device;
 use crate::schedule::Schedule;
 
 /// Estimator configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FidelityModel {
     /// Include measurement fidelities in the product.
     pub include_measurement: bool,
     /// Multiply by `exp(−idle_time / T2)` per qubit (needs a schedule).
     pub include_decoherence: bool,
 }
-
 
 impl FidelityModel {
     /// The fidelity contribution of one gate on `device`, with operands
@@ -183,7 +179,11 @@ mod tests {
             c.cnot(0, 1).unwrap();
         }
         c.cnot(1, 2).unwrap();
-        let sched = schedule_asap(&c, &GateDurations::default(), &ControlGroups::unconstrained());
+        let sched = schedule_asap(
+            &c,
+            &GateDurations::default(),
+            &ControlGroups::unconstrained(),
+        );
         let plain = FidelityModel::default();
         let decoh = FidelityModel {
             include_measurement: false,

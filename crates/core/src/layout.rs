@@ -1,7 +1,5 @@
 //! The virtual↔physical qubit assignment evolved during routing.
 
-use serde::{Deserialize, Serialize};
-
 /// Error raised when constructing an invalid layout.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LayoutError {
@@ -65,7 +63,7 @@ impl std::error::Error for LayoutError {}
 /// assert_eq!(l.phys_of(1), 3);
 /// assert_eq!(l.virt_at(1), None);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Layout {
     virt_to_phys: Vec<usize>,
     phys_to_virt: Vec<Option<usize>>,
@@ -233,7 +231,11 @@ mod tests {
     fn from_assignment_rejects_out_of_range() {
         assert!(matches!(
             Layout::from_assignment(vec![0, 7], 3).unwrap_err(),
-            LayoutError::PhysicalOutOfRange { virt: 1, phys: 7, device: 3 }
+            LayoutError::PhysicalOutOfRange {
+                virt: 1,
+                phys: 7,
+                device: 3
+            }
         ));
     }
 

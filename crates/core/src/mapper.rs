@@ -7,8 +7,6 @@
 //! (number of time-stamps) and reliability/fidelity or success rate
 //! probability."
 
-use serde::{Deserialize, Serialize};
-
 use qcs_circuit::circuit::Circuit;
 use qcs_circuit::decompose::{decompose_circuit, DecomposeError};
 use qcs_topology::device::Device;
@@ -60,7 +58,7 @@ impl From<RouteError> for MapError {
 }
 
 /// All figures of merit from one mapping run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MapReport {
     /// Source circuit name.
     pub circuit_name: String,
@@ -101,6 +99,27 @@ pub struct MapReport {
     /// Scheduled makespan of the routed circuit in nanoseconds.
     pub makespan_ns: f64,
 }
+
+qcs_json::impl_json_object!(MapReport {
+    circuit_name,
+    device_name,
+    placer,
+    router,
+    input_gates,
+    decomposed_gates,
+    original_two_qubit_gates,
+    routed_gates,
+    routed_two_qubit_gates,
+    swaps_inserted,
+    gate_overhead_pct,
+    depth_before,
+    depth_after,
+    depth_overhead_pct,
+    fidelity_before,
+    fidelity_after,
+    fidelity_decrease_pct,
+    makespan_ns,
+});
 
 /// Everything produced by one mapping run.
 #[derive(Debug, Clone, PartialEq)]
@@ -168,7 +187,10 @@ impl Mapper {
     /// Hardware-aware baseline: identity placement + SABRE-style
     /// look-ahead routing.
     pub fn lookahead() -> Self {
-        Mapper::new(Box::new(TrivialPlacer), Box::new(LookaheadRouter::default()))
+        Mapper::new(
+            Box::new(TrivialPlacer),
+            Box::new(LookaheadRouter::default()),
+        )
     }
 
     /// The paper's target: algorithm-driven (interaction-graph) placement
@@ -243,9 +265,9 @@ impl Mapper {
         let depth_before = decomposed.depth();
         let depth_after = native.depth();
         let fidelity_before = self.fidelity.circuit_fidelity(&decomposed, device);
-        let fidelity_after =
-            self.fidelity
-                .circuit_fidelity_scheduled(&native, device, &schedule);
+        let fidelity_after = self
+            .fidelity
+            .circuit_fidelity_scheduled(&native, device, &schedule);
 
         let pct = |before: f64, after: f64| {
             if before > 0.0 {
@@ -299,7 +321,12 @@ mod tests {
 
     fn fig2_circuit() -> Circuit {
         let mut c = Circuit::with_name(4, "fig2");
-        c.cnot(1, 0).unwrap().cnot(1, 2).unwrap().cnot(2, 3).unwrap();
+        c.cnot(1, 0)
+            .unwrap()
+            .cnot(1, 2)
+            .unwrap()
+            .cnot(2, 3)
+            .unwrap();
         c.cnot(2, 0).unwrap().cnot(1, 2).unwrap();
         c
     }
@@ -369,7 +396,9 @@ mod tests {
 
     #[test]
     fn report_names_filled() {
-        let outcome = Mapper::lookahead().map(&fig2_circuit(), &surface7()).unwrap();
+        let outcome = Mapper::lookahead()
+            .map(&fig2_circuit(), &surface7())
+            .unwrap();
         assert_eq!(outcome.report.circuit_name, "fig2");
         assert_eq!(outcome.report.device_name, "surface-7");
         assert_eq!(outcome.report.placer, "trivial");

@@ -15,8 +15,8 @@
 //!   and greedily embeds it into the coupling graph, minimizing
 //!   weight × distance to already-placed partners.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use qcs_rng::ChaCha8Rng;
+use qcs_rng::SeedableRng;
 
 use qcs_circuit::circuit::Circuit;
 use qcs_circuit::interaction::interaction_graph;
@@ -49,7 +49,10 @@ impl std::fmt::Display for PlaceError {
 impl std::error::Error for PlaceError {}
 
 /// Strategy for choosing an initial layout.
-pub trait Placer {
+///
+/// `Send + Sync` so a `Mapper` holding a boxed placer can be shared
+/// read-only across the worker threads of the parallel suite engine.
+pub trait Placer: Send + Sync {
     /// Produces the initial virtual→physical layout for `circuit` on
     /// `device`.
     ///
@@ -81,7 +84,10 @@ pub struct TrivialPlacer;
 impl Placer for TrivialPlacer {
     fn place(&self, circuit: &Circuit, device: &Device) -> Result<Layout, PlaceError> {
         check_width(circuit, device)?;
-        Ok(Layout::identity(circuit.qubit_count(), device.qubit_count()))
+        Ok(Layout::identity(
+            circuit.qubit_count(),
+            device.qubit_count(),
+        ))
     }
 
     fn name(&self) -> &'static str {
@@ -102,7 +108,7 @@ impl Placer for RandomPlacer {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut pool: Vec<usize> = (0..device.qubit_count()).collect();
         for i in (1..pool.len()).rev() {
-            let j = rand::Rng::gen_range(&mut rng, 0..=i);
+            let j = qcs_rng::Rng::gen_range(&mut rng, 0..=i);
             pool.swap(i, j);
         }
         pool.truncate(circuit.qubit_count());
@@ -130,11 +136,7 @@ pub struct GraphSimilarityPlacer;
 impl GraphSimilarityPlacer {
     /// Total weighted-distance cost of an assignment (the objective the
     /// greedy embedding minimizes).
-    fn assignment_cost(
-        ig: &qcs_graph::Graph,
-        device: &Device,
-        assignment: &[usize],
-    ) -> f64 {
+    fn assignment_cost(ig: &qcs_graph::Graph, device: &Device, assignment: &[usize]) -> f64 {
         ig.edges()
             .map(|(u, v, w)| w * device.distance(assignment[u], assignment[v]) as f64)
             .sum()
@@ -288,7 +290,10 @@ mod tests {
         let dev = surface7();
         assert_eq!(
             TrivialPlacer.place(&c, &dev).unwrap_err(),
-            PlaceError::CircuitTooWide { circuit: 9, device: 7 }
+            PlaceError::CircuitTooWide {
+                circuit: 9,
+                device: 7
+            }
         );
         assert!(RandomPlacer { seed: 0 }.place(&c, &dev).is_err());
         assert!(GraphSimilarityPlacer.place(&c, &dev).is_err());
@@ -346,7 +351,11 @@ mod tests {
         assert!(cost(&smart) <= cost(&trivial));
         // The hub must land on a high-degree physical qubit.
         let hub = smart.phys_of(0);
-        assert!(dev.coupling().degree(hub) >= 3, "hub on degree-{} site", dev.coupling().degree(hub));
+        assert!(
+            dev.coupling().degree(hub) >= 3,
+            "hub on degree-{} site",
+            dev.coupling().degree(hub)
+        );
     }
 
     #[test]

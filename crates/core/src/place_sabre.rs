@@ -141,7 +141,13 @@ mod tests {
     #[test]
     fn skeleton_extracts_pairs() {
         let mut c = Circuit::new(3);
-        c.h(0).unwrap().cnot(0, 1).unwrap().toffoli(0, 1, 2).unwrap().measure_all();
+        c.h(0)
+            .unwrap()
+            .cnot(0, 1)
+            .unwrap()
+            .toffoli(0, 1, 2)
+            .unwrap()
+            .measure_all();
         let s = SabrePlacer::skeleton(&c);
         assert_eq!(s.gate_count(), 4); // 1 CNOT-pair + 3 Toffoli pairs
         assert!(s.gates().iter().all(|g| g.name() == "cz"));

@@ -74,11 +74,7 @@ impl SubgraphPlacer {
                 .copied()
                 .filter(|&v| !chosen[v])
                 .max_by_key(|&v| {
-                    let anchored = pattern
-                        .neighbors(v)
-                        .iter()
-                        .filter(|&&u| chosen[u])
-                        .count();
+                    let anchored = pattern.neighbors(v).iter().filter(|&&u| chosen[u]).count();
                     (anchored, pattern.degree(v), usize::MAX - v)
                 })
                 .expect("interacting node remains");
@@ -145,11 +141,7 @@ impl SubgraphPlacer {
                 .iter()
                 .copied()
                 .filter(|&p| !used[p])
-                .filter(|&p| {
-                    placed_nbrs
-                        .iter()
-                        .all(|&u| host.has_edge(p, assignment[u]))
-                })
+                .filter(|&p| placed_nbrs.iter().all(|&u| host.has_edge(p, assignment[u])))
                 .collect()
         } else {
             (0..host.node_count()).filter(|&p| !used[p]).collect()
@@ -231,7 +223,14 @@ mod tests {
     fn embeds_ring_into_grid() {
         // A 4-cycle embeds into a 2×2 grid face.
         let mut c = Circuit::new(4);
-        c.cnot(0, 1).unwrap().cnot(1, 2).unwrap().cnot(2, 3).unwrap().cnot(3, 0).unwrap();
+        c.cnot(0, 1)
+            .unwrap()
+            .cnot(1, 2)
+            .unwrap()
+            .cnot(2, 3)
+            .unwrap()
+            .cnot(3, 0)
+            .unwrap();
         let dev = grid_device(3, 3);
         let layout = SubgraphPlacer::default().place(&c, &dev).unwrap();
         for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
@@ -248,7 +247,10 @@ mod tests {
         let placer = SubgraphPlacer::default();
         let star = generate::star_graph(5);
         let ring = generate::ring_graph(8);
-        assert_eq!(placer.find_embedding(&star, &ring), EmbeddingOutcome::NoEmbedding);
+        assert_eq!(
+            placer.find_embedding(&star, &ring),
+            EmbeddingOutcome::NoEmbedding
+        );
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //! the pruning of codependent metrics, and k-means clustering of
 //! algorithms by profile.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use qcs_rng::Rng;
 
 use qcs_circuit::circuit::{Circuit, CircuitStats};
 use qcs_circuit::interaction::interaction_graph;
@@ -18,7 +17,7 @@ use qcs_graph::metrics::GraphMetrics;
 use qcs_graph::stats::{correlation_matrix, select_uncorrelated};
 
 /// A circuit's full characterization record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CircuitProfile {
     /// Circuit name.
     pub name: String,
@@ -27,6 +26,12 @@ pub struct CircuitProfile {
     /// The Table I interaction-graph metric vector.
     pub metrics: GraphMetrics,
 }
+
+qcs_json::impl_json_object!(CircuitProfile {
+    name,
+    stats,
+    metrics,
+});
 
 impl CircuitProfile {
     /// Profiles one circuit.
@@ -69,10 +74,7 @@ pub fn profile_correlation(profiles: &[CircuitProfile]) -> Vec<Vec<f64>> {
 /// The paper's metric-pruning step: greedily keeps features whose
 /// pairwise |Pearson| stays below `threshold`, returning the retained
 /// feature names.
-pub fn prune_codependent_metrics(
-    profiles: &[CircuitProfile],
-    threshold: f64,
-) -> Vec<&'static str> {
+pub fn prune_codependent_metrics(profiles: &[CircuitProfile], threshold: f64) -> Vec<&'static str> {
     let corr = profile_correlation(profiles);
     let names = CircuitProfile::feature_names();
     select_uncorrelated(&corr, threshold)
@@ -88,11 +90,7 @@ pub fn prune_codependent_metrics(
 /// # Panics
 ///
 /// Panics if `profiles` is empty or `k` exceeds the profile count.
-pub fn cluster_profiles<R: Rng>(
-    profiles: &[CircuitProfile],
-    k: usize,
-    rng: &mut R,
-) -> Clustering {
+pub fn cluster_profiles<R: Rng>(profiles: &[CircuitProfile], k: usize, rng: &mut R) -> Clustering {
     let samples: Vec<Vec<f64>> = profiles.iter().map(CircuitProfile::feature_vec).collect();
     kmeans_restarts(&samples, k, rng)
 }
@@ -122,18 +120,15 @@ pub fn cluster_profiles_selected<R: Rng>(
     k: usize,
     rng: &mut R,
 ) -> Clustering {
-    let samples: Vec<Vec<f64>> = profiles
-        .iter()
-        .map(|p| p.metrics.selected_vec())
-        .collect();
+    let samples: Vec<Vec<f64>> = profiles.iter().map(|p| p.metrics.selected_vec()).collect();
     kmeans_restarts(&samples, k, rng)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use qcs_rng::ChaCha8Rng;
+    use qcs_rng::SeedableRng;
 
     fn qft_profile(n: usize) -> CircuitProfile {
         CircuitProfile::of(&qcs_workloads::qft::qft(n).unwrap())
@@ -148,10 +143,7 @@ mod tests {
         let p = qft_profile(6);
         assert_eq!(p.stats.qubits, 6);
         assert_eq!(p.metrics.density, 1.0); // QFT: complete interaction graph
-        assert_eq!(
-            p.feature_vec().len(),
-            CircuitProfile::feature_names().len()
-        );
+        assert_eq!(p.feature_vec().len(), CircuitProfile::feature_names().len());
     }
 
     #[test]
@@ -160,13 +152,9 @@ mod tests {
         // identical size parameters have very different graph metrics.
         let qaoa = qcs_workloads::qaoa::fig4_qaoa(1).unwrap();
         let s = qaoa.stats();
-        let random = qcs_workloads::random::random_like(
-            s.qubits,
-            s.gates,
-            s.two_qubit_fraction,
-            99,
-        )
-        .unwrap();
+        let random =
+            qcs_workloads::random::random_like(s.qubits, s.gates, s.two_qubit_fraction, 99)
+                .unwrap();
         let pq = CircuitProfile::of(&qaoa);
         let pr = CircuitProfile::of(&random);
         // Same classical parameters…

@@ -4,13 +4,13 @@
 //! joining provenance (family, synthetic flag), the circuit's profile and
 //! the mapping report — everything Figs. 3 and 5 plot.
 
-use serde::{Deserialize, Serialize};
+use qcs_json::{FromJson, JsonError, ToJson};
 
 use crate::mapper::MapReport;
 use crate::profile::CircuitProfile;
 
 /// One row of an experiment's raw data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MappingRecord {
     /// Benchmark name.
     pub name: String,
@@ -25,29 +25,32 @@ pub struct MappingRecord {
     pub report: MapReport,
 }
 
+qcs_json::impl_json_object!(MappingRecord {
+    name,
+    family,
+    synthetic,
+    profile,
+    report,
+});
+
 impl MappingRecord {
     /// Serializes a batch of records as pretty JSON.
-    ///
-    /// # Errors
-    ///
-    /// Propagates `serde_json` errors (effectively unreachable for these
-    /// plain data types).
-    pub fn to_json(records: &[MappingRecord]) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(records)
+    pub fn batch_to_json(records: &[MappingRecord]) -> String {
+        qcs_json::Json::Array(records.iter().map(ToJson::to_json).collect()).to_string_pretty()
     }
 
     /// Parses a batch of records from JSON.
     ///
     /// # Errors
     ///
-    /// Returns a `serde_json` error on malformed input.
-    pub fn from_json(json: &str) -> Result<Vec<MappingRecord>, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Returns a [`JsonError`] on malformed input.
+    pub fn batch_from_json(json: &str) -> Result<Vec<MappingRecord>, JsonError> {
+        Vec::<MappingRecord>::from_json(&qcs_json::parse(json)?)
     }
 }
 
 /// Summary statistics over a set of records (one plotted series).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeriesSummary {
     /// Number of records.
     pub count: usize,
@@ -114,8 +117,8 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let records = vec![sample_record("a", false), sample_record("b", true)];
-        let json = MappingRecord::to_json(&records).unwrap();
-        let back = MappingRecord::from_json(&json).unwrap();
+        let json = MappingRecord::batch_to_json(&records);
+        let back = MappingRecord::batch_from_json(&json).unwrap();
         assert_eq!(back, records);
     }
 

@@ -22,7 +22,6 @@
 use qcs_circuit::circuit::Circuit;
 use qcs_circuit::dag::{DependencyDag, FrontLayer};
 use qcs_circuit::gate::{Gate, GateKind};
-use qcs_graph::paths::shortest_path;
 use qcs_topology::device::Device;
 
 use crate::layout::Layout;
@@ -51,7 +50,10 @@ impl std::fmt::Display for RouteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RouteError::NonPrimitiveGate { kind, index } => {
-                write!(f, "gate '{kind}' at index {index} has arity > 2; decompose first")
+                write!(
+                    f,
+                    "gate '{kind}' at index {index} has arity > 2; decompose first"
+                )
             }
             RouteError::LayoutMismatch => write!(f, "layout does not match circuit/device"),
             RouteError::Unroutable { routed } => {
@@ -88,7 +90,10 @@ impl RoutedCircuit {
 }
 
 /// A routing strategy.
-pub trait Router {
+///
+/// `Send + Sync` so a `Mapper` holding a boxed router can be shared
+/// read-only across the worker threads of the parallel suite engine.
+pub trait Router: Send + Sync {
     /// Routes `circuit` on `device` starting from `initial`.
     ///
     /// The input circuit must contain only gates of arity ≤ 2 (run
@@ -128,12 +133,14 @@ fn check_inputs(circuit: &Circuit, device: &Device, initial: &Layout) -> Result<
 /// Emits the gate with operands translated to physical qubits.
 fn emit_physical(out: &mut Circuit, layout: &Layout, gate: &Gate) {
     let phys = gate.map_qubits(|q| layout.phys_of(q));
-    out.push(phys).expect("physical operands are in device range");
+    out.push(phys)
+        .expect("physical operands are in device range");
 }
 
 /// Inserts a SWAP on physical qubits `(p, q)` and updates the layout.
 fn emit_swap(out: &mut Circuit, layout: &mut Layout, p: usize, q: usize, swaps: &mut usize) {
-    out.push(Gate::Swap(p, q)).expect("coupler endpoints are valid");
+    out.push(Gate::Swap(p, q))
+        .expect("coupler endpoints are valid");
     layout.swap_physical(p, q);
     *swaps += 1;
 }
@@ -158,8 +165,7 @@ impl Router for TrivialRouter {
                 let qs = g.qubits();
                 let (pa, pb) = (layout.phys_of(qs[0]), layout.phys_of(qs[1]));
                 if !device.are_adjacent(pa, pb) {
-                    let path = shortest_path(device.coupling(), pa, pb)
-                        .expect("device is connected");
+                    let path = device.shortest_path(pa, pb);
                     // Walk the first operand up to the neighbour of pb.
                     for w in path.windows(2).take(path.len() - 2) {
                         emit_swap(&mut out, &mut layout, w[0], w[1], &mut swaps);
@@ -203,17 +209,15 @@ impl Router for BidirectionalRouter {
                 let qs = g.qubits();
                 let (pa, pb) = (layout.phys_of(qs[0]), layout.phys_of(qs[1]));
                 if !device.are_adjacent(pa, pb) {
-                    let path = shortest_path(device.coupling(), pa, pb)
-                        .expect("device is connected");
+                    let path = device.shortest_path(pa, pb);
                     // path = [pa, x1, …, x_{k-1}, pb]; move pa forward
                     // `fwd` hops and pb backward the remaining hops so they
                     // end on adjacent sites. Interleave the two chains so a
                     // scheduler can overlap them.
                     let hops = path.len() - 2; // SWAPs needed in total
                     let fwd = hops / 2;
-                    let mut fwd_steps: Vec<(usize, usize)> = (0..fwd)
-                        .map(|i| (path[i], path[i + 1]))
-                        .collect();
+                    let mut fwd_steps: Vec<(usize, usize)> =
+                        (0..fwd).map(|i| (path[i], path[i + 1])).collect();
                     let mut back_steps: Vec<(usize, usize)> = (0..hops - fwd)
                         .map(|i| (path[path.len() - 1 - i], path[path.len() - 2 - i]))
                         .collect();
@@ -359,9 +363,7 @@ impl Router for LookaheadRouter {
                 } else {
                     ext_pairs
                         .iter()
-                        .map(|&(a, b)| {
-                            device.distance(layout.phys_of(a), layout.phys_of(b)) as f64
-                        })
+                        .map(|&(a, b)| device.distance(layout.phys_of(a), layout.phys_of(b)) as f64)
                         .sum::<f64>()
                         / ext_pairs.len() as f64
                 };
@@ -570,7 +572,10 @@ mod tests {
         let init = TrivialPlacer.place(&c, &dev).unwrap();
         assert!(matches!(
             TrivialRouter.route(&c, &dev, init),
-            Err(RouteError::NonPrimitiveGate { kind: GateKind::Toffoli, index: 0 })
+            Err(RouteError::NonPrimitiveGate {
+                kind: GateKind::Toffoli,
+                index: 0
+            })
         ));
     }
 
@@ -605,7 +610,9 @@ mod tests {
         let mut c = Circuit::new(6);
         c.cnot(0, 5).unwrap();
         let dev = line_device(6);
-        let t = TrivialRouter.route(&c, &dev, Layout::identity(6, 6)).unwrap();
+        let t = TrivialRouter
+            .route(&c, &dev, Layout::identity(6, 6))
+            .unwrap();
         let b = BidirectionalRouter
             .route(&c, &dev, Layout::identity(6, 6))
             .unwrap();
@@ -625,9 +632,16 @@ mod tests {
         // the moved layout persists, so second gate is free; lookahead
         // must be no worse.
         let mut c = Circuit::new(5);
-        c.cnot(0, 4).unwrap().cnot(0, 4).unwrap().cnot(0, 4).unwrap();
+        c.cnot(0, 4)
+            .unwrap()
+            .cnot(0, 4)
+            .unwrap()
+            .cnot(0, 4)
+            .unwrap();
         let dev = line_device(5);
-        let t = TrivialRouter.route(&c, &dev, Layout::identity(5, 5)).unwrap();
+        let t = TrivialRouter
+            .route(&c, &dev, Layout::identity(5, 5))
+            .unwrap();
         let l = LookaheadRouter::default()
             .route(&c, &dev, Layout::identity(5, 5))
             .unwrap();
@@ -638,7 +652,12 @@ mod tests {
     #[test]
     fn lookahead_routes_surface7_fig2() {
         let mut c = Circuit::new(4);
-        c.cnot(1, 0).unwrap().cnot(1, 2).unwrap().cnot(2, 3).unwrap();
+        c.cnot(1, 0)
+            .unwrap()
+            .cnot(1, 2)
+            .unwrap()
+            .cnot(2, 3)
+            .unwrap();
         c.cnot(2, 0).unwrap().cnot(1, 2).unwrap();
         let dev = surface7();
         let routed = LookaheadRouter::default()
@@ -684,7 +703,9 @@ mod tests {
         c.h(0).unwrap().measure(0).unwrap();
         c.barrier_all();
         let dev = line_device(4);
-        let routed = TrivialRouter.route(&c, &dev, Layout::identity(2, 4)).unwrap();
+        let routed = TrivialRouter
+            .route(&c, &dev, Layout::identity(2, 4))
+            .unwrap();
         assert_eq!(routed.circuit.len(), 4);
         assert_eq!(routed.circuit.qubit_count(), 4);
     }

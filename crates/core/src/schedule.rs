@@ -6,14 +6,12 @@
 //! the "classical control constraints that come from the use of shared
 //! control electronics … this limits the operations' parallelization".
 
-use serde::{Deserialize, Serialize};
-
 use qcs_circuit::circuit::Circuit;
 use qcs_circuit::gate::Gate;
 use qcs_topology::error::GateDurations;
 
 /// A gate with assigned start time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScheduledGate {
     /// Index of the gate in the source circuit.
     pub index: usize,
@@ -33,7 +31,7 @@ impl ScheduledGate {
 }
 
 /// A timed schedule of a circuit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     /// Scheduled gates, ordered by source index.
     pub gates: Vec<ScheduledGate>,
@@ -96,7 +94,7 @@ impl Schedule {
 /// control hardware, so at most one *gate start* per group per instant.
 ///
 /// An empty set of groups means unconstrained scheduling.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ControlGroups {
     groups: Vec<Vec<usize>>,
 }

@@ -9,13 +9,12 @@
 //! different scales (gate counts vs coefficients in `[0, 1]`) contribute
 //! comparably.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use qcs_rng::Rng;
 
 use crate::stats;
 
 /// Outcome of a k-means run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Clustering {
     /// Cluster index (in `0..k`) assigned to each input sample.
     pub assignments: Vec<usize>,
@@ -166,8 +165,8 @@ pub fn kmeans<R: Rng>(samples: &[Vec<f64>], k: usize, max_iter: usize, rng: &mut
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use qcs_rng::ChaCha8Rng;
+    use qcs_rng::SeedableRng;
 
     fn two_blobs() -> Vec<Vec<f64>> {
         let mut v = Vec::new();

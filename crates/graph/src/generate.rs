@@ -1,6 +1,6 @@
 //! Deterministic graph generators for tests, devices and workloads.
 
-use rand::Rng;
+use qcs_rng::Rng;
 
 use crate::graph::Graph;
 
@@ -93,7 +93,8 @@ pub fn connected_random<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
         order.swap(i, j);
     }
     let mut comp = crate::paths::all_pairs_hopcount(&g);
-    let reachable = |comp: &Vec<Vec<usize>>, a: usize, b: usize| comp[a][b] != crate::paths::UNREACHABLE;
+    let reachable =
+        |comp: &Vec<Vec<usize>>, a: usize, b: usize| comp[a][b] != crate::paths::UNREACHABLE;
     for i in 1..n {
         let u = order[i];
         let v = order[rng.gen_range(0..i)];
@@ -135,8 +136,8 @@ pub fn regularish_graph<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
 mod tests {
     use super::*;
     use crate::paths;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use qcs_rng::ChaCha8Rng;
+    use qcs_rng::SeedableRng;
 
     #[test]
     fn path_shape() {

@@ -7,7 +7,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use qcs_json::{FromJson, Json, JsonError, ToJson};
 
 /// Identifier of a graph node (a virtual or physical qubit).
 pub type NodeId = usize;
@@ -61,8 +61,7 @@ impl std::error::Error for GraphError {}
 /// assert_eq!(g.edge_count(), 1);
 /// # Ok::<(), qcs_graph::GraphError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
-#[serde(into = "GraphSerde", try_from = "GraphSerde")]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Graph {
     nodes: usize,
     /// Canonical edge store: key is `(min(u, v), max(u, v))`.
@@ -71,29 +70,55 @@ pub struct Graph {
     adjacency: Vec<Vec<NodeId>>,
 }
 
-/// Edge-list wire format for [`Graph`] (JSON-friendly: no tuple map keys).
-#[derive(Serialize, Deserialize)]
-struct GraphSerde {
-    nodes: usize,
-    edges: Vec<(NodeId, NodeId, f64)>,
-}
-
-impl From<Graph> for GraphSerde {
-    fn from(g: Graph) -> Self {
-        GraphSerde {
-            nodes: g.nodes,
-            edges: g.edges().collect(),
-        }
+impl ToJson for Graph {
+    /// Edge-list wire format (JSON-friendly: no tuple map keys).
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("nodes", Json::from(self.nodes as f64)),
+            (
+                "edges",
+                Json::Array(
+                    self.edges()
+                        .map(|(u, v, w)| {
+                            Json::Array(vec![
+                                Json::from(u as f64),
+                                Json::from(v as f64),
+                                Json::from(w),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
-impl TryFrom<GraphSerde> for Graph {
-    type Error = GraphError;
-
-    fn try_from(s: GraphSerde) -> Result<Self, GraphError> {
-        let mut g = Graph::with_nodes(s.nodes);
-        for (u, v, w) in s.edges {
-            g.add_edge_weighted(u, v, w)?;
+impl FromJson for Graph {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let nodes: usize = qcs_json::field(json, "nodes")?;
+        let mut g = Graph::with_nodes(nodes);
+        let edges: Vec<Vec<Json>> = json
+            .field("edges")?
+            .as_array()
+            .ok_or(JsonError::Type { expected: "array" })?
+            .iter()
+            .map(|e| e.as_array().map(<[Json]>::to_vec))
+            .collect::<Option<_>>()
+            .ok_or(JsonError::Type {
+                expected: "[u, v, w] edge triple",
+            })?;
+        for triple in &edges {
+            if triple.len() != 3 {
+                return Err(JsonError::Type {
+                    expected: "[u, v, w] edge triple",
+                });
+            }
+            let u = usize::from_json(&triple[0])?;
+            let v = usize::from_json(&triple[1])?;
+            let w = f64::from_json(&triple[2])?;
+            g.add_edge_weighted(u, v, w).map_err(|_| JsonError::Type {
+                expected: "valid graph edge",
+            })?;
         }
         Ok(g)
     }
@@ -367,7 +392,12 @@ impl Graph {
 
 impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "graph with {} nodes, {} edges", self.nodes, self.edges.len())?;
+        writeln!(
+            f,
+            "graph with {} nodes, {} edges",
+            self.nodes,
+            self.edges.len()
+        )?;
         for (u, v, w) in self.edges() {
             writeln!(f, "  {u} -- {v} [weight {w}]")?;
         }
@@ -441,8 +471,14 @@ mod tests {
     #[test]
     fn rejects_bad_weight() {
         let mut g = Graph::with_nodes(2);
-        assert!(matches!(g.add_edge_weighted(0, 1, 0.0), Err(GraphError::BadWeight(_))));
-        assert!(matches!(g.add_edge_weighted(0, 1, -1.0), Err(GraphError::BadWeight(_))));
+        assert!(matches!(
+            g.add_edge_weighted(0, 1, 0.0),
+            Err(GraphError::BadWeight(_))
+        ));
+        assert!(matches!(
+            g.add_edge_weighted(0, 1, -1.0),
+            Err(GraphError::BadWeight(_))
+        ));
         assert!(matches!(
             g.add_edge_weighted(0, 1, f64::NAN),
             Err(GraphError::BadWeight(_))

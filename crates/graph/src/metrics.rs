@@ -16,8 +16,6 @@
 //! profiler can build metric vectors for correlation pruning (Section IV)
 //! and clustering.
 
-use serde::{Deserialize, Serialize};
-
 use crate::graph::Graph;
 use crate::paths::{all_pairs_hopcount, component_count, diameter, UNREACHABLE};
 use crate::stats;
@@ -39,7 +37,7 @@ use crate::stats;
 /// assert_eq!(m.min_degree, 1.0);
 /// assert_eq!(m.clustering_coefficient, 0.0); // no triangles in a star
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GraphMetrics {
     /// Number of nodes (qubits participating in two-qubit gates).
     pub nodes: f64,
@@ -87,6 +85,28 @@ pub struct GraphMetrics {
     /// the same metric catalogue (ref \[47\]).
     pub max_betweenness: f64,
 }
+
+qcs_json::impl_json_object!(GraphMetrics {
+    nodes,
+    edges,
+    avg_shortest_path,
+    closeness,
+    diameter,
+    max_degree,
+    min_degree,
+    avg_degree,
+    degree_std,
+    clustering_coefficient,
+    density,
+    components,
+    max_weight,
+    min_weight,
+    mean_weight,
+    weight_std,
+    weight_variance,
+    adjacency_std,
+    max_betweenness,
+});
 
 impl GraphMetrics {
     /// Computes every metric for `g`.
@@ -153,9 +173,7 @@ impl GraphMetrics {
             weight_std: stats::std_dev(&weights),
             weight_variance: stats::variance(&weights),
             adjacency_std: stats::std_dev(&adj_entries),
-            max_betweenness: betweenness_centrality(g)
-                .into_iter()
-                .fold(0.0, f64::max),
+            max_betweenness: betweenness_centrality(g).into_iter().fold(0.0, f64::max),
         }
     }
 
@@ -214,7 +232,12 @@ impl GraphMetrics {
     /// correlation analysis: average shortest path (hopcount/closeness),
     /// maximal and minimal degree, and adjacency-matrix standard deviation.
     pub fn selected_names() -> &'static [&'static str] {
-        &["avg_shortest_path", "max_degree", "min_degree", "adjacency_std"]
+        &[
+            "avg_shortest_path",
+            "max_degree",
+            "min_degree",
+            "adjacency_std",
+        ]
     }
 
     /// The values of [`GraphMetrics::selected_names`], in order.
@@ -442,7 +465,10 @@ mod tests {
         let m = GraphMetrics::compute(&generate::complete_graph(4));
         assert_eq!(m.max_betweenness, 0.0);
         // Tiny graphs defined as zero.
-        assert_eq!(GraphMetrics::compute(&generate::path_graph(2)).max_betweenness, 0.0);
+        assert_eq!(
+            GraphMetrics::compute(&generate::path_graph(2)).max_betweenness,
+            0.0
+        );
     }
 
     #[test]

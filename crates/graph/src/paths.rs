@@ -48,7 +48,10 @@ pub fn all_pairs_hopcount(g: &Graph) -> Vec<Vec<usize>> {
 ///
 /// Panics if either endpoint is out of range.
 pub fn shortest_path(g: &Graph, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
-    assert!(src < g.node_count() && dst < g.node_count(), "endpoint out of range");
+    assert!(
+        src < g.node_count() && dst < g.node_count(),
+        "endpoint out of range"
+    );
     if src == dst {
         return Some(vec![src]);
     }
@@ -92,7 +95,10 @@ pub fn shortest_path(g: &Graph, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>>
 ///
 /// Panics if either endpoint is out of range.
 pub fn all_shortest_paths(g: &Graph, src: NodeId, dst: NodeId, cap: usize) -> Vec<Vec<NodeId>> {
-    assert!(src < g.node_count() && dst < g.node_count(), "endpoint out of range");
+    assert!(
+        src < g.node_count() && dst < g.node_count(),
+        "endpoint out of range"
+    );
     if src == dst {
         return vec![vec![src]];
     }
@@ -173,7 +179,10 @@ where
     assert!(src < g.node_count(), "source out of range");
     let mut dist = vec![f64::INFINITY; g.node_count()];
     dist[src] = 0.0;
-    let mut heap = BinaryHeap::from([HeapItem { cost: 0.0, node: src }]);
+    let mut heap = BinaryHeap::from([HeapItem {
+        cost: 0.0,
+        node: src,
+    }]);
     while let Some(HeapItem { cost: d, node: u }) = heap.pop() {
         if d > dist[u] {
             continue;

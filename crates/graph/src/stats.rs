@@ -5,8 +5,6 @@
 //! features that are necessary". [`correlation_matrix`] and
 //! [`select_uncorrelated`] implement that workflow.
 
-use serde::{Deserialize, Serialize};
-
 /// Arithmetic mean; 0 for an empty slice.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -134,7 +132,7 @@ pub fn select_uncorrelated(corr: &[Vec<f64>], threshold: f64) -> Vec<usize> {
 }
 
 /// Result of a simple least-squares line fit `y ≈ slope · x + intercept`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// Slope of the fitted line.
     pub slope: f64,

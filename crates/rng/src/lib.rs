@@ -1,0 +1,522 @@
+//! Hermetic, std-only deterministic random number generation.
+//!
+//! This crate replaces the external `rand` + `rand_chacha` dependencies
+//! with the narrow API the workspace actually uses, so the whole
+//! workspace builds offline. Three generators are provided:
+//!
+//! * [`SplitMix64`] — the classic 64-bit mixer; seeds the others and is
+//!   good enough for seed-stream derivation.
+//! * [`Xoshiro256StarStar`] — fast general-purpose generator for
+//!   throughput-sensitive call sites (property harnesses, benches).
+//! * [`ChaCha8Rng`] — a genuine 8-round ChaCha stream cipher keyed from a
+//!   `u64` seed, the drop-in for every former `qcs_rng::ChaCha8Rng`
+//!   call site. Statistical quality is cryptographic; determinism is
+//!   guaranteed across platforms (all arithmetic is explicit-width).
+//!
+//! The trait surface mirrors `rand` 0.8 where the workspace touched it:
+//! [`RngCore`] (raw words), [`Rng`] ([`Rng::gen`], [`Rng::gen_range`],
+//! [`Rng::gen_bool`]) and [`SeedableRng`] ([`SeedableRng::seed_from_u64`]),
+//! so a dependency swap is an import swap.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcs_rng::{ChaCha8Rng, Rng, SeedableRng};
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(42);
+//! let x: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! let k = rng.gen_range(0..10);
+//! assert!(k < 10);
+//! // Same seed, same stream:
+//! let mut again = ChaCha8Rng::seed_from_u64(42);
+//! let y: f64 = again.gen();
+//! assert_eq!(x, y);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Raw word-level generator interface.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed (the only constructor the workspace
+/// uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from a generator's raw bits.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the standard
+    /// `bits >> 11 × 2⁻⁵³` construction).
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types usable as `gen_range` bounds.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widens to u64 for unbiased span sampling (offset from `lo`).
+    fn steps_between(lo: Self, hi: Self) -> u64;
+    /// `lo + offset`, where `offset < steps_between(lo, hi)`.
+    fn forward(lo: Self, offset: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn steps_between(lo: Self, hi: Self) -> u64 {
+                debug_assert!(lo <= hi);
+                hi.wrapping_sub(lo) as u64
+            }
+            fn forward(lo: Self, offset: u64) -> Self {
+                lo.wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Unbiased uniform draw in `[0, span)` via rejection sampling.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // Reject the tail so every residue is equally likely.
+    let limit = u64::MAX - u64::MAX % span;
+    loop {
+        let v = rng.next_u64();
+        if v < limit {
+            return v % span;
+        }
+    }
+}
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let span = T::steps_between(self.start, self.end);
+        T::forward(self.start, uniform_below(rng, span))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        let span = T::steps_between(lo, hi);
+        if span == u64::MAX {
+            return T::forward(lo, rng.next_u64());
+        }
+        T::forward(lo, uniform_below(rng, span + 1))
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range` (`lo..hi` or `lo..=hi`, integer or
+    /// `f64` bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// SplitMix64 (Steele, Lea & Flood): one 64-bit multiply-xor-shift mixer
+/// per output. Used to expand `u64` seeds into full generator state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the mixer with the given state.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64::new(seed)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** (Blackman & Vigna): fast, high-quality general-purpose
+/// generator; state seeded via SplitMix64 as its authors recommend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        Xoshiro256StarStar {
+            s: [
+                mix.next_u64(),
+                mix.next_u64(),
+                mix.next_u64(),
+                mix.next_u64(),
+            ],
+        }
+    }
+}
+
+impl RngCore for Xoshiro256StarStar {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
+/// ChaCha quarter round on four state words.
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// An 8-round ChaCha stream generator (the `qcs_rng::ChaCha8Rng`
+/// stand-in): a 256-bit key derived from the `u64` seed via SplitMix64,
+/// a 64-bit block counter and a 64-bit stream id of zero.
+///
+/// The keystream is deterministic across platforms and of cryptographic
+/// quality; it is *not* byte-compatible with the external `rand_chacha`
+/// crate (seed-derived expectations in tests were re-pinned when the
+/// workspace went hermetic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// Key + counter state words 4..14 of the initial block matrix.
+    key: [u32; 8],
+    /// 64-bit block counter (words 12–13).
+    counter: u64,
+    /// Decoded current block.
+    block: [u32; 16],
+    /// Next unconsumed word in `block`; 16 means "exhausted".
+    cursor: usize,
+}
+
+const CHACHA_SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+const CHACHA_ROUNDS: usize = 8;
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0; // stream id lo
+        state[15] = 0; // stream id hi
+        let input = state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.block.iter_mut().zip(state.iter().zip(input.iter())) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let word = mix.next_u64();
+            pair[0] = word as u32;
+            pair[1] = (word >> 32) as u32;
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_known_values() {
+        // Reference values from the SplitMix64 reference implementation
+        // with seed 1234567.
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.next_u64(), 6_457_827_717_110_365_317);
+        assert_eq!(rng.next_u64(), 3_203_168_211_198_807_973);
+    }
+
+    #[test]
+    fn chacha_deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn chacha_blocks_differ() {
+        // Consecutive 16-word blocks must not repeat (counter advances).
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn xoshiro_deterministic_and_nonconstant() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(99);
+        let mut b = Xoshiro256StarStar::seed_from_u64(99);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_exclusive_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            let k: usize = rng.gen_range(0..10);
+            assert!(k < 10);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn gen_range_inclusive_hits_endpoints() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..500 {
+            match rng.gen_range(0..=3u32) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn gen_range_float() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for _ in 0..200 {
+            let x = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&x));
+            let y = rng.gen_range(-2.0..=2.0);
+            assert!((-2.0..=2.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_single_value() {
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.gen_range(5..=5), 5);
+        assert_eq!(rng.gen_range(7..8), 7);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let heads = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((800..1200).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn uniform_below_unbiased_smoke() {
+        // span 3 over many draws: counts within 10% of each other.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[uniform_below(&mut rng, 3) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn signed_ranges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        for _ in 0..200 {
+            let v: i32 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn works_through_generic_bound() {
+        fn draw<R: Rng>(rng: &mut R) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let x = draw(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

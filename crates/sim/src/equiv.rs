@@ -5,7 +5,7 @@
 //! permutation*. [`mapped_equivalent`] verifies exactly that contract by
 //! simulating both circuits on random joint input states.
 
-use rand::Rng;
+use qcs_rng::Rng;
 
 use qcs_circuit::circuit::Circuit;
 
@@ -163,14 +163,20 @@ pub fn mapped_equivalent<R: Rng>(
     rng: &mut R,
 ) -> Result<(), EquivFailure> {
     let n = original.qubit_count();
-    assert!(mapped.qubit_count() <= device_qubits, "mapped circuit too wide");
+    assert!(
+        mapped.qubit_count() <= device_qubits,
+        "mapped circuit too wide"
+    );
     for trial in 0..trials {
         let input = StateVector::random(n, rng);
         let want = run_unitary(original, input.clone());
         let embedded = embed_state(&input, device_qubits, initial);
         let got_full = run_unitary(mapped, embedded);
         let Some(got) = extract_state(&got_full, n, final_layout) else {
-            return Err(EquivFailure { trial, fidelity: 0.0 });
+            return Err(EquivFailure {
+                trial,
+                fidelity: 0.0,
+            });
         };
         let fidelity = want.fidelity(&got);
         if (1.0 - fidelity).abs() > 1e-9 {
@@ -183,13 +189,18 @@ pub fn mapped_equivalent<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use qcs_rng::ChaCha8Rng;
+    use qcs_rng::SeedableRng;
 
     #[test]
     fn identical_circuits_equivalent() {
         let mut c = Circuit::new(3);
-        c.h(0).unwrap().cnot(0, 1).unwrap().toffoli(0, 1, 2).unwrap();
+        c.h(0)
+            .unwrap()
+            .cnot(0, 1)
+            .unwrap()
+            .toffoli(0, 1, 2)
+            .unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         assert!(circuits_equivalent(&c, &c.clone(), 3, &mut rng).is_ok());
     }
@@ -277,16 +288,9 @@ mod tests {
         let initial = [0, 2];
         let wrong_final = [0, 2]; // stale layout
         let mut rng = ChaCha8Rng::seed_from_u64(6);
-        assert!(mapped_equivalent(
-            &original,
-            &mapped,
-            3,
-            &initial,
-            &wrong_final,
-            3,
-            &mut rng
-        )
-        .is_err());
+        assert!(
+            mapped_equivalent(&original, &mapped, 3, &initial, &wrong_final, 3, &mut rng).is_err()
+        );
     }
 
     #[test]

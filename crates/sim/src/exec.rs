@@ -1,6 +1,6 @@
 //! Executing circuits on state vectors.
 
-use rand::Rng;
+use qcs_rng::Rng;
 
 use qcs_circuit::circuit::Circuit;
 use qcs_circuit::gate::Gate;
@@ -92,8 +92,8 @@ pub fn run<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use qcs_rng::ChaCha8Rng;
+    use qcs_rng::SeedableRng;
 
     #[test]
     fn runs_bell_circuit() {

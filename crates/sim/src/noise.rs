@@ -6,7 +6,7 @@
 //! per-gate error rates, so tests can confirm the analytic product equals
 //! the fault-free shot frequency.
 
-use rand::Rng;
+use qcs_rng::Rng;
 
 use qcs_circuit::circuit::Circuit;
 use qcs_circuit::gate::Gate;
@@ -56,10 +56,7 @@ impl NoiseModel {
     /// Analytic success probability: the product of per-gate success
     /// probabilities — exactly the paper's Fig. 3 fidelity estimate.
     pub fn analytic_success(&self, circuit: &Circuit) -> f64 {
-        circuit
-            .iter()
-            .map(|g| 1.0 - self.error_for(g))
-            .product()
+        circuit.iter().map(|g| 1.0 - self.error_for(g)).product()
     }
 }
 
@@ -177,8 +174,8 @@ pub fn total_variation_distance<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use qcs_rng::ChaCha8Rng;
+    use qcs_rng::SeedableRng;
 
     fn sample_circuit() -> Circuit {
         let mut c = Circuit::new(3);

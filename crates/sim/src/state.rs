@@ -3,7 +3,7 @@
 //! Convention: qubit `q` is bit `q` of the basis index (little-endian), so
 //! basis state `|q_{n-1} … q_1 q_0⟩` has index `Σ q_k 2^k`.
 
-use rand::Rng;
+use qcs_rng::Rng;
 
 use crate::complex::C64;
 
@@ -67,7 +67,10 @@ impl StateVector {
     /// the implied qubit count exceeds [`MAX_QUBITS`].
     pub fn from_amplitudes(amps: Vec<C64>) -> Self {
         let len = amps.len();
-        assert!(len.is_power_of_two() && len > 0, "length must be a power of two");
+        assert!(
+            len.is_power_of_two() && len > 0,
+            "length must be a power of two"
+        );
         let qubits = len.trailing_zeros() as usize;
         assert!(qubits <= MAX_QUBITS, "too many qubits");
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
@@ -354,7 +357,11 @@ impl StateVector {
         let outcome = rng.gen::<f64>() < p1;
         let mask = 1usize << q;
         let keep = if outcome { mask } else { 0 };
-        let norm = if outcome { p1.sqrt() } else { (1.0 - p1).sqrt() };
+        let norm = if outcome {
+            p1.sqrt()
+        } else {
+            (1.0 - p1).sqrt()
+        };
         for (i, a) in self.amps.iter_mut().enumerate() {
             if i & mask == keep {
                 *a = a.scale(1.0 / norm);
@@ -369,8 +376,8 @@ impl StateVector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use qcs_rng::ChaCha8Rng;
+    use qcs_rng::SeedableRng;
     use std::f64::consts::PI;
 
     const EPS: f64 = 1e-12;

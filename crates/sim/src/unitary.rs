@@ -242,7 +242,14 @@ mod tests {
     #[test]
     fn unitarity_of_random_circuit() {
         let mut c = Circuit::new(3);
-        c.h(0).unwrap().cnot(0, 1).unwrap().t(2).unwrap().cz(1, 2).unwrap();
+        c.h(0)
+            .unwrap()
+            .cnot(0, 1)
+            .unwrap()
+            .t(2)
+            .unwrap()
+            .cz(1, 2)
+            .unwrap();
         c.ry(0, 0.3).unwrap().toffoli(0, 1, 2).unwrap();
         assert!(Unitary::of_circuit(&c).is_unitary(1e-10));
     }

@@ -13,15 +13,13 @@
 //!   and routing strategies from both, making the compiler
 //!   hardware-aware *and* algorithm-driven.
 
-use serde::{Deserialize, Serialize};
-
 use qcs_circuit::circuit::Circuit;
 use qcs_core::mapper::Mapper;
 use qcs_core::profile::CircuitProfile;
 use qcs_topology::device::Device;
 
 /// Hardware parameters flowing up the stack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HardwareInfo {
     /// Number of physical qubits.
     pub qubits: usize,
@@ -49,7 +47,7 @@ impl HardwareInfo {
 }
 
 /// Application parameters flowing down the stack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AlgorithmInfo {
     /// The circuit's profile (size parameters + Table I metrics).
     pub profile: CircuitProfile,
@@ -72,7 +70,7 @@ impl AlgorithmInfo {
 }
 
 /// The strategy actually chosen, for reporting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MapperChoice {
     /// Algorithm-driven placement + look-ahead routing (sparse graphs).
     AlgorithmDriven,

@@ -10,12 +10,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::isa::{Instruction, IsaProgram};
 
 /// Identifier of an analog control channel.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Channel {
     /// Microwave drive line of one qubit.
     Drive(usize),
@@ -36,7 +34,7 @@ impl std::fmt::Display for Channel {
 }
 
 /// One analog event on a channel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ControlEvent {
     /// Cycle at which the event fires.
     pub cycle: u64,
@@ -66,7 +64,7 @@ impl std::fmt::Display for ChannelConflict {
 impl std::error::Error for ChannelConflict {}
 
 /// The dispatched control trace: per-channel event streams.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ControlTrace {
     channels: BTreeMap<Channel, Vec<ControlEvent>>,
 }

@@ -6,8 +6,6 @@
 //! the representation the microarchitecture executes and the
 //! control-electronics layer dispatches.
 
-use serde::{Deserialize, Serialize};
-
 use qcs_circuit::gate::Gate;
 use qcs_core::schedule::Schedule;
 
@@ -15,7 +13,7 @@ use qcs_core::schedule::Schedule;
 pub const DEFAULT_CYCLE_NS: f64 = 20.0;
 
 /// One ISA instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Instruction {
     /// Advance the timeline by the given number of cycles.
     Qwait(u64),
@@ -61,7 +59,7 @@ impl std::fmt::Display for Instruction {
 }
 
 /// A lowered ISA program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IsaProgram {
     /// Cycle length used for quantization (ns).
     pub cycle_ns: f64,

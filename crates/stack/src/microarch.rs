@@ -11,12 +11,10 @@
 //! cycle: instructions that exceed the issue width in their cycle spill
 //! into stall cycles, stretching the program and reducing utilization.
 
-use serde::{Deserialize, Serialize};
-
 use crate::isa::{Instruction, IsaProgram};
 
 /// A simple in-order issue engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Microarchitecture {
     /// Maximum quantum operations issued per cycle.
     pub issue_width: usize,
@@ -31,7 +29,7 @@ impl Default for Microarchitecture {
 }
 
 /// Statistics from replaying a program through the issue engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecutionTrace {
     /// Quantum operations issued.
     pub ops_issued: usize,

@@ -216,12 +216,12 @@ mod tests {
 
     #[test]
     fn mapped_program_verifies_against_simulator() {
-        use rand::SeedableRng;
+        use qcs_rng::SeedableRng;
         let stack = FullStack::new(line_device(5)).with_mapper(Mapper::trivial());
         let mut c = Circuit::new(3);
         c.h(0).unwrap().cnot(0, 2).unwrap().cz(1, 2).unwrap();
         let run = stack.run_circuit(&c).unwrap();
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let mut rng = qcs_rng::ChaCha8Rng::seed_from_u64(1);
         qcs_sim::equiv::mapped_equivalent(
             &run.prepared.circuit,
             &run.outcome.routed.circuit,

@@ -1,10 +1,9 @@
 //! The [`Device`] model: what the compiler knows about a quantum chip.
 
-use serde::{Deserialize, Serialize};
-
 use qcs_circuit::decompose::GateSet;
 use qcs_graph::paths::{all_pairs_hopcount, is_connected, UNREACHABLE};
 use qcs_graph::Graph;
+use qcs_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::error::{Calibration, GateFidelities};
 
@@ -68,7 +67,7 @@ impl std::error::Error for DeviceError {}
 /// assert_eq!(dev.coupler_count(), 4);
 /// # Ok::<(), qcs_topology::device::DeviceError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Device {
     name: String,
     coupling: Graph,
@@ -217,6 +216,68 @@ impl Device {
             .max()
             .unwrap_or(0)
     }
+
+    /// Read-only view of the precomputed all-pairs hop-distance matrix
+    /// (`distances()[u][v]` = hops between physical qubits `u` and `v`).
+    pub fn distances(&self) -> &[Vec<usize>] {
+        &self.distances
+    }
+
+    /// A shortest path `from → to` (inclusive), reconstructed from the
+    /// precomputed distance matrix instead of a per-call BFS: each hop
+    /// goes to the first neighbour strictly closer to `to`, costing
+    /// O(path length × degree) and allocating only the result.
+    ///
+    /// Deterministic: neighbour order is fixed by the coupling graph, so
+    /// every call (from any thread) returns the same path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is out of range.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Vec<usize> {
+        let mut path = Vec::with_capacity(self.distances[from][to] + 1);
+        path.push(from);
+        let mut cur = from;
+        while cur != to {
+            let next = self
+                .coupling
+                .neighbors(cur)
+                .iter()
+                .copied()
+                .find(|&w| self.distances[w][to] + 1 == self.distances[cur][to])
+                .expect("connected device always has a closer neighbour");
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+}
+
+impl ToJson for Device {
+    /// The distance matrix is derived state and is not serialized; it is
+    /// recomputed on deserialization.
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::from(self.name.as_str())),
+            ("coupling", self.coupling.to_json()),
+            ("gate_set", self.gate_set.to_json()),
+            ("calibration", self.calibration.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Device {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let name: String = qcs_json::field(json, "name")?;
+        let coupling: Graph = qcs_json::field(json, "coupling")?;
+        let gate_set: GateSet = qcs_json::field(json, "gate_set")?;
+        let calibration: Calibration = qcs_json::field(json, "calibration")?;
+        Device::with_calibration(name, coupling, gate_set, calibration).map_err(|_| {
+            JsonError::Type {
+                expected: "consistent device (connected coupling, entangler, matching calibration)",
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -225,7 +286,12 @@ mod tests {
     use qcs_graph::generate;
 
     fn line(n: usize) -> Device {
-        Device::new(format!("line{n}"), generate::path_graph(n), GateSet::ibm_style()).unwrap()
+        Device::new(
+            format!("line{n}"),
+            generate::path_graph(n),
+            GateSet::ibm_style(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -263,7 +329,10 @@ mod tests {
         let cal = Calibration::uniform(&g4, GateFidelities::default());
         assert!(matches!(
             Device::with_calibration("bad", g3, GateSet::ibm_style(), cal),
-            Err(DeviceError::CalibrationMismatch { coupling: 3, calibration: 4 })
+            Err(DeviceError::CalibrationMismatch {
+                coupling: 3,
+                calibration: 4
+            })
         ));
     }
 
@@ -297,10 +366,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let dev = line(4);
-        let json = serde_json::to_string(&dev).unwrap();
-        let back: Device = serde_json::from_str(&json).unwrap();
+        let json = dev.to_json().to_string_pretty();
+        let back = Device::from_json(&qcs_json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, dev);
     }
 }

@@ -6,13 +6,13 @@
 //! paper): ~0.1 % single-qubit gate error, ~1 % CZ error, ~0.5 % readout
 //! error, 20 ns single-qubit and 40 ns two-qubit gates.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use qcs_graph::Graph;
+use qcs_json::{FromJson, Json, JsonError, ToJson};
 
 /// Average gate fidelities of a device class.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GateFidelities {
     /// Single-qubit gate fidelity in `(0, 1]`.
     pub single_qubit: f64,
@@ -50,7 +50,7 @@ impl Default for GateFidelities {
 }
 
 /// Gate durations in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GateDurations {
     /// Single-qubit gate duration (ns).
     pub single_qubit_ns: f64,
@@ -78,7 +78,7 @@ impl Default for GateDurations {
 }
 
 /// Qubit coherence times in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoherenceTimes {
     /// Energy-relaxation time T1 (ns).
     pub t1_ns: f64,
@@ -105,8 +105,7 @@ impl Default for CoherenceTimes {
 /// Per-element calibration data: individual fidelities for every qubit
 /// and every coupler, modelling the "error variability across the quantum
 /// device" that noise-aware compilation exploits.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(into = "CalibrationSerde", from = "CalibrationSerde")]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Calibration {
     /// Device-average figures.
     pub averages: GateFidelities,
@@ -122,45 +121,119 @@ pub struct Calibration {
     two_qubit: BTreeMap<(usize, usize), f64>,
 }
 
-/// JSON-friendly wire format for [`Calibration`] (tuple map keys are not
-/// representable in JSON objects).
-#[derive(Serialize, Deserialize)]
-struct CalibrationSerde {
-    averages: GateFidelities,
-    durations: GateDurations,
-    coherence: CoherenceTimes,
-    single_qubit: Vec<f64>,
-    readout: Vec<f64>,
-    two_qubit: Vec<(usize, usize, f64)>,
-}
-
-impl From<Calibration> for CalibrationSerde {
-    fn from(c: Calibration) -> Self {
-        CalibrationSerde {
-            averages: c.averages,
-            durations: c.durations,
-            coherence: c.coherence,
-            single_qubit: c.single_qubit,
-            readout: c.readout,
-            two_qubit: c.two_qubit.into_iter().map(|((u, v), f)| (u, v, f)).collect(),
-        }
+impl ToJson for GateFidelities {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("single_qubit", self.single_qubit),
+            ("two_qubit", self.two_qubit),
+            ("measurement", self.measurement),
+        ])
     }
 }
 
-impl From<CalibrationSerde> for Calibration {
-    fn from(s: CalibrationSerde) -> Self {
-        Calibration {
-            averages: s.averages,
-            durations: s.durations,
-            coherence: s.coherence,
-            single_qubit: s.single_qubit,
-            readout: s.readout,
-            two_qubit: s
-                .two_qubit
-                .into_iter()
-                .map(|(u, v, f)| ((u.min(v), u.max(v)), f))
-                .collect(),
+impl FromJson for GateFidelities {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(GateFidelities {
+            single_qubit: qcs_json::field(json, "single_qubit")?,
+            two_qubit: qcs_json::field(json, "two_qubit")?,
+            measurement: qcs_json::field(json, "measurement")?,
+        })
+    }
+}
+
+impl ToJson for GateDurations {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("single_qubit_ns", self.single_qubit_ns),
+            ("two_qubit_ns", self.two_qubit_ns),
+            ("measurement_ns", self.measurement_ns),
+        ])
+    }
+}
+
+impl FromJson for GateDurations {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(GateDurations {
+            single_qubit_ns: qcs_json::field(json, "single_qubit_ns")?,
+            two_qubit_ns: qcs_json::field(json, "two_qubit_ns")?,
+            measurement_ns: qcs_json::field(json, "measurement_ns")?,
+        })
+    }
+}
+
+impl ToJson for CoherenceTimes {
+    fn to_json(&self) -> Json {
+        Json::object([("t1_ns", self.t1_ns), ("t2_ns", self.t2_ns)])
+    }
+}
+
+impl FromJson for CoherenceTimes {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(CoherenceTimes {
+            t1_ns: qcs_json::field(json, "t1_ns")?,
+            t2_ns: qcs_json::field(json, "t2_ns")?,
+        })
+    }
+}
+
+impl ToJson for Calibration {
+    /// Wire format flattens the coupler map into `[u, v, fidelity]`
+    /// triples (tuple map keys are not representable in JSON objects).
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("averages", self.averages.to_json()),
+            ("durations", self.durations.to_json()),
+            ("coherence", self.coherence.to_json()),
+            ("single_qubit", self.single_qubit.to_json()),
+            ("readout", self.readout.to_json()),
+            (
+                "two_qubit",
+                Json::Array(
+                    self.two_qubit
+                        .iter()
+                        .map(|(&(u, v), &f)| {
+                            Json::Array(vec![
+                                Json::from(u as f64),
+                                Json::from(v as f64),
+                                Json::from(f),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Calibration {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let mut two_qubit = BTreeMap::new();
+        for triple in json
+            .field("two_qubit")?
+            .as_array()
+            .ok_or(JsonError::Type { expected: "array" })?
+        {
+            let parts = triple.as_array().ok_or(JsonError::Type {
+                expected: "[u, v, fidelity] coupler triple",
+            })?;
+            if parts.len() != 3 {
+                return Err(JsonError::Type {
+                    expected: "[u, v, fidelity] coupler triple",
+                });
+            }
+            let u = usize::from_json(&parts[0])?;
+            let v = usize::from_json(&parts[1])?;
+            let f = f64::from_json(&parts[2])?;
+            two_qubit.insert((u.min(v), u.max(v)), f);
         }
+        Ok(Calibration {
+            averages: qcs_json::field(json, "averages")?,
+            durations: qcs_json::field(json, "durations")?,
+            coherence: qcs_json::field(json, "coherence")?,
+            single_qubit: qcs_json::field(json, "single_qubit")?,
+            readout: qcs_json::field(json, "readout")?,
+            two_qubit,
+        })
     }
 }
 
@@ -189,7 +262,7 @@ impl Calibration {
     /// # Panics
     ///
     /// Panics if `spread` is not in `[0, 1)`.
-    pub fn with_variability<R: rand::Rng>(
+    pub fn with_variability<R: qcs_rng::Rng>(
         coupling: &Graph,
         averages: GateFidelities,
         spread: f64,
@@ -250,7 +323,10 @@ impl Calibration {
     /// Panics if the coupler does not exist or `fidelity` is outside
     /// `[0, 1]`.
     pub fn set_two_qubit_fidelity(&mut self, u: usize, v: usize, fidelity: f64) {
-        assert!((0.0..=1.0).contains(&fidelity), "fidelity must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fidelity),
+            "fidelity must be in [0, 1]"
+        );
         let key = (u.min(v), u.max(v));
         let slot = self
             .two_qubit
@@ -265,7 +341,10 @@ impl Calibration {
     ///
     /// Panics if `q` is out of range or `fidelity` is outside `[0, 1]`.
     pub fn set_single_qubit_fidelity(&mut self, q: usize, fidelity: f64) {
-        assert!((0.0..=1.0).contains(&fidelity), "fidelity must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fidelity),
+            "fidelity must be in [0, 1]"
+        );
         self.single_qubit[q] = fidelity;
     }
 
@@ -289,8 +368,8 @@ impl Calibration {
 mod tests {
     use super::*;
     use qcs_graph::generate;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use qcs_rng::ChaCha8Rng;
+    use qcs_rng::SeedableRng;
 
     #[test]
     fn defaults_match_versluis() {
@@ -331,10 +410,8 @@ mod tests {
             );
         }
         // Variability actually varies.
-        let unique: std::collections::BTreeSet<u64> = cal
-            .couplers()
-            .map(|(_, f)| f.to_bits())
-            .collect();
+        let unique: std::collections::BTreeSet<u64> =
+            cal.couplers().map(|(_, f)| f.to_bits()).collect();
         assert!(unique.len() > 1);
     }
 

@@ -35,7 +35,11 @@ pub fn grid_device(rows: usize, cols: usize) -> Device {
 /// Panics if `n == 0`.
 pub fn line_device(n: usize) -> Device {
     assert!(n > 0, "line must contain at least one qubit");
-    build(format!("line-{n}"), generate::path_graph(n), GateSet::ibm_style())
+    build(
+        format!("line-{n}"),
+        generate::path_graph(n),
+        GateSet::ibm_style(),
+    )
 }
 
 /// A ring of `n` qubits (ion-trap-style shuttling loop).
@@ -45,7 +49,11 @@ pub fn line_device(n: usize) -> Device {
 /// Panics if `n == 0`.
 pub fn ring_device(n: usize) -> Device {
     assert!(n > 0, "ring must contain at least one qubit");
-    build(format!("ring-{n}"), generate::ring_graph(n), GateSet::ibm_style())
+    build(
+        format!("ring-{n}"),
+        generate::ring_graph(n),
+        GateSet::ibm_style(),
+    )
 }
 
 /// A fully-connected device (trapped-ion-style all-to-all interactions):

@@ -261,9 +261,7 @@ mod tests {
         // then meaningful, as on OpenQL's Surface-17 numbering).
         let dev = surface_extended(5);
         let n = dev.qubit_count();
-        let adjacent = (1..n)
-            .filter(|&q| dev.are_adjacent(q - 1, q))
-            .count();
+        let adjacent = (1..n).filter(|&q| dev.are_adjacent(q - 1, q)).count();
         assert!(
             adjacent * 10 >= (n - 1) * 8,
             "only {adjacent}/{} consecutive pairs coupled",
@@ -279,9 +277,6 @@ mod tests {
     fn calibration_covers_device() {
         let dev = surface_extended(4);
         assert_eq!(dev.calibration().qubit_count(), dev.qubit_count());
-        assert_eq!(
-            dev.calibration().couplers().count(),
-            dev.coupler_count()
-        );
+        assert_eq!(dev.calibration().couplers().count(), dev.coupler_count());
     }
 }

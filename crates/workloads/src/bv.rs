@@ -47,10 +47,10 @@ pub fn bernstein_vazirani(n: usize, secret: u64) -> Result<Circuit, CircuitError
 mod tests {
     use super::*;
     use qcs_circuit::interaction::interaction_graph;
+    use qcs_rng::ChaCha8Rng;
+    use qcs_rng::SeedableRng;
     use qcs_sim::exec::run;
     use qcs_sim::StateVector;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     #[test]
     fn recovers_secret() {

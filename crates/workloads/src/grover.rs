@@ -230,11 +230,12 @@ mod tests {
             let mut c = Circuit::new(5);
             multi_controlled_x(&mut c, &controls, t, &ancillas).unwrap();
             let s = run_unitary(&c, StateVector::basis(5, input));
-            let expect = if input == 0b111 { input | 1 << t } else { input };
-            assert!(
-                s.probabilities()[expect] > 1.0 - 1e-9,
-                "input {input:03b}"
-            );
+            let expect = if input == 0b111 {
+                input | 1 << t
+            } else {
+                input
+            };
+            assert!(s.probabilities()[expect] > 1.0 - 1e-9, "input {input:03b}");
         }
     }
 

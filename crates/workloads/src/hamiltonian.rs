@@ -7,8 +7,8 @@
 //! Its interaction graph equals the coupling pattern of `H`, making it
 //! the cleanest testbed for algorithm-driven placement.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use qcs_rng::ChaCha8Rng;
+use qcs_rng::{Rng, SeedableRng};
 
 use qcs_circuit::circuit::{Circuit, CircuitError};
 use qcs_graph::{generate, Graph};
@@ -62,7 +62,12 @@ pub fn ising_ring(qubits: usize, steps: usize, dt: f64) -> Result<Circuit, Circu
 /// # Errors
 ///
 /// As [`trotter_ising`].
-pub fn ising_grid(rows: usize, cols: usize, steps: usize, dt: f64) -> Result<Circuit, CircuitError> {
+pub fn ising_grid(
+    rows: usize,
+    cols: usize,
+    steps: usize,
+    dt: f64,
+) -> Result<Circuit, CircuitError> {
     trotter_ising(&generate::grid_graph(rows, cols), steps, dt)
 }
 

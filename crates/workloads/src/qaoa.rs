@@ -7,8 +7,8 @@
 //! exactly `G` with edge weights `2p` — the structure Fig. 4 contrasts
 //! with a random circuit of identical size parameters.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use qcs_rng::ChaCha8Rng;
+use qcs_rng::SeedableRng;
 
 use qcs_circuit::circuit::{Circuit, CircuitError};
 use qcs_graph::{generate, Graph};
@@ -29,8 +29,8 @@ pub fn qaoa_maxcut(problem: &Graph, layers: usize, seed: u64) -> Result<Circuit,
         c.h(q)?;
     }
     for _ in 0..layers {
-        let gamma = rand::Rng::gen::<f64>(&mut rng) * std::f64::consts::PI;
-        let beta = rand::Rng::gen::<f64>(&mut rng) * std::f64::consts::PI;
+        let gamma = qcs_rng::Rng::gen::<f64>(&mut rng) * std::f64::consts::PI;
+        let beta = qcs_rng::Rng::gen::<f64>(&mut rng) * std::f64::consts::PI;
         for (u, v, _) in problem.edges() {
             c.cnot(u, v)?;
             c.rz(v, 2.0 * gamma)?;
@@ -97,7 +97,7 @@ pub fn fig4_qaoa(seed: u64) -> Result<Circuit, CircuitError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x51_7CC1);
     let mut q = 0usize;
     while c.gate_count() < 456 {
-        let angle = rand::Rng::gen::<f64>(&mut rng) * std::f64::consts::PI;
+        let angle = qcs_rng::Rng::gen::<f64>(&mut rng) * std::f64::consts::PI;
         c.rx(q % n, angle)?;
         q += 1;
     }

@@ -51,7 +51,7 @@ mod tests {
     use super::*;
     use qcs_circuit::interaction::interaction_graph;
     use qcs_sim::exec::run_unitary;
-    use qcs_sim::{C64, StateVector};
+    use qcs_sim::{StateVector, C64};
 
     #[test]
     fn gate_count_formula() {

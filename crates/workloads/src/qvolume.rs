@@ -6,8 +6,8 @@
 //! interaction graph rapidly approaches all-to-all with near-uniform
 //! weights — the hardest regular mapping profile.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use qcs_rng::ChaCha8Rng;
+use qcs_rng::{Rng, SeedableRng};
 
 use qcs_circuit::circuit::{Circuit, CircuitError};
 

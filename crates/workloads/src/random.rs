@@ -6,8 +6,8 @@
 //! exploits this: a random circuit generated to match a QAOA instance on
 //! those three numbers still has a completely different interaction graph.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use qcs_rng::ChaCha8Rng;
+use qcs_rng::{Rng, SeedableRng};
 
 use qcs_circuit::circuit::{Circuit, CircuitError};
 use qcs_circuit::gate::Gate;
@@ -99,7 +99,12 @@ pub fn random_circuit(spec: &RandomSpec) -> Result<Circuit, CircuitError> {
 /// # Errors
 ///
 /// As [`random_circuit`].
-pub fn random_like(qubits: usize, gates: usize, two_qubit_fraction: f64, seed: u64) -> Result<Circuit, CircuitError> {
+pub fn random_like(
+    qubits: usize,
+    gates: usize,
+    two_qubit_fraction: f64,
+    seed: u64,
+) -> Result<Circuit, CircuitError> {
     random_circuit(&RandomSpec {
         qubits,
         gates,
@@ -134,9 +139,15 @@ mod tests {
             two_qubit_fraction: 0.4,
             seed: 7,
         };
-        assert_eq!(random_circuit(&spec).unwrap(), random_circuit(&spec).unwrap());
+        assert_eq!(
+            random_circuit(&spec).unwrap(),
+            random_circuit(&spec).unwrap()
+        );
         let other = RandomSpec { seed: 8, ..spec };
-        assert_ne!(random_circuit(&spec).unwrap(), random_circuit(&other).unwrap());
+        assert_ne!(
+            random_circuit(&spec).unwrap(),
+            random_circuit(&other).unwrap()
+        );
     }
 
     #[test]

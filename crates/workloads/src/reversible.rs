@@ -6,8 +6,8 @@
 //! deterministic reversible incrementer, both purely classical so the
 //! simulator can check them on basis states.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use qcs_rng::ChaCha8Rng;
+use qcs_rng::{Rng, SeedableRng};
 
 use qcs_circuit::circuit::{Circuit, CircuitError};
 use qcs_circuit::gate::Gate;

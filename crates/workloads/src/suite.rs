@@ -11,8 +11,8 @@
 //! whole suite maps in seconds; the ceiling is a [`SuiteConfig`] knob and
 //! the envelope substitution is documented in DESIGN.md/EXPERIMENTS.md.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use qcs_rng::ChaCha8Rng;
+use qcs_rng::{Rng, SeedableRng};
 
 use qcs_circuit::circuit::{Circuit, CircuitStats};
 
@@ -20,7 +20,7 @@ use crate::random::RandomSpec;
 use crate::reversible::ReversibleSpec;
 
 /// The benchmark families in the suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Family {
     /// Random gate soup (the paper's *synthetic* class).
     Random,
@@ -180,12 +180,7 @@ pub fn generate_suite(config: &SuiteConfig) -> Vec<Benchmark> {
     out
 }
 
-fn build_member<R: Rng>(
-    family: Family,
-    config: &SuiteConfig,
-    seed: u64,
-    rng: &mut R,
-) -> Circuit {
+fn build_member<R: Rng>(family: Family, config: &SuiteConfig, seed: u64, rng: &mut R) -> Circuit {
     let max_q = config.max_qubits.max(4);
     match family {
         Family::Random => {
@@ -276,8 +271,7 @@ fn build_member<R: Rng>(
             let qubits = rng.gen_range(4..=max_q);
             let degree = rng.gen_range(2..=4);
             let steps = rng.gen_range(1..=8);
-            crate::hamiltonian::ising_random(qubits, degree, steps, 0.1, seed)
-                .expect("valid ising")
+            crate::hamiltonian::ising_random(qubits, degree, steps, 0.1, seed).expect("valid ising")
         }
     }
 }

@@ -6,8 +6,8 @@
 //! patterns. The interaction graph is exactly the grid — a perfect match
 //! for grid devices and a routing stress test for everything else.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use qcs_rng::ChaCha8Rng;
+use qcs_rng::{Rng, SeedableRng};
 
 use qcs_circuit::circuit::{Circuit, CircuitError};
 use qcs_circuit::gate::Gate;

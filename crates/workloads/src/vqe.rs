@@ -4,8 +4,8 @@
 //! parametrized single-qubit rotations and a linear CZ entangling chain.
 //! Its interaction graph is a path with weight equal to the layer count.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use qcs_rng::ChaCha8Rng;
+use qcs_rng::{Rng, SeedableRng};
 
 use qcs_circuit::circuit::{Circuit, CircuitError};
 

@@ -66,9 +66,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .count();
         println!("{label}:");
-        println!("  SWAPs inserted:          {}", outcome.report.swaps_inserted);
+        println!(
+            "  SWAPs inserted:          {}",
+            outcome.report.swaps_inserted
+        );
         println!("  2q gates on bad couplers: {on_degraded}");
-        println!("  estimated fidelity:       {:.4}\n", outcome.report.fidelity_after);
+        println!(
+            "  estimated fidelity:       {:.4}\n",
+            outcome.report.fidelity_after
+        );
     }
 
     println!("the noise-aware router detours through the healthy bottom-left of the");

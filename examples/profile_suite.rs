@@ -8,7 +8,7 @@ use nisq_codesign::core::profile::{
     cluster_profiles_selected, prune_codependent_metrics, CircuitProfile,
 };
 use nisq_codesign::workloads::suite::{generate_suite, SuiteConfig};
-use rand::SeedableRng;
+use qcs_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SuiteConfig {
@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nfeatures retained at |r| < 0.9: {kept:?}");
 
     // Clustering on the paper's selected metric subset.
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let mut rng = qcs_rng::ChaCha8Rng::seed_from_u64(7);
     let clustering = cluster_profiles_selected(&profiles, 3, &mut rng);
     println!("\nk-means (k = 3) on the selected Table-I metrics:");
     for c in 0..3 {
@@ -59,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|(i, _)| clustering.assignments[*i] == c)
             .map(|(_, b)| b.name.as_str())
             .collect();
-        println!("  cluster {c} ({} members): {}", members.len(), members.join(", "));
+        println!(
+            "  cluster {c} ({} members): {}",
+            members.len(),
+            members.join(", ")
+        );
     }
     println!(
         "\n(algorithms in the same cluster should behave similarly under a given\n mapping strategy — the paper's Section IV hypothesis)"

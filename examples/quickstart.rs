@@ -4,7 +4,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use nisq_codesign::prelude::*;
-use rand::SeedableRng;
+use qcs_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A small quantum program: the Fig. 2 circuit of the paper.
@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .cnot(2, 3)?
         .cnot(2, 0)?
         .cnot(1, 2)?;
-    println!("input circuit:\n{}", nisq_codesign::circuit::draw::draw(&circuit));
+    println!(
+        "input circuit:\n{}",
+        nisq_codesign::circuit::draw::draw(&circuit)
+    );
 
     // 2. Its interaction graph: the object the paper profiles.
     let ig = nisq_codesign::circuit::interaction::interaction_graph(&circuit);
@@ -32,10 +35,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Map with the trivial (OpenQL-style) mapper.
     let outcome = Mapper::trivial().map(&circuit, &device)?;
-    println!("\nmapped with {} placement + {} routing:", outcome.report.placer, outcome.report.router);
+    println!(
+        "\nmapped with {} placement + {} routing:",
+        outcome.report.placer, outcome.report.router
+    );
     println!("  SWAPs inserted:   {}", outcome.report.swaps_inserted);
-    println!("  gate overhead:    {:.1}%", outcome.report.gate_overhead_pct);
-    println!("  depth overhead:   {:.1}%", outcome.report.depth_overhead_pct);
+    println!(
+        "  gate overhead:    {:.1}%",
+        outcome.report.gate_overhead_pct
+    );
+    println!(
+        "  depth overhead:   {:.1}%",
+        outcome.report.depth_overhead_pct
+    );
     println!(
         "  estimated fidelity: {:.4} -> {:.4}",
         outcome.report.fidelity_before, outcome.report.fidelity_after
@@ -43,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Verify: the routed circuit implements the original, up to the
     //    tracked qubit permutation.
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+    let mut rng = qcs_rng::ChaCha8Rng::seed_from_u64(42);
     nisq_codesign::sim::equiv::mapped_equivalent(
         &circuit,
         &outcome.routed.circuit,

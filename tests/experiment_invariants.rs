@@ -126,8 +126,8 @@ fn overhead_grows_with_connectivity_pressure() {
     let mapper = Mapper::trivial();
     let mut last = -1.0f64;
     for (i, frac) in [0.1, 0.5, 0.9].iter().enumerate() {
-        let c = nisq_codesign::workloads::random::random_like(12, 600, *frac, 7 + i as u64)
-            .unwrap();
+        let c =
+            nisq_codesign::workloads::random::random_like(12, 600, *frac, 7 + i as u64).unwrap();
         let r = mapper.map(&c, &device).unwrap().report;
         assert!(
             r.gate_overhead_pct > last,
@@ -161,7 +161,7 @@ fn analytic_fidelity_matches_monte_carlo_on_mapped_circuit() {
     // fault-free shot frequency under Pauli fault injection with the same
     // per-gate rates — across the *mapped* circuit, SWAPs included.
     use nisq_codesign::sim::noise::{run_noisy, NoiseModel};
-    use rand::SeedableRng;
+    use qcs_rng::SeedableRng;
 
     let circuit = nisq_codesign::workloads::ghz::ghz_chain(5).unwrap();
     let device = nisq_codesign::topology::lattice::line_device(6);
@@ -169,10 +169,14 @@ fn analytic_fidelity_matches_monte_carlo_on_mapped_circuit() {
     // few shots; keep the ratio 1q:2q realistic.
     let mut noisy_device = device.clone();
     for q in 0..6 {
-        noisy_device.calibration_mut().set_single_qubit_fidelity(q, 0.98);
+        noisy_device
+            .calibration_mut()
+            .set_single_qubit_fidelity(q, 0.98);
     }
     for ((u, v), _) in device.calibration().couplers().collect::<Vec<_>>() {
-        noisy_device.calibration_mut().set_two_qubit_fidelity(u, v, 0.90);
+        noisy_device
+            .calibration_mut()
+            .set_two_qubit_fidelity(u, v, 0.90);
     }
     let outcome = Mapper::trivial().map(&circuit, &noisy_device).unwrap();
     let analytic = outcome.report.fidelity_after;
@@ -182,7 +186,7 @@ fn analytic_fidelity_matches_monte_carlo_on_mapped_circuit() {
         (model.analytic_success(&outcome.native) - analytic).abs() < 1e-9,
         "fidelity model and noise model disagree analytically"
     );
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+    let mut rng = qcs_rng::ChaCha8Rng::seed_from_u64(17);
     let stats = run_noisy(&outcome.native, &model, 4000, &mut rng);
     assert!(
         (stats.fault_free_fraction - analytic).abs() < 0.03,
@@ -215,7 +219,7 @@ fn convenience_mappers_work_end_to_end() {
 #[test]
 fn records_survive_json_round_trip() {
     let records = reduced_records();
-    let json = MappingRecord::to_json(&records).unwrap();
-    let back = MappingRecord::from_json(&json).unwrap();
+    let json = MappingRecord::batch_to_json(&records);
+    let back = MappingRecord::batch_from_json(&json).unwrap();
     assert_eq!(back, records);
 }

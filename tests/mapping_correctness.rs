@@ -2,9 +2,8 @@
 //! circuit semantics, verified against the state-vector simulator, with
 //! property-based circuit generation.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use qcs_check::{check, Gen};
+use qcs_rng::{ChaCha8Rng, SeedableRng};
 
 use nisq_codesign::circuit::circuit::Circuit;
 use nisq_codesign::circuit::gate::Gate;
@@ -18,48 +17,63 @@ use nisq_codesign::topology::device::Device;
 use nisq_codesign::topology::lattice::{grid_device, line_device, ring_device};
 use nisq_codesign::topology::surface::surface7;
 
-/// proptest strategy: an arbitrary unitary gate on `n` qubits (arity ≤ 2
-/// so every router accepts it directly, plus Toffoli to exercise
-/// decomposition).
-fn gate_strategy(n: usize) -> impl Strategy<Value = Gate> {
-    let q = 0..n;
-    let q2 = move || {
-        (0..n, 0..n - 1).prop_map(move |(a, mut b)| {
-            if b >= a {
-                b += 1;
-            }
-            (a, b)
-        })
+const CASES: u64 = 24;
+
+/// An arbitrary unitary gate on `n` qubits (arity ≤ 2 so every router
+/// accepts it directly, plus Cphase to exercise angle handling).
+fn gen_gate(g: &mut Gen, n: usize) -> Gate {
+    let q1 = |g: &mut Gen| g.usize_in(0..n);
+    let q2 = |g: &mut Gen| {
+        let a = g.usize_in(0..n);
+        let mut b = g.usize_in(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        (a, b)
     };
-    prop_oneof![
-        q.clone().prop_map(Gate::X),
-        q.clone().prop_map(Gate::H),
-        q.clone().prop_map(Gate::S),
-        q.clone().prop_map(Gate::T),
-        (q.clone(), -3.0..3.0f64).prop_map(|(q, a)| Gate::Rz(q, a)),
-        (q.clone(), -3.0..3.0f64).prop_map(|(q, a)| Gate::Ry(q, a)),
-        q2().prop_map(|(a, b)| Gate::Cnot(a, b)),
-        q2().prop_map(|(a, b)| Gate::Cz(a, b)),
-        q2().prop_map(|(a, b)| Gate::Swap(a, b)),
-        (q2(), -3.0..3.0f64).prop_map(|((a, b), th)| Gate::Cphase(a, b, th)),
-    ]
+    match g.usize_in(0..10) {
+        0 => Gate::X(q1(g)),
+        1 => Gate::H(q1(g)),
+        2 => Gate::S(q1(g)),
+        3 => Gate::T(q1(g)),
+        4 => Gate::Rz(q1(g), g.f64_in(-3.0..3.0)),
+        5 => Gate::Ry(q1(g), g.f64_in(-3.0..3.0)),
+        6 => {
+            let (a, b) = q2(g);
+            Gate::Cnot(a, b)
+        }
+        7 => {
+            let (a, b) = q2(g);
+            Gate::Cz(a, b)
+        }
+        8 => {
+            let (a, b) = q2(g);
+            Gate::Swap(a, b)
+        }
+        _ => {
+            let (a, b) = q2(g);
+            Gate::Cphase(a, b, g.f64_in(-3.0..3.0))
+        }
+    }
 }
 
-fn circuit_strategy(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    prop::collection::vec(gate_strategy(n), 1..max_gates).prop_map(move |gates| {
-        let mut c = Circuit::with_name(n, "prop");
-        for g in gates {
-            c.push(g).expect("strategy generates valid gates");
-        }
-        c
-    })
+fn gen_circuit(g: &mut Gen, n: usize, max_gates: usize) -> Circuit {
+    let gates = g.vec(1..max_gates, |g| gen_gate(g, n));
+    let mut c = Circuit::with_name(n, "prop");
+    for gate in gates {
+        c.push(gate).expect("generator produces valid gates");
+    }
+    c
 }
 
 fn all_mappers() -> Vec<Mapper> {
     vec![
         Mapper::new(Box::new(TrivialPlacer), Box::new(TrivialRouter)),
         Mapper::new(Box::new(TrivialPlacer), Box::new(BidirectionalRouter)),
-        Mapper::new(Box::new(TrivialPlacer), Box::new(LookaheadRouter::default())),
+        Mapper::new(
+            Box::new(TrivialPlacer),
+            Box::new(LookaheadRouter::default()),
+        ),
         Mapper::new(Box::new(RandomPlacer { seed: 3 }), Box::new(TrivialRouter)),
         Mapper::new(
             Box::new(GraphSimilarityPlacer),
@@ -70,9 +84,13 @@ fn all_mappers() -> Vec<Mapper> {
 }
 
 fn check_mapping(circuit: &Circuit, device: &Device, mapper: &Mapper) {
-    let outcome = mapper
-        .map(circuit, device)
-        .unwrap_or_else(|e| panic!("{}-{} failed: {e}", mapper.placer_name(), mapper.router_name()));
+    let outcome = mapper.map(circuit, device).unwrap_or_else(|e| {
+        panic!(
+            "{}-{} failed: {e}",
+            mapper.placer_name(),
+            mapper.router_name()
+        )
+    });
     // Invariant 1: connectivity respected.
     assert!(
         outcome.routed.respects_connectivity(device),
@@ -109,40 +127,48 @@ fn check_mapping(circuit: &Circuit, device: &Device, mapper: &Mapper) {
     assert!(outcome.routed.final_layout.is_consistent());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_circuits_map_correctly_on_line(c in circuit_strategy(4, 20)) {
+#[test]
+fn random_circuits_map_correctly_on_line() {
+    check("random_circuits_map_correctly_on_line", CASES, |g| {
+        let c = gen_circuit(g, 4, 20);
         let device = line_device(5);
         for mapper in all_mappers() {
             check_mapping(&c, &device, &mapper);
         }
-    }
+    });
+}
 
-    #[test]
-    fn random_circuits_map_correctly_on_surface7(c in circuit_strategy(5, 16)) {
+#[test]
+fn random_circuits_map_correctly_on_surface7() {
+    check("random_circuits_map_correctly_on_surface7", CASES, |g| {
+        let c = gen_circuit(g, 5, 16);
         let device = surface7();
         for mapper in all_mappers() {
             check_mapping(&c, &device, &mapper);
         }
-    }
+    });
+}
 
-    #[test]
-    fn random_circuits_map_correctly_on_grid(c in circuit_strategy(6, 14)) {
+#[test]
+fn random_circuits_map_correctly_on_grid() {
+    check("random_circuits_map_correctly_on_grid", CASES, |g| {
+        let c = gen_circuit(g, 6, 14);
         let device = grid_device(2, 4);
         for mapper in all_mappers() {
             check_mapping(&c, &device, &mapper);
         }
-    }
+    });
+}
 
-    #[test]
-    fn random_circuits_map_correctly_on_ring(c in circuit_strategy(4, 14)) {
+#[test]
+fn random_circuits_map_correctly_on_ring() {
+    check("random_circuits_map_correctly_on_ring", CASES, |g| {
+        let c = gen_circuit(g, 4, 14);
         let device = ring_device(6);
         for mapper in all_mappers() {
             check_mapping(&c, &device, &mapper);
         }
-    }
+    });
 }
 
 #[test]

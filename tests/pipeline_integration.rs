@@ -35,10 +35,7 @@ measure q[4] -> c[4];
     assert!(run.outcome.routed.respects_connectivity(stack.device()));
 
     // ISA instruction count equals native gate count minus barriers.
-    assert_eq!(
-        run.isa.instruction_count(),
-        run.outcome.native.gate_count()
-    );
+    assert_eq!(run.isa.instruction_count(), run.outcome.native.gate_count());
 
     // Control trace covers every ISA op.
     assert_eq!(run.control.event_count(), run.isa.instruction_count());

@@ -1,9 +1,8 @@
 //! Property-based tests on cross-crate invariants: graph metrics,
 //! layouts, scheduling, QASM, and the fidelity model.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use qcs_check::{check, Gen};
+use qcs_rng::SeedableRng;
 
 use nisq_codesign::circuit::circuit::Circuit;
 use nisq_codesign::circuit::dag::DependencyDag;
@@ -20,6 +19,8 @@ use nisq_codesign::sim::exec::run_unitary;
 use nisq_codesign::sim::StateVector;
 use nisq_codesign::topology::error::GateDurations;
 use nisq_codesign::topology::lattice::line_device;
+
+const CASES: u64 = 48;
 
 #[test]
 fn u2_parses_to_hadamard_up_to_phase() {
@@ -41,88 +42,93 @@ fn u3_parses_to_correct_rotation() {
     assert!(circuits_equal_exact(&parsed, &x, 1e-10));
 }
 
-fn graph_strategy() -> impl Strategy<Value = Graph> {
-    // Random edge list over up to 9 nodes, weights 1..6.
-    prop::collection::vec(((0usize..9, 0usize..9), 1u32..6), 0..24).prop_map(|edges| {
-        let mut g = Graph::with_nodes(9);
-        for ((u, v), w) in edges {
-            if u != v {
-                g.add_edge_weighted(u, v, w as f64).expect("valid edge");
-            }
+/// Random edge list over up to 9 nodes, weights 1..6.
+fn gen_graph(g: &mut Gen) -> Graph {
+    let mut graph = Graph::with_nodes(9);
+    let edges = g.vec(0..24, |g| {
+        (g.usize_in(0..9), g.usize_in(0..9), g.i64_in(1..=5))
+    });
+    for (u, v, w) in edges {
+        if u != v {
+            graph.add_edge_weighted(u, v, w as f64).expect("valid edge");
         }
-        g
-    })
-}
-
-fn permutation_strategy() -> impl Strategy<Value = Vec<usize>> {
-    Just(()).prop_perturb(|_, mut rng| {
-        let mut p: Vec<usize> = (0..9).collect();
-        for i in (1..9).rev() {
-            let j = (rng.next_u32() as usize) % (i + 1);
-            p.swap(i, j);
-        }
-        p
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn metrics_invariant_under_relabelling(g in graph_strategy(), p in permutation_strategy()) {
-        let m1 = GraphMetrics::compute(&g);
-        let m2 = GraphMetrics::compute(&g.relabel(&p));
-        prop_assert!((m1.avg_shortest_path - m2.avg_shortest_path).abs() < 1e-9);
-        prop_assert_eq!(m1.max_degree, m2.max_degree);
-        prop_assert_eq!(m1.min_degree, m2.min_degree);
-        prop_assert!((m1.adjacency_std - m2.adjacency_std).abs() < 1e-9);
-        prop_assert!((m1.clustering_coefficient - m2.clustering_coefficient).abs() < 1e-9);
-        prop_assert_eq!(m1.components, m2.components);
     }
+    graph
+}
 
-    #[test]
-    fn metric_bounds(g in graph_strategy()) {
-        let m = GraphMetrics::compute(&g);
-        prop_assert!(m.min_degree <= m.max_degree);
-        prop_assert!(m.density >= 0.0 && m.density <= 1.0);
-        prop_assert!(m.clustering_coefficient >= 0.0 && m.clustering_coefficient <= 1.0);
-        prop_assert!(m.weight_variance >= 0.0);
-        prop_assert!(m.components >= 1.0 || m.nodes == 0.0);
+/// One seed in `0..bound` for workloads that take a `u64` seed.
+fn gen_seed(g: &mut Gen, bound: i64) -> u64 {
+    g.i64_in(0..=bound - 1) as u64
+}
+
+#[test]
+fn metrics_invariant_under_relabelling() {
+    check("metrics_invariant_under_relabelling", CASES, |g| {
+        let graph = gen_graph(g);
+        let p = g.permutation(9);
+        let m1 = GraphMetrics::compute(&graph);
+        let m2 = GraphMetrics::compute(&graph.relabel(&p));
+        assert!((m1.avg_shortest_path - m2.avg_shortest_path).abs() < 1e-9);
+        assert_eq!(m1.max_degree, m2.max_degree);
+        assert_eq!(m1.min_degree, m2.min_degree);
+        assert!((m1.adjacency_std - m2.adjacency_std).abs() < 1e-9);
+        assert!((m1.clustering_coefficient - m2.clustering_coefficient).abs() < 1e-9);
+        assert_eq!(m1.components, m2.components);
+    });
+}
+
+#[test]
+fn metric_bounds() {
+    check("metric_bounds", CASES, |g| {
+        let graph = gen_graph(g);
+        let m = GraphMetrics::compute(&graph);
+        assert!(m.min_degree <= m.max_degree);
+        assert!(m.density >= 0.0 && m.density <= 1.0);
+        assert!(m.clustering_coefficient >= 0.0 && m.clustering_coefficient <= 1.0);
+        assert!(m.weight_variance >= 0.0);
+        assert!(m.components >= 1.0 || m.nodes == 0.0);
         if m.edges > 0.0 {
-            prop_assert!(m.min_weight >= 1.0); // generator weights ≥ 1
-            prop_assert!(m.max_weight >= m.min_weight);
+            assert!(m.min_weight >= 1.0); // generator weights ≥ 1
+            assert!(m.max_weight >= m.min_weight);
         }
-    }
+    });
+}
 
-    #[test]
-    fn pearson_bounded_and_symmetric(
-        xs in prop::collection::vec(-100.0..100.0f64, 3..20),
-        ys in prop::collection::vec(-100.0..100.0f64, 3..20)
-    ) {
+#[test]
+fn pearson_bounded_and_symmetric() {
+    check("pearson_bounded_and_symmetric", CASES, |g| {
+        let xs = g.vec(3..20, |g| g.f64_in(-100.0..100.0));
+        let ys = g.vec(3..20, |g| g.f64_in(-100.0..100.0));
         let n = xs.len().min(ys.len());
         let r = pearson(&xs[..n], &ys[..n]);
-        prop_assert!(r.abs() <= 1.0 + 1e-9);
+        assert!(r.abs() <= 1.0 + 1e-9);
         let r2 = pearson(&ys[..n], &xs[..n]);
-        prop_assert!((r - r2).abs() < 1e-12);
-    }
+        assert!((r - r2).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn layout_consistent_under_random_swaps(swaps in prop::collection::vec((0usize..8, 0usize..8), 0..32)) {
+#[test]
+fn layout_consistent_under_random_swaps() {
+    check("layout_consistent_under_random_swaps", CASES, |g| {
+        let swaps = g.vec(0..32, |g| (g.usize_in(0..8), g.usize_in(0..8)));
         let mut layout = Layout::identity(5, 8);
         for (a, b) in swaps {
             if a != b {
                 layout.swap_physical(a, b);
             }
         }
-        prop_assert!(layout.is_consistent());
+        assert!(layout.is_consistent());
         // Round-trip: every virtual qubit findable at its physical home.
         for v in 0..5 {
-            prop_assert_eq!(layout.virt_at(layout.phys_of(v)), Some(v));
+            assert_eq!(layout.virt_at(layout.phys_of(v)), Some(v));
         }
-    }
+    });
+}
 
-    #[test]
-    fn schedule_respects_dependencies(seed in 0u64..500) {
+#[test]
+fn schedule_respects_dependencies() {
+    check("schedule_respects_dependencies", CASES, |g| {
+        let seed = gen_seed(g, 500);
         let c = nisq_codesign::workloads::random::random_like(5, 30, 0.4, seed).unwrap();
         let durations = GateDurations::surface_code_defaults();
         for sched in [
@@ -130,57 +136,76 @@ proptest! {
             schedule_alap(&c, &durations, &ControlGroups::unconstrained()),
         ] {
             let dag = DependencyDag::new(&c);
-            for (i, g) in sched.gates.iter().enumerate() {
+            for (i, gate) in sched.gates.iter().enumerate() {
                 for &p in dag.predecessors(i) {
                     let pred = &sched.gates[p];
-                    prop_assert!(
-                        g.start_ns >= pred.end_ns() - 1e-9,
+                    assert!(
+                        gate.start_ns >= pred.end_ns() - 1e-9,
                         "gate {i} starts {} before predecessor {p} ends {}",
-                        g.start_ns, pred.end_ns()
+                        gate.start_ns,
+                        pred.end_ns()
                     );
                 }
             }
-            prop_assert!(sched.makespan_ns >= sched.gates.iter().map(|g| g.end_ns()).fold(0.0, f64::max) - 1e-9);
+            assert!(
+                sched.makespan_ns
+                    >= sched.gates.iter().map(|g| g.end_ns()).fold(0.0, f64::max) - 1e-9
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn qasm_round_trip_random_circuits(seed in 0u64..500) {
+#[test]
+fn qasm_round_trip_random_circuits() {
+    check("qasm_round_trip_random_circuits", CASES, |g| {
+        let seed = gen_seed(g, 500);
         let c = nisq_codesign::workloads::random::random_like(4, 25, 0.3, seed).unwrap();
         let back = qasm::parse(&qasm::print(&c)).unwrap();
-        prop_assert_eq!(back.gates(), c.gates());
-    }
+        assert_eq!(back.gates(), c.gates());
+    });
+}
 
-    #[test]
-    fn optimizer_preserves_semantics(seed in 0u64..200) {
+#[test]
+fn optimizer_preserves_semantics() {
+    check("optimizer_preserves_semantics", CASES, |g| {
+        let seed = gen_seed(g, 200);
         let c = nisq_codesign::workloads::random::random_like(4, 20, 0.3, seed).unwrap();
         let (opt, _) = optimize(&c);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = qcs_rng::ChaCha8Rng::seed_from_u64(seed);
         let input = StateVector::random(4, &mut rng);
         let a = run_unitary(&c, input.clone());
         let b = run_unitary(&opt, input);
-        prop_assert!(a.approx_eq_up_to_phase(&b, 1e-8), "optimizer changed circuit semantics");
-    }
+        assert!(
+            a.approx_eq_up_to_phase(&b, 1e-8),
+            "optimizer changed circuit semantics"
+        );
+    });
+}
 
-    #[test]
-    fn commutation_cancellation_preserves_semantics(seed in 0u64..200) {
+#[test]
+fn commutation_cancellation_preserves_semantics() {
+    check("commutation_cancellation_preserves_semantics", CASES, |g| {
         use nisq_codesign::circuit::commute::cancel_with_commutation;
         use nisq_codesign::sim::unitary::circuits_equal_exact;
+        let seed = gen_seed(g, 200);
         let c = nisq_codesign::workloads::random::random_like(4, 24, 0.5, seed).unwrap();
         let (opt, removed) = cancel_with_commutation(&c);
-        prop_assert_eq!(opt.gate_count() + removed, c.gate_count());
-        prop_assert!(
+        assert_eq!(opt.gate_count() + removed, c.gate_count());
+        assert!(
             circuits_equal_exact(&c, &opt, 1e-8),
-            "commutation-aware cancellation changed the unitary (seed {})", seed
+            "commutation-aware cancellation changed the unitary (seed {seed})"
         );
-    }
+    });
+}
 
-    #[test]
-    fn commutation_rules_are_sound(seed in 0u64..300) {
+#[test]
+fn commutation_rules_are_sound() {
+    check("commutation_rules_are_sound", CASES, |g| {
         use nisq_codesign::circuit::commute::gates_commute;
         use nisq_codesign::sim::unitary::circuits_equal_exact;
         // Draw two gates from a random circuit; if the rule says they
         // commute, the two orderings must implement the same unitary.
+        let seed = gen_seed(g, 300);
         let c = nisq_codesign::workloads::random::random_like(3, 8, 0.6, seed).unwrap();
         let gates = c.gates();
         for i in 0..gates.len() {
@@ -195,32 +220,42 @@ proptest! {
                 let mut ba = Circuit::new(3);
                 ba.push(b).unwrap();
                 ba.push(a).unwrap();
-                prop_assert!(
+                assert!(
                     circuits_equal_exact(&ab, &ba, 1e-9),
                     "unsound commutation: {a} vs {b}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn fidelity_product_permutation_invariant(seed in 0u64..200) {
+#[test]
+fn fidelity_product_permutation_invariant() {
+    check("fidelity_product_permutation_invariant", CASES, |g| {
         // Shuffling gate order never changes the analytic product.
+        let seed = gen_seed(g, 200);
         let c = nisq_codesign::workloads::random::random_like(4, 20, 0.4, seed).unwrap();
         let device = line_device(4);
         let f1 = estimate_fidelity(&c, &device);
         let mut reversed = Circuit::new(4);
-        for g in c.gates().iter().rev() {
-            reversed.push(*g).unwrap();
+        for gate in c.gates().iter().rev() {
+            reversed.push(*gate).unwrap();
         }
         let f2 = estimate_fidelity(&reversed, &device);
-        prop_assert!((f1 - f2).abs() < 1e-12);
-    }
+        assert!((f1 - f2).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn interaction_graph_weight_equals_two_qubit_count(seed in 0u64..200) {
-        let c = nisq_codesign::workloads::random::random_like(6, 40, 0.5, seed).unwrap();
-        let ig = interaction_graph(&c);
-        prop_assert_eq!(ig.total_weight() as usize, c.two_qubit_gate_count());
-    }
+#[test]
+fn interaction_graph_weight_equals_two_qubit_count() {
+    check(
+        "interaction_graph_weight_equals_two_qubit_count",
+        CASES,
+        |g| {
+            let seed = gen_seed(g, 200);
+            let c = nisq_codesign::workloads::random::random_like(6, 40, 0.5, seed).unwrap();
+            let ig = interaction_graph(&c);
+            assert_eq!(ig.total_weight() as usize, c.two_qubit_gate_count());
+        },
+    );
 }
