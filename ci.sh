@@ -8,6 +8,7 @@
 #   2. cargo test  --workspace -q       every crate's unit + integration tests
 #   3. cargo fmt   --check              formatting gate
 #   4. cargo clippy -- -D warnings      lint gate (all targets, all crates)
+#   5. serve smoke test                 boot daemon, compile a GHZ, check stats
 set -eu
 
 echo "==> cargo build --release"
@@ -21,5 +22,8 @@ cargo fmt --all --check
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> serve smoke test"
+./ci_serve_smoke.sh
 
 echo "CI OK"

@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# Smoke test for the compilation daemon: boot it on an ephemeral port,
+# compile one GHZ circuit through the client, check the stats endpoint,
+# and shut down cleanly. Assumes `cargo build --release` already ran
+# (CI runs it first); builds on demand otherwise.
+set -eu
+
+SERVE=target/release/qcs-serve
+CLIENT=target/release/qcs-client
+[ -x "$SERVE" ] && [ -x "$CLIENT" ] || cargo build --release -p qcs-serve
+
+PORT_FILE=$(mktemp)
+rm -f "$PORT_FILE" # daemon recreates it once listening
+"$SERVE" --addr 127.0.0.1:0 --workers 2 --port-file "$PORT_FILE" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$PORT_FILE"' EXIT
+
+# Wait (up to ~5 s) for the daemon to publish its port.
+tries=0
+while [ ! -s "$PORT_FILE" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 50 ]; then
+        echo "serve smoke: daemon never published its port" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR="127.0.0.1:$(cat "$PORT_FILE")"
+echo "serve smoke: daemon on $ADDR"
+
+# One GHZ compile must produce a result frame with a report.
+OUT=$("$CLIENT" --addr "$ADDR" workload ghz:8 --device surface17 --json)
+echo "$OUT" | grep -q '"type": "result"' || {
+    echo "serve smoke: compile did not return a result:" >&2
+    echo "$OUT" >&2
+    exit 1
+}
+
+# Stats must acknowledge the served job.
+STATS=$("$CLIENT" --addr "$ADDR" stats --json)
+echo "$STATS" | grep -q '"type": "stats"' || {
+    echo "serve smoke: stats response malformed:" >&2
+    echo "$STATS" >&2
+    exit 1
+}
+echo "$STATS" | grep -q '"jobs": 1' || {
+    echo "serve smoke: expected exactly one served job:" >&2
+    echo "$STATS" >&2
+    exit 1
+}
+
+# Clean protocol shutdown; the daemon process must exit on its own.
+"$CLIENT" --addr "$ADDR" shutdown >/dev/null
+wait "$SERVE_PID"
+trap - EXIT
+rm -f "$PORT_FILE"
+echo "serve smoke: OK"

@@ -1,0 +1,51 @@
+//! Microbenchmarks (in-tree harness) for the compilation service's hot
+//! path: the content digest that keys the result cache, a cache hit, and
+//! — for scale — the cold compile a hit replaces.
+
+use qcs_bench::microbench::{BenchmarkId, Criterion};
+use qcs_bench::{criterion_group, criterion_main};
+
+use qcs_core::config::MapperConfig;
+use qcs_serve::cache::ResultCache;
+use qcs_serve::compile::{job_digest, run_job, Job};
+use qcs_serve::protocol::{CompileRequest, Source};
+
+fn job_for(qubits: usize) -> Job {
+    Job::resolve(&CompileRequest {
+        source: Source::Workload(format!("qft:{qubits}")),
+        device: "surface97".to_string(),
+        config: MapperConfig::default(),
+        deadline_ms: None,
+    })
+    .expect("benchmark job resolves")
+}
+
+fn digest_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_digest");
+    for n in [8usize, 16, 32] {
+        let job = job_for(n);
+        group.bench_with_input(BenchmarkId::new("job_digest", n), &job, |b, job| {
+            b.iter(|| job_digest(&job.circuit, &job.device, &job.config));
+        });
+    }
+    group.finish();
+}
+
+fn cache_benchmarks(c: &mut Criterion) {
+    // One warm entry, hit over and over — the path a repeated request
+    // takes instead of run_job.
+    let job = job_for(16);
+    let output = run_job(&job).expect("benchmark job compiles");
+    let mut cache = ResultCache::new(64 << 20);
+    cache.insert(output.digest, output.payload.clone());
+
+    c.bench_function("serve_cache/hit_qft16", |b| {
+        b.iter(|| cache.get(output.digest).expect("entry stays cached"));
+    });
+    c.bench_function("serve_cache/cold_compile_qft16", |b| {
+        b.iter(|| run_job(&job).expect("benchmark job compiles"));
+    });
+}
+
+criterion_group!(benches, digest_benchmarks, cache_benchmarks);
+criterion_main!(benches);

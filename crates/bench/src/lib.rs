@@ -9,7 +9,7 @@
 pub mod microbench;
 pub mod parallel;
 
-pub use parallel::{default_workers, map_suite_serial, map_suite_with_workers};
+pub use parallel::{default_workers, map_suite_serial, map_suite_with_workers, run_claimed};
 
 use std::io::Write as _;
 use std::path::Path;

@@ -23,7 +23,7 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use qcs_core::mapper::Mapper;
+use qcs_core::mapper::{Mapper, StageTiming};
 use qcs_core::profile::CircuitProfile;
 use qcs_core::report::MappingRecord;
 use qcs_topology::device::Device;
@@ -37,15 +37,77 @@ pub fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
+/// Runs `f` over every item of `items` on `workers` scoped threads,
+/// returning the results in input order — the claim-by-atomic engine
+/// behind [`map_suite_with_workers`], exposed for other consumers (the
+/// compilation service dispatches batch jobs through it).
+///
+/// Work distribution is a shared atomic next-index counter, so threads
+/// claim items dynamically (items vary wildly in cost); each result is
+/// written into its own pre-allocated slot, making the output order (and
+/// for deterministic `f`, the output itself) independent of thread
+/// interleaving.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero or a worker thread panics.
+pub fn run_claimed<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert!(workers > 0, "worker count must be at least 1");
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // One slot per item, claimed via the shared counter. Each slot is
+    // locked exactly once (by the claiming worker), so the mutexes are
+    // uncontended — they exist to make the slot writes safe and clippy-
+    // and miri-visible rather than to arbitrate access.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else {
+                    break;
+                };
+                let result = f(i, item);
+                *slots[i].lock().expect("slot lock never poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock never poisoned")
+                .expect("every slot below the counter was filled")
+        })
+        .collect()
+}
+
 fn map_one(benchmark: &Benchmark, device: &Device, mapper: &Mapper) -> Option<MappingRecord> {
     match mapper.map(&benchmark.circuit, device) {
-        Ok(outcome) => Some(MappingRecord {
-            name: benchmark.name.clone(),
-            family: benchmark.family.to_string(),
-            synthetic: benchmark.is_synthetic(),
-            profile: CircuitProfile::of(&benchmark.circuit),
-            report: outcome.report,
-        }),
+        Ok(outcome) => {
+            let mut report = outcome.report;
+            // Wall-clock stage timing is measurement, not content: zero it
+            // so records stay byte-identical across runs and worker counts.
+            report.timing = StageTiming::ZERO;
+            Some(MappingRecord {
+                name: benchmark.name.clone(),
+                family: benchmark.family.to_string(),
+                synthetic: benchmark.is_synthetic(),
+                profile: CircuitProfile::of(&benchmark.circuit),
+                report,
+            })
+        }
         Err(e) => {
             eprintln!("skipping {}: {e}", benchmark.name);
             None
@@ -78,36 +140,9 @@ pub fn map_suite_with_workers(
     mapper: &Mapper,
     workers: usize,
 ) -> Vec<MappingRecord> {
-    assert!(workers > 0, "worker count must be at least 1");
-    let workers = workers.min(benchmarks.len());
-    if workers <= 1 {
-        return map_suite_serial(benchmarks, device, mapper);
-    }
-
-    // One slot per benchmark, claimed via the shared counter. Each slot is
-    // locked exactly once (by the claiming worker), so the mutexes are
-    // uncontended — they exist to make the slot writes safe and clippy-
-    // and miri-visible rather than to arbitrate access.
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<MappingRecord>>> =
-        benchmarks.iter().map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(benchmark) = benchmarks.get(i) else {
-                    break;
-                };
-                let record = map_one(benchmark, device, mapper);
-                *slots[i].lock().expect("slot lock never poisoned") = record;
-            });
-        }
-    });
-
-    slots
+    run_claimed(benchmarks, workers, |_, b| map_one(b, device, mapper))
         .into_iter()
-        .filter_map(|slot| slot.into_inner().expect("slot lock never poisoned"))
+        .flatten()
         .collect()
 }
 
@@ -156,5 +191,23 @@ mod tests {
     #[test]
     fn default_workers_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn run_claimed_preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for workers in [1, 3, 16] {
+            let out = run_claimed(&items, workers, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_claimed_empty_input() {
+        let out: Vec<u8> = run_claimed(&[] as &[u8], 4, |_, &x| x);
+        assert!(out.is_empty());
     }
 }

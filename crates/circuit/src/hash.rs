@@ -1,0 +1,221 @@
+//! Stable content hashing for circuits.
+//!
+//! The compilation service keys its result cache by a digest of "what was
+//! compiled": the canonical circuit content plus the device and mapper
+//! configuration. [`Fnv64`] is a 64-bit FNV-1a streaming hasher — chosen
+//! over `std::collections::hash_map::DefaultHasher` because its output is
+//! *stable*: the same bytes hash to the same value across processes,
+//! platforms and Rust releases, so digests can be logged, compared
+//! between daemon restarts and used as protocol-visible cache keys.
+//!
+//! [`circuit_digest`] folds every observable property of a circuit into
+//! the hash: qubit count, name, and each gate's kind, operands and exact
+//! angle bits (`f64::to_bits`, so `0.1 + 0.2 ≠ 0.3` — byte-identical
+//! compilation requires bit-identical inputs).
+//!
+//! # Examples
+//!
+//! ```
+//! use qcs_circuit::circuit::Circuit;
+//! use qcs_circuit::hash::circuit_digest;
+//!
+//! let mut a = Circuit::new(2);
+//! a.h(0)?.cnot(0, 1)?;
+//! let mut b = Circuit::new(2);
+//! b.h(0)?.cnot(0, 1)?;
+//! assert_eq!(circuit_digest(&a), circuit_digest(&b));
+//! b.x(1)?;
+//! assert_ne!(circuit_digest(&a), circuit_digest(&b));
+//! # Ok::<(), qcs_circuit::CircuitError>(())
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64-bit hasher with a stable, documented output.
+///
+/// Unlike `std::hash::Hasher` implementations, the mapping from input
+/// bytes to output is part of this type's contract: digests may be
+/// persisted and compared across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds a `u64` (little-endian bytes) into the digest.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Folds a `usize` into the digest (widened to `u64` so 32- and
+    /// 64-bit builds agree).
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Folds an `f64`'s exact bit pattern into the digest.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Folds a string into the digest, length-prefixed so concatenated
+    /// strings cannot collide with shifted splits (`"ab","c"` vs
+    /// `"a","bc"`).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes())
+    }
+}
+
+/// Folds one gate into a hasher: a kind tag, the operand list and (for
+/// rotations) the exact angle bits.
+fn write_gate(h: &mut Fnv64, gate: &Gate) {
+    // The kind's QASM name is a stable tag (GateKind has no guaranteed
+    // discriminant values); Measure/Barrier share names with nothing.
+    h.write_str(gate.name());
+    let qs = gate.qubits();
+    h.write_usize(qs.len());
+    for q in qs {
+        h.write_usize(q);
+    }
+    match gate.angle() {
+        Some(a) => {
+            h.write_u64(1).write_f64(a);
+        }
+        None => {
+            h.write_u64(0);
+        }
+    }
+}
+
+/// Digest of a circuit's full observable content: qubit count, name and
+/// ordered gate list (kinds, operands, exact angle bits).
+///
+/// Two circuits have equal digests exactly when they are
+/// indistinguishable to the compilation pipeline and its report (the
+/// name appears in [`crate::circuit::Circuit::name`] and therefore in
+/// reports, so it is part of the content).
+pub fn circuit_digest(circuit: &Circuit) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(circuit.qubit_count());
+    h.write_str(circuit.name());
+    h.write_usize(circuit.len());
+    for gate in circuit.iter() {
+        write_gate(&mut h, gate);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors_are_stable() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(
+            Fnv64::new().write_bytes(b"a").finish(),
+            0xaf63_dc4c_8601_ec8c
+        );
+        assert_eq!(
+            Fnv64::new().write_bytes(b"foobar").finish(),
+            0x8594_4171_f739_67e8
+        );
+    }
+
+    #[test]
+    fn digest_is_deterministic_across_constructions() {
+        let build = || {
+            let mut c = Circuit::with_name(3, "probe");
+            c.h(0).unwrap().cnot(0, 1).unwrap().rz(2, 0.25).unwrap();
+            c
+        };
+        assert_eq!(circuit_digest(&build()), circuit_digest(&build()));
+    }
+
+    #[test]
+    fn digest_sensitive_to_every_component() {
+        let mut base = Circuit::with_name(3, "probe");
+        base.h(0).unwrap().cnot(0, 1).unwrap().rz(2, 0.25).unwrap();
+        let d0 = circuit_digest(&base);
+
+        // Name.
+        let mut c = base.clone();
+        c.set_name("other");
+        assert_ne!(circuit_digest(&c), d0);
+
+        // Width (same gates, extra idle qubit).
+        let mut c = Circuit::with_name(4, "probe");
+        c.h(0).unwrap().cnot(0, 1).unwrap().rz(2, 0.25).unwrap();
+        assert_ne!(circuit_digest(&c), d0);
+
+        // Gate order.
+        let mut c = Circuit::with_name(3, "probe");
+        c.cnot(0, 1).unwrap().h(0).unwrap().rz(2, 0.25).unwrap();
+        assert_ne!(circuit_digest(&c), d0);
+
+        // Operands.
+        let mut c = Circuit::with_name(3, "probe");
+        c.h(0).unwrap().cnot(1, 0).unwrap().rz(2, 0.25).unwrap();
+        assert_ne!(circuit_digest(&c), d0);
+
+        // Angle bits: even a one-ulp change is a different circuit.
+        let mut c = Circuit::with_name(3, "probe");
+        c.h(0)
+            .unwrap()
+            .cnot(0, 1)
+            .unwrap()
+            .rz(2, f64::from_bits(0.25f64.to_bits() + 1))
+            .unwrap();
+        assert_ne!(circuit_digest(&c), d0);
+    }
+
+    #[test]
+    fn string_length_prefix_prevents_shift_collisions() {
+        let a = Fnv64::new().write_str("ab").write_str("c").finish();
+        let b = Fnv64::new().write_str("a").write_str("bc").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gate_kind_tags_disambiguate() {
+        // Same operands, different kinds.
+        let mut x = Circuit::new(2);
+        x.cnot(0, 1).unwrap();
+        let mut z = Circuit::new(2);
+        z.cz(0, 1).unwrap();
+        assert_ne!(circuit_digest(&x), circuit_digest(&z));
+    }
+}

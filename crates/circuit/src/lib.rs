@@ -15,6 +15,8 @@
 //!   graph** (Fig. 2/4), the core object of the paper's Section IV.
 //! * [`qasm`] — printer and parser for an OpenQASM 2.0 subset, the
 //!   "low-level instructions" interchange of the stack.
+//! * [`hash`] — stable FNV-1a content digests of circuits, the keys of
+//!   the compilation service's content-addressed result cache.
 //! * [`decompose`] — rewriting to a device's primitive gate set
 //!   (mapping step 1 in Section III).
 //! * [`optimize`] — gate-cancellation and rotation-merging peepholes
@@ -47,6 +49,7 @@ pub mod dag;
 pub mod decompose;
 pub mod draw;
 pub mod gate;
+pub mod hash;
 pub mod interaction;
 pub mod optimize;
 pub mod qasm;

@@ -1,0 +1,181 @@
+//! Serializable mapper configuration.
+//!
+//! The compilation service (and any other caller that receives its
+//! pipeline choice over the wire) describes a [`crate::mapper::Mapper`]
+//! as a pair of strategy names. [`MapperConfig`] is that description:
+//! it round-trips through JSON via `impl_json_object!`, validates the
+//! names, and builds the boxed strategy pipeline.
+//!
+//! The names accepted are exactly the `name()` strings the placers and
+//! routers report, so a `MapReport` can be fed back in as a config.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcs_core::config::MapperConfig;
+//!
+//! let config = MapperConfig::new("trivial", "lookahead");
+//! let mapper = config.build()?;
+//! assert_eq!(mapper.placer_name(), "trivial");
+//! assert_eq!(mapper.router_name(), "lookahead");
+//! # Ok::<(), qcs_core::config::ConfigError>(())
+//! ```
+
+use crate::mapper::Mapper;
+use crate::place::{GraphSimilarityPlacer, Placer, RandomPlacer, TrivialPlacer};
+use crate::place_sabre::SabrePlacer;
+use crate::place_subgraph::SubgraphPlacer;
+use crate::route::{BidirectionalRouter, LookaheadRouter, NoiseAwareRouter, Router, TrivialRouter};
+
+/// Error raised when a configuration names an unknown strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The placer name is not one of [`MapperConfig::PLACERS`].
+    UnknownPlacer(String),
+    /// The router name is not one of [`MapperConfig::ROUTERS`].
+    UnknownRouter(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::UnknownPlacer(name) => write!(
+                f,
+                "unknown placer '{name}' (expected one of: {})",
+                MapperConfig::PLACERS.join(", ")
+            ),
+            ConfigError::UnknownRouter(name) => write!(
+                f,
+                "unknown router '{name}' (expected one of: {})",
+                MapperConfig::ROUTERS.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A mapper pipeline described by strategy names — the wire form of a
+/// [`Mapper`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapperConfig {
+    /// Placement strategy name.
+    pub placer: String,
+    /// Routing strategy name.
+    pub router: String,
+}
+
+qcs_json::impl_json_object!(MapperConfig { placer, router });
+
+impl Default for MapperConfig {
+    /// The paper's target pipeline: algorithm-driven placement with
+    /// look-ahead routing.
+    fn default() -> Self {
+        MapperConfig::new("graph-similarity", "lookahead")
+    }
+}
+
+impl MapperConfig {
+    /// Accepted placer names.
+    pub const PLACERS: &'static [&'static str] =
+        &["trivial", "random", "graph-similarity", "subgraph", "sabre"];
+    /// Accepted router names.
+    pub const ROUTERS: &'static [&'static str] =
+        &["trivial", "lookahead", "bidirectional", "noise-aware"];
+
+    /// Builds a config from strategy names (validated by [`build`]).
+    ///
+    /// [`build`]: MapperConfig::build
+    pub fn new(placer: impl Into<String>, router: impl Into<String>) -> Self {
+        MapperConfig {
+            placer: placer.into(),
+            router: router.into(),
+        }
+    }
+
+    /// Instantiates the described pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when either strategy name is unknown.
+    pub fn build(&self) -> Result<Mapper, ConfigError> {
+        let placer: Box<dyn Placer> = match self.placer.as_str() {
+            "trivial" => Box::new(TrivialPlacer),
+            // Fixed seed: a config names a deterministic pipeline.
+            "random" => Box::new(RandomPlacer { seed: 0 }),
+            "graph-similarity" => Box::new(GraphSimilarityPlacer),
+            "subgraph" => Box::new(SubgraphPlacer::default()),
+            "sabre" => Box::new(SabrePlacer::default()),
+            other => return Err(ConfigError::UnknownPlacer(other.to_string())),
+        };
+        let router: Box<dyn Router> = match self.router.as_str() {
+            "trivial" => Box::new(TrivialRouter),
+            "lookahead" => Box::new(LookaheadRouter::default()),
+            "bidirectional" => Box::new(BidirectionalRouter),
+            "noise-aware" => Box::new(NoiseAwareRouter),
+            other => return Err(ConfigError::UnknownRouter(other.to_string())),
+        };
+        Ok(Mapper::new(placer, router))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_json::{FromJson, ToJson};
+
+    #[test]
+    fn every_advertised_strategy_builds() {
+        for placer in MapperConfig::PLACERS {
+            for router in MapperConfig::ROUTERS {
+                let m = MapperConfig::new(*placer, *router).build().unwrap();
+                assert_eq!(m.placer_name(), *placer);
+                assert_eq!(m.router_name(), *router);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert_eq!(
+            MapperConfig::new("bogus", "trivial").build().unwrap_err(),
+            ConfigError::UnknownPlacer("bogus".to_string())
+        );
+        assert_eq!(
+            MapperConfig::new("trivial", "bogus").build().unwrap_err(),
+            ConfigError::UnknownRouter("bogus".to_string())
+        );
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let config = MapperConfig::default();
+        let back = MapperConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn built_mapper_matches_preset_output() {
+        let circuit = qcs_workloads::qft::qft(5).unwrap();
+        let device = qcs_topology::surface::surface17();
+        let from_config = MapperConfig::new("trivial", "trivial")
+            .build()
+            .unwrap()
+            .map(&circuit, &device)
+            .unwrap();
+        let preset = Mapper::trivial().map(&circuit, &device).unwrap();
+        // Timing differs run to run; everything else must match.
+        let mut a = from_config.report;
+        let mut b = preset.report;
+        a.timing = crate::mapper::StageTiming::ZERO;
+        b.timing = crate::mapper::StageTiming::ZERO;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_messages_list_choices() {
+        let msg = ConfigError::UnknownRouter("x".into()).to_string();
+        assert!(msg.contains("lookahead"));
+        assert!(msg.contains("noise-aware"));
+    }
+}

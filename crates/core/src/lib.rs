@@ -24,7 +24,10 @@
 //!   fidelities for all one- and two-qubit gates"), with optional
 //!   decoherence weighting;
 //! * [`mapper`] — the end-to-end pass pipeline with a mapping report
-//!   (gate overhead, depth overhead, fidelity decrease);
+//!   (gate overhead, depth overhead, fidelity decrease, per-stage
+//!   wall-clock timing);
+//! * [`config`] — the serializable strategy-name form of a mapper, used
+//!   by callers that receive their pipeline choice over the wire;
 //! * [`profile`] — interaction-graph metric vectors (Table I), Pearson
 //!   correlation pruning and k-means clustering of benchmark circuits;
 //! * [`report`] — serializable experiment records for the figure
@@ -51,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod fidelity;
 pub mod layout;
 pub mod mapper;
@@ -62,5 +66,6 @@ pub mod report;
 pub mod route;
 pub mod schedule;
 
+pub use config::MapperConfig;
 pub use layout::Layout;
-pub use mapper::{MapError, MapOutcome, Mapper};
+pub use mapper::{MapError, MapOutcome, Mapper, StageTiming};

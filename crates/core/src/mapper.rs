@@ -57,6 +57,48 @@ impl From<RouteError> for MapError {
     }
 }
 
+/// Wall-clock time spent in each pipeline stage of one mapping run, in
+/// microseconds.
+///
+/// The compilation service reads this to attribute request latency per
+/// stage in its `stats` histograms. Timing is *measurement*, not circuit
+/// content: consumers that require deterministic, reproducible reports
+/// (the parallel suite engine, the service's cached responses) normalize
+/// it to [`StageTiming::ZERO`] before comparing or serializing results.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageTiming {
+    /// Decomposition to the primitive gate set (both passes).
+    pub decompose_micros: f64,
+    /// Placement.
+    pub place_micros: f64,
+    /// Routing.
+    pub route_micros: f64,
+    /// ASAP scheduling.
+    pub schedule_micros: f64,
+}
+
+qcs_json::impl_json_object!(StageTiming {
+    decompose_micros,
+    place_micros,
+    route_micros,
+    schedule_micros,
+});
+
+impl StageTiming {
+    /// All-zero timing, the normalized form for deterministic outputs.
+    pub const ZERO: StageTiming = StageTiming {
+        decompose_micros: 0.0,
+        place_micros: 0.0,
+        route_micros: 0.0,
+        schedule_micros: 0.0,
+    };
+
+    /// Total time across all stages.
+    pub fn total_micros(&self) -> f64 {
+        self.decompose_micros + self.place_micros + self.route_micros + self.schedule_micros
+    }
+}
+
 /// All figures of merit from one mapping run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MapReport {
@@ -98,6 +140,9 @@ pub struct MapReport {
     pub fidelity_decrease_pct: f64,
     /// Scheduled makespan of the routed circuit in nanoseconds.
     pub makespan_ns: f64,
+    /// Wall-clock time per pipeline stage (zero when normalized for
+    /// deterministic output).
+    pub timing: StageTiming,
 }
 
 qcs_json::impl_json_object!(MapReport {
@@ -119,6 +164,7 @@ qcs_json::impl_json_object!(MapReport {
     fidelity_after,
     fidelity_decrease_pct,
     makespan_ns,
+    timing,
 });
 
 /// Everything produced by one mapping run.
@@ -254,11 +300,27 @@ impl Mapper {
     ///
     /// See [`MapError`].
     pub fn map(&self, circuit: &Circuit, device: &Device) -> Result<MapOutcome, MapError> {
+        let micros_since = |start: std::time::Instant| start.elapsed().as_secs_f64() * 1e6;
+
+        let t = std::time::Instant::now();
         let decomposed = decompose_circuit(circuit, device.gate_set())?;
+        let mut decompose_micros = micros_since(t);
+
+        let t = std::time::Instant::now();
         let layout = self.placer.place(&decomposed, device)?;
+        let place_micros = micros_since(t);
+
+        let t = std::time::Instant::now();
         let routed = self.router.route(&decomposed, device, layout)?;
+        let route_micros = micros_since(t);
+
+        let t = std::time::Instant::now();
         let native = decompose_circuit(&routed.circuit, device.gate_set())?;
+        decompose_micros += micros_since(t);
+
+        let t = std::time::Instant::now();
         let schedule = schedule_asap(&native, &device.calibration().durations, &self.controls);
+        let schedule_micros = micros_since(t);
 
         let decomposed_gates = decomposed.gate_count();
         let routed_gates = native.gate_count();
@@ -300,6 +362,12 @@ impl Mapper {
                 0.0
             },
             makespan_ns: schedule.makespan_ns,
+            timing: StageTiming {
+                decompose_micros,
+                place_micros,
+                route_micros,
+                schedule_micros,
+            },
         };
 
         Ok(MapOutcome {
@@ -429,6 +497,16 @@ mod tests {
         let s = format!("{m:?}");
         assert!(s.contains("graph-similarity"));
         assert!(s.contains("noise-aware"));
+    }
+
+    #[test]
+    fn stage_timing_is_measured_and_normalizable() {
+        let mut outcome = Mapper::trivial().map(&fig2_circuit(), &surface7()).unwrap();
+        let t = outcome.report.timing;
+        assert!(t.place_micros >= 0.0 && t.route_micros >= 0.0);
+        assert!(t.total_micros() > 0.0, "pipeline takes nonzero time");
+        outcome.report.timing = StageTiming::ZERO;
+        assert_eq!(outcome.report.timing.total_micros(), 0.0);
     }
 
     #[test]

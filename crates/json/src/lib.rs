@@ -297,6 +297,8 @@ fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
             c if (c as u32) < 0x20 => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
@@ -477,6 +479,9 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                // RFC 8259 §7: control characters must arrive escaped; a
+                // raw one in the byte stream is malformed input, not data.
+                Some(c) if c < 0x20 => return Err(self.error("raw control character in string")),
                 Some(_) => {
                     // Consume one UTF-8 scalar (input is a &str, so slices
                     // at char boundaries are valid).
@@ -786,5 +791,45 @@ mod tests {
     fn whitespace_tolerated() {
         let v = parse("  {\r\n \"a\" :\t[ 1 , 2 ] }  ").unwrap();
         assert_eq!(v.get("a").and_then(Json::as_array).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn every_control_character_round_trips() {
+        // Exhaustive: all of C0, plus DEL and the JS-hostile separators.
+        let mut exotic: Vec<char> = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        exotic.extend(['\u{7f}', '\u{2028}', '\u{2029}', '\u{1F600}']);
+        for c in exotic {
+            let original = Json::String(format!("a{c}z"));
+            let text = original.to_compact_string();
+            assert_eq!(parse(&text).unwrap(), original, "char U+{:04X}", c as u32);
+        }
+    }
+
+    #[test]
+    fn control_characters_use_short_escapes() {
+        let s = Json::String("\u{8}\u{c}\n\r\t\u{1}".to_string());
+        assert_eq!(s.to_compact_string(), "\"\\b\\f\\n\\r\\t\\u0001\"");
+    }
+
+    #[test]
+    fn raw_control_characters_in_strings_are_rejected() {
+        for c in (0u8..0x20).map(char::from) {
+            let text = format!("\"a{c}z\"");
+            assert!(
+                matches!(parse(&text), Err(JsonError::Parse { .. })),
+                "raw U+{:04X} must be rejected",
+                c as u32
+            );
+        }
+        // Escaped forms of the same characters stay legal.
+        assert_eq!(
+            parse("\"\\u0000\\b\\f\\n\\r\\t\"").unwrap(),
+            Json::String("\0\u{8}\u{c}\n\r\t".to_string())
+        );
+        // Raw DEL and beyond are not control characters for RFC 8259.
+        assert_eq!(
+            parse("\"\u{7f}\"").unwrap(),
+            Json::String("\u{7f}".to_string())
+        );
     }
 }

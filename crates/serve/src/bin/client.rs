@@ -1,0 +1,319 @@
+//! `qcs-client` — command-line client for the compilation daemon.
+//!
+//! ```text
+//! qcs-client --addr HOST:PORT compile FILE.qasm [options]
+//! qcs-client --addr HOST:PORT workload SPEC [options]
+//! qcs-client --addr HOST:PORT suite [--count N] [--max-qubits N]
+//!                                   [--max-gates N] [--seed N] [options]
+//! qcs-client --addr HOST:PORT stats | ping | shutdown
+//!
+//! options: --device SPEC  --placer NAME  --router NAME
+//!          --deadline-ms N  --json
+//! ```
+//!
+//! `compile`/`workload` print a one-line summary of the mapped circuit;
+//! `suite` prints a fixed-width table, one row per benchmark. `--json`
+//! dumps the raw response instead.
+
+use std::io;
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use qcs_json::Json;
+use qcs_serve::protocol::{read_frame, write_json};
+
+const USAGE: &str = "usage: qcs-client --addr HOST:PORT <command> [options]\n\
+  commands: compile FILE | workload SPEC | suite | stats | ping | shutdown\n\
+  options:  --device SPEC --placer NAME --router NAME --deadline-ms N\n\
+            --count N --max-qubits N --max-gates N --seed N --json";
+
+struct Options {
+    addr: String,
+    device: Option<String>,
+    placer: Option<String>,
+    router: Option<String>,
+    deadline_ms: Option<u64>,
+    count: Option<usize>,
+    max_qubits: Option<usize>,
+    max_gates: Option<usize>,
+    seed: Option<u64>,
+    json: bool,
+    command: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        addr: String::new(),
+        device: None,
+        placer: None,
+        router: None,
+        deadline_ms: None,
+        count: None,
+        max_qubits: None,
+        max_gates: None,
+        seed: None,
+        json: false,
+        command: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--help" || arg == "-h" {
+            return Err(USAGE.to_string());
+        }
+        if arg == "--json" {
+            opts.json = true;
+            continue;
+        }
+        if !arg.starts_with("--") {
+            opts.command.push(arg.clone());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{arg} needs a value\n{USAGE}"))?;
+        let bad = |what: &str| format!("bad {what} '{value}' for {arg}");
+        match arg.as_str() {
+            "--addr" => opts.addr = value.clone(),
+            "--device" => opts.device = Some(value.clone()),
+            "--placer" => opts.placer = Some(value.clone()),
+            "--router" => opts.router = Some(value.clone()),
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(value.parse().map_err(|_| bad("deadline"))?);
+            }
+            "--count" => opts.count = Some(value.parse().map_err(|_| bad("count"))?),
+            "--max-qubits" => {
+                opts.max_qubits = Some(value.parse().map_err(|_| bad("qubit bound"))?);
+            }
+            "--max-gates" => opts.max_gates = Some(value.parse().map_err(|_| bad("gate bound"))?),
+            "--seed" => opts.seed = Some(value.parse().map_err(|_| bad("seed"))?),
+            _ => return Err(format!("unknown flag '{arg}'\n{USAGE}")),
+        }
+    }
+    if opts.addr.is_empty() {
+        return Err(format!("--addr is required\n{USAGE}"));
+    }
+    if opts.command.is_empty() {
+        return Err(format!("no command given\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+/// Members shared by `compile` and `compile_suite` requests.
+fn push_common(members: &mut Vec<(String, Json)>, opts: &Options) {
+    if let Some(device) = &opts.device {
+        members.push(("device".to_string(), Json::from(device.clone())));
+    }
+    if let Some(placer) = &opts.placer {
+        members.push(("placer".to_string(), Json::from(placer.clone())));
+    }
+    if let Some(router) = &opts.router {
+        members.push(("router".to_string(), Json::from(router.clone())));
+    }
+}
+
+fn build_request(opts: &Options) -> Result<Json, String> {
+    let command = opts.command[0].as_str();
+    let operand = opts.command.get(1);
+    if opts.command.len() > 2 {
+        return Err(format!("too many arguments\n{USAGE}"));
+    }
+    let mut members: Vec<(String, Json)> = Vec::new();
+    match command {
+        "compile" => {
+            let path = operand.ok_or_else(|| format!("compile needs a QASM file\n{USAGE}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            members.push(("type".to_string(), Json::from("compile")));
+            members.push(("qasm".to_string(), Json::from(text)));
+        }
+        "workload" => {
+            let spec = operand.ok_or_else(|| format!("workload needs a spec\n{USAGE}"))?;
+            members.push(("type".to_string(), Json::from("compile")));
+            members.push(("workload".to_string(), Json::from(spec.clone())));
+        }
+        "suite" => {
+            members.push(("type".to_string(), Json::from("compile_suite")));
+            if let Some(count) = opts.count {
+                members.push(("count".to_string(), Json::from(count)));
+            }
+            if let Some(max_qubits) = opts.max_qubits {
+                members.push(("max_qubits".to_string(), Json::from(max_qubits)));
+            }
+            if let Some(max_gates) = opts.max_gates {
+                members.push(("max_gates".to_string(), Json::from(max_gates)));
+            }
+            if let Some(seed) = opts.seed {
+                members.push(("seed".to_string(), Json::from(seed)));
+            }
+        }
+        "stats" | "ping" | "shutdown" => {
+            if operand.is_some() {
+                return Err(format!("{command} takes no argument\n{USAGE}"));
+            }
+            return Ok(Json::object([("type", command)]));
+        }
+        other => return Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+    match command {
+        "compile" | "workload" => {
+            push_common(&mut members, opts);
+            if let Some(deadline) = opts.deadline_ms {
+                members.push(("deadline_ms".to_string(), Json::from(deadline)));
+            }
+        }
+        _ => push_common(&mut members, opts),
+    }
+    Ok(Json::object(members))
+}
+
+fn roundtrip(addr: &str, request: &Json) -> io::Result<Json> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_json(&mut stream, request)?;
+    let payload = read_frame(&mut stream)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "daemon closed without replying",
+        )
+    })?;
+    let text = String::from_utf8(payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    qcs_json::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn field(report: &Json, key: &str) -> String {
+    match report.get(key) {
+        Some(Json::Number(n)) if n.fract() == 0.0 => format!("{}", *n as i64),
+        Some(Json::Number(n)) => format!("{n:.4}"),
+        Some(Json::String(s)) => s.clone(),
+        _ => "-".to_string(),
+    }
+}
+
+fn print_report_row(name: &str, report: &Json, widths: &[usize]) {
+    let cells = [
+        name.to_string(),
+        field(report, "routed_gates"),
+        field(report, "swaps_inserted"),
+        field(report, "gate_overhead_pct"),
+        field(report, "depth_after"),
+        field(report, "fidelity_after"),
+    ];
+    let row: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = *w))
+        .collect();
+    println!("{}", row.join("  "));
+}
+
+const TABLE_WIDTHS: [usize; 6] = [24, 8, 6, 10, 8, 10];
+const TABLE_TITLES: [&str; 6] = ["name", "gates", "swaps", "ovh %", "depth", "fidelity"];
+
+fn print_table_header() {
+    let row: Vec<String> = TABLE_TITLES
+        .iter()
+        .zip(&TABLE_WIDTHS)
+        .map(|(t, w)| format!("{t:>w$}", w = *w))
+        .collect();
+    let line = row.join("  ");
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+}
+
+/// Renders a response for humans. Returns false for `error` responses.
+fn present(response: &Json) -> bool {
+    match response.get("type").and_then(Json::as_str) {
+        Some("error") => {
+            eprintln!(
+                "error: {}",
+                response
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+            );
+            false
+        }
+        Some("result") => {
+            let report = response.get("report").cloned().unwrap_or(Json::Null);
+            let name = report
+                .get("circuit_name")
+                .and_then(Json::as_str)
+                .unwrap_or("circuit")
+                .to_string();
+            println!("digest  {}", field(response, "digest"));
+            print_table_header();
+            print_report_row(&name, &report, &TABLE_WIDTHS);
+            true
+        }
+        Some("suite_result") => {
+            let Some(Json::Array(results)) = response.get("results") else {
+                eprintln!("error: malformed suite_result");
+                return false;
+            };
+            print_table_header();
+            let mut failures = 0;
+            for item in results {
+                let name = item.get("name").and_then(Json::as_str).unwrap_or("?");
+                let result = item.get("result").cloned().unwrap_or(Json::Null);
+                match result.get("type").and_then(Json::as_str) {
+                    Some("result") => {
+                        let report = result.get("report").cloned().unwrap_or(Json::Null);
+                        print_report_row(name, &report, &TABLE_WIDTHS);
+                    }
+                    _ => {
+                        failures += 1;
+                        let message = result.get("message").and_then(Json::as_str).unwrap_or("?");
+                        println!("{name:>24}  FAILED: {message}");
+                    }
+                }
+            }
+            println!("{} circuits, {} failed", results.len(), failures);
+            true
+        }
+        _ => {
+            // pong / ok / stats and future kinds: pretty JSON is the
+            // most honest rendering.
+            println!("{}", response.to_string_pretty());
+            true
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_options(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let request = match build_request(&opts) {
+        Ok(request) => request,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let response = match roundtrip(&opts.addr, &request) {
+        Ok(response) => response,
+        Err(e) => {
+            eprintln!("qcs-client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.json {
+        println!("{}", response.to_string_pretty());
+        let failed = response.get("type").and_then(Json::as_str) == Some("error");
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    if present(&response) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,210 @@
+//! Content-addressed result cache with an LRU byte-size budget.
+//!
+//! The daemon keys each finished compilation by a stable digest of its
+//! inputs (circuit content + device + mapper config, see
+//! [`crate::compile::job_digest`]) and stores the *canonical response
+//! payload bytes*. A repeated submission is served straight from memory
+//! with byte-identical output — compilation is deterministic, so a cache
+//! hit is observationally indistinguishable from a recompile, just
+//! thousands of times faster.
+//!
+//! Eviction is least-recently-used under a byte budget: recency is a
+//! monotonic sequence number per entry, and a `BTreeMap` from sequence
+//! number to key makes "oldest entry" an `O(log n)` lookup without
+//! unsafe linked-list plumbing.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Counters describing cache effectiveness, reported by `stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CacheStats {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups that required a compile.
+    pub misses: u64,
+    /// Entries evicted to stay within budget.
+    pub evictions: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Bytes held by live entries.
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Hits over lookups, 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    seq: u64,
+    payload: Arc<Vec<u8>>,
+}
+
+/// An LRU map from result digest to canonical response bytes, bounded by
+/// total payload size.
+pub struct ResultCache {
+    budget_bytes: usize,
+    map: HashMap<u64, Entry>,
+    recency: BTreeMap<u64, u64>,
+    next_seq: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// An empty cache allowed to hold up to `budget_bytes` of payload.
+    pub fn new(budget_bytes: usize) -> Self {
+        ResultCache {
+            budget_bytes,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            next_seq: 0,
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a digest, bumping its recency; counts a hit or miss.
+    pub fn get(&mut self, digest: u64) -> Option<Arc<Vec<u8>>> {
+        let next_seq = &mut self.next_seq;
+        match self.map.get_mut(&digest) {
+            Some(entry) => {
+                self.hits += 1;
+                self.recency.remove(&entry.seq);
+                entry.seq = *next_seq;
+                self.recency.insert(entry.seq, digest);
+                *next_seq += 1;
+                Some(Arc::clone(&entry.payload))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a payload under a digest, evicting least-recently-used
+    /// entries until the budget holds. Payloads larger than the whole
+    /// budget are not cached at all.
+    pub fn insert(&mut self, digest: u64, payload: Vec<u8>) {
+        if payload.len() > self.budget_bytes {
+            return;
+        }
+        if let Some(old) = self.map.remove(&digest) {
+            self.recency.remove(&old.seq);
+            self.bytes -= old.payload.len();
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.bytes += payload.len();
+        self.map.insert(
+            digest,
+            Entry {
+                seq,
+                payload: Arc::new(payload),
+            },
+        );
+        self.recency.insert(seq, digest);
+        while self.bytes > self.budget_bytes {
+            let (&oldest_seq, &oldest_key) = self
+                .recency
+                .iter()
+                .next()
+                .expect("over budget implies entries");
+            self.recency.remove(&oldest_seq);
+            let evicted = self.map.remove(&oldest_key).expect("recency tracks map");
+            self.bytes -= evicted.payload.len();
+            self.evictions += 1;
+        }
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+            bytes: self.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Vec<u8> {
+        vec![0xAB; n]
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = ResultCache::new(1024);
+        assert!(c.get(1).is_none());
+        c.insert(1, b"result".to_vec());
+        assert_eq!(c.get(1).unwrap().as_slice(), b"result");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.bytes), (1, 1, 1, 6));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c = ResultCache::new(100);
+        c.insert(1, payload(40));
+        c.insert(2, payload(40));
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(c.get(1).is_some());
+        c.insert(3, payload(40)); // 120 bytes > 100: evict key 2.
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.stats().bytes <= 100);
+    }
+
+    #[test]
+    fn replacing_a_key_updates_bytes() {
+        let mut c = ResultCache::new(100);
+        c.insert(1, payload(60));
+        c.insert(1, payload(10));
+        let s = c.stats();
+        assert_eq!((s.entries, s.bytes, s.evictions), (1, 10, 0));
+    }
+
+    #[test]
+    fn oversized_payload_not_cached() {
+        let mut c = ResultCache::new(8);
+        c.insert(1, payload(9));
+        assert_eq!(c.stats().entries, 0);
+        assert!(c.get(1).is_none());
+    }
+
+    #[test]
+    fn many_inserts_stay_within_budget() {
+        let mut c = ResultCache::new(1000);
+        for k in 0..100u64 {
+            c.insert(k, payload(64));
+            assert!(c.stats().bytes <= 1000);
+        }
+        // 1000 / 64 = 15 entries fit.
+        assert_eq!(c.stats().entries, 15);
+        assert_eq!(c.stats().evictions, 85);
+        // The newest keys survive.
+        assert!(c.get(99).is_some());
+        assert!(c.get(0).is_none());
+    }
+}

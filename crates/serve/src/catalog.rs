@@ -1,0 +1,196 @@
+//! Name-to-object resolution for protocol requests.
+//!
+//! Clients name devices and workloads as compact text specs
+//! (`surface17`, `grid:4x5`, `ghz:8`, `random:10:200:0.4:42`); this
+//! module turns those specs into [`Device`]s and [`Circuit`]s. Every
+//! spec is deterministic: the same string always resolves to the same
+//! object, which is what makes specs valid cache-key material.
+
+use qcs_circuit::circuit::Circuit;
+use qcs_topology::device::Device;
+use qcs_topology::lattice::{full_device, grid_device, heavy_hex_device, line_device, ring_device};
+use qcs_topology::surface::{surface17, surface7, surface_extended};
+
+/// Error raised for an unknown or malformed spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn parse_num<T: std::str::FromStr>(spec: &str, part: &str, what: &str) -> Result<T, SpecError> {
+    part.parse()
+        .map_err(|_| SpecError(format!("bad {what} '{part}' in spec '{spec}'")))
+}
+
+fn split_args(spec: &str) -> (&str, Vec<&str>) {
+    let mut parts = spec.split(':');
+    let head = parts.next().unwrap_or_default();
+    (head, parts.collect())
+}
+
+fn parse_dims(spec: &str, arg: &str) -> Result<(usize, usize), SpecError> {
+    let (r, c) = arg
+        .split_once('x')
+        .ok_or_else(|| SpecError(format!("expected ROWSxCOLS in spec '{spec}'")))?;
+    Ok((
+        parse_num(spec, r, "row count")?,
+        parse_num(spec, c, "column count")?,
+    ))
+}
+
+/// Resolves a device spec.
+///
+/// Accepted: `surface7`, `surface17`, `surface97`, `line:N`, `ring:N`,
+/// `full:N`, `grid:RxC`, `heavy-hex:RxC`.
+///
+/// # Errors
+///
+/// [`SpecError`] with a client-presentable message.
+pub fn resolve_device(spec: &str) -> Result<Device, SpecError> {
+    let (head, args) = split_args(spec);
+    let arity_err = || SpecError(format!("wrong argument count in device spec '{spec}'"));
+    match (head, args.as_slice()) {
+        ("surface7", []) => Ok(surface7()),
+        ("surface17", []) => Ok(surface17()),
+        // Distance-7 extended surface lattice: 97 qubits, the Fig. 3
+        // stand-in for the paper's 100-qubit device.
+        ("surface97", []) => Ok(surface_extended(7)),
+        ("line", [n]) => Ok(line_device(parse_num(spec, n, "qubit count")?)),
+        ("ring", [n]) => Ok(ring_device(parse_num(spec, n, "qubit count")?)),
+        ("full", [n]) => Ok(full_device(parse_num(spec, n, "qubit count")?)),
+        ("grid", [dims]) => {
+            let (r, c) = parse_dims(spec, dims)?;
+            Ok(grid_device(r, c))
+        }
+        ("heavy-hex", [dims]) => {
+            let (r, c) = parse_dims(spec, dims)?;
+            Ok(heavy_hex_device(r, c))
+        }
+        (
+            "surface7" | "surface17" | "surface97" | "line" | "ring" | "full" | "grid"
+            | "heavy-hex",
+            _,
+        ) => Err(arity_err()),
+        _ => Err(SpecError(format!(
+            "unknown device '{spec}' (try surface7, surface17, surface97, \
+             line:N, ring:N, full:N, grid:RxC, heavy-hex:RxC)"
+        ))),
+    }
+}
+
+/// Resolves a workload spec into a circuit.
+///
+/// Accepted: `ghz:N`, `qft:N`, `wstate:N`, `grover:N` (marked element
+/// 0), `qaoa:N` (seeded ring MaxCut) and `random:QUBITS:GATES:FRAC:SEED`.
+///
+/// # Errors
+///
+/// [`SpecError`] on unknown names, malformed arguments, or generator
+/// failures (e.g. zero qubits).
+pub fn resolve_workload(spec: &str) -> Result<Circuit, SpecError> {
+    let (head, args) = split_args(spec);
+    let gen_err =
+        |e: &dyn std::fmt::Display| SpecError(format!("workload '{spec}' failed to generate: {e}"));
+    match (head, args.as_slice()) {
+        ("ghz", [n]) => qcs_workloads::ghz::ghz_chain(parse_num(spec, n, "qubit count")?)
+            .map_err(|e| gen_err(&e)),
+        ("qft", [n]) => {
+            qcs_workloads::qft::qft(parse_num(spec, n, "qubit count")?).map_err(|e| gen_err(&e))
+        }
+        ("wstate", [n]) => qcs_workloads::wstate::w_state(parse_num(spec, n, "qubit count")?)
+            .map_err(|e| gen_err(&e)),
+        ("grover", [n]) => {
+            let n: usize = parse_num(spec, n, "qubit count")?;
+            if n == 0 || n > 60 {
+                return Err(SpecError(format!(
+                    "grover width must be in 1..=60, got {n} in '{spec}'"
+                )));
+            }
+            qcs_workloads::grover::grover(n, 0).map_err(|e| gen_err(&e))
+        }
+        ("random", [q, g, frac, seed]) => {
+            let spec_q: usize = parse_num(spec, q, "qubit count")?;
+            let frac: f64 = parse_num(spec, frac, "two-qubit fraction")?;
+            if spec_q == 0 || !(0.0..=1.0).contains(&frac) {
+                return Err(SpecError(format!(
+                    "random spec needs qubits ≥ 1 and fraction in [0, 1]: '{spec}'"
+                )));
+            }
+            let random = qcs_workloads::random::RandomSpec {
+                qubits: spec_q,
+                gates: parse_num(spec, g, "gate count")?,
+                two_qubit_fraction: if spec_q < 2 { 0.0 } else { frac },
+                seed: parse_num(spec, seed, "seed")?,
+            };
+            qcs_workloads::random::random_circuit(&random).map_err(|e| gen_err(&e))
+        }
+        _ => Err(SpecError(format!(
+            "unknown workload '{spec}' (try ghz:N, qft:N, wstate:N, grover:N, \
+             random:QUBITS:GATES:FRAC:SEED)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_specs_resolve() {
+        assert_eq!(resolve_device("surface7").unwrap().qubit_count(), 7);
+        assert_eq!(resolve_device("surface17").unwrap().qubit_count(), 17);
+        assert_eq!(resolve_device("surface97").unwrap().qubit_count(), 97);
+        assert_eq!(resolve_device("line:5").unwrap().qubit_count(), 5);
+        assert_eq!(resolve_device("ring:6").unwrap().qubit_count(), 6);
+        assert_eq!(resolve_device("full:4").unwrap().qubit_count(), 4);
+        assert_eq!(resolve_device("grid:3x4").unwrap().qubit_count(), 12);
+        assert!(resolve_device("heavy-hex:2x2").unwrap().qubit_count() > 4);
+    }
+
+    #[test]
+    fn device_spec_errors_are_descriptive() {
+        for bad in ["warp-core", "grid:3", "grid:3y4", "line:x", "surface17:9"] {
+            let e = resolve_device(bad).unwrap_err();
+            assert!(
+                e.0.contains(bad.split(':').next().unwrap()) || e.0.contains(bad),
+                "{e}"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_specs_resolve_deterministically() {
+        for spec in [
+            "ghz:6",
+            "qft:5",
+            "wstate:4",
+            "grover:3",
+            "random:8:120:0.35:9",
+        ] {
+            let a = resolve_workload(spec).unwrap();
+            let b = resolve_workload(spec).unwrap();
+            assert_eq!(a.gates(), b.gates(), "{spec}");
+            assert!(a.gate_count() > 0, "{spec}");
+        }
+    }
+
+    #[test]
+    fn workload_spec_errors() {
+        for bad in [
+            "ghz",
+            "ghz:x",
+            "teleport:3",
+            "random:8:120:1.5:9",
+            "random:0:10:0.5:1",
+            "grover:0",
+        ] {
+            assert!(resolve_workload(bad).is_err(), "{bad}");
+        }
+    }
+}

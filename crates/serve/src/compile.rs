@@ -1,0 +1,240 @@
+//! Job execution: from request to canonical, cacheable response bytes.
+//!
+//! A *job* is (circuit, device, mapper config). Its digest — the cache
+//! key — folds together the circuit's content digest, the device name
+//! and width, and the strategy names, all via the stable FNV-1a hasher
+//! from `qcs_circuit::hash`.
+//!
+//! The *canonical result* is deliberately a pure function of the job:
+//! the full `MapReport` with wall-clock timing normalized to zero, plus
+//! the routed native circuit as QASM. That purity is what the service's
+//! headline guarantee rests on: a cache hit, a recompile on another
+//! worker thread, and an in-process `Mapper::map` all produce
+//! byte-identical payloads. The *measured* timing is returned alongside
+//! (never inside) the canonical bytes, and feeds the per-stage latency
+//! histograms.
+
+use qcs_circuit::circuit::Circuit;
+use qcs_circuit::hash::{circuit_digest, Fnv64};
+use qcs_circuit::qasm;
+use qcs_core::config::MapperConfig;
+use qcs_core::mapper::StageTiming;
+use qcs_json::{Json, ToJson};
+use qcs_topology::device::Device;
+
+use crate::catalog;
+use crate::protocol::{CompileRequest, Source};
+
+/// Why a job could not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobError(pub String);
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A fully-resolved compilation job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The circuit to map.
+    pub circuit: Circuit,
+    /// The target device.
+    pub device: Device,
+    /// The pipeline description.
+    pub config: MapperConfig,
+}
+
+impl Job {
+    /// Resolves a protocol request into a job (parses QASM / generates
+    /// the workload, resolves the device, keeps the config).
+    ///
+    /// # Errors
+    ///
+    /// [`JobError`] with a client-presentable message.
+    pub fn resolve(request: &CompileRequest) -> Result<Job, JobError> {
+        let circuit = match &request.source {
+            Source::Qasm(text) => {
+                let mut c =
+                    qasm::parse(text).map_err(|e| JobError(format!("qasm rejected: {e}")))?;
+                if c.name().is_empty() {
+                    c.set_name("qasm");
+                }
+                Ok(c)
+            }
+            Source::Workload(spec) => {
+                catalog::resolve_workload(spec).map_err(|e| JobError(e.to_string()))
+            }
+        }?;
+        let device =
+            catalog::resolve_device(&request.device).map_err(|e| JobError(e.to_string()))?;
+        Ok(Job {
+            circuit,
+            device,
+            config: request.config.clone(),
+        })
+    }
+
+    /// The job's content digest — the cache key.
+    pub fn digest(&self) -> u64 {
+        job_digest(&self.circuit, &self.device, &self.config)
+    }
+}
+
+/// Stable digest of everything that determines a compilation result.
+pub fn job_digest(circuit: &Circuit, device: &Device, config: &MapperConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(circuit_digest(circuit));
+    h.write_str(device.name());
+    h.write_usize(device.qubit_count());
+    h.write_str(&config.placer);
+    h.write_str(&config.router);
+    h.finish()
+}
+
+/// A finished compilation: canonical payload plus measurement.
+#[derive(Debug, Clone)]
+pub struct CompileOutput {
+    /// The job digest (also embedded in the payload).
+    pub digest: u64,
+    /// Canonical `result` response, compact-serialized — the bytes that
+    /// get cached and sent.
+    pub payload: Vec<u8>,
+    /// Measured per-stage wall-clock timing of this compile.
+    pub timing: StageTiming,
+}
+
+/// Runs the mapping pipeline and builds the canonical `result` payload.
+///
+/// # Errors
+///
+/// [`JobError`] when the pipeline rejects the job (unknown strategy,
+/// circuit wider than the device, routing failure…).
+pub fn run_job(job: &Job) -> Result<CompileOutput, JobError> {
+    let digest = job.digest();
+    let mapper = job
+        .config
+        .build()
+        .map_err(|e| JobError(format!("bad mapper config: {e}")))?;
+    let outcome = mapper
+        .map(&job.circuit, &job.device)
+        .map_err(|e| JobError(format!("mapping failed: {e}")))?;
+    let timing = outcome.report.timing;
+
+    let mut report = outcome.report;
+    report.timing = StageTiming::ZERO; // measurement out of canonical content
+    let value = Json::object([
+        ("type", Json::from("result")),
+        ("digest", Json::from(format!("{digest:016x}"))),
+        ("report", report.to_json()),
+        ("qasm", Json::from(qasm::print(&outcome.native))),
+    ]);
+    Ok(CompileOutput {
+        digest,
+        payload: value.to_compact_string().into_bytes(),
+        timing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(workload: &str) -> CompileRequest {
+        CompileRequest {
+            source: Source::Workload(workload.to_string()),
+            device: "surface17".to_string(),
+            config: MapperConfig::new("trivial", "lookahead"),
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn identical_jobs_have_identical_digests_and_payloads() {
+        let a = Job::resolve(&request("ghz:6")).unwrap();
+        let b = Job::resolve(&request("ghz:6")).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        let ra = run_job(&a).unwrap();
+        let rb = run_job(&b).unwrap();
+        assert_eq!(
+            ra.payload, rb.payload,
+            "canonical payloads must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn digest_separates_every_input_dimension() {
+        let base = Job::resolve(&request("ghz:6")).unwrap();
+        let other_circuit = Job::resolve(&request("ghz:7")).unwrap();
+        assert_ne!(base.digest(), other_circuit.digest());
+
+        let mut req = request("ghz:6");
+        req.device = "grid:5x4".to_string();
+        assert_ne!(base.digest(), Job::resolve(&req).unwrap().digest());
+
+        let mut req = request("ghz:6");
+        req.config = MapperConfig::new("trivial", "trivial");
+        assert_ne!(base.digest(), Job::resolve(&req).unwrap().digest());
+    }
+
+    #[test]
+    fn payload_matches_in_process_mapper() {
+        let job = Job::resolve(&request("qft:5")).unwrap();
+        let out = run_job(&job).unwrap();
+        let text = String::from_utf8(out.payload).unwrap();
+        let value = qcs_json::parse(&text).unwrap();
+        assert_eq!(value.get("type").and_then(Json::as_str), Some("result"));
+
+        // The embedded report equals a direct Mapper::map (timing zeroed).
+        let mapper = job.config.build().unwrap();
+        let outcome = mapper.map(&job.circuit, &job.device).unwrap();
+        let mut report = outcome.report;
+        report.timing = StageTiming::ZERO;
+        assert_eq!(
+            value.get("report").unwrap().to_compact_string(),
+            report.to_json().to_compact_string()
+        );
+        // And the measured timing is real.
+        assert!(out.timing.total_micros() > 0.0);
+    }
+
+    #[test]
+    fn qasm_source_jobs_resolve() {
+        let req = CompileRequest {
+            source: Source::Qasm("qreg q[3]; h q[0]; cx q[0],q[1]; cx q[1],q[2];".to_string()),
+            device: "line:3".to_string(),
+            config: MapperConfig::new("trivial", "trivial"),
+            deadline_ms: None,
+        };
+        let job = Job::resolve(&req).unwrap();
+        assert_eq!(job.circuit.gate_count(), 3);
+        assert!(run_job(&job).is_ok());
+    }
+
+    #[test]
+    fn resolve_errors_are_presentable() {
+        let mut req = request("ghz:6");
+        req.device = "warp-core".to_string();
+        let e = Job::resolve(&req).unwrap_err();
+        assert!(e.0.contains("warp-core"));
+
+        let req = CompileRequest {
+            source: Source::Qasm("frobnicate q[0];".to_string()),
+            device: "surface17".to_string(),
+            config: MapperConfig::default(),
+            deadline_ms: None,
+        };
+        assert!(Job::resolve(&req).unwrap_err().0.contains("qasm rejected"));
+    }
+
+    #[test]
+    fn too_wide_job_errors_gracefully() {
+        let mut req = request("ghz:30");
+        req.device = "line:5".to_string();
+        let job = Job::resolve(&req).unwrap();
+        assert!(run_job(&job).unwrap_err().0.contains("mapping failed"));
+    }
+}

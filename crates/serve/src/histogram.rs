@@ -1,0 +1,137 @@
+//! Fixed-bucket latency histograms for the `stats` endpoint.
+//!
+//! Latencies land in power-of-two microsecond buckets (bucket *i* covers
+//! `[2^i, 2^(i+1))` µs), so recording is two instructions and constant
+//! memory regardless of traffic, and quantile estimates are exact to
+//! within one octave — plenty for distinguishing "cache hit in
+//! microseconds" from "cold compile in milliseconds".
+//!
+//! Quantiles report the *upper bound* of the bucket containing the
+//! requested rank: a conservative (never under-reported) estimate.
+
+use qcs_json::Json;
+
+/// Number of power-of-two buckets: covers up to 2^32 µs ≈ 71 minutes,
+/// far beyond any compile this daemon will serve.
+const BUCKETS: usize = 32;
+
+/// A fixed-bucket histogram of microsecond latencies.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum_micros: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum_micros: 0,
+        }
+    }
+}
+
+fn bucket_of(micros: u64) -> usize {
+    (micros.max(1).ilog2() as usize).min(BUCKETS - 1)
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record(&mut self, micros: u64) {
+        self.counts[bucket_of(micros)] += 1;
+        self.total += 1;
+        self.sum_micros = self.sum_micros.saturating_add(micros);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.total as f64
+        }
+    }
+
+    /// Upper bound (µs) of the bucket holding the `q`-quantile
+    /// observation, for `q` in `[0, 1]`; 0 when empty.
+    pub fn quantile_upper_micros(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << 63
+    }
+
+    /// The `stats`-endpoint JSON summary: count, mean, p50, p99.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("count", Json::from(self.total)),
+            ("mean_micros", Json::from(self.mean_micros())),
+            ("p50_micros", Json::from(self.quantile_upper_micros(0.50))),
+            ("p99_micros", Json::from(self.quantile_upper_micros(0.99))),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_micros(), 0.0);
+        assert_eq!(h.quantile_upper_micros(0.5), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(10); // bucket [8, 16)
+        }
+        h.record(5000); // bucket [4096, 8192)
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_upper_micros(0.50), 16);
+        // The single slow sample is exactly the 100th rank: p99 stays in
+        // the fast bucket, p100 reaches the slow one.
+        assert_eq!(h.quantile_upper_micros(0.99), 16);
+        assert_eq!(h.quantile_upper_micros(1.0), 8192);
+        assert!((h.mean_micros() - (99.0 * 10.0 + 5000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_summary_has_expected_members() {
+        let mut h = LatencyHistogram::default();
+        h.record(100);
+        let j = h.to_json();
+        assert_eq!(j.get("count").and_then(Json::as_usize), Some(1));
+        assert!(j.get("p50_micros").and_then(Json::as_usize).unwrap() >= 100);
+        assert!(j.get("p99_micros").is_some() && j.get("mean_micros").is_some());
+    }
+}

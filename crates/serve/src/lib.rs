@@ -1,0 +1,38 @@
+//! `qcs-serve` — a concurrent compilation service for the mapping stack.
+//!
+//! The paper frames compilation as a *full-stack* concern: algorithms
+//! arrive at one end, pulse-level hardware sits at the other, and the
+//! mapping passes in between are expensive enough to be worth sharing.
+//! This crate wraps the whole `qcs-core` pipeline in a long-lived daemon
+//! so that many clients (experiment drivers, CI, notebooks) can submit
+//! circuits over TCP and share one warm, content-addressed result cache.
+//!
+//! The stack, bottom to top:
+//!
+//! * [`protocol`] — length-prefixed JSON frames and the request grammar.
+//! * [`catalog`] — text specs (`surface17`, `ghz:8`, …) to devices and
+//!   workload circuits.
+//! * [`compile`] — request → [`compile::Job`] → canonical, byte-stable
+//!   result payload, plus the [`compile::job_digest`] cache key.
+//! * [`cache`] — the LRU byte-budget store for those payloads.
+//! * [`histogram`] — constant-memory latency histograms for `stats`.
+//! * [`server`] — the daemon: accept thread, worker pool, dispatch.
+//!
+//! See DESIGN.md ("Compilation service") for the protocol reference and
+//! the determinism argument, and `tests/e2e.rs` for the headline
+//! guarantee exercised end to end: daemon responses are byte-identical
+//! to in-process [`qcs_core::mapper::Mapper`] output, cached or not.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod catalog;
+pub mod compile;
+pub mod histogram;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, ResultCache};
+pub use compile::{job_digest, run_job, CompileOutput, Job};
+pub use protocol::{read_frame, write_frame, CompileRequest, Request, Source};
+pub use server::{Server, ServerConfig, ServerHandle};

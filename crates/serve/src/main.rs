@@ -1,0 +1,91 @@
+//! `qcs-serve` — the compilation daemon binary.
+//!
+//! ```text
+//! qcs-serve [--addr HOST:PORT] [--workers N] [--max-conns N]
+//!           [--cache-mb N] [--frame-deadline-ms N] [--port-file PATH]
+//! ```
+//!
+//! Binds (port 0 = ephemeral), prints the bound address on stdout, and
+//! serves until a protocol `shutdown` request arrives. `--port-file`
+//! writes the bound port to a file once listening — scripts (e.g. the CI
+//! smoke test) poll that file instead of parsing stdout.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use qcs_serve::server::{Server, ServerConfig};
+
+fn usage() -> String {
+    "usage: qcs-serve [--addr HOST:PORT] [--workers N] [--max-conns N] \
+     [--cache-mb N] [--frame-deadline-ms N] [--port-file PATH]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<String>), String> {
+    let mut config = ServerConfig::default();
+    let mut port_file = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(usage());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))?;
+        let bad = |what: &str| format!("bad {what} '{value}' for {flag}");
+        match flag.as_str() {
+            "--addr" => config.addr = value.clone(),
+            "--workers" => {
+                config.workers = value.parse().map_err(|_| bad("worker count"))?;
+                if config.workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--max-conns" => {
+                config.max_connections = value.parse().map_err(|_| bad("connection limit"))?;
+            }
+            "--cache-mb" => {
+                let mb: usize = value.parse().map_err(|_| bad("cache size"))?;
+                config.cache_bytes = mb << 20;
+            }
+            "--frame-deadline-ms" => {
+                let ms: u64 = value.parse().map_err(|_| bad("deadline"))?;
+                config.frame_deadline = Duration::from_millis(ms);
+            }
+            "--port-file" => port_file = Some(value.clone()),
+            _ => return Err(format!("unknown flag '{flag}'\n{}", usage())),
+        }
+    }
+    Ok((config, port_file))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (config, port_file) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let handle = match Server::start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("qcs-serve: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = handle.local_addr();
+    println!("qcs-serve listening on {addr}");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, addr.port().to_string()) {
+            eprintln!("qcs-serve: cannot write port file {path}: {e}");
+            handle.shutdown();
+            return ExitCode::FAILURE;
+        }
+    }
+    handle.wait();
+    println!("qcs-serve: shut down cleanly");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,375 @@
+//! The wire protocol: length-prefixed JSON frames and request parsing.
+//!
+//! Every message — in both directions — is one *frame*: a 4-byte
+//! big-endian payload length followed by that many bytes of UTF-8 JSON.
+//! Length-prefixing keeps the stream self-delimiting without requiring
+//! an incremental JSON parser, and makes oversized or garbage input
+//! detectable before any parsing happens.
+//!
+//! Requests are JSON objects dispatched on a `"type"` member:
+//!
+//! | type            | payload                                                        |
+//! |-----------------|----------------------------------------------------------------|
+//! | `compile`       | `qasm` *or* `workload`, optional `device`/`placer`/`router`/`deadline_ms` |
+//! | `compile_suite` | optional `count`/`max_qubits`/`max_gates`/`seed` + compile options |
+//! | `stats`         | —                                                              |
+//! | `ping`          | —                                                              |
+//! | `shutdown`      | —                                                              |
+//!
+//! Responses are `result`, `suite_result`, `stats`, `pong`, `ok` or
+//! `error` objects; see DESIGN.md for the full frame catalogue.
+
+use std::io::{self, Read, Write};
+
+use qcs_core::config::MapperConfig;
+use qcs_json::Json;
+
+/// Hard ceiling on a frame payload (16 MiB): large enough for any
+/// realistic QASM file or suite response, small enough to bound what a
+/// misbehaving peer can make the daemon buffer.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME_BYTES`] with
+/// [`io::ErrorKind::InvalidInput`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds protocol maximum", payload.len()),
+        ));
+    }
+    let len = u32::try_from(payload.len()).expect("checked against MAX_FRAME_BYTES");
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF before any
+/// byte of a frame.
+///
+/// This is the simple blocking reader used by clients; the daemon uses
+/// its own cancellable loop so it can observe shutdown and enforce read
+/// deadlines mid-frame.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on an oversized length prefix,
+/// [`io::ErrorKind::UnexpectedEof`] on a truncated frame, otherwise the
+/// underlying I/O error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds protocol maximum"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Serializes a JSON value and writes it as one frame.
+///
+/// # Errors
+///
+/// See [`write_frame`].
+pub fn write_json(w: &mut impl Write, value: &Json) -> io::Result<()> {
+    write_frame(w, value.to_compact_string().as_bytes())
+}
+
+/// The source of the circuit a compile request wants mapped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// Inline OpenQASM 2.0 text.
+    Qasm(String),
+    /// A named workload spec, e.g. `ghz:8` (see the catalog module).
+    Workload(String),
+}
+
+/// One compilation job description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileRequest {
+    /// Where the circuit comes from.
+    pub source: Source,
+    /// Device spec (catalog name), e.g. `surface17` or `grid:4x5`.
+    pub device: String,
+    /// Mapper pipeline to run.
+    pub config: MapperConfig,
+    /// Optional per-request latency budget in milliseconds; when the
+    /// daemon cannot meet it, the job gets an `error` response.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A generated-suite compilation job (batch dispatched across the worker
+/// pool).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteRequest {
+    /// Number of benchmark circuits to generate.
+    pub count: usize,
+    /// Maximum circuit width.
+    pub max_qubits: usize,
+    /// Maximum gate count.
+    pub max_gates: usize,
+    /// Suite generation seed.
+    pub seed: u64,
+    /// Device spec.
+    pub device: String,
+    /// Mapper pipeline to run.
+    pub config: MapperConfig,
+}
+
+/// Every message a client can send.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Compile one circuit.
+    Compile(CompileRequest),
+    /// Generate and compile a whole benchmark suite.
+    CompileSuite(SuiteRequest),
+    /// Observability snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the daemon to stop accepting work and exit.
+    Shutdown,
+}
+
+/// Error describing why a request frame was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError(pub String);
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad request: {}", self.0)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+fn opt_str(value: &Json, key: &str, default: &str) -> Result<String, RequestError> {
+    match value.get(key) {
+        None => Ok(default.to_string()),
+        Some(v) => v
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| RequestError(format!("'{key}' must be a string"))),
+    }
+}
+
+fn opt_usize(value: &Json, key: &str, default: usize) -> Result<usize, RequestError> {
+    match value.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| RequestError(format!("'{key}' must be a non-negative integer"))),
+    }
+}
+
+fn mapper_config(value: &Json) -> Result<MapperConfig, RequestError> {
+    let default = MapperConfig::default();
+    Ok(MapperConfig::new(
+        opt_str(value, "placer", &default.placer)?,
+        opt_str(value, "router", &default.router)?,
+    ))
+}
+
+impl Request {
+    /// Parses a request frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`RequestError`] with a client-presentable message on malformed
+    /// JSON, an unknown `type`, or wrongly-typed members.
+    pub fn parse(payload: &[u8]) -> Result<Request, RequestError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| RequestError("frame is not valid UTF-8".to_string()))?;
+        let value =
+            qcs_json::parse(text).map_err(|e| RequestError(format!("invalid JSON ({e})")))?;
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| RequestError("missing 'type' member".to_string()))?;
+        match kind {
+            "compile" => {
+                let source = match (value.get("qasm"), value.get("workload")) {
+                    (Some(q), None) => Source::Qasm(
+                        q.as_str()
+                            .ok_or_else(|| RequestError("'qasm' must be a string".to_string()))?
+                            .to_string(),
+                    ),
+                    (None, Some(w)) => Source::Workload(
+                        w.as_str()
+                            .ok_or_else(|| RequestError("'workload' must be a string".to_string()))?
+                            .to_string(),
+                    ),
+                    (Some(_), Some(_)) => {
+                        return Err(RequestError(
+                            "give either 'qasm' or 'workload', not both".to_string(),
+                        ))
+                    }
+                    (None, None) => {
+                        return Err(RequestError(
+                            "compile request needs 'qasm' or 'workload'".to_string(),
+                        ))
+                    }
+                };
+                let deadline_ms = match value.get("deadline_ms") {
+                    None => None,
+                    Some(v) => Some(v.as_usize().map(|n| n as u64).ok_or_else(|| {
+                        RequestError("'deadline_ms' must be a non-negative integer".to_string())
+                    })?),
+                };
+                Ok(Request::Compile(CompileRequest {
+                    source,
+                    device: opt_str(&value, "device", "surface17")?,
+                    config: mapper_config(&value)?,
+                    deadline_ms,
+                }))
+            }
+            "compile_suite" => Ok(Request::CompileSuite(SuiteRequest {
+                count: opt_usize(&value, "count", 20)?,
+                max_qubits: opt_usize(&value, "max_qubits", 12)?,
+                max_gates: opt_usize(&value, "max_gates", 400)?,
+                seed: opt_usize(&value, "seed", 7)? as u64,
+                device: opt_str(&value, "device", "surface17")?,
+                config: mapper_config(&value)?,
+            })),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(RequestError(format!("unknown request type '{other}'"))),
+        }
+    }
+}
+
+/// Builds the standard `error` response.
+pub fn error_response(message: impl Into<String>) -> Json {
+    Json::object([
+        ("type", Json::from("error")),
+        ("message", Json::from(message.into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn parses_compile_request_with_defaults() {
+        let req = Request::parse(br#"{"type":"compile","workload":"ghz:4"}"#).unwrap();
+        let Request::Compile(c) = req else {
+            panic!("expected compile")
+        };
+        assert_eq!(c.source, Source::Workload("ghz:4".to_string()));
+        assert_eq!(c.device, "surface17");
+        assert_eq!(c.config, MapperConfig::default());
+        assert_eq!(c.deadline_ms, None);
+    }
+
+    #[test]
+    fn parses_full_compile_request() {
+        let req = Request::parse(
+            br#"{"type":"compile","qasm":"qreg q[1];","device":"line:5",
+                 "placer":"trivial","router":"trivial","deadline_ms":250}"#,
+        )
+        .unwrap();
+        let Request::Compile(c) = req else {
+            panic!("expected compile")
+        };
+        assert_eq!(c.source, Source::Qasm("qreg q[1];".to_string()));
+        assert_eq!(c.device, "line:5");
+        assert_eq!(c.config, MapperConfig::new("trivial", "trivial"));
+        assert_eq!(c.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn parses_control_requests() {
+        assert_eq!(
+            Request::parse(br#"{"type":"stats"}"#).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            Request::parse(br#"{"type":"ping"}"#).unwrap(),
+            Request::Ping
+        );
+        assert_eq!(
+            Request::parse(br#"{"type":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            &b"not json"[..],
+            br#"{"no":"type"}"#,
+            br#"{"type":"warp"}"#,
+            br#"{"type":"compile"}"#,
+            br#"{"type":"compile","qasm":"x","workload":"y"}"#,
+            br#"{"type":"compile","qasm":7}"#,
+            br#"{"type":"compile","workload":"ghz:4","deadline_ms":-1}"#,
+        ] {
+            assert!(
+                Request::parse(bad).is_err(),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn suite_request_defaults() {
+        let Request::CompileSuite(s) = Request::parse(br#"{"type":"compile_suite"}"#).unwrap()
+        else {
+            panic!("expected suite")
+        };
+        assert_eq!(s.count, 20);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.config, MapperConfig::default());
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let e = error_response("boom");
+        assert_eq!(e.get("type").and_then(Json::as_str), Some("error"));
+        assert_eq!(e.get("message").and_then(Json::as_str), Some("boom"));
+    }
+}

@@ -1,0 +1,567 @@
+//! The daemon: TCP listener, connection worker pool, dispatch, stats.
+//!
+//! Architecture (one paragraph): an *accept thread* owns the listener
+//! and pushes accepted sockets into a bounded queue; a fixed pool of
+//! *connection workers* claims sockets from that queue and serves each
+//! connection's frames until the peer closes, a deadline fires, or
+//! shutdown is requested. Batch (`compile_suite`) jobs fan out across
+//! `qcs_bench::parallel::run_claimed`, the same claim-by-atomic engine
+//! the offline suite harness uses, so one heavy request still exploits
+//! every core while results stay in deterministic input order.
+//!
+//! Robustness properties, each covered by a test:
+//!
+//! * **Read deadline** — a frame that stalls mid-transfer earns an
+//!   `error` response and a closed connection rather than a stuck worker.
+//! * **Request deadline** — `deadline_ms` turns an over-budget job into
+//!   an `error` response (the compile result, if any, is still cached).
+//! * **Connection limit** — sockets beyond `max_connections` receive an
+//!   immediate `error` frame instead of unbounded queueing.
+//! * **Clean shutdown** — a `shutdown` request (or
+//!   [`ServerHandle::shutdown`]) stops the accept loop, drains workers
+//!   and joins every thread; no thread outlives the handle.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use qcs_json::Json;
+use qcs_workloads::suite::{generate_suite, SuiteConfig};
+
+use crate::cache::ResultCache;
+use crate::compile::{run_job, Job};
+use crate::histogram::LatencyHistogram;
+use crate::protocol::{
+    error_response, write_frame, write_json, CompileRequest, Request, SuiteRequest, MAX_FRAME_BYTES,
+};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Connection worker count.
+    pub workers: usize,
+    /// Maximum simultaneously admitted connections (queued + active).
+    pub max_connections: usize,
+    /// Result-cache byte budget.
+    pub cache_bytes: usize,
+    /// Mid-frame read deadline: a started frame must finish arriving
+    /// within this budget.
+    pub frame_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: qcs_bench::default_workers().clamp(2, 16),
+            max_connections: 64,
+            cache_bytes: 64 << 20,
+            frame_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// How often blocked reads and idle workers re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+struct ServeStats {
+    total: LatencyHistogram,
+    decompose: LatencyHistogram,
+    place: LatencyHistogram,
+    route: LatencyHistogram,
+    schedule: LatencyHistogram,
+}
+
+impl ServeStats {
+    fn new() -> Self {
+        ServeStats {
+            total: LatencyHistogram::default(),
+            decompose: LatencyHistogram::default(),
+            place: LatencyHistogram::default(),
+            route: LatencyHistogram::default(),
+            schedule: LatencyHistogram::default(),
+        }
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    local_addr: SocketAddr,
+    shutdown: AtomicBool,
+    queue: Mutex<Vec<TcpStream>>,
+    queue_signal: Condvar,
+    active: AtomicUsize,
+    jobs_served: AtomicU64,
+    cache: Mutex<ResultCache>,
+    stats: Mutex<ServeStats>,
+}
+
+impl Shared {
+    fn initiate_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already shutting down
+        }
+        self.queue_signal.notify_all();
+        // The accept thread may be parked in accept(): poke it awake.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// The running daemon: address + thread handles.
+///
+/// Dropping the handle without calling [`shutdown`](ServerHandle::shutdown)
+/// or [`wait`](ServerHandle::wait) detaches the threads (the daemon keeps
+/// running until a protocol `shutdown` arrives).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The daemon's bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Requests shutdown and joins every daemon thread.
+    pub fn shutdown(mut self) {
+        self.shared.initiate_shutdown();
+        self.join_all();
+    }
+
+    /// Blocks until the daemon shuts down (via a protocol `shutdown`
+    /// request) and joins every daemon thread.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            t.join().expect("accept thread must not panic");
+        }
+        for t in self.worker_threads.drain(..) {
+            t.join().expect("worker thread must not panic");
+        }
+    }
+}
+
+/// Namespace for [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Binds the listener, spawns the accept thread and worker pool, and
+    /// returns a handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind failure, unparsable address).
+    pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+        assert!(config.workers > 0, "worker count must be at least 1");
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let cache_bytes = config.cache_bytes;
+        let shared = Arc::new(Shared {
+            config,
+            local_addr,
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(Vec::new()),
+            queue_signal: Condvar::new(),
+            active: AtomicUsize::new(0),
+            jobs_served: AtomicU64::new(0),
+            cache: Mutex::new(ResultCache::new(cache_bytes)),
+            stats: Mutex::new(ServeStats::new()),
+        });
+
+        let worker_threads = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qcs-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("qcs-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawning the accept thread");
+
+        Ok(ServerHandle {
+            shared,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+        })
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break; // the stream (often the shutdown self-poke) is dropped
+        }
+        let Ok(stream) = stream else { continue };
+        let mut queue = shared.queue.lock().expect("queue lock never poisoned");
+        let admitted = queue.len() + shared.active.load(Ordering::SeqCst);
+        if admitted >= shared.config.max_connections {
+            drop(queue);
+            reject_connection(stream);
+            continue;
+        }
+        queue.push(stream);
+        drop(queue);
+        shared.queue_signal.notify_one();
+    }
+    // Accept loop is done: wake every worker so they can observe the
+    // flag and drain.
+    shared.queue_signal.notify_all();
+}
+
+/// Tells an over-limit client why it is being turned away.
+fn reject_connection(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = write_json(
+        &mut stream,
+        &error_response("server at connection capacity, retry later"),
+    );
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue lock never poisoned");
+            loop {
+                if let Some(stream) = queue.pop() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (q, _) = shared
+                    .queue_signal
+                    .wait_timeout(queue, POLL_INTERVAL)
+                    .expect("queue lock never poisoned");
+                queue = q;
+            }
+        };
+        let Some(stream) = stream else { return };
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        handle_connection(stream, shared);
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Outcome of one cancellable frame read.
+enum FrameRead {
+    Frame(Vec<u8>),
+    /// Peer closed between frames.
+    Closed,
+    /// Shutdown was requested while waiting.
+    Shutdown,
+    /// The frame stalled past the deadline or the stream broke; the
+    /// contained message (if any) should be sent before closing.
+    Abort(Option<String>),
+}
+
+/// Reads exactly `buf.len()` bytes, polling so shutdown stays
+/// observable. `started_at` is the moment the current frame's first byte
+/// arrived (None while idle: idle connections wait indefinitely).
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    started_at: &mut Option<Instant>,
+    deadline: Duration,
+    shutdown: &AtomicBool,
+) -> Result<usize, FrameRead> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(filled),
+            Ok(n) => {
+                filled += n;
+                started_at.get_or_insert_with(Instant::now);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Err(FrameRead::Shutdown);
+                }
+                if let Some(start) = *started_at {
+                    if start.elapsed() > deadline {
+                        return Err(FrameRead::Abort(Some(format!(
+                            "read deadline exceeded: frame incomplete after {} ms",
+                            deadline.as_millis()
+                        ))));
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(FrameRead::Abort(None)),
+        }
+    }
+    Ok(filled)
+}
+
+fn read_request_frame(stream: &mut TcpStream, shared: &Shared) -> FrameRead {
+    let deadline = shared.config.frame_deadline;
+    let mut started_at: Option<Instant> = None;
+
+    let mut len_buf = [0u8; 4];
+    match read_full(
+        stream,
+        &mut len_buf,
+        &mut started_at,
+        deadline,
+        &shared.shutdown,
+    ) {
+        Ok(4) => {}
+        Ok(0) => return FrameRead::Closed,
+        Ok(_) => return FrameRead::Abort(None), // truncated mid-prefix
+        Err(outcome) => return outcome,
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return FrameRead::Abort(Some(format!(
+            "frame length {len} exceeds protocol maximum of {MAX_FRAME_BYTES} bytes"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    match read_full(
+        stream,
+        &mut payload,
+        &mut started_at,
+        deadline,
+        &shared.shutdown,
+    ) {
+        Ok(n) if n == len => FrameRead::Frame(payload),
+        Ok(_) => FrameRead::Abort(None),
+        Err(outcome) => outcome,
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+
+    loop {
+        let payload = match read_request_frame(&mut stream, shared) {
+            FrameRead::Frame(payload) => payload,
+            FrameRead::Closed | FrameRead::Shutdown => return,
+            FrameRead::Abort(message) => {
+                if let Some(message) = message {
+                    let _ = write_json(&mut stream, &error_response(message));
+                }
+                return;
+            }
+        };
+
+        let request = match Request::parse(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                // Malformed request: answer and keep the connection — the
+                // framing is intact, so the stream is still in sync.
+                if write_json(&mut stream, &error_response(e.to_string())).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+
+        let keep_going = match request {
+            Request::Ping => write_json(&mut stream, &Json::object([("type", "pong")])).is_ok(),
+            Request::Stats => write_json(&mut stream, &stats_json(shared)).is_ok(),
+            Request::Shutdown => {
+                let _ = write_json(&mut stream, &Json::object([("type", "ok")]));
+                shared.initiate_shutdown();
+                false
+            }
+            Request::Compile(request) => serve_compile(&mut stream, shared, &request),
+            Request::CompileSuite(request) => serve_suite(&mut stream, shared, &request),
+        };
+        if !keep_going || shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Compiles one job through the cache; returns the canonical payload or
+/// a client-presentable error string. Records histograms and counters.
+fn compile_via_cache(shared: &Shared, request: &CompileRequest) -> Result<Arc<Vec<u8>>, String> {
+    let started = Instant::now();
+    let deadline = request.deadline_ms.map(Duration::from_millis);
+    let over_deadline = |when: &str| {
+        deadline
+            .filter(|&d| started.elapsed() > d)
+            .map(|d| format!("deadline of {} ms exceeded {when}", d.as_millis()))
+    };
+
+    let job = Job::resolve(request).map_err(|e| e.to_string())?;
+    let digest = job.digest();
+
+    let cached = shared
+        .cache
+        .lock()
+        .expect("cache lock never poisoned")
+        .get(digest);
+    let payload = match cached {
+        Some(payload) => payload,
+        None => {
+            if let Some(message) = over_deadline("before compilation started") {
+                return Err(message);
+            }
+            let output = run_job(&job).map_err(|e| e.to_string())?;
+            let payload = Arc::new(output.payload);
+            shared
+                .cache
+                .lock()
+                .expect("cache lock never poisoned")
+                .insert(digest, payload.as_ref().clone());
+            let timing = output.timing;
+            let mut stats = shared.stats.lock().expect("stats lock never poisoned");
+            stats.decompose.record(timing.decompose_micros as u64);
+            stats.place.record(timing.place_micros as u64);
+            stats.route.record(timing.route_micros as u64);
+            stats.schedule.record(timing.schedule_micros as u64);
+            payload
+        }
+    };
+
+    shared.jobs_served.fetch_add(1, Ordering::SeqCst);
+    shared
+        .stats
+        .lock()
+        .expect("stats lock never poisoned")
+        .total
+        .record(started.elapsed().as_micros() as u64);
+
+    if let Some(message) = over_deadline("by the finished job") {
+        return Err(message);
+    }
+    Ok(payload)
+}
+
+fn serve_compile(stream: &mut TcpStream, shared: &Shared, request: &CompileRequest) -> bool {
+    match compile_via_cache(shared, request) {
+        Ok(payload) => write_frame(stream, &payload).is_ok(),
+        Err(message) => write_json(stream, &error_response(message)).is_ok(),
+    }
+}
+
+fn serve_suite(stream: &mut TcpStream, shared: &Shared, request: &SuiteRequest) -> bool {
+    if request.count == 0 || request.count > 10_000 {
+        return write_json(stream, &error_response("suite count must be in 1..=10000")).is_ok();
+    }
+    let device = match crate::catalog::resolve_device(&request.device) {
+        Ok(device) => device,
+        Err(e) => return write_json(stream, &error_response(e.to_string())).is_ok(),
+    };
+    let benchmarks = generate_suite(&SuiteConfig {
+        count: request.count,
+        max_qubits: request.max_qubits,
+        max_gates: request.max_gates,
+        seed: request.seed,
+    });
+
+    // Fan the batch across the claim-by-atomic pool; each item goes
+    // through the same cache path as a single request, and the slot
+    // discipline keeps results in deterministic input order.
+    let results = qcs_bench::run_claimed(&benchmarks, shared.config.workers, |_, benchmark| {
+        let job = Job {
+            circuit: benchmark.circuit.clone(),
+            device: device.clone(),
+            config: request.config.clone(),
+        };
+        let digest = job.digest();
+        let cached = shared
+            .cache
+            .lock()
+            .expect("cache lock never poisoned")
+            .get(digest);
+        let outcome = match cached {
+            Some(payload) => Ok(payload),
+            None => run_job(&job).map(|output| {
+                let payload = Arc::new(output.payload);
+                shared
+                    .cache
+                    .lock()
+                    .expect("cache lock never poisoned")
+                    .insert(digest, payload.as_ref().clone());
+                payload
+            }),
+        };
+        match outcome {
+            Ok(payload) => {
+                shared.jobs_served.fetch_add(1, Ordering::SeqCst);
+                let text = std::str::from_utf8(&payload).expect("payloads are UTF-8");
+                let value = qcs_json::parse(text).expect("payloads are valid JSON");
+                Json::object([
+                    ("name", Json::from(benchmark.name.clone())),
+                    ("result", value),
+                ])
+            }
+            Err(e) => Json::object([
+                ("name", Json::from(benchmark.name.clone())),
+                ("result", error_response(e.to_string())),
+            ]),
+        }
+    });
+
+    let response = Json::object([
+        ("type", Json::from("suite_result")),
+        ("results", Json::Array(results)),
+    ]);
+    write_json(stream, &response).is_ok()
+}
+
+fn stats_json(shared: &Shared) -> Json {
+    let cache = shared
+        .cache
+        .lock()
+        .expect("cache lock never poisoned")
+        .stats();
+    let stats = shared.stats.lock().expect("stats lock never poisoned");
+    Json::object([
+        ("type", Json::from("stats")),
+        (
+            "jobs",
+            Json::from(shared.jobs_served.load(Ordering::SeqCst)),
+        ),
+        (
+            "active_connections",
+            Json::from(shared.active.load(Ordering::SeqCst)),
+        ),
+        (
+            "cache",
+            Json::object([
+                ("hits", Json::from(cache.hits)),
+                ("misses", Json::from(cache.misses)),
+                ("evictions", Json::from(cache.evictions)),
+                ("entries", Json::from(cache.entries)),
+                ("bytes", Json::from(cache.bytes)),
+                ("hit_rate", Json::from(cache.hit_rate())),
+            ]),
+        ),
+        (
+            "latency_micros",
+            Json::object([
+                ("total", stats.total.to_json()),
+                ("decompose", stats.decompose.to_json()),
+                ("place", stats.place.to_json()),
+                ("route", stats.route.to_json()),
+                ("schedule", stats.schedule.to_json()),
+            ]),
+        ),
+    ])
+}

@@ -1,0 +1,293 @@
+//! End-to-end exercise of the compilation daemon.
+//!
+//! One sequential test walks the whole lifecycle — liveness, a
+//! multi-threaded compile sweep checked byte-for-byte against in-process
+//! `Mapper` output, a second sweep that must be served from cache,
+//! protocol error paths, read deadlines, the connection limit, and a
+//! clean shutdown that leaks no threads. Sequencing everything in one
+//! test keeps the thread-count accounting and cache-statistics deltas
+//! deterministic.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use qcs_core::config::MapperConfig;
+use qcs_json::Json;
+use qcs_serve::compile::{run_job, Job};
+use qcs_serve::protocol::{read_frame, write_frame, CompileRequest, Source};
+use qcs_serve::server::{Server, ServerConfig};
+
+/// Current thread count of this process (Linux; 0 elsewhere, which
+/// disables the leak check).
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("Threads:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    TcpStream::connect(addr).expect("daemon accepts connections")
+}
+
+/// Sends one JSON request and returns the raw response payload.
+fn exchange(stream: &mut TcpStream, request: &str) -> Vec<u8> {
+    write_frame(stream, request.as_bytes()).expect("request frame written");
+    read_frame(stream)
+        .expect("response frame read")
+        .expect("daemon replied before closing")
+}
+
+fn exchange_json(stream: &mut TcpStream, request: &str) -> Json {
+    let payload = exchange(stream, request);
+    qcs_json::parse(std::str::from_utf8(&payload).unwrap()).expect("response is JSON")
+}
+
+fn response_type(value: &Json) -> &str {
+    value.get("type").and_then(Json::as_str).unwrap_or("?")
+}
+
+/// The sweep workloads: distinct jobs covering every generator family.
+fn sweep_specs() -> Vec<String> {
+    let mut specs: Vec<String> = (4..=9).map(|n| format!("ghz:{n}")).collect();
+    specs.extend((3..=6).map(|n| format!("qft:{n}")));
+    specs.extend((4..=7).map(|n| format!("wstate:{n}")));
+    specs.push("grover:3".to_string());
+    specs.push("random:8:120:0.35:5".to_string());
+    specs
+}
+
+/// (request JSON, expected response bytes) for every sweep workload,
+/// where the expectation comes from the in-process pipeline.
+fn sweep_expectations() -> Vec<(String, Vec<u8>)> {
+    sweep_specs()
+        .into_iter()
+        .map(|spec| {
+            let request = format!(
+                r#"{{"type":"compile","workload":"{spec}","device":"surface17","placer":"trivial","router":"lookahead"}}"#
+            );
+            let job = Job::resolve(&CompileRequest {
+                source: Source::Workload(spec),
+                device: "surface17".to_string(),
+                config: MapperConfig::new("trivial", "lookahead"),
+                deadline_ms: None,
+            })
+            .expect("sweep workloads resolve");
+            let expected = run_job(&job).expect("sweep workloads compile").payload;
+            (request, expected)
+        })
+        .collect()
+}
+
+/// Runs the full sweep from `threads` client threads at once; every
+/// response must be byte-identical to the in-process expectation.
+fn hammer(addr: SocketAddr, expectations: &[(String, Vec<u8>)], threads: usize) {
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let mut stream = connect(addr);
+                for (request, expected) in expectations {
+                    let response = exchange(&mut stream, request);
+                    assert_eq!(
+                        &response, expected,
+                        "thread {t}: daemon response diverged from in-process Mapper output"
+                    );
+                }
+            });
+        }
+    });
+}
+
+fn cache_counters(stats: &Json) -> (usize, usize) {
+    let cache = stats.get("cache").expect("stats has cache section");
+    (
+        cache.get("hits").and_then(Json::as_usize).unwrap(),
+        cache.get("misses").and_then(Json::as_usize).unwrap(),
+    )
+}
+
+#[test]
+fn daemon_end_to_end() {
+    let threads_before = thread_count();
+
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 8,
+        max_connections: 32,
+        cache_bytes: 8 << 20,
+        frame_deadline: Duration::from_millis(400),
+    })
+    .expect("daemon starts on an ephemeral port");
+    let addr = handle.local_addr();
+
+    // Liveness.
+    let mut control = connect(addr);
+    let pong = exchange_json(&mut control, r#"{"type":"ping"}"#);
+    assert_eq!(response_type(&pong), "pong");
+
+    // First sweep: 8 concurrent clients, byte-identical to in-process.
+    let expectations = sweep_expectations();
+    hammer(addr, &expectations, 8);
+
+    let stats = exchange_json(&mut control, r#"{"type":"stats"}"#);
+    assert_eq!(response_type(&stats), "stats");
+    let jobs = stats.get("jobs").and_then(Json::as_usize).unwrap();
+    assert_eq!(jobs, 8 * expectations.len(), "every sweep job was served");
+    let (hits_before, misses_before) = cache_counters(&stats);
+    assert!(misses_before >= expectations.len());
+    let latency = stats
+        .get("latency_micros")
+        .expect("stats has latency section");
+    assert!(
+        latency
+            .get("total")
+            .and_then(|h| h.get("p99_micros"))
+            .and_then(Json::as_usize)
+            .unwrap()
+            > 0,
+        "latency histograms populated"
+    );
+
+    // Second identical sweep must be served (almost) entirely from cache.
+    hammer(addr, &expectations, 8);
+    let stats = exchange_json(&mut control, r#"{"type":"stats"}"#);
+    let (hits_after, misses_after) = cache_counters(&stats);
+    let hits = hits_after - hits_before;
+    let misses = misses_after - misses_before;
+    assert!(
+        hits as f64 / (hits + misses).max(1) as f64 >= 0.9,
+        "second sweep should be >=90% cache hits, got {hits} hits / {misses} misses"
+    );
+
+    // Suite batch: results arrive in deterministic input order, named.
+    let suite = exchange_json(
+        &mut control,
+        r#"{"type":"compile_suite","count":4,"max_qubits":8,"max_gates":120,"seed":3,"placer":"trivial","router":"trivial"}"#,
+    );
+    assert_eq!(response_type(&suite), "suite_result");
+    let Some(Json::Array(results)) = suite.get("results") else {
+        panic!("suite_result carries a results array");
+    };
+    assert_eq!(results.len(), 4);
+    for item in results {
+        assert!(item.get("name").and_then(Json::as_str).is_some());
+        assert_eq!(
+            item.get("result").map(response_type),
+            Some("result"),
+            "suite member compiled"
+        );
+    }
+
+    // Error paths keep the connection alive: the framing survives a
+    // malformed request, an unknown device, and a blown deadline.
+    let bad = exchange_json(&mut control, "this is not json");
+    assert_eq!(response_type(&bad), "error");
+    let bad = exchange_json(
+        &mut control,
+        r#"{"type":"compile","workload":"ghz:4","device":"warp-core"}"#,
+    );
+    assert_eq!(response_type(&bad), "error");
+    assert!(bad
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("warp-core"));
+    // An impossible deadline on a not-yet-cached job.
+    let bad = exchange_json(
+        &mut control,
+        r#"{"type":"compile","workload":"qft:11","deadline_ms":0}"#,
+    );
+    assert_eq!(response_type(&bad), "error");
+    assert!(bad
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("deadline"));
+    // ...and the connection still works afterwards.
+    let pong = exchange_json(&mut control, r#"{"type":"ping"}"#);
+    assert_eq!(response_type(&pong), "pong");
+
+    // Read deadline: a frame that stalls mid-transfer gets an error and
+    // a closed connection, not a wedged worker.
+    let mut stalled = connect(addr);
+    stalled.write_all(&100u32.to_be_bytes()).unwrap();
+    stalled.write_all(b"only a few bytes").unwrap();
+    stalled.flush().unwrap();
+    let reply = read_frame(&mut stalled)
+        .expect("deadline error frame")
+        .unwrap();
+    let reply = qcs_json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+    assert_eq!(response_type(&reply), "error");
+    assert!(reply
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("deadline"));
+    assert_eq!(
+        read_frame(&mut stalled).unwrap(),
+        None,
+        "daemon closed the stream"
+    );
+
+    // Clean shutdown via the protocol, then no leaked threads.
+    let ok = exchange_json(&mut control, r#"{"type":"shutdown"}"#);
+    assert_eq!(response_type(&ok), "ok");
+    handle.wait();
+
+    if threads_before > 0 {
+        // Joined threads can take a beat to vanish from /proc.
+        let mut threads_after = thread_count();
+        for _ in 0..50 {
+            if threads_after <= threads_before {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+            threads_after = thread_count();
+        }
+        assert!(
+            threads_after <= threads_before,
+            "daemon leaked threads: {threads_before} before, {threads_after} after"
+        );
+    }
+}
+
+#[test]
+fn connection_limit_turns_excess_clients_away() {
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        max_connections: 1,
+        cache_bytes: 1 << 20,
+        frame_deadline: Duration::from_secs(2),
+    })
+    .expect("daemon starts");
+    let addr = handle.local_addr();
+
+    // Occupy the single admitted slot (a full round-trip guarantees the
+    // connection is admitted, not still in flight).
+    let mut first = connect(addr);
+    let pong = exchange_json(&mut first, r#"{"type":"ping"}"#);
+    assert_eq!(response_type(&pong), "pong");
+
+    // The second connection is rejected with an explanatory frame.
+    let mut second = connect(addr);
+    let reply = read_frame(&mut second).expect("rejection frame").unwrap();
+    let reply = qcs_json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+    assert_eq!(response_type(&reply), "error");
+    assert!(reply
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("capacity"));
+
+    drop(second);
+    drop(first);
+    handle.shutdown();
+}

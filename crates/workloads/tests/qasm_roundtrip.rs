@@ -1,0 +1,60 @@
+//! Property test: QASM emission and parsing are mutually inverse on the
+//! random-circuit family.
+//!
+//! For seeded random circuits spanning the generator's whole parameter
+//! space, `parse(print(c))` must reproduce the exact gate list (angles
+//! included — the printer uses shortest-round-trip float formatting),
+//! and a second `print` must be a byte-for-byte fixpoint. This is the
+//! contract the compilation daemon leans on when it ships circuits as
+//! QASM text.
+
+use qcs_circuit::qasm;
+use qcs_workloads::random::{random_circuit, RandomSpec};
+
+#[test]
+fn random_circuits_round_trip_through_qasm() {
+    qcs_check::check("qasm_roundtrip_random", 64, |g| {
+        let qubits = g.usize_in_incl(1..=24);
+        let spec = RandomSpec {
+            qubits,
+            gates: g.usize_in_incl(0..=300),
+            // Two-qubit gates need two qubits to act on.
+            two_qubit_fraction: if qubits < 2 { 0.0 } else { g.f64_unit() },
+            seed: g.u64(),
+        };
+        let circuit = random_circuit(&spec).expect("spec is within generator bounds");
+
+        let text = qasm::print(&circuit);
+        let reparsed = qasm::parse(&text).expect("printer output must be parseable");
+        assert_eq!(
+            reparsed.qubit_count(),
+            circuit.qubit_count(),
+            "width survives"
+        );
+        assert_eq!(
+            reparsed.gates(),
+            circuit.gates(),
+            "gate list survives exactly"
+        );
+
+        // Emit → parse → emit is a fixpoint: the second emission is
+        // byte-identical to the first.
+        assert_eq!(qasm::print(&reparsed), text, "printing is a fixpoint");
+    });
+}
+
+#[test]
+fn measured_random_circuits_round_trip() {
+    qcs_check::check("qasm_roundtrip_measured", 16, |g| {
+        let spec = RandomSpec {
+            qubits: g.usize_in_incl(2..=12),
+            gates: g.usize_in_incl(1..=80),
+            two_qubit_fraction: 0.5,
+            seed: g.u64(),
+        };
+        let mut circuit = random_circuit(&spec).expect("spec is within generator bounds");
+        circuit.measure_all();
+        let reparsed = qasm::parse(&qasm::print(&circuit)).expect("parseable");
+        assert_eq!(reparsed.gates(), circuit.gates());
+    });
+}

@@ -2,7 +2,7 @@
 //! paper's figures rely on, checked over a reduced suite so the whole
 //! file runs in seconds.
 
-use nisq_codesign::core::mapper::Mapper;
+use nisq_codesign::core::mapper::{Mapper, StageTiming};
 use nisq_codesign::core::profile::{
     profile_correlation, prune_codependent_metrics, CircuitProfile,
 };
@@ -23,12 +23,16 @@ fn reduced_records() -> Vec<MappingRecord> {
         .iter()
         .map(|b| {
             let outcome = mapper.map(&b.circuit, &device).expect("maps");
+            let mut report = outcome.report;
+            // Wall-clock stage timing is measurement, not content: zero it
+            // so record equality means content equality.
+            report.timing = StageTiming::ZERO;
             MappingRecord {
                 name: b.name.clone(),
                 family: b.family.to_string(),
                 synthetic: b.is_synthetic(),
                 profile: CircuitProfile::of(&b.circuit),
-                report: outcome.report,
+                report,
             }
         })
         .collect()
