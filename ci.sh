@@ -9,6 +9,8 @@
 #   3. cargo fmt   --check              formatting gate
 #   4. cargo clippy -- -D warnings      lint gate (all targets, all crates)
 #   5. serve smoke test                 boot daemon, compile a GHZ, check stats
+#   6. serve chaos test                 fault injection, hostile frames,
+#                                       degraded-device sweep
 set -eu
 
 echo "==> cargo build --release"
@@ -25,5 +27,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> serve smoke test"
 ./ci_serve_smoke.sh
+
+echo "==> serve chaos test"
+./ci_chaos.sh
 
 echo "CI OK"

@@ -1,0 +1,73 @@
+//! Structured error taxonomy for the mapping pipeline.
+//!
+//! Degraded devices (see [`qcs_topology::health`]) introduce a failure
+//! mode the original pipeline could not express: the circuit is fine,
+//! the device is fine, but the *healthy part* of the device cannot host
+//! the circuit. [`UnsatisfiableReason`] enumerates exactly why, and
+//! every pipeline stage surfaces it through its own error type
+//! (`PlaceError::Unsatisfiable`, `RouteError::Unsatisfiable`), which the
+//! top-level [`MapError::Unsatisfiable`] folds into a single structured
+//! variant that servers can report to clients without string matching.
+//!
+//! [`MapError::Unsatisfiable`]: crate::mapper::MapError::Unsatisfiable
+
+/// Why a circuit cannot be hosted on the (possibly degraded) device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsatisfiableReason {
+    /// Fewer in-service qubits than the circuit needs.
+    NotEnoughActiveQubits {
+        /// Qubits the circuit needs.
+        needed: usize,
+        /// In-service qubits on the device.
+        active: usize,
+    },
+    /// Enough qubits survive, but no single connected healthy region is
+    /// large enough to host the circuit (routing across regions is
+    /// impossible).
+    NoRegionLargeEnough {
+        /// Qubits the circuit needs.
+        needed: usize,
+        /// Size of the largest connected healthy region.
+        largest: usize,
+    },
+    /// The initial layout occupies an out-of-service qubit.
+    DisabledQubitInLayout {
+        /// The virtual qubit involved.
+        virt: usize,
+        /// The disabled physical qubit it was assigned to.
+        phys: usize,
+    },
+    /// Two interacting qubits were placed in different healthy regions:
+    /// no SWAP chain can ever bring them together.
+    NoHealthyPath {
+        /// Physical qubit of the first operand.
+        from: usize,
+        /// Physical qubit of the second operand.
+        to: usize,
+    },
+}
+
+impl std::fmt::Display for UnsatisfiableReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnsatisfiableReason::NotEnoughActiveQubits { needed, active } => write!(
+                f,
+                "circuit needs {needed} qubits but only {active} are in service"
+            ),
+            UnsatisfiableReason::NoRegionLargeEnough { needed, largest } => write!(
+                f,
+                "circuit needs {needed} connected qubits but the largest healthy region has {largest}"
+            ),
+            UnsatisfiableReason::DisabledQubitInLayout { virt, phys } => write!(
+                f,
+                "layout places virtual qubit {virt} on out-of-service physical qubit {phys}"
+            ),
+            UnsatisfiableReason::NoHealthyPath { from, to } => write!(
+                f,
+                "no healthy path between physical qubits {from} and {to}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UnsatisfiableReason {}

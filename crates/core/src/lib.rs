@@ -19,6 +19,9 @@
 //!
 //! On top of these sit:
 //!
+//! * [`error`] — the structured unsatisfiability taxonomy for degraded
+//!   devices (outages can make mapping impossible; see
+//!   [`qcs_topology::health`]);
 //! * [`layout`] — the virtual↔physical qubit bijection the routers evolve;
 //! * [`fidelity`] — the analytic fidelity model of Fig. 3 ("product of
 //!   fidelities for all one- and two-qubit gates"), with optional
@@ -55,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod fidelity;
 pub mod layout;
 pub mod mapper;
@@ -67,5 +71,6 @@ pub mod route;
 pub mod schedule;
 
 pub use config::MapperConfig;
+pub use error::UnsatisfiableReason;
 pub use layout::Layout;
 pub use mapper::{MapError, MapOutcome, Mapper, StageTiming};

@@ -11,6 +11,7 @@ use qcs_circuit::circuit::Circuit;
 use qcs_circuit::decompose::{decompose_circuit, DecomposeError};
 use qcs_topology::device::Device;
 
+use crate::error::UnsatisfiableReason;
 use crate::fidelity::FidelityModel;
 use crate::place::{GraphSimilarityPlacer, PlaceError, Placer, TrivialPlacer};
 use crate::route::{
@@ -27,6 +28,11 @@ pub enum MapError {
     Place(PlaceError),
     /// Routing failed.
     Route(RouteError),
+    /// The degraded device cannot host this circuit at all — a property
+    /// of the outage, not of the chosen strategies. Surfaced as its own
+    /// variant (rather than buried in `Place`/`Route`) so callers can
+    /// distinguish "retry on a healthier device" from "compiler bug".
+    Unsatisfiable(UnsatisfiableReason),
 }
 
 impl std::fmt::Display for MapError {
@@ -35,6 +41,9 @@ impl std::fmt::Display for MapError {
             MapError::Decompose(e) => write!(f, "decomposition failed: {e}"),
             MapError::Place(e) => write!(f, "placement failed: {e}"),
             MapError::Route(e) => write!(f, "routing failed: {e}"),
+            MapError::Unsatisfiable(reason) => {
+                write!(f, "degraded device cannot host circuit: {reason}")
+            }
         }
     }
 }
@@ -48,12 +57,18 @@ impl From<DecomposeError> for MapError {
 }
 impl From<PlaceError> for MapError {
     fn from(e: PlaceError) -> Self {
-        MapError::Place(e)
+        match e {
+            PlaceError::Unsatisfiable(reason) => MapError::Unsatisfiable(reason),
+            other => MapError::Place(other),
+        }
     }
 }
 impl From<RouteError> for MapError {
     fn from(e: RouteError) -> Self {
-        MapError::Route(e)
+        match e {
+            RouteError::Unsatisfiable(reason) => MapError::Unsatisfiable(reason),
+            other => MapError::Route(other),
+        }
     }
 }
 
@@ -307,10 +322,14 @@ impl Mapper {
         let mut decompose_micros = micros_since(t);
 
         let t = std::time::Instant::now();
+        // Chaos-test failpoints: panics and delays act inside `hit`;
+        // other actions are meaningless mid-pipeline and pass through.
+        let _ = qcs_faults::hit("mapper.place");
         let layout = self.placer.place(&decomposed, device)?;
         let place_micros = micros_since(t);
 
         let t = std::time::Instant::now();
+        let _ = qcs_faults::hit("mapper.route");
         let routed = self.router.route(&decomposed, device, layout)?;
         let route_micros = micros_since(t);
 

@@ -22,6 +22,7 @@ use qcs_circuit::circuit::Circuit;
 use qcs_circuit::interaction::interaction_graph;
 use qcs_topology::device::Device;
 
+use crate::error::UnsatisfiableReason;
 use crate::layout::Layout;
 
 /// Error raised during placement.
@@ -34,6 +35,9 @@ pub enum PlaceError {
         /// Device size.
         device: usize,
     },
+    /// The device is large enough on paper, but its degraded state cannot
+    /// host the circuit.
+    Unsatisfiable(UnsatisfiableReason),
 }
 
 impl std::fmt::Display for PlaceError {
@@ -42,11 +46,82 @@ impl std::fmt::Display for PlaceError {
             PlaceError::CircuitTooWide { circuit, device } => {
                 write!(f, "circuit needs {circuit} qubits, device has {device}")
             }
+            PlaceError::Unsatisfiable(reason) => {
+                write!(f, "degraded device cannot host circuit: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for PlaceError {}
+
+/// The largest connected region of in-service qubits, sorted ascending.
+/// On a pristine device this is simply every qubit. Ties between
+/// equal-sized regions break toward the one containing the
+/// lowest-numbered qubit, so the choice is deterministic.
+pub(crate) fn largest_active_region(device: &Device) -> Vec<usize> {
+    let n = device.qubit_count();
+    if device.health().is_empty() {
+        return (0..n).collect();
+    }
+    let mut seen = vec![false; n];
+    let mut best: Vec<usize> = Vec::new();
+    for start in device.active_qubits() {
+        if seen[start] {
+            continue;
+        }
+        let mut component = vec![start];
+        seen[start] = true;
+        let mut cursor = 0;
+        while cursor < component.len() {
+            let u = component[cursor];
+            cursor += 1;
+            for &v in device.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    component.push(v);
+                }
+            }
+        }
+        if component.len() > best.len() {
+            best = component;
+        }
+    }
+    best.sort_unstable();
+    best
+}
+
+/// Width check plus degraded-device feasibility: returns the pool of
+/// physical qubits placement may use (the whole chip when pristine, the
+/// largest healthy region otherwise).
+fn placement_pool(circuit: &Circuit, device: &Device) -> Result<Vec<usize>, PlaceError> {
+    let needed = circuit.qubit_count();
+    if needed > device.qubit_count() {
+        return Err(PlaceError::CircuitTooWide {
+            circuit: needed,
+            device: device.qubit_count(),
+        });
+    }
+    if device.health().is_empty() {
+        return Ok((0..device.qubit_count()).collect());
+    }
+    let active = device.active_qubit_count();
+    if needed > active {
+        return Err(PlaceError::Unsatisfiable(
+            UnsatisfiableReason::NotEnoughActiveQubits { needed, active },
+        ));
+    }
+    let region = largest_active_region(device);
+    if needed > region.len() {
+        return Err(PlaceError::Unsatisfiable(
+            UnsatisfiableReason::NoRegionLargeEnough {
+                needed,
+                largest: region.len(),
+            },
+        ));
+    }
+    Ok(region)
+}
 
 /// Strategy for choosing an initial layout.
 ///
@@ -66,28 +141,19 @@ pub trait Placer: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
-fn check_width(circuit: &Circuit, device: &Device) -> Result<(), PlaceError> {
-    if circuit.qubit_count() > device.qubit_count() {
-        Err(PlaceError::CircuitTooWide {
-            circuit: circuit.qubit_count(),
-            device: device.qubit_count(),
-        })
-    } else {
-        Ok(())
-    }
-}
-
 /// Identity placement: virtual qubit `i` starts on physical qubit `i`.
+/// On a degraded device, virtual qubit `i` starts on the `i`-th qubit of
+/// the largest healthy region instead (which is the identity again when
+/// nothing is degraded).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrivialPlacer;
 
 impl Placer for TrivialPlacer {
     fn place(&self, circuit: &Circuit, device: &Device) -> Result<Layout, PlaceError> {
-        check_width(circuit, device)?;
-        Ok(Layout::identity(
-            circuit.qubit_count(),
-            device.qubit_count(),
-        ))
+        let mut pool = placement_pool(circuit, device)?;
+        pool.truncate(circuit.qubit_count());
+        Ok(Layout::from_assignment(pool, device.qubit_count())
+            .expect("region prefix is collision-free"))
     }
 
     fn name(&self) -> &'static str {
@@ -104,9 +170,8 @@ pub struct RandomPlacer {
 
 impl Placer for RandomPlacer {
     fn place(&self, circuit: &Circuit, device: &Device) -> Result<Layout, PlaceError> {
-        check_width(circuit, device)?;
+        let mut pool = placement_pool(circuit, device)?;
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let mut pool: Vec<usize> = (0..device.qubit_count()).collect();
         for i in (1..pool.len()).rev() {
             let j = qcs_rng::Rng::gen_range(&mut rng, 0..=i);
             pool.swap(i, j);
@@ -142,17 +207,22 @@ impl GraphSimilarityPlacer {
             .sum()
     }
 
-    /// Greedy embedding with the anchor qubit pinned to `anchor`.
+    /// Greedy embedding with the anchor qubit pinned to `anchor`,
+    /// restricted to the physical qubits in `pool`.
     fn greedy_from_anchor(
         ig: &qcs_graph::Graph,
         order: &[usize],
         device: &Device,
         anchor: usize,
+        pool: &[usize],
     ) -> Vec<usize> {
         let n = order.len();
         let m = device.qubit_count();
         let mut assignment = vec![usize::MAX; n];
-        let mut free = vec![true; m];
+        let mut free = vec![false; m];
+        for &p in pool {
+            free[p] = true;
+        }
         for (rank, &v) in order.iter().enumerate() {
             if rank == 0 {
                 assignment[v] = anchor;
@@ -194,7 +264,7 @@ impl GraphSimilarityPlacer {
 
 impl Placer for GraphSimilarityPlacer {
     fn place(&self, circuit: &Circuit, device: &Device) -> Result<Layout, PlaceError> {
-        check_width(circuit, device)?;
+        let pool = placement_pool(circuit, device)?;
         let n = circuit.qubit_count();
         let m = device.qubit_count();
         let ig = interaction_graph(circuit);
@@ -244,8 +314,8 @@ impl Placer for GraphSimilarityPlacer {
         // seed lands (a chain anchored mid-line runs into the wall).
         let mut best_assignment: Option<Vec<usize>> = None;
         let mut best_cost = f64::INFINITY;
-        for anchor in 0..m {
-            let assignment = Self::greedy_from_anchor(&ig, &order, device, anchor);
+        for &anchor in &pool {
+            let assignment = Self::greedy_from_anchor(&ig, &order, device, anchor, &pool);
             let cost = Self::assignment_cost(&ig, device, &assignment);
             if cost < best_cost {
                 best_cost = cost;
@@ -372,5 +442,80 @@ mod tests {
         assert_eq!(TrivialPlacer.name(), "trivial");
         assert_eq!(RandomPlacer { seed: 0 }.name(), "random");
         assert_eq!(GraphSimilarityPlacer.name(), "graph-similarity");
+    }
+
+    #[test]
+    fn placers_avoid_disabled_qubits() {
+        use qcs_topology::DeviceHealth;
+        // 3×3 grid with the centre (4) and a corner coupler dead.
+        let dev = grid_device(3, 3)
+            .degrade(&DeviceHealth::new().disable_qubit(4).disable_coupler(0, 1))
+            .unwrap();
+        let c = line_circuit(4);
+        let placers: Vec<Box<dyn Placer>> = vec![
+            Box::new(TrivialPlacer),
+            Box::new(RandomPlacer { seed: 3 }),
+            Box::new(GraphSimilarityPlacer),
+        ];
+        for p in placers {
+            let l = p.place(&c, &dev).unwrap();
+            for v in 0..4 {
+                assert!(
+                    dev.is_qubit_active(l.phys_of(v)),
+                    "{} placed virtual {v} on disabled qubit {}",
+                    p.name(),
+                    l.phys_of(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_stays_identity_on_pristine_devices() {
+        let c = line_circuit(4);
+        let dev = grid_device(3, 3);
+        let l = TrivialPlacer.place(&c, &dev).unwrap();
+        assert_eq!(l.as_assignment(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn placement_confined_to_largest_region() {
+        use qcs_topology::DeviceHealth;
+        // Line of 7 with qubit 2 dead: regions {0,1} and {3,4,5,6}; a
+        // 3-qubit circuit must land entirely in the larger one.
+        let dev = line_device(7)
+            .degrade(&DeviceHealth::new().disable_qubit(2))
+            .unwrap();
+        let c = line_circuit(3);
+        let l = GraphSimilarityPlacer.place(&c, &dev).unwrap();
+        for v in 0..3 {
+            assert!(l.phys_of(v) >= 3, "virtual {v} outside the large region");
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_outages_are_structured() {
+        use crate::error::UnsatisfiableReason;
+        use qcs_topology::DeviceHealth;
+        // Line of 5 with qubit 2 dead: 4 active qubits, largest region 2.
+        let dev = line_device(5)
+            .degrade(&DeviceHealth::new().disable_qubit(2))
+            .unwrap();
+        assert_eq!(
+            TrivialPlacer.place(&line_circuit(5), &dev).unwrap_err(),
+            PlaceError::Unsatisfiable(UnsatisfiableReason::NotEnoughActiveQubits {
+                needed: 5,
+                active: 4
+            })
+        );
+        assert_eq!(
+            TrivialPlacer.place(&line_circuit(3), &dev).unwrap_err(),
+            PlaceError::Unsatisfiable(UnsatisfiableReason::NoRegionLargeEnough {
+                needed: 3,
+                largest: 2
+            })
+        );
+        // A width the region can host still works.
+        assert!(TrivialPlacer.place(&line_circuit(2), &dev).is_ok());
     }
 }

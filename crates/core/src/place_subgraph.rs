@@ -171,22 +171,56 @@ impl SubgraphPlacer {
 
 impl Placer for SubgraphPlacer {
     fn place(&self, circuit: &Circuit, device: &Device) -> Result<Layout, PlaceError> {
-        if circuit.qubit_count() > device.qubit_count() {
-            return Err(PlaceError::CircuitTooWide {
-                circuit: circuit.qubit_count(),
-                device: device.qubit_count(),
-            });
-        }
-        let pattern = interaction_graph(circuit);
-        match self.find_embedding(&pattern, device.coupling()) {
-            EmbeddingOutcome::Exact(assignment) => {
-                Ok(Layout::from_assignment(assignment, device.qubit_count())
-                    .expect("embedding is a valid partial injection"))
+        // Feasibility (width + degraded-device checks) via the shared
+        // pool logic; the pool is the healthy region embedding may use.
+        let pool = crate::place::largest_active_region(device);
+        GraphSimilarityPlacer.place(circuit, device).map(|greedy| {
+            // The greedy placement only proves feasibility; prefer an
+            // exact embedding when one exists.
+            let pattern = interaction_graph(circuit);
+            let filtered: Option<Graph> = if device.health().is_empty() {
+                None
+            } else {
+                // Healthy-subgraph host restricted to the pool: the
+                // search can only use in-service couplers.
+                let mut g = Graph::with_nodes(device.qubit_count());
+                let in_pool: Vec<bool> = {
+                    let mut f = vec![false; device.qubit_count()];
+                    for &p in &pool {
+                        f[p] = true;
+                    }
+                    f
+                };
+                for (u, v, _) in device.coupling().edges() {
+                    if in_pool[u] && in_pool[v] && device.are_adjacent(u, v) {
+                        g.add_edge(u, v).expect("endpoints exist");
+                    }
+                }
+                Some(g)
+            };
+            let host = filtered.as_ref().unwrap_or_else(|| device.coupling());
+            match self.find_embedding(&pattern, host) {
+                EmbeddingOutcome::Exact(mut assignment) => {
+                    // Isolated pattern nodes may have been filled onto
+                    // out-of-pool (disabled or disconnected) hosts, since
+                    // the host graph carries every node index; re-home
+                    // them inside the pool.
+                    let mut taken = vec![false; device.qubit_count()];
+                    for &p in &assignment {
+                        taken[p] = true;
+                    }
+                    let mut free = pool.iter().copied().filter(|&p| !taken[p]);
+                    for slot in assignment.iter_mut() {
+                        if !pool.contains(slot) {
+                            *slot = free.next().expect("pool fits the circuit");
+                        }
+                    }
+                    Layout::from_assignment(assignment, device.qubit_count())
+                        .expect("embedding is a valid partial injection")
+                }
+                EmbeddingOutcome::NoEmbedding | EmbeddingOutcome::BudgetExhausted => greedy,
             }
-            EmbeddingOutcome::NoEmbedding | EmbeddingOutcome::BudgetExhausted => {
-                GraphSimilarityPlacer.place(circuit, device)
-            }
-        }
+        })
     }
 
     fn name(&self) -> &'static str {

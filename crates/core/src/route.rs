@@ -22,8 +22,10 @@
 use qcs_circuit::circuit::Circuit;
 use qcs_circuit::dag::{DependencyDag, FrontLayer};
 use qcs_circuit::gate::{Gate, GateKind};
+use qcs_graph::paths::UNREACHABLE;
 use qcs_topology::device::Device;
 
+use crate::error::UnsatisfiableReason;
 use crate::layout::Layout;
 
 /// Error raised during routing.
@@ -44,6 +46,10 @@ pub enum RouteError {
         /// Number of gates successfully routed before the stall.
         routed: usize,
     },
+    /// The degraded device makes this routing problem impossible (layout
+    /// on disabled qubits, or interacting qubits in disconnected healthy
+    /// regions) — no router could succeed.
+    Unsatisfiable(UnsatisfiableReason),
 }
 
 impl std::fmt::Display for RouteError {
@@ -58,6 +64,9 @@ impl std::fmt::Display for RouteError {
             RouteError::LayoutMismatch => write!(f, "layout does not match circuit/device"),
             RouteError::Unroutable { routed } => {
                 write!(f, "router stalled after routing {routed} gates")
+            }
+            RouteError::Unsatisfiable(reason) => {
+                write!(f, "degraded device makes routing impossible: {reason}")
             }
         }
     }
@@ -125,6 +134,29 @@ fn check_inputs(circuit: &Circuit, device: &Device, initial: &Layout) -> Result<
                 kind: g.kind(),
                 index: i,
             });
+        }
+    }
+    // Degraded-device feasibility: every router relies on the layout
+    // living entirely inside one healthy region. SWAPs only ever traverse
+    // in-service couplers (`Device::neighbors` / `shortest_path` are
+    // health-filtered), so these two invariants hold for the whole run
+    // once they hold for the initial layout.
+    if !device.health().is_empty() {
+        for (virt, &phys) in initial.as_assignment().iter().enumerate() {
+            if !device.is_qubit_active(phys) {
+                return Err(RouteError::Unsatisfiable(
+                    UnsatisfiableReason::DisabledQubitInLayout { virt, phys },
+                ));
+            }
+        }
+        for g in circuit.iter().filter(|g| g.is_two_qubit()) {
+            let qs = g.qubits();
+            let (pa, pb) = (initial.phys_of(qs[0]), initial.phys_of(qs[1]));
+            if device.distance(pa, pb) == UNREACHABLE {
+                return Err(RouteError::Unsatisfiable(
+                    UnsatisfiableReason::NoHealthyPath { from: pa, to: pb },
+                ));
+            }
         }
     }
     Ok(())
@@ -708,6 +740,67 @@ mod tests {
             .unwrap();
         assert_eq!(routed.circuit.len(), 4);
         assert_eq!(routed.circuit.qubit_count(), 4);
+    }
+
+    #[test]
+    fn routers_detour_around_disabled_coupler() {
+        use qcs_topology::DeviceHealth;
+        // Ring of 6 with coupler (0, 5) dead: routing (0, 5) must go the
+        // long way round without ever touching the dead link.
+        let dev = qcs_topology::lattice::ring_device(6)
+            .degrade(&DeviceHealth::new().disable_coupler(0, 5))
+            .unwrap();
+        let mut c = Circuit::new(6);
+        c.cnot(0, 5).unwrap();
+        for r in routers() {
+            let routed = r.route(&c, &dev, Layout::identity(6, 6)).unwrap();
+            assert!(
+                routed.respects_connectivity(&dev),
+                "router {} used a dead coupler",
+                r.name()
+            );
+            for g in routed.circuit.gates() {
+                let qs = g.qubits();
+                if qs.len() == 2 {
+                    assert_ne!(
+                        (qs[0].min(qs[1]), qs[0].max(qs[1])),
+                        (0, 5),
+                        "router {} crossed the disabled coupler",
+                        r.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_layouts_are_rejected_up_front() {
+        use crate::error::UnsatisfiableReason;
+        use qcs_topology::DeviceHealth;
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).unwrap();
+        // Layout occupying a disabled qubit.
+        let dev = line_device(4)
+            .degrade(&DeviceHealth::new().disable_qubit(1))
+            .unwrap();
+        assert_eq!(
+            TrivialRouter
+                .route(&c, &dev, Layout::identity(2, 4))
+                .unwrap_err(),
+            RouteError::Unsatisfiable(UnsatisfiableReason::DisabledQubitInLayout {
+                virt: 1,
+                phys: 1
+            })
+        );
+        // Interacting pair split across disconnected healthy regions.
+        let split = line_device(5)
+            .degrade(&DeviceHealth::new().disable_qubit(2))
+            .unwrap();
+        let layout = Layout::from_assignment(vec![0, 4], 5).unwrap();
+        assert_eq!(
+            TrivialRouter.route(&c, &split, layout).unwrap_err(),
+            RouteError::Unsatisfiable(UnsatisfiableReason::NoHealthyPath { from: 0, to: 4 })
+        );
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Property tests over seeded random device degradations.
+//!
+//! The invariant under test is the tentpole guarantee of the degraded-
+//! operation subsystem: whatever the outage (1–20% of qubits and
+//! couplers disabled, any placer/router combination), a successful
+//! mapping never touches a disabled resource and still implements the
+//! source circuit — verified against the statevector simulator. When the
+//! outage makes mapping impossible, the failure must be the structured
+//! [`MapError::Unsatisfiable`], never a panic or a bogus layout.
+
+use qcs_check::check;
+use qcs_core::mapper::{MapError, Mapper};
+use qcs_rng::{ChaCha8Rng, SeedableRng};
+use qcs_topology::device::Device;
+use qcs_topology::lattice::{grid_device, line_device, ring_device};
+use qcs_topology::DeviceHealth;
+use qcs_workloads::random::{random_circuit, RandomSpec};
+
+/// Every pipeline the mapper exposes, by constructor.
+fn mappers() -> Vec<(&'static str, Mapper)> {
+    vec![
+        ("trivial", Mapper::trivial()),
+        ("lookahead", Mapper::lookahead()),
+        ("algorithm-driven", Mapper::algorithm_driven()),
+        ("noise-aware", Mapper::noise_aware()),
+        ("subgraph", Mapper::subgraph()),
+        ("sabre", Mapper::sabre()),
+    ]
+}
+
+/// Small (≤ 12-qubit) hosts so statevector equivalence stays cheap.
+fn devices() -> Vec<Device> {
+    vec![grid_device(3, 4), ring_device(10), line_device(10)]
+}
+
+#[test]
+fn mapped_circuits_never_touch_disabled_resources() {
+    check("degraded-mapping", 12, |g| {
+        let devices = devices();
+        let pristine = g.choose(&devices);
+        let qubit_frac = 0.01 + 0.19 * g.f64_unit();
+        let coupler_frac = 0.01 + 0.19 * g.f64_unit();
+        let health = DeviceHealth::random(pristine.coupling(), qubit_frac, coupler_frac, g.u64());
+        let Ok(device) = pristine.degrade(&health) else {
+            return; // overlay disabled everything: rejected up front, fine
+        };
+
+        let width = g.usize_in_incl(2..=device.active_qubit_count().min(6));
+        let circuit = random_circuit(&RandomSpec {
+            qubits: width,
+            gates: g.usize_in_incl(10..=40),
+            two_qubit_fraction: 0.4,
+            seed: g.u64(),
+        })
+        .expect("random spec is valid");
+
+        for (name, mapper) in mappers() {
+            let outcome = match mapper.map(&circuit, &device) {
+                Ok(outcome) => outcome,
+                // The only acceptable failure on a degraded device is the
+                // structured unsatisfiability taxonomy.
+                Err(MapError::Unsatisfiable(_)) => continue,
+                Err(other) => panic!(
+                    "{name} failed non-structurally (seed {}): {other}",
+                    g.seed()
+                ),
+            };
+
+            for (virt, &phys) in outcome.routed.initial.as_assignment().iter().enumerate() {
+                assert!(
+                    device.is_qubit_active(phys),
+                    "{name}: virtual {virt} placed on disabled qubit {phys}"
+                );
+            }
+            for gate in outcome.routed.circuit.gates() {
+                let qubits = gate.qubits();
+                for &q in &qubits {
+                    assert!(
+                        device.is_qubit_active(q),
+                        "{name}: gate {gate:?} touches disabled qubit {q}"
+                    );
+                }
+                if gate.is_two_qubit() {
+                    assert!(
+                        device.are_adjacent(qubits[0], qubits[1]),
+                        "{name}: gate {gate:?} crosses a disabled or absent coupler"
+                    );
+                }
+            }
+
+            // Routed output still implements the source circuit.
+            let mut rng = ChaCha8Rng::seed_from_u64(g.seed() ^ 0xD15A);
+            qcs_sim::equiv::mapped_equivalent(
+                &outcome.decomposed,
+                &outcome.routed.circuit,
+                device.qubit_count(),
+                outcome.routed.initial.as_assignment(),
+                outcome.routed.final_layout.as_assignment(),
+                2,
+                &mut rng,
+            )
+            .unwrap_or_else(|e| {
+                panic!("{name}: mapped circuit diverged on degraded device: {e:?}")
+            });
+        }
+    });
+}
+
+#[test]
+fn heavy_outages_fail_structurally_not_chaotically() {
+    // 60–90% outages: most mappings are impossible; all failures must be
+    // structured, and any success must still respect the health overlay.
+    check("degraded-heavy", 8, |g| {
+        let devices = devices();
+        let pristine = g.choose(&devices);
+        let health = DeviceHealth::random(
+            pristine.coupling(),
+            0.6 + 0.3 * g.f64_unit(),
+            0.5 * g.f64_unit(),
+            g.u64(),
+        );
+        let Ok(device) = pristine.degrade(&health) else {
+            return;
+        };
+        let circuit = random_circuit(&RandomSpec {
+            qubits: 4,
+            gates: 12,
+            two_qubit_fraction: 0.5,
+            seed: g.u64(),
+        })
+        .expect("random spec is valid");
+        for (name, mapper) in mappers() {
+            match mapper.map(&circuit, &device) {
+                Ok(outcome) => {
+                    for gate in outcome.routed.circuit.gates() {
+                        for &q in &gate.qubits() {
+                            assert!(device.is_qubit_active(q), "{name}: disabled qubit used");
+                        }
+                    }
+                }
+                Err(MapError::Unsatisfiable(_)) => {}
+                Err(other) => {
+                    panic!(
+                        "{name} failed non-structurally (seed {}): {other}",
+                        g.seed()
+                    )
+                }
+            }
+        }
+    });
+}

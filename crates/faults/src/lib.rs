@@ -1,0 +1,532 @@
+//! Deterministic failpoint registry for chaos testing.
+//!
+//! Production code is instrumented with named *sites* — cheap calls to
+//! [`hit`] at interesting points (before compiling a job, inside the
+//! router, around a connection handler). When nothing is armed a site is
+//! a single relaxed atomic load. Tests and the chaos harness *arm* sites
+//! with a [`FaultAction`] (panic, delay, injected error, or an abstract
+//! trigger the caller interprets) governed by a firing [`Policy`].
+//!
+//! Everything is deterministic: the probabilistic policy derives its
+//! decisions from a [`SplitMix64`] stream over the per-site hit counter,
+//! so the same seed and the same sequence of hits reproduce the same
+//! faults byte-for-byte — the property the chaos suite's replay tests
+//! rely on.
+//!
+//! Sites can also be armed from a compact spec string (the `QCS_FAULTS`
+//! environment variable understood by `qcs-served`):
+//!
+//! ```text
+//! site=action[:arg][@policy][;site=action...]
+//!
+//! actions   panic · delay:MS · error:MESSAGE · trigger:TAG
+//! policies  @always (default) · @once · @nth:N · @prob:P:SEED
+//! ```
+//!
+//! For example `serve.worker.job=panic@nth:3;mapper.route=delay:20`
+//! panics the third compiled job and slows every routing pass by 20 ms.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcs_faults::{arm, hit, reset, FaultAction, Hit, Policy};
+//!
+//! reset();
+//! arm("demo.site", FaultAction::Error("injected".into()), Policy::Once);
+//! assert_eq!(hit("demo.site"), Hit::Error("injected".into()));
+//! assert_eq!(hit("demo.site"), Hit::Pass); // Once only fires once
+//! reset();
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use qcs_rng::{RngCore, SplitMix64};
+
+/// What an armed failpoint does when its policy fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Panic with a recognizable message (`"failpoint panic: <site>"`).
+    Panic,
+    /// Sleep for the given number of milliseconds, then pass.
+    Delay(u64),
+    /// Return [`Hit::Error`] with the given message for the caller to
+    /// surface as an injected I/O or compile error.
+    Error(String),
+    /// Return [`Hit::Triggered`] with the given tag; the call site gives
+    /// it meaning (e.g. "degrade the device before resolving this job").
+    Trigger(String),
+}
+
+/// When an armed failpoint fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// Fire on every hit.
+    Always,
+    /// Fire on the first hit only.
+    Once,
+    /// Fire on the `n`-th hit (1-based) only.
+    Nth(u64),
+    /// Fire on each hit independently with probability `probability`,
+    /// decided by a deterministic stream derived from `seed` and the
+    /// per-site hit counter.
+    Seeded {
+        /// Firing probability in `[0, 1]`.
+        probability: f64,
+        /// Stream seed; same seed + same hit sequence = same decisions.
+        seed: u64,
+    },
+}
+
+/// Result of passing a failpoint site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Hit {
+    /// Nothing armed (or the policy did not fire): carry on.
+    Pass,
+    /// An [`FaultAction::Error`] fired; the message to propagate.
+    Error(String),
+    /// A [`FaultAction::Trigger`] fired; the tag to interpret.
+    Triggered(String),
+}
+
+#[derive(Debug)]
+struct SiteState {
+    action: FaultAction,
+    policy: Policy,
+    hits: u64,
+    fired: u64,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> MutexGuard<'static, BTreeMap<String, SiteState>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, SiteState>>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        // A panic injected *by* a failpoint may poison the lock; the map
+        // itself is always left consistent, so recover and continue.
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Policy {
+    /// Decides whether the `hits`-th hit (1-based) fires, given how many
+    /// times the site has already `fired`.
+    fn fires(&self, hits: u64, fired: u64) -> bool {
+        match *self {
+            Policy::Always => true,
+            Policy::Once => fired == 0,
+            Policy::Nth(n) => hits == n,
+            Policy::Seeded { probability, seed } => {
+                // One SplitMix64 step keyed by (seed, hit index): cheap,
+                // stateless, and independent of interleaving with other
+                // sites.
+                let mut rng = SplitMix64::new(seed ^ hits.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                unit < probability
+            }
+        }
+    }
+}
+
+/// Arms `site` with `action` under `policy`, resetting its counters.
+pub fn arm(site: &str, action: FaultAction, policy: Policy) {
+    let mut map = registry();
+    map.insert(
+        site.to_string(),
+        SiteState {
+            action,
+            policy,
+            hits: 0,
+            fired: 0,
+        },
+    );
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms `site` (no-op if it was not armed).
+pub fn disarm(site: &str) {
+    let mut map = registry();
+    map.remove(site);
+    if map.is_empty() {
+        ARMED.store(false, Ordering::Release);
+    }
+}
+
+/// Disarms every site and clears all counters.
+pub fn reset() {
+    let mut map = registry();
+    map.clear();
+    ARMED.store(false, Ordering::Release);
+}
+
+/// How many times `site` has been passed since it was armed.
+pub fn hits(site: &str) -> u64 {
+    registry().get(site).map_or(0, |s| s.hits)
+}
+
+/// How many times `site` has fired since it was armed.
+pub fn fired(site: &str) -> u64 {
+    registry().get(site).map_or(0, |s| s.fired)
+}
+
+/// Names of all currently armed sites.
+pub fn armed_sites() -> Vec<String> {
+    registry().keys().cloned().collect()
+}
+
+/// Passes through the failpoint named `site`.
+///
+/// When the site is unarmed this is one relaxed atomic load. When armed
+/// and the policy fires, the action happens *here*: `Panic` panics (with
+/// the registry lock released, so other threads keep working), `Delay`
+/// sleeps, and `Error`/`Trigger` are returned for the caller to handle.
+pub fn hit(site: &str) -> Hit {
+    if !ARMED.load(Ordering::Acquire) {
+        return Hit::Pass;
+    }
+    let outcome = {
+        let mut map = registry();
+        let Some(state) = map.get_mut(site) else {
+            return Hit::Pass;
+        };
+        state.hits += 1;
+        if !state.policy.fires(state.hits, state.fired) {
+            return Hit::Pass;
+        }
+        state.fired += 1;
+        state.action.clone()
+        // Lock drops here — before any panic or sleep.
+    };
+    match outcome {
+        FaultAction::Panic => panic!("failpoint panic: {site}"),
+        FaultAction::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Hit::Pass
+        }
+        FaultAction::Error(msg) => Hit::Error(msg),
+        FaultAction::Trigger(tag) => Hit::Triggered(tag),
+    }
+}
+
+/// An error from parsing a failpoint spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// The clause that failed to parse.
+    pub clause: String,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault spec {:?}: {}", self.clause, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn spec_error(clause: &str, message: impl Into<String>) -> SpecError {
+    SpecError {
+        clause: clause.to_string(),
+        message: message.into(),
+    }
+}
+
+fn parse_action(clause: &str, text: &str) -> Result<FaultAction, SpecError> {
+    let (name, arg) = match text.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (text, None),
+    };
+    match (name, arg) {
+        ("panic", None) => Ok(FaultAction::Panic),
+        ("panic", Some(_)) => Err(spec_error(clause, "panic takes no argument")),
+        ("delay", Some(ms)) => ms
+            .parse::<u64>()
+            .map(FaultAction::Delay)
+            .map_err(|_| spec_error(clause, format!("bad delay milliseconds {ms:?}"))),
+        ("delay", None) => Err(spec_error(clause, "delay needs milliseconds: delay:MS")),
+        ("error", Some(msg)) => Ok(FaultAction::Error(msg.to_string())),
+        ("error", None) => Err(spec_error(clause, "error needs a message: error:MESSAGE")),
+        ("trigger", Some(tag)) => Ok(FaultAction::Trigger(tag.to_string())),
+        ("trigger", None) => Err(spec_error(clause, "trigger needs a tag: trigger:TAG")),
+        _ => Err(spec_error(
+            clause,
+            format!("unknown action {name:?} (expected panic, delay, error or trigger)"),
+        )),
+    }
+}
+
+fn parse_policy(clause: &str, text: &str) -> Result<Policy, SpecError> {
+    let mut parts = text.split(':');
+    match parts.next() {
+        Some("always") => Ok(Policy::Always),
+        Some("once") => Ok(Policy::Once),
+        Some("nth") => {
+            let n = parts
+                .next()
+                .ok_or_else(|| spec_error(clause, "nth needs a count: @nth:N"))?;
+            let n: u64 = n
+                .parse()
+                .map_err(|_| spec_error(clause, format!("bad nth count {n:?}")))?;
+            if n == 0 {
+                return Err(spec_error(clause, "nth is 1-based; @nth:0 never fires"));
+            }
+            Ok(Policy::Nth(n))
+        }
+        Some("prob") => {
+            let p = parts.next().ok_or_else(|| {
+                spec_error(clause, "prob needs probability and seed: @prob:P:SEED")
+            })?;
+            let seed = parts
+                .next()
+                .ok_or_else(|| spec_error(clause, "prob needs a seed: @prob:P:SEED"))?;
+            let probability: f64 = p
+                .parse()
+                .map_err(|_| spec_error(clause, format!("bad probability {p:?}")))?;
+            if !(0.0..=1.0).contains(&probability) {
+                return Err(spec_error(clause, "probability must be in [0, 1]"));
+            }
+            let seed: u64 = seed
+                .parse()
+                .map_err(|_| spec_error(clause, format!("bad seed {seed:?}")))?;
+            Ok(Policy::Seeded { probability, seed })
+        }
+        other => Err(spec_error(
+            clause,
+            format!("unknown policy {other:?} (expected always, once, nth or prob)"),
+        )),
+    }
+}
+
+/// Parses one `site=action[:arg][@policy]` clause.
+///
+/// The policy separator is the *last* `@`, so `error` messages may
+/// contain `@` as long as the suffix is not a valid policy shape; they
+/// may never contain `;` (the clause separator).
+pub fn parse_clause(clause: &str) -> Result<(String, FaultAction, Policy), SpecError> {
+    let clause = clause.trim();
+    let (site, rest) = clause
+        .split_once('=')
+        .ok_or_else(|| spec_error(clause, "expected site=action"))?;
+    let site = site.trim();
+    if site.is_empty() {
+        return Err(spec_error(clause, "empty site name"));
+    }
+    let (action_text, policy) = match rest.rsplit_once('@') {
+        Some((before, after)) if parse_policy(clause, after).is_ok() => {
+            (before, parse_policy(clause, after)?)
+        }
+        _ => (rest, Policy::Always),
+    };
+    let action = parse_action(clause, action_text)?;
+    Ok((site.to_string(), action, policy))
+}
+
+/// Arms every clause in a `;`-separated spec string. Returns how many
+/// sites were armed. Empty clauses (trailing `;`) are skipped.
+pub fn arm_from_spec(spec: &str) -> Result<usize, SpecError> {
+    let mut parsed = Vec::new();
+    for clause in spec.split(';') {
+        if clause.trim().is_empty() {
+            continue;
+        }
+        parsed.push(parse_clause(clause)?);
+    }
+    // All-or-nothing: only arm once the whole spec parsed.
+    let count = parsed.len();
+    for (site, action, policy) in parsed {
+        arm(&site, action, policy);
+    }
+    Ok(count)
+}
+
+/// Arms from the `QCS_FAULTS` environment variable, if set. Returns how
+/// many sites were armed (0 when the variable is unset or empty).
+pub fn arm_from_env() -> Result<usize, SpecError> {
+    match std::env::var("QCS_FAULTS") {
+        Ok(spec) if !spec.trim().is_empty() => arm_from_spec(&spec),
+        _ => Ok(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global, so tests serialize themselves on a
+    /// dedicated lock to stay independent of the test harness's threading.
+    fn serial() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn unarmed_site_passes() {
+        let _g = serial();
+        reset();
+        assert_eq!(hit("nope"), Hit::Pass);
+        assert_eq!(hits("nope"), 0);
+    }
+
+    #[test]
+    fn once_fires_exactly_once() {
+        let _g = serial();
+        reset();
+        arm("t.once", FaultAction::Error("boom".into()), Policy::Once);
+        assert_eq!(hit("t.once"), Hit::Error("boom".into()));
+        assert_eq!(hit("t.once"), Hit::Pass);
+        assert_eq!(hit("t.once"), Hit::Pass);
+        assert_eq!(hits("t.once"), 3);
+        assert_eq!(fired("t.once"), 1);
+        reset();
+    }
+
+    #[test]
+    fn nth_fires_on_exactly_the_nth_hit() {
+        let _g = serial();
+        reset();
+        arm("t.nth", FaultAction::Trigger("go".into()), Policy::Nth(3));
+        assert_eq!(hit("t.nth"), Hit::Pass);
+        assert_eq!(hit("t.nth"), Hit::Pass);
+        assert_eq!(hit("t.nth"), Hit::Triggered("go".into()));
+        assert_eq!(hit("t.nth"), Hit::Pass);
+        reset();
+    }
+
+    #[test]
+    fn panic_action_panics_and_releases_the_lock() {
+        let _g = serial();
+        reset();
+        arm("t.panic", FaultAction::Panic, Policy::Once);
+        let r = std::panic::catch_unwind(|| hit("t.panic"));
+        assert!(r.is_err(), "armed panic site must panic");
+        // The registry must still be usable after the injected panic.
+        assert_eq!(fired("t.panic"), 1);
+        assert_eq!(hit("t.panic"), Hit::Pass);
+        reset();
+    }
+
+    #[test]
+    fn seeded_policy_is_deterministic_and_calibrated() {
+        let _g = serial();
+        reset();
+        let policy = Policy::Seeded {
+            probability: 0.3,
+            seed: 42,
+        };
+        let run = || {
+            arm("t.seeded", FaultAction::Error("e".into()), policy);
+            let fires: Vec<bool> = (0..200).map(|_| hit("t.seeded") != Hit::Pass).collect();
+            disarm("t.seeded");
+            fires
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same hit sequence, same decisions");
+        let count = a.iter().filter(|&&f| f).count();
+        assert!(
+            (30..=90).contains(&count),
+            "~30% of 200 hits should fire, got {count}"
+        );
+        reset();
+    }
+
+    #[test]
+    fn delay_action_sleeps_then_passes() {
+        let _g = serial();
+        reset();
+        arm("t.delay", FaultAction::Delay(10), Policy::Once);
+        let start = std::time::Instant::now();
+        assert_eq!(hit("t.delay"), Hit::Pass);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        reset();
+    }
+
+    #[test]
+    fn disarm_clears_the_fast_path() {
+        let _g = serial();
+        reset();
+        arm("t.a", FaultAction::Panic, Policy::Always);
+        arm("t.b", FaultAction::Panic, Policy::Always);
+        assert_eq!(armed_sites(), vec!["t.a".to_string(), "t.b".to_string()]);
+        disarm("t.a");
+        disarm("t.b");
+        assert!(armed_sites().is_empty());
+        assert_eq!(hit("t.a"), Hit::Pass);
+        reset();
+    }
+
+    #[test]
+    fn spec_round_trips_every_action_and_policy() {
+        let _g = serial();
+        assert_eq!(
+            parse_clause("a=panic").unwrap(),
+            ("a".into(), FaultAction::Panic, Policy::Always)
+        );
+        assert_eq!(
+            parse_clause("a.b=delay:50@once").unwrap(),
+            ("a.b".into(), FaultAction::Delay(50), Policy::Once)
+        );
+        assert_eq!(
+            parse_clause("x=error:disk on fire@nth:7").unwrap(),
+            (
+                "x".into(),
+                FaultAction::Error("disk on fire".into()),
+                Policy::Nth(7)
+            )
+        );
+        assert_eq!(
+            parse_clause("y=trigger:degrade:0.1:0.1:7@prob:0.25:99").unwrap(),
+            (
+                "y".into(),
+                FaultAction::Trigger("degrade:0.1:0.1:7".into()),
+                Policy::Seeded {
+                    probability: 0.25,
+                    seed: 99
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn error_message_may_contain_at_sign() {
+        let (_, action, policy) = parse_clause("s=error:user@host unreachable").unwrap();
+        assert_eq!(action, FaultAction::Error("user@host unreachable".into()));
+        assert_eq!(policy, Policy::Always);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in [
+            "noequals",
+            "=panic",
+            "s=explode",
+            "s=panic:now",
+            "s=delay",
+            "s=delay:soon",
+            "s=error",
+            "s=panic@nth:0",
+            "s=panic@prob:1.5:3",
+            "s=panic@prob:0.5",
+        ] {
+            assert!(parse_clause(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn arm_from_spec_is_all_or_nothing() {
+        let _g = serial();
+        reset();
+        let err = arm_from_spec("ok=panic;broken=whatever").unwrap_err();
+        assert!(err.message.contains("unknown action"));
+        assert!(armed_sites().is_empty(), "nothing armed on a bad spec");
+        assert_eq!(arm_from_spec("a=panic;b=delay:1@once;").unwrap(), 2);
+        assert_eq!(armed_sites().len(), 2);
+        reset();
+    }
+}

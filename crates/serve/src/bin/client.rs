@@ -5,27 +5,40 @@
 //! qcs-client --addr HOST:PORT workload SPEC [options]
 //! qcs-client --addr HOST:PORT suite [--count N] [--max-qubits N]
 //!                                   [--max-gates N] [--seed N] [options]
-//! qcs-client --addr HOST:PORT stats | ping | shutdown
+//! qcs-client --addr HOST:PORT stats | ping | shutdown | probe
 //!
 //! options: --device SPEC  --placer NAME  --router NAME
-//!          --deadline-ms N  --json
+//!          --deadline-ms N  --retries N  --timeout-ms N  --json
 //! ```
 //!
 //! `compile`/`workload` print a one-line summary of the mapped circuit;
 //! `suite` prints a fixed-width table, one row per benchmark. `--json`
 //! dumps the raw response instead.
+//!
+//! Transient failures — connection refused, timeouts, and load-shed
+//! `error` responses carrying a `retry_after_ms` hint — are retried up
+//! to `--retries` times (default 2) with bounded exponential backoff and
+//! deterministic jitter. Hard failures exit nonzero with a one-line
+//! diagnostic, never a panic or backtrace.
+//!
+//! `probe` is the chaos harness's hostile-input check: it fires garbage
+//! bytes, a truncated frame and an oversized length prefix at the
+//! daemon, then verifies it still answers `ping`.
 
-use std::io;
-use std::net::TcpStream;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use qcs_json::Json;
+use qcs_rng::{Rng, SeedableRng};
 use qcs_serve::protocol::{read_frame, write_json};
 
 const USAGE: &str = "usage: qcs-client --addr HOST:PORT <command> [options]\n\
-  commands: compile FILE | workload SPEC | suite | stats | ping | shutdown\n\
+  commands: compile FILE | workload SPEC | suite | stats | ping | shutdown | probe\n\
   options:  --device SPEC --placer NAME --router NAME --deadline-ms N\n\
-            --count N --max-qubits N --max-gates N --seed N --json";
+            --count N --max-qubits N --max-gates N --seed N\n\
+            --retries N --timeout-ms N --json";
 
 struct Options {
     addr: String,
@@ -37,6 +50,8 @@ struct Options {
     max_qubits: Option<usize>,
     max_gates: Option<usize>,
     seed: Option<u64>,
+    retries: u32,
+    timeout_ms: u64,
     json: bool,
     command: Vec<String>,
 }
@@ -52,6 +67,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_qubits: None,
         max_gates: None,
         seed: None,
+        retries: 2,
+        timeout_ms: 30_000,
         json: false,
         command: Vec::new(),
     };
@@ -86,6 +103,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--max-gates" => opts.max_gates = Some(value.parse().map_err(|_| bad("gate bound"))?),
             "--seed" => opts.seed = Some(value.parse().map_err(|_| bad("seed"))?),
+            "--retries" => opts.retries = value.parse().map_err(|_| bad("retry count"))?,
+            "--timeout-ms" => {
+                opts.timeout_ms = value.parse().map_err(|_| bad("timeout"))?;
+                if opts.timeout_ms == 0 {
+                    return Err("--timeout-ms must be at least 1".to_string());
+                }
+            }
             _ => return Err(format!("unknown flag '{arg}'\n{USAGE}")),
         }
     }
@@ -166,8 +190,18 @@ fn build_request(opts: &Options) -> Result<Json, String> {
     Ok(Json::object(members))
 }
 
-fn roundtrip(addr: &str, request: &Json) -> io::Result<Json> {
-    let mut stream = TcpStream::connect(addr)?;
+fn connect(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let sock_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    })?;
+    let stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    Ok(stream)
+}
+
+fn roundtrip(addr: &str, request: &Json, timeout: Duration) -> io::Result<Json> {
+    let mut stream = connect(addr, timeout)?;
     write_json(&mut stream, request)?;
     let payload = read_frame(&mut stream)?.ok_or_else(|| {
         io::Error::new(
@@ -178,6 +212,90 @@ fn roundtrip(addr: &str, request: &Json) -> io::Result<Json> {
     let text = String::from_utf8(payload)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     qcs_json::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Transport errors worth a retry: the daemon may be restarting, the
+/// machine briefly out of sockets, or a read stalled.
+fn retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
+
+/// Bounded exponential backoff with deterministic jitter: attempt `i`
+/// sleeps `50·2^i` ms (capped at 2 s) plus up to 50% jitter drawn from a
+/// [`qcs_rng::ChaCha8Rng`] seeded by the attempt index, so retry timing
+/// is reproducible run to run.
+fn backoff_ms(attempt: u32) -> u64 {
+    let base = 50u64.saturating_mul(1 << attempt.min(10)).min(2_000);
+    let mut rng = qcs_rng::ChaCha8Rng::seed_from_u64(0xC11E_47AB + u64::from(attempt));
+    base + rng.gen_range(0..=base / 2)
+}
+
+/// One-line, kind-specific diagnostic for a transport error.
+fn describe_io_error(addr: &str, timeout: Duration, e: &io::Error) -> String {
+    match e.kind() {
+        io::ErrorKind::ConnectionRefused => {
+            format!("cannot connect to {addr}: connection refused (is the daemon running?)")
+        }
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
+            format!(
+                "no response from {addr} within {} ms (daemon overloaded or unreachable)",
+                timeout.as_millis()
+            )
+        }
+        io::ErrorKind::UnexpectedEof => {
+            format!("connection to {addr} closed before a full reply arrived")
+        }
+        io::ErrorKind::InvalidData => format!("malformed response from {addr}: {e}"),
+        _ => format!("cannot talk to {addr}: {e}"),
+    }
+}
+
+/// The load-shed back-off hint, when the response carries one.
+fn retry_after_hint(response: &Json) -> Option<u64> {
+    if response.get("type").and_then(Json::as_str) != Some("error") {
+        return None;
+    }
+    response
+        .get("retry_after_ms")
+        .and_then(Json::as_usize)
+        .map(|ms| ms as u64)
+}
+
+/// Round trip with retries: transient transport errors and load-shed
+/// responses back off and try again; anything else is final.
+fn roundtrip_with_retries(opts: &Options, request: &Json) -> Result<Json, String> {
+    let timeout = Duration::from_millis(opts.timeout_ms);
+    let mut attempt = 0u32;
+    loop {
+        let outcome = roundtrip(&opts.addr, request, timeout);
+        let delay_ms = match &outcome {
+            Ok(response) => match retry_after_hint(response) {
+                Some(hint) => hint.max(backoff_ms(attempt)),
+                None => return Ok(response.clone()),
+            },
+            Err(e) if retryable(e) => backoff_ms(attempt),
+            Err(e) => return Err(describe_io_error(&opts.addr, timeout, e)),
+        };
+        if attempt >= opts.retries {
+            return match outcome {
+                Ok(response) => Ok(response), // surface the final shed error
+                Err(e) => Err(format!(
+                    "{} (gave up after {} attempts)",
+                    describe_io_error(&opts.addr, timeout, &e),
+                    attempt + 1
+                )),
+            };
+        }
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        attempt += 1;
+    }
 }
 
 fn field(report: &Json, key: &str) -> String {
@@ -279,6 +397,50 @@ fn present(response: &Json) -> bool {
     }
 }
 
+/// Fires hostile input at the daemon (unframed garbage, a truncated
+/// frame, an oversized length prefix), then checks it still answers
+/// `ping`. Exit status: did the daemon survive?
+fn probe(opts: &Options) -> Result<(), String> {
+    let timeout = Duration::from_millis(opts.timeout_ms);
+    let attacks: [(&str, Vec<u8>); 3] = [
+        (
+            "unframed garbage",
+            b"\xff\xfenot a frame at all\x00\x01".to_vec(),
+        ),
+        // Length prefix promises 1024 bytes, delivers 3, hangs up.
+        ("truncated frame", {
+            let mut b = 1024u32.to_be_bytes().to_vec();
+            b.extend_from_slice(b"abc");
+            b
+        }),
+        // A prefix past MAX_FRAME_BYTES must be rejected before any
+        // buffering happens.
+        ("oversized length prefix", u32::MAX.to_be_bytes().to_vec()),
+    ];
+    for (name, bytes) in &attacks {
+        let mut stream =
+            connect(&opts.addr, timeout).map_err(|e| describe_io_error(&opts.addr, timeout, &e))?;
+        // The daemon may reply (an error frame) or just close; either
+        // way the write itself succeeding is all the attack needs.
+        stream
+            .write_all(bytes)
+            .map_err(|e| format!("sending {name}: {e}"))?;
+        drop(stream);
+        println!("sent {name} ({} bytes)", bytes.len());
+    }
+    let ping = Json::object([("type", "ping")]);
+    let response = roundtrip_with_retries(opts, &ping)?;
+    if response.get("type").and_then(Json::as_str) == Some("pong") {
+        println!("daemon survived {} hostile frames", attacks.len());
+        Ok(())
+    } else {
+        Err(format!(
+            "daemon answered ping with {} after hostile input",
+            response.to_compact_string()
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_options(&args) {
@@ -288,6 +450,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.command[0] == "probe" {
+        return match probe(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("qcs-client: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let request = match build_request(&opts) {
         Ok(request) => request,
         Err(message) => {
@@ -295,10 +466,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let response = match roundtrip(&opts.addr, &request) {
+    let response = match roundtrip_with_retries(&opts, &request) {
         Ok(response) => response,
-        Err(e) => {
-            eprintln!("qcs-client: {e}");
+        Err(message) => {
+            eprintln!("qcs-client: {message}");
             return ExitCode::FAILURE;
         }
     };

@@ -10,6 +10,7 @@ use qcs_circuit::circuit::Circuit;
 use qcs_topology::device::Device;
 use qcs_topology::lattice::{full_device, grid_device, heavy_hex_device, line_device, ring_device};
 use qcs_topology::surface::{surface17, surface7, surface_extended};
+use qcs_topology::DeviceHealth;
 
 /// Error raised for an unknown or malformed spec.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,12 +48,39 @@ fn parse_dims(spec: &str, arg: &str) -> Result<(usize, usize), SpecError> {
 /// Resolves a device spec.
 ///
 /// Accepted: `surface7`, `surface17`, `surface97`, `line:N`, `ring:N`,
-/// `full:N`, `grid:RxC`, `heavy-hex:RxC`.
+/// `full:N`, `grid:RxC`, `heavy-hex:RxC`, plus the recursive
+/// `degraded:QFRAC:CFRAC:SEED:BASE` wrapper, where `BASE` is any device
+/// spec (including another `degraded:` one) and the fractions pick a
+/// seeded random outage of its qubits and couplers. Degradation is
+/// deterministic — same spec, same device, same `@digest` name — so
+/// degraded specs remain valid cache-key material.
 ///
 /// # Errors
 ///
 /// [`SpecError`] with a client-presentable message.
 pub fn resolve_device(spec: &str) -> Result<Device, SpecError> {
+    if let Some(rest) = spec.strip_prefix("degraded:") {
+        // BASE may itself contain ':', so split off exactly three args.
+        let parts: Vec<&str> = rest.splitn(4, ':').collect();
+        let [qubit_frac, coupler_frac, seed, base] = parts.as_slice() else {
+            return Err(SpecError(format!(
+                "degraded spec needs QFRAC:CFRAC:SEED:BASE, got '{spec}'"
+            )));
+        };
+        let qubit_frac: f64 = parse_num(spec, qubit_frac, "disabled-qubit fraction")?;
+        let coupler_frac: f64 = parse_num(spec, coupler_frac, "disabled-coupler fraction")?;
+        let seed: u64 = parse_num(spec, seed, "seed")?;
+        if !(0.0..=1.0).contains(&qubit_frac) || !(0.0..=1.0).contains(&coupler_frac) {
+            return Err(SpecError(format!(
+                "degraded fractions must be in [0, 1] in spec '{spec}'"
+            )));
+        }
+        let device = resolve_device(base)?;
+        let health = DeviceHealth::random(device.coupling(), qubit_frac, coupler_frac, seed);
+        return device
+            .degrade(&health)
+            .map_err(|e| SpecError(format!("degraded spec '{spec}' rejected: {e}")));
+    }
     let (head, args) = split_args(spec);
     let arity_err = || SpecError(format!("wrong argument count in device spec '{spec}'"));
     match (head, args.as_slice()) {
@@ -79,7 +107,8 @@ pub fn resolve_device(spec: &str) -> Result<Device, SpecError> {
         ) => Err(arity_err()),
         _ => Err(SpecError(format!(
             "unknown device '{spec}' (try surface7, surface17, surface97, \
-             line:N, ring:N, full:N, grid:RxC, heavy-hex:RxC)"
+             line:N, ring:N, full:N, grid:RxC, heavy-hex:RxC, \
+             degraded:QFRAC:CFRAC:SEED:BASE)"
         ))),
     }
 }
@@ -151,6 +180,34 @@ mod tests {
         assert_eq!(resolve_device("full:4").unwrap().qubit_count(), 4);
         assert_eq!(resolve_device("grid:3x4").unwrap().qubit_count(), 12);
         assert!(resolve_device("heavy-hex:2x2").unwrap().qubit_count() > 4);
+    }
+
+    #[test]
+    fn degraded_specs_resolve_deterministically_and_recursively() {
+        let a = resolve_device("degraded:0.1:0.1:7:surface17").unwrap();
+        let b = resolve_device("degraded:0.1:0.1:7:surface17").unwrap();
+        assert_eq!(a.name(), b.name(), "same spec, same degraded device");
+        assert!(a.name().starts_with("surface-17@"));
+        assert!(a.active_qubit_count() < 17);
+
+        // BASE may itself be parameterized — or degraded again.
+        let grid = resolve_device("degraded:0:0.2:3:grid:4x5").unwrap();
+        assert_eq!(grid.qubit_count(), 20);
+        let twice = resolve_device("degraded:0:0.1:9:degraded:0:0.1:3:ring:12").unwrap();
+        assert!(twice.name().starts_with("ring-12@"));
+    }
+
+    #[test]
+    fn degraded_spec_errors() {
+        for bad in [
+            "degraded:0.1:0.1:7",           // missing base
+            "degraded:2.0:0.1:7:surface17", // fraction out of range
+            "degraded:0.1:x:7:surface17",   // malformed fraction
+            "degraded:0.1:0.1:7:warp-core", // bad base
+            "degraded:1:0:7:surface17",     // overlay disables everything
+        ] {
+            assert!(resolve_device(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

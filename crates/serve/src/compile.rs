@@ -21,6 +21,7 @@ use qcs_core::config::MapperConfig;
 use qcs_core::mapper::StageTiming;
 use qcs_json::{Json, ToJson};
 use qcs_topology::device::Device;
+use qcs_topology::DeviceHealth;
 
 use crate::catalog;
 use crate::protocol::{CompileRequest, Source};
@@ -81,6 +82,43 @@ impl Job {
     /// The job's content digest — the cache key.
     pub fn digest(&self) -> u64 {
         job_digest(&self.circuit, &self.device, &self.config)
+    }
+
+    /// Applies a `qcs-faults` trigger tag to this job.
+    ///
+    /// The only tag currently understood is
+    /// `degrade:QFRAC:CFRAC:SEED` — a mid-flight calibration outage that
+    /// swaps the job's device for a seeded random degradation of itself
+    /// (see [`DeviceHealth::random`]). Because degrading renames the
+    /// device, the job's digest changes with it and cached fault-free
+    /// results stay untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError`] on an unknown tag, a malformed spec, or an overlay
+    /// the device rejects.
+    pub fn apply_trigger(&mut self, tag: &str) -> Result<(), JobError> {
+        let Some(spec) = tag.strip_prefix("degrade:") else {
+            return Err(JobError(format!("unknown fault trigger '{tag}'")));
+        };
+        let bad = || {
+            JobError(format!(
+                "bad degrade trigger '{tag}' (want degrade:QFRAC:CFRAC:SEED)"
+            ))
+        };
+        let mut parts = spec.split(':');
+        let qubit_frac: f64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let coupler_frac: f64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let seed: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        let health = DeviceHealth::random(self.device.coupling(), qubit_frac, coupler_frac, seed);
+        self.device = self
+            .device
+            .degrade(&health)
+            .map_err(|e| JobError(format!("degrade trigger rejected: {e}")))?;
+        Ok(())
     }
 }
 

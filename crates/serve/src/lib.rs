@@ -22,6 +22,13 @@
 //! the determinism argument, and `tests/e2e.rs` for the headline
 //! guarantee exercised end to end: daemon responses are byte-identical
 //! to in-process [`qcs_core::mapper::Mapper`] output, cached or not.
+//!
+//! The daemon also degrades gracefully: panicking compiles are isolated
+//! to their connection (never the worker pool), over-capacity clients
+//! are shed with a `retry_after_ms` hint, and `qcs-faults` failpoints
+//! (`serve.connection`, `serve.worker.job`) let the chaos suite and
+//! `ci_chaos.sh` inject those failures deterministically — see
+//! `tests/chaos.rs` and DESIGN.md §6.
 
 #![warn(missing_docs)]
 
@@ -35,4 +42,4 @@ pub mod server;
 pub use cache::{CacheStats, ResultCache};
 pub use compile::{job_digest, run_job, CompileOutput, Job};
 pub use protocol::{read_frame, write_frame, CompileRequest, Request, Source};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Server, ServerConfig, ServerHandle, ShutdownStats};

@@ -3,12 +3,18 @@
 //! ```text
 //! qcs-serve [--addr HOST:PORT] [--workers N] [--max-conns N]
 //!           [--cache-mb N] [--frame-deadline-ms N] [--port-file PATH]
+//!           [--faults SPEC]
 //! ```
 //!
 //! Binds (port 0 = ephemeral), prints the bound address on stdout, and
 //! serves until a protocol `shutdown` request arrives. `--port-file`
 //! writes the bound port to a file once listening — scripts (e.g. the CI
 //! smoke test) poll that file instead of parsing stdout.
+//!
+//! `--faults` (or the `QCS_FAULTS` environment variable) arms
+//! deterministic `qcs-faults` failpoints for chaos testing, e.g.
+//! `--faults 'serve.worker.job=panic@prob:0.1:42'`; see the `qcs-faults`
+//! crate for the spec grammar.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -17,13 +23,14 @@ use qcs_serve::server::{Server, ServerConfig};
 
 fn usage() -> String {
     "usage: qcs-serve [--addr HOST:PORT] [--workers N] [--max-conns N] \
-     [--cache-mb N] [--frame-deadline-ms N] [--port-file PATH]"
+     [--cache-mb N] [--frame-deadline-ms N] [--port-file PATH] [--faults SPEC]"
         .to_string()
 }
 
-fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<String>), String> {
+fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<String>, Option<String>), String> {
     let mut config = ServerConfig::default();
     let mut port_file = None;
+    let mut faults = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if flag == "--help" || flag == "-h" {
@@ -53,21 +60,38 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<String>), String>
                 config.frame_deadline = Duration::from_millis(ms);
             }
             "--port-file" => port_file = Some(value.clone()),
+            "--faults" => faults = Some(value.clone()),
             _ => return Err(format!("unknown flag '{flag}'\n{}", usage())),
         }
     }
-    Ok((config, port_file))
+    Ok((config, port_file, faults))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (config, port_file) = match parse_args(&args) {
+    let (config, port_file, faults) = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };
+
+    // Chaos harness hooks: --faults wins over the QCS_FAULTS variable.
+    let armed = match faults {
+        Some(spec) => qcs_faults::arm_from_spec(&spec),
+        None => qcs_faults::arm_from_env(),
+    };
+    match armed {
+        Ok(0) => {}
+        Ok(n) => eprintln!("qcs-serve: {n} failpoint(s) armed: {:?}", {
+            qcs_faults::armed_sites()
+        }),
+        Err(e) => {
+            eprintln!("qcs-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let handle = match Server::start(config) {
         Ok(handle) => handle,
@@ -85,7 +109,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    handle.wait();
+    let stats = handle.wait();
+    if stats.threads_panicked > 0 {
+        eprintln!(
+            "qcs-serve: shut down with {} panicked thread(s)",
+            stats.threads_panicked
+        );
+        return ExitCode::FAILURE;
+    }
     println!("qcs-serve: shut down cleanly");
     ExitCode::SUCCESS
 }

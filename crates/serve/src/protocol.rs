@@ -260,6 +260,16 @@ pub fn error_response(message: impl Into<String>) -> Json {
     ])
 }
 
+/// Builds a load-shedding `error` response carrying a `retry_after_ms`
+/// back-off hint clients should honor before reconnecting.
+pub fn shed_response(message: impl Into<String>, retry_after_ms: u64) -> Json {
+    Json::object([
+        ("type", Json::from("error")),
+        ("message", Json::from(message.into())),
+        ("retry_after_ms", Json::from(retry_after_ms)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,5 +381,12 @@ mod tests {
         let e = error_response("boom");
         assert_eq!(e.get("type").and_then(Json::as_str), Some("error"));
         assert_eq!(e.get("message").and_then(Json::as_str), Some("boom"));
+    }
+
+    #[test]
+    fn shed_response_carries_retry_hint() {
+        let e = shed_response("busy", 250);
+        assert_eq!(e.get("type").and_then(Json::as_str), Some("error"));
+        assert_eq!(e.get("retry_after_ms").and_then(Json::as_usize), Some(250));
     }
 }

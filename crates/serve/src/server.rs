@@ -16,26 +16,37 @@
 //! * **Request deadline** — `deadline_ms` turns an over-budget job into
 //!   an `error` response (the compile result, if any, is still cached).
 //! * **Connection limit** — sockets beyond `max_connections` receive an
-//!   immediate `error` frame instead of unbounded queueing.
+//!   immediate `error` frame with a `retry_after_ms` hint instead of
+//!   unbounded queueing (load shedding; counted in `stats`).
+//! * **Panic isolation** — a compile that panics (a compiler bug, or an
+//!   injected `qcs-faults` failpoint) turns into an `error` response on
+//!   that one connection; the worker, its queue and the shared cache all
+//!   survive, and the panic is counted in `stats`.
 //! * **Clean shutdown** — a `shutdown` request (or
 //!   [`ServerHandle::shutdown`]) stops the accept loop, drains workers
-//!   and joins every thread; no thread outlives the handle.
+//!   and joins every thread; no thread outlives the handle. Threads that
+//!   died panicking are recorded in [`ShutdownStats`] rather than
+//!   re-panicking the caller.
 
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use qcs_json::Json;
 use qcs_workloads::suite::{generate_suite, SuiteConfig};
 
+use qcs_faults::Hit;
+
 use crate::cache::ResultCache;
 use crate::compile::{run_job, Job};
 use crate::histogram::LatencyHistogram;
 use crate::protocol::{
-    error_response, write_frame, write_json, CompileRequest, Request, SuiteRequest, MAX_FRAME_BYTES,
+    error_response, shed_response, write_frame, write_json, CompileRequest, Request, SuiteRequest,
+    MAX_FRAME_BYTES,
 };
 
 /// Tuning knobs for [`Server::start`].
@@ -69,6 +80,30 @@ impl Default for ServerConfig {
 /// How often blocked reads and idle workers re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
+/// Back-off hint handed to load-shed clients.
+const SHED_RETRY_MS: u64 = 100;
+
+/// Locks a mutex, recovering from poisoning. Every shared structure here
+/// (queue, cache, stats) maintains its invariants between operations, so
+/// a panic that unwound through a guard — e.g. an injected failpoint —
+/// leaves consistent data behind and serving can continue.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Renders a caught panic payload into a one-line message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 struct ServeStats {
     total: LatencyHistogram,
     decompose: LatencyHistogram,
@@ -97,6 +132,9 @@ struct Shared {
     queue_signal: Condvar,
     active: AtomicUsize,
     jobs_served: AtomicU64,
+    jobs_panicked: AtomicU64,
+    connections_panicked: AtomicU64,
+    connections_shed: AtomicU64,
     cache: Mutex<ResultCache>,
     stats: Mutex<ServeStats>,
 }
@@ -110,6 +148,21 @@ impl Shared {
         // The accept thread may be parked in accept(): poke it awake.
         let _ = TcpStream::connect(self.local_addr);
     }
+}
+
+/// What the daemon's threads reported at join time.
+///
+/// Panic isolation means worker threads normally survive even panicking
+/// jobs; a nonzero [`threads_panicked`](ShutdownStats::threads_panicked)
+/// therefore signals a bug in the serving loop itself, not in a job.
+/// Shutdown still completes cleanly either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShutdownStats {
+    /// Daemon threads that exited normally.
+    pub threads_joined: usize,
+    /// Daemon threads that died panicking (their panic is swallowed at
+    /// join time so shutdown always completes).
+    pub threads_panicked: usize,
 }
 
 /// The running daemon: address + thread handles.
@@ -130,24 +183,31 @@ impl ServerHandle {
     }
 
     /// Requests shutdown and joins every daemon thread.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(mut self) -> ShutdownStats {
         self.shared.initiate_shutdown();
-        self.join_all();
+        self.join_all()
     }
 
     /// Blocks until the daemon shuts down (via a protocol `shutdown`
     /// request) and joins every daemon thread.
-    pub fn wait(mut self) {
-        self.join_all();
+    pub fn wait(mut self) -> ShutdownStats {
+        self.join_all()
     }
 
-    fn join_all(&mut self) {
-        if let Some(t) = self.accept_thread.take() {
-            t.join().expect("accept thread must not panic");
+    fn join_all(&mut self) -> ShutdownStats {
+        let mut stats = ShutdownStats::default();
+        let threads = self
+            .accept_thread
+            .take()
+            .into_iter()
+            .chain(self.worker_threads.drain(..));
+        for t in threads {
+            match t.join() {
+                Ok(()) => stats.threads_joined += 1,
+                Err(_) => stats.threads_panicked += 1,
+            }
         }
-        for t in self.worker_threads.drain(..) {
-            t.join().expect("worker thread must not panic");
-        }
+        stats
     }
 }
 
@@ -174,6 +234,9 @@ impl Server {
             queue_signal: Condvar::new(),
             active: AtomicUsize::new(0),
             jobs_served: AtomicU64::new(0),
+            jobs_panicked: AtomicU64::new(0),
+            connections_panicked: AtomicU64::new(0),
+            connections_shed: AtomicU64::new(0),
             cache: Mutex::new(ResultCache::new(cache_bytes)),
             stats: Mutex::new(ServeStats::new()),
         });
@@ -208,10 +271,11 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             break; // the stream (often the shutdown self-poke) is dropped
         }
         let Ok(stream) = stream else { continue };
-        let mut queue = shared.queue.lock().expect("queue lock never poisoned");
+        let mut queue = lock_recovering(&shared.queue);
         let admitted = queue.len() + shared.active.load(Ordering::SeqCst);
         if admitted >= shared.config.max_connections {
             drop(queue);
+            shared.connections_shed.fetch_add(1, Ordering::SeqCst);
             reject_connection(stream);
             continue;
         }
@@ -224,19 +288,20 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     shared.queue_signal.notify_all();
 }
 
-/// Tells an over-limit client why it is being turned away.
+/// Tells an over-limit client why it is being turned away and when to
+/// come back.
 fn reject_connection(mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let _ = write_json(
         &mut stream,
-        &error_response("server at connection capacity, retry later"),
+        &shed_response("server at connection capacity, retry later", SHED_RETRY_MS),
     );
 }
 
 fn worker_loop(shared: &Shared) {
     loop {
         let stream = {
-            let mut queue = shared.queue.lock().expect("queue lock never poisoned");
+            let mut queue = lock_recovering(&shared.queue);
             loop {
                 if let Some(stream) = queue.pop() {
                     break Some(stream);
@@ -247,13 +312,21 @@ fn worker_loop(shared: &Shared) {
                 let (q, _) = shared
                     .queue_signal
                     .wait_timeout(queue, POLL_INTERVAL)
-                    .expect("queue lock never poisoned");
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
                 queue = q;
             }
         };
         let Some(stream) = stream else { return };
         shared.active.fetch_add(1, Ordering::SeqCst);
-        handle_connection(stream, shared);
+        // A panic that escapes the per-job isolation in `serve_compile`
+        // (connection bookkeeping, an injected `serve.connection` fault)
+        // costs that one connection, never the worker: catch it, count
+        // it, keep claiming sockets.
+        let caught =
+            std::panic::catch_unwind(AssertUnwindSafe(|| handle_connection(stream, shared)));
+        if caught.is_err() {
+            shared.connections_panicked.fetch_add(1, Ordering::SeqCst);
+        }
         shared.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -351,6 +424,9 @@ fn read_request_frame(stream: &mut TcpStream, shared: &Shared) -> FrameRead {
 }
 
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    // Chaos-test failpoint: lets the harness kill or stall a connection
+    // wholesale to prove the worker pool survives.
+    let _ = qcs_faults::hit("serve.connection");
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
@@ -407,14 +483,19 @@ fn compile_via_cache(shared: &Shared, request: &CompileRequest) -> Result<Arc<Ve
             .map(|d| format!("deadline of {} ms exceeded {when}", d.as_millis()))
     };
 
-    let job = Job::resolve(request).map_err(|e| e.to_string())?;
+    let mut job = Job::resolve(request).map_err(|e| e.to_string())?;
+    // Chaos-test failpoint, deliberately *before* the cache lookup so
+    // every request — cache hit or miss — can be made to fail. Panics
+    // unwind into `serve_compile`'s isolation; triggers mutate the job
+    // (e.g. a `degrade:...` calibration outage).
+    match qcs_faults::hit("serve.worker.job") {
+        Hit::Pass => {}
+        Hit::Error(message) => return Err(format!("injected fault: {message}")),
+        Hit::Triggered(tag) => job.apply_trigger(&tag).map_err(|e| e.to_string())?,
+    }
     let digest = job.digest();
 
-    let cached = shared
-        .cache
-        .lock()
-        .expect("cache lock never poisoned")
-        .get(digest);
+    let cached = lock_recovering(&shared.cache).get(digest);
     let payload = match cached {
         Some(payload) => payload,
         None => {
@@ -423,13 +504,9 @@ fn compile_via_cache(shared: &Shared, request: &CompileRequest) -> Result<Arc<Ve
             }
             let output = run_job(&job).map_err(|e| e.to_string())?;
             let payload = Arc::new(output.payload);
-            shared
-                .cache
-                .lock()
-                .expect("cache lock never poisoned")
-                .insert(digest, payload.as_ref().clone());
+            lock_recovering(&shared.cache).insert(digest, payload.as_ref().clone());
             let timing = output.timing;
-            let mut stats = shared.stats.lock().expect("stats lock never poisoned");
+            let mut stats = lock_recovering(&shared.stats);
             stats.decompose.record(timing.decompose_micros as u64);
             stats.place.record(timing.place_micros as u64);
             stats.route.record(timing.route_micros as u64);
@@ -439,10 +516,7 @@ fn compile_via_cache(shared: &Shared, request: &CompileRequest) -> Result<Arc<Ve
     };
 
     shared.jobs_served.fetch_add(1, Ordering::SeqCst);
-    shared
-        .stats
-        .lock()
-        .expect("stats lock never poisoned")
+    lock_recovering(&shared.stats)
         .total
         .record(started.elapsed().as_micros() as u64);
 
@@ -453,9 +527,19 @@ fn compile_via_cache(shared: &Shared, request: &CompileRequest) -> Result<Arc<Ve
 }
 
 fn serve_compile(stream: &mut TcpStream, shared: &Shared, request: &CompileRequest) -> bool {
-    match compile_via_cache(shared, request) {
-        Ok(payload) => write_frame(stream, &payload).is_ok(),
-        Err(message) => write_json(stream, &error_response(message)).is_ok(),
+    // Panic isolation: a compile that panics — a pipeline bug or an
+    // injected failpoint — becomes a structured error frame on this one
+    // connection. The worker, the queue and the cache all survive, and
+    // the shared locks recover from any poisoning the unwind caused.
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| compile_via_cache(shared, request)));
+    match outcome {
+        Ok(Ok(payload)) => write_frame(stream, &payload).is_ok(),
+        Ok(Err(message)) => write_json(stream, &error_response(message)).is_ok(),
+        Err(panic) => {
+            shared.jobs_panicked.fetch_add(1, Ordering::SeqCst);
+            let message = format!("compilation panicked: {}", panic_message(panic.as_ref()));
+            write_json(stream, &error_response(message)).is_ok()
+        }
     }
 }
 
@@ -484,22 +568,29 @@ fn serve_suite(stream: &mut TcpStream, shared: &Shared, request: &SuiteRequest) 
             config: request.config.clone(),
         };
         let digest = job.digest();
-        let cached = shared
-            .cache
-            .lock()
-            .expect("cache lock never poisoned")
-            .get(digest);
-        let outcome = match cached {
+        let cached = lock_recovering(&shared.cache).get(digest);
+        let outcome: Result<Arc<Vec<u8>>, String> = match cached {
             Some(payload) => Ok(payload),
-            None => run_job(&job).map(|output| {
-                let payload = Arc::new(output.payload);
-                shared
-                    .cache
-                    .lock()
-                    .expect("cache lock never poisoned")
-                    .insert(digest, payload.as_ref().clone());
-                payload
-            }),
+            None => {
+                // Same panic isolation as the single-compile path: one
+                // panicking benchmark yields one error row, not a dead
+                // batch engine.
+                match std::panic::catch_unwind(AssertUnwindSafe(|| run_job(&job))) {
+                    Ok(Ok(output)) => {
+                        let payload = Arc::new(output.payload);
+                        lock_recovering(&shared.cache).insert(digest, payload.as_ref().clone());
+                        Ok(payload)
+                    }
+                    Ok(Err(e)) => Err(e.to_string()),
+                    Err(panic) => {
+                        shared.jobs_panicked.fetch_add(1, Ordering::SeqCst);
+                        Err(format!(
+                            "compilation panicked: {}",
+                            panic_message(panic.as_ref())
+                        ))
+                    }
+                }
+            }
         };
         match outcome {
             Ok(payload) => {
@@ -511,9 +602,9 @@ fn serve_suite(stream: &mut TcpStream, shared: &Shared, request: &SuiteRequest) 
                     ("result", value),
                 ])
             }
-            Err(e) => Json::object([
+            Err(message) => Json::object([
                 ("name", Json::from(benchmark.name.clone())),
-                ("result", error_response(e.to_string())),
+                ("result", error_response(message)),
             ]),
         }
     });
@@ -526,12 +617,8 @@ fn serve_suite(stream: &mut TcpStream, shared: &Shared, request: &SuiteRequest) 
 }
 
 fn stats_json(shared: &Shared) -> Json {
-    let cache = shared
-        .cache
-        .lock()
-        .expect("cache lock never poisoned")
-        .stats();
-    let stats = shared.stats.lock().expect("stats lock never poisoned");
+    let cache = lock_recovering(&shared.cache).stats();
+    let stats = lock_recovering(&shared.stats);
     Json::object([
         ("type", Json::from("stats")),
         (
@@ -541,6 +628,23 @@ fn stats_json(shared: &Shared) -> Json {
         (
             "active_connections",
             Json::from(shared.active.load(Ordering::SeqCst)),
+        ),
+        (
+            "faults",
+            Json::object([
+                (
+                    "jobs_panicked",
+                    Json::from(shared.jobs_panicked.load(Ordering::SeqCst)),
+                ),
+                (
+                    "connections_panicked",
+                    Json::from(shared.connections_panicked.load(Ordering::SeqCst)),
+                ),
+                (
+                    "connections_shed",
+                    Json::from(shared.connections_shed.load(Ordering::SeqCst)),
+                ),
+            ]),
         ),
         (
             "cache",

@@ -1,0 +1,264 @@
+//! Chaos suite: the daemon under deterministic fault injection.
+//!
+//! One sequential test (the `qcs-faults` registry is process-global, so
+//! phases must not interleave) drives the acceptance scenario from the
+//! degraded-operation work: with worker panics injected and a device
+//! with ~10% of couplers disabled, 100 concurrent compile requests all
+//! get either a result byte-identical to a fault-free in-process
+//! `Mapper` run on the same degraded device, or a structured error
+//! frame — zero dropped connections — and `stats` accounts for every
+//! injected failure. Expectations are computed *before* any failpoint
+//! is armed, since the in-process pipeline shares this process's
+//! registry.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use qcs_core::config::MapperConfig;
+use qcs_faults::{arm, reset, FaultAction, Policy};
+use qcs_json::Json;
+use qcs_serve::compile::{run_job, Job};
+use qcs_serve::protocol::{read_frame, write_frame, CompileRequest, Source};
+use qcs_serve::server::{Server, ServerConfig};
+
+/// ~10% of surface-17's couplers disabled, deterministically.
+const DEGRADED_DEVICE: &str = "degraded:0:0.1:11:surface17";
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    TcpStream::connect(addr).expect("daemon accepts connections")
+}
+
+fn exchange(stream: &mut TcpStream, request: &str) -> Vec<u8> {
+    write_frame(stream, request.as_bytes()).expect("request frame written");
+    read_frame(stream)
+        .expect("response frame read")
+        .expect("daemon replied before closing")
+}
+
+fn exchange_json(stream: &mut TcpStream, request: &str) -> Json {
+    let payload = exchange(stream, request);
+    qcs_json::parse(std::str::from_utf8(&payload).unwrap()).expect("response is JSON")
+}
+
+fn response_type(value: &Json) -> &str {
+    value.get("type").and_then(Json::as_str).unwrap_or("?")
+}
+
+fn fault_counter(stats: &Json, key: &str) -> usize {
+    stats
+        .get("faults")
+        .and_then(|f| f.get(key))
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("stats carries faults.{key}"))
+}
+
+/// (request JSON, expected fault-free response bytes) for `count`
+/// distinct workloads on the degraded device, from the in-process
+/// pipeline. MUST run with no failpoints armed.
+fn degraded_expectations(count: usize) -> Vec<(String, Vec<u8>)> {
+    assert!(
+        qcs_faults::armed_sites().is_empty(),
+        "compute before arming"
+    );
+    (0..count)
+        .map(|i| {
+            let spec = format!("ghz:{}", 4 + (i % 10));
+            let request = format!(
+                r#"{{"type":"compile","workload":"{spec}","device":"{DEGRADED_DEVICE}","placer":"trivial","router":"lookahead"}}"#
+            );
+            let job = Job::resolve(&CompileRequest {
+                source: Source::Workload(spec),
+                device: DEGRADED_DEVICE.to_string(),
+                config: MapperConfig::new("trivial", "lookahead"),
+                deadline_ms: None,
+            })
+            .expect("degraded device resolves");
+            let expected = run_job(&job).expect("degraded jobs compile").payload;
+            (request, expected)
+        })
+        .collect()
+}
+
+#[test]
+fn daemon_serves_through_injected_faults() {
+    reset();
+    let expectations = degraded_expectations(10);
+
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 8,
+        max_connections: 128,
+        cache_bytes: 8 << 20,
+        frame_deadline: Duration::from_secs(5),
+    })
+    .expect("daemon starts");
+    let addr = handle.local_addr();
+    let mut control = connect(addr);
+
+    // Phase 1 — a panicking compile is isolated: the request gets a
+    // structured error frame, the next request on the same connection a
+    // real result, and the panic shows up in stats.
+    arm("serve.worker.job", FaultAction::Panic, Policy::Once);
+    let mut victim = connect(addr);
+    let reply = exchange_json(&mut victim, &expectations[0].0);
+    assert_eq!(response_type(&reply), "error");
+    assert!(reply
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("panicked"));
+    let payload = exchange(&mut victim, &expectations[0].0);
+    assert_eq!(
+        payload, expectations[0].1,
+        "post-panic response must match the fault-free in-process run"
+    );
+    drop(victim);
+    reset();
+    let stats = exchange_json(&mut control, r#"{"type":"stats"}"#);
+    assert_eq!(fault_counter(&stats, "jobs_panicked"), 1);
+
+    // Phase 2 — injected I/O-style errors surface verbatim as error
+    // frames and never poison later requests.
+    arm(
+        "serve.worker.job",
+        FaultAction::Error("disk on fire".into()),
+        Policy::Once,
+    );
+    let reply = exchange_json(&mut control, &expectations[1].0);
+    assert_eq!(response_type(&reply), "error");
+    assert!(reply
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("disk on fire"));
+    reset();
+
+    // Phase 3 — a connection-level panic costs that connection only:
+    // the worker survives, the next client is served, and the panic is
+    // counted separately from job panics.
+    arm("serve.connection", FaultAction::Panic, Policy::Once);
+    let mut doomed = connect(addr);
+    assert_eq!(
+        read_frame(&mut doomed).expect("clean close"),
+        None,
+        "panicked connection closes without a frame"
+    );
+    drop(doomed);
+    reset();
+    let stats = exchange_json(&mut control, r#"{"type":"stats"}"#);
+    assert_eq!(fault_counter(&stats, "connections_panicked"), 1);
+    assert_eq!(fault_counter(&stats, "jobs_panicked"), 1, "unchanged");
+
+    // Phase 4 — the acceptance hammer: 100 concurrent requests against
+    // the degraded device while a seeded failpoint panics ~15% of jobs.
+    // Every request must get a frame (no drops): either the byte-exact
+    // fault-free result or a structured injected-panic error.
+    let panicked = AtomicUsize::new(0);
+    arm(
+        "serve.worker.job",
+        FaultAction::Panic,
+        Policy::Seeded {
+            probability: 0.15,
+            seed: 4242,
+        },
+    );
+    std::thread::scope(|scope| {
+        for t in 0..10 {
+            let panicked = &panicked;
+            let expectations = &expectations;
+            scope.spawn(move || {
+                let mut stream = connect(addr);
+                for (request, expected) in expectations {
+                    let response = exchange(&mut stream, request);
+                    if response == *expected {
+                        continue;
+                    }
+                    let value = qcs_json::parse(std::str::from_utf8(&response).unwrap()).unwrap();
+                    assert_eq!(
+                        response_type(&value),
+                        "error",
+                        "thread {t}: response neither expected bytes nor an error frame"
+                    );
+                    assert!(
+                        value
+                            .get("message")
+                            .and_then(Json::as_str)
+                            .unwrap()
+                            .contains("panicked"),
+                        "thread {t}: unexplained error during hammer"
+                    );
+                    panicked.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    let injected = qcs_faults::fired("serve.worker.job") as usize;
+    reset();
+    assert_eq!(qcs_faults::hits("serve.worker.job"), 0, "reset clears");
+    assert!(injected > 0, "seeded policy fired during 100 requests");
+    assert_eq!(
+        panicked.load(Ordering::SeqCst),
+        injected,
+        "every injected panic produced exactly one error frame"
+    );
+    let stats = exchange_json(&mut control, r#"{"type":"stats"}"#);
+    assert_eq!(
+        fault_counter(&stats, "jobs_panicked"),
+        1 + injected,
+        "stats account for every injected panic"
+    );
+
+    // Phase 5 — the degrade *trigger*: the daemon compiles against a
+    // device degraded mid-flight, and the payload is byte-identical to
+    // requesting the degraded spec directly (already cached fault-free).
+    arm(
+        "serve.worker.job",
+        FaultAction::Trigger("degrade:0:0.1:11".into()),
+        Policy::Once,
+    );
+    let request = r#"{"type":"compile","workload":"ghz:4","device":"surface17","placer":"trivial","router":"lookahead"}"#;
+    let payload = exchange(&mut control, request);
+    reset();
+    assert_eq!(
+        payload, expectations[0].1,
+        "mid-flight degradation equals the degraded:catalog spec result"
+    );
+
+    // Phase 6 — determinism replay: the same seeded policy over the same
+    // sequential request sequence yields the identical byte-for-byte
+    // response transcript, twice.
+    let transcript = || -> Vec<Vec<u8>> {
+        arm(
+            "serve.worker.job",
+            FaultAction::Panic,
+            Policy::Seeded {
+                probability: 0.4,
+                seed: 99,
+            },
+        );
+        let mut stream = connect(addr);
+        let out = expectations
+            .iter()
+            .map(|(request, _)| exchange(&mut stream, request))
+            .collect();
+        reset();
+        out
+    };
+    let first = transcript();
+    let second = transcript();
+    assert_eq!(
+        first, second,
+        "same seed, same request order, same transcript"
+    );
+
+    // Shutdown: despite every injected panic, no daemon thread died.
+    let ok = exchange_json(&mut control, r#"{"type":"shutdown"}"#);
+    assert_eq!(response_type(&ok), "ok");
+    let shutdown = handle.wait();
+    assert_eq!(
+        shutdown.threads_panicked, 0,
+        "panic isolation kept every worker alive"
+    );
+    assert_eq!(shutdown.threads_joined, 9, "8 workers + 1 accept thread");
+}

@@ -1,11 +1,14 @@
 //! The [`Device`] model: what the compiler knows about a quantum chip.
 
+use std::collections::VecDeque;
+
 use qcs_circuit::decompose::GateSet;
-use qcs_graph::paths::{all_pairs_hopcount, is_connected, UNREACHABLE};
+use qcs_graph::paths::{is_connected, UNREACHABLE};
 use qcs_graph::Graph;
 use qcs_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::error::{Calibration, GateFidelities};
+use crate::health::DeviceHealth;
 
 /// Error raised when constructing an inconsistent device.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +26,22 @@ pub enum DeviceError {
         /// Qubits in the calibration.
         calibration: usize,
     },
+    /// A health overlay names a qubit the device does not have.
+    HealthQubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// Qubits on the device.
+        qubits: usize,
+    },
+    /// A health overlay names a coupler the coupling graph does not have.
+    HealthUnknownCoupler {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// A health overlay would disable every qubit on the device.
+    AllQubitsDisabled,
 }
 
 impl std::fmt::Display for DeviceError {
@@ -39,6 +58,19 @@ impl std::fmt::Display for DeviceError {
                 f,
                 "calibration covers {calibration} qubits but coupling graph has {coupling}"
             ),
+            DeviceError::HealthQubitOutOfRange { qubit, qubits } => write!(
+                f,
+                "health overlay names qubit {qubit} but device has only {qubits} qubits"
+            ),
+            DeviceError::HealthUnknownCoupler { u, v } => {
+                write!(
+                    f,
+                    "health overlay names coupler ({u}, {v}) which does not exist"
+                )
+            }
+            DeviceError::AllQubitsDisabled => {
+                write!(f, "health overlay disables every qubit on the device")
+            }
         }
     }
 }
@@ -49,7 +81,11 @@ impl std::error::Error for DeviceError {}
 /// calibration, with precomputed all-pairs hop distances.
 ///
 /// This is the bottom-of-stack information package that hardware-aware
-/// compilation consumes.
+/// compilation consumes. A device also carries a [`DeviceHealth`] outage
+/// overlay (pristine by default): adjacency queries, neighbour lists and
+/// the distance cache all respect it, so everything upstream — placement,
+/// routing, scheduling — automatically avoids out-of-service resources.
+/// Apply an overlay with [`Device::degrade`].
 ///
 /// # Examples
 ///
@@ -73,9 +109,58 @@ pub struct Device {
     coupling: Graph,
     gate_set: GateSet,
     calibration: Calibration,
-    /// Precomputed hop distances (`usize::MAX` would mean unreachable, but
-    /// construction rejects disconnected graphs).
+    health: DeviceHealth,
+    /// Per-qubit neighbour lists over the *healthy* subgraph (the raw
+    /// coupling lists when the overlay is pristine). Disabled qubits get
+    /// empty lists.
+    adjacency: Vec<Vec<usize>>,
+    /// Precomputed hop distances over the healthy subgraph. Entries are
+    /// [`UNREACHABLE`] between different components of a degraded device
+    /// (a pristine device is always fully reachable — construction
+    /// rejects disconnected coupling graphs).
     distances: Vec<Vec<usize>>,
+}
+
+/// Neighbour lists filtered through the health overlay.
+fn healthy_adjacency(coupling: &Graph, health: &DeviceHealth) -> Vec<Vec<usize>> {
+    (0..coupling.node_count())
+        .map(|u| {
+            if health.is_qubit_disabled(u) {
+                return Vec::new();
+            }
+            coupling
+                .neighbors(u)
+                .iter()
+                .copied()
+                .filter(|&v| !health.blocks_coupler(u, v))
+                .collect()
+        })
+        .collect()
+}
+
+/// All-pairs BFS hop counts over filtered adjacency lists; rows of
+/// disabled qubits stay all-[`UNREACHABLE`].
+fn healthy_distances(adjacency: &[Vec<usize>], health: &DeviceHealth) -> Vec<Vec<usize>> {
+    let n = adjacency.len();
+    let mut all = vec![vec![UNREACHABLE; n]; n];
+    let mut queue = VecDeque::new();
+    for (start, row) in all.iter_mut().enumerate() {
+        if health.is_qubit_disabled(start) {
+            continue;
+        }
+        row[start] = 0;
+        queue.clear();
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adjacency[u] {
+                if row[v] == UNREACHABLE {
+                    row[v] = row[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    all
 }
 
 impl Device {
@@ -107,6 +192,24 @@ impl Device {
         gate_set: GateSet,
         calibration: Calibration,
     ) -> Result<Self, DeviceError> {
+        Device::build(
+            name.into(),
+            coupling,
+            gate_set,
+            calibration,
+            DeviceHealth::new(),
+        )
+    }
+
+    /// Shared constructor: validates every invariant, then precomputes
+    /// the health-filtered adjacency lists and distance cache.
+    fn build(
+        name: String,
+        coupling: Graph,
+        gate_set: GateSet,
+        calibration: Calibration,
+        health: DeviceHealth,
+    ) -> Result<Self, DeviceError> {
         if !is_connected(&coupling) || coupling.node_count() == 0 {
             return Err(DeviceError::Disconnected);
         }
@@ -119,35 +222,108 @@ impl Device {
                 calibration: calibration.qubit_count(),
             });
         }
-        let distances = all_pairs_hopcount(&coupling);
-        debug_assert!(distances
-            .iter()
-            .all(|row| row.iter().all(|&d| d != UNREACHABLE)));
+        Device::validate_health(&coupling, &health)?;
+        let adjacency = healthy_adjacency(&coupling, &health);
+        let distances = healthy_distances(&adjacency, &health);
         Ok(Device {
-            name: name.into(),
+            name,
             coupling,
             gate_set,
             calibration,
+            health,
+            adjacency,
             distances,
         })
     }
 
-    /// The device's name.
+    /// Checks an overlay against a coupling graph: indices in range,
+    /// couplers real, at least one qubit left alive.
+    fn validate_health(coupling: &Graph, health: &DeviceHealth) -> Result<(), DeviceError> {
+        let n = coupling.node_count();
+        if let Some(max) = health.max_index() {
+            if max >= n {
+                return Err(DeviceError::HealthQubitOutOfRange {
+                    qubit: max,
+                    qubits: n,
+                });
+            }
+        }
+        for (u, v) in health.disabled_couplers() {
+            if !coupling.has_edge(u, v) {
+                return Err(DeviceError::HealthUnknownCoupler { u, v });
+            }
+        }
+        for ((u, v), _) in health.coupler_error_overrides() {
+            if !coupling.has_edge(u, v) {
+                return Err(DeviceError::HealthUnknownCoupler { u, v });
+            }
+        }
+        if health.disabled_qubit_count() >= n {
+            return Err(DeviceError::AllQubitsDisabled);
+        }
+        Ok(())
+    }
+
+    /// Applies an outage overlay, returning a degraded copy of this
+    /// device: disabled resources vanish from adjacency and neighbour
+    /// queries, the distance cache is recomputed over the healthy
+    /// subgraph (cross-component pairs become `UNREACHABLE`), and
+    /// error-rate overrides are folded into the calibration. Overlays
+    /// compose: degrading an already-degraded device merges the new
+    /// overlay into the existing one.
+    ///
+    /// The result is renamed `{base}@{digest}` (digest of the merged
+    /// overlay), so degraded devices are distinguishable — and cacheable
+    /// — by name.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::HealthQubitOutOfRange`] /
+    /// [`DeviceError::HealthUnknownCoupler`] for overlays that do not fit
+    /// this device, and [`DeviceError::AllQubitsDisabled`] when nothing
+    /// would remain in service.
+    pub fn degrade(&self, overlay: &DeviceHealth) -> Result<Device, DeviceError> {
+        Device::validate_health(&self.coupling, overlay)?;
+        let merged = self.health.merged(overlay);
+        let base = self.name.split('@').next().unwrap_or(&self.name);
+        let name = if merged.is_empty() {
+            base.to_string()
+        } else {
+            format!("{base}@{digest:08x}", digest = merged.digest())
+        };
+        let mut calibration = self.calibration.clone();
+        for ((u, v), error) in overlay.coupler_error_overrides() {
+            calibration.set_two_qubit_fidelity(u, v, 1.0 - error);
+        }
+        Device::build(
+            name,
+            self.coupling.clone(),
+            self.gate_set.clone(),
+            calibration,
+            merged,
+        )
+    }
+
+    /// The device's name. Degraded devices carry an `@{digest}` suffix
+    /// identifying their outage overlay.
     pub fn name(&self) -> &str {
         &self.name
     }
 
-    /// Number of physical qubits.
+    /// Number of physical qubits (including out-of-service ones).
     pub fn qubit_count(&self) -> usize {
         self.coupling.node_count()
     }
 
-    /// Number of couplers (edges in the coupling graph).
+    /// Number of couplers (edges in the coupling graph, including
+    /// out-of-service ones).
     pub fn coupler_count(&self) -> usize {
         self.coupling.edge_count()
     }
 
-    /// The coupling graph.
+    /// The full coupling graph (health overlay *not* applied; use
+    /// [`Device::neighbors`] / [`Device::are_adjacent`] for health-aware
+    /// queries).
     pub fn coupling(&self) -> &Graph {
         &self.coupling
     }
@@ -167,12 +343,36 @@ impl Device {
         &mut self.calibration
     }
 
-    /// Whether physical qubits `u` and `v` share a coupler.
-    pub fn are_adjacent(&self, u: usize, v: usize) -> bool {
-        self.coupling.has_edge(u, v)
+    /// The outage overlay currently applied (pristine by default).
+    pub fn health(&self) -> &DeviceHealth {
+        &self.health
     }
 
-    /// Hop distance between physical qubits.
+    /// Whether physical qubit `q` is in service.
+    pub fn is_qubit_active(&self, q: usize) -> bool {
+        !self.health.is_qubit_disabled(q)
+    }
+
+    /// Number of in-service qubits.
+    pub fn active_qubit_count(&self) -> usize {
+        self.qubit_count() - self.health.disabled_qubit_count()
+    }
+
+    /// In-service qubits, ascending.
+    pub fn active_qubits(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.qubit_count()).filter(move |&q| self.is_qubit_active(q))
+    }
+
+    /// Whether physical qubits `u` and `v` share a *usable* coupler
+    /// (i.e. the coupler exists and neither it nor an endpoint is out of
+    /// service).
+    pub fn are_adjacent(&self, u: usize, v: usize) -> bool {
+        self.coupling.has_edge(u, v) && !self.health.blocks_coupler(u, v)
+    }
+
+    /// Hop distance between physical qubits over the healthy subgraph.
+    /// Returns [`UNREACHABLE`] when no healthy path exists (only
+    /// possible on degraded devices).
     ///
     /// # Panics
     ///
@@ -181,71 +381,83 @@ impl Device {
         self.distances[u][v]
     }
 
-    /// Physical neighbours of qubit `u`.
+    /// In-service physical neighbours of qubit `u` (empty for disabled
+    /// qubits).
     ///
     /// # Panics
     ///
     /// Panics if `u` is out of range.
     pub fn neighbors(&self, u: usize) -> &[usize] {
-        self.coupling.neighbors(u)
+        &self.adjacency[u]
     }
 
-    /// Average hop distance over all qubit pairs (a compactness figure of
-    /// merit for comparing topologies).
+    /// Average hop distance over all mutually reachable qubit pairs (a
+    /// compactness figure of merit for comparing topologies).
     pub fn average_distance(&self) -> f64 {
         let n = self.qubit_count();
-        if n < 2 {
-            return 0.0;
-        }
         let mut sum = 0usize;
         let mut pairs = 0usize;
         for u in 0..n {
             for v in (u + 1)..n {
-                sum += self.distances[u][v];
-                pairs += 1;
+                if self.distances[u][v] != UNREACHABLE {
+                    sum += self.distances[u][v];
+                    pairs += 1;
+                }
             }
+        }
+        if pairs == 0 {
+            return 0.0;
         }
         sum as f64 / pairs as f64
     }
 
-    /// Device diameter: the largest hop distance between any qubit pair.
+    /// Device diameter: the largest hop distance between any mutually
+    /// reachable qubit pair.
     pub fn diameter(&self) -> usize {
         self.distances
             .iter()
             .flat_map(|row| row.iter().copied())
+            .filter(|&d| d != UNREACHABLE)
             .max()
             .unwrap_or(0)
     }
 
     /// Read-only view of the precomputed all-pairs hop-distance matrix
-    /// (`distances()[u][v]` = hops between physical qubits `u` and `v`).
+    /// (`distances()[u][v]` = hops between physical qubits `u` and `v`
+    /// over the healthy subgraph; [`UNREACHABLE`] across components of a
+    /// degraded device).
     pub fn distances(&self) -> &[Vec<usize>] {
         &self.distances
     }
 
-    /// A shortest path `from → to` (inclusive), reconstructed from the
-    /// precomputed distance matrix instead of a per-call BFS: each hop
-    /// goes to the first neighbour strictly closer to `to`, costing
-    /// O(path length × degree) and allocating only the result.
+    /// A shortest path `from → to` (inclusive) over the healthy
+    /// subgraph, reconstructed from the precomputed distance matrix
+    /// instead of a per-call BFS: each hop goes to the first neighbour
+    /// strictly closer to `to`, costing O(path length × degree) and
+    /// allocating only the result.
     ///
     /// Deterministic: neighbour order is fixed by the coupling graph, so
     /// every call (from any thread) returns the same path.
     ///
     /// # Panics
     ///
-    /// Panics if either qubit is out of range.
+    /// Panics if either qubit is out of range, or if `to` is unreachable
+    /// from `from` on a degraded device — check
+    /// [`Device::distance`]` != UNREACHABLE` first.
     pub fn shortest_path(&self, from: usize, to: usize) -> Vec<usize> {
+        assert!(
+            self.distances[from][to] != UNREACHABLE,
+            "no healthy path from {from} to {to}"
+        );
         let mut path = Vec::with_capacity(self.distances[from][to] + 1);
         path.push(from);
         let mut cur = from;
         while cur != to {
-            let next = self
-                .coupling
-                .neighbors(cur)
+            let next = self.adjacency[cur]
                 .iter()
                 .copied()
                 .find(|&w| self.distances[w][to] + 1 == self.distances[cur][to])
-                .expect("connected device always has a closer neighbour");
+                .expect("reachable target always has a closer neighbour");
             path.push(next);
             cur = next;
         }
@@ -254,15 +466,20 @@ impl Device {
 }
 
 impl ToJson for Device {
-    /// The distance matrix is derived state and is not serialized; it is
-    /// recomputed on deserialization.
+    /// The distance matrix and adjacency lists are derived state and are
+    /// not serialized; they are recomputed on deserialization. The
+    /// health overlay is serialized only when non-pristine.
     fn to_json(&self) -> Json {
-        Json::object([
+        let mut members = vec![
             ("name", Json::from(self.name.as_str())),
             ("coupling", self.coupling.to_json()),
             ("gate_set", self.gate_set.to_json()),
             ("calibration", self.calibration.to_json()),
-        ])
+        ];
+        if !self.health.is_empty() {
+            members.push(("health", self.health.to_json()));
+        }
+        Json::object(members)
     }
 }
 
@@ -272,9 +489,13 @@ impl FromJson for Device {
         let coupling: Graph = qcs_json::field(json, "coupling")?;
         let gate_set: GateSet = qcs_json::field(json, "gate_set")?;
         let calibration: Calibration = qcs_json::field(json, "calibration")?;
-        Device::with_calibration(name, coupling, gate_set, calibration).map_err(|_| {
+        let health = match json.get("health") {
+            Some(value) => DeviceHealth::from_json(value)?,
+            None => DeviceHealth::new(),
+        };
+        Device::build(name, coupling, gate_set, calibration, health).map_err(|_| {
             JsonError::Type {
-                expected: "consistent device (connected coupling, entangler, matching calibration)",
+                expected: "consistent device (connected coupling, entangler, matching calibration, valid health)",
             }
         })
     }
@@ -371,5 +592,114 @@ mod tests {
         let json = dev.to_json().to_string_pretty();
         let back = Device::from_json(&qcs_json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, dev);
+    }
+
+    #[test]
+    fn degrade_disables_coupler_and_reroutes_distances() {
+        // Ring of 6: cutting coupler (0, 5) makes 0→5 go the long way.
+        let dev = Device::new("ring6", generate::ring_graph(6), GateSet::ibm_style()).unwrap();
+        assert_eq!(dev.distance(0, 5), 1);
+        let degraded = dev
+            .degrade(&DeviceHealth::new().disable_coupler(0, 5))
+            .unwrap();
+        assert_eq!(degraded.distance(0, 5), 5);
+        assert!(!degraded.are_adjacent(0, 5));
+        assert!(!degraded.neighbors(0).contains(&5));
+        assert!(degraded.neighbors(0).contains(&1));
+        assert_eq!(degraded.active_qubit_count(), 6);
+        // The shortest path takes the healthy way around.
+        assert_eq!(degraded.shortest_path(0, 5), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn degrade_disables_qubit_and_splits_components() {
+        // Path of 5: losing qubit 2 splits {0, 1} from {3, 4}.
+        let dev = line(5);
+        let degraded = dev.degrade(&DeviceHealth::new().disable_qubit(2)).unwrap();
+        assert_eq!(degraded.active_qubit_count(), 4);
+        assert!(!degraded.is_qubit_active(2));
+        assert!(degraded.neighbors(2).is_empty());
+        assert!(!degraded.neighbors(1).contains(&2));
+        assert_eq!(degraded.distance(0, 1), 1);
+        assert_eq!(degraded.distance(0, 3), UNREACHABLE);
+        assert_eq!(degraded.distance(2, 2), UNREACHABLE);
+        assert_eq!(degraded.diameter(), 1);
+        assert_eq!(
+            degraded.active_qubits().collect::<Vec<_>>(),
+            vec![0, 1, 3, 4]
+        );
+    }
+
+    #[test]
+    fn degrade_applies_error_overrides_to_calibration() {
+        let dev = line(3);
+        let degraded = dev
+            .degrade(&DeviceHealth::new().override_coupler_error(0, 1, 0.2))
+            .unwrap();
+        let fidelity = degraded.calibration().two_qubit_fidelity(0, 1).unwrap();
+        assert!((fidelity - 0.8).abs() < 1e-12);
+        // The coupler still works; only its quality changed.
+        assert!(degraded.are_adjacent(0, 1));
+    }
+
+    #[test]
+    fn degrade_renames_deterministically_and_composes() {
+        let dev = line(5);
+        let overlay = DeviceHealth::new().disable_qubit(4);
+        let a = dev.degrade(&overlay).unwrap();
+        let b = dev.degrade(&overlay).unwrap();
+        assert_eq!(a.name(), b.name());
+        assert_ne!(a.name(), dev.name());
+        assert!(a.name().starts_with("line5@"));
+        // Degrading again merges overlays and re-derives the name from
+        // the base, not the already-suffixed name.
+        let c = a.degrade(&DeviceHealth::new().disable_qubit(3)).unwrap();
+        assert!(c.name().starts_with("line5@"));
+        assert_eq!(c.active_qubit_count(), 3);
+        assert!(!c.is_qubit_active(3) && !c.is_qubit_active(4));
+    }
+
+    #[test]
+    fn degrade_rejects_bad_overlays() {
+        let dev = line(3);
+        assert_eq!(
+            dev.degrade(&DeviceHealth::new().disable_qubit(7))
+                .unwrap_err(),
+            DeviceError::HealthQubitOutOfRange {
+                qubit: 7,
+                qubits: 3
+            }
+        );
+        assert_eq!(
+            dev.degrade(&DeviceHealth::new().disable_coupler(0, 2))
+                .unwrap_err(),
+            DeviceError::HealthUnknownCoupler { u: 0, v: 2 }
+        );
+        let all = DeviceHealth::new()
+            .disable_qubit(0)
+            .disable_qubit(1)
+            .disable_qubit(2);
+        assert_eq!(
+            dev.degrade(&all).unwrap_err(),
+            DeviceError::AllQubitsDisabled
+        );
+    }
+
+    #[test]
+    fn degraded_json_round_trip_preserves_health() {
+        let dev = line(5);
+        let degraded = dev
+            .degrade(
+                &DeviceHealth::new()
+                    .disable_qubit(4)
+                    .disable_coupler(0, 1)
+                    .override_coupler_error(1, 2, 0.1),
+            )
+            .unwrap();
+        let json = degraded.to_json().to_compact_string();
+        let back = Device::from_json(&qcs_json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, degraded);
+        assert_eq!(back.distance(0, 1), UNREACHABLE, "qubit 0 is cut off");
+        assert!(!back.are_adjacent(0, 1));
     }
 }

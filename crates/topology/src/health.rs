@@ -1,0 +1,397 @@
+//! Device degradation: which qubits and couplers are out of service.
+//!
+//! Real NISQ hardware is not static — calibration drift takes qubits and
+//! couplers offline between runs. [`DeviceHealth`] is an overlay on a
+//! [`Device`](crate::Device)'s coupling graph recording exactly that:
+//! disabled qubits, disabled couplers, and per-coupler error-rate
+//! overrides for links that still work but got worse. Applying an
+//! overlay with [`Device::degrade`](crate::Device::degrade) yields a new
+//! device whose distance caches, adjacency lists and calibration reflect
+//! the outage, so the whole mapping stack becomes outage-aware without
+//! any router changes.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcs_topology::health::DeviceHealth;
+//! use qcs_topology::surface::surface17;
+//!
+//! let pristine = surface17();
+//! let health = DeviceHealth::new()
+//!     .disable_qubit(3)
+//!     .disable_coupler(0, 2)
+//!     .override_coupler_error(5, 8, 0.25);
+//! let degraded = pristine.degrade(&health).unwrap();
+//! assert_eq!(degraded.active_qubit_count(), 16);
+//! assert!(!degraded.are_adjacent(0, 2));
+//! assert_eq!(degraded.calibration().two_qubit_fidelity(5, 8), Some(0.75));
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use qcs_circuit::hash::Fnv64;
+use qcs_graph::Graph;
+use qcs_json::{FromJson, Json, JsonError, ToJson};
+use qcs_rng::{ChaCha8Rng, Rng, SeedableRng};
+
+use crate::error::Calibration;
+
+/// An outage overlay: qubits and couplers currently out of service, plus
+/// error-rate overrides for couplers that degraded without dying.
+///
+/// All coupler keys are stored endpoint-normalised (`min ≤ max`), so
+/// `(u, v)` and `(v, u)` refer to the same coupler. The overlay itself
+/// carries no topology — it is validated against a concrete coupling
+/// graph when applied via [`Device::degrade`](crate::Device::degrade).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceHealth {
+    disabled_qubits: BTreeSet<usize>,
+    disabled_couplers: BTreeSet<(usize, usize)>,
+    /// Coupler → two-qubit *error rate* (`1 − fidelity`), in `[0, 1]`.
+    coupler_error_overrides: BTreeMap<(usize, usize), f64>,
+}
+
+fn norm(u: usize, v: usize) -> (usize, usize) {
+    (u.min(v), u.max(v))
+}
+
+impl DeviceHealth {
+    /// A pristine overlay: nothing disabled, nothing overridden.
+    pub fn new() -> Self {
+        DeviceHealth::default()
+    }
+
+    /// Marks physical qubit `q` out of service (and, implicitly, every
+    /// coupler touching it).
+    #[must_use]
+    pub fn disable_qubit(mut self, q: usize) -> Self {
+        self.disabled_qubits.insert(q);
+        self
+    }
+
+    /// Marks the coupler `(u, v)` out of service; both endpoints stay
+    /// usable.
+    #[must_use]
+    pub fn disable_coupler(mut self, u: usize, v: usize) -> Self {
+        self.disabled_couplers.insert(norm(u, v));
+        self
+    }
+
+    /// Overrides the error rate of a live coupler (applied to the
+    /// degraded device's calibration as `fidelity = 1 − error`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ error ≤ 1`.
+    #[must_use]
+    pub fn override_coupler_error(mut self, u: usize, v: usize, error: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&error),
+            "coupler error rate must be in [0, 1]"
+        );
+        self.coupler_error_overrides.insert(norm(u, v), error);
+        self
+    }
+
+    /// Derives an overlay from calibration data: any qubit whose
+    /// single-qubit fidelity falls below `min_single` and any coupler
+    /// whose two-qubit fidelity falls below `min_two` is taken out of
+    /// service. This is the "calibration drift takes resources offline"
+    /// path a control stack would run between jobs.
+    pub fn from_calibration(calibration: &Calibration, min_single: f64, min_two: f64) -> Self {
+        let mut health = DeviceHealth::new();
+        for q in 0..calibration.qubit_count() {
+            if calibration.single_qubit_fidelity(q) < min_single {
+                health = health.disable_qubit(q);
+            }
+        }
+        for ((u, v), fidelity) in calibration.couplers() {
+            if fidelity < min_two {
+                health = health.disable_coupler(u, v);
+            }
+        }
+        health
+    }
+
+    /// A seeded random degradation: disables `⌊qubit_frac · n⌋` qubits
+    /// and `⌊coupler_frac · m⌋` of the remaining couplers of `coupling`,
+    /// chosen deterministically from `seed`. The workhorse of the chaos
+    /// suite and the degraded-device catalog specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both fractions are in `[0, 1]`.
+    pub fn random(coupling: &Graph, qubit_frac: f64, coupler_frac: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&qubit_frac) && (0.0..=1.0).contains(&coupler_frac),
+            "degradation fractions must be in [0, 1]"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut health = DeviceHealth::new();
+        let n = coupling.node_count();
+        let qubits_out = (qubit_frac * n as f64).floor() as usize;
+        let mut pool: Vec<usize> = (0..n).collect();
+        for _ in 0..qubits_out.min(n) {
+            let pick = rng.gen_range(0..pool.len());
+            health = health.disable_qubit(pool.swap_remove(pick));
+        }
+        let mut edges: Vec<(usize, usize)> = coupling
+            .edges()
+            .map(|(u, v, _)| norm(u, v))
+            .filter(|&(u, v)| !health.is_qubit_disabled(u) && !health.is_qubit_disabled(v))
+            .collect();
+        let couplers_out = (coupler_frac * coupling.edge_count() as f64).floor() as usize;
+        for _ in 0..couplers_out.min(edges.len()) {
+            let pick = rng.gen_range(0..edges.len());
+            let (u, v) = edges.swap_remove(pick);
+            health = health.disable_coupler(u, v);
+        }
+        health
+    }
+
+    /// The union of two overlays: everything disabled in either, with
+    /// `other`'s error overrides winning on conflict. Degrading an
+    /// already-degraded device merges overlays through this.
+    #[must_use]
+    pub fn merged(&self, other: &DeviceHealth) -> DeviceHealth {
+        let mut out = self.clone();
+        out.disabled_qubits
+            .extend(other.disabled_qubits.iter().copied());
+        out.disabled_couplers
+            .extend(other.disabled_couplers.iter().copied());
+        for (&k, &e) in &other.coupler_error_overrides {
+            out.coupler_error_overrides.insert(k, e);
+        }
+        out
+    }
+
+    /// Whether the overlay changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.disabled_qubits.is_empty()
+            && self.disabled_couplers.is_empty()
+            && self.coupler_error_overrides.is_empty()
+    }
+
+    /// Whether qubit `q` is out of service.
+    pub fn is_qubit_disabled(&self, q: usize) -> bool {
+        self.disabled_qubits.contains(&q)
+    }
+
+    /// Whether the coupler `(u, v)` is unusable — because the coupler
+    /// itself or either endpoint is out of service.
+    pub fn blocks_coupler(&self, u: usize, v: usize) -> bool {
+        self.is_qubit_disabled(u)
+            || self.is_qubit_disabled(v)
+            || self.disabled_couplers.contains(&norm(u, v))
+    }
+
+    /// The disabled qubits, ascending.
+    pub fn disabled_qubits(&self) -> impl Iterator<Item = usize> + '_ {
+        self.disabled_qubits.iter().copied()
+    }
+
+    /// The disabled couplers, endpoint-normalised, ascending.
+    pub fn disabled_couplers(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.disabled_couplers.iter().copied()
+    }
+
+    /// The error-rate overrides, endpoint-normalised, ascending.
+    pub fn coupler_error_overrides(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        self.coupler_error_overrides.iter().map(|(&k, &e)| (k, e))
+    }
+
+    /// Number of disabled qubits.
+    pub fn disabled_qubit_count(&self) -> usize {
+        self.disabled_qubits.len()
+    }
+
+    /// Number of explicitly disabled couplers (not counting couplers
+    /// implicitly lost to disabled endpoints).
+    pub fn disabled_coupler_count(&self) -> usize {
+        self.disabled_couplers.len()
+    }
+
+    /// A stable content digest of the overlay, used to give degraded
+    /// devices distinct names (and therefore distinct cache keys).
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_usize(self.disabled_qubits.len());
+        for &q in &self.disabled_qubits {
+            h.write_usize(q);
+        }
+        h.write_usize(self.disabled_couplers.len());
+        for &(u, v) in &self.disabled_couplers {
+            h.write_usize(u).write_usize(v);
+        }
+        h.write_usize(self.coupler_error_overrides.len());
+        for (&(u, v), &e) in &self.coupler_error_overrides {
+            h.write_usize(u).write_usize(v).write_f64(e);
+        }
+        h.finish()
+    }
+
+    /// The largest qubit index the overlay mentions, if any — used for
+    /// range validation against a concrete device.
+    pub(crate) fn max_index(&self) -> Option<usize> {
+        let q = self.disabled_qubits.iter().next_back().copied();
+        let c = self.disabled_couplers.iter().map(|&(_, v)| v).max();
+        let o = self.coupler_error_overrides.keys().map(|&(_, v)| v).max();
+        [q, c, o].into_iter().flatten().max()
+    }
+}
+
+impl ToJson for DeviceHealth {
+    fn to_json(&self) -> Json {
+        let pair = |(u, v): (usize, usize)| Json::Array(vec![Json::from(u), Json::from(v)]);
+        Json::object([
+            (
+                "disabled_qubits",
+                Json::Array(
+                    self.disabled_qubits
+                        .iter()
+                        .map(|&q| Json::from(q))
+                        .collect(),
+                ),
+            ),
+            (
+                "disabled_couplers",
+                Json::Array(self.disabled_couplers.iter().map(|&e| pair(e)).collect()),
+            ),
+            (
+                "coupler_error_overrides",
+                Json::Array(
+                    self.coupler_error_overrides
+                        .iter()
+                        .map(|(&(u, v), &e)| {
+                            Json::Array(vec![Json::from(u), Json::from(v), Json::from(e)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for DeviceHealth {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        fn pair(item: &Json) -> Result<(usize, usize), JsonError> {
+            match item {
+                Json::Array(xs) if xs.len() >= 2 => {
+                    Ok((usize::from_json(&xs[0])?, usize::from_json(&xs[1])?))
+                }
+                _ => Err(JsonError::Type {
+                    expected: "[u, v] coupler pair",
+                }),
+            }
+        }
+        let qubits: Vec<usize> = qcs_json::field(json, "disabled_qubits")?;
+        let mut health = DeviceHealth::new();
+        for q in qubits {
+            health = health.disable_qubit(q);
+        }
+        let Some(Json::Array(couplers)) = json.get("disabled_couplers") else {
+            return Err(JsonError::Type {
+                expected: "disabled_couplers array",
+            });
+        };
+        for item in couplers {
+            let (u, v) = pair(item)?;
+            health = health.disable_coupler(u, v);
+        }
+        let Some(Json::Array(overrides)) = json.get("coupler_error_overrides") else {
+            return Err(JsonError::Type {
+                expected: "coupler_error_overrides array",
+            });
+        };
+        for item in overrides {
+            match item {
+                Json::Array(xs) if xs.len() == 3 => {
+                    let (u, v) = (usize::from_json(&xs[0])?, usize::from_json(&xs[1])?);
+                    let e = f64::from_json(&xs[2])?;
+                    if !(0.0..=1.0).contains(&e) {
+                        return Err(JsonError::Type {
+                            expected: "coupler error rate in [0, 1]",
+                        });
+                    }
+                    health = health.override_coupler_error(u, v, e);
+                }
+                _ => {
+                    return Err(JsonError::Type {
+                        expected: "[u, v, error] override triple",
+                    })
+                }
+            }
+        }
+        Ok(health)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::GateFidelities;
+    use qcs_graph::generate;
+
+    #[test]
+    fn endpoint_normalisation() {
+        let h = DeviceHealth::new().disable_coupler(5, 2);
+        assert!(h.blocks_coupler(2, 5));
+        assert!(h.blocks_coupler(5, 2));
+        assert!(!h.blocks_coupler(2, 3));
+    }
+
+    #[test]
+    fn disabled_qubit_blocks_incident_couplers() {
+        let h = DeviceHealth::new().disable_qubit(1);
+        assert!(h.blocks_coupler(0, 1));
+        assert!(h.blocks_coupler(1, 2));
+        assert!(!h.blocks_coupler(0, 2));
+    }
+
+    #[test]
+    fn from_calibration_thresholds() {
+        let g = generate::path_graph(4);
+        let mut cal = Calibration::uniform(&g, GateFidelities::default());
+        cal.set_two_qubit_fidelity(1, 2, 0.80);
+        let h = DeviceHealth::from_calibration(&cal, 0.9, 0.95);
+        assert_eq!(h.disabled_qubit_count(), 0);
+        assert!(h.blocks_coupler(1, 2));
+        assert!(!h.blocks_coupler(0, 1));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let g = generate::grid_graph(5, 5);
+        let a = DeviceHealth::random(&g, 0.2, 0.1, 42);
+        let b = DeviceHealth::random(&g, 0.2, 0.1, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.disabled_qubit_count(), 5);
+        assert_eq!(a.disabled_coupler_count(), 4);
+        let c = DeviceHealth::random(&g, 0.2, 0.1, 43);
+        assert_ne!(a, c, "different seeds give different outages");
+        // Disabled couplers never touch a disabled qubit (they would be
+        // redundant).
+        for (u, v) in a.disabled_couplers() {
+            assert!(!a.is_qubit_disabled(u) && !a.is_qubit_disabled(v));
+        }
+    }
+
+    #[test]
+    fn digest_distinguishes_overlays() {
+        let a = DeviceHealth::new().disable_qubit(1);
+        let b = DeviceHealth::new().disable_qubit(2);
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), a.clone().digest());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let h = DeviceHealth::new()
+            .disable_qubit(3)
+            .disable_coupler(0, 2)
+            .override_coupler_error(4, 1, 0.125);
+        let json = h.to_json().to_compact_string();
+        let back = DeviceHealth::from_json(&qcs_json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, h);
+    }
+}

@@ -11,6 +11,9 @@
 //!   calibration + precomputed hop distances.
 //! * [`error`] — gate fidelities, durations, coherence times and per-qubit
 //!   / per-edge calibration with device variability.
+//! * [`health`] — [`health::DeviceHealth`] outage overlays (disabled
+//!   qubits/couplers, error overrides) applied via
+//!   [`device::Device::degrade`] for degraded-device compilation.
 //! * [`surface`] — the Surface-7 and Surface-17 processors of Versluis et
 //!   al. \[32\] and arbitrary-distance extensions of the same lattice
 //!   (the paper's "extended 100-qubit version of the Surface-17").
@@ -34,8 +37,10 @@
 
 pub mod device;
 pub mod error;
+pub mod health;
 pub mod lattice;
 pub mod surface;
 
 pub use device::Device;
 pub use error::{Calibration, CoherenceTimes, GateDurations, GateFidelities};
+pub use health::DeviceHealth;
