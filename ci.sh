@@ -11,6 +11,8 @@
 #   5. serve smoke test                 boot daemon, compile a GHZ, check stats
 #   6. serve chaos test                 fault injection, hostile frames,
 #                                       degraded-device sweep
+#   7. persist smoke test               fill cache, kill -9, restart warm,
+#                                       byte-identical responses
 set -eu
 
 echo "==> cargo build --release"
@@ -30,5 +32,8 @@ echo "==> serve smoke test"
 
 echo "==> serve chaos test"
 ./ci_chaos.sh
+
+echo "==> persist smoke test"
+./ci_persist_smoke.sh
 
 echo "CI OK"

@@ -1,0 +1,102 @@
+#!/usr/bin/env sh
+# Crash-recovery smoke test for the persistent result cache: boot the
+# daemon with --persist-dir, fill the cache, kill -9 it, restart on the
+# same directory, and require warm byte-identical answers. Assumes
+# `cargo build --release` already ran (CI runs it first); builds on
+# demand otherwise.
+set -eu
+
+SERVE=target/release/qcs-serve
+CLIENT=target/release/qcs-client
+[ -x "$SERVE" ] && [ -x "$CLIENT" ] || cargo build --release -p qcs-serve
+
+WORKLOADS="ghz:8 qft:5 wstate:6"
+
+SCRATCH=$(mktemp -d)
+PERSIST_DIR="$SCRATCH/cache"
+PORT_FILE="$SCRATCH/port"
+SERVE_PID=""
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true; rm -rf "$SCRATCH"' EXIT
+
+# Boots the daemon and waits (up to ~10 s) for its port file.
+start_daemon() {
+    rm -f "$PORT_FILE"
+    "$SERVE" --addr 127.0.0.1:0 --workers 2 \
+        --persist-dir "$PERSIST_DIR" --port-file "$PORT_FILE" &
+    SERVE_PID=$!
+    tries=0
+    while [ ! -s "$PORT_FILE" ]; do
+        tries=$((tries + 1))
+        if [ "$tries" -gt 100 ]; then
+            echo "persist smoke: daemon never published its port" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    ADDR="127.0.0.1:$(cat "$PORT_FILE")"
+}
+
+# Compiles every workload (fixed request ids, so responses are
+# reproducible byte-for-byte across restarts) into $1/<workload>.json.
+compile_sweep() {
+    out_dir=$1
+    mkdir -p "$out_dir"
+    for w in $WORKLOADS; do
+        file="$out_dir/$(echo "$w" | tr ':' '-').json"
+        "$CLIENT" --addr "$ADDR" workload "$w" --device surface17 \
+            --request-id "smoke-$w" --json >"$file"
+        grep -q '"type": "result"' "$file" || {
+            echo "persist smoke: $w did not compile:" >&2
+            cat "$file" >&2
+            exit 1
+        }
+    done
+}
+
+start_daemon
+echo "persist smoke: daemon on $ADDR, persisting to $PERSIST_DIR"
+compile_sweep "$SCRATCH/before"
+
+# Crash: no shutdown protocol, no flush beyond the per-append fsync.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+echo "persist smoke: daemon killed with SIGKILL"
+
+# Restart on the same directory — the WAL replay must warm the cache.
+start_daemon
+echo "persist smoke: daemon restarted on $ADDR"
+
+STATS=$("$CLIENT" --addr "$ADDR" stats --json)
+echo "$STATS" | grep -q '"records_recovered": 3' || {
+    echo "persist smoke: expected 3 recovered records:" >&2
+    echo "$STATS" >&2
+    exit 1
+}
+
+compile_sweep "$SCRATCH/after"
+for w in $WORKLOADS; do
+    name="$(echo "$w" | tr ':' '-').json"
+    cmp -s "$SCRATCH/before/$name" "$SCRATCH/after/$name" || {
+        echo "persist smoke: $w response diverged after crash recovery" >&2
+        exit 1
+    }
+done
+
+# Every post-restart compile must have been a warm hit.
+STATS=$("$CLIENT" --addr "$ADDR" stats --json)
+echo "$STATS" | grep -q '"hits": 3' || {
+    echo "persist smoke: expected 3 warm cache hits:" >&2
+    echo "$STATS" >&2
+    exit 1
+}
+echo "$STATS" | grep -q '"misses": 0' || {
+    echo "persist smoke: expected zero cache misses after recovery:" >&2
+    echo "$STATS" >&2
+    exit 1
+}
+
+"$CLIENT" --addr "$ADDR" shutdown >/dev/null
+wait "$SERVE_PID"
+trap - EXIT
+rm -rf "$SCRATCH"
+echo "persist smoke: OK"

@@ -16,6 +16,7 @@ fn job_for(qubits: usize) -> Job {
         device: "surface97".to_string(),
         config: MapperConfig::default(),
         deadline_ms: None,
+        request_id: None,
     })
     .expect("benchmark job resolves")
 }
@@ -36,11 +37,16 @@ fn cache_benchmarks(c: &mut Criterion) {
     // takes instead of run_job.
     let job = job_for(16);
     let output = run_job(&job).expect("benchmark job compiles");
+    let full_key = job.full_key();
     let mut cache = ResultCache::new(64 << 20);
-    cache.insert(output.digest, output.payload.clone());
+    cache.insert(output.digest, full_key.clone(), output.payload.clone());
 
     c.bench_function("serve_cache/hit_qft16", |b| {
-        b.iter(|| cache.get(output.digest).expect("entry stays cached"));
+        b.iter(|| {
+            cache
+                .get(output.digest, &full_key)
+                .expect("entry stays cached")
+        });
     });
     c.bench_function("serve_cache/cold_compile_qft16", |b| {
         b.iter(|| run_job(&job).expect("benchmark job compiles"));

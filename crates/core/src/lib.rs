@@ -60,6 +60,7 @@
 pub mod config;
 pub mod error;
 pub mod fidelity;
+pub mod ladder;
 pub mod layout;
 pub mod mapper;
 pub mod place;
@@ -69,8 +70,11 @@ pub mod profile;
 pub mod report;
 pub mod route;
 pub mod schedule;
+pub mod verify;
 
 pub use config::MapperConfig;
 pub use error::UnsatisfiableReason;
+pub use ladder::{FallbackLadder, LadderAttempt, LadderError};
 pub use layout::Layout;
 pub use mapper::{MapError, MapOutcome, Mapper, StageTiming};
+pub use verify::{verify_outcome, VerifyConfig, VerifyError, VerifyReport};

@@ -33,6 +33,8 @@ pub enum MapError {
     /// variant (rather than buried in `Place`/`Route`) so callers can
     /// distinguish "retry on a healthier device" from "compiler bug".
     Unsatisfiable(UnsatisfiableReason),
+    /// A `qcs-faults` failpoint injected this error (chaos testing).
+    Injected(String),
 }
 
 impl std::fmt::Display for MapError {
@@ -44,6 +46,7 @@ impl std::fmt::Display for MapError {
             MapError::Unsatisfiable(reason) => {
                 write!(f, "degraded device cannot host circuit: {reason}")
             }
+            MapError::Injected(message) => write!(f, "injected fault: {message}"),
         }
     }
 }
@@ -155,6 +158,14 @@ pub struct MapReport {
     pub fidelity_decrease_pct: f64,
     /// Scheduled makespan of the routed circuit in nanoseconds.
     pub makespan_ns: f64,
+    /// Which fallback-ladder rung produced this result: 0 for the
+    /// requested pipeline, 1+ for each degradation step. Always 0 for a
+    /// plain [`Mapper::map`] run.
+    pub fallback_rung: usize,
+    /// Whether independent post-compilation verification
+    /// ([`crate::verify::verify_outcome`]) passed on this result. Set by
+    /// the fallback ladder; always false for a plain [`Mapper::map`] run.
+    pub verified: bool,
     /// Wall-clock time per pipeline stage (zero when normalized for
     /// deterministic output).
     pub timing: StageTiming,
@@ -179,8 +190,26 @@ qcs_json::impl_json_object!(MapReport {
     fidelity_after,
     fidelity_decrease_pct,
     makespan_ns,
+    fallback_rung,
+    verified,
     timing,
 });
+
+/// Passes the generic and per-strategy failpoint for one pipeline stage.
+/// The per-strategy site name is only built when something is armed, so
+/// the common case stays two relaxed atomic loads.
+fn stage_failpoint(site: &str, strategy: &str) -> Result<(), MapError> {
+    if !qcs_faults::any_armed() {
+        return Ok(());
+    }
+    if let qcs_faults::Hit::Error(message) = qcs_faults::hit(site) {
+        return Err(MapError::Injected(message));
+    }
+    if let qcs_faults::Hit::Error(message) = qcs_faults::hit(&format!("{site}.{strategy}")) {
+        return Err(MapError::Injected(message));
+    }
+    Ok(())
+}
 
 /// Everything produced by one mapping run.
 #[derive(Debug, Clone, PartialEq)]
@@ -322,14 +351,17 @@ impl Mapper {
         let mut decompose_micros = micros_since(t);
 
         let t = std::time::Instant::now();
-        // Chaos-test failpoints: panics and delays act inside `hit`;
-        // other actions are meaningless mid-pipeline and pass through.
-        let _ = qcs_faults::hit("mapper.place");
+        // Chaos-test failpoints: panics and delays act inside `hit`,
+        // injected errors surface as `MapError::Injected`, triggers are
+        // meaningless mid-pipeline and pass through. Each stage has a
+        // generic site plus a per-strategy one (`mapper.place.sabre`, …)
+        // so chaos harnesses can fail exactly one fallback-ladder rung.
+        stage_failpoint("mapper.place", self.placer.name())?;
         let layout = self.placer.place(&decomposed, device)?;
         let place_micros = micros_since(t);
 
         let t = std::time::Instant::now();
-        let _ = qcs_faults::hit("mapper.route");
+        stage_failpoint("mapper.route", self.router.name())?;
         let routed = self.router.route(&decomposed, device, layout)?;
         let route_micros = micros_since(t);
 
@@ -381,6 +413,8 @@ impl Mapper {
                 0.0
             },
             makespan_ns: schedule.makespan_ns,
+            fallback_rung: 0,
+            verified: false,
             timing: StageTiming {
                 decompose_micros,
                 place_micros,

@@ -174,6 +174,15 @@ pub fn fired(site: &str) -> u64 {
     registry().get(site).map_or(0, |s| s.fired)
 }
 
+/// Whether *any* site is currently armed — one relaxed atomic load.
+///
+/// Call sites whose names are built dynamically (e.g. per-strategy
+/// suffixes) use this to skip the `format!` entirely in the common,
+/// unarmed case.
+pub fn any_armed() -> bool {
+    ARMED.load(Ordering::Acquire)
+}
+
 /// Names of all currently armed sites.
 pub fn armed_sites() -> Vec<String> {
     registry().keys().cloned().collect()

@@ -8,7 +8,8 @@
 //! qcs-client --addr HOST:PORT stats | ping | shutdown | probe
 //!
 //! options: --device SPEC  --placer NAME  --router NAME
-//!          --deadline-ms N  --retries N  --timeout-ms N  --json
+//!          --deadline-ms N  --request-id ID  --retries N
+//!          --timeout-ms N  --json
 //! ```
 //!
 //! `compile`/`workload` print a one-line summary of the mapped circuit;
@@ -20,6 +21,13 @@
 //! to `--retries` times (default 2) with bounded exponential backoff and
 //! deterministic jitter. Hard failures exit nonzero with a one-line
 //! diagnostic, never a panic or backtrace.
+//!
+//! Every `compile`/`workload` request carries a client-generated
+//! `request_id` (override with `--request-id`), built once and reused
+//! verbatim across retries. The daemon echoes it in the response and
+//! counts repeated ids as `requests_retried` in `stats`, so a flaky
+//! network's retries are distinguishable from organic traffic on the
+//! server side.
 //!
 //! `probe` is the chaos harness's hostile-input check: it fires garbage
 //! bytes, a truncated frame and an oversized length prefix at the
@@ -37,8 +45,8 @@ use qcs_serve::protocol::{read_frame, write_json};
 const USAGE: &str = "usage: qcs-client --addr HOST:PORT <command> [options]\n\
   commands: compile FILE | workload SPEC | suite | stats | ping | shutdown | probe\n\
   options:  --device SPEC --placer NAME --router NAME --deadline-ms N\n\
-            --count N --max-qubits N --max-gates N --seed N\n\
-            --retries N --timeout-ms N --json";
+            --request-id ID --count N --max-qubits N --max-gates N\n\
+            --seed N --retries N --timeout-ms N --json";
 
 struct Options {
     addr: String,
@@ -46,6 +54,7 @@ struct Options {
     placer: Option<String>,
     router: Option<String>,
     deadline_ms: Option<u64>,
+    request_id: Option<String>,
     count: Option<usize>,
     max_qubits: Option<usize>,
     max_gates: Option<usize>,
@@ -63,6 +72,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         placer: None,
         router: None,
         deadline_ms: None,
+        request_id: None,
         count: None,
         max_qubits: None,
         max_gates: None,
@@ -97,6 +107,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--deadline-ms" => {
                 opts.deadline_ms = Some(value.parse().map_err(|_| bad("deadline"))?);
             }
+            "--request-id" => opts.request_id = Some(value.clone()),
             "--count" => opts.count = Some(value.parse().map_err(|_| bad("count"))?),
             "--max-qubits" => {
                 opts.max_qubits = Some(value.parse().map_err(|_| bad("qubit bound"))?);
@@ -184,10 +195,26 @@ fn build_request(opts: &Options) -> Result<Json, String> {
             if let Some(deadline) = opts.deadline_ms {
                 members.push(("deadline_ms".to_string(), Json::from(deadline)));
             }
+            // Built once here, so every retry of this request reuses the
+            // same id and the daemon can tell the retries apart from new
+            // traffic.
+            let id = opts.request_id.clone().unwrap_or_else(generate_request_id);
+            members.push(("request_id".to_string(), Json::from(id)));
         }
         _ => push_common(&mut members, opts),
     }
     Ok(Json::object(members))
+}
+
+/// A process-unique request id: pid + monotonic-enough wall-clock nanos.
+/// Uniqueness only needs to hold within the daemon's bounded retry
+/// window, not globally.
+fn generate_request_id() -> String {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    format!("cli-{:x}-{nanos:x}", std::process::id())
 }
 
 fn connect(addr: &str, timeout: Duration) -> io::Result<TcpStream> {

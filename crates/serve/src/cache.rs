@@ -12,9 +12,22 @@
 //! monotonic sequence number per entry, and a `BTreeMap` from sequence
 //! number to key makes "oldest entry" an `O(log n)` lookup without
 //! unsafe linked-list plumbing.
+//!
+//! Every entry also stores the job's *full key* (the canonical job
+//! description the digest was computed from, see
+//! [`crate::compile::Job::full_key`]). A lookup must present that key and
+//! it is compared byte-for-byte before the payload is served: a 64-bit
+//! digest collision between two distinct jobs therefore degrades to a
+//! counted miss (`hash_conflicts`) and a recompile, never a silently
+//! wrong result.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+
+/// One live cache entry as `(digest, full key, canonical payload)` —
+/// the exchange format between the in-memory cache and the persistence
+/// layer (snapshot compaction, warm-restart replay).
+pub type EntryRef = (u64, Arc<Vec<u8>>, Arc<Vec<u8>>);
 
 /// Counters describing cache effectiveness, reported by `stats`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -25,6 +38,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to stay within budget.
     pub evictions: u64,
+    /// Digest hits whose stored full key did not match the request —
+    /// served as misses instead of wrong results.
+    pub hash_conflicts: u64,
     /// Live entries.
     pub entries: usize,
     /// Bytes held by live entries.
@@ -45,11 +61,13 @@ impl CacheStats {
 
 struct Entry {
     seq: u64,
+    key: Arc<Vec<u8>>,
     payload: Arc<Vec<u8>>,
 }
 
 /// An LRU map from result digest to canonical response bytes, bounded by
-/// total payload size.
+/// total payload size (full keys ride along but the budget is over
+/// payloads — keys are a small fixed overhead per entry).
 pub struct ResultCache {
     budget_bytes: usize,
     map: HashMap<u64, Entry>,
@@ -59,6 +77,7 @@ pub struct ResultCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    hash_conflicts: u64,
 }
 
 impl ResultCache {
@@ -73,20 +92,30 @@ impl ResultCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            hash_conflicts: 0,
         }
     }
 
     /// Looks up a digest, bumping its recency; counts a hit or miss.
-    pub fn get(&mut self, digest: u64) -> Option<Arc<Vec<u8>>> {
+    ///
+    /// The caller's full `key` is compared against the stored one: a
+    /// digest collision (different key, same digest) is counted in
+    /// `hash_conflicts` and served as a miss.
+    pub fn get(&mut self, digest: u64, key: &[u8]) -> Option<Arc<Vec<u8>>> {
         let next_seq = &mut self.next_seq;
         match self.map.get_mut(&digest) {
-            Some(entry) => {
+            Some(entry) if entry.key.as_slice() == key => {
                 self.hits += 1;
                 self.recency.remove(&entry.seq);
                 entry.seq = *next_seq;
                 self.recency.insert(entry.seq, digest);
                 *next_seq += 1;
                 Some(Arc::clone(&entry.payload))
+            }
+            Some(_) => {
+                self.hash_conflicts += 1;
+                self.misses += 1;
+                None
             }
             None => {
                 self.misses += 1;
@@ -95,16 +124,21 @@ impl ResultCache {
         }
     }
 
-    /// Stores a payload under a digest, evicting least-recently-used
-    /// entries until the budget holds. Payloads larger than the whole
-    /// budget are not cached at all.
-    pub fn insert(&mut self, digest: u64, payload: Vec<u8>) {
+    /// Stores a payload under a digest + full key, evicting
+    /// least-recently-used entries until the budget holds. Payloads
+    /// larger than the whole budget are not cached at all.
+    pub fn insert(&mut self, digest: u64, key: Vec<u8>, payload: Vec<u8>) {
         if payload.len() > self.budget_bytes {
             return;
         }
         if let Some(old) = self.map.remove(&digest) {
             self.recency.remove(&old.seq);
             self.bytes -= old.payload.len();
+            if old.key.as_slice() != key {
+                // Colliding jobs fight over one slot; last writer wins,
+                // and the guard in `get` keeps both of them correct.
+                self.hash_conflicts += 1;
+            }
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -113,6 +147,7 @@ impl ResultCache {
             digest,
             Entry {
                 seq,
+                key: Arc::new(key),
                 payload: Arc::new(payload),
             },
         );
@@ -130,12 +165,27 @@ impl ResultCache {
         }
     }
 
+    /// Every live entry as `(digest, key, payload)`, least recently used
+    /// first — replaying the list through [`insert`](Self::insert)
+    /// reproduces both contents and LRU order, which is exactly what
+    /// snapshot compaction and warm restart need.
+    pub fn entries_by_recency(&self) -> Vec<EntryRef> {
+        self.recency
+            .values()
+            .map(|digest| {
+                let entry = &self.map[digest];
+                (*digest, Arc::clone(&entry.key), Arc::clone(&entry.payload))
+            })
+            .collect()
+    }
+
     /// Point-in-time counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            hash_conflicts: self.hash_conflicts,
             entries: self.map.len(),
             bytes: self.bytes,
         }
@@ -150,12 +200,18 @@ mod tests {
         vec![0xAB; n]
     }
 
+    /// The full key used by tests that don't care about collisions: just
+    /// the digest rendered as text.
+    fn key(digest: u64) -> Vec<u8> {
+        format!("key:{digest}").into_bytes()
+    }
+
     #[test]
     fn hit_after_insert() {
         let mut c = ResultCache::new(1024);
-        assert!(c.get(1).is_none());
-        c.insert(1, b"result".to_vec());
-        assert_eq!(c.get(1).unwrap().as_slice(), b"result");
+        assert!(c.get(1, &key(1)).is_none());
+        c.insert(1, key(1), b"result".to_vec());
+        assert_eq!(c.get(1, &key(1)).unwrap().as_slice(), b"result");
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries, s.bytes), (1, 1, 1, 6));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
@@ -164,14 +220,14 @@ mod tests {
     #[test]
     fn evicts_least_recently_used_first() {
         let mut c = ResultCache::new(100);
-        c.insert(1, payload(40));
-        c.insert(2, payload(40));
+        c.insert(1, key(1), payload(40));
+        c.insert(2, key(2), payload(40));
         // Touch 1 so 2 becomes the LRU entry.
-        assert!(c.get(1).is_some());
-        c.insert(3, payload(40)); // 120 bytes > 100: evict key 2.
-        assert!(c.get(2).is_none());
-        assert!(c.get(1).is_some());
-        assert!(c.get(3).is_some());
+        assert!(c.get(1, &key(1)).is_some());
+        c.insert(3, key(3), payload(40)); // 120 bytes > 100: evict key 2.
+        assert!(c.get(2, &key(2)).is_none());
+        assert!(c.get(1, &key(1)).is_some());
+        assert!(c.get(3, &key(3)).is_some());
         assert_eq!(c.stats().evictions, 1);
         assert!(c.stats().bytes <= 100);
     }
@@ -179,32 +235,76 @@ mod tests {
     #[test]
     fn replacing_a_key_updates_bytes() {
         let mut c = ResultCache::new(100);
-        c.insert(1, payload(60));
-        c.insert(1, payload(10));
+        c.insert(1, key(1), payload(60));
+        c.insert(1, key(1), payload(10));
         let s = c.stats();
-        assert_eq!((s.entries, s.bytes, s.evictions), (1, 10, 0));
+        assert_eq!(
+            (s.entries, s.bytes, s.evictions, s.hash_conflicts),
+            (1, 10, 0, 0)
+        );
     }
 
     #[test]
     fn oversized_payload_not_cached() {
         let mut c = ResultCache::new(8);
-        c.insert(1, payload(9));
+        c.insert(1, key(1), payload(9));
         assert_eq!(c.stats().entries, 0);
-        assert!(c.get(1).is_none());
+        assert!(c.get(1, &key(1)).is_none());
     }
 
     #[test]
     fn many_inserts_stay_within_budget() {
         let mut c = ResultCache::new(1000);
         for k in 0..100u64 {
-            c.insert(k, payload(64));
+            c.insert(k, key(k), payload(64));
             assert!(c.stats().bytes <= 1000);
         }
         // 1000 / 64 = 15 entries fit.
         assert_eq!(c.stats().entries, 15);
         assert_eq!(c.stats().evictions, 85);
         // The newest keys survive.
-        assert!(c.get(99).is_some());
-        assert!(c.get(0).is_none());
+        assert!(c.get(99, &key(99)).is_some());
+        assert!(c.get(0, &key(0)).is_none());
+    }
+
+    #[test]
+    fn digest_collision_is_a_counted_miss_never_a_wrong_result() {
+        let mut c = ResultCache::new(1024);
+        c.insert(7, b"job A".to_vec(), b"result A".to_vec());
+        // Same digest, different job: the guard refuses to serve A's
+        // bytes for B.
+        assert!(c.get(7, b"job B").is_none());
+        let s = c.stats();
+        assert_eq!((s.hash_conflicts, s.misses, s.hits), (1, 1, 0));
+        // A is still served correctly.
+        assert_eq!(c.get(7, b"job A").unwrap().as_slice(), b"result A");
+        // A colliding insert takes over the slot, counted too.
+        c.insert(7, b"job B".to_vec(), b"result B".to_vec());
+        assert_eq!(c.stats().hash_conflicts, 2);
+        assert_eq!(c.get(7, b"job B").unwrap().as_slice(), b"result B");
+        assert!(c.get(7, b"job A").is_none());
+    }
+
+    #[test]
+    fn entries_by_recency_replays_in_lru_order() {
+        let mut c = ResultCache::new(1024);
+        c.insert(1, key(1), b"one".to_vec());
+        c.insert(2, key(2), b"two".to_vec());
+        c.insert(3, key(3), b"three".to_vec());
+        assert!(c.get(1, &key(1)).is_some()); // 1 becomes most recent
+        let order: Vec<u64> = c.entries_by_recency().iter().map(|(d, _, _)| *d).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+        // Replaying into a fresh cache reproduces contents and order.
+        let mut replay = ResultCache::new(1024);
+        for (digest, k, p) in c.entries_by_recency() {
+            replay.insert(digest, k.as_ref().clone(), p.as_ref().clone());
+        }
+        let replayed: Vec<u64> = replay
+            .entries_by_recency()
+            .iter()
+            .map(|(d, _, _)| *d)
+            .collect();
+        assert_eq!(replayed, order);
+        assert_eq!(replay.get(3, &key(3)).unwrap().as_slice(), b"three");
     }
 }

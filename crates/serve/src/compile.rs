@@ -18,6 +18,7 @@ use qcs_circuit::circuit::Circuit;
 use qcs_circuit::hash::{circuit_digest, Fnv64};
 use qcs_circuit::qasm;
 use qcs_core::config::MapperConfig;
+use qcs_core::ladder::FallbackLadder;
 use qcs_core::mapper::StageTiming;
 use qcs_json::{Json, ToJson};
 use qcs_topology::device::Device;
@@ -84,6 +85,25 @@ impl Job {
         job_digest(&self.circuit, &self.device, &self.config)
     }
 
+    /// The job's *full* key: the complete canonical description the
+    /// digest summarizes (QASM text + device identity + strategy names).
+    /// The cache compares this byte-for-byte on every digest hit, so a
+    /// 64-bit collision between distinct jobs can never serve the wrong
+    /// result — see `cache::CacheStats::hash_conflicts`.
+    pub fn full_key(&self) -> Vec<u8> {
+        let mut key = Vec::new();
+        key.extend_from_slice(qasm::print(&self.circuit).as_bytes());
+        key.push(0);
+        key.extend_from_slice(self.device.name().as_bytes());
+        key.push(0);
+        key.extend_from_slice(self.device.qubit_count().to_string().as_bytes());
+        key.push(0);
+        key.extend_from_slice(self.config.placer.as_bytes());
+        key.push(0);
+        key.extend_from_slice(self.config.router.as_bytes());
+        key
+    }
+
     /// Applies a `qcs-faults` trigger tag to this job.
     ///
     /// The only tag currently understood is
@@ -145,19 +165,21 @@ pub struct CompileOutput {
     pub timing: StageTiming,
 }
 
-/// Runs the mapping pipeline and builds the canonical `result` payload.
+/// Runs the mapping pipeline — the requested config at the top of a
+/// [`FallbackLadder`], verification on — and builds the canonical
+/// `result` payload. The embedded report records which rung served
+/// (`fallback_rung`, 0 = the requested pipeline) and that the result was
+/// verified, so a degraded answer is always visibly degraded.
 ///
 /// # Errors
 ///
-/// [`JobError`] when the pipeline rejects the job (unknown strategy,
-/// circuit wider than the device, routing failure…).
+/// [`JobError`] when every rung of the ladder rejects the job (unknown
+/// strategy, circuit wider than the device, routing failure…) or the
+/// job is unsatisfiable on the device.
 pub fn run_job(job: &Job) -> Result<CompileOutput, JobError> {
     let digest = job.digest();
-    let mapper = job
-        .config
-        .build()
-        .map_err(|e| JobError(format!("bad mapper config: {e}")))?;
-    let outcome = mapper
+    let ladder = FallbackLadder::standard(job.config.clone());
+    let outcome = ladder
         .map(&job.circuit, &job.device)
         .map_err(|e| JobError(format!("mapping failed: {e}")))?;
     let timing = outcome.report.timing;
@@ -187,6 +209,7 @@ mod tests {
             device: "surface17".to_string(),
             config: MapperConfig::new("trivial", "lookahead"),
             deadline_ms: None,
+            request_id: None,
         }
     }
 
@@ -226,9 +249,12 @@ mod tests {
         let value = qcs_json::parse(&text).unwrap();
         assert_eq!(value.get("type").and_then(Json::as_str), Some("result"));
 
-        // The embedded report equals a direct Mapper::map (timing zeroed).
-        let mapper = job.config.build().unwrap();
-        let outcome = mapper.map(&job.circuit, &job.device).unwrap();
+        // The embedded report equals a direct in-process ladder run
+        // (timing zeroed).
+        let ladder = FallbackLadder::standard(job.config.clone());
+        let outcome = ladder.map(&job.circuit, &job.device).unwrap();
+        assert_eq!(outcome.report.fallback_rung, 0);
+        assert!(outcome.report.verified);
         let mut report = outcome.report;
         report.timing = StageTiming::ZERO;
         assert_eq!(
@@ -246,6 +272,7 @@ mod tests {
             device: "line:3".to_string(),
             config: MapperConfig::new("trivial", "trivial"),
             deadline_ms: None,
+            request_id: None,
         };
         let job = Job::resolve(&req).unwrap();
         assert_eq!(job.circuit.gate_count(), 3);
@@ -264,6 +291,7 @@ mod tests {
             device: "surface17".to_string(),
             config: MapperConfig::default(),
             deadline_ms: None,
+            request_id: None,
         };
         assert!(Job::resolve(&req).unwrap_err().0.contains("qasm rejected"));
     }

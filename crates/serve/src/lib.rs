@@ -14,7 +14,11 @@
 //!   workload circuits.
 //! * [`compile`] — request → [`compile::Job`] → canonical, byte-stable
 //!   result payload, plus the [`compile::job_digest`] cache key.
-//! * [`cache`] — the LRU byte-budget store for those payloads.
+//! * [`cache`] — the LRU byte-budget store for those payloads, with a
+//!   full-key integrity guard against digest collisions.
+//! * [`persist`] — the crash-safe on-disk form of the cache: checksummed
+//!   write-ahead log plus atomic snapshot compaction, so a restarted
+//!   daemon (even after `kill -9`) comes back warm and byte-identical.
 //! * [`histogram`] — constant-memory latency histograms for `stats`.
 //! * [`server`] — the daemon: accept thread, worker pool, dispatch.
 //!
@@ -36,10 +40,12 @@ pub mod cache;
 pub mod catalog;
 pub mod compile;
 pub mod histogram;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheStats, ResultCache};
 pub use compile::{job_digest, run_job, CompileOutput, Job};
+pub use persist::{PersistStats, Store};
 pub use protocol::{read_frame, write_frame, CompileRequest, Request, Source};
 pub use server::{Server, ServerConfig, ServerHandle, ShutdownStats};

@@ -3,8 +3,13 @@
 //! ```text
 //! qcs-serve [--addr HOST:PORT] [--workers N] [--max-conns N]
 //!           [--cache-mb N] [--frame-deadline-ms N] [--port-file PATH]
-//!           [--faults SPEC]
+//!           [--persist-dir PATH] [--faults SPEC]
 //! ```
+//!
+//! `--persist-dir` makes the result cache crash-safe: every compiled
+//! result is durably appended to a write-ahead log in that directory
+//! before the response goes out, and a restarted daemon — clean exit or
+//! `kill -9` — replays it and starts warm.
 //!
 //! Binds (port 0 = ephemeral), prints the bound address on stdout, and
 //! serves until a protocol `shutdown` request arrives. `--port-file`
@@ -23,7 +28,8 @@ use qcs_serve::server::{Server, ServerConfig};
 
 fn usage() -> String {
     "usage: qcs-serve [--addr HOST:PORT] [--workers N] [--max-conns N] \
-     [--cache-mb N] [--frame-deadline-ms N] [--port-file PATH] [--faults SPEC]"
+     [--cache-mb N] [--frame-deadline-ms N] [--port-file PATH] \
+     [--persist-dir PATH] [--faults SPEC]"
         .to_string()
 }
 
@@ -60,6 +66,7 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<String>, Option<S
                 config.frame_deadline = Duration::from_millis(ms);
             }
             "--port-file" => port_file = Some(value.clone()),
+            "--persist-dir" => config.persist_dir = Some(value.clone()),
             "--faults" => faults = Some(value.clone()),
             _ => return Err(format!("unknown flag '{flag}'\n{}", usage())),
         }

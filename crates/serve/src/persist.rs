@@ -1,0 +1,612 @@
+//! Crash-safe persistence for the result cache: write-ahead log plus
+//! snapshot compaction.
+//!
+//! # On-disk layout
+//!
+//! A persist directory holds at most one `snapshot.qcs` and any number of
+//! `wal-NNNNNN.qcs` segments (strictly increasing indices; appends go to
+//! the highest). Every file starts with the 8-byte magic `QCSPERS1`;
+//! after it, both file kinds carry the same record stream:
+//!
+//! ```text
+//! [u32 body_len BE][u64 FNV-1a(body) BE][body]
+//! body = [u64 digest BE][u32 key_len BE][key bytes][payload bytes]
+//! ```
+//!
+//! `digest` is the cache digest, `key` the job's full key, `payload` the
+//! canonical response bytes — exactly one [`crate::cache::ResultCache`]
+//! entry per record, so recovery is "replay every record through
+//! `insert`" and later records win.
+//!
+//! # Durability and recovery policy
+//!
+//! * **Append** writes the whole record with one `write_all` then
+//!   `sync_data`, so an acknowledged compile survives `kill -9`.
+//! * **Torn tail** (record that stops mid-bytes — the classic
+//!   mid-`write` crash): the file is truncated back to the last complete
+//!   record and the event counted in
+//!   [`PersistStats::torn_tails_truncated`]. Only the tail can tear, so
+//!   nothing acknowledged is lost.
+//! * **Corrupt record** (plausible length, checksum mismatch — a flipped
+//!   bit): skipped, counted in
+//!   [`PersistStats::corrupt_records_skipped`], and the scan continues
+//!   with the next record, so one bad sector costs one entry.
+//! * **Implausible length** (corruption hit the length field itself, so
+//!   record boundaries are gone): the rest of the file is dropped,
+//!   counted as one corrupt record plus a truncated tail.
+//!
+//! Recovery never panics and never refuses to start: the worst corrupted
+//! directory degrades to a cold cache plus nonzero counters in `stats`.
+//!
+//! # Compaction
+//!
+//! When the WAL outgrows the live cache (dead records from eviction and
+//! re-insertion pile up), [`Store::compact`] writes the live entries to
+//! `snapshot.tmp`, fsyncs it, atomically renames it over `snapshot.qcs`,
+//! fsyncs the directory, deletes every WAL segment and starts a fresh
+//! one. A crash at any point leaves either the old state (rename not yet
+//! durable) or the new (rename durable) — never a mix, because the
+//! rename is the commit point.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use qcs_circuit::hash::Fnv64;
+use qcs_faults::Hit;
+
+use crate::cache::EntryRef;
+
+/// Leading magic of every persist file: identifies the format and pins
+/// version 1 of the framing.
+pub const MAGIC: &[u8; 8] = b"QCSPERS1";
+
+/// Per-record framing overhead: length prefix + checksum.
+const RECORD_HEADER_BYTES: usize = 4 + 8;
+
+/// Per-body framing overhead: digest + key length.
+const BODY_HEADER_BYTES: usize = 8 + 4;
+
+/// Ceiling on one record body. Anything larger cannot be a real record
+/// (payloads are bounded by the protocol's 16 MiB frame cap) and is
+/// treated as corruption of the length field itself.
+pub const MAX_RECORD_BYTES: usize = 64 << 20;
+
+/// Default WAL size that triggers compaction.
+const DEFAULT_COMPACT_THRESHOLD: u64 = 8 << 20;
+
+/// Counters describing the store's life so far, reported by `stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PersistStats {
+    /// Entries recovered (snapshot + WAL) at open time.
+    pub records_recovered: u64,
+    /// Records dropped at open time for failing their checksum.
+    pub corrupt_records_skipped: u64,
+    /// Files truncated at open time because their tail was incomplete.
+    pub torn_tails_truncated: u64,
+    /// Records appended since open.
+    pub appends: u64,
+    /// Snapshot compactions since open.
+    pub compactions: u64,
+    /// Bytes currently in WAL segments (headers included).
+    pub wal_bytes: u64,
+    /// Bytes in the current snapshot (0 when none exists).
+    pub snapshot_bytes: u64,
+}
+
+/// One cache entry read back from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredRecord {
+    /// The cache digest.
+    pub digest: u64,
+    /// The job's full key.
+    pub key: Vec<u8>,
+    /// The canonical response payload.
+    pub payload: Vec<u8>,
+}
+
+/// The open persist directory: an append handle on the active WAL
+/// segment plus bookkeeping for compaction.
+pub struct Store {
+    dir: PathBuf,
+    wal: File,
+    wal_index: u64,
+    compact_threshold: u64,
+    stats: PersistStats,
+}
+
+impl Store {
+    /// Opens (creating if needed) a persist directory, replays snapshot
+    /// and WAL segments, and returns the store plus every recovered
+    /// record in replay order (snapshot first, then WAL segments by
+    /// index; within a file, record order — so replaying through the
+    /// cache reproduces its pre-crash state, later records winning).
+    ///
+    /// # Errors
+    ///
+    /// Only on environmental I/O failure (directory not creatable, files
+    /// not openable). *Corrupted contents never error* — they are
+    /// skipped and counted in [`PersistStats`].
+    pub fn open(dir: &Path) -> io::Result<(Store, Vec<RecoveredRecord>)> {
+        fs::create_dir_all(dir)?;
+        let mut stats = PersistStats::default();
+        let mut records = Vec::new();
+
+        let snapshot_path = dir.join("snapshot.qcs");
+        if snapshot_path.exists() {
+            stats.snapshot_bytes = read_records(&snapshot_path, &mut records, &mut stats, false)?;
+        }
+
+        let mut segments = wal_segments(dir)?;
+        segments.sort_unstable();
+        let last = segments.last().copied();
+        for &index in &segments {
+            let path = wal_path(dir, index);
+            // Only the highest segment ever receives appends again, so
+            // only its torn tail needs physical truncation.
+            let truncate = Some(index) == last;
+            stats.wal_bytes += read_records(&path, &mut records, &mut stats, truncate)?;
+        }
+        stats.records_recovered = records.len() as u64;
+
+        let wal_index = last.unwrap_or(1);
+        let path = wal_path(dir, wal_index);
+        let fresh = !path.exists();
+        let mut wal = OpenOptions::new().create(true).append(true).open(&path)?;
+        if fresh {
+            wal.write_all(MAGIC)?;
+            wal.sync_data()?;
+            stats.wal_bytes += MAGIC.len() as u64;
+            sync_dir(dir)?;
+        }
+
+        Ok((
+            Store {
+                dir: dir.to_path_buf(),
+                wal,
+                wal_index,
+                compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+                stats,
+            },
+            records,
+        ))
+    }
+
+    /// Overrides the WAL size that makes [`should_compact`](Self::should_compact)
+    /// fire (tests use tiny thresholds to exercise compaction cheaply).
+    pub fn set_compact_threshold(&mut self, bytes: u64) {
+        self.compact_threshold = bytes;
+    }
+
+    /// Durably appends one cache entry to the active WAL segment: the
+    /// record is fully written and `sync_data`ed before this returns, so
+    /// an acknowledged response survives an immediate `kill -9`.
+    ///
+    /// # Errors
+    ///
+    /// Disk-level failures, or an injected `serve.cache.persist`
+    /// failpoint error. An armed `panic` on that site unwinds from here
+    /// (callers isolate it like any compile panic).
+    pub fn append(&mut self, digest: u64, key: &[u8], payload: &[u8]) -> io::Result<()> {
+        if let Hit::Error(message) = qcs_faults::hit("serve.cache.persist") {
+            return Err(io::Error::other(format!("injected fault: {message}")));
+        }
+        let record = encode_record(digest, key, payload)?;
+        self.wal.write_all(&record)?;
+        self.wal.sync_data()?;
+        self.stats.wal_bytes += record.len() as u64;
+        self.stats.appends += 1;
+        Ok(())
+    }
+
+    /// Whether the WAL has outgrown its threshold and the live entries
+    /// should be folded into a fresh snapshot.
+    pub fn should_compact(&self) -> bool {
+        self.stats.wal_bytes > self.compact_threshold.max(self.stats.snapshot_bytes)
+    }
+
+    /// Atomically replaces the snapshot with `entries` (the cache's live
+    /// set, LRU-first) and starts a fresh WAL segment. The rename of the
+    /// fsynced temp file is the commit point; a crash on either side of
+    /// it leaves a fully consistent directory.
+    ///
+    /// # Errors
+    ///
+    /// Disk-level failures. The store stays usable: a failed compaction
+    /// leaves the old snapshot and WAL in place.
+    pub fn compact(&mut self, entries: &[EntryRef]) -> io::Result<()> {
+        let tmp_path = self.dir.join("snapshot.tmp");
+        let snapshot_path = self.dir.join("snapshot.qcs");
+        let mut bytes: u64 = MAGIC.len() as u64;
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(MAGIC)?;
+            for (digest, key, payload) in entries {
+                let record = encode_record(*digest, key, payload)?;
+                tmp.write_all(&record)?;
+                bytes += record.len() as u64;
+            }
+            tmp.sync_all()?;
+        }
+        fs::rename(&tmp_path, &snapshot_path)?;
+        sync_dir(&self.dir)?;
+
+        // The snapshot is durable: every WAL segment is now dead weight.
+        let old_index = self.wal_index;
+        self.wal_index = old_index + 1;
+        let path = wal_path(&self.dir, self.wal_index);
+        let mut wal = OpenOptions::new().create(true).append(true).open(&path)?;
+        wal.write_all(MAGIC)?;
+        wal.sync_data()?;
+        self.wal = wal;
+        for index in wal_segments(&self.dir)? {
+            if index <= old_index {
+                let _ = fs::remove_file(wal_path(&self.dir, index));
+            }
+        }
+        sync_dir(&self.dir)?;
+
+        self.stats.snapshot_bytes = bytes;
+        self.stats.wal_bytes = MAGIC.len() as u64;
+        self.stats.compactions += 1;
+        Ok(())
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> PersistStats {
+        self.stats
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Frames one cache entry as a checksummed record.
+fn encode_record(digest: u64, key: &[u8], payload: &[u8]) -> io::Result<Vec<u8>> {
+    let body_len = BODY_HEADER_BYTES + key.len() + payload.len();
+    if body_len > MAX_RECORD_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("record of {body_len} bytes exceeds persist maximum"),
+        ));
+    }
+    let mut record = Vec::with_capacity(RECORD_HEADER_BYTES + body_len);
+    record.extend_from_slice(&(body_len as u32).to_be_bytes());
+    record.extend_from_slice(&[0u8; 8]); // checksum patched below
+    record.extend_from_slice(&digest.to_be_bytes());
+    record.extend_from_slice(&(key.len() as u32).to_be_bytes());
+    record.extend_from_slice(key);
+    record.extend_from_slice(payload);
+    let checksum = fnv64(&record[RECORD_HEADER_BYTES..]);
+    record[4..12].copy_from_slice(&checksum.to_be_bytes());
+    Ok(record)
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// Replays one file's records into `out`, applying the recovery policy
+/// (skip corrupt, stop at torn tail, count everything). Returns the
+/// number of usable bytes — the offset the file was (or would be)
+/// truncated to. With `truncate` set, a torn tail is physically cut off
+/// so future appends continue from a clean record boundary.
+fn read_records(
+    path: &Path,
+    out: &mut Vec<RecoveredRecord>,
+    stats: &mut PersistStats,
+    truncate: bool,
+) -> io::Result<u64> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        // Unrecognizable file: nothing recoverable. If it's the active
+        // WAL, reset it to a valid empty file so appends can proceed.
+        stats.corrupt_records_skipped += 1;
+        if truncate {
+            stats.torn_tails_truncated += 1;
+            let mut wal = File::create(path)?;
+            wal.write_all(MAGIC)?;
+            wal.sync_data()?;
+            return Ok(MAGIC.len() as u64);
+        }
+        return Ok(0);
+    }
+
+    let mut offset = MAGIC.len();
+    let mut good_end = offset; // end of the last intact record
+    loop {
+        let remaining = bytes.len() - offset;
+        if remaining == 0 {
+            break; // clean end of file
+        }
+        if remaining < RECORD_HEADER_BYTES {
+            stats.torn_tails_truncated += 1; // header itself is torn
+            break;
+        }
+        let body_len = u32::from_be_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        let checksum = u64::from_be_bytes(bytes[offset + 4..offset + 12].try_into().unwrap());
+        if !(BODY_HEADER_BYTES..=MAX_RECORD_BYTES).contains(&body_len) {
+            // The length field itself is garbage: record boundaries are
+            // lost, drop the rest of the file.
+            stats.corrupt_records_skipped += 1;
+            stats.torn_tails_truncated += 1;
+            break;
+        }
+        if remaining - RECORD_HEADER_BYTES < body_len {
+            stats.torn_tails_truncated += 1; // body is torn
+            break;
+        }
+        let body_start = offset + RECORD_HEADER_BYTES;
+        let body = &bytes[body_start..body_start + body_len];
+        offset = body_start + body_len;
+        if fnv64(body) != checksum {
+            stats.corrupt_records_skipped += 1;
+            continue; // framing intact, content flipped: skip one record
+        }
+        let digest = u64::from_be_bytes(body[..8].try_into().unwrap());
+        let key_len = u32::from_be_bytes(body[8..12].try_into().unwrap()) as usize;
+        if BODY_HEADER_BYTES + key_len > body_len {
+            stats.corrupt_records_skipped += 1;
+            continue;
+        }
+        out.push(RecoveredRecord {
+            digest,
+            key: body[BODY_HEADER_BYTES..BODY_HEADER_BYTES + key_len].to_vec(),
+            payload: body[BODY_HEADER_BYTES + key_len..].to_vec(),
+        });
+        good_end = offset;
+    }
+
+    if truncate && good_end < bytes.len() {
+        let wal = OpenOptions::new().write(true).open(path)?;
+        wal.set_len(good_end as u64)?;
+        wal.sync_data()?;
+    }
+    Ok(good_end as u64)
+}
+
+fn wal_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:06}.qcs"))
+}
+
+/// Indices of every `wal-NNNNNN.qcs` in the directory, unsorted.
+fn wal_segments(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut indices = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(index) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".qcs"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            indices.push(index);
+        }
+    }
+    Ok(indices)
+}
+
+/// Makes directory-level changes (creates, renames, deletes) durable.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+
+    /// A scratch directory removed on drop, unique per test.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir =
+                std::env::temp_dir().join(format!("qcs-persist-test-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn entry(i: u64) -> (u64, Vec<u8>, Vec<u8>) {
+        (
+            i,
+            format!("key-{i}").into_bytes(),
+            format!("payload-{i}-{}", "x".repeat(i as usize % 7)).into_bytes(),
+        )
+    }
+
+    #[test]
+    fn appends_survive_reopen() {
+        let tmp = TempDir::new("reopen");
+        {
+            let (mut store, recovered) = Store::open(tmp.path()).unwrap();
+            assert!(recovered.is_empty());
+            for i in 0..10 {
+                let (d, k, p) = entry(i);
+                store.append(d, &k, &p).unwrap();
+            }
+        }
+        let (store, recovered) = Store::open(tmp.path()).unwrap();
+        assert_eq!(recovered.len(), 10);
+        for (i, r) in recovered.iter().enumerate() {
+            let (d, k, p) = entry(i as u64);
+            assert_eq!((r.digest, &r.key, &r.payload), (d, &k, &p));
+        }
+        let s = store.stats();
+        assert_eq!(s.records_recovered, 10);
+        assert_eq!(s.corrupt_records_skipped, 0);
+        assert_eq!(s.torn_tails_truncated, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_counted() {
+        let tmp = TempDir::new("torn");
+        {
+            let (mut store, _) = Store::open(tmp.path()).unwrap();
+            for i in 0..5 {
+                let (d, k, p) = entry(i);
+                store.append(d, &k, &p).unwrap();
+            }
+        }
+        // Simulate a crash mid-write: append half a record.
+        let wal = wal_path(tmp.path(), 1);
+        let torn = &encode_record(99, b"torn-key", b"torn-payload").unwrap();
+        let mut f = OpenOptions::new().append(true).open(&wal).unwrap();
+        f.write_all(&torn[..torn.len() / 2]).unwrap();
+        drop(f);
+
+        let (mut store, recovered) = Store::open(tmp.path()).unwrap();
+        assert_eq!(recovered.len(), 5);
+        assert_eq!(store.stats().torn_tails_truncated, 1);
+        // The tail was physically cut: a fresh append then reopen sees
+        // exactly 6 clean records.
+        store.append(100, b"after", b"the tear").unwrap();
+        drop(store);
+        let (store, recovered) = Store::open(tmp.path()).unwrap();
+        assert_eq!(recovered.len(), 6);
+        assert_eq!(recovered[5].digest, 100);
+        assert_eq!(store.stats().torn_tails_truncated, 0);
+    }
+
+    #[test]
+    fn flipped_bit_skips_one_record_only() {
+        let tmp = TempDir::new("bitflip");
+        let mut offsets = vec![MAGIC.len()];
+        {
+            let (mut store, _) = Store::open(tmp.path()).unwrap();
+            for i in 0..5 {
+                let (d, k, p) = entry(i);
+                store.append(d, &k, &p).unwrap();
+                offsets.push(store.stats().wal_bytes as usize);
+            }
+        }
+        // Flip one payload bit inside record 2 (past its 12-byte record
+        // header and 12-byte body header, so framing stays intact).
+        let wal = wal_path(tmp.path(), 1);
+        let mut bytes = fs::read(&wal).unwrap();
+        bytes[offsets[2] + RECORD_HEADER_BYTES + BODY_HEADER_BYTES + 1] ^= 0x40;
+        fs::write(&wal, &bytes).unwrap();
+
+        let (store, recovered) = Store::open(tmp.path()).unwrap();
+        let digests: Vec<u64> = recovered.iter().map(|r| r.digest).collect();
+        assert_eq!(digests, vec![0, 1, 3, 4]); // record 2 gone, rest intact
+        let s = store.stats();
+        assert_eq!(s.corrupt_records_skipped, 1);
+        assert_eq!(s.torn_tails_truncated, 0);
+    }
+
+    #[test]
+    fn garbage_length_field_drops_rest_of_file() {
+        let tmp = TempDir::new("badlen");
+        let second_record_at;
+        {
+            let (mut store, _) = Store::open(tmp.path()).unwrap();
+            let (d, k, p) = entry(0);
+            store.append(d, &k, &p).unwrap();
+            second_record_at = store.stats().wal_bytes as usize;
+            for i in 1..4 {
+                let (d, k, p) = entry(i);
+                store.append(d, &k, &p).unwrap();
+            }
+        }
+        let wal = wal_path(tmp.path(), 1);
+        let mut bytes = fs::read(&wal).unwrap();
+        bytes[second_record_at] = 0xFF; // length now ~4 GiB: implausible
+        fs::write(&wal, &bytes).unwrap();
+
+        let (store, recovered) = Store::open(tmp.path()).unwrap();
+        assert_eq!(recovered.len(), 1); // only the record before the damage
+        let s = store.stats();
+        assert_eq!(s.corrupt_records_skipped, 1);
+        assert_eq!(s.torn_tails_truncated, 1);
+    }
+
+    #[test]
+    fn compaction_folds_wal_into_snapshot() {
+        let tmp = TempDir::new("compact");
+        {
+            let (mut store, _) = Store::open(tmp.path()).unwrap();
+            store.set_compact_threshold(64);
+            for i in 0..8 {
+                let (d, k, p) = entry(i);
+                store.append(d, &k, &p).unwrap();
+            }
+            assert!(store.should_compact());
+            // Pretend the cache only kept entries 5..8 (eviction).
+            let live: Vec<EntryRef> = (5..8)
+                .map(|i| {
+                    let (d, k, p) = entry(i);
+                    (d, Arc::new(k), Arc::new(p))
+                })
+                .collect();
+            store.compact(&live).unwrap();
+            let s = store.stats();
+            assert_eq!(s.compactions, 1);
+            assert_eq!(s.wal_bytes, MAGIC.len() as u64);
+            assert!(s.snapshot_bytes > MAGIC.len() as u64);
+            // Post-compaction appends land in the new segment.
+            store.append(42, b"new", b"entry").unwrap();
+        }
+        assert!(tmp.path().join("snapshot.qcs").exists());
+        assert!(!wal_path(tmp.path(), 1).exists());
+        assert!(wal_path(tmp.path(), 2).exists());
+
+        let (_store, recovered) = Store::open(tmp.path()).unwrap();
+        let digests: Vec<u64> = recovered.iter().map(|r| r.digest).collect();
+        assert_eq!(digests, vec![5, 6, 7, 42]);
+    }
+
+    #[test]
+    fn unrecognizable_active_wal_resets_cleanly() {
+        let tmp = TempDir::new("badmagic");
+        {
+            let (mut store, _) = Store::open(tmp.path()).unwrap();
+            store.append(1, b"k", b"p").unwrap();
+        }
+        fs::write(wal_path(tmp.path(), 1), b"zz").unwrap();
+        let (mut store, recovered) = Store::open(tmp.path()).unwrap();
+        assert!(recovered.is_empty());
+        assert_eq!(store.stats().corrupt_records_skipped, 1);
+        store.append(2, b"k2", b"p2").unwrap();
+        drop(store);
+        let (_, recovered) = Store::open(tmp.path()).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].digest, 2);
+    }
+
+    #[test]
+    fn empty_key_and_payload_round_trip() {
+        let tmp = TempDir::new("empty");
+        {
+            let (mut store, _) = Store::open(tmp.path()).unwrap();
+            store.append(0, b"", b"").unwrap();
+        }
+        let (_, recovered) = Store::open(tmp.path()).unwrap();
+        assert_eq!(
+            recovered,
+            vec![RecoveredRecord {
+                digest: 0,
+                key: Vec::new(),
+                payload: Vec::new(),
+            }]
+        );
+    }
+}

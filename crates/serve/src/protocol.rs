@@ -10,7 +10,7 @@
 //!
 //! | type            | payload                                                        |
 //! |-----------------|----------------------------------------------------------------|
-//! | `compile`       | `qasm` *or* `workload`, optional `device`/`placer`/`router`/`deadline_ms` |
+//! | `compile`       | `qasm` *or* `workload`, optional `device`/`placer`/`router`/`deadline_ms`/`request_id` |
 //! | `compile_suite` | optional `count`/`max_qubits`/`max_gates`/`seed` + compile options |
 //! | `stats`         | —                                                              |
 //! | `ping`          | —                                                              |
@@ -109,6 +109,12 @@ pub struct CompileRequest {
     /// Optional per-request latency budget in milliseconds; when the
     /// daemon cannot meet it, the job gets an `error` response.
     pub deadline_ms: Option<u64>,
+    /// Optional client-generated request id, echoed verbatim in the
+    /// response (`"request_id"` member). A client that retries reuses
+    /// the id, so the daemon can tell retried requests from new ones
+    /// (counted as `requests_retried` in `stats`) — the groundwork for
+    /// idempotent retries.
+    pub request_id: Option<String>,
 }
 
 /// A generated-suite compilation job (batch dispatched across the worker
@@ -229,11 +235,22 @@ impl Request {
                         RequestError("'deadline_ms' must be a non-negative integer".to_string())
                     })?),
                 };
+                let request_id = match value.get("request_id") {
+                    None => None,
+                    Some(v) => Some(
+                        v.as_str()
+                            .ok_or_else(|| {
+                                RequestError("'request_id' must be a string".to_string())
+                            })?
+                            .to_string(),
+                    ),
+                };
                 Ok(Request::Compile(CompileRequest {
                     source,
                     device: opt_str(&value, "device", "surface17")?,
                     config: mapper_config(&value)?,
                     deadline_ms,
+                    request_id,
                 }))
             }
             "compile_suite" => Ok(Request::CompileSuite(SuiteRequest {
@@ -312,13 +329,15 @@ mod tests {
         assert_eq!(c.device, "surface17");
         assert_eq!(c.config, MapperConfig::default());
         assert_eq!(c.deadline_ms, None);
+        assert_eq!(c.request_id, None);
     }
 
     #[test]
     fn parses_full_compile_request() {
         let req = Request::parse(
             br#"{"type":"compile","qasm":"qreg q[1];","device":"line:5",
-                 "placer":"trivial","router":"trivial","deadline_ms":250}"#,
+                 "placer":"trivial","router":"trivial","deadline_ms":250,
+                 "request_id":"cli-42"}"#,
         )
         .unwrap();
         let Request::Compile(c) = req else {
@@ -328,6 +347,7 @@ mod tests {
         assert_eq!(c.device, "line:5");
         assert_eq!(c.config, MapperConfig::new("trivial", "trivial"));
         assert_eq!(c.deadline_ms, Some(250));
+        assert_eq!(c.request_id, Some("cli-42".to_string()));
     }
 
     #[test]
@@ -356,6 +376,7 @@ mod tests {
             br#"{"type":"compile","qasm":"x","workload":"y"}"#,
             br#"{"type":"compile","qasm":7}"#,
             br#"{"type":"compile","workload":"ghz:4","deadline_ms":-1}"#,
+            br#"{"type":"compile","workload":"ghz:4","request_id":7}"#,
         ] {
             assert!(
                 Request::parse(bad).is_err(),

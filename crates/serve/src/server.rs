@@ -28,9 +28,11 @@
 //!   died panicking are recorded in [`ShutdownStats`] rather than
 //!   re-panicking the caller.
 
+use std::collections::{HashSet, VecDeque};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -44,6 +46,7 @@ use qcs_faults::Hit;
 use crate::cache::ResultCache;
 use crate::compile::{run_job, Job};
 use crate::histogram::LatencyHistogram;
+use crate::persist::Store;
 use crate::protocol::{
     error_response, shed_response, write_frame, write_json, CompileRequest, Request, SuiteRequest,
     MAX_FRAME_BYTES,
@@ -63,6 +66,11 @@ pub struct ServerConfig {
     /// Mid-frame read deadline: a started frame must finish arriving
     /// within this budget.
     pub frame_deadline: Duration,
+    /// Directory for the crash-safe persistent cache (WAL + snapshot,
+    /// see [`crate::persist`]). `None` keeps the cache memory-only; with
+    /// a directory, the daemon replays it at startup and comes back warm
+    /// after any restart — including `kill -9`.
+    pub persist_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +81,7 @@ impl Default for ServerConfig {
             max_connections: 64,
             cache_bytes: 64 << 20,
             frame_deadline: Duration::from_secs(5),
+            persist_dir: None,
         }
     }
 }
@@ -124,6 +133,41 @@ impl ServeStats {
     }
 }
 
+/// Bound on remembered request ids: enough to catch any realistic retry
+/// window, small enough to never matter for memory.
+const SEEN_IDS_CAP: usize = 4096;
+
+/// A bounded memory of client request ids, for telling retries apart
+/// from new requests. Oldest ids age out first.
+struct SeenIds {
+    set: HashSet<String>,
+    order: VecDeque<String>,
+}
+
+impl SeenIds {
+    fn new() -> Self {
+        SeenIds {
+            set: HashSet::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Records `id`; returns true when it was already known (a retry).
+    fn note(&mut self, id: &str) -> bool {
+        if self.set.contains(id) {
+            return true;
+        }
+        self.set.insert(id.to_string());
+        self.order.push_back(id.to_string());
+        if self.order.len() > SEEN_IDS_CAP {
+            if let Some(oldest) = self.order.pop_front() {
+                self.set.remove(&oldest);
+            }
+        }
+        false
+    }
+}
+
 struct Shared {
     config: ServerConfig,
     local_addr: SocketAddr,
@@ -135,7 +179,11 @@ struct Shared {
     jobs_panicked: AtomicU64,
     connections_panicked: AtomicU64,
     connections_shed: AtomicU64,
+    requests_retried: AtomicU64,
+    persist_errors: AtomicU64,
+    seen_ids: Mutex<SeenIds>,
     cache: Mutex<ResultCache>,
+    persist: Option<Mutex<Store>>,
     stats: Mutex<ServeStats>,
 }
 
@@ -225,7 +273,23 @@ impl Server {
         assert!(config.workers > 0, "worker count must be at least 1");
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let cache_bytes = config.cache_bytes;
+
+        // Warm restart: replay the persist directory into the in-memory
+        // cache before the first connection is accepted. Recovery order
+        // is LRU-faithful, so the warmed cache evicts the same way the
+        // pre-crash one would have.
+        let mut cache = ResultCache::new(config.cache_bytes);
+        let persist = match &config.persist_dir {
+            Some(dir) => {
+                let (store, recovered) = Store::open(Path::new(dir))?;
+                for record in recovered {
+                    cache.insert(record.digest, record.key, record.payload);
+                }
+                Some(Mutex::new(store))
+            }
+            None => None,
+        };
+
         let shared = Arc::new(Shared {
             config,
             local_addr,
@@ -237,7 +301,11 @@ impl Server {
             jobs_panicked: AtomicU64::new(0),
             connections_panicked: AtomicU64::new(0),
             connections_shed: AtomicU64::new(0),
-            cache: Mutex::new(ResultCache::new(cache_bytes)),
+            requests_retried: AtomicU64::new(0),
+            persist_errors: AtomicU64::new(0),
+            seen_ids: Mutex::new(SeenIds::new()),
+            cache: Mutex::new(cache),
+            persist,
             stats: Mutex::new(ServeStats::new()),
         });
 
@@ -494,8 +562,9 @@ fn compile_via_cache(shared: &Shared, request: &CompileRequest) -> Result<Arc<Ve
         Hit::Triggered(tag) => job.apply_trigger(&tag).map_err(|e| e.to_string())?,
     }
     let digest = job.digest();
+    let full_key = job.full_key();
 
-    let cached = lock_recovering(&shared.cache).get(digest);
+    let cached = lock_recovering(&shared.cache).get(digest, &full_key);
     let payload = match cached {
         Some(payload) => payload,
         None => {
@@ -504,7 +573,12 @@ fn compile_via_cache(shared: &Shared, request: &CompileRequest) -> Result<Arc<Ve
             }
             let output = run_job(&job).map_err(|e| e.to_string())?;
             let payload = Arc::new(output.payload);
-            lock_recovering(&shared.cache).insert(digest, payload.as_ref().clone());
+            lock_recovering(&shared.cache).insert(
+                digest,
+                full_key.clone(),
+                payload.as_ref().clone(),
+            );
+            persist_entry(shared, digest, &full_key, &payload);
             let timing = output.timing;
             let mut stats = lock_recovering(&shared.stats);
             stats.decompose.record(timing.decompose_micros as u64);
@@ -526,19 +600,83 @@ fn compile_via_cache(shared: &Shared, request: &CompileRequest) -> Result<Arc<Ve
     Ok(payload)
 }
 
+/// Durably logs a fresh cache entry into the persist store (when one is
+/// configured), folding the WAL into a snapshot once it outgrows the
+/// threshold. Persistence failures are counted in `persist_errors` but
+/// never fail the request: the daemon keeps serving from memory.
+fn persist_entry(shared: &Shared, digest: u64, key: &[u8], payload: &[u8]) {
+    let Some(persist) = &shared.persist else {
+        return;
+    };
+    let mut store = lock_recovering(persist);
+    if store.append(digest, key, payload).is_err() {
+        shared.persist_errors.fetch_add(1, Ordering::SeqCst);
+    }
+    if store.should_compact() {
+        let entries = lock_recovering(&shared.cache).entries_by_recency();
+        if store.compact(&entries).is_err() {
+            shared.persist_errors.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The canonical payload with the client's request id spliced in as the
+/// first member. The cached bytes stay id-free (they are shared across
+/// clients); only this one response copy carries the echo.
+fn payload_with_request_id(payload: &[u8], id: &str) -> Vec<u8> {
+    let id_json = Json::from(id.to_string()).to_compact_string();
+    let mut out = Vec::with_capacity(payload.len() + id_json.len() + 16);
+    out.extend_from_slice(b"{\"request_id\":");
+    out.extend_from_slice(id_json.as_bytes());
+    out.push(b',');
+    out.extend_from_slice(&payload[1..]);
+    out
+}
+
+/// Prepends a `request_id` member to an error-shaped response when the
+/// request carried one.
+fn tag_request_id(value: Json, id: &Option<String>) -> Json {
+    match (value, id) {
+        (Json::Object(mut members), Some(id)) => {
+            members.insert(0, ("request_id".to_string(), Json::from(id.clone())));
+            Json::Object(members)
+        }
+        (value, _) => value,
+    }
+}
+
 fn serve_compile(stream: &mut TcpStream, shared: &Shared, request: &CompileRequest) -> bool {
+    // A request id seen before marks a client retry — worth counting
+    // separately from organic traffic when reading stats after an
+    // incident.
+    if let Some(id) = &request.request_id {
+        if lock_recovering(&shared.seen_ids).note(id) {
+            shared.requests_retried.fetch_add(1, Ordering::SeqCst);
+        }
+    }
     // Panic isolation: a compile that panics — a pipeline bug or an
     // injected failpoint — becomes a structured error frame on this one
     // connection. The worker, the queue and the cache all survive, and
     // the shared locks recover from any poisoning the unwind caused.
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| compile_via_cache(shared, request)));
     match outcome {
-        Ok(Ok(payload)) => write_frame(stream, &payload).is_ok(),
-        Ok(Err(message)) => write_json(stream, &error_response(message)).is_ok(),
+        Ok(Ok(payload)) => match &request.request_id {
+            Some(id) => write_frame(stream, &payload_with_request_id(&payload, id)).is_ok(),
+            None => write_frame(stream, &payload).is_ok(),
+        },
+        Ok(Err(message)) => write_json(
+            stream,
+            &tag_request_id(error_response(message), &request.request_id),
+        )
+        .is_ok(),
         Err(panic) => {
             shared.jobs_panicked.fetch_add(1, Ordering::SeqCst);
             let message = format!("compilation panicked: {}", panic_message(panic.as_ref()));
-            write_json(stream, &error_response(message)).is_ok()
+            write_json(
+                stream,
+                &tag_request_id(error_response(message), &request.request_id),
+            )
+            .is_ok()
         }
     }
 }
@@ -568,7 +706,8 @@ fn serve_suite(stream: &mut TcpStream, shared: &Shared, request: &SuiteRequest) 
             config: request.config.clone(),
         };
         let digest = job.digest();
-        let cached = lock_recovering(&shared.cache).get(digest);
+        let full_key = job.full_key();
+        let cached = lock_recovering(&shared.cache).get(digest, &full_key);
         let outcome: Result<Arc<Vec<u8>>, String> = match cached {
             Some(payload) => Ok(payload),
             None => {
@@ -578,7 +717,12 @@ fn serve_suite(stream: &mut TcpStream, shared: &Shared, request: &SuiteRequest) 
                 match std::panic::catch_unwind(AssertUnwindSafe(|| run_job(&job))) {
                     Ok(Ok(output)) => {
                         let payload = Arc::new(output.payload);
-                        lock_recovering(&shared.cache).insert(digest, payload.as_ref().clone());
+                        lock_recovering(&shared.cache).insert(
+                            digest,
+                            full_key.clone(),
+                            payload.as_ref().clone(),
+                        );
+                        persist_entry(shared, digest, &full_key, &payload);
                         Ok(payload)
                     }
                     Ok(Err(e)) => Err(e.to_string()),
@@ -619,7 +763,7 @@ fn serve_suite(stream: &mut TcpStream, shared: &Shared, request: &SuiteRequest) 
 fn stats_json(shared: &Shared) -> Json {
     let cache = lock_recovering(&shared.cache).stats();
     let stats = lock_recovering(&shared.stats);
-    Json::object([
+    let mut value = Json::object([
         ("type", Json::from("stats")),
         (
             "jobs",
@@ -628,6 +772,10 @@ fn stats_json(shared: &Shared) -> Json {
         (
             "active_connections",
             Json::from(shared.active.load(Ordering::SeqCst)),
+        ),
+        (
+            "requests_retried",
+            Json::from(shared.requests_retried.load(Ordering::SeqCst)),
         ),
         (
             "faults",
@@ -652,6 +800,7 @@ fn stats_json(shared: &Shared) -> Json {
                 ("hits", Json::from(cache.hits)),
                 ("misses", Json::from(cache.misses)),
                 ("evictions", Json::from(cache.evictions)),
+                ("hash_conflicts", Json::from(cache.hash_conflicts)),
                 ("entries", Json::from(cache.entries)),
                 ("bytes", Json::from(cache.bytes)),
                 ("hit_rate", Json::from(cache.hit_rate())),
@@ -667,5 +816,30 @@ fn stats_json(shared: &Shared) -> Json {
                 ("schedule", stats.schedule.to_json()),
             ]),
         ),
-    ])
+    ]);
+    if let Some(persist) = &shared.persist {
+        let p = lock_recovering(persist).stats();
+        if let Json::Object(members) = &mut value {
+            members.push((
+                "persist".to_string(),
+                Json::object([
+                    ("records_recovered", Json::from(p.records_recovered)),
+                    (
+                        "corrupt_records_skipped",
+                        Json::from(p.corrupt_records_skipped),
+                    ),
+                    ("torn_tails_truncated", Json::from(p.torn_tails_truncated)),
+                    ("appends", Json::from(p.appends)),
+                    (
+                        "append_errors",
+                        Json::from(shared.persist_errors.load(Ordering::SeqCst)),
+                    ),
+                    ("compactions", Json::from(p.compactions)),
+                    ("wal_bytes", Json::from(p.wal_bytes)),
+                    ("snapshot_bytes", Json::from(p.snapshot_bytes)),
+                ]),
+            ));
+        }
+    }
+    value
 }

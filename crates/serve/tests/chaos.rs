@@ -72,6 +72,7 @@ fn degraded_expectations(count: usize) -> Vec<(String, Vec<u8>)> {
                 device: DEGRADED_DEVICE.to_string(),
                 config: MapperConfig::new("trivial", "lookahead"),
                 deadline_ms: None,
+                request_id: None,
             })
             .expect("degraded device resolves");
             let expected = run_job(&job).expect("degraded jobs compile").payload;
@@ -91,6 +92,7 @@ fn daemon_serves_through_injected_faults() {
         max_connections: 128,
         cache_bytes: 8 << 20,
         frame_deadline: Duration::from_secs(5),
+        persist_dir: None,
     })
     .expect("daemon starts");
     let addr = handle.local_addr();

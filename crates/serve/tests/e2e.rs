@@ -78,6 +78,7 @@ fn sweep_expectations() -> Vec<(String, Vec<u8>)> {
                 device: "surface17".to_string(),
                 config: MapperConfig::new("trivial", "lookahead"),
                 deadline_ms: None,
+                request_id: None,
             })
             .expect("sweep workloads resolve");
             let expected = run_job(&job).expect("sweep workloads compile").payload;
@@ -123,6 +124,7 @@ fn daemon_end_to_end() {
         max_connections: 32,
         cache_bytes: 8 << 20,
         frame_deadline: Duration::from_millis(400),
+        persist_dir: None,
     })
     .expect("daemon starts on an ephemeral port");
     let addr = handle.local_addr();
@@ -266,6 +268,7 @@ fn connection_limit_turns_excess_clients_away() {
         max_connections: 1,
         cache_bytes: 1 << 20,
         frame_deadline: Duration::from_secs(2),
+        persist_dir: None,
     })
     .expect("daemon starts");
     let addr = handle.local_addr();

@@ -1,0 +1,255 @@
+//! Corruption fuzzing for the persistent cache: seeded bit-flips and
+//! truncations against WAL segments and snapshot files must never stop
+//! the daemon from starting — damage is skipped, counted, and visible in
+//! `stats`, and every previously-compiled circuit that survived comes
+//! back byte-identical.
+
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qcs_json::Json;
+use qcs_rng::{Rng, SeedableRng};
+use qcs_serve::cache::EntryRef;
+use qcs_serve::persist::{Store, MAGIC};
+use qcs_serve::protocol::{read_frame, write_frame};
+use qcs_serve::server::{Server, ServerConfig, ServerHandle};
+
+/// A scratch directory removed on drop, unique per test + tag.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir =
+            std::env::temp_dir().join(format!("qcs-persist-fuzz-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn start_daemon(persist_dir: &Path) -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        max_connections: 16,
+        cache_bytes: 8 << 20,
+        frame_deadline: Duration::from_secs(2),
+        persist_dir: Some(persist_dir.to_string_lossy().into_owned()),
+    })
+    .expect("daemon starts")
+}
+
+fn exchange(stream: &mut TcpStream, request: &str) -> Vec<u8> {
+    write_frame(stream, request.as_bytes()).expect("request written");
+    read_frame(stream)
+        .expect("response read")
+        .expect("daemon replied")
+}
+
+fn exchange_json(addr: SocketAddr, request: &str) -> Json {
+    let mut stream = TcpStream::connect(addr).expect("daemon accepts");
+    let payload = exchange(&mut stream, request);
+    qcs_json::parse(std::str::from_utf8(&payload).unwrap()).expect("response is JSON")
+}
+
+fn specs() -> Vec<String> {
+    (4..=9).map(|n| format!("ghz:{n}")).collect()
+}
+
+/// Compiles every spec once; returns the response payloads in order.
+fn fill(addr: SocketAddr, specs: &[String]) -> Vec<Vec<u8>> {
+    let mut stream = TcpStream::connect(addr).expect("daemon accepts");
+    specs
+        .iter()
+        .map(|spec| {
+            let request = format!(r#"{{"type":"compile","workload":"{spec}"}}"#);
+            let payload = exchange(&mut stream, &request);
+            assert!(
+                payload.starts_with(br#"{"type":"result""#),
+                "{spec} must compile: {}",
+                String::from_utf8_lossy(&payload)
+            );
+            payload
+        })
+        .collect()
+}
+
+fn persist_counter(stats: &Json, field: &str) -> usize {
+    stats
+        .get("persist")
+        .and_then(|p| p.get(field))
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| {
+            panic!(
+                "stats.persist.{field} missing: {}",
+                stats.to_compact_string()
+            )
+        })
+}
+
+fn wal_file(dir: &Path) -> PathBuf {
+    let mut wals: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-"))
+        })
+        .collect();
+    wals.sort();
+    wals.pop().expect("a WAL segment exists")
+}
+
+/// Seeded bit-flips inside the WAL: the restarted daemon must start,
+/// count the damage in stats, and still serve everything on request.
+#[test]
+fn bit_flipped_wal_restarts_cleanly_and_reports_damage() {
+    let specs = specs();
+    for seed in 1u64..=6 {
+        let tmp = TempDir::new(&format!("flip-{seed}"));
+        let handle = start_daemon(tmp.path());
+        fill(handle.local_addr(), &specs);
+        handle.shutdown();
+
+        // Flip a few bytes at seeded offsets, all strictly inside the
+        // record stream (past the magic), so every flip damages some
+        // record's framing, checksum or content.
+        let wal = wal_file(tmp.path());
+        let mut bytes = std::fs::read(&wal).unwrap();
+        let mut rng = qcs_rng::ChaCha8Rng::seed_from_u64(0xF1_1B + seed);
+        let flips = 1 + (seed as usize % 3);
+        for _ in 0..flips {
+            let offset = rng.gen_range(MAGIC.len()..bytes.len());
+            let bit = rng.gen_range(0..8u32);
+            bytes[offset] ^= 1 << bit;
+        }
+        std::fs::write(&wal, &bytes).unwrap();
+
+        let handle = start_daemon(tmp.path());
+        let addr = handle.local_addr();
+        let stats = exchange_json(addr, r#"{"type":"stats"}"#);
+        let recovered = persist_counter(&stats, "records_recovered");
+        let corrupt = persist_counter(&stats, "corrupt_records_skipped");
+        let torn = persist_counter(&stats, "torn_tails_truncated");
+        assert!(
+            corrupt + torn >= 1,
+            "seed {seed}: flips inside the record stream must be detected \
+             (recovered {recovered}, corrupt {corrupt}, torn {torn})"
+        );
+        assert!(
+            recovered < specs.len(),
+            "seed {seed}: damaged records cannot all be recovered"
+        );
+        // The daemon serves every spec regardless — surviving entries
+        // from cache, damaged ones recompiled.
+        let responses = fill(addr, &specs);
+        assert_eq!(responses.len(), specs.len());
+        handle.shutdown();
+    }
+}
+
+/// Truncation mid-record (the torn-tail crash shape): exactly the last
+/// record is lost, the truncation is counted, and a re-fill serves the
+/// survivors as cache hits.
+#[test]
+fn truncated_wal_loses_only_the_torn_record() {
+    for seed in 1u64..=4 {
+        let tmp = TempDir::new(&format!("trunc-{seed}"));
+        let specs = specs();
+        let handle = start_daemon(tmp.path());
+        let pre_kill = fill(handle.local_addr(), &specs);
+        handle.shutdown();
+
+        // Cut 1..=8 bytes off the end: strictly inside the final record
+        // (records are far larger), so the tail is torn mid-bytes.
+        let wal = wal_file(tmp.path());
+        let bytes = std::fs::read(&wal).unwrap();
+        let cut = 1 + (seed as usize % 8);
+        std::fs::write(&wal, &bytes[..bytes.len() - cut]).unwrap();
+
+        let handle = start_daemon(tmp.path());
+        let addr = handle.local_addr();
+        let stats = exchange_json(addr, r#"{"type":"stats"}"#);
+        assert_eq!(
+            persist_counter(&stats, "records_recovered"),
+            specs.len() - 1
+        );
+        assert_eq!(persist_counter(&stats, "torn_tails_truncated"), 1);
+        assert_eq!(persist_counter(&stats, "corrupt_records_skipped"), 0);
+
+        let post_restart = fill(addr, &specs);
+        assert_eq!(
+            pre_kill, post_restart,
+            "seed {seed}: surviving + recompiled payloads must be byte-identical"
+        );
+        let stats = exchange_json(addr, r#"{"type":"stats"}"#);
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(
+            cache.get("hits").and_then(Json::as_usize).unwrap(),
+            specs.len() - 1,
+            "seed {seed}: every recovered record is a warm hit"
+        );
+        assert_eq!(cache.get("misses").and_then(Json::as_usize).unwrap(), 1);
+        handle.shutdown();
+    }
+}
+
+/// Snapshot files get the same treatment, at the `Store` level: seeded
+/// flips inside a compacted snapshot are skipped and counted, never
+/// fatal.
+#[test]
+fn bit_flipped_snapshot_is_skipped_and_counted() {
+    for seed in 1u64..=6 {
+        let tmp = TempDir::new(&format!("snap-{seed}"));
+        let entries: Vec<EntryRef> = (0..10u64)
+            .map(|i| {
+                (
+                    i,
+                    Arc::new(format!("key-{i}").into_bytes()),
+                    Arc::new(format!("payload-{i}").into_bytes()),
+                )
+            })
+            .collect();
+        {
+            let (mut store, _) = Store::open(tmp.path()).unwrap();
+            for (digest, key, payload) in &entries {
+                store.append(*digest, key, payload).unwrap();
+            }
+            store.compact(&entries).unwrap();
+        }
+
+        let snapshot = tmp.path().join("snapshot.qcs");
+        let mut bytes = std::fs::read(&snapshot).unwrap();
+        let mut rng = qcs_rng::ChaCha8Rng::seed_from_u64(0x5AA9 + seed);
+        let offset = rng.gen_range(MAGIC.len()..bytes.len());
+        bytes[offset] ^= 1 << rng.gen_range(0..8u32);
+        std::fs::write(&snapshot, &bytes).unwrap();
+
+        let (store, recovered) = Store::open(tmp.path()).unwrap();
+        let stats = store.stats();
+        assert!(
+            stats.corrupt_records_skipped + stats.torn_tails_truncated >= 1,
+            "seed {seed}: snapshot damage must be detected"
+        );
+        assert!(recovered.len() < entries.len(), "seed {seed}");
+        // Everything recovered is genuine (undamaged) data.
+        for record in &recovered {
+            let (digest, key, payload) = &entries[record.digest as usize];
+            assert_eq!(record.digest, *digest);
+            assert_eq!(&record.key, key.as_ref());
+            assert_eq!(&record.payload, payload.as_ref());
+        }
+    }
+}

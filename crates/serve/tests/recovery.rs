@@ -1,0 +1,226 @@
+//! Crash-recovery integration test against the real `qcs-serve` binary:
+//! fill the persistent cache over TCP, SIGKILL the daemon mid-write (a
+//! torn half-record at the WAL tail stands in for the interrupted
+//! append), restart it on the same directory, and require 100% warm
+//! cache hits with byte-identical responses and zero panics.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use qcs_json::Json;
+use qcs_serve::protocol::{read_frame, write_frame};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new() -> TempDir {
+        let dir = std::env::temp_dir().join(format!("qcs-recovery-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A spawned daemon that is SIGKILLed on drop if the test panics first.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(persist_dir: &Path, port_file: &Path) -> Daemon {
+        let _ = std::fs::remove_file(port_file);
+        let child = Command::new(env!("CARGO_BIN_EXE_qcs-serve"))
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--port-file",
+                &port_file.display().to_string(),
+                "--persist-dir",
+                &persist_dir.display().to_string(),
+                "--workers",
+                "2",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("qcs-serve spawns");
+        // The port file appears once the daemon is listening (and, on a
+        // restart, only after WAL replay finished — the cache is warm by
+        // the time we can connect).
+        let mut port = String::new();
+        for _ in 0..100 {
+            if let Ok(contents) = std::fs::read_to_string(port_file) {
+                if !contents.trim().is_empty() {
+                    port = contents.trim().to_string();
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        assert!(!port.is_empty(), "daemon never wrote its port file");
+        Daemon {
+            child,
+            addr: format!("127.0.0.1:{port}"),
+        }
+    }
+
+    fn connect(&self) -> TcpStream {
+        TcpStream::connect(&self.addr).expect("daemon accepts connections")
+    }
+
+    /// SIGKILL — no cleanup, no flush beyond what each append already
+    /// fsynced. What the WAL holds at this instant is the crash state.
+    fn kill(mut self) {
+        self.child.kill().expect("SIGKILL delivered");
+        self.child.wait().expect("killed daemon reaped");
+        std::mem::forget(self);
+    }
+
+    fn shutdown(mut self) {
+        let mut stream = self.connect();
+        let reply = exchange(&mut stream, r#"{"type":"shutdown"}"#);
+        assert!(reply.starts_with(br#"{"type":"ok""#));
+        let status = self.child.wait().expect("daemon exits");
+        assert!(status.success(), "daemon must exit cleanly: {status}");
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn exchange(stream: &mut TcpStream, request: &str) -> Vec<u8> {
+    write_frame(stream, request.as_bytes()).expect("request written");
+    read_frame(stream)
+        .expect("response read")
+        .expect("daemon replied")
+}
+
+fn specs() -> Vec<String> {
+    let mut specs: Vec<String> = (4..=9).map(|n| format!("ghz:{n}")).collect();
+    specs.extend((3..=6).map(|n| format!("qft:{n}")));
+    specs.push("grover:3".to_string());
+    specs
+}
+
+/// Compiles every spec (no request ids, so the payloads are the
+/// canonical cached bytes) and returns them in order.
+fn compile_all(daemon: &Daemon, specs: &[String]) -> Vec<Vec<u8>> {
+    let mut stream = daemon.connect();
+    specs
+        .iter()
+        .map(|spec| {
+            let request = format!(r#"{{"type":"compile","workload":"{spec}"}}"#);
+            let payload = exchange(&mut stream, &request);
+            assert!(
+                payload.starts_with(br#"{"type":"result""#),
+                "{spec} must compile: {}",
+                String::from_utf8_lossy(&payload)
+            );
+            payload
+        })
+        .collect()
+}
+
+fn stats(daemon: &Daemon) -> Json {
+    let mut stream = daemon.connect();
+    let payload = exchange(&mut stream, r#"{"type":"stats"}"#);
+    qcs_json::parse(std::str::from_utf8(&payload).unwrap()).expect("stats is JSON")
+}
+
+fn counter(value: &Json, section: &str, field: &str) -> usize {
+    value
+        .get(section)
+        .and_then(|s| s.get(field))
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("stats.{section}.{field} missing"))
+}
+
+#[test]
+fn sigkilled_daemon_restarts_warm_and_byte_identical() {
+    let tmp = TempDir::new();
+    let persist_dir = tmp.path().join("cache");
+    let port_file = tmp.path().join("port");
+    let specs = specs();
+
+    // Fill the cache, then SIGKILL. Every append was fsynced before its
+    // response, so everything we observed compiled is on disk.
+    let daemon = Daemon::start(&persist_dir, &port_file);
+    let pre_kill = compile_all(&daemon, &specs);
+    daemon.kill();
+
+    // Model the append the kill interrupted: a half-written record at
+    // the tail of the active WAL segment (length claims 64 KiB, only a
+    // few body bytes made it out).
+    let mut wals: Vec<PathBuf> = std::fs::read_dir(&persist_dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-"))
+        })
+        .collect();
+    wals.sort();
+    let active = wals.last().expect("the kill left a WAL segment behind");
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(active)
+        .unwrap();
+    file.write_all(&(64u32 << 10).to_be_bytes()).unwrap();
+    file.write_all(&[0xAB; 9]).unwrap();
+    drop(file);
+
+    // Restart on the same directory: replay must truncate the torn tail,
+    // recover every completed record, and serve the whole sweep from
+    // cache, byte-identical.
+    let daemon = Daemon::start(&persist_dir, &port_file);
+    let startup = stats(&daemon);
+    assert_eq!(
+        counter(&startup, "persist", "records_recovered"),
+        specs.len()
+    );
+    assert_eq!(counter(&startup, "persist", "torn_tails_truncated"), 1);
+    assert_eq!(counter(&startup, "persist", "corrupt_records_skipped"), 0);
+
+    let post_restart = compile_all(&daemon, &specs);
+    assert_eq!(
+        pre_kill, post_restart,
+        "responses after crash recovery must be byte-identical"
+    );
+
+    let after = stats(&daemon);
+    assert_eq!(
+        counter(&after, "cache", "hits"),
+        specs.len(),
+        "every post-restart compile is a warm hit"
+    );
+    assert_eq!(counter(&after, "cache", "misses"), 0);
+
+    // A second crash-free restart must also replay the truncated WAL
+    // without re-counting damage.
+    daemon.shutdown();
+    let daemon = Daemon::start(&persist_dir, &port_file);
+    let third = stats(&daemon);
+    assert_eq!(counter(&third, "persist", "records_recovered"), specs.len());
+    assert_eq!(counter(&third, "persist", "torn_tails_truncated"), 0);
+    assert_eq!(compile_all(&daemon, &specs), pre_kill);
+    daemon.shutdown();
+}
