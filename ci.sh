@@ -13,6 +13,11 @@
 #                                       degraded-device sweep
 #   7. persist smoke test               fill cache, kill -9, restart warm,
 #                                       byte-identical responses
+#   8. benchmark regression gate        fresh bench_baseline run vs the
+#                                       committed BENCH_*.json: work
+#                                       counters exact, wall times within
+#                                       QCS_BENCH_WALL_BUDGET (default 4x,
+#                                       0 disables)
 set -eu
 
 echo "==> cargo build --release"
@@ -35,5 +40,8 @@ echo "==> serve chaos test"
 
 echo "==> persist smoke test"
 ./ci_persist_smoke.sh
+
+echo "==> benchmark regression gate"
+./target/release/bench_baseline --check
 
 echo "CI OK"

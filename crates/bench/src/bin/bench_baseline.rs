@@ -1,0 +1,339 @@
+//! Benchmark baseline capture and regression gate.
+//!
+//! Runs the canonical 200-circuit suite through the three headline
+//! mapping strategies plus the statevector kernels the verifier leans
+//! on, and records two kinds of numbers per workload:
+//!
+//! - **Deterministic work counters** — candidate-SWAP score evaluations,
+//!   SWAPs inserted, routed gate counts, suite-JSON digests, amplitude
+//!   slots touched by the sim kernels. These are pure functions of the
+//!   code and must match the committed baseline *exactly*; any drift
+//!   means the compiler's output or work profile changed.
+//! - **Wall-clock times** — compared against a generous relative budget
+//!   (`QCS_BENCH_WALL_BUDGET`, default 4.0× the recorded time, `0`
+//!   disables), so a pathological slowdown fails CI without flaking on
+//!   machine-to-machine variance.
+//!
+//! Modes:
+//!
+//! ```text
+//! bench_baseline            # re-record BENCH_mapper.json + BENCH_sim.json in CWD
+//! bench_baseline --check    # fresh run, compare against the committed files
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use qcs_bench::{fig3_device, suite};
+use qcs_circuit::circuit::Circuit;
+use qcs_circuit::gate::Gate;
+use qcs_circuit::hash::Fnv64;
+use qcs_core::mapper::{Mapper, StageTiming};
+use qcs_core::profile::CircuitProfile;
+use qcs_core::report::MappingRecord;
+use qcs_core::verify::{verify_outcome, VerifyConfig};
+use qcs_json::Json;
+use qcs_topology::lattice::grid_device;
+use qcs_workloads::suite::SuiteConfig;
+
+const MAPPER_FILE: &str = "BENCH_mapper.json";
+const SIM_FILE: &str = "BENCH_sim.json";
+const SCHEMA: &str = "qcs-bench-baseline/1";
+
+/// One mapping strategy's suite-level measurement.
+struct MapperRow {
+    name: &'static str,
+    records: usize,
+    digest: String,
+    swaps_inserted: u64,
+    score_evals: u64,
+    routed_gates: u64,
+    wall_ms: f64,
+}
+
+/// One sim kernel's measurement.
+struct SimRow {
+    name: &'static str,
+    amps_touched: u64,
+    wall_ms: f64,
+}
+
+fn main() -> ExitCode {
+    let check = std::env::args().any(|a| a == "--check");
+    let mapper_rows = run_mapper_suite();
+    let sim_rows = run_sim_kernels();
+    let mapper_json = mapper_doc(&mapper_rows);
+    let sim_json = sim_doc(&sim_rows);
+
+    if check {
+        let budget = wall_budget();
+        let mut ok = true;
+        ok &= check_file(MAPPER_FILE, &mapper_json, budget);
+        ok &= check_file(SIM_FILE, &sim_json, budget);
+        if ok {
+            println!("bench gate OK ({MAPPER_FILE}, {SIM_FILE})");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("bench gate FAILED");
+            ExitCode::FAILURE
+        }
+    } else {
+        std::fs::write(MAPPER_FILE, mapper_json.to_string_pretty() + "\n").expect("write mapper");
+        std::fs::write(SIM_FILE, sim_json.to_string_pretty() + "\n").expect("write sim");
+        println!("wrote {MAPPER_FILE} and {SIM_FILE}");
+        ExitCode::SUCCESS
+    }
+}
+
+fn wall_budget() -> f64 {
+    std::env::var("QCS_BENCH_WALL_BUDGET")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(4.0)
+}
+
+// ---------------------------------------------------------------------
+// Mapper suite
+// ---------------------------------------------------------------------
+
+fn run_mapper_suite() -> Vec<MapperRow> {
+    let device = fig3_device();
+    let benches = suite(&SuiteConfig::default());
+    ["trivial", "lookahead", "sabre"]
+        .into_iter()
+        .map(|name| {
+            let mapper = match name {
+                "trivial" => Mapper::trivial(),
+                "lookahead" => Mapper::lookahead(),
+                _ => Mapper::sabre(),
+            };
+            let mut records = Vec::with_capacity(benches.len());
+            let mut swaps = 0u64;
+            let mut evals = 0u64;
+            let mut gates = 0u64;
+            let start = Instant::now();
+            for b in &benches {
+                match mapper.map(&b.circuit, &device) {
+                    Ok(outcome) => {
+                        swaps += outcome.report.swaps_inserted as u64;
+                        evals += outcome.routed.score_evals as u64;
+                        gates += outcome.report.routed_gates as u64;
+                        let mut report = outcome.report;
+                        // Timing is measurement, not content: zero it so
+                        // the digest is reproducible (same convention as
+                        // the parallel suite engine).
+                        report.timing = StageTiming::ZERO;
+                        records.push(MappingRecord {
+                            name: b.name.clone(),
+                            family: b.family.to_string(),
+                            synthetic: b.is_synthetic(),
+                            profile: CircuitProfile::of(&b.circuit),
+                            report,
+                        });
+                    }
+                    Err(e) => eprintln!("skipping {}: {e}", b.name),
+                }
+            }
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let mut h = Fnv64::new();
+            h.write_str(&MappingRecord::batch_to_json(&records));
+            MapperRow {
+                name,
+                records: records.len(),
+                digest: format!("{:016x}", h.finish()),
+                swaps_inserted: swaps,
+                score_evals: evals,
+                routed_gates: gates,
+                wall_ms,
+            }
+        })
+        .collect()
+}
+
+fn mapper_doc(rows: &[MapperRow]) -> Json {
+    Json::object([
+        ("schema", Json::from(SCHEMA)),
+        (
+            "strategies",
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::object([
+                            ("name", Json::from(r.name)),
+                            ("records", Json::from(r.records)),
+                            ("digest", Json::from(r.digest.clone())),
+                            ("swaps_inserted", Json::from(r.swaps_inserted)),
+                            ("score_evals", Json::from(r.score_evals)),
+                            ("routed_gates", Json::from(r.routed_gates)),
+                            ("wall_ms", Json::Number(round3(r.wall_ms))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// Sim kernels
+// ---------------------------------------------------------------------
+
+/// Amplitude slots read or written when `circuit` runs on an `n`-qubit
+/// state, mirroring the stride-blocked kernel access patterns: full-matrix
+/// single-qubit gates visit every amplitude, diagonal/controlled gates
+/// only the halves or quarters they act on. Purely a function of the gate
+/// list — the regression gate compares it exactly.
+fn amps_touched(circuit: &Circuit, n: usize) -> u64 {
+    let len = 1u64 << n;
+    circuit
+        .iter()
+        .map(|g| match *g {
+            Gate::I(_) | Gate::Measure(_) | Gate::Barrier(_) => 0,
+            Gate::Z(_)
+            | Gate::S(_)
+            | Gate::Sdg(_)
+            | Gate::T(_)
+            | Gate::Tdg(_)
+            | Gate::Rz(..)
+            | Gate::Cnot(..)
+            | Gate::Swap(..) => len / 2,
+            Gate::Cz(..) | Gate::Cphase(..) | Gate::Toffoli(..) => len / 4,
+            _ => len,
+        })
+        .sum()
+}
+
+fn run_sim_kernels() -> Vec<SimRow> {
+    let mut rows = Vec::new();
+
+    // Raw statevector evolution: QFT-12, the verifier's widest default.
+    let qft12 = qcs_workloads::qft::qft(12).expect("qft12");
+    let mut state = qcs_sim::StateVector::zero(12);
+    qcs_sim::exec::run_unitary_mut(&qft12, &mut state); // warm
+    let iters = 20;
+    let start = Instant::now();
+    for _ in 0..iters {
+        state.reset_zero();
+        qcs_sim::exec::run_unitary_mut(&qft12, &mut state);
+        std::hint::black_box(state.amplitude(0));
+    }
+    rows.push(SimRow {
+        name: "run_unitary_qft12",
+        amps_touched: amps_touched(&qft12, 12),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3 / f64::from(iters),
+    });
+
+    // End-to-end verification: map QFT-12 onto a 3x4 grid and replay the
+    // equivalence check the compilation service runs per job.
+    let dev = grid_device(3, 4);
+    let outcome = Mapper::lookahead().map(&qft12, &dev).expect("map qft12");
+    let cfg = VerifyConfig::default();
+    verify_outcome(&qft12, &outcome, &dev, &cfg).expect("verify"); // warm
+    let iters = 10;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let r = verify_outcome(&qft12, &outcome, &dev, &cfg).expect("verify");
+        std::hint::black_box(r.equivalence_checked);
+    }
+    let width = dev.qubit_count();
+    rows.push(SimRow {
+        name: "verify_qft12_grid3x4",
+        // Two state evolutions (reference + mapped) per equivalence trial.
+        amps_touched: cfg.equiv_trials as u64
+            * (amps_touched(&qft12, width) + amps_touched(&outcome.native, width)),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3 / f64::from(iters),
+    });
+
+    rows
+}
+
+fn sim_doc(rows: &[SimRow]) -> Json {
+    Json::object([
+        ("schema", Json::from(SCHEMA)),
+        (
+            "kernels",
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::object([
+                            ("name", Json::from(r.name)),
+                            ("amps_touched", Json::from(r.amps_touched)),
+                            ("wall_ms", Json::Number(round3(r.wall_ms))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn round3(ms: f64) -> f64 {
+    (ms * 1e3).round() / 1e3
+}
+
+// ---------------------------------------------------------------------
+// Regression check
+// ---------------------------------------------------------------------
+
+/// Compares a fresh measurement document against the committed baseline
+/// file: every member except `wall_ms` must match exactly; `wall_ms` may
+/// grow up to `budget`× the recorded value. Returns `false` (and prints
+/// each violation) on regression.
+fn check_file(path: &str, fresh: &Json, budget: f64) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: cannot read baseline: {e} (run bench_baseline to record it)");
+            return false;
+        }
+    };
+    let baseline = match qcs_json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("{path}: malformed baseline: {e}");
+            return false;
+        }
+    };
+    let mut ok = true;
+    compare(path, &baseline, fresh, budget, &mut ok);
+    ok
+}
+
+/// Recursive structural comparison; `path` tracks the JSON location for
+/// error messages.
+fn compare(path: &str, baseline: &Json, fresh: &Json, budget: f64, ok: &mut bool) {
+    match (baseline, fresh) {
+        (Json::Object(b), Json::Object(f)) => {
+            if b.len() != f.len() || b.iter().zip(f).any(|((bk, _), (fk, _))| bk != fk) {
+                eprintln!("{path}: object shape changed");
+                *ok = false;
+                return;
+            }
+            for ((key, bv), (_, fv)) in b.iter().zip(f) {
+                compare(&format!("{path}.{key}"), bv, fv, budget, ok);
+            }
+        }
+        (Json::Array(b), Json::Array(f)) => {
+            if b.len() != f.len() {
+                eprintln!("{path}: array length {} -> {}", b.len(), f.len());
+                *ok = false;
+                return;
+            }
+            for (i, (bv, fv)) in b.iter().zip(f).enumerate() {
+                compare(&format!("{path}[{i}]"), bv, fv, budget, ok);
+            }
+        }
+        (Json::Number(b), Json::Number(f)) if path.ends_with(".wall_ms") => {
+            if budget > 0.0 && *f > *b * budget {
+                eprintln!("{path}: wall time regressed {b:.3} ms -> {f:.3} ms (budget {budget}x)");
+                *ok = false;
+            }
+        }
+        _ => {
+            if baseline != fresh {
+                eprintln!("{path}: counter drift {baseline:?} -> {fresh:?}");
+                *ok = false;
+            }
+        }
+    }
+}

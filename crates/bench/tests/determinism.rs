@@ -72,3 +72,38 @@ fn lookahead_mapper_is_deterministic_in_parallel() {
     assert_eq!(a, b);
     assert_eq!(a, map_suite_serial(&benchmarks, &device, &mapper));
 }
+
+/// FNV-1a digest of a record batch's canonical JSON.
+fn suite_digest(records: &[MappingRecord]) -> String {
+    let mut h = qcs_circuit::hash::Fnv64::new();
+    h.write_str(&MappingRecord::batch_to_json(records));
+    format!("{:016x}", h.finish())
+}
+
+#[test]
+fn full_suite_digests_match_golden() {
+    // The full 200-circuit suite, all three headline strategies: the
+    // canonical MapReport JSON must be byte-identical across worker
+    // counts AND match the committed golden digests (the same values
+    // recorded in BENCH_mapper.json). A digest change here means the
+    // compiler's output changed — bump the goldens only with a
+    // deliberate, explained behaviour change.
+    let benchmarks = suite(&SuiteConfig::default());
+    let device = fig3_device();
+    for (name, mapper, golden) in [
+        ("trivial", Mapper::trivial(), "dc41d54c6051efc5"),
+        ("lookahead", Mapper::lookahead(), "da6e9c2a80da382d"),
+        ("sabre", Mapper::sabre(), "9d27b3363bb181f5"),
+    ] {
+        let serial = map_suite_with_workers(&benchmarks, &device, &mapper, 1);
+        assert_eq!(serial.len(), 200, "{name}: unexpected record count");
+        let digest = suite_digest(&serial);
+        assert_eq!(digest, golden, "{name}: canonical suite output drifted");
+        let parallel = map_suite_with_workers(&benchmarks, &device, &mapper, 8);
+        assert_eq!(
+            suite_digest(&parallel),
+            digest,
+            "{name}: 8-worker output diverged from serial"
+        );
+    }
+}

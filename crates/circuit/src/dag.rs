@@ -231,29 +231,60 @@ impl<'a> FrontLayer<'a> {
     /// (the *extended set* SABRE-style heuristics look ahead into).
     pub fn lookahead(&self, horizon: usize) -> Vec<usize> {
         let mut out = Vec::new();
-        let mut frontier: Vec<usize> = self.active.clone();
-        let mut seen = vec![false; self.dag.len()];
-        for &g in &frontier {
-            seen[g] = true;
+        self.lookahead_into(horizon, &mut out, &mut LookaheadScratch::default());
+        out
+    }
+
+    /// Allocation-free [`FrontLayer::lookahead`]: writes the extended set
+    /// into `out` (cleared first) reusing caller-owned scratch. Routers
+    /// call this once per blocked step, so buffer reuse keeps the routing
+    /// hot loop free of per-step allocations.
+    pub fn lookahead_into(
+        &self,
+        horizon: usize,
+        out: &mut Vec<usize>,
+        scratch: &mut LookaheadScratch,
+    ) {
+        out.clear();
+        // `seen` is kept all-false between calls; only touched flags are
+        // reset on exit, so a walk costs O(result), not O(gates).
+        scratch.seen.resize(self.dag.len(), false);
+        scratch.frontier.clear();
+        scratch.frontier.extend_from_slice(&self.active);
+        for &g in &scratch.frontier {
+            scratch.seen[g] = true;
         }
         for _ in 0..horizon {
-            let mut next = Vec::new();
-            for &g in &frontier {
+            scratch.next.clear();
+            for &g in &scratch.frontier {
                 for &s in self.dag.successors(g) {
-                    if !seen[s] {
-                        seen[s] = true;
-                        next.push(s);
+                    if !scratch.seen[s] {
+                        scratch.seen[s] = true;
+                        scratch.next.push(s);
                         out.push(s);
                     }
                 }
             }
-            if next.is_empty() {
+            if scratch.next.is_empty() {
                 break;
             }
-            frontier = next;
+            std::mem::swap(&mut scratch.frontier, &mut scratch.next);
         }
-        out
+        for &g in &self.active {
+            scratch.seen[g] = false;
+        }
+        for &g in out.iter() {
+            scratch.seen[g] = false;
+        }
     }
+}
+
+/// Reusable buffers for [`FrontLayer::lookahead_into`].
+#[derive(Debug, Clone, Default)]
+pub struct LookaheadScratch {
+    seen: Vec<bool>,
+    frontier: Vec<usize>,
+    next: Vec<usize>,
 }
 
 #[cfg(test)]

@@ -142,6 +142,7 @@ impl Layout {
     /// # Panics
     ///
     /// Panics if `v` is out of range.
+    #[inline]
     pub fn phys_of(&self, v: usize) -> usize {
         self.virt_to_phys[v]
     }
@@ -151,6 +152,7 @@ impl Layout {
     /// # Panics
     ///
     /// Panics if `p` is out of range.
+    #[inline]
     pub fn virt_at(&self, p: usize) -> Option<usize> {
         self.phys_to_virt[p]
     }
@@ -166,6 +168,7 @@ impl Layout {
     /// # Panics
     ///
     /// Panics if either index is out of range or they coincide.
+    #[inline]
     pub fn swap_physical(&mut self, p1: usize, p2: usize) {
         assert!(p1 != p2, "cannot swap a physical qubit with itself");
         let v1 = self.phys_to_virt[p1];

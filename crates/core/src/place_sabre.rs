@@ -87,17 +87,18 @@ impl Placer for SabrePlacer {
             };
             if f.swaps_inserted < best_swaps {
                 best_swaps = f.swaps_inserted;
-                best = f.initial.clone();
+                best.clone_from(&f.initial); // reuse best's buffers
             }
             let Ok(b) = self.router.route(&backward, device, f.final_layout) else {
                 return Ok(best);
             };
             layout = b.final_layout;
         }
-        // One last forward evaluation of the refined layout.
-        if let Ok(f) = self.router.route(&forward, device, layout.clone()) {
+        // One last forward evaluation of the refined layout. `f.initial`
+        // is the layout we passed in, handed back unchanged — no clone.
+        if let Ok(f) = self.router.route(&forward, device, layout) {
             if f.swaps_inserted < best_swaps {
-                best = layout;
+                best = f.initial;
             }
         }
         Ok(best)

@@ -20,7 +20,7 @@
 //!   of hop count, detouring around bad couplers.
 
 use qcs_circuit::circuit::Circuit;
-use qcs_circuit::dag::{DependencyDag, FrontLayer};
+use qcs_circuit::dag::{DependencyDag, FrontLayer, LookaheadScratch};
 use qcs_circuit::gate::{Gate, GateKind};
 use qcs_graph::paths::UNREACHABLE;
 use qcs_topology::device::Device;
@@ -86,6 +86,10 @@ pub struct RoutedCircuit {
     pub final_layout: Layout,
     /// Number of SWAP gates inserted.
     pub swaps_inserted: usize,
+    /// Deterministic work counter: candidate-SWAP score evaluations the
+    /// router performed (0 for routers without heuristic scoring). The
+    /// benchmark-regression gate compares this exactly across runs.
+    pub score_evals: usize,
 }
 
 impl RoutedCircuit {
@@ -211,6 +215,7 @@ impl Router for TrivialRouter {
             initial,
             final_layout: layout,
             swaps_inserted: swaps,
+            score_evals: 0,
         })
     }
 
@@ -272,6 +277,7 @@ impl Router for BidirectionalRouter {
             initial,
             final_layout: layout,
             swaps_inserted: swaps,
+            score_evals: 0,
         })
     }
 
@@ -298,6 +304,164 @@ impl Default for LookaheadRouter {
     }
 }
 
+/// Incremental SWAP scorer for the SABRE-style routing loop.
+///
+/// The historical implementation cloned the whole [`Layout`] for every
+/// candidate SWAP of every blocked step and re-summed all front/extended
+/// distances on the clone — two heap allocations plus an O(pairs) rescore
+/// per candidate. This scorer keeps the *physical* endpoint pairs of the
+/// front layer and extended set in reusable buffers and scores a
+/// candidate `SWAP(p, q)` as a delta: a swap of physical qubits `p` and
+/// `q` only changes distance terms whose endpoints touch `p` or `q`, so
+/// the candidate's score is the prepared base sum plus the per-pair
+/// distance differences — no clone, no layout mutation.
+///
+/// Distance sums are accumulated in integers and converted to `f64` only
+/// at the end. Every distance is a small hop count, so the integer sums
+/// are exact and bit-identical to the historical sequential `f64`
+/// accumulation (integers below 2⁵³ are exactly representable): routed
+/// output is byte-for-byte unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct SwapScorer {
+    /// Physical endpoint pairs of blocked front-layer gates.
+    front: Vec<(usize, usize)>,
+    /// Physical endpoint pairs of the extended (lookahead) set.
+    ext: Vec<(usize, usize)>,
+    /// Σ distance over `front` at prepare time.
+    front_base: u64,
+    /// Σ distance over `ext` at prepare time.
+    ext_base: u64,
+    /// Weight of the extended-set mean in the score.
+    ext_weight: f64,
+    /// Indices into `front` of pairs touching each physical qubit.
+    front_inc: Vec<Vec<u32>>,
+    /// Indices into `ext` of pairs touching each physical qubit.
+    ext_inc: Vec<Vec<u32>>,
+    /// Physical qubits whose incidence lists are non-empty (the only
+    /// ones that need clearing on the next `prepare`).
+    touched: Vec<usize>,
+}
+
+impl SwapScorer {
+    /// A scorer with the given extended-set weight and empty pair tables.
+    pub fn new(ext_weight: f64) -> Self {
+        SwapScorer {
+            ext_weight,
+            ..SwapScorer::default()
+        }
+    }
+
+    /// Changes the extended-set weight applied by [`Self::score_swap`].
+    pub fn set_ext_weight(&mut self, ext_weight: f64) {
+        self.ext_weight = ext_weight;
+    }
+
+    /// Rebuilds the pair tables from virtual qubit pairs under `layout`,
+    /// reusing the buffers' capacity, and recomputes the base sums and
+    /// the per-qubit incidence index.
+    pub fn prepare(
+        &mut self,
+        device: &Device,
+        layout: &Layout,
+        front_virt: impl IntoIterator<Item = (usize, usize)>,
+        ext_virt: impl IntoIterator<Item = (usize, usize)>,
+    ) {
+        self.front.clear();
+        self.ext.clear();
+        self.front_base = 0;
+        self.ext_base = 0;
+        let n = device.qubit_count();
+        if self.front_inc.len() < n {
+            self.front_inc.resize_with(n, Vec::new);
+            self.ext_inc.resize_with(n, Vec::new);
+        }
+        for &t in &self.touched {
+            self.front_inc[t].clear();
+            self.ext_inc[t].clear();
+        }
+        self.touched.clear();
+        for (a, b) in front_virt {
+            let (pa, pb) = (layout.phys_of(a), layout.phys_of(b));
+            self.front_base += device.distance(pa, pb) as u64;
+            let i = self.front.len() as u32;
+            self.front.push((pa, pb));
+            self.touched.push(pa);
+            self.touched.push(pb);
+            self.front_inc[pa].push(i);
+            self.front_inc[pb].push(i);
+        }
+        for (a, b) in ext_virt {
+            let (pa, pb) = (layout.phys_of(a), layout.phys_of(b));
+            self.ext_base += device.distance(pa, pb) as u64;
+            let i = self.ext.len() as u32;
+            self.ext.push((pa, pb));
+            self.touched.push(pa);
+            self.touched.push(pb);
+            self.ext_inc[pa].push(i);
+            self.ext_inc[pb].push(i);
+        }
+    }
+
+    /// The prepared physical front-layer pairs (candidate generation
+    /// walks their endpoints' neighbours).
+    pub fn front_pairs(&self) -> &[(usize, usize)] {
+        &self.front
+    }
+
+    /// Signed distance change of one pair table under `SWAP(p, q)`,
+    /// visiting only pairs the incidence index says touch `p` or `q`.
+    ///
+    /// A pair equal to `{p, q}` appears in both incidence lists and is
+    /// visited twice; each visit contributes `dist(q, p) − dist(p, q)`,
+    /// which is zero on the symmetric BFS distance matrix, so the
+    /// double-visit is exact (matches a single visit of a full scan).
+    fn delta(
+        pairs: &[(usize, usize)],
+        inc: &[Vec<u32>],
+        device: &Device,
+        p: usize,
+        q: usize,
+    ) -> i64 {
+        let mut delta = 0i64;
+        for &i in inc[p].iter().chain(inc[q].iter()) {
+            let (a, b) = pairs[i as usize];
+            let na = if a == p {
+                q
+            } else if a == q {
+                p
+            } else {
+                a
+            };
+            let nb = if b == p {
+                q
+            } else if b == q {
+                p
+            } else {
+                b
+            };
+            delta += device.distance(na, nb) as i64 - device.distance(a, b) as i64;
+        }
+        delta
+    }
+
+    /// Score of the prepared layout with `SWAP(p, q)` applied: summed
+    /// front-layer distances plus `ext_weight ×` the extended-set mean —
+    /// exactly what a full rescore of a swapped layout clone would
+    /// return. Distance sums are integers, so accumulation order cannot
+    /// change the result.
+    pub fn score_swap(&self, device: &Device, p: usize, q: usize) -> f64 {
+        let front = (self.front_base as i64
+            + Self::delta(&self.front, &self.front_inc, device, p, q)) as f64;
+        let ext = if self.ext.is_empty() {
+            0.0
+        } else {
+            (self.ext_base as i64 + Self::delta(&self.ext, &self.ext_inc, device, p, q)) as f64
+                / self.ext.len() as f64
+        };
+        front + self.ext_weight * ext
+    }
+}
+
 impl Router for LookaheadRouter {
     fn route(
         &self,
@@ -309,6 +473,7 @@ impl Router for LookaheadRouter {
         let mut layout = initial.clone();
         let mut out = Circuit::with_name(device.qubit_count(), circuit.name().to_string());
         let mut swaps = 0usize;
+        let mut score_evals = 0usize;
         let dag = DependencyDag::new(circuit);
         let mut fl = FrontLayer::new(&dag);
         let mut last_swap: Option<(usize, usize)> = None;
@@ -316,14 +481,24 @@ impl Router for LookaheadRouter {
         // diameter's worth of SWAPs.
         let budget = (circuit.len() + 1) * (device.diameter() + 2) * 4;
         let mut steps = 0usize;
+        // Scratch owned by this routing run, reused across every blocked
+        // step: the incremental scorer's pair tables, the candidate edge
+        // list, and the drain loop's active-gate snapshot. The hot loop
+        // below allocates nothing.
+        let mut scorer = SwapScorer::new(self.extended_weight);
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        let mut active: Vec<usize> = Vec::new();
+        let mut ext: Vec<usize> = Vec::new();
+        let mut la_scratch = LookaheadScratch::default();
 
         while !fl.is_done() {
             // Drain everything executable.
             let mut progressed = true;
             while progressed {
                 progressed = false;
-                let active: Vec<usize> = fl.active().to_vec();
-                for gi in active {
+                active.clear();
+                active.extend_from_slice(fl.active());
+                for &gi in &active {
                     let g = dag.gate(gi);
                     let executable = if g.is_two_qubit() {
                         let qs = g.qubits();
@@ -349,67 +524,42 @@ impl Router for LookaheadRouter {
                 });
             }
 
-            // Blocked: score candidate SWAPs.
-            let front_pairs: Vec<(usize, usize)> = fl
-                .active()
-                .iter()
-                .map(|&gi| dag.gate(gi))
-                .filter(|g| g.is_two_qubit())
-                .map(|g| {
+            // Blocked: prepare the incremental scorer from the front
+            // layer and the discounted extended set.
+            let two_qubit_pairs = |gi: &usize| {
+                let g = dag.gate(*gi);
+                g.is_two_qubit().then(|| {
                     let qs = g.qubits();
                     (qs[0], qs[1])
                 })
-                .collect();
-            let ext_pairs: Vec<(usize, usize)> = fl
-                .lookahead(self.lookahead_depth)
-                .iter()
-                .map(|&gi| dag.gate(gi))
-                .filter(|g| g.is_two_qubit())
-                .map(|g| {
-                    let qs = g.qubits();
-                    (qs[0], qs[1])
-                })
-                .collect();
+            };
+            fl.lookahead_into(self.lookahead_depth, &mut ext, &mut la_scratch);
+            scorer.prepare(
+                device,
+                &layout,
+                fl.active().iter().filter_map(two_qubit_pairs),
+                ext.iter().filter_map(two_qubit_pairs),
+            );
 
             // Candidates: coupler edges touching any front-pair operand.
-            let mut candidates: Vec<(usize, usize)> = Vec::new();
-            for &(a, b) in &front_pairs {
-                for p in [layout.phys_of(a), layout.phys_of(b)] {
+            candidates.clear();
+            for &(pa, pb) in scorer.front_pairs() {
+                for p in [pa, pb] {
                     for &q in device.neighbors(p) {
-                        let e = (p.min(q), p.max(q));
-                        if !candidates.contains(&e) {
-                            candidates.push(e);
-                        }
+                        candidates.push((p.min(q), p.max(q)));
                     }
                 }
             }
             candidates.sort_unstable();
-
-            let score = |layout: &Layout| -> f64 {
-                let front: f64 = front_pairs
-                    .iter()
-                    .map(|&(a, b)| device.distance(layout.phys_of(a), layout.phys_of(b)) as f64)
-                    .sum();
-                let ext: f64 = if ext_pairs.is_empty() {
-                    0.0
-                } else {
-                    ext_pairs
-                        .iter()
-                        .map(|&(a, b)| device.distance(layout.phys_of(a), layout.phys_of(b)) as f64)
-                        .sum::<f64>()
-                        / ext_pairs.len() as f64
-                };
-                front + self.extended_weight * ext
-            };
+            candidates.dedup();
 
             let mut best: Option<((usize, usize), f64)> = None;
             for &(p, q) in &candidates {
                 if last_swap == Some((p, q)) {
                     continue; // forbid immediate undo (anti-oscillation)
                 }
-                let mut trial = layout.clone();
-                trial.swap_physical(p, q);
-                let s = score(&trial);
+                let s = scorer.score_swap(device, p, q);
+                score_evals += 1;
                 if best.as_ref().is_none_or(|&(_, bs)| s < bs) {
                     best = Some(((p, q), s));
                 }
@@ -426,6 +576,7 @@ impl Router for LookaheadRouter {
             initial,
             final_layout: layout,
             swaps_inserted: swaps,
+            score_evals,
         })
     }
 
@@ -526,6 +677,7 @@ impl Router for NoiseAwareRouter {
             initial,
             final_layout: layout,
             swaps_inserted: swaps,
+            score_evals: 0,
         })
     }
 

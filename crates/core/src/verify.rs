@@ -27,13 +27,23 @@
 //! of killing a serving thread. The `verify.check` failpoint lets chaos
 //! tests inject verification failures deterministically.
 
+use std::cell::RefCell;
+
 use qcs_circuit::circuit::Circuit;
 use qcs_circuit::gate::GateKind;
 use qcs_circuit::hash::circuit_digest;
 use qcs_rng::{ChaCha8Rng, SeedableRng};
+use qcs_sim::equiv::EquivScratch;
 use qcs_topology::device::Device;
 
 use crate::mapper::{MapOutcome, MapReport};
+
+thread_local! {
+    /// Per-thread simulator scratch: verification sweeps reuse the same
+    /// four state buffers instead of allocating `2^width` amplitudes per
+    /// equivalence trial.
+    static EQUIV_SCRATCH: RefCell<EquivScratch> = RefCell::new(EquivScratch::default());
+}
 
 /// Everything [`verify_outcome`] can find wrong with a mapping outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -317,15 +327,18 @@ fn check_equivalence(
     // checker bug — report it, don't unwind into the caller.
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        qcs_sim::equiv::mapped_equivalent(
-            input,
-            &outcome.native,
-            width,
-            &initial,
-            &final_layout,
-            trials,
-            &mut rng,
-        )
+        EQUIV_SCRATCH.with(|scratch| {
+            qcs_sim::equiv::mapped_equivalent_with_scratch(
+                input,
+                &outcome.native,
+                width,
+                &initial,
+                &final_layout,
+                trials,
+                &mut rng,
+                &mut scratch.borrow_mut(),
+            )
+        })
     }));
     match run {
         Ok(Ok(())) => Ok(()),

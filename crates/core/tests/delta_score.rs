@@ -1,0 +1,140 @@
+//! Property test: the router's incremental delta scoring is *exactly*
+//! the full recompute it replaced.
+//!
+//! [`SwapScorer`] scores a candidate SWAP by adjusting cached integer
+//! distance sums with the delta contributed by pairs touching the
+//! swapped qubits, instead of cloning the layout and re-walking every
+//! pair. Routing determinism (byte-identical output before/after the
+//! optimization) rests on those two computations agreeing bit-for-bit,
+//! so this test compares them with `==`, not a tolerance: distance sums
+//! are small exact integers, so the f64 reference accumulation is exact
+//! too. Instances cover pristine and randomly-degraded devices (disabled
+//! qubits leave `UNREACHABLE` rows in the distance matrix — the scorer
+//! must only ever see finite distances through placed, connected
+//! qubits).
+
+use qcs_check::check;
+use qcs_core::layout::Layout;
+use qcs_core::route::SwapScorer;
+use qcs_topology::device::Device;
+use qcs_topology::lattice::{grid_device, line_device, ring_device};
+use qcs_topology::DeviceHealth;
+
+/// Active qubits reachable from the first active qubit — distances
+/// within one component are finite, which both scorer and reference
+/// require.
+fn largest_component(device: &Device) -> Vec<usize> {
+    let Some(start) = device.active_qubits().next() else {
+        return Vec::new();
+    };
+    let mut seen = vec![false; device.qubit_count()];
+    let mut queue = vec![start];
+    seen[start] = true;
+    let mut comp = Vec::new();
+    while let Some(u) = queue.pop() {
+        comp.push(u);
+        for &v in device.neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                queue.push(v);
+            }
+        }
+    }
+    comp.sort_unstable();
+    comp
+}
+
+/// The pre-optimization scoring path: clone the layout, apply the SWAP,
+/// re-walk every pair summing BFS distances in f64.
+fn full_recompute(
+    device: &Device,
+    layout: &Layout,
+    front: &[(usize, usize)],
+    ext: &[(usize, usize)],
+    ext_weight: f64,
+    p: usize,
+    q: usize,
+) -> f64 {
+    let mut trial = layout.clone();
+    trial.swap_physical(p, q);
+    let dist =
+        |(a, b): &(usize, usize)| device.distance(trial.phys_of(*a), trial.phys_of(*b)) as f64;
+    let front_sum: f64 = front.iter().map(dist).sum();
+    if ext.is_empty() {
+        front_sum
+    } else {
+        let ext_sum: f64 = ext.iter().map(dist).sum();
+        front_sum + ext_weight * (ext_sum / ext.len() as f64)
+    }
+}
+
+#[test]
+fn delta_score_equals_full_recompute() {
+    // One scorer across all cases: `prepare` must fully supersede any
+    // state left by earlier, differently-shaped instances.
+    let mut scorer = SwapScorer::new(0.5);
+    // 100 cases x (pristine + degraded) = at least 200 instances.
+    check("delta-score", 100, |g| {
+        let bases = [
+            grid_device(3, 4),
+            grid_device(4, 5),
+            ring_device(10),
+            line_device(10),
+        ];
+        let base = g.choose(&bases);
+        let health = DeviceHealth::random(
+            base.coupling(),
+            0.01 + 0.19 * g.f64_unit(),
+            0.01 + 0.19 * g.f64_unit(),
+            g.u64(),
+        );
+        let mut instances = vec![base.clone()];
+        if let Ok(degraded) = base.degrade(&health) {
+            instances.push(degraded);
+        }
+
+        for device in &instances {
+            let comp = largest_component(device);
+            if comp.len() < 4 {
+                continue;
+            }
+
+            // Place k virtuals on a random subset of the component.
+            let k = g.usize_in_incl(2..=comp.len());
+            let perm = g.permutation(comp.len());
+            let assignment: Vec<usize> = perm[..k].iter().map(|&i| comp[i]).collect();
+            let layout =
+                Layout::from_assignment(assignment, device.qubit_count()).expect("valid layout");
+
+            let pair = |g: &mut qcs_check::Gen| {
+                let a = g.usize_in(0..k);
+                let b = (a + g.usize_in(1..k)) % k;
+                (a, b)
+            };
+            let front = g.vec(1..6, pair);
+            let ext = g.vec(0..10, pair);
+            let ext_weight = g.f64_in(0.0..1.0);
+
+            scorer.set_ext_weight(ext_weight);
+            scorer.prepare(device, &layout, front.iter().copied(), ext.iter().copied());
+
+            // Score every active edge of the component, the candidate
+            // set routing actually draws from.
+            for &p in &comp {
+                for &q in device.neighbors(p) {
+                    if p < q {
+                        let incremental = scorer.score_swap(device, p, q);
+                        let full = full_recompute(device, &layout, &front, &ext, ext_weight, p, q);
+                        assert_eq!(
+                            incremental,
+                            full,
+                            "seed {}: swap ({p},{q}) diverged on {}",
+                            g.seed(),
+                            device.name()
+                        );
+                    }
+                }
+            }
+        }
+    });
+}

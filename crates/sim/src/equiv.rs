@@ -10,7 +10,7 @@ use qcs_rng::Rng;
 use qcs_circuit::circuit::Circuit;
 
 use crate::complex::C64;
-use crate::exec::run_unitary;
+use crate::exec::{run_unitary, run_unitary_mut};
 use crate::state::StateVector;
 
 /// Result details of a failed equivalence check.
@@ -76,7 +76,21 @@ pub fn circuits_equivalent<R: Rng>(
 /// Panics if `placement` is shorter than the state, repeats a physical
 /// qubit, or points beyond `m`.
 pub fn embed_state(state: &StateVector, m: usize, placement: &[usize]) -> StateVector {
+    let mut out = StateVector::zero(m);
+    embed_state_into(state, placement, &mut out);
+    out
+}
+
+/// In-place [`embed_state`]: writes the embedded state into `out` (whose
+/// width is the target register size), reusing its allocation. Same
+/// arithmetic as `embed_state`, including the final normalization pass.
+///
+/// # Panics
+///
+/// As [`embed_state`], with `m` taken from `out`.
+pub fn embed_state_into(state: &StateVector, placement: &[usize], out: &mut StateVector) {
     let n = state.qubit_count();
+    let m = out.qubit_count();
     assert!(placement.len() >= n, "placement too short");
     assert!(m >= n, "target register too small");
     let mut seen = vec![false; m];
@@ -85,7 +99,8 @@ pub fn embed_state(state: &StateVector, m: usize, placement: &[usize]) -> StateV
         assert!(!seen[p], "placement repeats physical qubit {p}");
         seen[p] = true;
     }
-    let mut amps = vec![C64::ZERO; 1 << m];
+    let amps = out.amps_mut();
+    amps.fill(C64::ZERO);
     for idx in 0..1usize << n {
         let mut phys = 0usize;
         for (v, &p) in placement[..n].iter().enumerate() {
@@ -95,7 +110,7 @@ pub fn embed_state(state: &StateVector, m: usize, placement: &[usize]) -> StateV
         }
         amps[phys] = state.amplitude(idx);
     }
-    StateVector::from_amplitudes(amps)
+    out.normalize();
 }
 
 /// Extracts the `n` virtual qubits back out of an `m`-qubit state given
@@ -109,14 +124,29 @@ pub fn embed_state(state: &StateVector, m: usize, placement: &[usize]) -> StateV
 ///
 /// Panics under the same conditions as [`embed_state`].
 pub fn extract_state(state: &StateVector, n: usize, layout: &[usize]) -> Option<StateVector> {
+    let mut out = StateVector::zero(n);
+    extract_state_into(state, layout, &mut out).then_some(out)
+}
+
+/// In-place [`extract_state`]: writes the extracted `out.qubit_count()`
+/// virtual qubits into `out`, reusing its allocation. Returns `false`
+/// (leaving `out` unspecified) if amplitude mass sits outside the
+/// expected subspace.
+///
+/// # Panics
+///
+/// As [`extract_state`], with `n` taken from `out`.
+pub fn extract_state_into(state: &StateVector, layout: &[usize], out: &mut StateVector) -> bool {
     let m = state.qubit_count();
+    let n = out.qubit_count();
     assert!(layout.len() >= n, "layout too short");
     let mut used = 0usize;
     for &p in &layout[..n] {
         assert!(p < m, "layout out of range");
         used |= 1 << p;
     }
-    let mut amps = vec![C64::ZERO; 1 << n];
+    let amps = out.amps_mut();
+    amps.fill(C64::ZERO);
     let mut outside = 0.0;
     for idx in 0..1usize << m {
         let a = state.amplitude(idx);
@@ -133,9 +163,10 @@ pub fn extract_state(state: &StateVector, n: usize, layout: &[usize]) -> Option<
         amps[virt] = a;
     }
     if outside > 1e-9 {
-        return None;
+        return false;
     }
-    Some(StateVector::from_amplitudes(amps))
+    out.normalize();
+    true
 }
 
 /// Verifies that `mapped` (on a device register of `device_qubits`)
@@ -162,23 +193,79 @@ pub fn mapped_equivalent<R: Rng>(
     trials: usize,
     rng: &mut R,
 ) -> Result<(), EquivFailure> {
+    mapped_equivalent_with_scratch(
+        original,
+        mapped,
+        device_qubits,
+        initial,
+        final_layout,
+        trials,
+        rng,
+        &mut EquivScratch::default(),
+    )
+}
+
+/// Reusable state buffers for repeated [`mapped_equivalent_with_scratch`]
+/// calls. One scratch held across a verification sweep replaces the four
+/// `2^width` allocations per trial with zero.
+#[derive(Debug, Default)]
+pub struct EquivScratch {
+    input: Option<StateVector>,
+    want: Option<StateVector>,
+    work: Option<StateVector>,
+    got: Option<StateVector>,
+}
+
+/// Returns the slot's state, (re)creating it only on width change.
+fn scratch_state(slot: &mut Option<StateVector>, qubits: usize) -> &mut StateVector {
+    if slot.as_ref().map(StateVector::qubit_count) != Some(qubits) {
+        *slot = Some(StateVector::zero(qubits));
+    }
+    slot.as_mut().expect("slot just filled")
+}
+
+/// [`mapped_equivalent`] with caller-owned scratch states: identical
+/// trials and arithmetic, but all per-trial state allocations are reused
+/// across calls.
+///
+/// # Errors
+///
+/// # Panics
+///
+/// As [`mapped_equivalent`].
+#[allow(clippy::too_many_arguments)]
+pub fn mapped_equivalent_with_scratch<R: Rng>(
+    original: &Circuit,
+    mapped: &Circuit,
+    device_qubits: usize,
+    initial: &[usize],
+    final_layout: &[usize],
+    trials: usize,
+    rng: &mut R,
+    scratch: &mut EquivScratch,
+) -> Result<(), EquivFailure> {
     let n = original.qubit_count();
     assert!(
         mapped.qubit_count() <= device_qubits,
         "mapped circuit too wide"
     );
     for trial in 0..trials {
-        let input = StateVector::random(n, rng);
-        let want = run_unitary(original, input.clone());
-        let embedded = embed_state(&input, device_qubits, initial);
-        let got_full = run_unitary(mapped, embedded);
-        let Some(got) = extract_state(&got_full, n, final_layout) else {
+        let input = scratch_state(&mut scratch.input, n);
+        input.randomize(rng);
+        let want = scratch_state(&mut scratch.want, n);
+        want.copy_from(input);
+        run_unitary_mut(original, want);
+        let work = scratch_state(&mut scratch.work, device_qubits);
+        embed_state_into(input, initial, work);
+        run_unitary_mut(mapped, work);
+        let got = scratch_state(&mut scratch.got, n);
+        if !extract_state_into(work, final_layout, got) {
             return Err(EquivFailure {
                 trial,
                 fidelity: 0.0,
             });
-        };
-        let fidelity = want.fidelity(&got);
+        }
+        let fidelity = want.fidelity(got);
         if (1.0 - fidelity).abs() > 1e-9 {
             return Err(EquivFailure { trial, fidelity });
         }

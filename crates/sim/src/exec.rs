@@ -47,16 +47,26 @@ pub fn apply_gate(state: &mut StateVector, gate: &Gate) {
 ///
 /// Panics if the circuit is wider than the state.
 pub fn run_unitary(circuit: &Circuit, mut state: StateVector) -> StateVector {
+    run_unitary_mut(circuit, &mut state);
+    state
+}
+
+/// In-place [`run_unitary`]: evolves `state` without taking ownership, so
+/// callers can reuse one scratch state across many runs.
+///
+/// # Panics
+///
+/// Panics if the circuit is wider than the state.
+pub fn run_unitary_mut(circuit: &Circuit, state: &mut StateVector) {
     assert!(
         circuit.qubit_count() <= state.qubit_count(),
         "circuit wider than state"
     );
     for g in circuit.iter() {
         if g.is_unitary() {
-            apply_gate(&mut state, g);
+            apply_gate(state, g);
         }
     }
-    state
 }
 
 /// Runs `circuit` with projective measurements, returning the final state

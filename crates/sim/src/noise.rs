@@ -75,10 +75,31 @@ pub struct Shot {
 /// sample.
 pub fn noisy_shot<R: Rng>(circuit: &Circuit, model: &NoiseModel, rng: &mut R) -> Shot {
     let mut state = StateVector::zero(circuit.qubit_count());
+    noisy_shot_into(circuit, model, rng, &mut state)
+}
+
+/// [`noisy_shot`] on a caller-provided scratch state, so shot loops reuse
+/// one amplitude buffer instead of allocating `2^n` amplitudes per shot.
+/// The state is reset to `|0…0⟩` before the shot runs.
+///
+/// # Panics
+///
+/// Panics if `state` is narrower than the circuit.
+pub fn noisy_shot_into<R: Rng>(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    rng: &mut R,
+    state: &mut StateVector,
+) -> Shot {
+    assert!(
+        circuit.qubit_count() <= state.qubit_count(),
+        "circuit wider than state"
+    );
+    state.reset_zero();
     let mut faults = 0;
     for g in circuit.iter() {
         if g.is_unitary() {
-            apply_gate(&mut state, g);
+            apply_gate(state, g);
         }
         let p = model.error_for(g);
         if p > 0.0 && rng.gen::<f64>() < p {
@@ -119,8 +140,9 @@ pub fn run_noisy<R: Rng>(
 ) -> NoisyRunStats {
     let mut fault_free = 0usize;
     let mut total_faults = 0usize;
+    let mut state = StateVector::zero(circuit.qubit_count());
     for _ in 0..shots {
-        let s = noisy_shot(circuit, model, rng);
+        let s = noisy_shot_into(circuit, model, rng, &mut state);
         if s.faults == 0 {
             fault_free += 1;
         }
@@ -151,18 +173,17 @@ pub fn total_variation_distance<R: Rng>(
     rng: &mut R,
 ) -> f64 {
     assert!(shots > 0, "need at least one shot");
-    let ideal = {
-        let mut s = StateVector::zero(circuit.qubit_count());
-        for g in circuit.iter() {
-            if g.is_unitary() {
-                apply_gate(&mut s, g);
-            }
+    let mut state = StateVector::zero(circuit.qubit_count());
+    for g in circuit.iter() {
+        if g.is_unitary() {
+            apply_gate(&mut state, g);
         }
-        s.probabilities()
-    };
+    }
+    let mut ideal = Vec::new();
+    state.probabilities_into(&mut ideal);
     let mut counts = vec![0usize; ideal.len()];
     for _ in 0..shots {
-        counts[noisy_shot(circuit, model, rng).outcome] += 1;
+        counts[noisy_shot_into(circuit, model, rng, &mut state).outcome] += 1;
     }
     0.5 * ideal
         .iter()

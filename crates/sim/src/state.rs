@@ -3,9 +3,68 @@
 //! Convention: qubit `q` is bit `q` of the basis index (little-endian), so
 //! basis state `|q_{n-1} … q_1 q_0⟩` has index `Σ q_k 2^k`.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use qcs_rng::Rng;
 
 use crate::complex::C64;
+
+/// States with at least this many qubits are eligible for the opt-in
+/// parallel gate kernels (below it, partitioning costs more than it buys).
+pub const PAR_THRESHOLD: usize = 16;
+
+/// Worker threads for the gate kernels; 0 = unset (resolve from the
+/// `QCS_SIM_THREADS` environment variable on first use, default 1).
+static SIM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the number of worker threads the gate kernels may use on states
+/// of at least [`PAR_THRESHOLD`] qubits. The default is 1 (serial);
+/// parallelism is strictly opt-in. Results are bitwise identical at any
+/// thread count: threads partition the amplitude array into disjoint
+/// block-aligned ranges and every amplitude is written by exactly one
+/// thread with the same arithmetic.
+pub fn set_sim_threads(threads: usize) {
+    SIM_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// The currently configured kernel thread count (≥ 1).
+pub fn sim_threads() -> usize {
+    let v = SIM_THREADS.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let n = std::env::var("QCS_SIM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+    SIM_THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Runs `kernel` over `amps` either inline or partitioned across scoped
+/// threads in contiguous ranges that are multiples of `block` (so every
+/// gate's amplitude group stays within one range). `kernel` must be
+/// position-independent: gate bit-masks below `block` read the same
+/// pattern in every aligned range.
+fn blocked<F>(amps: &mut [C64], qubits: usize, block: usize, kernel: F)
+where
+    F: Fn(&mut [C64]) + Sync,
+{
+    let threads = sim_threads();
+    if qubits < PAR_THRESHOLD || threads < 2 || amps.len() <= block {
+        kernel(amps);
+        return;
+    }
+    let nblocks = amps.len() / block;
+    let per = nblocks.div_ceil(threads) * block;
+    let kernel = &kernel;
+    std::thread::scope(|s| {
+        for chunk in amps.chunks_mut(per) {
+            s.spawn(move || kernel(chunk));
+        }
+    });
+}
 
 /// Exact quantum state of `n` qubits (`2^n` complex amplitudes).
 ///
@@ -82,10 +141,51 @@ impl StateVector {
     /// A Haar-ish random state (i.i.d. Gaussian-free: uniform box sampled
     /// then normalized — adequate for equivalence spot-checks).
     pub fn random<R: Rng>(qubits: usize, rng: &mut R) -> Self {
-        let amps: Vec<C64> = (0..1usize << qubits)
-            .map(|_| C64::new(rng.gen::<f64>() * 2.0 - 1.0, rng.gen::<f64>() * 2.0 - 1.0))
-            .collect();
-        StateVector::from_amplitudes(amps)
+        let mut s = StateVector::zero(qubits);
+        s.randomize(rng);
+        s
+    }
+
+    /// In-place [`StateVector::random`]: refills this state with fresh
+    /// random amplitudes, reusing the allocation. Draws from `rng` in the
+    /// same order as `random`, so the two produce identical states from
+    /// identical generator positions.
+    pub fn randomize<R: Rng>(&mut self, rng: &mut R) {
+        for a in &mut self.amps {
+            *a = C64::new(rng.gen::<f64>() * 2.0 - 1.0, rng.gen::<f64>() * 2.0 - 1.0);
+        }
+        self.normalize();
+    }
+
+    /// Copies the amplitudes of `other` into this state without
+    /// reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn copy_from(&mut self, other: &StateVector) {
+        assert_eq!(self.qubits, other.qubits, "width mismatch");
+        self.amps.copy_from_slice(&other.amps);
+    }
+
+    /// Raw mutable amplitude access for the in-crate embed/extract
+    /// kernels.
+    pub(crate) fn amps_mut(&mut self) -> &mut [C64] {
+        &mut self.amps
+    }
+
+    /// Rescales to unit norm, with the same accumulation order as
+    /// [`StateVector::from_amplitudes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the zero vector.
+    pub(crate) fn normalize(&mut self) {
+        let norm: f64 = self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        assert!(norm > 0.0, "cannot normalize the zero vector");
+        for a in &mut self.amps {
+            *a = a.scale(1.0 / norm);
+        }
     }
 
     /// Number of qubits.
@@ -109,7 +209,24 @@ impl StateVector {
 
     /// Measurement probabilities for every basis state.
     pub fn probabilities(&self) -> Vec<f64> {
-        self.amps.iter().map(|a| a.norm_sqr()).collect()
+        let mut out = Vec::new();
+        self.probabilities_into(&mut out);
+        out
+    }
+
+    /// Writes the measurement probabilities into `out` (cleared first),
+    /// reusing its capacity — the allocation-free form of
+    /// [`StateVector::probabilities`] for sampling loops.
+    pub fn probabilities_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.amps.iter().map(|a| a.norm_sqr()));
+    }
+
+    /// Resets this state to `|0…0⟩` in place, keeping the allocation —
+    /// the scratch-reuse counterpart of [`StateVector::zero`].
+    pub fn reset_zero(&mut self) {
+        self.amps.fill(C64::ZERO);
+        self.amps[0] = C64::ONE;
     }
 
     /// Probability that qubit `q` measures 1.
@@ -181,27 +298,33 @@ impl StateVector {
     /// Panics if `q` is out of range.
     pub fn apply_single(&mut self, q: usize, m: [[C64; 2]; 2]) {
         assert!(q < self.qubits, "qubit out of range");
-        let mask = 1usize << q;
-        for i in 0..self.amps.len() {
-            if i & mask == 0 {
-                let j = i | mask;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
-                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
-                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+        let half = 1usize << q;
+        blocked(&mut self.amps, self.qubits, half << 1, |chunk| {
+            // Stride-blocked pair walk: each 2·half block splits into the
+            // q=0 and q=1 halves, whose elements pair up index-for-index.
+            // `chunks_exact_mut` + `split_at_mut` + `zip` let the compiler
+            // drop every bounds check in the inner loop.
+            for block in chunk.chunks_exact_mut(half << 1) {
+                let (lo, hi) = block.split_at_mut(half);
+                for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let (x, y) = (*a0, *a1);
+                    *a0 = m[0][0] * x + m[0][1] * y;
+                    *a1 = m[1][0] * x + m[1][1] * y;
+                }
             }
-        }
+        });
     }
 
     /// Pauli-X on `q`.
     pub fn apply_x(&mut self, q: usize) {
         assert!(q < self.qubits, "qubit out of range");
-        let mask = 1usize << q;
-        for i in 0..self.amps.len() {
-            if i & mask == 0 {
-                self.amps.swap(i, i | mask);
+        let half = 1usize << q;
+        blocked(&mut self.amps, self.qubits, half << 1, |chunk| {
+            for block in chunk.chunks_exact_mut(half << 1) {
+                let (lo, hi) = block.split_at_mut(half);
+                lo.swap_with_slice(hi);
             }
-        }
+        });
     }
 
     /// Pauli-Y on `q`.
@@ -227,12 +350,15 @@ impl StateVector {
     /// Panics if `q` is out of range.
     pub fn apply_phase(&mut self, q: usize, phase: C64) {
         assert!(q < self.qubits, "qubit out of range");
-        let mask = 1usize << q;
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            if i & mask != 0 {
-                *a = *a * phase;
+        let half = 1usize << q;
+        blocked(&mut self.amps, self.qubits, half << 1, |chunk| {
+            for block in chunk.chunks_exact_mut(half << 1) {
+                let (_, hi) = block.split_at_mut(half);
+                for a in hi {
+                    *a = *a * phase;
+                }
             }
-        }
+        });
     }
 
     /// Rx(θ) on `q`.
@@ -254,10 +380,18 @@ impl StateVector {
         assert!(q < self.qubits, "qubit out of range");
         let neg = C64::from_polar_unit(-theta / 2.0);
         let pos = C64::from_polar_unit(theta / 2.0);
-        let mask = 1usize << q;
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            *a = *a * if i & mask == 0 { neg } else { pos };
-        }
+        let half = 1usize << q;
+        blocked(&mut self.amps, self.qubits, half << 1, |chunk| {
+            for block in chunk.chunks_exact_mut(half << 1) {
+                let (lo, hi) = block.split_at_mut(half);
+                for a in lo {
+                    *a = *a * neg;
+                }
+                for a in hi {
+                    *a = *a * pos;
+                }
+            }
+        });
     }
 
     /// CNOT with control `c`, target `t`.
@@ -269,11 +403,34 @@ impl StateVector {
         assert!(c < self.qubits && t < self.qubits && c != t, "bad operands");
         let cm = 1usize << c;
         let tm = 1usize << t;
-        for i in 0..self.amps.len() {
-            if i & cm != 0 && i & tm == 0 {
-                self.amps.swap(i, i | tm);
+        let block = cm.max(tm) << 1;
+        blocked(&mut self.amps, self.qubits, block, |chunk| {
+            if t < c {
+                // Outer blocks split on the control bit; the target swap
+                // happens inside the control-set half only.
+                for outer in chunk.chunks_exact_mut(cm << 1) {
+                    let (_, on) = outer.split_at_mut(cm);
+                    for sub in on.chunks_exact_mut(tm << 1) {
+                        let (lo, hi) = sub.split_at_mut(tm);
+                        lo.swap_with_slice(hi);
+                    }
+                }
+            } else {
+                // Outer blocks split on the target bit; within each half
+                // only the control-set runs pair up and exchange.
+                for outer in chunk.chunks_exact_mut(tm << 1) {
+                    let (lo, hi) = outer.split_at_mut(tm);
+                    for (l, h) in lo
+                        .chunks_exact_mut(cm << 1)
+                        .zip(hi.chunks_exact_mut(cm << 1))
+                    {
+                        let (_, l_on) = l.split_at_mut(cm);
+                        let (_, h_on) = h.split_at_mut(cm);
+                        l_on.swap_with_slice(h_on);
+                    }
+                }
             }
-        }
+        });
     }
 
     /// CZ between `a` and `b`.
@@ -283,13 +440,21 @@ impl StateVector {
     /// Panics if operands coincide or are out of range.
     pub fn apply_cz(&mut self, a: usize, b: usize) {
         assert!(a < self.qubits && b < self.qubits && a != b, "bad operands");
-        let am = 1usize << a;
-        let bm = 1usize << b;
-        for (i, amp) in self.amps.iter_mut().enumerate() {
-            if i & am != 0 && i & bm != 0 {
-                *amp = -*amp;
+        let lo_m = 1usize << a.min(b);
+        let hi_m = 1usize << a.max(b);
+        blocked(&mut self.amps, self.qubits, hi_m << 1, |chunk| {
+            // Both bits set: the high-bit half of each outer block, then
+            // the low-bit half of each sub-block within it.
+            for outer in chunk.chunks_exact_mut(hi_m << 1) {
+                let (_, on) = outer.split_at_mut(hi_m);
+                for sub in on.chunks_exact_mut(lo_m << 1) {
+                    let (_, run) = sub.split_at_mut(lo_m);
+                    for amp in run {
+                        *amp = -*amp;
+                    }
+                }
             }
-        }
+        });
     }
 
     /// Controlled phase `diag(1,1,1,e^{iθ})` between `a` and `b`.
@@ -299,14 +464,20 @@ impl StateVector {
     /// Panics if operands coincide or are out of range.
     pub fn apply_cphase(&mut self, a: usize, b: usize, theta: f64) {
         assert!(a < self.qubits && b < self.qubits && a != b, "bad operands");
-        let am = 1usize << a;
-        let bm = 1usize << b;
+        let lo_m = 1usize << a.min(b);
+        let hi_m = 1usize << a.max(b);
         let ph = C64::from_polar_unit(theta);
-        for (i, amp) in self.amps.iter_mut().enumerate() {
-            if i & am != 0 && i & bm != 0 {
-                *amp = *amp * ph;
+        blocked(&mut self.amps, self.qubits, hi_m << 1, |chunk| {
+            for outer in chunk.chunks_exact_mut(hi_m << 1) {
+                let (_, on) = outer.split_at_mut(hi_m);
+                for sub in on.chunks_exact_mut(lo_m << 1) {
+                    let (_, run) = sub.split_at_mut(lo_m);
+                    for amp in run {
+                        *amp = *amp * ph;
+                    }
+                }
             }
-        }
+        });
     }
 
     /// SWAP of `a` and `b`.
@@ -316,13 +487,24 @@ impl StateVector {
     /// Panics if operands coincide or are out of range.
     pub fn apply_swap(&mut self, a: usize, b: usize) {
         assert!(a < self.qubits && b < self.qubits && a != b, "bad operands");
-        let am = 1usize << a;
-        let bm = 1usize << b;
-        for i in 0..self.amps.len() {
-            if i & am != 0 && i & bm == 0 {
-                self.amps.swap(i, (i & !am) | bm);
+        let lo_m = 1usize << a.min(b);
+        let hi_m = 1usize << a.max(b);
+        blocked(&mut self.amps, self.qubits, hi_m << 1, |chunk| {
+            // Exchange |…0…1…⟩ ↔ |…1…0…⟩: the low-bit-set runs of the
+            // high-clear half pair with the low-bit-clear runs of the
+            // high-set half at the same sub-block offset.
+            for outer in chunk.chunks_exact_mut(hi_m << 1) {
+                let (lo_half, hi_half) = outer.split_at_mut(hi_m);
+                for (l, h) in lo_half
+                    .chunks_exact_mut(lo_m << 1)
+                    .zip(hi_half.chunks_exact_mut(lo_m << 1))
+                {
+                    let (_, l_on) = l.split_at_mut(lo_m);
+                    let (h_off, _) = h.split_at_mut(lo_m);
+                    l_on.swap_with_slice(h_off);
+                }
             }
-        }
+        });
     }
 
     /// Toffoli with controls `a`, `b` and target `t`.
@@ -500,6 +682,52 @@ mod tests {
         a.apply_cphase(0, 1, PI);
         b.apply_cz(0, 1);
         assert!(a.approx_eq_up_to_phase(&b, 1e-10));
+    }
+
+    #[test]
+    fn parallel_kernels_bitwise_match_serial() {
+        // A 16-qubit state crosses PAR_THRESHOLD; every kernel must give
+        // bit-for-bit the same amplitudes at 1 and 4 threads.
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let base = StateVector::random(PAR_THRESHOLD, &mut rng);
+        let run = |s: &mut StateVector| {
+            s.apply_h(0);
+            s.apply_h(15);
+            s.apply_x(7);
+            s.apply_rz(3, 0.37);
+            s.apply_phase(11, C64::from_polar_unit(1.1));
+            s.apply_rx(5, 0.9);
+            s.apply_cnot(2, 14);
+            s.apply_cnot(13, 1);
+            s.apply_cz(4, 12);
+            s.apply_cphase(9, 6, 2.3);
+            s.apply_swap(0, 15);
+            s.apply_toffoli(1, 8, 10);
+        };
+        set_sim_threads(1);
+        let mut serial = base.clone();
+        run(&mut serial);
+        set_sim_threads(4);
+        let mut parallel = base.clone();
+        run(&mut parallel);
+        set_sim_threads(1);
+        assert_eq!(serial.amplitudes(), parallel.amplitudes());
+    }
+
+    #[test]
+    fn probabilities_into_reuses_buffer() {
+        let s = StateVector::random(4, &mut ChaCha8Rng::seed_from_u64(10));
+        let mut buf = vec![0.0; 3]; // wrong size on purpose
+        s.probabilities_into(&mut buf);
+        assert_eq!(buf, s.probabilities());
+    }
+
+    #[test]
+    fn reset_zero_restores_ground_state() {
+        let mut s = StateVector::random(3, &mut ChaCha8Rng::seed_from_u64(11));
+        s.reset_zero();
+        assert_eq!(s.amplitude(0), C64::ONE);
+        assert!((s.probabilities()[0] - 1.0).abs() < EPS);
     }
 
     #[test]

@@ -114,11 +114,13 @@ pub struct Device {
     /// coupling lists when the overlay is pristine). Disabled qubits get
     /// empty lists.
     adjacency: Vec<Vec<usize>>,
-    /// Precomputed hop distances over the healthy subgraph. Entries are
-    /// [`UNREACHABLE`] between different components of a degraded device
-    /// (a pristine device is always fully reachable — construction
-    /// rejects disconnected coupling graphs).
-    distances: Vec<Vec<usize>>,
+    /// Precomputed hop distances over the healthy subgraph, stored
+    /// row-major (`distances[u * n + v]`) so the routing hot loop reads
+    /// one flat cache-friendly allocation instead of chasing a `Vec` per
+    /// row. Entries are [`UNREACHABLE`] between different components of
+    /// a degraded device (a pristine device is always fully reachable —
+    /// construction rejects disconnected coupling graphs).
+    distances: Box<[usize]>,
 }
 
 /// Neighbour lists filtered through the health overlay.
@@ -138,13 +140,13 @@ fn healthy_adjacency(coupling: &Graph, health: &DeviceHealth) -> Vec<Vec<usize>>
         .collect()
 }
 
-/// All-pairs BFS hop counts over filtered adjacency lists; rows of
-/// disabled qubits stay all-[`UNREACHABLE`].
-fn healthy_distances(adjacency: &[Vec<usize>], health: &DeviceHealth) -> Vec<Vec<usize>> {
+/// All-pairs BFS hop counts over filtered adjacency lists, flattened
+/// row-major; rows of disabled qubits stay all-[`UNREACHABLE`].
+fn healthy_distances(adjacency: &[Vec<usize>], health: &DeviceHealth) -> Box<[usize]> {
     let n = adjacency.len();
-    let mut all = vec![vec![UNREACHABLE; n]; n];
+    let mut all = vec![UNREACHABLE; n * n];
     let mut queue = VecDeque::new();
-    for (start, row) in all.iter_mut().enumerate() {
+    for (start, row) in all.chunks_exact_mut(n).enumerate() {
         if health.is_qubit_disabled(start) {
             continue;
         }
@@ -160,7 +162,7 @@ fn healthy_distances(adjacency: &[Vec<usize>], health: &DeviceHealth) -> Vec<Vec
             }
         }
     }
-    all
+    all.into_boxed_slice()
 }
 
 impl Device {
@@ -365,9 +367,11 @@ impl Device {
 
     /// Whether physical qubits `u` and `v` share a *usable* coupler
     /// (i.e. the coupler exists and neither it nor an endpoint is out of
-    /// service).
+    /// service). A single lookup in the precomputed healthy-subgraph
+    /// distance matrix: hop distance 1 is exactly a usable coupler.
+    #[inline]
     pub fn are_adjacent(&self, u: usize, v: usize) -> bool {
-        self.coupling.has_edge(u, v) && !self.health.blocks_coupler(u, v)
+        self.distance(u, v) == 1
     }
 
     /// Hop distance between physical qubits over the healthy subgraph.
@@ -377,8 +381,22 @@ impl Device {
     /// # Panics
     ///
     /// Panics if either qubit is out of range.
+    #[inline]
     pub fn distance(&self, u: usize, v: usize) -> usize {
-        self.distances[u][v]
+        self.distances[u * self.qubit_count() + v]
+    }
+
+    /// The hop-distance row of qubit `u`: `distance_row(u)[v]` equals
+    /// [`Device::distance`]`(u, v)`. One bounds check buys a whole row —
+    /// the routing kernels hold rows across their inner loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn distance_row(&self, u: usize) -> &[usize] {
+        let n = self.qubit_count();
+        &self.distances[u * n..(u + 1) * n]
     }
 
     /// In-service physical neighbours of qubit `u` (empty for disabled
@@ -399,8 +417,9 @@ impl Device {
         let mut pairs = 0usize;
         for u in 0..n {
             for v in (u + 1)..n {
-                if self.distances[u][v] != UNREACHABLE {
-                    sum += self.distances[u][v];
+                let d = self.distances[u * n + v];
+                if d != UNREACHABLE {
+                    sum += d;
                     pairs += 1;
                 }
             }
@@ -416,17 +435,17 @@ impl Device {
     pub fn diameter(&self) -> usize {
         self.distances
             .iter()
-            .flat_map(|row| row.iter().copied())
+            .copied()
             .filter(|&d| d != UNREACHABLE)
             .max()
             .unwrap_or(0)
     }
 
-    /// Read-only view of the precomputed all-pairs hop-distance matrix
-    /// (`distances()[u][v]` = hops between physical qubits `u` and `v`
-    /// over the healthy subgraph; [`UNREACHABLE`] across components of a
-    /// degraded device).
-    pub fn distances(&self) -> &[Vec<usize>] {
+    /// Read-only view of the precomputed all-pairs hop-distance matrix,
+    /// flattened row-major: `distances()[u * qubit_count() + v]` = hops
+    /// between physical qubits `u` and `v` over the healthy subgraph
+    /// ([`UNREACHABLE`] across components of a degraded device).
+    pub fn distances(&self) -> &[usize] {
         &self.distances
     }
 
@@ -445,18 +464,19 @@ impl Device {
     /// from `from` on a degraded device — check
     /// [`Device::distance`]` != UNREACHABLE` first.
     pub fn shortest_path(&self, from: usize, to: usize) -> Vec<usize> {
+        let n = self.qubit_count();
         assert!(
-            self.distances[from][to] != UNREACHABLE,
+            self.distances[from * n + to] != UNREACHABLE,
             "no healthy path from {from} to {to}"
         );
-        let mut path = Vec::with_capacity(self.distances[from][to] + 1);
+        let mut path = Vec::with_capacity(self.distances[from * n + to] + 1);
         path.push(from);
         let mut cur = from;
         while cur != to {
             let next = self.adjacency[cur]
                 .iter()
                 .copied()
-                .find(|&w| self.distances[w][to] + 1 == self.distances[cur][to])
+                .find(|&w| self.distances[w * n + to] + 1 == self.distances[cur * n + to])
                 .expect("reachable target always has a closer neighbour");
             path.push(next);
             cur = next;
