@@ -13,15 +13,26 @@
 #                                       degraded-device sweep
 #   7. persist smoke test               fill cache, kill -9, restart warm,
 #                                       byte-identical responses
-#   8. benchmark regression gate        fresh bench_baseline run vs the
+#   8. shard smoke test                 router + 3 shards: suite through the
+#                                       router, per-shard cache locality,
+#                                       kill -9 one shard with zero failed
+#                                       requests
+#   9. benchmark regression gate        fresh bench_baseline run vs the
 #                                       committed BENCH_*.json: work
 #                                       counters exact, wall times within
 #                                       QCS_BENCH_WALL_BUDGET (default 4x,
 #                                       0 disables)
+#  10. serving regression gate          fresh bench_load run vs the committed
+#                                       BENCH_serve.json: routing/cache
+#                                       counters exact, latency and rps
+#                                       within the same wall budget
 set -eu
 
 echo "==> cargo build --release"
-cargo build --release --locked
+# --workspace matters: the repo root is itself a package, so a bare
+# `cargo build` would skip member binaries (bench_baseline, bench_load,
+# qcs-serve, qcs-router, qcs-client) that later steps execute.
+cargo build --release --workspace --locked
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
@@ -41,7 +52,13 @@ echo "==> serve chaos test"
 echo "==> persist smoke test"
 ./ci_persist_smoke.sh
 
+echo "==> shard smoke test"
+./ci_shard_smoke.sh
+
 echo "==> benchmark regression gate"
 ./target/release/bench_baseline --check
+
+echo "==> serving regression gate"
+./target/release/bench_load --check
 
 echo "CI OK"

@@ -6,87 +6,58 @@
 # it first); builds on demand otherwise.
 set -eu
 
-SERVE=target/release/qcs-serve
-CLIENT=target/release/qcs-client
-[ -x "$SERVE" ] && [ -x "$CLIENT" ] || cargo build --release -p qcs-serve
-
-PORT_FILE=$(mktemp)
-rm -f "$PORT_FILE" # daemon recreates it once listening
+SMOKE_NAME="chaos"
+SMOKE_TAG=chaos
+. ./ci_lib.sh
+smoke_build
+smoke_init
 
 # Panic the 2nd compiled job, delay every 5th routing pass by 20 ms:
 # deterministic, so this script sees the same failures every run.
-"$SERVE" --addr 127.0.0.1:0 --workers 2 --port-file "$PORT_FILE" \
-    --faults 'serve.worker.job=panic@nth:2;mapper.route=delay:20@nth:5' \
-    2>/dev/null &
-SERVE_PID=$!
-trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$PORT_FILE"' EXIT
-
-tries=0
-while [ ! -s "$PORT_FILE" ]; do
-    tries=$((tries + 1))
-    if [ "$tries" -gt 50 ]; then
-        echo "chaos: daemon never published its port" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
-ADDR="127.0.0.1:$(cat "$PORT_FILE")"
-echo "chaos: daemon on $ADDR with failpoints armed"
+smoke_start_daemon daemon --workers 2 \
+    --faults 'serve.worker.job=panic@nth:2;mapper.route=delay:20@nth:5'
+ADDR=$SMOKE_ADDR
+SERVE_PID=$SMOKE_PID
+echo "$SMOKE_NAME: daemon on $ADDR with failpoints armed"
 
 # 1. Hostile input: garbage bytes, a truncated frame and an oversized
 #    length prefix must not take the daemon down.
-"$CLIENT" --addr "$ADDR" probe || {
-    echo "chaos: daemon did not survive hostile frames" >&2
-    exit 1
-}
+"$CLIENT" --addr "$ADDR" probe ||
+    smoke_fail "daemon did not survive hostile frames"
 
 # 2. Panic injection: the 2nd job panics mid-compile. The client must
 #    get a structured error frame (exit nonzero, no stack trace), and
 #    the daemon must keep serving afterwards.
-"$CLIENT" --addr "$ADDR" workload ghz:6 --json >/dev/null || {
-    echo "chaos: pre-panic compile failed" >&2
-    exit 1
-}
+"$CLIENT" --addr "$ADDR" workload ghz:6 --json >/dev/null ||
+    smoke_fail "pre-panic compile failed"
 OUT=$("$CLIENT" --addr "$ADDR" workload qft:5 --json 2>&1) && {
-    echo "chaos: injected panic did not surface as an error:" >&2
     echo "$OUT" >&2
-    exit 1
+    smoke_fail "injected panic did not surface as an error"
 }
 echo "$OUT" | grep -q 'panicked' || {
-    echo "chaos: error frame does not mention the panic:" >&2
     echo "$OUT" >&2
-    exit 1
+    smoke_fail "error frame does not mention the panic"
 }
-OUT=$("$CLIENT" --addr "$ADDR" workload qft:5 --json) || {
-    echo "chaos: daemon dead after injected panic" >&2
-    exit 1
-}
+"$CLIENT" --addr "$ADDR" workload qft:5 --json >/dev/null ||
+    smoke_fail "daemon dead after injected panic"
 
 # 3. Degraded-device sweep: seeded outages (10% couplers, then qubits
 #    too) must still compile, deterministically.
 for DEV in 'degraded:0:0.1:11:surface17' 'degraded:0.1:0.1:7:surface97'; do
     for W in ghz:6 qft:5 wstate:5; do
-        "$CLIENT" --addr "$ADDR" workload "$W" --device "$DEV" --json >/dev/null || {
-            echo "chaos: degraded sweep failed for $W on $DEV" >&2
-            exit 1
-        }
+        "$CLIENT" --addr "$ADDR" workload "$W" --device "$DEV" --json >/dev/null ||
+            smoke_fail "degraded sweep failed for $W on $DEV"
     done
 done
 
 # 4. Stats must account for the injected panic.
 STATS=$("$CLIENT" --addr "$ADDR" stats --json)
 echo "$STATS" | grep -q '"jobs_panicked": 1' || {
-    echo "chaos: stats do not report the injected panic:" >&2
     echo "$STATS" >&2
-    exit 1
+    smoke_fail "stats do not report the injected panic"
 }
 
 # 5. Clean shutdown despite everything.
 "$CLIENT" --addr "$ADDR" shutdown >/dev/null
-wait "$SERVE_PID" || {
-    echo "chaos: daemon exited nonzero" >&2
-    exit 1
-}
-trap - EXIT
-rm -f "$PORT_FILE"
-echo "chaos: OK"
+wait "$SERVE_PID" || smoke_fail "daemon exited nonzero"
+smoke_pass

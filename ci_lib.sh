@@ -1,0 +1,111 @@
+# Shared plumbing for the serving-tier smoke tests. Source from a
+# script that has already set SMOKE_NAME (log prefix, e.g. "serve
+# smoke") and SMOKE_TAG (filesystem-safe, e.g. "serve"):
+#
+#     SMOKE_NAME="serve smoke"; SMOKE_TAG=serve
+#     . ./ci_lib.sh
+#     smoke_build && smoke_init
+#
+# What callers get:
+#   - smoke_start_daemon NAME [args...] / smoke_start_router NAME args...
+#     boot a server on an ephemeral port, wait for the port file, then
+#     poll the stats endpoint until it answers — readiness is observed,
+#     never slept for. Sets SMOKE_ADDR and SMOKE_PID.
+#   - every booted process is registered and killed -9 by the EXIT trap,
+#     so a failing assertion never leaks daemons into the CI host.
+#   - server output lands in $SMOKE_LOG_DIR (default target/smoke-logs),
+#     which survives failure for artifact upload; smoke_pass removes the
+#     run's logs on success.
+#   - smoke_fail MESSAGE prints "<SMOKE_NAME>: MESSAGE" to stderr and
+#     exits 1 (the trap cleans up).
+
+SERVE=target/release/qcs-serve
+ROUTER=target/release/qcs-router
+CLIENT=target/release/qcs-client
+SMOKE_LOG_DIR=${SMOKE_LOG_DIR:-target/smoke-logs}
+
+smoke_build() {
+    [ -x "$SERVE" ] && [ -x "$CLIENT" ] && [ -x "$ROUTER" ] ||
+        cargo build --release -p qcs-serve
+}
+
+smoke_init() {
+    SMOKE_SCRATCH=$(mktemp -d)
+    SMOKE_PIDS=""
+    mkdir -p "$SMOKE_LOG_DIR"
+    rm -f "$SMOKE_LOG_DIR/$SMOKE_TAG"-*.log
+    trap 'smoke_kill_all; rm -rf "$SMOKE_SCRATCH"' EXIT INT TERM
+}
+
+smoke_kill_all() {
+    for _pid in $SMOKE_PIDS; do
+        kill -9 "$_pid" 2>/dev/null || true
+    done
+}
+
+smoke_fail() {
+    echo "$SMOKE_NAME: $*" >&2
+    exit 1
+}
+
+# Polls (up to ~10 s) for a port file, then sets SMOKE_ADDR.
+smoke_wait_port() {
+    _pf=$1
+    _tries=0
+    while [ ! -s "$_pf" ]; do
+        _tries=$((_tries + 1))
+        [ "$_tries" -gt 100 ] && smoke_fail "server never published its port"
+        sleep 0.1
+    done
+    SMOKE_ADDR="127.0.0.1:$(cat "$_pf")"
+}
+
+# Polls (up to ~10 s) until the stats endpoint at $1 answers: the server
+# is accepting connections and serving frames, not merely forked.
+smoke_wait_ready() {
+    _tries=0
+    while ! "$CLIENT" --addr "$1" stats --json >/dev/null 2>&1; do
+        _tries=$((_tries + 1))
+        [ "$_tries" -gt 100 ] && smoke_fail "server at $1 never became ready"
+        sleep 0.1
+    done
+}
+
+# smoke_start_daemon NAME [extra qcs-serve args...]
+# Boots a daemon, registers it for cleanup, waits until it serves stats.
+smoke_start_daemon() {
+    _name=$1
+    shift
+    _pf="$SMOKE_SCRATCH/$_name.port"
+    rm -f "$_pf"
+    "$SERVE" --addr 127.0.0.1:0 --port-file "$_pf" "$@" \
+        >"$SMOKE_LOG_DIR/$SMOKE_TAG-$_name.log" 2>&1 &
+    SMOKE_PID=$!
+    SMOKE_PIDS="$SMOKE_PIDS $SMOKE_PID"
+    smoke_wait_port "$_pf"
+    smoke_wait_ready "$SMOKE_ADDR"
+}
+
+# smoke_start_router NAME [qcs-router args, typically --shard ...]
+smoke_start_router() {
+    _name=$1
+    shift
+    _pf="$SMOKE_SCRATCH/$_name.port"
+    rm -f "$_pf"
+    "$ROUTER" --addr 127.0.0.1:0 --port-file "$_pf" "$@" \
+        >"$SMOKE_LOG_DIR/$SMOKE_TAG-$_name.log" 2>&1 &
+    SMOKE_PID=$!
+    SMOKE_PIDS="$SMOKE_PIDS $SMOKE_PID"
+    smoke_wait_port "$_pf"
+    smoke_wait_ready "$SMOKE_ADDR"
+}
+
+# Success epilogue: disarm the trap, stop everything, drop scratch and
+# this run's logs (nothing to upload), announce.
+smoke_pass() {
+    trap - EXIT INT TERM
+    smoke_kill_all
+    rm -rf "$SMOKE_SCRATCH"
+    rm -f "$SMOKE_LOG_DIR/$SMOKE_TAG"-*.log
+    echo "$SMOKE_NAME: OK"
+}

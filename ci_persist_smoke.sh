@@ -6,35 +6,14 @@
 # demand otherwise.
 set -eu
 
-SERVE=target/release/qcs-serve
-CLIENT=target/release/qcs-client
-[ -x "$SERVE" ] && [ -x "$CLIENT" ] || cargo build --release -p qcs-serve
+SMOKE_NAME="persist smoke"
+SMOKE_TAG=persist
+. ./ci_lib.sh
+smoke_build
+smoke_init
 
 WORKLOADS="ghz:8 qft:5 wstate:6"
-
-SCRATCH=$(mktemp -d)
-PERSIST_DIR="$SCRATCH/cache"
-PORT_FILE="$SCRATCH/port"
-SERVE_PID=""
-trap 'kill -9 "$SERVE_PID" 2>/dev/null || true; rm -rf "$SCRATCH"' EXIT
-
-# Boots the daemon and waits (up to ~10 s) for its port file.
-start_daemon() {
-    rm -f "$PORT_FILE"
-    "$SERVE" --addr 127.0.0.1:0 --workers 2 \
-        --persist-dir "$PERSIST_DIR" --port-file "$PORT_FILE" &
-    SERVE_PID=$!
-    tries=0
-    while [ ! -s "$PORT_FILE" ]; do
-        tries=$((tries + 1))
-        if [ "$tries" -gt 100 ]; then
-            echo "persist smoke: daemon never published its port" >&2
-            exit 1
-        fi
-        sleep 0.1
-    done
-    ADDR="127.0.0.1:$(cat "$PORT_FILE")"
-}
+PERSIST_DIR="$SMOKE_SCRATCH/cache"
 
 # Compiles every workload (fixed request ids, so responses are
 # reproducible byte-for-byte across restarts) into $1/<workload>.json.
@@ -46,57 +25,53 @@ compile_sweep() {
         "$CLIENT" --addr "$ADDR" workload "$w" --device surface17 \
             --request-id "smoke-$w" --json >"$file"
         grep -q '"type": "result"' "$file" || {
-            echo "persist smoke: $w did not compile:" >&2
             cat "$file" >&2
-            exit 1
+            smoke_fail "$w did not compile"
         }
     done
 }
 
-start_daemon
-echo "persist smoke: daemon on $ADDR, persisting to $PERSIST_DIR"
-compile_sweep "$SCRATCH/before"
+smoke_start_daemon first --workers 2 --persist-dir "$PERSIST_DIR"
+ADDR=$SMOKE_ADDR
+SERVE_PID=$SMOKE_PID
+echo "$SMOKE_NAME: daemon on $ADDR, persisting to $PERSIST_DIR"
+compile_sweep "$SMOKE_SCRATCH/before"
 
 # Crash: no shutdown protocol, no flush beyond the per-append fsync.
 kill -9 "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
-echo "persist smoke: daemon killed with SIGKILL"
+echo "$SMOKE_NAME: daemon killed with SIGKILL"
 
 # Restart on the same directory — the WAL replay must warm the cache.
-start_daemon
-echo "persist smoke: daemon restarted on $ADDR"
+smoke_start_daemon second --workers 2 --persist-dir "$PERSIST_DIR"
+ADDR=$SMOKE_ADDR
+SERVE_PID=$SMOKE_PID
+echo "$SMOKE_NAME: daemon restarted on $ADDR"
 
 STATS=$("$CLIENT" --addr "$ADDR" stats --json)
 echo "$STATS" | grep -q '"records_recovered": 3' || {
-    echo "persist smoke: expected 3 recovered records:" >&2
     echo "$STATS" >&2
-    exit 1
+    smoke_fail "expected 3 recovered records"
 }
 
-compile_sweep "$SCRATCH/after"
+compile_sweep "$SMOKE_SCRATCH/after"
 for w in $WORKLOADS; do
     name="$(echo "$w" | tr ':' '-').json"
-    cmp -s "$SCRATCH/before/$name" "$SCRATCH/after/$name" || {
-        echo "persist smoke: $w response diverged after crash recovery" >&2
-        exit 1
-    }
+    cmp -s "$SMOKE_SCRATCH/before/$name" "$SMOKE_SCRATCH/after/$name" ||
+        smoke_fail "$w response diverged after crash recovery"
 done
 
 # Every post-restart compile must have been a warm hit.
 STATS=$("$CLIENT" --addr "$ADDR" stats --json)
 echo "$STATS" | grep -q '"hits": 3' || {
-    echo "persist smoke: expected 3 warm cache hits:" >&2
     echo "$STATS" >&2
-    exit 1
+    smoke_fail "expected 3 warm cache hits"
 }
 echo "$STATS" | grep -q '"misses": 0' || {
-    echo "persist smoke: expected zero cache misses after recovery:" >&2
     echo "$STATS" >&2
-    exit 1
+    smoke_fail "expected zero cache misses after recovery"
 }
 
 "$CLIENT" --addr "$ADDR" shutdown >/dev/null
 wait "$SERVE_PID"
-trap - EXIT
-rm -rf "$SCRATCH"
-echo "persist smoke: OK"
+smoke_pass

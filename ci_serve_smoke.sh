@@ -5,53 +5,37 @@
 # (CI runs it first); builds on demand otherwise.
 set -eu
 
-SERVE=target/release/qcs-serve
-CLIENT=target/release/qcs-client
-[ -x "$SERVE" ] && [ -x "$CLIENT" ] || cargo build --release -p qcs-serve
+SMOKE_NAME="serve smoke"
+SMOKE_TAG=serve
+. ./ci_lib.sh
+smoke_build
+smoke_init
 
-PORT_FILE=$(mktemp)
-rm -f "$PORT_FILE" # daemon recreates it once listening
-"$SERVE" --addr 127.0.0.1:0 --workers 2 --port-file "$PORT_FILE" &
-SERVE_PID=$!
-trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$PORT_FILE"' EXIT
-
-# Wait (up to ~5 s) for the daemon to publish its port.
-tries=0
-while [ ! -s "$PORT_FILE" ]; do
-    tries=$((tries + 1))
-    if [ "$tries" -gt 50 ]; then
-        echo "serve smoke: daemon never published its port" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
-ADDR="127.0.0.1:$(cat "$PORT_FILE")"
-echo "serve smoke: daemon on $ADDR"
+smoke_start_daemon daemon --workers 2
+ADDR=$SMOKE_ADDR
+SERVE_PID=$SMOKE_PID
+echo "$SMOKE_NAME: daemon on $ADDR"
 
 # One GHZ compile must produce a result frame with a report.
 OUT=$("$CLIENT" --addr "$ADDR" workload ghz:8 --device surface17 --json)
 echo "$OUT" | grep -q '"type": "result"' || {
-    echo "serve smoke: compile did not return a result:" >&2
     echo "$OUT" >&2
-    exit 1
+    smoke_fail "compile did not return a result"
 }
 
-# Stats must acknowledge the served job.
+# Stats must acknowledge the served job (readiness polling issues stats
+# requests, which never count as jobs).
 STATS=$("$CLIENT" --addr "$ADDR" stats --json)
 echo "$STATS" | grep -q '"type": "stats"' || {
-    echo "serve smoke: stats response malformed:" >&2
     echo "$STATS" >&2
-    exit 1
+    smoke_fail "stats response malformed"
 }
 echo "$STATS" | grep -q '"jobs": 1' || {
-    echo "serve smoke: expected exactly one served job:" >&2
     echo "$STATS" >&2
-    exit 1
+    smoke_fail "expected exactly one served job"
 }
 
 # Clean protocol shutdown; the daemon process must exit on its own.
 "$CLIENT" --addr "$ADDR" shutdown >/dev/null
 wait "$SERVE_PID"
-trap - EXIT
-rm -f "$PORT_FILE"
-echo "serve smoke: OK"
+smoke_pass

@@ -1,0 +1,102 @@
+//! `qcs-router` — the sharding front-end binary.
+//!
+//! ```text
+//! qcs-router --shard HOST:PORT [--shard HOST:PORT ...]
+//!            [--addr HOST:PORT] [--replicas N]
+//!            [--health-interval-ms N] [--io-timeout-ms N]
+//!            [--port-file PATH]
+//! ```
+//!
+//! Speaks the same length-prefixed frame protocol as `qcs-serve`:
+//! clients point at the router instead of a daemon and `compile` /
+//! `compile_suite` requests are consistent-hashed across the `--shard`
+//! fleet (same job → same shard → warm shard cache), with automatic
+//! rerouting around shards that die. `ping`, `stats` and `shutdown` are
+//! answered by the router itself.
+//!
+//! Binds (port 0 = ephemeral), prints the bound address on stdout, and
+//! routes until a protocol `shutdown` request arrives. `--port-file`
+//! writes the bound port to a file once listening, for scripts.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use qcs_serve::router::{Router, RouterConfig};
+
+fn usage() -> String {
+    "usage: qcs-router --shard HOST:PORT [--shard HOST:PORT ...] \
+     [--addr HOST:PORT] [--replicas N] [--health-interval-ms N] \
+     [--io-timeout-ms N] [--port-file PATH]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<(RouterConfig, Option<String>), String> {
+    let mut config = RouterConfig::default();
+    let mut port_file = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(usage());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))?;
+        let bad = |what: &str| format!("bad {what} '{value}' for {flag}");
+        match flag.as_str() {
+            "--addr" => config.addr = value.clone(),
+            "--shard" => config.shards.push(value.clone()),
+            "--replicas" => {
+                config.replicas = value.parse().map_err(|_| bad("replica count"))?;
+                if config.replicas == 0 {
+                    return Err("--replicas must be at least 1".to_string());
+                }
+            }
+            "--health-interval-ms" => {
+                let ms: u64 = value.parse().map_err(|_| bad("interval"))?;
+                config.health_interval = Duration::from_millis(ms);
+            }
+            "--io-timeout-ms" => {
+                let ms: u64 = value.parse().map_err(|_| bad("timeout"))?;
+                config.io_timeout = Duration::from_millis(ms);
+            }
+            "--port-file" => port_file = Some(value.clone()),
+            _ => return Err(format!("unknown flag '{flag}'\n{}", usage())),
+        }
+    }
+    if config.shards.is_empty() {
+        return Err(format!("at least one --shard is required\n{}", usage()));
+    }
+    Ok((config, port_file))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (config, port_file) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let shard_count = config.shards.len();
+    let handle = match Router::start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("qcs-router: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = handle.local_addr();
+    println!("qcs-router listening on {addr}, routing {shard_count} shard(s)");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, addr.port().to_string()) {
+            eprintln!("qcs-router: cannot write port file {path}: {e}");
+            handle.shutdown();
+            return ExitCode::FAILURE;
+        }
+    }
+    handle.wait();
+    println!("qcs-router: shut down cleanly");
+    ExitCode::SUCCESS
+}

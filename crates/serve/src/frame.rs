@@ -1,0 +1,293 @@
+//! Incremental decoder for length-prefixed frames — the per-connection
+//! read-side state machine of the event-driven server.
+//!
+//! The blocking server could call `read_exact` and let the kernel block
+//! until a frame was complete; a readiness loop cannot. [`FrameDecoder`]
+//! accepts *whatever bytes the socket had* — one byte, half a length
+//! prefix, three frames back to back — and emits complete frames as they
+//! materialize. It is a pure state machine (no I/O), so every torn-frame
+//! split point and pipelining interleaving is unit-testable without a
+//! socket in sight; `tests/nonblocking_fuzz.rs` then replays the same
+//! shapes through real sockets.
+//!
+//! The decoder enforces the same [`MAX_FRAME_BYTES`] ceiling as the
+//! blocking reader, *before* buffering any payload: an oversized length
+//! prefix poisons the decoder (the stream can no longer be trusted to be
+//! in sync) and reports a client-presentable error.
+
+use crate::protocol::MAX_FRAME_BYTES;
+
+/// Why the decoder refused the stream. The connection must be closed
+/// after sending the contained message: framing sync is lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+enum State {
+    /// Accumulating the 4-byte big-endian length prefix.
+    Len { buf: [u8; 4], filled: usize },
+    /// Accumulating `buf.len()` payload bytes.
+    Payload { buf: Vec<u8>, filled: usize },
+    /// An oversized prefix arrived; every further byte is rejected.
+    Poisoned,
+}
+
+/// Incremental frame decoder: feed it byte chunks, collect whole frames.
+pub struct FrameDecoder {
+    state: State,
+    frames_decoded: u64,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder at a frame boundary.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder {
+            state: State::Len {
+                buf: [0; 4],
+                filled: 0,
+            },
+            frames_decoded: 0,
+        }
+    }
+
+    /// True when a frame is partially accumulated — the condition that
+    /// starts the server's mid-frame read deadline. A decoder at a frame
+    /// boundary (or poisoned) is not mid-frame.
+    pub fn mid_frame(&self) -> bool {
+        match &self.state {
+            State::Len { filled, .. } => *filled > 0,
+            State::Payload { .. } => true,
+            State::Poisoned => false,
+        }
+    }
+
+    /// Total complete frames this decoder has emitted.
+    pub fn frames_decoded(&self) -> u64 {
+        self.frames_decoded
+    }
+
+    /// Consumes a chunk of stream bytes, appending every completed frame
+    /// payload to `out` in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on a length prefix beyond [`MAX_FRAME_BYTES`].
+    /// Frames completed earlier in the same chunk are already in `out`
+    /// and remain valid; the decoder itself is poisoned and every later
+    /// call fails the same way.
+    pub fn feed(&mut self, mut bytes: &[u8], out: &mut Vec<Vec<u8>>) -> Result<(), DecodeError> {
+        while !bytes.is_empty() {
+            match &mut self.state {
+                State::Poisoned => {
+                    return Err(DecodeError("frame stream out of sync".to_string()));
+                }
+                State::Len { buf, filled } => {
+                    let take = (4 - *filled).min(bytes.len());
+                    buf[*filled..*filled + take].copy_from_slice(&bytes[..take]);
+                    *filled += take;
+                    bytes = &bytes[take..];
+                    if *filled < 4 {
+                        continue;
+                    }
+                    let len = u32::from_be_bytes(*buf) as usize;
+                    if len > MAX_FRAME_BYTES {
+                        self.state = State::Poisoned;
+                        return Err(DecodeError(format!(
+                            "frame length {len} exceeds protocol maximum of \
+                             {MAX_FRAME_BYTES} bytes"
+                        )));
+                    }
+                    if len == 0 {
+                        self.frames_decoded += 1;
+                        out.push(Vec::new());
+                        self.state = State::Len {
+                            buf: [0; 4],
+                            filled: 0,
+                        };
+                    } else {
+                        self.state = State::Payload {
+                            buf: vec![0; len],
+                            filled: 0,
+                        };
+                    }
+                }
+                State::Payload { buf, filled } => {
+                    let take = (buf.len() - *filled).min(bytes.len());
+                    buf[*filled..*filled + take].copy_from_slice(&bytes[..take]);
+                    *filled += take;
+                    bytes = &bytes[take..];
+                    if *filled == buf.len() {
+                        let frame = std::mem::take(buf);
+                        self.frames_decoded += 1;
+                        out.push(frame);
+                        self.state = State::Len {
+                            buf: [0; 4],
+                            filled: 0,
+                        };
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::write_frame;
+
+    /// Encodes `payloads` as a contiguous frame byte stream.
+    fn encode(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for p in payloads {
+            write_frame(&mut bytes, p).unwrap();
+        }
+        bytes
+    }
+
+    fn decode_in_chunks(bytes: &[u8], chunk: usize) -> Vec<Vec<u8>> {
+        let mut d = FrameDecoder::new();
+        let mut out = Vec::new();
+        for piece in bytes.chunks(chunk.max(1)) {
+            d.feed(piece, &mut out).unwrap();
+        }
+        assert!(!d.mid_frame(), "stream ended at a frame boundary");
+        out
+    }
+
+    #[test]
+    fn whole_stream_in_one_chunk() {
+        let bytes = encode(&[b"alpha", b"", b"gamma"]);
+        let frames = decode_in_chunks(&bytes, bytes.len());
+        assert_eq!(
+            frames,
+            vec![b"alpha".to_vec(), Vec::new(), b"gamma".to_vec()]
+        );
+    }
+
+    #[test]
+    fn one_byte_dribble_reproduces_every_frame() {
+        let bytes = encode(&[b"hello", b"world!", b""]);
+        let frames = decode_in_chunks(&bytes, 1);
+        assert_eq!(
+            frames,
+            vec![b"hello".to_vec(), b"world!".to_vec(), Vec::new()]
+        );
+    }
+
+    #[test]
+    fn every_split_point_of_a_frame_decodes_identically() {
+        let bytes = encode(&[b"the quick brown fox"]);
+        for split in 0..=bytes.len() {
+            let mut d = FrameDecoder::new();
+            let mut out = Vec::new();
+            d.feed(&bytes[..split], &mut out).unwrap();
+            d.feed(&bytes[split..], &mut out).unwrap();
+            assert_eq!(out, vec![b"the quick brown fox".to_vec()], "split {split}");
+            assert!(!d.mid_frame());
+        }
+    }
+
+    #[test]
+    fn mid_frame_tracks_partial_progress() {
+        let bytes = encode(&[b"abcd"]);
+        let mut d = FrameDecoder::new();
+        let mut out = Vec::new();
+        assert!(!d.mid_frame(), "fresh decoder is at a boundary");
+        d.feed(&bytes[..2], &mut out).unwrap(); // half the prefix
+        assert!(d.mid_frame());
+        d.feed(&bytes[2..6], &mut out).unwrap(); // prefix + 2 payload bytes
+        assert!(d.mid_frame());
+        d.feed(&bytes[6..], &mut out).unwrap();
+        assert!(!d.mid_frame());
+        assert_eq!(out, vec![b"abcd".to_vec()]);
+        assert_eq!(d.frames_decoded(), 1);
+    }
+
+    #[test]
+    fn pipelined_frames_split_mid_prefix_of_the_second() {
+        let bytes = encode(&[b"first", b"second"]);
+        // Split inside the second frame's length prefix.
+        let cut = 4 + 5 + 2;
+        let mut d = FrameDecoder::new();
+        let mut out = Vec::new();
+        d.feed(&bytes[..cut], &mut out).unwrap();
+        assert_eq!(out, vec![b"first".to_vec()]);
+        assert!(d.mid_frame());
+        d.feed(&bytes[cut..], &mut out).unwrap();
+        assert_eq!(out, vec![b"first".to_vec(), b"second".to_vec()]);
+    }
+
+    #[test]
+    fn oversized_prefix_poisons_without_buffering() {
+        let mut bytes = ((MAX_FRAME_BYTES + 1) as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"garbage that must not be buffered");
+        let mut d = FrameDecoder::new();
+        let mut out = Vec::new();
+        let err = d.feed(&bytes, &mut out).unwrap_err();
+        assert!(err.0.contains("exceeds protocol maximum"), "{err}");
+        assert!(out.is_empty());
+        assert!(!d.mid_frame());
+        // Poisoned: any further byte is rejected too.
+        assert!(d.feed(b"x", &mut out).is_err());
+    }
+
+    #[test]
+    fn frames_before_an_oversized_one_survive() {
+        let mut bytes = encode(&[b"good"]);
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut d = FrameDecoder::new();
+        let mut out = Vec::new();
+        assert!(d.feed(&bytes, &mut out).is_err());
+        assert_eq!(out, vec![b"good".to_vec()], "prior frame already emitted");
+    }
+
+    #[test]
+    fn max_sized_frame_is_accepted() {
+        // Exactly MAX_FRAME_BYTES is legal (the reject is strictly over).
+        let payload = vec![7u8; MAX_FRAME_BYTES];
+        let mut bytes = (MAX_FRAME_BYTES as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&payload);
+        let mut d = FrameDecoder::new();
+        let mut out = Vec::new();
+        d.feed(&bytes, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), MAX_FRAME_BYTES);
+    }
+
+    #[test]
+    fn seeded_random_chunking_matches_reference() {
+        use qcs_rng::{Rng, SeedableRng};
+        let payloads: Vec<Vec<u8>> = (0..12u8)
+            .map(|i| (0..=i).map(|b| b.wrapping_mul(17)).collect())
+            .collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let bytes = encode(&refs);
+        for seed in 0..20u64 {
+            let mut rng = qcs_rng::Xoshiro256StarStar::seed_from_u64(seed);
+            let mut d = FrameDecoder::new();
+            let mut out = Vec::new();
+            let mut pos = 0;
+            while pos < bytes.len() {
+                let take = rng.gen_range(1..=9usize).min(bytes.len() - pos);
+                d.feed(&bytes[pos..pos + take], &mut out).unwrap();
+                pos += take;
+            }
+            assert_eq!(out, payloads, "seed {seed}");
+        }
+    }
+}

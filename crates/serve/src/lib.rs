@@ -19,8 +19,14 @@
 //! * [`persist`] — the crash-safe on-disk form of the cache: checksummed
 //!   write-ahead log plus atomic snapshot compaction, so a restarted
 //!   daemon (even after `kill -9`) comes back warm and byte-identical.
+//! * [`frame`] — the incremental frame decoder behind the daemon's
+//!   non-blocking read path.
 //! * [`histogram`] — constant-memory latency histograms for `stats`.
-//! * [`server`] — the daemon: accept thread, worker pool, dispatch.
+//! * [`server`] — the daemon: accept thread, event-loop pool (readiness
+//!   multiplexing over `qcs-sys`'s `poll(2)` shim), compute workers.
+//! * [`router`] — the sharding front-end: consistent-hash request
+//!   routing across a fleet of daemon shards, with health checks and
+//!   rerouting around dead shards.
 //!
 //! See DESIGN.md ("Compilation service") for the protocol reference and
 //! the determinism argument, and `tests/e2e.rs` for the headline
@@ -39,13 +45,18 @@
 pub mod cache;
 pub mod catalog;
 pub mod compile;
+mod event;
+pub mod frame;
 pub mod histogram;
 pub mod persist;
 pub mod protocol;
+pub mod router;
 pub mod server;
 
 pub use cache::{CacheStats, ResultCache};
 pub use compile::{job_digest, run_job, CompileOutput, Job};
+pub use frame::{DecodeError, FrameDecoder};
 pub use persist::{PersistStats, Store};
 pub use protocol::{read_frame, write_frame, CompileRequest, Request, Source};
+pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{Server, ServerConfig, ServerHandle, ShutdownStats};

@@ -1,9 +1,9 @@
 //! `qcs-serve` — the compilation daemon binary.
 //!
 //! ```text
-//! qcs-serve [--addr HOST:PORT] [--workers N] [--max-conns N]
-//!           [--cache-mb N] [--frame-deadline-ms N] [--port-file PATH]
-//!           [--persist-dir PATH] [--faults SPEC]
+//! qcs-serve [--addr HOST:PORT] [--workers N] [--event-loops N]
+//!           [--max-conns N] [--cache-mb N] [--frame-deadline-ms N]
+//!           [--port-file PATH] [--persist-dir PATH] [--faults SPEC]
 //! ```
 //!
 //! `--persist-dir` makes the result cache crash-safe: every compiled
@@ -27,9 +27,9 @@ use std::time::Duration;
 use qcs_serve::server::{Server, ServerConfig};
 
 fn usage() -> String {
-    "usage: qcs-serve [--addr HOST:PORT] [--workers N] [--max-conns N] \
-     [--cache-mb N] [--frame-deadline-ms N] [--port-file PATH] \
-     [--persist-dir PATH] [--faults SPEC]"
+    "usage: qcs-serve [--addr HOST:PORT] [--workers N] [--event-loops N] \
+     [--max-conns N] [--cache-mb N] [--frame-deadline-ms N] \
+     [--port-file PATH] [--persist-dir PATH] [--faults SPEC]"
         .to_string()
 }
 
@@ -52,6 +52,12 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<String>, Option<S
                 config.workers = value.parse().map_err(|_| bad("worker count"))?;
                 if config.workers == 0 {
                     return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--event-loops" => {
+                config.event_loops = value.parse().map_err(|_| bad("event-loop count"))?;
+                if config.event_loops == 0 {
+                    return Err("--event-loops must be at least 1".to_string());
                 }
             }
             "--max-conns" => {

@@ -1,0 +1,685 @@
+//! The sharding front-end: consistent-hash request routing across a
+//! fleet of `qcs-serve` daemon shards.
+//!
+//! One compilation cache per daemon stops scaling the moment one host's
+//! worker pool saturates. The router splits the keyspace instead of the
+//! cache: every `compile` / `compile_suite` request is hashed by its
+//! *job identity* (source + device + mapper config — the same fields
+//! that feed the shard's own cache key) and forwarded to the shard that
+//! owns that point on a consistent-hash ring. Identical requests always
+//! land on the same shard, so each shard's LRU cache stays hot for its
+//! slice of the keyspace and the fleet-wide hit rate matches a single
+//! giant cache without any cross-shard coordination.
+//!
+//! **The ring.** Each shard contributes [`RouterConfig::replicas`]
+//! virtual nodes — FNV-1a points on a sorted `u64` circle. A request key
+//! binary-searches to its successor point and walks clockwise; the walk
+//! order enumerates every shard exactly once (first visit wins), so the
+//! first *healthy* shard on the walk is the owner and the rest form the
+//! deterministic fallback order. Virtual nodes keep the load split even
+//! (±a few percent at 64 replicas) and minimize keyspace movement when
+//! a shard dies: only the dead shard's slice reroutes.
+//!
+//! **Failure handling.** Forwarding is retried down the walk order: a
+//! shard that refuses connections or breaks mid-exchange is marked
+//! unhealthy, its pooled connection dropped, and the request replayed to
+//! the next candidate. Replaying is safe because shard requests are
+//! idempotent — compilation is a pure function plus a cache. A
+//! background probe thread pings every shard each
+//! [`RouterConfig::health_interval`] so the ring heals (both directions:
+//! dead shards stop receiving traffic within one interval, revived
+//! shards rejoin). `kill -9` on a shard under load therefore costs zero
+//! accepted requests — `ci_shard_smoke.sh` enforces exactly that.
+//!
+//! **What the router answers itself.** `ping` (liveness), `stats` (its
+//! own counters plus per-shard health — shard cache stats come from the
+//! shards directly), and `shutdown` (stops the router; shards are
+//! independent processes with their own lifecycle).
+
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use qcs_circuit::hash::Fnv64;
+use qcs_json::Json;
+
+use crate::frame::FrameDecoder;
+use crate::protocol::{error_response, read_frame, write_frame, write_json, Request, Source};
+
+/// Tuning knobs for [`Router::start`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Shard daemon addresses (`host:port`), in declaration order. Ring
+    /// positions depend only on the index, so a config listing the same
+    /// shards in the same order always produces the same routing.
+    pub shards: Vec<String>,
+    /// Virtual nodes per shard on the consistent-hash ring.
+    pub replicas: usize,
+    /// How often the health prober pings every shard.
+    pub health_interval: Duration,
+    /// Budget for opening a connection to a shard.
+    pub connect_timeout: Duration,
+    /// Budget for one forwarded request's response (compiles included).
+    pub io_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: Vec::new(),
+            replicas: 64,
+            health_interval: Duration::from_millis(250),
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// How often client-connection reads re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A consistent-hash ring over shard indices.
+///
+/// Pure data: health filtering happens at walk time, so the ring itself
+/// never changes after construction (no rehashing, no locks).
+struct HashRing {
+    /// `(point, shard_idx)` sorted by point.
+    points: Vec<(u64, usize)>,
+    shard_count: usize,
+}
+
+impl HashRing {
+    fn new(shard_count: usize, replicas: usize) -> HashRing {
+        let mut points: Vec<(u64, usize)> = (0..shard_count)
+            .flat_map(|shard| {
+                (0..replicas.max(1)).map(move |replica| {
+                    let mut h = Fnv64::new();
+                    h.write_str("qcs-router-ring")
+                        .write_usize(shard)
+                        .write_usize(replica);
+                    (h.finish(), shard)
+                })
+            })
+            .collect();
+        points.sort_unstable();
+        HashRing {
+            points,
+            shard_count,
+        }
+    }
+
+    /// Shard indices in ring-walk order from `key`'s successor point:
+    /// each shard appears exactly once, the owner first.
+    fn walk(&self, key: u64) -> Vec<usize> {
+        let start = self
+            .points
+            .partition_point(|&(point, _)| point < key)
+            .checked_rem(self.points.len())
+            .unwrap_or(0);
+        let mut seen = vec![false; self.shard_count];
+        let mut order = Vec::with_capacity(self.shard_count);
+        for offset in 0..self.points.len() {
+            let (_, shard) = self.points[(start + offset) % self.points.len()];
+            if !seen[shard] {
+                seen[shard] = true;
+                order.push(shard);
+                if order.len() == self.shard_count {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+/// The routing key: a stable hash of the fields that determine which
+/// shard's cache a request belongs to. Mirrors the shard-side cache key
+/// inputs (source, device, mapper config) without resolving the circuit,
+/// so the router never parses QASM or generates workloads.
+fn route_key(request: &Request) -> u64 {
+    let mut h = Fnv64::new();
+    match request {
+        Request::Compile(c) => {
+            h.write_str("compile");
+            match &c.source {
+                Source::Qasm(text) => h.write_str("qasm").write_str(text),
+                Source::Workload(spec) => h.write_str("workload").write_str(spec),
+            };
+            h.write_str(&c.device)
+                .write_str(&c.config.placer)
+                .write_str(&c.config.router);
+        }
+        Request::CompileSuite(s) => {
+            h.write_str("suite")
+                .write_usize(s.count)
+                .write_usize(s.max_qubits)
+                .write_usize(s.max_gates)
+                .write_u64(s.seed)
+                .write_str(&s.device)
+                .write_str(&s.config.placer)
+                .write_str(&s.config.router);
+        }
+        Request::Stats | Request::Ping | Request::Shutdown => {}
+    }
+    h.finish()
+}
+
+struct ShardState {
+    addr: String,
+    resolved: Mutex<Option<SocketAddr>>,
+    healthy: AtomicBool,
+    forwarded: AtomicU64,
+}
+
+struct RouterShared {
+    config: RouterConfig,
+    local_addr: SocketAddr,
+    shutdown: AtomicBool,
+    ring: HashRing,
+    shards: Vec<ShardState>,
+    requests: AtomicU64,
+    reroutes: AtomicU64,
+    forward_errors: AtomicU64,
+}
+
+impl RouterShared {
+    fn initiate_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept thread may be parked in accept(): poke it awake.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Resolves (and caches) a shard's socket address.
+    fn shard_addr(&self, idx: usize) -> io::Result<SocketAddr> {
+        let shard = &self.shards[idx];
+        let mut cached = shard
+            .resolved
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(addr) = *cached {
+            return Ok(addr);
+        }
+        let addr = shard.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "shard address resolved to nothing")
+        })?;
+        *cached = Some(addr);
+        Ok(addr)
+    }
+}
+
+/// The running router: address + thread handles.
+pub struct RouterHandle {
+    shared: Arc<RouterShared>,
+    accept_thread: Option<JoinHandle<()>>,
+    health_thread: Option<JoinHandle<()>>,
+    client_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl RouterHandle {
+    /// The router's bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Requests shutdown and joins every router thread.
+    pub fn shutdown(mut self) -> usize {
+        self.shared.initiate_shutdown();
+        self.join_all()
+    }
+
+    /// Blocks until the router shuts down (via a protocol `shutdown`
+    /// request) and joins every router thread.
+    pub fn wait(mut self) -> usize {
+        self.join_all()
+    }
+
+    fn join_all(&mut self) -> usize {
+        let mut joined = 0;
+        let threads = self
+            .accept_thread
+            .take()
+            .into_iter()
+            .chain(self.health_thread.take());
+        for t in threads {
+            if t.join().is_ok() {
+                joined += 1;
+            }
+        }
+        // Client threads observe the flag within one poll interval of
+        // finishing their in-flight request.
+        let clients = std::mem::take(
+            &mut *self
+                .client_threads
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        );
+        for t in clients {
+            if t.join().is_ok() {
+                joined += 1;
+            }
+        }
+        joined
+    }
+}
+
+/// Namespace for [`Router::start`].
+pub struct Router;
+
+impl Router {
+    /// Binds the listener, probes the shards once (so the ring starts
+    /// with real health), and spawns the accept + health threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; rejects an empty shard list.
+    pub fn start(config: RouterConfig) -> io::Result<RouterHandle> {
+        if config.shards.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one --shard",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let ring = HashRing::new(config.shards.len(), config.replicas);
+        let shards = config
+            .shards
+            .iter()
+            .map(|addr| ShardState {
+                addr: addr.clone(),
+                resolved: Mutex::new(None),
+                // Optimistic until the first probe: a booting fleet
+                // should route, not reject.
+                healthy: AtomicBool::new(true),
+                forwarded: AtomicU64::new(0),
+            })
+            .collect();
+        let shared = Arc::new(RouterShared {
+            config,
+            local_addr,
+            shutdown: AtomicBool::new(false),
+            ring,
+            shards,
+            requests: AtomicU64::new(0),
+            reroutes: AtomicU64::new(0),
+            forward_errors: AtomicU64::new(0),
+        });
+
+        probe_all(&shared);
+
+        let health_shared = Arc::clone(&shared);
+        let health_thread = std::thread::Builder::new()
+            .name("qcs-router-health".to_string())
+            .spawn(move || health_loop(&health_shared))
+            .expect("spawning the health thread");
+
+        let client_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_clients = Arc::clone(&client_threads);
+        let accept_thread = std::thread::Builder::new()
+            .name("qcs-router-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared, &accept_clients))
+            .expect("spawning the accept thread");
+
+        Ok(RouterHandle {
+            shared,
+            accept_thread: Some(accept_thread),
+            health_thread: Some(health_thread),
+            client_threads,
+        })
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<RouterShared>,
+    client_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("qcs-router-client".to_string())
+            .spawn(move || client_loop(stream, &shared))
+            .expect("spawning a client thread");
+        client_threads
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(handle);
+    }
+}
+
+fn health_loop(shared: &RouterShared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        probe_all(shared);
+        // Sleep in poll-sized slices so shutdown stays responsive.
+        let mut remaining = shared.config.health_interval;
+        while !remaining.is_zero() && !shared.shutdown.load(Ordering::SeqCst) {
+            let slice = remaining.min(POLL_INTERVAL);
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+}
+
+/// Pings every shard once, updating health flags in both directions.
+fn probe_all(shared: &RouterShared) {
+    for idx in 0..shared.shards.len() {
+        let healthy = probe_shard(shared, idx);
+        shared.shards[idx].healthy.store(healthy, Ordering::SeqCst);
+    }
+}
+
+fn probe_shard(shared: &RouterShared, idx: usize) -> bool {
+    let Ok(addr) = shared.shard_addr(idx) else {
+        return false;
+    };
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, shared.config.connect_timeout) else {
+        return false;
+    };
+    if stream
+        .set_read_timeout(Some(shared.config.connect_timeout))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(shared.config.connect_timeout))
+            .is_err()
+    {
+        return false;
+    }
+    if write_json(&mut stream, &Json::object([("type", "ping")])).is_err() {
+        return false;
+    }
+    match read_frame(&mut stream) {
+        Ok(Some(payload)) => {
+            std::str::from_utf8(&payload)
+                .ok()
+                .and_then(|text| qcs_json::parse(text).ok())
+                .and_then(|v| v.get("type").and_then(Json::as_str).map(str::to_string))
+                .as_deref()
+                == Some("pong")
+        }
+        _ => false,
+    }
+}
+
+/// Reads one complete frame from a client, polling so shutdown stays
+/// observable. Frames already decoded from earlier reads drain first.
+/// `None` closes the connection (EOF, shutdown, I/O error, or a framing
+/// error — after queueing an error response for the latter).
+fn next_client_frame(
+    stream: &mut TcpStream,
+    decoder: &mut FrameDecoder,
+    ready: &mut VecDeque<Vec<u8>>,
+    shared: &RouterShared,
+) -> Option<Vec<u8>> {
+    loop {
+        if let Some(frame) = ready.pop_front() {
+            return Some(frame);
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        let mut buf = [0u8; 16 * 1024];
+        match stream.read(&mut buf) {
+            Ok(0) => return None,
+            Ok(n) => {
+                let mut frames = Vec::new();
+                if let Err(e) = decoder.feed(&buf[..n], &mut frames) {
+                    let _ = write_json(stream, &error_response(e.0));
+                    return None;
+                }
+                ready.extend(frames);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+fn client_loop(mut stream: TcpStream, shared: &RouterShared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+
+    let mut decoder = FrameDecoder::new();
+    let mut ready = VecDeque::new();
+    // One pooled connection per shard, owned by this client thread:
+    // pipelined requests from one client reuse warm shard connections
+    // without any cross-thread locking.
+    let mut pool: Vec<Option<TcpStream>> = (0..shared.shards.len()).map(|_| None).collect();
+
+    while let Some(payload) = next_client_frame(&mut stream, &mut decoder, &mut ready, shared) {
+        shared.requests.fetch_add(1, Ordering::SeqCst);
+        let keep_going = match Request::parse(&payload) {
+            Err(e) => write_json(&mut stream, &error_response(e.to_string())).is_ok(),
+            Ok(Request::Ping) => write_json(&mut stream, &Json::object([("type", "pong")])).is_ok(),
+            Ok(Request::Stats) => write_json(&mut stream, &router_stats_json(shared)).is_ok(),
+            Ok(Request::Shutdown) => {
+                let _ = write_json(&mut stream, &Json::object([("type", "ok")]));
+                shared.initiate_shutdown();
+                false
+            }
+            Ok(request @ (Request::Compile(_) | Request::CompileSuite(_))) => {
+                let response = forward(shared, &payload, route_key(&request), &mut pool);
+                write_frame(&mut stream, &response).is_ok()
+            }
+        };
+        if !keep_going || shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Forwards a request payload to the shard owning `key`, replaying down
+/// the ring-walk order on failure. Returns the shard's response payload,
+/// or an `error` response when every shard failed.
+fn forward(
+    shared: &RouterShared,
+    payload: &[u8],
+    key: u64,
+    pool: &mut [Option<TcpStream>],
+) -> Vec<u8> {
+    let walk = shared.ring.walk(key);
+    // Healthy shards first (in ring order), then the rest: when the
+    // prober has everything marked down (a fleet-wide blip, or probes
+    // racing a restart) the router still tries rather than failing fast.
+    let attempts: Vec<usize> = walk
+        .iter()
+        .copied()
+        .filter(|&i| shared.shards[i].healthy.load(Ordering::SeqCst))
+        .chain(
+            walk.iter()
+                .copied()
+                .filter(|&i| !shared.shards[i].healthy.load(Ordering::SeqCst)),
+        )
+        .collect();
+    for (attempt, &idx) in attempts.iter().enumerate() {
+        // Two tries per shard: a pooled connection can be stale (the
+        // shard restarted since the last request) without the shard
+        // being down — reconnect once before writing the shard off.
+        for _ in 0..2 {
+            match forward_once(shared, idx, payload, &mut pool[idx]) {
+                Ok(response) => {
+                    shared.shards[idx].forwarded.fetch_add(1, Ordering::SeqCst);
+                    if attempt > 0 {
+                        shared.reroutes.fetch_add(1, Ordering::SeqCst);
+                    }
+                    return response;
+                }
+                Err(_) => {
+                    pool[idx] = None;
+                }
+            }
+        }
+        shared.shards[idx].healthy.store(false, Ordering::SeqCst);
+    }
+    shared.forward_errors.fetch_add(1, Ordering::SeqCst);
+    error_response("no shard available for request")
+        .to_compact_string()
+        .into_bytes()
+}
+
+/// One forwarding attempt over this client's pooled connection to shard
+/// `idx`, opening it if needed.
+fn forward_once(
+    shared: &RouterShared,
+    idx: usize,
+    payload: &[u8],
+    slot: &mut Option<TcpStream>,
+) -> io::Result<Vec<u8>> {
+    if slot.is_none() {
+        let addr = shared.shard_addr(idx)?;
+        let stream = TcpStream::connect_timeout(&addr, shared.config.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(shared.config.io_timeout))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        *slot = Some(stream);
+    }
+    let stream = slot.as_mut().expect("just filled");
+    write_frame(stream, payload)?;
+    match read_frame(stream)? {
+        Some(response) => Ok(response),
+        None => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "shard closed before responding",
+        )),
+    }
+}
+
+fn router_stats_json(shared: &RouterShared) -> Json {
+    Json::object([
+        ("type", Json::from("stats")),
+        ("role", Json::from("router")),
+        (
+            "requests",
+            Json::from(shared.requests.load(Ordering::SeqCst)),
+        ),
+        (
+            "reroutes",
+            Json::from(shared.reroutes.load(Ordering::SeqCst)),
+        ),
+        (
+            "forward_errors",
+            Json::from(shared.forward_errors.load(Ordering::SeqCst)),
+        ),
+        (
+            "shards",
+            Json::Array(
+                shared
+                    .shards
+                    .iter()
+                    .map(|s| {
+                        Json::object([
+                            ("addr", Json::from(s.addr.clone())),
+                            ("healthy", Json::from(s.healthy.load(Ordering::SeqCst))),
+                            ("forwarded", Json::from(s.forwarded.load(Ordering::SeqCst))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::CompileRequest;
+    use qcs_core::config::MapperConfig;
+
+    #[test]
+    fn ring_walk_visits_every_shard_once_owner_first() {
+        let ring = HashRing::new(5, 64);
+        for key in [0u64, 1, u64::MAX, 0xdead_beef, 42] {
+            let walk = ring.walk(key);
+            assert_eq!(walk.len(), 5);
+            let mut sorted = walk.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn ring_is_deterministic_across_constructions() {
+        let a = HashRing::new(3, 64);
+        let b = HashRing::new(3, 64);
+        for key in 0..200u64 {
+            assert_eq!(
+                a.walk(key.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                b.walk(key.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            );
+        }
+    }
+
+    #[test]
+    fn ring_spreads_keys_reasonably_evenly() {
+        let ring = HashRing::new(4, 64);
+        let mut counts = [0usize; 4];
+        for key in 0..4000u64 {
+            let mut h = Fnv64::new();
+            h.write_u64(key);
+            counts[ring.walk(h.finish())[0]] += 1;
+        }
+        for &c in &counts {
+            // Perfectly even would be 1000; virtual nodes keep every
+            // shard within a loose factor of that.
+            assert!(c > 400 && c < 1800, "skewed split: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_moves_its_own_keys() {
+        // Consistent hashing's defining property: keys whose owner
+        // survives keep their owner when another shard dies (the walk
+        // just skips the dead one).
+        let ring = HashRing::new(4, 64);
+        for key in 0..500u64 {
+            let mut h = Fnv64::new();
+            h.write_u64(key);
+            let walk = ring.walk(h.finish());
+            let dead = 2usize;
+            let rerouted_owner = walk.iter().copied().find(|&s| s != dead).unwrap();
+            if walk[0] != dead {
+                assert_eq!(walk[0], rerouted_owner, "surviving owner must not move");
+            }
+        }
+    }
+
+    #[test]
+    fn route_key_depends_on_job_identity_only() {
+        let base = CompileRequest {
+            source: Source::Workload("ghz:8".to_string()),
+            device: "surface17".to_string(),
+            config: MapperConfig::default(),
+            deadline_ms: None,
+            request_id: None,
+        };
+        let k1 = route_key(&Request::Compile(base.clone()));
+        // Request id and deadline are delivery metadata, not identity:
+        // a retry with a fresh deadline must land on the same shard.
+        let mut retry = base.clone();
+        retry.request_id = Some("retry-1".to_string());
+        retry.deadline_ms = Some(5000);
+        assert_eq!(k1, route_key(&Request::Compile(retry)));
+        let mut other = base;
+        other.device = "line:5".to_string();
+        assert_ne!(k1, route_key(&Request::Compile(other)));
+    }
+}

@@ -1,18 +1,28 @@
-//! The daemon: TCP listener, connection worker pool, dispatch, stats.
+//! The daemon: TCP listener, event-loop pool, compute workers, stats.
 //!
-//! Architecture (one paragraph): an *accept thread* owns the listener
-//! and pushes accepted sockets into a bounded queue; a fixed pool of
-//! *connection workers* claims sockets from that queue and serves each
-//! connection's frames until the peer closes, a deadline fires, or
-//! shutdown is requested. Batch (`compile_suite`) jobs fan out across
-//! `qcs_bench::parallel::run_claimed`, the same claim-by-atomic engine
-//! the offline suite harness uses, so one heavy request still exploits
-//! every core while results stay in deterministic input order.
+//! Architecture (one paragraph): an *accept thread* owns the listener,
+//! applies the connection limit, and hands admitted sockets round-robin
+//! to a small fixed pool of *event-loop threads* (see [`crate::event`]).
+//! Each loop multiplexes its connections through `poll(2)` with
+//! non-blocking I/O: per-connection [`crate::frame::FrameDecoder`] state
+//! machines accumulate partial frames across wakeups, cheap control
+//! requests (`ping`, `stats`, `shutdown`) are answered inline, and
+//! compute requests (`compile`, `compile_suite`) are queued to a pool of
+//! *compute workers* whose responses flow back to the owning loop for
+//! buffered, backpressured writes. Batch (`compile_suite`) jobs still
+//! fan out across `qcs_bench::parallel::run_claimed`, the same
+//! claim-by-atomic engine the offline suite harness uses.
+//!
+//! The payoff over the previous thread-per-connection design: a worker
+//! is occupied only while *computing*, never while a connection sits
+//! idle or dribbles bytes — so slow peers cost a few hundred bytes of
+//! buffer instead of a captive thread, and the daemon sustains hundreds
+//! of concurrent connections with a handful of threads.
 //!
 //! Robustness properties, each covered by a test:
 //!
 //! * **Read deadline** — a frame that stalls mid-transfer earns an
-//!   `error` response and a closed connection rather than a stuck worker.
+//!   `error` response and a closed connection rather than a stuck loop.
 //! * **Request deadline** — `deadline_ms` turns an over-budget job into
 //!   an `error` response (the compile result, if any, is still cached).
 //! * **Connection limit** — sockets beyond `max_connections` receive an
@@ -24,17 +34,17 @@
 //!   survive, and the panic is counted in `stats`.
 //! * **Clean shutdown** — a `shutdown` request (or
 //!   [`ServerHandle::shutdown`]) stops the accept loop, drains workers
-//!   and joins every thread; no thread outlives the handle. Threads that
-//!   died panicking are recorded in [`ShutdownStats`] rather than
-//!   re-panicking the caller.
+//!   and event loops, and joins every thread; no thread outlives the
+//!   handle. Threads that died panicking are recorded in
+//!   [`ShutdownStats`] rather than re-panicking the caller.
 
 use std::collections::{HashSet, VecDeque};
-use std::io::{self, Read};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -45,11 +55,11 @@ use qcs_faults::Hit;
 
 use crate::cache::ResultCache;
 use crate::compile::{run_job, Job};
+use crate::event::{spawn_loops, LoopShared};
 use crate::histogram::LatencyHistogram;
 use crate::persist::Store;
 use crate::protocol::{
-    error_response, shed_response, write_frame, write_json, CompileRequest, Request, SuiteRequest,
-    MAX_FRAME_BYTES,
+    error_response, shed_response, write_json, CompileRequest, Request, SuiteRequest,
 };
 
 /// Tuning knobs for [`Server::start`].
@@ -57,9 +67,14 @@ use crate::protocol::{
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Connection worker count.
+    /// Compute worker count (threads that run compilations).
     pub workers: usize,
-    /// Maximum simultaneously admitted connections (queued + active).
+    /// Event-loop thread count (threads that own connections and their
+    /// non-blocking I/O). Two loops are plenty up to thousands of mostly
+    /// idle connections; raise it only when frame decoding itself is the
+    /// bottleneck.
+    pub event_loops: usize,
+    /// Maximum simultaneously admitted connections.
     pub max_connections: usize,
     /// Result-cache byte budget.
     pub cache_bytes: usize,
@@ -78,6 +93,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: qcs_bench::default_workers().clamp(2, 16),
+            event_loops: 2,
             max_connections: 64,
             cache_bytes: 64 << 20,
             frame_deadline: Duration::from_secs(5),
@@ -86,17 +102,18 @@ impl Default for ServerConfig {
     }
 }
 
-/// How often blocked reads and idle workers re-check the shutdown flag.
+/// How often idle workers re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Back-off hint handed to load-shed clients.
 const SHED_RETRY_MS: u64 = 100;
 
 /// Locks a mutex, recovering from poisoning. Every shared structure here
-/// (queue, cache, stats) maintains its invariants between operations, so
-/// a panic that unwound through a guard — e.g. an injected failpoint —
-/// leaves consistent data behind and serving can continue.
-fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+/// (job queue, cache, stats) maintains its invariants between
+/// operations, so a panic that unwound through a guard — e.g. an
+/// injected failpoint — leaves consistent data behind and serving can
+/// continue.
+pub(crate) fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -168,19 +185,40 @@ impl SeenIds {
     }
 }
 
-struct Shared {
-    config: ServerConfig,
+/// One compute job queued from an event loop to the worker pool. The
+/// `(loop_idx, token)` pair routes the finished response back to the
+/// connection that asked.
+pub(crate) struct WorkItem {
+    pub(crate) loop_idx: usize,
+    pub(crate) token: u64,
+    pub(crate) request: Request,
+}
+
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
     local_addr: SocketAddr,
-    shutdown: AtomicBool,
-    queue: Mutex<Vec<TcpStream>>,
-    queue_signal: Condvar,
-    active: AtomicUsize,
+    pub(crate) shutdown: AtomicBool,
+    jobs: Mutex<VecDeque<WorkItem>>,
+    job_signal: Condvar,
+    /// Admitted (not yet reaped) connections, across all event loops.
+    pub(crate) active: AtomicUsize,
+    loops: OnceLock<Vec<Arc<LoopShared>>>,
     jobs_served: AtomicU64,
     jobs_panicked: AtomicU64,
-    connections_panicked: AtomicU64,
+    pub(crate) connections_panicked: AtomicU64,
     connections_shed: AtomicU64,
+    connections_admitted: AtomicU64,
     requests_retried: AtomicU64,
     persist_errors: AtomicU64,
+    /// Complete request frames decoded off sockets.
+    pub(crate) frames_in: AtomicU64,
+    /// Response frames queued to write buffers.
+    pub(crate) frames_out: AtomicU64,
+    /// Times a read batch ended with a frame still incomplete (the
+    /// partial-frame accumulation path).
+    pub(crate) partial_reads: AtomicU64,
+    /// Times an event loop was woken through its loopback waker.
+    pub(crate) wakeups: AtomicU64,
     seen_ids: Mutex<SeenIds>,
     cache: Mutex<ResultCache>,
     persist: Option<Mutex<Store>>,
@@ -188,11 +226,25 @@ struct Shared {
 }
 
 impl Shared {
-    fn initiate_shutdown(&self) {
+    fn event_loops(&self) -> &[Arc<LoopShared>] {
+        self.loops.get().map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Queues a compute job for the worker pool (called from event
+    /// loops).
+    pub(crate) fn enqueue_job(&self, item: WorkItem) {
+        lock_recovering(&self.jobs).push_back(item);
+        self.job_signal.notify_one();
+    }
+
+    pub(crate) fn initiate_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return; // already shutting down
         }
-        self.queue_signal.notify_all();
+        self.job_signal.notify_all();
+        for event_loop in self.event_loops() {
+            event_loop.wake();
+        }
         // The accept thread may be parked in accept(): poke it awake.
         let _ = TcpStream::connect(self.local_addr);
     }
@@ -221,6 +273,7 @@ pub struct ShutdownStats {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
+    loop_threads: Vec<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
 }
 
@@ -248,6 +301,7 @@ impl ServerHandle {
             .accept_thread
             .take()
             .into_iter()
+            .chain(self.loop_threads.drain(..))
             .chain(self.worker_threads.drain(..));
         for t in threads {
             match t.join() {
@@ -263,14 +317,18 @@ impl ServerHandle {
 pub struct Server;
 
 impl Server {
-    /// Binds the listener, spawns the accept thread and worker pool, and
-    /// returns a handle.
+    /// Binds the listener, spawns the event-loop pool, the compute
+    /// worker pool and the accept thread, and returns a handle.
     ///
     /// # Errors
     ///
     /// Propagates socket errors (bind failure, unparsable address).
     pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         assert!(config.workers > 0, "worker count must be at least 1");
+        assert!(
+            config.event_loops > 0,
+            "event-loop count must be at least 1"
+        );
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
 
@@ -294,20 +352,32 @@ impl Server {
             config,
             local_addr,
             shutdown: AtomicBool::new(false),
-            queue: Mutex::new(Vec::new()),
-            queue_signal: Condvar::new(),
+            jobs: Mutex::new(VecDeque::new()),
+            job_signal: Condvar::new(),
             active: AtomicUsize::new(0),
+            loops: OnceLock::new(),
             jobs_served: AtomicU64::new(0),
             jobs_panicked: AtomicU64::new(0),
             connections_panicked: AtomicU64::new(0),
             connections_shed: AtomicU64::new(0),
+            connections_admitted: AtomicU64::new(0),
             requests_retried: AtomicU64::new(0),
             persist_errors: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            partial_reads: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
             seen_ids: Mutex::new(SeenIds::new()),
             cache: Mutex::new(cache),
             persist,
             stats: Mutex::new(ServeStats::new()),
         });
+
+        let (loop_shared, loop_threads) = spawn_loops(&shared, shared.config.event_loops)?;
+        shared
+            .loops
+            .set(loop_shared)
+            .unwrap_or_else(|_| unreachable!("loops are set exactly once, here"));
 
         let worker_threads = (0..shared.config.workers)
             .map(|i| {
@@ -328,32 +398,32 @@ impl Server {
         Ok(ServerHandle {
             shared,
             accept_thread: Some(accept_thread),
+            loop_threads,
             worker_threads,
         })
     }
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    let loops = shared.event_loops();
+    let mut next_loop = 0usize;
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break; // the stream (often the shutdown self-poke) is dropped
         }
         let Ok(stream) = stream else { continue };
-        let mut queue = lock_recovering(&shared.queue);
-        let admitted = queue.len() + shared.active.load(Ordering::SeqCst);
-        if admitted >= shared.config.max_connections {
-            drop(queue);
+        if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
             shared.connections_shed.fetch_add(1, Ordering::SeqCst);
             reject_connection(stream);
             continue;
         }
-        queue.push(stream);
-        drop(queue);
-        shared.queue_signal.notify_one();
+        // Admit: the counter covers the connection until its owning loop
+        // reaps it (including registration-failpoint deaths).
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.connections_admitted.fetch_add(1, Ordering::SeqCst);
+        loops[next_loop].inject(stream);
+        next_loop = (next_loop + 1) % loops.len();
     }
-    // Accept loop is done: wake every worker so they can observe the
-    // flag and drain.
-    shared.queue_signal.notify_all();
 }
 
 /// Tells an over-limit client why it is being turned away and when to
@@ -368,174 +438,48 @@ fn reject_connection(mut stream: TcpStream) {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let stream = {
-            let mut queue = lock_recovering(&shared.queue);
+        let item = {
+            let mut jobs = lock_recovering(&shared.jobs);
             loop {
-                if let Some(stream) = queue.pop() {
-                    break Some(stream);
+                if let Some(item) = jobs.pop_front() {
+                    break Some(item);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
                 let (q, _) = shared
-                    .queue_signal
-                    .wait_timeout(queue, POLL_INTERVAL)
+                    .job_signal
+                    .wait_timeout(jobs, POLL_INTERVAL)
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
-                queue = q;
+                jobs = q;
             }
         };
-        let Some(stream) = stream else { return };
-        shared.active.fetch_add(1, Ordering::SeqCst);
-        // A panic that escapes the per-job isolation in `serve_compile`
-        // (connection bookkeeping, an injected `serve.connection` fault)
-        // costs that one connection, never the worker: catch it, count
-        // it, keep claiming sockets.
-        let caught =
-            std::panic::catch_unwind(AssertUnwindSafe(|| handle_connection(stream, shared)));
-        if caught.is_err() {
-            shared.connections_panicked.fetch_add(1, Ordering::SeqCst);
-        }
-        shared.active.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-/// Outcome of one cancellable frame read.
-enum FrameRead {
-    Frame(Vec<u8>),
-    /// Peer closed between frames.
-    Closed,
-    /// Shutdown was requested while waiting.
-    Shutdown,
-    /// The frame stalled past the deadline or the stream broke; the
-    /// contained message (if any) should be sent before closing.
-    Abort(Option<String>),
-}
-
-/// Reads exactly `buf.len()` bytes, polling so shutdown stays
-/// observable. `started_at` is the moment the current frame's first byte
-/// arrived (None while idle: idle connections wait indefinitely).
-fn read_full(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    started_at: &mut Option<Instant>,
-    deadline: Duration,
-    shutdown: &AtomicBool,
-) -> Result<usize, FrameRead> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => return Ok(filled),
-            Ok(n) => {
-                filled += n;
-                started_at.get_or_insert_with(Instant::now);
+        let Some(item) = item else { return };
+        // Belt and braces: the per-job catch in `respond_compile` should
+        // make this outer catch unreachable, but a worker must never die
+        // — it would strand every connection whose jobs it was serving.
+        let response = std::panic::catch_unwind(AssertUnwindSafe(|| match &item.request {
+            Request::Compile(request) => respond_compile(shared, request),
+            Request::CompileSuite(request) => respond_suite(shared, request),
+            // Control requests are answered inline by the event loops
+            // and never reach the job queue.
+            Request::Stats | Request::Ping | Request::Shutdown => {
+                error_response("internal error: control request routed to a compute worker")
+                    .to_compact_string()
+                    .into_bytes()
             }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Err(FrameRead::Shutdown);
-                }
-                if let Some(start) = *started_at {
-                    if start.elapsed() > deadline {
-                        return Err(FrameRead::Abort(Some(format!(
-                            "read deadline exceeded: frame incomplete after {} ms",
-                            deadline.as_millis()
-                        ))));
-                    }
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return Err(FrameRead::Abort(None)),
-        }
-    }
-    Ok(filled)
-}
-
-fn read_request_frame(stream: &mut TcpStream, shared: &Shared) -> FrameRead {
-    let deadline = shared.config.frame_deadline;
-    let mut started_at: Option<Instant> = None;
-
-    let mut len_buf = [0u8; 4];
-    match read_full(
-        stream,
-        &mut len_buf,
-        &mut started_at,
-        deadline,
-        &shared.shutdown,
-    ) {
-        Ok(4) => {}
-        Ok(0) => return FrameRead::Closed,
-        Ok(_) => return FrameRead::Abort(None), // truncated mid-prefix
-        Err(outcome) => return outcome,
-    }
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > MAX_FRAME_BYTES {
-        return FrameRead::Abort(Some(format!(
-            "frame length {len} exceeds protocol maximum of {MAX_FRAME_BYTES} bytes"
-        )));
-    }
-    let mut payload = vec![0u8; len];
-    match read_full(
-        stream,
-        &mut payload,
-        &mut started_at,
-        deadline,
-        &shared.shutdown,
-    ) {
-        Ok(n) if n == len => FrameRead::Frame(payload),
-        Ok(_) => FrameRead::Abort(None),
-        Err(outcome) => outcome,
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    // Chaos-test failpoint: lets the harness kill or stall a connection
-    // wholesale to prove the worker pool survives.
-    let _ = qcs_faults::hit("serve.connection");
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-
-    loop {
-        let payload = match read_request_frame(&mut stream, shared) {
-            FrameRead::Frame(payload) => payload,
-            FrameRead::Closed | FrameRead::Shutdown => return,
-            FrameRead::Abort(message) => {
-                if let Some(message) = message {
-                    let _ = write_json(&mut stream, &error_response(message));
-                }
-                return;
-            }
-        };
-
-        let request = match Request::parse(&payload) {
-            Ok(request) => request,
-            Err(e) => {
-                // Malformed request: answer and keep the connection — the
-                // framing is intact, so the stream is still in sync.
-                if write_json(&mut stream, &error_response(e.to_string())).is_err() {
-                    return;
-                }
-                continue;
-            }
-        };
-
-        let keep_going = match request {
-            Request::Ping => write_json(&mut stream, &Json::object([("type", "pong")])).is_ok(),
-            Request::Stats => write_json(&mut stream, &stats_json(shared)).is_ok(),
-            Request::Shutdown => {
-                let _ = write_json(&mut stream, &Json::object([("type", "ok")]));
-                shared.initiate_shutdown();
-                false
-            }
-            Request::Compile(request) => serve_compile(&mut stream, shared, &request),
-            Request::CompileSuite(request) => serve_suite(&mut stream, shared, &request),
-        };
-        if !keep_going || shared.shutdown.load(Ordering::SeqCst) {
-            return;
+        }))
+        .unwrap_or_else(|panic| {
+            shared.jobs_panicked.fetch_add(1, Ordering::SeqCst);
+            error_response(format!(
+                "request handler panicked: {}",
+                panic_message(panic.as_ref())
+            ))
+            .to_compact_string()
+            .into_bytes()
+        });
+        if let Some(event_loop) = shared.event_loops().get(item.loop_idx) {
+            event_loop.complete(item.token, response);
         }
     }
 }
@@ -554,7 +498,7 @@ fn compile_via_cache(shared: &Shared, request: &CompileRequest) -> Result<Arc<Ve
     let mut job = Job::resolve(request).map_err(|e| e.to_string())?;
     // Chaos-test failpoint, deliberately *before* the cache lookup so
     // every request — cache hit or miss — can be made to fail. Panics
-    // unwind into `serve_compile`'s isolation; triggers mutate the job
+    // unwind into `respond_compile`'s isolation; triggers mutate the job
     // (e.g. a `degrade:...` calibration outage).
     match qcs_faults::hit("serve.worker.job") {
         Hit::Pass => {}
@@ -645,7 +589,9 @@ fn tag_request_id(value: Json, id: &Option<String>) -> Json {
     }
 }
 
-fn serve_compile(stream: &mut TcpStream, shared: &Shared, request: &CompileRequest) -> bool {
+/// Serves one `compile` request, returning the response payload bytes
+/// (unframed — the owning event loop adds the length prefix).
+fn respond_compile(shared: &Shared, request: &CompileRequest) -> Vec<u8> {
     // A request id seen before marks a client retry — worth counting
     // separately from organic traffic when reading stats after an
     // incident.
@@ -656,38 +602,42 @@ fn serve_compile(stream: &mut TcpStream, shared: &Shared, request: &CompileReque
     }
     // Panic isolation: a compile that panics — a pipeline bug or an
     // injected failpoint — becomes a structured error frame on this one
-    // connection. The worker, the queue and the cache all survive, and
-    // the shared locks recover from any poisoning the unwind caused.
+    // connection. The worker, the job queue and the cache all survive,
+    // and the shared locks recover from any poisoning the unwind caused.
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| compile_via_cache(shared, request)));
     match outcome {
         Ok(Ok(payload)) => match &request.request_id {
-            Some(id) => write_frame(stream, &payload_with_request_id(&payload, id)).is_ok(),
-            None => write_frame(stream, &payload).is_ok(),
+            Some(id) => payload_with_request_id(&payload, id),
+            None => payload.as_ref().clone(),
         },
-        Ok(Err(message)) => write_json(
-            stream,
-            &tag_request_id(error_response(message), &request.request_id),
-        )
-        .is_ok(),
+        Ok(Err(message)) => tag_request_id(error_response(message), &request.request_id)
+            .to_compact_string()
+            .into_bytes(),
         Err(panic) => {
             shared.jobs_panicked.fetch_add(1, Ordering::SeqCst);
             let message = format!("compilation panicked: {}", panic_message(panic.as_ref()));
-            write_json(
-                stream,
-                &tag_request_id(error_response(message), &request.request_id),
-            )
-            .is_ok()
+            tag_request_id(error_response(message), &request.request_id)
+                .to_compact_string()
+                .into_bytes()
         }
     }
 }
 
-fn serve_suite(stream: &mut TcpStream, shared: &Shared, request: &SuiteRequest) -> bool {
+/// Serves one `compile_suite` request, returning the response payload
+/// bytes (unframed).
+fn respond_suite(shared: &Shared, request: &SuiteRequest) -> Vec<u8> {
     if request.count == 0 || request.count > 10_000 {
-        return write_json(stream, &error_response("suite count must be in 1..=10000")).is_ok();
+        return error_response("suite count must be in 1..=10000")
+            .to_compact_string()
+            .into_bytes();
     }
     let device = match crate::catalog::resolve_device(&request.device) {
         Ok(device) => device,
-        Err(e) => return write_json(stream, &error_response(e.to_string())).is_ok(),
+        Err(e) => {
+            return error_response(e.to_string())
+                .to_compact_string()
+                .into_bytes()
+        }
     };
     let benchmarks = generate_suite(&SuiteConfig {
         count: request.count,
@@ -757,10 +707,10 @@ fn serve_suite(stream: &mut TcpStream, shared: &Shared, request: &SuiteRequest) 
         ("type", Json::from("suite_result")),
         ("results", Json::Array(results)),
     ]);
-    write_json(stream, &response).is_ok()
+    response.to_compact_string().into_bytes()
 }
 
-fn stats_json(shared: &Shared) -> Json {
+pub(crate) fn stats_json(shared: &Shared) -> Json {
     let cache = lock_recovering(&shared.cache).stats();
     let stats = lock_recovering(&shared.stats);
     let mut value = Json::object([
@@ -776,6 +726,29 @@ fn stats_json(shared: &Shared) -> Json {
         (
             "requests_retried",
             Json::from(shared.requests_retried.load(Ordering::SeqCst)),
+        ),
+        (
+            "transport",
+            Json::object([
+                ("event_loops", Json::from(shared.config.event_loops)),
+                (
+                    "connections_admitted",
+                    Json::from(shared.connections_admitted.load(Ordering::SeqCst)),
+                ),
+                (
+                    "frames_in",
+                    Json::from(shared.frames_in.load(Ordering::SeqCst)),
+                ),
+                (
+                    "frames_out",
+                    Json::from(shared.frames_out.load(Ordering::SeqCst)),
+                ),
+                (
+                    "partial_reads",
+                    Json::from(shared.partial_reads.load(Ordering::SeqCst)),
+                ),
+                ("wakeups", Json::from(shared.wakeups.load(Ordering::SeqCst))),
+            ]),
         ),
         (
             "faults",

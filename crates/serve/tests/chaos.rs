@@ -89,6 +89,7 @@ fn daemon_serves_through_injected_faults() {
     let handle = Server::start(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 8,
+        event_loops: 2,
         max_connections: 128,
         cache_bytes: 8 << 20,
         frame_deadline: Duration::from_secs(5),
@@ -262,5 +263,8 @@ fn daemon_serves_through_injected_faults() {
         shutdown.threads_panicked, 0,
         "panic isolation kept every worker alive"
     );
-    assert_eq!(shutdown.threads_joined, 9, "8 workers + 1 accept thread");
+    assert_eq!(
+        shutdown.threads_joined, 11,
+        "8 workers + 2 event loops + 1 accept thread"
+    );
 }

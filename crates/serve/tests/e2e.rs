@@ -121,6 +121,7 @@ fn daemon_end_to_end() {
     let handle = Server::start(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 8,
+        event_loops: 2,
         max_connections: 32,
         cache_bytes: 8 << 20,
         frame_deadline: Duration::from_millis(400),
@@ -265,6 +266,7 @@ fn connection_limit_turns_excess_clients_away() {
     let handle = Server::start(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 1,
+        event_loops: 1,
         max_connections: 1,
         cache_bytes: 1 << 20,
         frame_deadline: Duration::from_secs(2),

@@ -1,0 +1,234 @@
+//! Protocol fuzz for the non-blocking read path.
+//!
+//! The event-driven server assembles request frames from whatever byte
+//! chunks the kernel delivers. These tests control that chunking from
+//! the client side — one-byte dribbles, torn frames at every split
+//! point, pipelined bursts, seeded random fragmentation — and assert the
+//! responses are byte-identical to a clean whole-frame exchange, which
+//! `tests/e2e.rs` separately proves byte-identical to the in-process
+//! `Mapper` (the blocking-era contract). Chunking must be invisible.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use qcs_json::Json;
+use qcs_rng::{Rng, SeedableRng, Xoshiro256StarStar};
+use qcs_serve::protocol::{read_frame, write_frame, MAX_FRAME_BYTES};
+use qcs_serve::server::{Server, ServerConfig, ServerHandle};
+
+fn start_daemon() -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        event_loops: 2,
+        max_connections: 32,
+        cache_bytes: 8 << 20,
+        frame_deadline: Duration::from_secs(5),
+        persist_dir: None,
+    })
+    .expect("daemon starts")
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("daemon accepts connections");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+}
+
+/// One clean whole-frame exchange: the reference every fragmented
+/// delivery must reproduce byte-for-byte.
+fn reference_response(addr: SocketAddr, request: &str) -> Vec<u8> {
+    let mut stream = connect(addr);
+    write_frame(&mut stream, request.as_bytes()).expect("request written");
+    read_frame(&mut stream)
+        .expect("response read")
+        .expect("daemon replied")
+}
+
+/// A request frame as raw wire bytes (length prefix + payload).
+fn frame_bytes(request: &str) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, request.as_bytes()).expect("in-memory frame");
+    bytes
+}
+
+fn requests() -> Vec<String> {
+    vec![
+        r#"{"type":"ping"}"#.to_string(),
+        r#"{"type":"compile","workload":"ghz:4"}"#.to_string(),
+        r#"{"type":"compile","workload":"qft:3","device":"line:5"}"#.to_string(),
+        r#"{"type":"compile","workload":"wstate:5","placer":"trivial","router":"lookahead"}"#
+            .to_string(),
+    ]
+}
+
+#[test]
+fn one_byte_dribble_is_invisible() {
+    let handle = start_daemon();
+    let addr = handle.local_addr();
+
+    for request in requests() {
+        let expected = reference_response(addr, &request);
+        let mut stream = connect(addr);
+        for &byte in &frame_bytes(&request) {
+            stream.write_all(&[byte]).expect("dribbled byte");
+            stream.flush().expect("flush");
+        }
+        let response = read_frame(&mut stream)
+            .expect("response read")
+            .expect("daemon replied");
+        assert_eq!(response, expected, "dribbled {request} diverged");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn torn_frame_at_every_split_point_is_invisible() {
+    let handle = start_daemon();
+    let addr = handle.local_addr();
+
+    let request = r#"{"type":"compile","workload":"ghz:4"}"#;
+    let expected = reference_response(addr, request);
+    let bytes = frame_bytes(request);
+
+    // All splits ride one connection: each exchange leaves the decoder
+    // at a frame boundary, so the splits also test frame-to-frame state
+    // reset. The pause makes the tear real (two separate read events).
+    let mut stream = connect(addr);
+    for split in 0..=bytes.len() {
+        stream.write_all(&bytes[..split]).expect("first fragment");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(5));
+        stream.write_all(&bytes[split..]).expect("second fragment");
+        let response = read_frame(&mut stream)
+            .expect("response read")
+            .expect("daemon replied");
+        assert_eq!(response, expected, "split at byte {split} diverged");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_burst_answers_in_order() {
+    let handle = start_daemon();
+    let addr = handle.local_addr();
+
+    let requests = requests();
+    let expected: Vec<Vec<u8>> = requests
+        .iter()
+        .map(|r| reference_response(addr, r))
+        .collect();
+
+    // Three rounds of the whole burst in a single write each: responses
+    // must come back in request order every time (cold cache, warm
+    // cache, warm again).
+    let mut stream = connect(addr);
+    for round in 0..3 {
+        let mut burst = Vec::new();
+        for request in &requests {
+            burst.extend_from_slice(&frame_bytes(request));
+        }
+        stream.write_all(&burst).expect("burst written");
+        for (i, want) in expected.iter().enumerate() {
+            let response = read_frame(&mut stream)
+                .expect("response read")
+                .expect("daemon replied");
+            assert_eq!(
+                &response, want,
+                "round {round}: response {i} out of order or diverged"
+            );
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn seeded_random_fragmentation_is_invisible() {
+    let handle = start_daemon();
+    let addr = handle.local_addr();
+
+    let requests = requests();
+    let expected: Vec<Vec<u8>> = requests
+        .iter()
+        .map(|r| reference_response(addr, r))
+        .collect();
+
+    let mut wire = Vec::new();
+    for request in &requests {
+        wire.extend_from_slice(&frame_bytes(request));
+    }
+
+    for seed in 0..8u64 {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut stream = connect(addr);
+        let mut pos = 0;
+        while pos < wire.len() {
+            let take = rng.gen_range(1..=13usize).min(wire.len() - pos);
+            stream.write_all(&wire[pos..pos + take]).expect("fragment");
+            stream.flush().expect("flush");
+            pos += take;
+            if rng.gen_range(0..4u32) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        for (i, want) in expected.iter().enumerate() {
+            let response = read_frame(&mut stream)
+                .expect("response read")
+                .expect("daemon replied");
+            assert_eq!(&response, want, "seed {seed}: response {i} diverged");
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_length_prefix_gets_error_then_close() {
+    let handle = start_daemon();
+    let addr = handle.local_addr();
+
+    let mut stream = connect(addr);
+    let oversized = ((MAX_FRAME_BYTES + 1) as u32).to_be_bytes();
+    stream.write_all(&oversized).expect("bogus prefix written");
+
+    let payload = read_frame(&mut stream)
+        .expect("error frame read")
+        .expect("daemon explains before closing");
+    let value = qcs_json::parse(std::str::from_utf8(&payload).unwrap()).expect("error is JSON");
+    assert_eq!(value.get("type").and_then(Json::as_str), Some("error"));
+    assert!(
+        value
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("exceeds protocol maximum"),
+        "unexpected message: {value:?}"
+    );
+    // Framing sync is lost: the daemon must close, not guess.
+    assert_eq!(read_frame(&mut stream).expect("clean EOF"), None);
+    handle.shutdown();
+}
+
+#[test]
+fn empty_frame_is_answered_and_the_connection_survives() {
+    let handle = start_daemon();
+    let addr = handle.local_addr();
+
+    let mut stream = connect(addr);
+    // A zero-length frame is well-framed but unparsable: error response,
+    // connection stays usable.
+    stream.write_all(&0u32.to_be_bytes()).expect("empty frame");
+    let payload = read_frame(&mut stream)
+        .expect("error frame read")
+        .expect("daemon replied");
+    let value = qcs_json::parse(std::str::from_utf8(&payload).unwrap()).expect("error is JSON");
+    assert_eq!(value.get("type").and_then(Json::as_str), Some("error"));
+
+    // Still in sync: a real request on the same connection works.
+    write_frame(&mut stream, br#"{"type":"ping"}"#).expect("ping written");
+    let pong = read_frame(&mut stream)
+        .expect("pong read")
+        .expect("daemon replied");
+    assert!(std::str::from_utf8(&pong).unwrap().contains("pong"));
+    handle.shutdown();
+}

@@ -42,6 +42,7 @@ fn start_daemon(persist_dir: &Path) -> ServerHandle {
     Server::start(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
+        event_loops: 1,
         max_connections: 16,
         cache_bytes: 8 << 20,
         frame_deadline: Duration::from_secs(2),

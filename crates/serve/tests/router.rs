@@ -1,0 +1,227 @@
+//! Integration tests for the consistent-hash sharding router: three
+//! in-process shard daemons behind one router, exercising routing
+//! stability, cache locality, and rerouting around a dead shard.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use qcs_json::Json;
+use qcs_serve::protocol::{read_frame, write_frame};
+use qcs_serve::router::{Router, RouterConfig, RouterHandle};
+use qcs_serve::server::{Server, ServerConfig, ServerHandle};
+
+fn start_shard() -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        event_loops: 1,
+        max_connections: 32,
+        cache_bytes: 8 << 20,
+        frame_deadline: Duration::from_secs(5),
+        persist_dir: None,
+    })
+    .expect("shard starts")
+}
+
+fn start_router(shards: &[&ServerHandle]) -> RouterHandle {
+    Router::start(RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: shards.iter().map(|s| s.local_addr().to_string()).collect(),
+        replicas: 64,
+        health_interval: Duration::from_millis(100),
+        connect_timeout: Duration::from_secs(1),
+        io_timeout: Duration::from_secs(30),
+    })
+    .expect("router starts")
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("router accepts connections");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+}
+
+fn exchange(stream: &mut TcpStream, request: &str) -> Vec<u8> {
+    write_frame(stream, request.as_bytes()).expect("request written");
+    read_frame(stream)
+        .expect("response read")
+        .expect("peer replied")
+}
+
+fn exchange_json(stream: &mut TcpStream, request: &str) -> Json {
+    let payload = exchange(stream, request);
+    qcs_json::parse(std::str::from_utf8(&payload).unwrap()).expect("response is JSON")
+}
+
+fn response_type(value: &Json) -> &str {
+    value.get("type").and_then(Json::as_str).unwrap_or("?")
+}
+
+fn compile_requests() -> Vec<String> {
+    (4..=12)
+        .map(|n| format!(r#"{{"type":"compile","workload":"ghz:{n}"}}"#))
+        .collect()
+}
+
+/// Shard `forwarded` counters from the router's own stats.
+fn forwarded_counts(control: &mut TcpStream) -> Vec<u64> {
+    let stats = exchange_json(control, r#"{"type":"stats"}"#);
+    let Some(Json::Array(shards)) = stats.get("shards") else {
+        panic!("router stats carry a shards array: {stats:?}");
+    };
+    shards
+        .iter()
+        .map(|s| s.get("forwarded").and_then(Json::as_usize).unwrap() as u64)
+        .collect()
+}
+
+#[test]
+fn routes_compiles_and_answers_control_requests_itself() {
+    let shards = [start_shard(), start_shard(), start_shard()];
+    let router = start_router(&[&shards[0], &shards[1], &shards[2]]);
+    let mut control = connect(router.local_addr());
+
+    let pong = exchange_json(&mut control, r#"{"type":"ping"}"#);
+    assert_eq!(response_type(&pong), "pong");
+
+    let stats = exchange_json(&mut control, r#"{"type":"stats"}"#);
+    assert_eq!(response_type(&stats), "stats");
+    assert_eq!(stats.get("role").and_then(Json::as_str), Some("router"));
+
+    // Compiles flow through to shards and come back as results.
+    for request in compile_requests() {
+        let reply = exchange_json(&mut control, &request);
+        assert_eq!(response_type(&reply), "result", "reply: {reply:?}");
+    }
+
+    // Every request was forwarded somewhere, and with 9 distinct jobs on
+    // a 64-replica ring the load should touch more than one shard.
+    let counts = forwarded_counts(&mut control);
+    assert_eq!(counts.iter().sum::<u64>(), 9);
+    assert!(
+        counts.iter().filter(|&&c| c > 0).count() >= 2,
+        "all jobs landed on one shard: {counts:?}"
+    );
+
+    drop(control);
+    router.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+}
+
+#[test]
+fn identical_requests_always_land_on_the_same_shard() {
+    let shards = [start_shard(), start_shard(), start_shard()];
+    let router = start_router(&[&shards[0], &shards[1], &shards[2]]);
+    let mut control = connect(router.local_addr());
+
+    let requests = compile_requests();
+    for request in &requests {
+        exchange_json(&mut control, request);
+    }
+    let first_pass = forwarded_counts(&mut control);
+
+    // Replay the identical workload twice: the per-shard distribution
+    // must scale exactly — no request may migrate while its shard lives.
+    for _ in 0..2 {
+        for request in &requests {
+            exchange_json(&mut control, request);
+        }
+    }
+    let third_pass = forwarded_counts(&mut control);
+    let expected: Vec<u64> = first_pass.iter().map(|c| c * 3).collect();
+    assert_eq!(
+        third_pass, expected,
+        "routing moved between identical passes"
+    );
+
+    // Locality made those replays cache hits on their home shards:
+    // fleet-wide hits must cover the two replay passes.
+    let mut total_hits = 0;
+    for shard in &shards {
+        let mut direct = connect(shard.local_addr());
+        let stats = exchange_json(&mut direct, r#"{"type":"stats"}"#);
+        let cache = stats.get("cache").expect("shard stats carry cache");
+        total_hits += cache.get("hits").and_then(Json::as_usize).unwrap();
+    }
+    assert_eq!(
+        total_hits,
+        2 * requests.len(),
+        "replays were not served from shard-local caches"
+    );
+
+    drop(control);
+    router.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+}
+
+#[test]
+fn dead_shard_reroutes_with_zero_failed_requests() {
+    let shards = [start_shard(), start_shard(), start_shard()];
+    let router = start_router(&[&shards[0], &shards[1], &shards[2]]);
+    let mut control = connect(router.local_addr());
+
+    let requests = compile_requests();
+    for request in &requests {
+        exchange_json(&mut control, request);
+    }
+    let before = forwarded_counts(&mut control);
+
+    // Kill the busiest shard and replay everything: every request must
+    // still succeed, with the dead shard's keys rerouted to survivors.
+    let victim = before
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap();
+    let [a, b, c] = shards;
+    let mut remaining = Vec::new();
+    for (idx, shard) in [a, b, c].into_iter().enumerate() {
+        if idx == victim {
+            shard.shutdown();
+        } else {
+            remaining.push(shard);
+        }
+    }
+
+    for request in &requests {
+        let reply = exchange_json(&mut control, request);
+        assert_eq!(
+            response_type(&reply),
+            "result",
+            "request failed after shard death: {reply:?}"
+        );
+    }
+
+    let after = forwarded_counts(&mut control);
+    assert_eq!(
+        after[victim], before[victim],
+        "dead shard kept receiving successful forwards"
+    );
+    assert_eq!(
+        after.iter().sum::<u64>(),
+        2 * requests.len() as u64,
+        "some requests were dropped instead of rerouted"
+    );
+
+    // Routing for surviving shards' keys must not have moved: their
+    // counts at least doubled (own keys) and absorbed the victim's.
+    for (idx, (&b_count, &a_count)) in before.iter().zip(after.iter()).enumerate() {
+        if idx != victim {
+            assert!(
+                a_count >= 2 * b_count,
+                "surviving shard {idx} lost keys it owned: {before:?} -> {after:?}"
+            );
+        }
+    }
+
+    drop(control);
+    router.shutdown();
+    for shard in remaining {
+        shard.shutdown();
+    }
+}
