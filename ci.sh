@@ -8,7 +8,9 @@
 #   2. cargo test  --workspace -q       every crate's unit + integration tests
 #   3. cargo fmt   --check              formatting gate
 #   4. cargo clippy -- -D warnings      lint gate (all targets, all crates)
-#   5. serve smoke test                 boot daemon, compile a GHZ, check stats
+#   5. serve smoke test                 boot daemon, compile a GHZ, compile a
+#                                       QFT on a movement-based dpqa: device,
+#                                       check --list-devices and stats
 #   6. serve chaos test                 fault injection, hostile frames,
 #                                       degraded-device sweep
 #   7. persist smoke test               fill cache, kill -9, restart warm,
@@ -18,7 +20,8 @@
 #                                       kill -9 one shard with zero failed
 #                                       requests
 #   9. benchmark regression gate        fresh bench_baseline run vs the
-#                                       committed BENCH_*.json: work
+#                                       committed BENCH_*.json (mapper, sim
+#                                       and dpqa movement sweeps): work
 #                                       counters exact, wall times within
 #                                       QCS_BENCH_WALL_BUDGET (default 4x,
 #                                       0 disables)

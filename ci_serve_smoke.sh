@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Smoke test for the compilation daemon: boot it on an ephemeral port,
-# compile one GHZ circuit through the client, check the stats endpoint,
-# and shut down cleanly. Assumes `cargo build --release` already ran
-# (CI runs it first); builds on demand otherwise.
+# compile one GHZ circuit through the client, compile a QFT onto a
+# movement-based dpqa: device, check the stats endpoint, and shut down
+# cleanly. Assumes `cargo build --release` already ran (CI runs it
+# first); builds on demand otherwise.
 set -eu
 
 SMOKE_NAME="serve smoke"
@@ -23,16 +24,37 @@ echo "$OUT" | grep -q '"type": "result"' || {
     smoke_fail "compile did not return a result"
 }
 
-# Stats must acknowledge the served job (readiness polling issues stats
-# requests, which never count as jobs).
+# A movement-backend compile must go through the same path: a dpqa:
+# device spec resolves to the neutral-atom backend, serves a verified
+# result, and reports the movement router.
+DPQA_OUT=$("$CLIENT" --addr "$ADDR" workload qft:8 --device dpqa:3x4 --json)
+echo "$DPQA_OUT" | grep -q '"type": "result"' || {
+    echo "$DPQA_OUT" >&2
+    smoke_fail "dpqa compile did not return a result"
+}
+echo "$DPQA_OUT" | grep -q '"router": "dpqa-move"' || {
+    echo "$DPQA_OUT" >&2
+    smoke_fail "dpqa compile did not use the movement router"
+}
+echo "$DPQA_OUT" | grep -q '"verified": true' || {
+    echo "$DPQA_OUT" >&2
+    smoke_fail "dpqa compile was not verified"
+}
+
+# The client must list the dpqa family among accepted device specs.
+"$CLIENT" --list-devices | grep -q 'dpqa:RxC' || \
+    smoke_fail "--list-devices does not mention dpqa:RxC"
+
+# Stats must acknowledge both served jobs (readiness polling issues
+# stats requests, which never count as jobs).
 STATS=$("$CLIENT" --addr "$ADDR" stats --json)
 echo "$STATS" | grep -q '"type": "stats"' || {
     echo "$STATS" >&2
     smoke_fail "stats response malformed"
 }
-echo "$STATS" | grep -q '"jobs": 1' || {
+echo "$STATS" | grep -q '"jobs": 2' || {
     echo "$STATS" >&2
-    smoke_fail "expected exactly one served job"
+    smoke_fail "expected exactly two served jobs"
 }
 
 # Clean protocol shutdown; the daemon process must exit on its own.

@@ -26,7 +26,7 @@ fn digest_benchmarks(c: &mut Criterion) {
     for n in [8usize, 16, 32] {
         let job = job_for(n);
         group.bench_with_input(BenchmarkId::new("job_digest", n), &job, |b, job| {
-            b.iter(|| job_digest(&job.circuit, &job.device, &job.config));
+            b.iter(|| job_digest(&job.circuit, job.backend.as_ref(), &job.config));
         });
     }
     group.finish();

@@ -1,14 +1,16 @@
 //! Benchmark baseline capture and regression gate.
 //!
 //! Runs the canonical 200-circuit suite through the three headline
-//! mapping strategies plus the statevector kernels the verifier leans
-//! on, and records two kinds of numbers per workload:
+//! mapping strategies, the movement-based DPQA backend, and the
+//! statevector kernels the verifier leans on, and records two kinds of
+//! numbers per workload:
 //!
 //! - **Deterministic work counters** — candidate-SWAP score evaluations,
-//!   SWAPs inserted, routed gate counts, suite-JSON digests, amplitude
-//!   slots touched by the sim kernels. These are pure functions of the
-//!   code and must match the committed baseline *exactly*; any drift
-//!   means the compiler's output or work profile changed.
+//!   SWAPs inserted, AOD moves and move stages, routed gate counts,
+//!   suite-JSON digests, verification outcomes, amplitude slots touched
+//!   by the sim kernels. These are pure functions of the code and must
+//!   match the committed baseline *exactly*; any drift means the
+//!   compiler's output or work profile changed.
 //! - **Wall-clock times** — compared against a generous relative budget
 //!   (`QCS_BENCH_WALL_BUDGET`, default 4.0× the recorded time, `0`
 //!   disables), so a pathological slowdown fails CI without flaking on
@@ -17,7 +19,8 @@
 //! Modes:
 //!
 //! ```text
-//! bench_baseline            # re-record BENCH_mapper.json + BENCH_sim.json in CWD
+//! bench_baseline            # re-record BENCH_mapper.json + BENCH_sim.json
+//!                           #   + BENCH_dpqa.json in CWD
 //! bench_baseline --check    # fresh run, compare against the committed files
 //! ```
 
@@ -28,16 +31,20 @@ use qcs_bench::{fig3_device, suite};
 use qcs_circuit::circuit::Circuit;
 use qcs_circuit::gate::Gate;
 use qcs_circuit::hash::Fnv64;
+use qcs_core::backend::Backend as _;
+use qcs_core::config::MapperConfig;
 use qcs_core::mapper::{Mapper, StageTiming};
 use qcs_core::profile::CircuitProfile;
 use qcs_core::report::MappingRecord;
 use qcs_core::verify::{verify_outcome, VerifyConfig};
+use qcs_dpqa::DpqaBackend;
 use qcs_json::Json;
 use qcs_topology::lattice::grid_device;
 use qcs_workloads::suite::SuiteConfig;
 
 const MAPPER_FILE: &str = "BENCH_mapper.json";
 const SIM_FILE: &str = "BENCH_sim.json";
+const DPQA_FILE: &str = "BENCH_dpqa.json";
 const SCHEMA: &str = "qcs-bench-baseline/1";
 
 /// One mapping strategy's suite-level measurement.
@@ -58,20 +65,36 @@ struct SimRow {
     wall_ms: f64,
 }
 
+/// The DPQA movement sweep's suite-level measurement.
+struct DpqaRow {
+    name: String,
+    records: usize,
+    digest: String,
+    moves_inserted: u64,
+    move_stages: u64,
+    swaps_inserted: u64,
+    movement_served: u64,
+    verified: u64,
+    wall_ms: f64,
+}
+
 fn main() -> ExitCode {
     let check = std::env::args().any(|a| a == "--check");
     let mapper_rows = run_mapper_suite();
     let sim_rows = run_sim_kernels();
+    let dpqa_row = run_dpqa_suite();
     let mapper_json = mapper_doc(&mapper_rows);
     let sim_json = sim_doc(&sim_rows);
+    let dpqa_json = dpqa_doc(&dpqa_row);
 
     if check {
         let budget = wall_budget();
         let mut ok = true;
         ok &= check_file(MAPPER_FILE, &mapper_json, budget);
         ok &= check_file(SIM_FILE, &sim_json, budget);
+        ok &= check_file(DPQA_FILE, &dpqa_json, budget);
         if ok {
-            println!("bench gate OK ({MAPPER_FILE}, {SIM_FILE})");
+            println!("bench gate OK ({MAPPER_FILE}, {SIM_FILE}, {DPQA_FILE})");
             ExitCode::SUCCESS
         } else {
             eprintln!("bench gate FAILED");
@@ -80,7 +103,8 @@ fn main() -> ExitCode {
     } else {
         std::fs::write(MAPPER_FILE, mapper_json.to_string_pretty() + "\n").expect("write mapper");
         std::fs::write(SIM_FILE, sim_json.to_string_pretty() + "\n").expect("write sim");
-        println!("wrote {MAPPER_FILE} and {SIM_FILE}");
+        std::fs::write(DPQA_FILE, dpqa_json.to_string_pretty() + "\n").expect("write dpqa");
+        println!("wrote {MAPPER_FILE}, {SIM_FILE} and {DPQA_FILE}");
         ExitCode::SUCCESS
     }
 }
@@ -170,6 +194,83 @@ fn mapper_doc(rows: &[MapperRow]) -> Json {
                     })
                     .collect(),
             ),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// DPQA movement sweep
+// ---------------------------------------------------------------------
+
+/// Runs the full canonical suite through the movement-based DPQA
+/// backend on a 9×9 site array (81 sites comfortably hold the suite's
+/// 54-qubit ceiling) and aggregates its work counters. Every circuit
+/// must compile *and* verify — an unverified or failed compile is a
+/// hard error here, not a skipped row, because the serving tier's
+/// contract is zero unverified responses.
+fn run_dpqa_suite() -> DpqaRow {
+    let backend = DpqaBackend::new(9, 9).expect("9x9 array");
+    let config = MapperConfig::default();
+    let benches = suite(&SuiteConfig::default());
+    let mut records = Vec::with_capacity(benches.len());
+    let mut moves = 0u64;
+    let mut stages = 0u64;
+    let mut swaps = 0u64;
+    let mut movement_served = 0u64;
+    let mut verified = 0u64;
+    let start = Instant::now();
+    for b in &benches {
+        let (outcome, schedule) = backend
+            .compile_with_schedule(&b.circuit, &config)
+            .unwrap_or_else(|e| panic!("dpqa compile of {} failed: {e}", b.name));
+        assert!(outcome.report.verified, "{} served unverified", b.name);
+        moves += outcome.report.moves_inserted as u64;
+        stages += outcome.report.move_stages as u64;
+        swaps += outcome.report.swaps_inserted as u64;
+        movement_served += u64::from(schedule.is_some());
+        verified += u64::from(outcome.report.verified);
+        let mut report = outcome.report;
+        report.timing = StageTiming::ZERO;
+        records.push(MappingRecord {
+            name: b.name.clone(),
+            family: b.family.to_string(),
+            synthetic: b.is_synthetic(),
+            profile: CircuitProfile::of(&b.circuit),
+            report,
+        });
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut h = Fnv64::new();
+    h.write_str(&MappingRecord::batch_to_json(&records));
+    DpqaRow {
+        name: backend.id().to_string(),
+        records: records.len(),
+        digest: format!("{:016x}", h.finish()),
+        moves_inserted: moves,
+        move_stages: stages,
+        swaps_inserted: swaps,
+        movement_served,
+        verified,
+        wall_ms,
+    }
+}
+
+fn dpqa_doc(row: &DpqaRow) -> Json {
+    Json::object([
+        ("schema", Json::from(SCHEMA)),
+        (
+            "dpqa",
+            Json::Array(vec![Json::object([
+                ("name", Json::from(row.name.clone())),
+                ("records", Json::from(row.records)),
+                ("digest", Json::from(row.digest.clone())),
+                ("moves_inserted", Json::from(row.moves_inserted)),
+                ("move_stages", Json::from(row.move_stages)),
+                ("swaps_inserted", Json::from(row.swaps_inserted)),
+                ("movement_served", Json::from(row.movement_served)),
+                ("verified", Json::from(row.verified)),
+                ("wall_ms", Json::Number(round3(row.wall_ms))),
+            ])]),
         ),
     ])
 }

@@ -90,10 +90,13 @@ fn full_suite_digests_match_golden() {
     // deliberate, explained behaviour change.
     let benchmarks = suite(&SuiteConfig::default());
     let device = fig3_device();
+    // Goldens last bumped when MapReport grew the movement counters
+    // (`moves_inserted`/`move_stages`) alongside the DPQA backend: the
+    // canonical JSON gained two members, so every digest moved.
     for (name, mapper, golden) in [
-        ("trivial", Mapper::trivial(), "dc41d54c6051efc5"),
-        ("lookahead", Mapper::lookahead(), "da6e9c2a80da382d"),
-        ("sabre", Mapper::sabre(), "9d27b3363bb181f5"),
+        ("trivial", Mapper::trivial(), "17c857fdf661943c"),
+        ("lookahead", Mapper::lookahead(), "882bc7bda4510f9d"),
+        ("sabre", Mapper::sabre(), "634512840a63008c"),
     ] {
         let serial = map_suite_with_workers(&benchmarks, &device, &mapper, 1);
         assert_eq!(serial.len(), 200, "{name}: unexpected record count");

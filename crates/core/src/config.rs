@@ -99,24 +99,47 @@ impl MapperConfig {
     ///
     /// [`ConfigError`] when either strategy name is unknown.
     pub fn build(&self) -> Result<Mapper, ConfigError> {
-        let placer: Box<dyn Placer> = match self.placer.as_str() {
-            "trivial" => Box::new(TrivialPlacer),
-            // Fixed seed: a config names a deterministic pipeline.
-            "random" => Box::new(RandomPlacer { seed: 0 }),
-            "graph-similarity" => Box::new(GraphSimilarityPlacer),
-            "subgraph" => Box::new(SubgraphPlacer::default()),
-            "sabre" => Box::new(SabrePlacer::default()),
-            other => return Err(ConfigError::UnknownPlacer(other.to_string())),
-        };
-        let router: Box<dyn Router> = match self.router.as_str() {
-            "trivial" => Box::new(TrivialRouter),
-            "lookahead" => Box::new(LookaheadRouter::default()),
-            "bidirectional" => Box::new(BidirectionalRouter),
-            "noise-aware" => Box::new(NoiseAwareRouter),
-            other => return Err(ConfigError::UnknownRouter(other.to_string())),
-        };
-        Ok(Mapper::new(placer, router))
+        Ok(Mapper::new(
+            build_placer(&self.placer)?,
+            build_router(&self.router)?,
+        ))
     }
+}
+
+/// Instantiates a placement strategy by its advertised name. Backends
+/// that replace the routing stage with their own physics (movement
+/// scheduling in `qcs-dpqa`) reuse the placer catalogue through this.
+///
+/// # Errors
+///
+/// [`ConfigError::UnknownPlacer`] when the name is not one of
+/// [`MapperConfig::PLACERS`].
+pub fn build_placer(name: &str) -> Result<Box<dyn Placer>, ConfigError> {
+    Ok(match name {
+        "trivial" => Box::new(TrivialPlacer),
+        // Fixed seed: a config names a deterministic pipeline.
+        "random" => Box::new(RandomPlacer { seed: 0 }),
+        "graph-similarity" => Box::new(GraphSimilarityPlacer),
+        "subgraph" => Box::new(SubgraphPlacer::default()),
+        "sabre" => Box::new(SabrePlacer::default()),
+        other => return Err(ConfigError::UnknownPlacer(other.to_string())),
+    })
+}
+
+/// Instantiates a routing strategy by its advertised name.
+///
+/// # Errors
+///
+/// [`ConfigError::UnknownRouter`] when the name is not one of
+/// [`MapperConfig::ROUTERS`].
+pub fn build_router(name: &str) -> Result<Box<dyn Router>, ConfigError> {
+    Ok(match name {
+        "trivial" => Box::new(TrivialRouter),
+        "lookahead" => Box::new(LookaheadRouter::default()),
+        "bidirectional" => Box::new(BidirectionalRouter),
+        "noise-aware" => Box::new(NoiseAwareRouter),
+        other => return Err(ConfigError::UnknownRouter(other.to_string())),
+    })
 }
 
 #[cfg(test)]

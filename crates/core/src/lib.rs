@@ -19,6 +19,9 @@
 //!
 //! On top of these sit:
 //!
+//! * [`backend`] — the compilation-target trait that lets the serving
+//!   stack address fixed-coupler devices and movement-based hardware
+//!   (`qcs-dpqa`) through one interface;
 //! * [`error`] — the structured unsatisfiability taxonomy for degraded
 //!   devices (outages can make mapping impossible; see
 //!   [`qcs_topology::health`]);
@@ -57,6 +60,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod config;
 pub mod error;
 pub mod fidelity;
@@ -72,6 +76,7 @@ pub mod route;
 pub mod schedule;
 pub mod verify;
 
+pub use backend::{Backend, CoupledBackend};
 pub use config::MapperConfig;
 pub use error::UnsatisfiableReason;
 pub use ladder::{FallbackLadder, LadderAttempt, LadderError};

@@ -140,8 +140,18 @@ pub struct MapReport {
     pub routed_gates: usize,
     /// Two-qubit gate count after routing (SWAPs decomposed).
     pub routed_two_qubit_gates: usize,
-    /// SWAP gates inserted by the router.
+    /// SWAP gates inserted by the router. Movement backends count their
+    /// relocation stand-ins here too (each move is replayed as one
+    /// permutation SWAP during verification), so SWAP-replay accounting
+    /// stays uniform across backends.
     pub swaps_inserted: usize,
+    /// Physical qubit relocations performed by a movement backend (AOD
+    /// shuttle moves on a neutral-atom array). Always 0 for fixed-coupler
+    /// SWAP routing.
+    pub moves_inserted: usize,
+    /// Parallel gate stages scheduled by a movement backend. Always 0
+    /// for fixed-coupler SWAP routing.
+    pub move_stages: usize,
     /// `(routed − decomposed) / decomposed × 100` (Figs. 3(b), 5).
     pub gate_overhead_pct: f64,
     /// Depth before routing (decomposed circuit).
@@ -182,6 +192,8 @@ qcs_json::impl_json_object!(MapReport {
     routed_gates,
     routed_two_qubit_gates,
     swaps_inserted,
+    moves_inserted,
+    move_stages,
     gate_overhead_pct,
     depth_before,
     depth_after,
@@ -401,6 +413,8 @@ impl Mapper {
             routed_gates,
             routed_two_qubit_gates: native.two_qubit_gate_count(),
             swaps_inserted: routed.swaps_inserted,
+            moves_inserted: 0,
+            move_stages: 0,
             gate_overhead_pct: pct(decomposed_gates as f64, routed_gates as f64),
             depth_before,
             depth_after,

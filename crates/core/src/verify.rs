@@ -172,6 +172,19 @@ pub struct VerifyConfig {
     pub equiv_max_qubits: usize,
     /// Random input states per equivalence check.
     pub equiv_trials: usize,
+    /// Treat SWAP gates in the routed/native circuits as physical
+    /// *relocations* rather than gates: skip the coupler-adjacency
+    /// requirement for them (operands must still be in-service qubits).
+    ///
+    /// Movement backends (neutral-atom arrays with AOD shuttling) lower
+    /// each move to a SWAP stand-in between the source and destination
+    /// sites so the permutation replay and statevector equivalence
+    /// checks run unchanged; the sites involved are generally not within
+    /// interaction radius of each other, and move legality (vacancy, AOD
+    /// row/column ordering) is the backend's own responsibility. Always
+    /// `false` for fixed-coupler devices, where a SWAP is three real
+    /// entangling gates on one coupler.
+    pub move_swaps: bool,
 }
 
 impl Default for VerifyConfig {
@@ -179,6 +192,7 @@ impl Default for VerifyConfig {
         VerifyConfig {
             equiv_max_qubits: 12,
             equiv_trials: 2,
+            move_swaps: false,
         }
     }
 }
@@ -245,7 +259,11 @@ fn check_counts(input: &Circuit, outcome: &MapOutcome) -> Result<(), VerifyError
     Ok(())
 }
 
-fn check_legality(outcome: &MapOutcome, device: &Device) -> Result<(), VerifyError> {
+fn check_legality(
+    outcome: &MapOutcome,
+    device: &Device,
+    config: &VerifyConfig,
+) -> Result<(), VerifyError> {
     for (circuit, artifact) in [
         (&outcome.routed.circuit, "routed"),
         (&outcome.native, "native"),
@@ -267,7 +285,8 @@ fn check_legality(outcome: &MapOutcome, device: &Device) -> Result<(), VerifyErr
                     });
                 }
             }
-            if qubits.len() == 2 && !device.are_adjacent(qubits[0], qubits[1]) {
+            let is_move = config.move_swaps && gate.kind() == GateKind::Swap;
+            if qubits.len() == 2 && !is_move && !device.are_adjacent(qubits[0], qubits[1]) {
                 return Err(VerifyError::UncoupledOperands {
                     gate_index,
                     a: qubits[0],
@@ -379,7 +398,7 @@ pub fn verify_outcome(
     if let qcs_faults::Hit::Error(message) = qcs_faults::hit("verify.check") {
         return Err(VerifyError::Injected(message));
     }
-    check_legality(outcome, device)?;
+    check_legality(outcome, device, config)?;
     check_permutation(outcome)?;
     check_counts(input, outcome)?;
     let equivalence = device.qubit_count() <= config.equiv_max_qubits;
@@ -455,6 +474,50 @@ mod tests {
         // Corrupt the native circuit with a non-adjacent CNOT.
         outcome.native.push(Gate::Cnot(0, 3)).unwrap();
         let err = verify_outcome(&input, &outcome, &device, &VerifyConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyError::UncoupledOperands { a: 0, b: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn move_swaps_skips_adjacency_for_relocations_only() {
+        let device = line_device(4);
+        let input = fig2_circuit();
+        let mut outcome = Mapper::trivial().map(&input, &device).unwrap();
+        // Append a long-range relocation (a movement backend's SWAP
+        // stand-in), tracked through the final layout and the report.
+        outcome.routed.circuit.push(Gate::Swap(0, 3)).unwrap();
+        outcome.routed.final_layout.swap_physical(0, 3);
+        outcome.routed.swaps_inserted += 1;
+        outcome.native.push(Gate::Swap(0, 3)).unwrap();
+        outcome.report.swaps_inserted += 1;
+        outcome.report.routed_gates += 1;
+        outcome.report.routed_two_qubit_gates += 1;
+        outcome.report.depth_after = outcome.native.depth();
+
+        // Fixed-coupler rules reject the non-adjacent SWAP outright.
+        let err = verify_outcome(&input, &outcome, &device, &VerifyConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyError::UncoupledOperands { a: 0, b: 3, .. }
+        ));
+
+        // Movement rules accept it, and every other check still runs.
+        let moves = VerifyConfig {
+            move_swaps: true,
+            ..VerifyConfig::default()
+        };
+        let report = verify_outcome(&input, &outcome, &device, &moves).unwrap();
+        assert!(report.structural);
+        assert!(report.equivalence_checked);
+
+        // Non-SWAP gates stay bound by adjacency even in movement mode.
+        outcome.native.push(Gate::Cnot(0, 3)).unwrap();
+        outcome.report.routed_gates += 1;
+        outcome.report.routed_two_qubit_gates += 1;
+        outcome.report.depth_after = outcome.native.depth();
+        let err = verify_outcome(&input, &outcome, &device, &moves).unwrap_err();
         assert!(matches!(
             err,
             VerifyError::UncoupledOperands { a: 0, b: 3, .. }

@@ -1,0 +1,348 @@
+//! AOD move primitives and their legality rules.
+//!
+//! An AOD (acousto-optic deflector) move picks up a set of atoms and
+//! translates them in one shot. The picks are addressed by crossed AOD
+//! rows and columns, which gives the hardware its one structural rule:
+//! **rows and columns may not cross**. Two picked atoms that start in
+//! the same row must land in the same row; one that starts above
+//! another must land above it — and likewise for columns. Destinations
+//! must be vacant (an AOD tweezer flies *over* occupied SLM sites but
+//! cannot drop an atom onto one), though a site vacated by the same
+//! move is fair game since all picks translate simultaneously.
+//!
+//! [`check_move_op`] is the independent legality checker for one such
+//! batched move against an occupancy snapshot; the movement scheduler
+//! ([`crate::sched`]) emits only ops that pass it, and tests call it
+//! directly to audit whole schedules.
+
+use crate::grid::DpqaGrid;
+use qcs_circuit::gate::Gate;
+
+/// One atom relocation within a batched move: pick up the atom at
+/// `src`, drop it at `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovePick {
+    /// Site the atom starts at (must be occupied).
+    pub src: usize,
+    /// Site the atom lands at (must be vacant, or vacated by this op).
+    pub dst: usize,
+}
+
+/// One batched AOD move: a set of picks executed simultaneously.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MoveOp {
+    /// The atoms moved, in pick order.
+    pub picks: Vec<MovePick>,
+}
+
+/// One stage of the movement schedule: the batched moves that
+/// reconfigure the array, then the gates that fire in parallel on the
+/// reconfigured layout (operands are physical sites).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoveStage {
+    /// Batched AOD moves, executed in order before the gates.
+    pub ops: Vec<MoveOp>,
+    /// The stage's gates at their post-move physical sites.
+    pub gates: Vec<Gate>,
+}
+
+/// The full movement schedule of one compiled circuit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MoveSchedule {
+    /// Stages in execution order.
+    pub stages: Vec<MoveStage>,
+}
+
+impl MoveSchedule {
+    /// Total atom relocations across all stages (one per pick).
+    pub fn move_count(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| s.ops.iter().map(|op| op.picks.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total batched AOD move operations across all stages.
+    pub fn op_count(&self) -> usize {
+        self.stages.iter().map(|s| s.ops.len()).sum()
+    }
+}
+
+/// Why a batched move is illegal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveError {
+    /// A pick references a site outside the grid.
+    OutOfGrid {
+        /// The offending site index.
+        site: usize,
+    },
+    /// A pick's source site holds no atom.
+    EmptySource {
+        /// The vacant source site.
+        site: usize,
+    },
+    /// Two picks lift the same atom.
+    DuplicateSource {
+        /// The doubly-picked site.
+        site: usize,
+    },
+    /// Two picks land on the same site.
+    DuplicateDestination {
+        /// The doubly-targeted site.
+        site: usize,
+    },
+    /// A destination site is occupied by an atom this op does not move.
+    OccupiedDestination {
+        /// The occupied destination site.
+        site: usize,
+    },
+    /// Two picks' AOD rows would cross (or merge/split): their source
+    /// row order differs from their destination row order.
+    RowCrossing {
+        /// First pick involved.
+        a: MovePick,
+        /// Second pick involved.
+        b: MovePick,
+    },
+    /// Two picks' AOD columns would cross (or merge/split).
+    ColumnCrossing {
+        /// First pick involved.
+        a: MovePick,
+        /// Second pick involved.
+        b: MovePick,
+    },
+}
+
+impl std::fmt::Display for MoveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MoveError::OutOfGrid { site } => write!(f, "site {site} is outside the grid"),
+            MoveError::EmptySource { site } => write!(f, "source site {site} holds no atom"),
+            MoveError::DuplicateSource { site } => write!(f, "site {site} picked twice"),
+            MoveError::DuplicateDestination { site } => {
+                write!(f, "two picks land on site {site}")
+            }
+            MoveError::OccupiedDestination { site } => {
+                write!(f, "destination site {site} is occupied")
+            }
+            MoveError::RowCrossing { a, b } => write!(
+                f,
+                "AOD rows cross: {}→{} vs {}→{}",
+                a.src, a.dst, b.src, b.dst
+            ),
+            MoveError::ColumnCrossing { a, b } => write!(
+                f,
+                "AOD columns cross: {}→{} vs {}→{}",
+                a.src, a.dst, b.src, b.dst
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MoveError {}
+
+/// Checks one batched move against an occupancy snapshot taken *before*
+/// the op executes. `occupied[site]` says whether an atom sits at
+/// `site`. See the module docs for the rules enforced.
+///
+/// # Errors
+///
+/// The first [`MoveError`] found.
+pub fn check_move_op(grid: &DpqaGrid, occupied: &[bool], op: &MoveOp) -> Result<(), MoveError> {
+    let n = grid.site_count();
+    for pick in &op.picks {
+        for site in [pick.src, pick.dst] {
+            if site >= n {
+                return Err(MoveError::OutOfGrid { site });
+            }
+        }
+        if !occupied[pick.src] {
+            return Err(MoveError::EmptySource { site: pick.src });
+        }
+    }
+    for (i, a) in op.picks.iter().enumerate() {
+        for b in &op.picks[i + 1..] {
+            if a.src == b.src {
+                return Err(MoveError::DuplicateSource { site: a.src });
+            }
+            if a.dst == b.dst {
+                return Err(MoveError::DuplicateDestination { site: a.dst });
+            }
+        }
+    }
+    for pick in &op.picks {
+        let vacated = op.picks.iter().any(|p| p.src == pick.dst);
+        if occupied[pick.dst] && !vacated {
+            return Err(MoveError::OccupiedDestination { site: pick.dst });
+        }
+    }
+    // No-crossing: source order must equal destination order, per axis.
+    for (i, a) in op.picks.iter().enumerate() {
+        let (ra_s, ca_s) = grid.coords(a.src);
+        let (ra_d, ca_d) = grid.coords(a.dst);
+        for b in &op.picks[i + 1..] {
+            let (rb_s, cb_s) = grid.coords(b.src);
+            let (rb_d, cb_d) = grid.coords(b.dst);
+            if ra_s.cmp(&rb_s) != ra_d.cmp(&rb_d) {
+                return Err(MoveError::RowCrossing { a: *a, b: *b });
+            }
+            if ca_s.cmp(&cb_s) != ca_d.cmp(&cb_d) {
+                return Err(MoveError::ColumnCrossing { a: *a, b: *b });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies a (checked) batched move to an occupancy snapshot: all
+/// sources vacate, then all destinations fill.
+pub fn apply_move_op(occupied: &mut [bool], op: &MoveOp) {
+    for pick in &op.picks {
+        occupied[pick.src] = false;
+    }
+    for pick in &op.picks {
+        occupied[pick.dst] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_3x3() -> DpqaGrid {
+        DpqaGrid::new(3, 3)
+    }
+
+    fn occ(grid: &DpqaGrid, sites: &[usize]) -> Vec<bool> {
+        let mut o = vec![false; grid.site_count()];
+        for &s in sites {
+            o[s] = true;
+        }
+        o
+    }
+
+    #[test]
+    fn single_pick_to_empty_site_is_legal() {
+        let g = grid_3x3();
+        let o = occ(&g, &[0]);
+        let op = MoveOp {
+            picks: vec![MovePick { src: 0, dst: 8 }],
+        };
+        assert_eq!(check_move_op(&g, &o, &op), Ok(()));
+    }
+
+    #[test]
+    fn occupied_destination_is_rejected() {
+        let g = grid_3x3();
+        let o = occ(&g, &[0, 8]);
+        let op = MoveOp {
+            picks: vec![MovePick { src: 0, dst: 8 }],
+        };
+        assert_eq!(
+            check_move_op(&g, &o, &op),
+            Err(MoveError::OccupiedDestination { site: 8 })
+        );
+    }
+
+    #[test]
+    fn vacated_destination_is_legal() {
+        // Atom 0→1 while atom 1→2: site 1 is vacated by the same op.
+        let g = grid_3x3();
+        let o = occ(&g, &[0, 1]);
+        let op = MoveOp {
+            picks: vec![MovePick { src: 0, dst: 1 }, MovePick { src: 1, dst: 2 }],
+        };
+        assert_eq!(check_move_op(&g, &o, &op), Ok(()));
+    }
+
+    #[test]
+    fn crossing_columns_are_rejected() {
+        // Sites 0=(0,0) and 1=(0,1): swapping their columns crosses.
+        let g = grid_3x3();
+        let o = occ(&g, &[0, 1]);
+        let op = MoveOp {
+            picks: vec![MovePick { src: 0, dst: 4 }, MovePick { src: 1, dst: 3 }],
+        };
+        assert!(matches!(
+            check_move_op(&g, &o, &op),
+            Err(MoveError::ColumnCrossing { .. })
+        ));
+    }
+
+    #[test]
+    fn crossing_rows_are_rejected() {
+        // Sites 0=(0,0) and 3=(1,0): swapping their rows crosses.
+        let g = grid_3x3();
+        let o = occ(&g, &[0, 3]);
+        let op = MoveOp {
+            picks: vec![MovePick { src: 0, dst: 4 }, MovePick { src: 3, dst: 1 }],
+        };
+        assert!(matches!(
+            check_move_op(&g, &o, &op),
+            Err(MoveError::RowCrossing { .. })
+        ));
+    }
+
+    #[test]
+    fn same_row_sources_must_stay_in_one_row() {
+        // Both picks start in row 0; landing in different rows splits
+        // the AOD row — rejected.
+        let g = grid_3x3();
+        let o = occ(&g, &[0, 1]);
+        let op = MoveOp {
+            picks: vec![MovePick { src: 0, dst: 3 }, MovePick { src: 1, dst: 7 }],
+        };
+        assert!(matches!(
+            check_move_op(&g, &o, &op),
+            Err(MoveError::RowCrossing { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_translation_is_legal() {
+        // Two atoms in row 0 both shift down one row, keeping order.
+        let g = grid_3x3();
+        let o = occ(&g, &[0, 1]);
+        let op = MoveOp {
+            picks: vec![MovePick { src: 0, dst: 3 }, MovePick { src: 1, dst: 4 }],
+        };
+        assert_eq!(check_move_op(&g, &o, &op), Ok(()));
+    }
+
+    #[test]
+    fn empty_source_and_duplicates_are_rejected() {
+        let g = grid_3x3();
+        let o = occ(&g, &[0]);
+        let op = MoveOp {
+            picks: vec![MovePick { src: 5, dst: 8 }],
+        };
+        assert_eq!(
+            check_move_op(&g, &o, &op),
+            Err(MoveError::EmptySource { site: 5 })
+        );
+        let op = MoveOp {
+            picks: vec![MovePick { src: 0, dst: 4 }, MovePick { src: 0, dst: 8 }],
+        };
+        assert_eq!(
+            check_move_op(&g, &o, &op),
+            Err(MoveError::DuplicateSource { site: 0 })
+        );
+    }
+
+    #[test]
+    fn apply_updates_occupancy() {
+        let g = grid_3x3();
+        let mut o = occ(&g, &[0, 1]);
+        let op = MoveOp {
+            picks: vec![MovePick { src: 0, dst: 1 }, MovePick { src: 1, dst: 2 }],
+        };
+        check_move_op(&g, &o, &op).unwrap();
+        apply_move_op(&mut o, &op);
+        assert!(!o[0] && o[1] && o[2]);
+    }
+}

@@ -1,0 +1,440 @@
+//! The greedy movement scheduler.
+//!
+//! Given a decomposed circuit (native gates, virtual operands), the
+//! interaction-radius [`Device`] view of the array and an initial
+//! placement, [`plan_moves`] produces a [`RoutedCircuit`] whose only
+//! SWAP gates are *relocation stand-ins* — each one records "the atom
+//! at `src` moved to the vacant site `dst`" — plus the batched
+//! [`MoveSchedule`] that realises those relocations on AOD hardware.
+//!
+//! Per stage (ASAP commuting sets from [`crate::stages`]), every
+//! two-qubit gate whose operands are out of interaction radius gets a
+//! relocation plan, tried in order:
+//!
+//! 1. **Move in**: shuttle one operand onto a vacant site within radius
+//!    of the other (whichever direction is the shorter flight).
+//! 2. **Displace**: park an unpinned spectator atom from a site within
+//!    radius of one operand onto the nearest vacant site, then move the
+//!    operand into the freed site. Operands of the stage's own
+//!    two-qubit gates are *pinned* — displacing one could break an
+//!    adjacency the stage already established.
+//! 3. **Rebuild**: shuttle both operands onto a fresh vacant
+//!    within-radius site pair elsewhere on the grid.
+//!
+//! When none applies, the stage is *split*: the blocked gate retries in
+//! a singleton stage (minimal pinning frees every spectator) and the
+//! stage's remaining gates follow in their own stage. A singleton stage
+//! that still cannot be satisfied — no vacant site anywhere, or an
+//! operand stranded by a health overlay — is reported as
+//! [`MapError::Unsatisfiable`], which the backend treats as a demotable
+//! rung (falling back to SWAP routing over the radius graph), not a
+//! hard failure.
+//!
+//! Emitted stand-ins always target a vacant site, so replaying them as
+//! physical-qubit swaps through `qcs-core::verify`'s permutation and
+//! equivalence checks reproduces exactly the relocation the hardware
+//! performs.
+
+use std::collections::VecDeque;
+
+use qcs_circuit::circuit::Circuit;
+use qcs_circuit::gate::Gate;
+use qcs_core::error::UnsatisfiableReason;
+use qcs_core::layout::Layout;
+use qcs_core::mapper::MapError;
+use qcs_core::route::RoutedCircuit;
+use qcs_topology::device::Device;
+
+use crate::grid::DpqaGrid;
+use crate::moves::{apply_move_op, check_move_op, MoveOp, MovePick, MoveSchedule, MoveStage};
+use crate::stages::recalculate_stages;
+
+/// Everything [`plan_moves`] produces for one circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovePlan {
+    /// The physical circuit with relocation SWAP stand-ins, plus the
+    /// evolved layouts. `swaps_inserted` counts the stand-ins;
+    /// `score_evals` counts candidate-site evaluations (the scheduler's
+    /// deterministic work counter).
+    pub routed: RoutedCircuit,
+    /// The batched AOD move schedule realising the stand-ins.
+    pub schedule: MoveSchedule,
+}
+
+/// Mutable planning state threaded through one scheduling run.
+struct Planner<'a> {
+    decomposed: &'a Circuit,
+    device: &'a Device,
+    grid: &'a DpqaGrid,
+    layout: Layout,
+    occupied: Vec<bool>,
+    phys: Circuit,
+    picks_in_stage: Vec<MovePick>,
+    swaps: usize,
+    score_evals: usize,
+}
+
+/// Plans the movement schedule for `decomposed` starting from
+/// `initial`. The circuit must already be decomposed to the device's
+/// gate set (no SWAP gates), so every SWAP in the returned routed
+/// circuit is a relocation stand-in.
+///
+/// # Errors
+///
+/// [`MapError::Unsatisfiable`] when no legal move sequence exists (see
+/// module docs); the caller demotes to SWAP routing.
+pub fn plan_moves(
+    decomposed: &Circuit,
+    device: &Device,
+    grid: &DpqaGrid,
+    initial: Layout,
+) -> Result<MovePlan, MapError> {
+    assert_eq!(
+        grid.site_count(),
+        device.qubit_count(),
+        "device must be the grid's interaction-radius view"
+    );
+    for virt in 0..initial.virtual_count() {
+        let phys = initial.phys_of(virt);
+        if !device.is_qubit_active(phys) {
+            return Err(MapError::Unsatisfiable(
+                UnsatisfiableReason::DisabledQubitInLayout { virt, phys },
+            ));
+        }
+    }
+    let occupied = (0..device.qubit_count())
+        .map(|p| initial.virt_at(p).is_some())
+        .collect();
+    let mut planner = Planner {
+        decomposed,
+        device,
+        grid,
+        layout: initial.clone(),
+        occupied,
+        phys: Circuit::with_name(device.qubit_count(), decomposed.name()),
+        picks_in_stage: Vec::new(),
+        swaps: 0,
+        score_evals: 0,
+    };
+
+    let mut worklist: VecDeque<Vec<usize>> = recalculate_stages(decomposed).into();
+    let mut stages_out: Vec<MoveStage> = Vec::new();
+    while let Some(stage) = worklist.pop_front() {
+        // Pinned atoms: operands of this stage's two-qubit gates. They
+        // may be *moved* for their own gate but never displaced as
+        // spectators for another gate's relocation.
+        let mut pinned = vec![false; decomposed.qubit_count()];
+        for &gi in &stage {
+            let gate = &decomposed.gates()[gi];
+            if gate.is_two_qubit() {
+                for q in gate.qubits() {
+                    pinned[q] = true;
+                }
+            }
+        }
+
+        let stage_start_occupancy = planner.occupied.clone();
+        planner.picks_in_stage.clear();
+        let mut kept = stage.len();
+        for (pos, &gi) in stage.iter().enumerate() {
+            let gate = &planner.decomposed.gates()[gi];
+            if !gate.is_two_qubit() {
+                continue;
+            }
+            let qs = gate.qubits();
+            if planner.ensure_adjacent(qs[0], qs[1], &pinned) {
+                continue;
+            }
+            // Blocked. A singleton stage had minimal pinning already —
+            // nothing left to free, the array genuinely cannot host
+            // this interaction.
+            if stage.len() == 1 {
+                let (from, to) = (planner.layout.phys_of(qs[0]), planner.layout.phys_of(qs[1]));
+                return Err(MapError::Unsatisfiable(
+                    UnsatisfiableReason::NoHealthyPath { from, to },
+                ));
+            }
+            // Split the stage: the blocked gate retries alone (minimal
+            // pinning), the unprocessed remainder follows. Gates within
+            // a stage are operand-disjoint, so the reorder is sound.
+            kept = pos;
+            if pos + 1 < stage.len() {
+                worklist.push_front(stage[pos + 1..].to_vec());
+            }
+            worklist.push_front(vec![gi]);
+            break;
+        }
+
+        // Emit the stage: batched moves, then the surviving gates at
+        // their post-move sites.
+        let ops = batch_picks(grid, &stage_start_occupancy, &planner.picks_in_stage);
+        let mut gates = Vec::with_capacity(kept);
+        for &gi in &stage[..kept] {
+            let layout = &planner.layout;
+            let gate = planner.decomposed.gates()[gi].map_qubits(|v| layout.phys_of(v));
+            planner
+                .phys
+                .push(gate)
+                .expect("physical operands are within the device register");
+            gates.push(gate);
+        }
+        if !ops.is_empty() || !gates.is_empty() {
+            stages_out.push(MoveStage { ops, gates });
+        }
+    }
+
+    let Planner {
+        layout,
+        phys,
+        swaps,
+        score_evals,
+        ..
+    } = planner;
+    Ok(MovePlan {
+        routed: RoutedCircuit {
+            circuit: phys,
+            initial,
+            final_layout: layout,
+            swaps_inserted: swaps,
+            score_evals,
+        },
+        schedule: MoveSchedule { stages: stages_out },
+    })
+}
+
+impl Planner<'_> {
+    /// Relocates one atom: records the pick, emits the SWAP stand-in,
+    /// and updates layout and occupancy.
+    fn relocate(&mut self, src: usize, dst: usize) {
+        debug_assert!(self.occupied[src] && !self.occupied[dst]);
+        self.picks_in_stage.push(MovePick { src, dst });
+        self.phys
+            .push(Gate::Swap(src, dst))
+            .expect("relocation sites are within the device register");
+        self.layout.swap_physical(src, dst);
+        self.occupied[src] = false;
+        self.occupied[dst] = true;
+        self.swaps += 1;
+    }
+
+    /// The nearest vacant in-service site to `from`, if any.
+    fn nearest_vacant(&mut self, from: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for site in 0..self.device.qubit_count() {
+            self.score_evals += 1;
+            if self.occupied[site] || !self.device.is_qubit_active(site) {
+                continue;
+            }
+            let cost = self.grid.dist2(from, site);
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((site, cost));
+            }
+        }
+        best.map(|(site, _)| site)
+    }
+
+    /// Brings the atoms of virtual qubits `va`/`vb` within interaction
+    /// radius, emitting relocations as needed. Returns false when
+    /// blocked (the caller splits the stage or gives up). Never makes a
+    /// partial plan: on false, no move was emitted for this gate.
+    fn ensure_adjacent(&mut self, va: usize, vb: usize, pinned: &[bool]) -> bool {
+        let pa = self.layout.phys_of(va);
+        let pb = self.layout.phys_of(vb);
+        if self.device.are_adjacent(pa, pb) {
+            return true;
+        }
+
+        // 1. Move in: one operand onto a vacant neighbour of the other.
+        let mut best: Option<(usize, usize, usize)> = None;
+        for (mover, anchor) in [(pa, pb), (pb, pa)] {
+            for &site in self.device.neighbors(anchor) {
+                self.score_evals += 1;
+                if self.occupied[site] {
+                    continue;
+                }
+                let cost = self.grid.dist2(mover, site);
+                if best.is_none_or(|(_, _, c)| cost < c) {
+                    best = Some((mover, site, cost));
+                }
+            }
+        }
+        if let Some((src, dst, _)) = best {
+            self.relocate(src, dst);
+            return true;
+        }
+
+        // 2. Displace: park an unpinned spectator out of a neighbour
+        // site, then move the operand in.
+        for (mover, anchor) in [(pa, pb), (pb, pa)] {
+            for i in 0..self.device.neighbors(anchor).len() {
+                let site = self.device.neighbors(anchor)[i];
+                self.score_evals += 1;
+                let Some(v) = self.layout.virt_at(site) else {
+                    continue;
+                };
+                if pinned[v] {
+                    continue;
+                }
+                let Some(park) = self.nearest_vacant(site) else {
+                    // Fully occupied array: no strategy can help.
+                    return false;
+                };
+                self.relocate(site, park);
+                self.relocate(mover, site);
+                return true;
+            }
+        }
+
+        // 3. Rebuild: both operands onto a fresh vacant adjacent pair.
+        let mut best: Option<(usize, usize, usize)> = None;
+        for s1 in 0..self.device.qubit_count() {
+            if self.occupied[s1] || !self.device.is_qubit_active(s1) {
+                continue;
+            }
+            for i in 0..self.device.neighbors(s1).len() {
+                let s2 = self.device.neighbors(s1)[i];
+                self.score_evals += 1;
+                if self.occupied[s2] {
+                    continue;
+                }
+                let cost = self.grid.dist2(pa, s1) + self.grid.dist2(pb, s2);
+                if best.is_none_or(|(_, _, c)| cost < c) {
+                    best = Some((s1, s2, cost));
+                }
+            }
+        }
+        if let Some((s1, s2, _)) = best {
+            self.relocate(pa, s1);
+            self.relocate(pb, s2);
+            return true;
+        }
+        false
+    }
+}
+
+/// Greedily batches a stage's picks into legal AOD move ops: each pick
+/// joins the open op unless the combination breaks a legality rule
+/// (crossing, occupancy), in which case the op closes and a new one
+/// opens. Single picks are always legal against live occupancy, so
+/// batching cannot fail — only fragment.
+fn batch_picks(grid: &DpqaGrid, start_occupancy: &[bool], picks: &[MovePick]) -> Vec<MoveOp> {
+    let mut ops: Vec<MoveOp> = Vec::new();
+    let mut occupancy = start_occupancy.to_vec();
+    let mut current: Vec<MovePick> = Vec::new();
+    for &pick in picks {
+        let mut trial = current.clone();
+        trial.push(pick);
+        let trial_op = MoveOp { picks: trial };
+        if check_move_op(grid, &occupancy, &trial_op).is_ok() {
+            current = trial_op.picks;
+        } else {
+            let done = MoveOp {
+                picks: std::mem::take(&mut current),
+            };
+            apply_move_op(&mut occupancy, &done);
+            ops.push(done);
+            let single = MoveOp { picks: vec![pick] };
+            debug_assert_eq!(check_move_op(grid, &occupancy, &single), Ok(()));
+            current = single.picks;
+        }
+    }
+    if !current.is_empty() {
+        ops.push(MoveOp { picks: current });
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::decompose::decompose_circuit;
+    use qcs_core::place::{Placer, TrivialPlacer};
+
+    fn plan(circuit: &Circuit, rows: usize, cols: usize) -> Result<MovePlan, MapError> {
+        let grid = DpqaGrid::new(rows, cols);
+        let device = grid.device().unwrap();
+        let decomposed = decompose_circuit(circuit, device.gate_set()).unwrap();
+        let initial = TrivialPlacer.place(&decomposed, &device).unwrap();
+        plan_moves(&decomposed, &device, &grid, initial)
+    }
+
+    #[test]
+    fn adjacent_pairs_need_no_moves() {
+        let mut c = Circuit::new(4);
+        c.cnot(0, 1).unwrap().cnot(2, 3).unwrap();
+        let plan = plan(&c, 2, 2).unwrap();
+        assert_eq!(plan.routed.swaps_inserted, 0);
+        assert_eq!(plan.schedule.move_count(), 0);
+    }
+
+    #[test]
+    fn distant_pair_is_moved_within_radius() {
+        // Qubits 0 and 3 start at opposite ends of a 1x4 row: out of
+        // radius, one relocation (to the vacant 5th+ sites' row) needed.
+        let mut c = Circuit::new(4);
+        c.cnot(0, 3).unwrap();
+        let plan = plan(&c, 2, 4).unwrap();
+        assert!(plan.routed.swaps_inserted >= 1);
+        assert_eq!(plan.routed.swaps_inserted, plan.schedule.move_count());
+    }
+
+    #[test]
+    fn every_two_qubit_gate_lands_within_radius() {
+        let qft = qcs_workloads::qft::qft(9).unwrap();
+        let grid = DpqaGrid::new(4, 4);
+        let device = grid.device().unwrap();
+        let decomposed = decompose_circuit(&qft, device.gate_set()).unwrap();
+        let initial = TrivialPlacer.place(&decomposed, &device).unwrap();
+        let plan = plan_moves(&decomposed, &device, &grid, initial).unwrap();
+        for gate in plan.routed.circuit.gates() {
+            let qs = gate.qubits();
+            if qs.len() == 2 && gate.kind() != qcs_circuit::gate::GateKind::Swap {
+                assert!(device.are_adjacent(qs[0], qs[1]), "{gate:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn move_schedule_replays_legally() {
+        // Audit the whole schedule through the independent legality
+        // checker: every op legal against evolving occupancy, every
+        // stand-in matched by a pick.
+        let qft = qcs_workloads::qft::qft(10).unwrap();
+        let grid = DpqaGrid::new(4, 4);
+        let device = grid.device().unwrap();
+        let decomposed = decompose_circuit(&qft, device.gate_set()).unwrap();
+        let initial = TrivialPlacer.place(&decomposed, &device).unwrap();
+        let plan = plan_moves(&decomposed, &device, &grid, initial.clone()).unwrap();
+        let mut occupancy: Vec<bool> = (0..device.qubit_count())
+            .map(|p| initial.virt_at(p).is_some())
+            .collect();
+        let mut total_picks = 0;
+        for stage in &plan.schedule.stages {
+            for op in &stage.ops {
+                check_move_op(&grid, &occupancy, op).unwrap();
+                apply_move_op(&mut occupancy, op);
+                total_picks += op.picks.len();
+            }
+        }
+        assert_eq!(total_picks, plan.routed.swaps_inserted);
+        assert!(plan.schedule.stage_count() > 0);
+    }
+
+    #[test]
+    fn full_grid_with_distant_pair_is_unsatisfiable() {
+        // 8 atoms fill a 2x4 grid completely; qubits 0 and 3 sit at
+        // opposite row ends with nowhere to move anything.
+        let mut c = Circuit::new(8);
+        c.cnot(0, 3).unwrap();
+        let err = plan(&c, 2, 4).unwrap_err();
+        assert!(matches!(err, MapError::Unsatisfiable(_)), "{err:?}");
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let qft = qcs_workloads::qft::qft(8).unwrap();
+        let a = plan(&qft, 3, 4).unwrap();
+        let b = plan(&qft, 3, 4).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,80 @@
+//! Gate staging by commuting-set recomputation.
+//!
+//! DPQA hardware alternates *move phases* (AOD shuttles reconfigure the
+//! array) with *gate phases* (all gates of one stage fire in parallel).
+//! A stage is therefore a set of gates with pairwise-disjoint operands.
+//! [`recalculate_stages`] computes the ASAP staging of a circuit: each
+//! gate lands in the earliest stage where all its operands are free —
+//! the `recalculate_stages` idiom of movement compilers. Gates that
+//! share a qubit keep their program order across stages; gates within a
+//! stage are operand-disjoint and hence commute, so replaying stages in
+//! order (any order within a stage) preserves circuit semantics.
+
+use qcs_circuit::circuit::Circuit;
+
+/// ASAP staging: returns stages of gate *indices* into
+/// `circuit.gates()`, each stage's gates having pairwise-disjoint
+/// operands, every gate in the earliest stage its dependencies allow.
+pub fn recalculate_stages(circuit: &Circuit) -> Vec<Vec<usize>> {
+    let mut next_free = vec![0usize; circuit.qubit_count()];
+    let mut stages: Vec<Vec<usize>> = Vec::new();
+    for (index, gate) in circuit.gates().iter().enumerate() {
+        let qubits = gate.qubits();
+        let stage = qubits.iter().map(|&q| next_free[q]).max().unwrap_or(0);
+        if stage == stages.len() {
+            stages.push(Vec::new());
+        }
+        stages[stage].push(index);
+        for &q in &qubits {
+            next_free[q] = stage + 1;
+        }
+    }
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::gate::Gate;
+
+    #[test]
+    fn disjoint_gates_share_a_stage() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cz(0, 1)).unwrap();
+        c.push(Gate::Cz(2, 3)).unwrap();
+        assert_eq!(recalculate_stages(&c), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn dependent_gates_split_stages() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cz(0, 1)).unwrap();
+        c.push(Gate::Cz(1, 2)).unwrap();
+        c.push(Gate::H(0)).unwrap();
+        // H(0) is free as soon as CZ(0,1) is done: stage 1, next to CZ(1,2).
+        assert_eq!(recalculate_stages(&c), vec![vec![0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn stages_have_disjoint_operands() {
+        let qft = qcs_workloads::qft::qft(7).unwrap();
+        for stage in recalculate_stages(&qft) {
+            let mut seen = Vec::new();
+            for &gi in &stage {
+                for q in qft.gates()[gi].qubits() {
+                    assert!(!seen.contains(&q), "qubit {q} twice in one stage");
+                    seen.push(q);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_gate_is_staged_exactly_once() {
+        let qft = qcs_workloads::qft::qft(6).unwrap();
+        let stages = recalculate_stages(&qft);
+        let mut indices: Vec<usize> = stages.into_iter().flatten().collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..qft.gate_count()).collect::<Vec<_>>());
+    }
+}

@@ -6,11 +6,16 @@
 //! qcs-client --addr HOST:PORT suite [--count N] [--max-qubits N]
 //!                                   [--max-gates N] [--seed N] [options]
 //! qcs-client --addr HOST:PORT stats | ping | shutdown | probe
+//! qcs-client --list-devices
 //!
 //! options: --device SPEC  --placer NAME  --router NAME
 //!          --deadline-ms N  --request-id ID  --retries N
 //!          --timeout-ms N  --json
 //! ```
+//!
+//! `--list-devices` prints the accepted device-spec grammar — one line
+//! per family, straight from the daemon's own catalog table — and
+//! exits without contacting a server.
 //!
 //! `compile`/`workload` print a one-line summary of the mapped circuit;
 //! `suite` prints a fixed-width table, one row per benchmark. `--json`
@@ -43,6 +48,7 @@ use qcs_rng::{Rng, SeedableRng};
 use qcs_serve::protocol::{read_frame, write_json};
 
 const USAGE: &str = "usage: qcs-client --addr HOST:PORT <command> [options]\n\
+       qcs-client --list-devices\n\
   commands: compile FILE | workload SPEC | suite | stats | ping | shutdown | probe\n\
   options:  --device SPEC --placer NAME --router NAME --deadline-ms N\n\
             --request-id ID --count N --max-qubits N --max-gates N\n\
@@ -50,6 +56,7 @@ const USAGE: &str = "usage: qcs-client --addr HOST:PORT <command> [options]\n\
 
 struct Options {
     addr: String,
+    list_devices: bool,
     device: Option<String>,
     placer: Option<String>,
     router: Option<String>,
@@ -68,6 +75,7 @@ struct Options {
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         addr: String::new(),
+        list_devices: false,
         device: None,
         placer: None,
         router: None,
@@ -89,6 +97,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         }
         if arg == "--json" {
             opts.json = true;
+            continue;
+        }
+        if arg == "--list-devices" {
+            opts.list_devices = true;
             continue;
         }
         if !arg.starts_with("--") {
@@ -124,6 +136,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             _ => return Err(format!("unknown flag '{arg}'\n{USAGE}")),
         }
     }
+    // `--list-devices` is answered locally from the catalog table —
+    // no daemon, so no address or command needed.
+    if opts.list_devices {
+        return Ok(opts);
+    }
     if opts.addr.is_empty() {
         return Err(format!("--addr is required\n{USAGE}"));
     }
@@ -131,6 +148,20 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         return Err(format!("no command given\n{USAGE}"));
     }
     Ok(opts)
+}
+
+/// Prints the device-spec grammar, one line per family. The table is
+/// the same one the daemon resolves against, so this listing can never
+/// drift from what the server accepts.
+fn print_device_families() {
+    let width = qcs_serve::catalog::DEVICE_FAMILIES
+        .iter()
+        .map(|(grammar, _)| grammar.len())
+        .max()
+        .unwrap_or(0);
+    for (grammar, description) in qcs_serve::catalog::DEVICE_FAMILIES {
+        println!("{grammar:<width$}  {description}");
+    }
 }
 
 /// Members shared by `compile` and `compile_suite` requests.
@@ -477,6 +508,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.list_devices {
+        print_device_families();
+        return ExitCode::SUCCESS;
+    }
     if opts.command[0] == "probe" {
         return match probe(&opts) {
             Ok(()) => ExitCode::SUCCESS,

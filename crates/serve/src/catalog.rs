@@ -6,11 +6,46 @@
 //! spec is deterministic: the same string always resolves to the same
 //! object, which is what makes specs valid cache-key material.
 
+use std::sync::Arc;
+
 use qcs_circuit::circuit::Circuit;
+use qcs_core::backend::{Backend, CoupledBackend};
+use qcs_dpqa::{DpqaBackend, DpqaGrid};
 use qcs_topology::device::Device;
 use qcs_topology::lattice::{full_device, grid_device, heavy_hex_device, line_device, ring_device};
 use qcs_topology::surface::{surface17, surface7, surface_extended};
 use qcs_topology::DeviceHealth;
+
+/// Every accepted device-spec family: `(grammar, description)`.
+///
+/// This table is the single source of truth for what the catalog
+/// accepts — the unknown-spec error lists it, and `qcs-client
+/// --list-devices` prints it — so a new family lands in the error
+/// message and the client help the moment it lands in the resolver.
+pub const DEVICE_FAMILIES: &[(&str, &str)] = &[
+    ("surface7", "7-qubit surface-code lattice (paper Fig. 2)"),
+    ("surface17", "17-qubit distance-3 surface-code lattice"),
+    ("surface97", "97-qubit distance-7 extended surface lattice"),
+    ("line:N", "N qubits on an open chain"),
+    ("ring:N", "N qubits on a closed ring"),
+    ("full:N", "N all-to-all coupled qubits"),
+    ("grid:RxC", "rows x cols square lattice"),
+    ("heavy-hex:RxC", "rows x cols heavy-hex lattice"),
+    (
+        "dpqa:RxC",
+        "rows x cols neutral-atom site array; movement-based compilation",
+    ),
+    (
+        "degraded:QFRAC:CFRAC:SEED:BASE",
+        "seeded random qubit/coupler outage over any base spec",
+    ),
+];
+
+/// The comma-joined family grammars, for unknown-spec errors.
+fn family_grammar_list() -> String {
+    let grammars: Vec<&str> = DEVICE_FAMILIES.iter().map(|(g, _)| *g).collect();
+    grammars.join(", ")
+}
 
 /// Error raised for an unknown or malformed spec.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,36 +80,56 @@ fn parse_dims(spec: &str, arg: &str) -> Result<(usize, usize), SpecError> {
     ))
 }
 
+/// Parses the tail of a `degraded:` spec into fractions, seed and the
+/// base spec. `BASE` may itself contain `:`, so exactly three leading
+/// arguments are split off.
+fn parse_degraded<'a>(spec: &str, rest: &'a str) -> Result<(f64, f64, u64, &'a str), SpecError> {
+    let parts: Vec<&str> = rest.splitn(4, ':').collect();
+    let [qubit_frac, coupler_frac, seed, base] = parts.as_slice() else {
+        return Err(SpecError(format!(
+            "degraded spec needs QFRAC:CFRAC:SEED:BASE, got '{spec}'"
+        )));
+    };
+    let qubit_frac: f64 = parse_num(spec, qubit_frac, "disabled-qubit fraction")?;
+    let coupler_frac: f64 = parse_num(spec, coupler_frac, "disabled-coupler fraction")?;
+    let seed: u64 = parse_num(spec, seed, "seed")?;
+    if !(0.0..=1.0).contains(&qubit_frac) || !(0.0..=1.0).contains(&coupler_frac) {
+        return Err(SpecError(format!(
+            "degraded fractions must be in [0, 1] in spec '{spec}'"
+        )));
+    }
+    Ok((qubit_frac, coupler_frac, seed, base))
+}
+
+/// Parses `dpqa:RxC` dimensions, rejecting zero-sized arrays with a
+/// client-presentable message.
+fn parse_dpqa_dims(spec: &str, dims: &str) -> Result<(usize, usize), SpecError> {
+    let (rows, cols) = parse_dims(spec, dims)?;
+    if rows == 0 || cols == 0 {
+        return Err(SpecError(format!(
+            "dpqa dimensions must be positive in spec '{spec}'"
+        )));
+    }
+    Ok((rows, cols))
+}
+
 /// Resolves a device spec.
 ///
-/// Accepted: `surface7`, `surface17`, `surface97`, `line:N`, `ring:N`,
-/// `full:N`, `grid:RxC`, `heavy-hex:RxC`, plus the recursive
-/// `degraded:QFRAC:CFRAC:SEED:BASE` wrapper, where `BASE` is any device
-/// spec (including another `degraded:` one) and the fractions pick a
-/// seeded random outage of its qubits and couplers. Degradation is
+/// Accepted families are listed in [`DEVICE_FAMILIES`]; `BASE` in a
+/// `degraded:QFRAC:CFRAC:SEED:BASE` wrapper is any device spec
+/// (including another `degraded:` one) and the fractions pick a seeded
+/// random outage of its qubits and couplers. Degradation is
 /// deterministic — same spec, same device, same `@digest` name — so
-/// degraded specs remain valid cache-key material.
+/// degraded specs remain valid cache-key material. A `dpqa:RxC` spec
+/// resolves to the array's interaction-radius *device view*; use
+/// [`resolve_backend`] to get the movement-based compilation pipeline.
 ///
 /// # Errors
 ///
 /// [`SpecError`] with a client-presentable message.
 pub fn resolve_device(spec: &str) -> Result<Device, SpecError> {
     if let Some(rest) = spec.strip_prefix("degraded:") {
-        // BASE may itself contain ':', so split off exactly three args.
-        let parts: Vec<&str> = rest.splitn(4, ':').collect();
-        let [qubit_frac, coupler_frac, seed, base] = parts.as_slice() else {
-            return Err(SpecError(format!(
-                "degraded spec needs QFRAC:CFRAC:SEED:BASE, got '{spec}'"
-            )));
-        };
-        let qubit_frac: f64 = parse_num(spec, qubit_frac, "disabled-qubit fraction")?;
-        let coupler_frac: f64 = parse_num(spec, coupler_frac, "disabled-coupler fraction")?;
-        let seed: u64 = parse_num(spec, seed, "seed")?;
-        if !(0.0..=1.0).contains(&qubit_frac) || !(0.0..=1.0).contains(&coupler_frac) {
-            return Err(SpecError(format!(
-                "degraded fractions must be in [0, 1] in spec '{spec}'"
-            )));
-        }
+        let (qubit_frac, coupler_frac, seed, base) = parse_degraded(spec, rest)?;
         let device = resolve_device(base)?;
         let health = DeviceHealth::random(device.coupling(), qubit_frac, coupler_frac, seed);
         return device
@@ -100,17 +155,61 @@ pub fn resolve_device(spec: &str) -> Result<Device, SpecError> {
             let (r, c) = parse_dims(spec, dims)?;
             Ok(heavy_hex_device(r, c))
         }
+        ("dpqa", [dims]) => {
+            let (rows, cols) = parse_dpqa_dims(spec, dims)?;
+            DpqaGrid::new(rows, cols)
+                .device()
+                .map_err(|e| SpecError(format!("dpqa spec '{spec}' rejected: {e}")))
+        }
         (
             "surface7" | "surface17" | "surface97" | "line" | "ring" | "full" | "grid"
-            | "heavy-hex",
+            | "heavy-hex" | "dpqa",
             _,
         ) => Err(arity_err()),
         _ => Err(SpecError(format!(
-            "unknown device '{spec}' (try surface7, surface17, surface97, \
-             line:N, ring:N, full:N, grid:RxC, heavy-hex:RxC, \
-             degraded:QFRAC:CFRAC:SEED:BASE)"
+            "unknown device '{spec}' (accepted families: {})",
+            family_grammar_list()
         ))),
     }
+}
+
+/// Resolves a device spec into a compilation [`Backend`].
+///
+/// This is the serving tier's entry point: `dpqa:RxC` yields the
+/// movement-based [`DpqaBackend`], every fixed-coupler spec is wrapped
+/// in a [`CoupledBackend`] over [`resolve_device`]'s result, and the
+/// `degraded:` wrapper recurses through [`Backend::degrade`] so an
+/// outage over a movement array stays a movement array. Resolution is
+/// deterministic — the same spec always yields a backend with the same
+/// [`Backend::id`] and the same inner device — which is what keeps
+/// specs valid cache-key material.
+///
+/// # Errors
+///
+/// [`SpecError`] with a client-presentable message.
+pub fn resolve_backend(spec: &str) -> Result<Arc<dyn Backend>, SpecError> {
+    if let Some(rest) = spec.strip_prefix("degraded:") {
+        let (qubit_frac, coupler_frac, seed, base) = parse_degraded(spec, rest)?;
+        let backend = resolve_backend(base)?;
+        let health =
+            DeviceHealth::random(backend.device().coupling(), qubit_frac, coupler_frac, seed);
+        return backend
+            .degrade(&health)
+            .map_err(|e| SpecError(format!("degraded spec '{spec}' rejected: {e}")));
+    }
+    let (head, args) = split_args(spec);
+    if head == "dpqa" {
+        let [dims] = args.as_slice() else {
+            return Err(SpecError(format!(
+                "wrong argument count in device spec '{spec}'"
+            )));
+        };
+        let (rows, cols) = parse_dpqa_dims(spec, dims)?;
+        let backend = DpqaBackend::new(rows, cols)
+            .map_err(|e| SpecError(format!("dpqa spec '{spec}' rejected: {e}")))?;
+        return Ok(Arc::new(backend));
+    }
+    resolve_device(spec).map(|device| Arc::new(CoupledBackend::new(device)) as Arc<dyn Backend>)
 }
 
 /// Resolves a workload spec into a circuit.
@@ -219,6 +318,101 @@ mod tests {
                 "{e}"
             );
         }
+    }
+
+    #[test]
+    fn unknown_spec_error_lists_every_family() {
+        for resolver_err in [
+            resolve_device("warp-core").unwrap_err(),
+            resolve_backend("warp-core").err().expect("unknown spec"),
+        ] {
+            for (grammar, _) in DEVICE_FAMILIES {
+                assert!(
+                    resolver_err.0.contains(grammar),
+                    "error should list '{grammar}': {resolver_err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dpqa_specs_resolve_as_devices_and_backends() {
+        let device = resolve_device("dpqa:3x4").unwrap();
+        assert_eq!(device.name(), "dpqa-3x4");
+        assert_eq!(device.qubit_count(), 12);
+
+        let backend = resolve_backend("dpqa:3x4").unwrap();
+        assert_eq!(backend.id(), "dpqa-3x4");
+        assert_eq!(backend.qubit_count(), 12);
+        // The backend's verification view is exactly the device spec's
+        // resolution: one radius graph, two entry points.
+        assert_eq!(*backend.device(), device);
+    }
+
+    #[test]
+    fn malformed_dpqa_dims_are_client_presentable() {
+        for bad in [
+            "dpqa:0x3", "dpqa:4x", "dpqa:x4", "dpqa:4x0", "dpqa", "dpqa:3:4",
+        ] {
+            let via_device = resolve_device(bad).unwrap_err();
+            let via_backend = resolve_backend(bad).err().expect("malformed spec");
+            for e in [&via_device, &via_backend] {
+                assert!(
+                    e.0.contains(bad),
+                    "'{bad}' error should quote the spec: {e}"
+                );
+            }
+        }
+    }
+
+    /// The headline catalog property: any accepted spec resolves twice
+    /// to byte-identical backends — same id, same inner device (the
+    /// `Device` comparison covers name, coupling, calibration and
+    /// health), same job digest for a fixed circuit. This is the fact
+    /// that makes a spec string usable as cache-key material.
+    #[test]
+    fn accepted_specs_resolve_deterministically_as_backends() {
+        let circuit = qcs_workloads::ghz::ghz_chain(5).unwrap();
+        let config = qcs_core::config::MapperConfig::default();
+        for spec in [
+            "surface7",
+            "surface17",
+            "surface97",
+            "line:9",
+            "ring:8",
+            "full:5",
+            "grid:4x5",
+            "heavy-hex:2x2",
+            "dpqa:4x4",
+            "degraded:0.1:0.1:7:surface17",
+            "degraded:0.1:0.1:7:dpqa:4x4",
+            "degraded:0:0.1:9:degraded:0:0.1:3:dpqa:5x5",
+        ] {
+            let a = resolve_backend(spec).unwrap();
+            let b = resolve_backend(spec).unwrap();
+            assert_eq!(a.id(), b.id(), "{spec}");
+            assert_eq!(a.qubit_count(), b.qubit_count(), "{spec}");
+            assert_eq!(*a.device(), *b.device(), "{spec}");
+            assert_eq!(
+                crate::compile::job_digest(&circuit, a.as_ref(), &config),
+                crate::compile::job_digest(&circuit, b.as_ref(), &config),
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_dpqa_backend_keeps_the_movement_physics() {
+        let backend = resolve_backend("degraded:0:0.15:7:dpqa:4x4").unwrap();
+        assert!(backend.id().starts_with("dpqa-4x4@"), "{}", backend.id());
+        assert_eq!(backend.qubit_count(), 16);
+        // The degraded array still compiles through the movement
+        // pipeline (or its internal SWAP demotion) and verifies.
+        let circuit = qcs_workloads::ghz::ghz_chain(6).unwrap();
+        let outcome = backend
+            .map(&circuit, &qcs_core::config::MapperConfig::default())
+            .unwrap();
+        assert!(outcome.report.verified);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Job execution: from request to canonical, cacheable response bytes.
 //!
-//! A *job* is (circuit, device, mapper config). Its digest — the cache
-//! key — folds together the circuit's content digest, the device name
+//! A *job* is (circuit, backend, mapper config). Its digest — the cache
+//! key — folds together the circuit's content digest, the backend id
 //! and width, and the strategy names, all via the stable FNV-1a hasher
-//! from `qcs_circuit::hash`.
+//! from `qcs_circuit::hash`. For fixed-coupler backends the id is the
+//! device name, so pre-backend cache keys are unchanged.
 //!
 //! The *canonical result* is deliberately a pure function of the job:
 //! the full `MapReport` with wall-clock timing normalized to zero, plus
@@ -14,14 +15,15 @@
 //! (never inside) the canonical bytes, and feeds the per-stage latency
 //! histograms.
 
+use std::sync::Arc;
+
 use qcs_circuit::circuit::Circuit;
 use qcs_circuit::hash::{circuit_digest, Fnv64};
 use qcs_circuit::qasm;
+use qcs_core::backend::Backend;
 use qcs_core::config::MapperConfig;
-use qcs_core::ladder::FallbackLadder;
 use qcs_core::mapper::StageTiming;
 use qcs_json::{Json, ToJson};
-use qcs_topology::device::Device;
 use qcs_topology::DeviceHealth;
 
 use crate::catalog;
@@ -40,19 +42,29 @@ impl std::fmt::Display for JobError {
 impl std::error::Error for JobError {}
 
 /// A fully-resolved compilation job.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Job {
     /// The circuit to map.
     pub circuit: Circuit,
-    /// The target device.
-    pub device: Device,
+    /// The compilation target (fixed-coupler or movement-based).
+    pub backend: Arc<dyn Backend>,
     /// The pipeline description.
     pub config: MapperConfig,
 }
 
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("circuit", &self.circuit.name())
+            .field("backend", &self.backend.id())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
 impl Job {
     /// Resolves a protocol request into a job (parses QASM / generates
-    /// the workload, resolves the device, keeps the config).
+    /// the workload, resolves the backend, keeps the config).
     ///
     /// # Errors
     ///
@@ -71,22 +83,22 @@ impl Job {
                 catalog::resolve_workload(spec).map_err(|e| JobError(e.to_string()))
             }
         }?;
-        let device =
-            catalog::resolve_device(&request.device).map_err(|e| JobError(e.to_string()))?;
+        let backend =
+            catalog::resolve_backend(&request.device).map_err(|e| JobError(e.to_string()))?;
         Ok(Job {
             circuit,
-            device,
+            backend,
             config: request.config.clone(),
         })
     }
 
     /// The job's content digest — the cache key.
     pub fn digest(&self) -> u64 {
-        job_digest(&self.circuit, &self.device, &self.config)
+        job_digest(&self.circuit, self.backend.as_ref(), &self.config)
     }
 
     /// The job's *full* key: the complete canonical description the
-    /// digest summarizes (QASM text + device identity + strategy names).
+    /// digest summarizes (QASM text + backend identity + strategy names).
     /// The cache compares this byte-for-byte on every digest hit, so a
     /// 64-bit collision between distinct jobs can never serve the wrong
     /// result — see `cache::CacheStats::hash_conflicts`.
@@ -94,9 +106,9 @@ impl Job {
         let mut key = Vec::new();
         key.extend_from_slice(qasm::print(&self.circuit).as_bytes());
         key.push(0);
-        key.extend_from_slice(self.device.name().as_bytes());
+        key.extend_from_slice(self.backend.id().as_bytes());
         key.push(0);
-        key.extend_from_slice(self.device.qubit_count().to_string().as_bytes());
+        key.extend_from_slice(self.backend.qubit_count().to_string().as_bytes());
         key.push(0);
         key.extend_from_slice(self.config.placer.as_bytes());
         key.push(0);
@@ -108,10 +120,10 @@ impl Job {
     ///
     /// The only tag currently understood is
     /// `degrade:QFRAC:CFRAC:SEED` — a mid-flight calibration outage that
-    /// swaps the job's device for a seeded random degradation of itself
-    /// (see [`DeviceHealth::random`]). Because degrading renames the
-    /// device, the job's digest changes with it and cached fault-free
-    /// results stay untouched.
+    /// swaps the job's backend for a seeded random degradation of itself
+    /// (see [`DeviceHealth::random`] and [`Backend::degrade`]). Because
+    /// degrading renames the backend, the job's digest changes with it
+    /// and cached fault-free results stay untouched.
     ///
     /// # Errors
     ///
@@ -133,9 +145,14 @@ impl Job {
         if parts.next().is_some() {
             return Err(bad());
         }
-        let health = DeviceHealth::random(self.device.coupling(), qubit_frac, coupler_frac, seed);
-        self.device = self
-            .device
+        let health = DeviceHealth::random(
+            self.backend.device().coupling(),
+            qubit_frac,
+            coupler_frac,
+            seed,
+        );
+        self.backend = self
+            .backend
             .degrade(&health)
             .map_err(|e| JobError(format!("degrade trigger rejected: {e}")))?;
         Ok(())
@@ -143,11 +160,11 @@ impl Job {
 }
 
 /// Stable digest of everything that determines a compilation result.
-pub fn job_digest(circuit: &Circuit, device: &Device, config: &MapperConfig) -> u64 {
+pub fn job_digest(circuit: &Circuit, backend: &dyn Backend, config: &MapperConfig) -> u64 {
     let mut h = Fnv64::new();
     h.write_u64(circuit_digest(circuit));
-    h.write_str(device.name());
-    h.write_usize(device.qubit_count());
+    h.write_str(backend.id());
+    h.write_usize(backend.qubit_count());
     h.write_str(&config.placer);
     h.write_str(&config.router);
     h.finish()
@@ -165,22 +182,24 @@ pub struct CompileOutput {
     pub timing: StageTiming,
 }
 
-/// Runs the mapping pipeline — the requested config at the top of a
-/// [`FallbackLadder`], verification on — and builds the canonical
-/// `result` payload. The embedded report records which rung served
-/// (`fallback_rung`, 0 = the requested pipeline) and that the result was
-/// verified, so a degraded answer is always visibly degraded.
+/// Runs the backend's mapping pipeline — the requested config at the
+/// top of its fallback ladder, verification on — and builds the
+/// canonical `result` payload. The embedded report records which rung
+/// served (`fallback_rung`, 0 = the requested pipeline; for a movement
+/// backend the SWAP-demotion rungs sit below the movement rungs) and
+/// that the result was verified, so a degraded answer is always visibly
+/// degraded.
 ///
 /// # Errors
 ///
-/// [`JobError`] when every rung of the ladder rejects the job (unknown
-/// strategy, circuit wider than the device, routing failure…) or the
-/// job is unsatisfiable on the device.
+/// [`JobError`] when every rung of the backend's ladder rejects the job
+/// (unknown strategy, circuit wider than the target, routing failure…)
+/// or the job is unsatisfiable on the target.
 pub fn run_job(job: &Job) -> Result<CompileOutput, JobError> {
     let digest = job.digest();
-    let ladder = FallbackLadder::standard(job.config.clone());
-    let outcome = ladder
-        .map(&job.circuit, &job.device)
+    let outcome = job
+        .backend
+        .map(&job.circuit, &job.config)
         .map_err(|e| JobError(format!("mapping failed: {e}")))?;
     let timing = outcome.report.timing;
 
@@ -250,9 +269,10 @@ mod tests {
         assert_eq!(value.get("type").and_then(Json::as_str), Some("result"));
 
         // The embedded report equals a direct in-process ladder run
-        // (timing zeroed).
-        let ladder = FallbackLadder::standard(job.config.clone());
-        let outcome = ladder.map(&job.circuit, &job.device).unwrap();
+        // against the same device (timing zeroed).
+        let device = catalog::resolve_device("surface17").unwrap();
+        let ladder = qcs_core::ladder::FallbackLadder::standard(job.config.clone());
+        let outcome = ladder.map(&job.circuit, &device).unwrap();
         assert_eq!(outcome.report.fallback_rung, 0);
         assert!(outcome.report.verified);
         let mut report = outcome.report;
@@ -263,6 +283,31 @@ mod tests {
         );
         // And the measured timing is real.
         assert!(out.timing.total_micros() > 0.0);
+    }
+
+    #[test]
+    fn dpqa_jobs_run_through_the_movement_backend() {
+        let mut req = request("qft:8");
+        req.device = "dpqa:3x4".to_string();
+        req.config = MapperConfig::default();
+        let job = Job::resolve(&req).unwrap();
+        assert_eq!(job.backend.id(), "dpqa-3x4");
+        let out = run_job(&job).unwrap();
+        let text = String::from_utf8(out.payload).unwrap();
+        let value = qcs_json::parse(&text).unwrap();
+        let report = value.get("report").unwrap();
+        assert_eq!(
+            report.get("router").and_then(Json::as_str),
+            Some(qcs_dpqa::MOVE_ROUTER)
+        );
+        assert_eq!(report.get("verified").and_then(Json::as_bool), Some(true));
+        assert!(
+            report
+                .get("moves_inserted")
+                .and_then(Json::as_usize)
+                .unwrap()
+                > 0
+        );
     }
 
     #[test]

@@ -631,8 +631,8 @@ fn respond_suite(shared: &Shared, request: &SuiteRequest) -> Vec<u8> {
             .to_compact_string()
             .into_bytes();
     }
-    let device = match crate::catalog::resolve_device(&request.device) {
-        Ok(device) => device,
+    let backend = match crate::catalog::resolve_backend(&request.device) {
+        Ok(backend) => backend,
         Err(e) => {
             return error_response(e.to_string())
                 .to_compact_string()
@@ -652,7 +652,7 @@ fn respond_suite(shared: &Shared, request: &SuiteRequest) -> Vec<u8> {
     let results = qcs_bench::run_claimed(&benchmarks, shared.config.workers, |_, benchmark| {
         let job = Job {
             circuit: benchmark.circuit.clone(),
-            device: device.clone(),
+            backend: backend.clone(),
             config: request.config.clone(),
         };
         let digest = job.digest();

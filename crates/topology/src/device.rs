@@ -42,6 +42,9 @@ pub enum DeviceError {
     },
     /// A health overlay would disable every qubit on the device.
     AllQubitsDisabled,
+    /// The device would have no qubits at all (e.g. a zero-dimension
+    /// site grid).
+    EmptyRegister,
 }
 
 impl std::fmt::Display for DeviceError {
@@ -71,6 +74,7 @@ impl std::fmt::Display for DeviceError {
             DeviceError::AllQubitsDisabled => {
                 write!(f, "health overlay disables every qubit on the device")
             }
+            DeviceError::EmptyRegister => write!(f, "device would have no qubits"),
         }
     }
 }
