@@ -19,16 +19,25 @@
 #                                       router, per-shard cache locality,
 #                                       kill -9 one shard with zero failed
 #                                       requests
-#   9. benchmark regression gate        fresh bench_baseline run vs the
+#   9. fleet chaos test                 supervised 3-shard fleet under seeded
+#                                       transport faults: two SIGKILLs and a
+#                                       SIGSTOP under closed-loop load lose
+#                                       zero requests, killed shards restart
+#                                       warm from their WAL, zero-budget
+#                                       requests are rejected up front, and
+#                                       SIGTERM drains the fleet cleanly
+#  10. benchmark regression gate        fresh bench_baseline run vs the
 #                                       committed BENCH_*.json (mapper, sim
 #                                       and dpqa movement sweeps): work
 #                                       counters exact, wall times within
 #                                       QCS_BENCH_WALL_BUDGET (default 4x,
 #                                       0 disables)
-#  10. serving regression gate          fresh bench_load run vs the committed
-#                                       BENCH_serve.json: routing/cache
-#                                       counters exact, latency and rps
-#                                       within the same wall budget
+#  11. serving regression gate          fresh bench_load run vs the committed
+#                                       BENCH_serve.json: routing/cache and
+#                                       resilience counters (hedges, breaker
+#                                       opens, sheds, deadline rejections)
+#                                       exact, latency and rps within the
+#                                       same wall budget
 set -eu
 
 echo "==> cargo build --release"
@@ -57,6 +66,9 @@ echo "==> persist smoke test"
 
 echo "==> shard smoke test"
 ./ci_shard_smoke.sh
+
+echo "==> fleet chaos test"
+./ci_fleet_chaos.sh
 
 echo "==> benchmark regression gate"
 ./target/release/bench_baseline --check

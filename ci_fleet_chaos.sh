@@ -1,0 +1,208 @@
+#!/usr/bin/env sh
+# Fleet-level chaos gate: a *supervised* 3-shard fleet must survive a
+# seeded schedule of transport faults, shard kills and stalls without
+# losing a single request. Checks, in order:
+#   1. qcs-supervisor boots 3 WAL-backed shards behind a router and
+#      publishes the fleet state file;
+#   2. under a closed-loop hammer (bench_load --chaos) with seeded
+#      slow-read/partial-write faults armed on every shard, SIGKILLing
+#      two shards and SIGSTOPping a third loses nothing: the hammer
+#      exits zero (every request eventually answered) and p99 stays
+#      under an env-tunable budget;
+#   3. the supervisor restarts killed shards with backoff and re-warms
+#      them from their WAL: the restarted shard reports recovered
+#      records and serves the replayed keyspace without a single
+#      post-restart miss;
+#   4. a zero-budget request is refused up front with a structured
+#      deadline_exceeded — before any forwarding or compilation;
+#   5. SIGTERM drains the whole fleet gracefully (exit 0, no hard
+#      kills), and the router itself never needed a restart.
+# Assumes `cargo build --release` already ran (CI runs it first);
+# builds on demand otherwise.
+set -eu
+
+SMOKE_NAME="fleet chaos"
+SMOKE_TAG=fleet
+. ./ci_lib.sh
+smoke_build
+smoke_init
+
+ROOT="$SMOKE_SCRATCH/fleet"
+STATE="$SMOKE_SCRATCH/state.json"
+PORT="$SMOKE_SCRATCH/router.port"
+CHILD_LOGS="$SMOKE_LOG_DIR/$SMOKE_TAG-children"
+LOAD_JSON="$SMOKE_LOG_DIR/$SMOKE_TAG-load.json"
+P99_BUDGET=${QCS_FLEET_P99_BUDGET_MICROS:-5000000}
+
+# The supervisor owns children the smoke trap doesn't know about: drain
+# it first (SIGTERM), then hard-kill whatever the state file still
+# lists, then fall back to the stock cleanup.
+fleet_cleanup() {
+    if [ -n "${SUP_PID:-}" ] && kill -0 "$SUP_PID" 2>/dev/null; then
+        kill -TERM "$SUP_PID" 2>/dev/null || true
+        for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+            kill -0 "$SUP_PID" 2>/dev/null || break
+            sleep 0.2
+        done
+    fi
+    if [ -s "$STATE" ]; then
+        # Drained wards publish pid 0 — and `kill -9 0` would take out
+        # this whole process group, so filter rigorously.
+        for _p in $(grep -o '"pid": [0-9]*' "$STATE" | tr -dc '0-9\n'); do
+            [ -n "$_p" ] && [ "$_p" -gt 1 ] && kill -9 "$_p" 2>/dev/null || true
+        done
+    fi
+    smoke_kill_all
+    rm -rf "$SMOKE_SCRATCH"
+}
+trap fleet_cleanup EXIT INT TERM
+
+# Nth (1-based) numeric KEY in the state file. Field order is fixed by
+# fleet_state_json: pid 1 = supervisor, 2 = router, 3.. = shards;
+# restarts/addr 1 = router, 2.. = shards.
+state_nth() {
+    grep -o "\"$1\": [0-9]*" "$STATE" | sed -n "$2p" | tr -dc '0-9'
+}
+shard_pid() { state_nth pid $((3 + $1)); }
+shard_restarts() { state_nth restarts $((2 + $1)); }
+router_restarts() { state_nth restarts 1; }
+shard_addr() {
+    grep -o '"addr": "[^"]*"' "$STATE" | sed -n "$((2 + $1))p" | cut -d'"' -f4
+}
+
+# Waits until shard $1 has been restarted at least $2 times and answers
+# stats again — the supervisor only readmits a shard that pings, and a
+# WAL-backed shard only listens after replaying its log.
+wait_respawned() {
+    _tries=0
+    while true; do
+        _r=$(shard_restarts "$1")
+        if [ -n "$_r" ] && [ "$_r" -ge "$2" ]; then
+            _pid=$(shard_pid "$1")
+            if [ -n "$_pid" ] && [ "$_pid" -gt 0 ] &&
+                "$CLIENT" --addr "$(shard_addr "$1")" stats --json \
+                    >/dev/null 2>&1; then
+                return 0
+            fi
+        fi
+        _tries=$((_tries + 1))
+        [ "$_tries" -gt 150 ] && smoke_fail "shard $1 never came back"
+        sleep 0.1
+    done
+}
+
+# Seeded transport faults on every shard: sporadic 30 ms read stalls and
+# 3-byte partial writes. Deterministic per shard, nasty in aggregate.
+FAULTS='serve.transport.read=trigger:slow-read:30@prob:0.03:1701'
+FAULTS="$FAULTS;serve.transport.write=trigger:partial-write:3@prob:0.05:1702"
+
+rm -rf "$CHILD_LOGS" && mkdir -p "$CHILD_LOGS"
+"$SUPERVISOR" --shards 3 --root "$ROOT" \
+    --state-file "$STATE" --port-file "$PORT" --log-dir "$CHILD_LOGS" \
+    --workers 2 --cache-mb 32 \
+    --restart-backoff-ms 100 --restart-backoff-max-ms 500 \
+    --shard-arg --faults --shard-arg "$FAULTS" \
+    --router-arg --io-timeout-ms --router-arg 2000 \
+    --router-arg --health-interval-ms --router-arg 150 \
+    --router-arg --breaker-cooldown-ms --router-arg 100 \
+    >"$SMOKE_LOG_DIR/$SMOKE_TAG-supervisor.log" 2>&1 &
+SUP_PID=$!
+smoke_wait_port "$PORT"
+ROUTER_ADDR=$SMOKE_ADDR
+smoke_wait_ready "$ROUTER_ADDR"
+echo "$SMOKE_NAME: supervised fleet up, router on $ROUTER_ADDR"
+
+# 2. Closed-loop hammer in the background while the kill/stall schedule
+#    runs in the foreground. Exit 0 == zero lost requests.
+"$BENCH_LOAD" --chaos "$ROUTER_ADDR" --seconds 14 --seed 7 \
+    >"$LOAD_JSON" 2>"$SMOKE_LOG_DIR/$SMOKE_TAG-load.log" &
+LOAD_PID=$!
+
+sleep 2
+VICTIM0_PID=$(shard_pid 0)
+kill -9 "$VICTIM0_PID"
+echo "$SMOKE_NAME: killed shard 0 (pid $VICTIM0_PID) under load"
+wait_respawned 0 1
+echo "$SMOKE_NAME: shard 0 restarted and warm"
+
+sleep 1
+STALL_PID=$(shard_pid 1)
+kill -STOP "$STALL_PID"
+echo "$SMOKE_NAME: stalled shard 1 (pid $STALL_PID)"
+sleep 1
+kill -CONT "$STALL_PID"
+
+sleep 1
+VICTIM2_PID=$(shard_pid 2)
+kill -9 "$VICTIM2_PID"
+echo "$SMOKE_NAME: killed shard 2 (pid $VICTIM2_PID) under load"
+wait_respawned 2 1
+
+wait "$LOAD_PID" || {
+    cat "$LOAD_JSON" >&2 || true
+    smoke_fail "chaos hammer lost requests (bench_load --chaos exited nonzero)"
+}
+P99=$(grep '"latency_p99_micros"' "$LOAD_JSON" | head -n 1 |
+    sed 's/.*://' | tr -dc '0-9.')
+awk "BEGIN{exit !($P99 <= $P99_BUDGET)}" || {
+    cat "$LOAD_JSON" >&2
+    smoke_fail "p99 ${P99}us exceeds budget ${P99_BUDGET}us"
+}
+echo "$SMOKE_NAME: zero lost requests through 2 kills + 1 stall (p99 ${P99}us)"
+
+# 3. The restarted shard re-warmed from its WAL before readmission: it
+#    recovered records at boot and the replayed keyspace comes back as
+#    hits. Misses are NOT zero in general — while shard 2 was dead its
+#    keys fell back here (and a hedge backup can land a foreign key
+#    too), each compiling cold exactly once — but they are bounded by
+#    the 16 distinct warm keys. A shard that lost its WAL would pay a
+#    cold compile for its *own* keyspace on top and recover 0 records.
+S0_STATS=$("$CLIENT" --addr "$(shard_addr 0)" stats --json)
+echo "$S0_STATS" | grep -q '"records_recovered": 0' && {
+    echo "$S0_STATS" >&2
+    smoke_fail "restarted shard 0 recovered nothing from its WAL"
+}
+S0_MISSES=$(echo "$S0_STATS" | grep '"misses"' | head -n 1 | tr -dc '0-9')
+S0_HITS=$(echo "$S0_STATS" | grep '"hits"' | head -n 1 | tr -dc '0-9')
+[ "$S0_MISSES" -le 16 ] || {
+    echo "$S0_STATS" >&2
+    smoke_fail "restarted shard 0 compiled cold ($S0_MISSES misses): WAL warm-up failed"
+}
+[ "$S0_HITS" -gt "$S0_MISSES" ] ||
+    smoke_fail "restarted shard 0 served mostly cold ($S0_HITS hits, $S0_MISSES misses)"
+echo "$SMOKE_NAME: shard 0 restarted warm ($S0_HITS hits, $S0_MISSES foreign-key misses)"
+
+# 4. A request whose budget is already gone is refused up front with the
+#    machine-readable code — before forwarding, before compiling.
+OUT=$("$CLIENT" --addr "$ROUTER_ADDR" workload ghz:15 --deadline-ms 0 --json 2>&1) && {
+    echo "$OUT" >&2
+    smoke_fail "zero-budget request was not rejected"
+}
+echo "$OUT" | grep -q 'deadline_exceeded' || {
+    echo "$OUT" >&2
+    smoke_fail "rejection lacks the deadline_exceeded code"
+}
+RSTATS=$("$CLIENT" --addr "$ROUTER_ADDR" stats --json)
+echo "$RSTATS" | grep -q '"deadline_rejected": 0' && {
+    echo "$RSTATS" >&2
+    smoke_fail "router resilience counters did not record the deadline rejection"
+}
+
+# 5. Graceful drain: the router never crashed, and SIGTERM winds the
+#    whole fleet down via protocol shutdowns — exit 0, no hard kills
+#    (exit 2 would mean a child ignored the drain).
+[ "$(router_restarts)" = 0 ] ||
+    smoke_fail "router restarted $(router_restarts) times during the run"
+[ "$(shard_restarts 0)" -ge 1 ] && [ "$(shard_restarts 2)" -ge 1 ] ||
+    smoke_fail "state file lost the shard restart history"
+kill -TERM "$SUP_PID"
+RC=0
+wait "$SUP_PID" || RC=$?
+[ "$RC" = 0 ] || smoke_fail "supervisor drain was not clean (exit $RC)"
+echo "$SMOKE_NAME: SIGTERM drained the fleet cleanly"
+
+trap - EXIT INT TERM
+smoke_kill_all
+rm -rf "$SMOKE_SCRATCH" "$CHILD_LOGS"
+rm -f "$SMOKE_LOG_DIR/$SMOKE_TAG"-*.log "$LOAD_JSON"
+echo "$SMOKE_NAME: OK"

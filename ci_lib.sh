@@ -22,11 +22,14 @@
 SERVE=target/release/qcs-serve
 ROUTER=target/release/qcs-router
 CLIENT=target/release/qcs-client
+SUPERVISOR=target/release/qcs-supervisor
+BENCH_LOAD=target/release/bench_load
 SMOKE_LOG_DIR=${SMOKE_LOG_DIR:-target/smoke-logs}
 
 smoke_build() {
-    [ -x "$SERVE" ] && [ -x "$CLIENT" ] && [ -x "$ROUTER" ] ||
-        cargo build --release -p qcs-serve
+    [ -x "$SERVE" ] && [ -x "$CLIENT" ] && [ -x "$ROUTER" ] &&
+        [ -x "$SUPERVISOR" ] && [ -x "$BENCH_LOAD" ] ||
+        cargo build --release -p qcs-serve -p qcs-supervisor
 }
 
 smoke_init() {

@@ -222,6 +222,58 @@ pub fn hit(site: &str) -> Hit {
     }
 }
 
+/// A network-transport fault, parsed from a [`FaultAction::Trigger`] tag
+/// at the `serve.transport.read` / `serve.transport.write` sites.
+///
+/// Tags use the same `name[:arg]` shape as actions:
+///
+/// ```text
+/// slow-read:MS      stall the event loop MS milliseconds before reading
+/// partial-write:N   flush at most N bytes, leaving the rest queued
+/// conn-reset        kill the connection as if the peer reset it
+/// black-hole        accept bytes forever, never respond
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFault {
+    /// Delay the read path by this many milliseconds.
+    SlowRead(u64),
+    /// Cap one flush at this many bytes.
+    PartialWrite(usize),
+    /// Tear the connection down immediately.
+    ConnReset,
+    /// Swallow all traffic on the connection without ever replying.
+    BlackHole,
+}
+
+/// Parses a trigger tag into a [`TransportFault`], or `None` for tags
+/// that belong to other subsystems (e.g. `degrade:`).
+pub fn parse_transport_tag(tag: &str) -> Option<TransportFault> {
+    let (name, arg) = match tag.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (tag, None),
+    };
+    match (name, arg) {
+        ("slow-read", Some(ms)) => ms.parse().ok().map(TransportFault::SlowRead),
+        ("partial-write", Some(n)) => n.parse().ok().map(TransportFault::PartialWrite),
+        ("conn-reset", None) => Some(TransportFault::ConnReset),
+        ("black-hole", None) => Some(TransportFault::BlackHole),
+        _ => None,
+    }
+}
+
+/// Passes through `site` and interprets the outcome as a transport
+/// fault. `Trigger` tags are parsed with [`parse_transport_tag`];
+/// injected `Error`s map to [`TransportFault::ConnReset`] (the closest
+/// thing to "the read/write failed"). `Delay` sleeps inside [`hit`] as
+/// usual and then passes, like an un-tagged slow-read.
+pub fn transport_fault(site: &str) -> Option<TransportFault> {
+    match hit(site) {
+        Hit::Pass => None,
+        Hit::Error(_) => Some(TransportFault::ConnReset),
+        Hit::Triggered(tag) => parse_transport_tag(&tag),
+    }
+}
+
 /// An error from parsing a failpoint spec string.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpecError {
@@ -525,6 +577,65 @@ mod tests {
         ] {
             assert!(parse_clause(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn transport_tags_parse_and_reject() {
+        assert_eq!(
+            parse_transport_tag("slow-read:250"),
+            Some(TransportFault::SlowRead(250))
+        );
+        assert_eq!(
+            parse_transport_tag("partial-write:3"),
+            Some(TransportFault::PartialWrite(3))
+        );
+        assert_eq!(
+            parse_transport_tag("conn-reset"),
+            Some(TransportFault::ConnReset)
+        );
+        assert_eq!(
+            parse_transport_tag("black-hole"),
+            Some(TransportFault::BlackHole)
+        );
+        for bad in [
+            "slow-read",
+            "slow-read:fast",
+            "partial-write",
+            "conn-reset:now",
+            "black-hole:9",
+            "degrade:0.1:0.1:7",
+            "unknown",
+        ] {
+            assert_eq!(parse_transport_tag(bad), None, "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn transport_fault_site_interprets_triggers_and_errors() {
+        let _g = serial();
+        reset();
+        assert_eq!(transport_fault("t.transport"), None);
+        arm(
+            "t.transport",
+            FaultAction::Trigger("black-hole".into()),
+            Policy::Once,
+        );
+        assert_eq!(
+            transport_fault("t.transport"),
+            Some(TransportFault::BlackHole)
+        );
+        assert_eq!(transport_fault("t.transport"), None, "once only fires once");
+        arm(
+            "t.transport",
+            FaultAction::Error("injected".into()),
+            Policy::Once,
+        );
+        assert_eq!(
+            transport_fault("t.transport"),
+            Some(TransportFault::ConnReset),
+            "injected errors read as connection resets"
+        );
+        reset();
     }
 
     #[test]

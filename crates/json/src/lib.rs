@@ -194,6 +194,20 @@ impl Json {
         }
     }
 
+    /// Replaces the value of `key` in an object (or appends the member
+    /// when absent). No-op on non-objects. Member order is preserved, so
+    /// rewriting a member keeps the serialization stable everywhere else
+    /// — the property the router's deadline-budget rewrite relies on.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        if let Json::Object(members) = self {
+            let value = value.into();
+            match members.iter_mut().find(|(k, _)| k == key) {
+                Some((_, v)) => *v = value,
+                None => members.push((key.to_string(), value)),
+            }
+        }
+    }
+
     /// Required-field lookup for manual deserializers.
     ///
     /// # Errors
@@ -680,6 +694,23 @@ macro_rules! impl_json_object {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn set_replaces_in_place_and_appends_when_absent() {
+        let mut v = parse(r#"{"a":1,"deadline_ms":500,"z":"end"}"#).unwrap();
+        v.set("deadline_ms", 123u64);
+        assert_eq!(
+            v.to_compact_string(),
+            r#"{"a":1,"deadline_ms":123,"z":"end"}"#,
+            "member order must be preserved"
+        );
+        v.set("new", "x");
+        assert_eq!(v.get("new").and_then(Json::as_str), Some("x"));
+        // No-op on non-objects.
+        let mut n = Json::from(7u64);
+        n.set("k", 1u64);
+        assert_eq!(n, Json::from(7u64));
+    }
 
     #[test]
     fn scalars_round_trip() {

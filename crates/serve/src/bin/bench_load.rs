@@ -21,6 +21,13 @@
 //! absolute floor so microsecond-scale percentiles don't flake on
 //! scheduler noise; keys ending `_rps` may shrink to 1/budget.
 //!
+//! The locality run also snapshots the router's **resilience counters**
+//! (hedges fired/won, admission sheds, deadline rejections, per-shard
+//! breaker opens). Under the bench's pinned hedge delay and healthy
+//! loopback fleet every one of them is deterministically zero, so they
+//! gate exactly: a hedge that fires or a breaker that opens during the
+//! bench is a regression, not noise.
+//!
 //! ```text
 //! bench_load                   # re-record BENCH_serve.json in CWD
 //! bench_load --check           # fresh run, compare against the committed file
@@ -28,6 +35,10 @@
 //!                                # running daemon/router; prints JSON to stdout
 //! bench_load --interactive ADDR  # warm + 16 closed-loop clients with think
 //!                                # time on persistent connections; prints JSON
+//! bench_load --chaos ADDR        # fault-tolerant closed-loop hammer against a
+//!     [--seconds N] [--seed S]   # (possibly faulty) fleet: reconnects through
+//!                                # resets, retries `retry_after_ms` hints, and
+//!                                # exits nonzero if any request finally fails
 //! ```
 //!
 //! The external modes exist for apples-to-apples A/B runs against
@@ -87,6 +98,16 @@ fn main() -> ExitCode {
         run_interactive_external(addr);
         return ExitCode::SUCCESS;
     }
+    if let Some(i) = args.iter().position(|a| a == "--chaos") {
+        let Some(addr) = args.get(i + 1) else {
+            eprintln!("usage: bench_load --chaos HOST:PORT [--seconds N] [--seed S]");
+            return ExitCode::FAILURE;
+        };
+        let addr: SocketAddr = addr.parse().expect("--chaos takes HOST:PORT");
+        let seconds = flag_u64(&args, "--seconds").unwrap_or(10);
+        let seed = flag_u64(&args, "--seed").unwrap_or(SEED);
+        return run_chaos_external(addr, Duration::from_secs(seconds), seed);
+    }
     let check = args.iter().any(|a| a == "--check");
     let locality = run_locality();
     let saturation: Vec<SweepRow> = SWEEP.iter().map(|&n| run_sweep_point(n)).collect();
@@ -105,6 +126,16 @@ fn main() -> ExitCode {
         println!("wrote {FILE}");
         ExitCode::SUCCESS
     }
+}
+
+fn flag_u64(args: &[String], flag: &str) -> Option<u64> {
+    let i = args.iter().position(|a| a == flag)?;
+    let value = args.get(i + 1)?;
+    Some(
+        value
+            .parse()
+            .unwrap_or_else(|_| panic!("{flag} takes an integer, got '{value}'")),
+    )
 }
 
 fn wall_budget() -> f64 {
@@ -160,6 +191,10 @@ fn start_router(shards: &[ServerHandle]) -> RouterHandle {
         health_interval: Duration::from_millis(250),
         connect_timeout: Duration::from_secs(1),
         io_timeout: Duration::from_secs(60),
+        // Pin the hedge delay far above any bench latency so the
+        // resilience counters in BENCH_serve.json stay deterministic.
+        hedge_after: Some(Duration::from_secs(5)),
+        ..RouterConfig::default()
     })
     .expect("router starts")
 }
@@ -202,6 +237,41 @@ fn router_counter(control: &mut TcpStream, key: &str) -> u64 {
         .unwrap_or_else(|| panic!("router stats carry {key}")) as u64
 }
 
+/// Router resilience counters: fleet-wide hedge/shed/deadline tallies
+/// plus per-shard breaker open counts, all from one stats exchange.
+struct ResilienceSnapshot {
+    hedges_fired: u64,
+    hedges_won: u64,
+    admission_shed: u64,
+    deadline_rejected: u64,
+    breaker_opens: Vec<u64>,
+}
+
+fn resilience_snapshot(control: &mut TcpStream) -> ResilienceSnapshot {
+    let stats = exchange_json(control, r#"{"type":"stats"}"#);
+    let r = stats
+        .get("resilience")
+        .expect("router stats carry resilience");
+    let counter = |key: &str| {
+        r.get(key)
+            .and_then(Json::as_usize)
+            .unwrap_or_else(|| panic!("resilience stats carry {key}")) as u64
+    };
+    let Some(Json::Array(shards)) = stats.get("shards") else {
+        panic!("router stats carry a shards array: {stats:?}");
+    };
+    ResilienceSnapshot {
+        hedges_fired: counter("hedges_fired"),
+        hedges_won: counter("hedges_won"),
+        admission_shed: counter("admission_shed"),
+        deadline_rejected: counter("deadline_rejected"),
+        breaker_opens: shards
+            .iter()
+            .map(|s| s.get("breaker_opens").and_then(Json::as_usize).unwrap() as u64)
+            .collect(),
+    }
+}
+
 /// Per-shard (hits, misses) straight from each shard's own stats.
 fn shard_cache_counts(shards: &[ServerHandle]) -> (Vec<u64>, Vec<u64>) {
     let mut hits = Vec::new();
@@ -238,6 +308,7 @@ struct LocalityRun {
     misses: Vec<u64>,
     reroutes: u64,
     forward_errors: u64,
+    resilience: ResilienceSnapshot,
     wall_ms: f64,
     achieved_rps: f64,
     p50_micros: f64,
@@ -363,6 +434,7 @@ fn run_locality() -> LocalityRun {
     let forwarded = forwarded_counts(&mut control);
     let reroutes = router_counter(&mut control, "reroutes");
     let forward_errors = router_counter(&mut control, "forward_errors");
+    let resilience = resilience_snapshot(&mut control);
     let (hits, misses) = shard_cache_counts(&shards);
 
     let run = LocalityRun {
@@ -376,6 +448,7 @@ fn run_locality() -> LocalityRun {
         misses,
         reroutes,
         forward_errors,
+        resilience,
         wall_ms: sustained.wall_ms,
         achieved_rps: sustained.lats.len() as f64 / (sustained.wall_ms / 1e3),
         p50_micros: percentile(&sustained.lats, 50.0),
@@ -491,6 +564,194 @@ fn run_interactive_external(addr: SocketAddr) {
         ),
     ]);
     println!("{}", doc.to_string_pretty());
+}
+
+// ---------------------------------------------------------------------
+// Chaos hammer: fault-tolerant closed loop for the fleet chaos gate
+// ---------------------------------------------------------------------
+
+/// Attempts per logical request before declaring it failed. Under the
+/// chaos schedule a request can land while a shard is mid-restart, so a
+/// single transport error is expected; eight attempts with hint/backoff
+/// sleeps ride out any bounded outage.
+const CHAOS_ATTEMPTS: usize = 8;
+/// Read timeout per attempt — a black-holed or stalled path surfaces as
+/// a timeout, the connection is torn down, and the request retries on a
+/// fresh one.
+const CHAOS_READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Cap on honored `retry_after_ms` hints so a pessimistic server can't
+/// stall the hammer.
+const CHAOS_HINT_CAP_MS: u64 = 250;
+
+#[derive(Default)]
+struct ChaosTally {
+    requests: u64,
+    ok: u64,
+    failed: u64,
+    transport_retries: u64,
+    hint_retries: u64,
+    lats: Vec<u64>,
+}
+
+/// One logical request against a possibly faulty fleet: reconnect
+/// through resets and timeouts, honor `retry_after_ms` hints (capped),
+/// and give up only after [`CHAOS_ATTEMPTS`] tries. Returns whether the
+/// request finally produced a `result`.
+fn chaos_request(
+    addr: SocketAddr,
+    stream: &mut Option<TcpStream>,
+    request: &str,
+    tally: &mut ChaosTally,
+) -> bool {
+    for _ in 0..CHAOS_ATTEMPTS {
+        if stream.is_none() {
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_read_timeout(Some(CHAOS_READ_TIMEOUT));
+                    *stream = Some(s);
+                }
+                Err(_) => {
+                    tally.transport_retries += 1;
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+            }
+        }
+        let s = stream.as_mut().expect("connection present");
+        let sent = write_frame(s, request.as_bytes()).is_ok();
+        let payload = if sent {
+            read_frame(s).ok().flatten()
+        } else {
+            None
+        };
+        let Some(payload) = payload else {
+            // Torn write, reset, or timeout: the framing on this
+            // connection can no longer be trusted — drop it.
+            *stream = None;
+            tally.transport_retries += 1;
+            continue;
+        };
+        let Ok(reply) = std::str::from_utf8(&payload).map(qcs_json::parse) else {
+            *stream = None;
+            tally.transport_retries += 1;
+            continue;
+        };
+        let Ok(reply) = reply else {
+            *stream = None;
+            tally.transport_retries += 1;
+            continue;
+        };
+        if response_type(&reply) == "result" {
+            return true;
+        }
+        // Structured error. A retry hint means "try again shortly"
+        // (shard draining, admission shed, breaker open); anything
+        // else is final.
+        let Some(hint) = reply.get("retry_after_ms").and_then(Json::as_usize) else {
+            return false;
+        };
+        tally.hint_retries += 1;
+        std::thread::sleep(Duration::from_millis((hint as u64).min(CHAOS_HINT_CAP_MS)));
+    }
+    false
+}
+
+/// `--chaos ADDR`: warm every distinct job, then hammer the warm set
+/// closed-loop from [`CLIENTS`] seeded clients for `--seconds`. The
+/// fleet under test is *expected* to be taking faults, so transport
+/// errors are retried, not fatal — but a request that exhausts its
+/// attempts (or draws a final error) counts as failed, and any failure
+/// makes the exit code nonzero. That is the chaos gate: the fleet may
+/// hurt, it may not lose requests.
+fn run_chaos_external(addr: SocketAddr, duration: Duration, seed: u64) -> ExitCode {
+    let specs = specs();
+    let mut warm_failures = 0u64;
+    {
+        let mut warm = ChaosTally::default();
+        let mut control = None;
+        for spec in &specs {
+            if !chaos_request(addr, &mut control, &compile_request(spec), &mut warm) {
+                warm_failures += 1;
+            }
+        }
+    }
+
+    let tallies: Mutex<Vec<ChaosTally>> = Mutex::new(Vec::new());
+    let start = Instant::now();
+    let until = start + duration;
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let specs = &specs;
+            let tallies = &tallies;
+            scope.spawn(move || {
+                let mut rng = Xoshiro256StarStar::seed_from_u64(seed ^ (client as u64) << 32);
+                let mut stream = None;
+                let mut tally = ChaosTally::default();
+                while Instant::now() < until {
+                    let spec = &specs[rng.gen_range(0..specs.len())];
+                    let begun = Instant::now();
+                    tally.requests += 1;
+                    if chaos_request(addr, &mut stream, &compile_request(spec), &mut tally) {
+                        tally.ok += 1;
+                        tally.lats.push(begun.elapsed().as_micros() as u64);
+                    } else {
+                        tally.failed += 1;
+                    }
+                }
+                tallies.lock().unwrap().push(tally);
+            });
+        }
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut total = ChaosTally::default();
+    for tally in tallies.into_inner().unwrap() {
+        total.requests += tally.requests;
+        total.ok += tally.ok;
+        total.failed += tally.failed;
+        total.transport_retries += tally.transport_retries;
+        total.hint_retries += tally.hint_retries;
+        total.lats.extend(tally.lats);
+    }
+    total.lats.sort_unstable();
+
+    let doc = Json::object([
+        ("clients", Json::from(CLIENTS)),
+        ("seed", Json::from(seed)),
+        ("warm_failures", Json::from(warm_failures)),
+        ("requests", Json::from(total.requests)),
+        ("ok", Json::from(total.ok)),
+        ("failed", Json::from(total.failed)),
+        ("transport_retries", Json::from(total.transport_retries)),
+        ("hint_retries", Json::from(total.hint_retries)),
+        ("wall_ms", Json::Number(round3(wall_ms))),
+        (
+            "achieved_rps",
+            Json::Number(round3(total.ok as f64 / (wall_ms / 1e3))),
+        ),
+        (
+            "latency_p50_micros",
+            Json::Number(percentile(&total.lats, 50.0)),
+        ),
+        (
+            "latency_p95_micros",
+            Json::Number(percentile(&total.lats, 95.0)),
+        ),
+        (
+            "latency_p99_micros",
+            Json::Number(percentile(&total.lats, 99.0)),
+        ),
+    ]);
+    println!("{}", doc.to_string_pretty());
+    if total.failed > 0 || warm_failures > 0 || total.requests == 0 {
+        eprintln!(
+            "chaos hammer: {} warm failures, {} of {} requests failed",
+            warm_failures, total.failed, total.requests
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn percentile(sorted: &[u64], p: f64) -> f64 {
@@ -611,6 +872,27 @@ fn doc(locality: &LocalityRun, saturation: &[SweepRow]) -> Json {
                         ("latency_p50_micros", Json::Number(locality.p50_micros)),
                         ("latency_p95_micros", Json::Number(locality.p95_micros)),
                         ("latency_p99_micros", Json::Number(locality.p99_micros)),
+                    ]),
+                ),
+                // Exact-gated: on a healthy loopback fleet with the
+                // pinned hedge delay, every counter here must be zero.
+                (
+                    "resilience",
+                    Json::object([
+                        ("hedges_fired", Json::from(locality.resilience.hedges_fired)),
+                        ("hedges_won", Json::from(locality.resilience.hedges_won)),
+                        (
+                            "admission_shed",
+                            Json::from(locality.resilience.admission_shed),
+                        ),
+                        (
+                            "deadline_rejected",
+                            Json::from(locality.resilience.deadline_rejected),
+                        ),
+                        (
+                            "breaker_opens",
+                            u64_array(&locality.resilience.breaker_opens),
+                        ),
                     ]),
                 ),
             ]),

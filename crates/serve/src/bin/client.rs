@@ -327,9 +327,14 @@ fn retry_after_hint(response: &Json) -> Option<u64> {
 }
 
 /// Round trip with retries: transient transport errors and load-shed
-/// responses back off and try again; anything else is final.
+/// responses back off and try again; anything else is final. A declared
+/// `--deadline-ms` bounds the whole retry schedule — the client never
+/// sleeps into a budget the server would reject anyway, and
+/// `deadline_exceeded` responses are final by construction (they carry
+/// no `retry_after_ms`).
 fn roundtrip_with_retries(opts: &Options, request: &Json) -> Result<Json, String> {
     let timeout = Duration::from_millis(opts.timeout_ms);
+    let started = std::time::Instant::now();
     let mut attempt = 0u32;
     loop {
         let outcome = roundtrip(&opts.addr, request, timeout);
@@ -341,13 +346,21 @@ fn roundtrip_with_retries(opts: &Options, request: &Json) -> Result<Json, String
             Err(e) if retryable(e) => backoff_ms(attempt),
             Err(e) => return Err(describe_io_error(&opts.addr, timeout, e)),
         };
-        if attempt >= opts.retries {
+        let budget_left = opts
+            .deadline_ms
+            .map(|budget| Duration::from_millis(budget).saturating_sub(started.elapsed()));
+        let over_budget = budget_left.is_some_and(|left| Duration::from_millis(delay_ms) >= left);
+        if attempt >= opts.retries || over_budget {
             return match outcome {
                 Ok(response) => Ok(response), // surface the final shed error
                 Err(e) => Err(format!(
-                    "{} (gave up after {} attempts)",
+                    "{} ({})",
                     describe_io_error(&opts.addr, timeout, &e),
-                    attempt + 1
+                    if over_budget {
+                        format!("deadline budget exhausted after {} attempts", attempt + 1)
+                    } else {
+                        format!("gave up after {} attempts", attempt + 1)
+                    }
                 )),
             };
         }
@@ -446,12 +459,54 @@ fn present(response: &Json) -> bool {
             println!("{} circuits, {} failed", results.len(), failures);
             true
         }
+        Some("stats") => {
+            println!("{}", response.to_string_pretty());
+            print_resilience_summary(response);
+            true
+        }
         _ => {
-            // pong / ok / stats and future kinds: pretty JSON is the
-            // most honest rendering.
+            // pong / ok and future kinds: pretty JSON is the most
+            // honest rendering.
             println!("{}", response.to_string_pretty());
             true
         }
+    }
+}
+
+/// Operator-friendly footer for `stats` responses: pulls the resilience
+/// counters (hedges, breakers, deadlines) out of the JSON so a human
+/// doesn't have to. Routers and shards carry different subsets; only
+/// the sections present are printed.
+fn print_resilience_summary(response: &Json) {
+    let count = |v: &Json, key: &str| v.get(key).and_then(Json::as_usize).unwrap_or(0);
+    if let Some(resilience) = response.get("resilience") {
+        println!(
+            "resilience: hedges {} fired / {} won, admission shed {}, deadline rejected {}",
+            count(resilience, "hedges_fired"),
+            count(resilience, "hedges_won"),
+            count(resilience, "admission_shed"),
+            count(resilience, "deadline_rejected"),
+        );
+    }
+    if let Some(Json::Array(shards)) = response.get("shards") {
+        let opens: usize = shards.iter().map(|s| count(s, "breaker_opens")).sum();
+        let open_now = shards
+            .iter()
+            .filter(|s| s.get("breaker").and_then(Json::as_str) == Some("open"))
+            .count();
+        if shards.iter().any(|s| s.get("breaker").is_some()) {
+            println!(
+                "breakers:   {open_now} of {} open now, {opens} opens total",
+                shards.len()
+            );
+        }
+    }
+    if let Some(deadline) = response.get("deadline") {
+        println!(
+            "deadlines:  {} rejected ({} before compile started)",
+            count(deadline, "rejected"),
+            count(deadline, "rejected_precompile"),
+        );
     }
 }
 

@@ -4,6 +4,9 @@
 //! qcs-router --shard HOST:PORT [--shard HOST:PORT ...]
 //!            [--addr HOST:PORT] [--replicas N]
 //!            [--health-interval-ms N] [--io-timeout-ms N]
+//!            [--probe-backoff-max-ms N]
+//!            [--breaker-threshold N] [--breaker-cooldown-ms N]
+//!            [--hedge-after-ms N] [--max-in-flight N]
 //!            [--port-file PATH]
 //! ```
 //!
@@ -13,6 +16,12 @@
 //! fleet (same job → same shard → warm shard cache), with automatic
 //! rerouting around shards that die. `ping`, `stats` and `shutdown` are
 //! answered by the router itself.
+//!
+//! The resilience knobs map straight onto [`RouterConfig`]: per-shard
+//! circuit breakers (`--breaker-*`), hedged retries for cache-hit-class
+//! requests (`--hedge-after-ms`, 0 = derive from the observed p99),
+//! bounded per-shard admission windows (`--max-in-flight`) and the
+//! unhealthy-probe backoff cap (`--probe-backoff-max-ms`).
 //!
 //! Binds (port 0 = ephemeral), prints the bound address on stdout, and
 //! routes until a protocol `shutdown` request arrives. `--port-file`
@@ -26,7 +35,9 @@ use qcs_serve::router::{Router, RouterConfig};
 fn usage() -> String {
     "usage: qcs-router --shard HOST:PORT [--shard HOST:PORT ...] \
      [--addr HOST:PORT] [--replicas N] [--health-interval-ms N] \
-     [--io-timeout-ms N] [--port-file PATH]"
+     [--io-timeout-ms N] [--probe-backoff-max-ms N] \
+     [--breaker-threshold N] [--breaker-cooldown-ms N] \
+     [--hedge-after-ms N] [--max-in-flight N] [--port-file PATH]"
         .to_string()
 }
 
@@ -58,6 +69,31 @@ fn parse_args(args: &[String]) -> Result<(RouterConfig, Option<String>), String>
             "--io-timeout-ms" => {
                 let ms: u64 = value.parse().map_err(|_| bad("timeout"))?;
                 config.io_timeout = Duration::from_millis(ms);
+            }
+            "--probe-backoff-max-ms" => {
+                let ms: u64 = value.parse().map_err(|_| bad("backoff"))?;
+                config.probe_backoff_max = Duration::from_millis(ms);
+            }
+            "--breaker-threshold" => {
+                config.breaker_threshold = value.parse().map_err(|_| bad("threshold"))?;
+                if config.breaker_threshold == 0 {
+                    return Err("--breaker-threshold must be at least 1".to_string());
+                }
+            }
+            "--breaker-cooldown-ms" => {
+                let ms: u64 = value.parse().map_err(|_| bad("cooldown"))?;
+                config.breaker_cooldown = Duration::from_millis(ms);
+            }
+            "--hedge-after-ms" => {
+                let ms: u64 = value.parse().map_err(|_| bad("delay"))?;
+                // 0 keeps the default behavior: derive from observed p99.
+                config.hedge_after = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--max-in-flight" => {
+                config.max_in_flight = value.parse().map_err(|_| bad("window"))?;
+                if config.max_in_flight == 0 {
+                    return Err("--max-in-flight must be at least 1".to_string());
+                }
             }
             "--port-file" => port_file = Some(value.clone()),
             _ => return Err(format!("unknown flag '{flag}'\n{}", usage())),

@@ -29,6 +29,14 @@
 //! fires (it gets an `error` frame first); the decoder loses framing
 //! sync (oversized prefix — `error` frame, then close); or the server
 //! shuts down.
+//!
+//! **Fault injection.** Two failpoint sites model network misbehavior
+//! (see [`qcs_faults::TransportFault`]): `serve.transport.read` fires
+//! before each read sweep (slow-read stalls the loop, conn-reset kills
+//! the connection, black-hole makes it swallow traffic silently), and
+//! `serve.transport.write` fires inside [`Conn::flush`] (partial-write
+//! caps one flush, conn-reset kills). The chaos harness arms them with
+//! seeded probabilistic policies to prove the fleet above survives.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
@@ -167,6 +175,10 @@ struct Conn {
     peer_closed: bool,
     /// Unrecoverable I/O error: reap immediately.
     dead: bool,
+    /// Injected black-hole fault: swallow reads, never write. The
+    /// connection lingers (holding peer-side state hostage, as a real
+    /// black hole would) until the peer gives up and closes.
+    black_holed: bool,
 }
 
 impl Conn {
@@ -182,6 +194,7 @@ impl Conn {
             closing: false,
             peer_closed: false,
             dead: false,
+            black_holed: false,
         }
     }
 
@@ -211,13 +224,41 @@ impl Conn {
 
     /// Writes as much buffered output as the socket accepts right now.
     fn flush(&mut self) {
+        if self.black_holed {
+            // Responses vanish into the hole; discarding keeps the write
+            // buffer from pinning the connection past peer close.
+            self.out.clear();
+            self.out_pos = 0;
+            return;
+        }
+        let mut write_cap = usize::MAX;
+        if qcs_faults::any_armed() {
+            match qcs_faults::transport_fault("serve.transport.write") {
+                None => {}
+                Some(qcs_faults::TransportFault::PartialWrite(n)) => write_cap = n,
+                Some(qcs_faults::TransportFault::ConnReset) => {
+                    self.dead = true;
+                    return;
+                }
+                // Read-shaped faults are meaningless on the write path.
+                Some(_) => {}
+            }
+        }
         while self.has_output() {
-            match self.stream.write(&self.out[self.out_pos..]) {
+            if write_cap == 0 {
+                return; // injected partial write: rest stays queued
+            }
+            let tail = &self.out[self.out_pos..];
+            let tail = &tail[..tail.len().min(write_cap)];
+            match self.stream.write(tail) {
                 Ok(0) => {
                     self.dead = true;
                     return;
                 }
-                Ok(n) => self.out_pos += n,
+                Ok(n) => {
+                    self.out_pos += n;
+                    write_cap -= n;
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(_) => {
@@ -445,6 +486,46 @@ fn render(value: &Json) -> Vec<u8> {
 /// Reads until the socket would block, feeding the decoder and queueing
 /// parsed requests.
 fn read_ready(loop_idx: usize, token: u64, conn: &mut Conn, shared: &Shared, buf: &mut [u8]) {
+    if qcs_faults::any_armed() {
+        match qcs_faults::transport_fault("serve.transport.read") {
+            None => {}
+            Some(qcs_faults::TransportFault::SlowRead(ms)) => {
+                // A stalled NIC stalls the whole loop, not one socket —
+                // sleeping here models exactly that.
+                shared.transport_faults.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            Some(qcs_faults::TransportFault::ConnReset) => {
+                shared.transport_faults.fetch_add(1, Ordering::SeqCst);
+                conn.dead = true;
+                return;
+            }
+            Some(qcs_faults::TransportFault::BlackHole) => {
+                shared.transport_faults.fetch_add(1, Ordering::SeqCst);
+                conn.black_holed = true;
+            }
+            // Write-shaped faults are meaningless on the read path.
+            Some(qcs_faults::TransportFault::PartialWrite(_)) => {}
+        }
+    }
+    if conn.black_holed {
+        // Swallow whatever arrived; only a peer EOF ends the charade.
+        loop {
+            match conn.stream.read(buf) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return;
+                }
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+    }
     let mut frames: Vec<Vec<u8>> = Vec::new();
     loop {
         match conn.stream.read(buf) {

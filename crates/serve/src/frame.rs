@@ -43,6 +43,7 @@ enum State {
 pub struct FrameDecoder {
     state: State,
     frames_decoded: u64,
+    max_frame_bytes: usize,
 }
 
 impl Default for FrameDecoder {
@@ -52,15 +53,30 @@ impl Default for FrameDecoder {
 }
 
 impl FrameDecoder {
-    /// A decoder at a frame boundary.
+    /// A decoder at a frame boundary, enforcing the protocol-wide
+    /// [`MAX_FRAME_BYTES`] ceiling.
     pub fn new() -> FrameDecoder {
+        FrameDecoder::with_limit(MAX_FRAME_BYTES)
+    }
+
+    /// A decoder enforcing a custom frame-length ceiling (clamped to the
+    /// protocol-wide [`MAX_FRAME_BYTES`]). The limit is checked against
+    /// the length *prefix*, before any payload is buffered, so an absurd
+    /// prefix costs four bytes of state — never an allocation.
+    pub fn with_limit(max_frame_bytes: usize) -> FrameDecoder {
         FrameDecoder {
             state: State::Len {
                 buf: [0; 4],
                 filled: 0,
             },
             frames_decoded: 0,
+            max_frame_bytes: max_frame_bytes.min(MAX_FRAME_BYTES),
         }
+    }
+
+    /// The frame-length ceiling this decoder enforces.
+    pub fn limit(&self) -> usize {
+        self.max_frame_bytes
     }
 
     /// True when a frame is partially accumulated — the condition that
@@ -103,11 +119,11 @@ impl FrameDecoder {
                         continue;
                     }
                     let len = u32::from_be_bytes(*buf) as usize;
-                    if len > MAX_FRAME_BYTES {
+                    if len > self.max_frame_bytes {
+                        let limit = self.max_frame_bytes;
                         self.state = State::Poisoned;
                         return Err(DecodeError(format!(
-                            "frame length {len} exceeds protocol maximum of \
-                             {MAX_FRAME_BYTES} bytes"
+                            "frame length {len} exceeds protocol maximum of {limit} bytes"
                         )));
                     }
                     if len == 0 {
@@ -267,6 +283,36 @@ mod tests {
         d.feed(&bytes, &mut out).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].len(), MAX_FRAME_BYTES);
+    }
+
+    #[test]
+    fn custom_limit_boundary_exact_accepted_one_over_poisoned() {
+        const LIMIT: usize = 64;
+        // Exactly the limit: accepted.
+        let payload = vec![3u8; LIMIT];
+        let mut bytes = (LIMIT as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&payload);
+        let mut d = FrameDecoder::with_limit(LIMIT);
+        assert_eq!(d.limit(), LIMIT);
+        let mut out = Vec::new();
+        d.feed(&bytes, &mut out).unwrap();
+        assert_eq!(out, vec![payload]);
+
+        // One byte over: poisoned before buffering anything.
+        let mut d = FrameDecoder::with_limit(LIMIT);
+        let prefix = ((LIMIT + 1) as u32).to_be_bytes();
+        let mut out = Vec::new();
+        let err = d.feed(&prefix, &mut out).unwrap_err();
+        assert!(err.0.contains("exceeds protocol maximum of 64"), "{err}");
+        assert!(out.is_empty());
+        assert!(!d.mid_frame());
+    }
+
+    #[test]
+    fn custom_limit_is_clamped_to_protocol_maximum() {
+        let d = FrameDecoder::with_limit(usize::MAX);
+        assert_eq!(d.limit(), MAX_FRAME_BYTES);
+        assert_eq!(FrameDecoder::new().limit(), MAX_FRAME_BYTES);
     }
 
     #[test]

@@ -269,12 +269,52 @@ impl Request {
     }
 }
 
+/// Machine-readable code for deadline rejections: the request's total
+/// time budget ran out (or provably will) before a result could be
+/// produced. Carried in the `"code"` member of an `error` response so
+/// clients and chaos harnesses can tell it from transient failures —
+/// retrying a deadline-exceeded request is pointless by construction.
+pub const CODE_DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+
 /// Builds the standard `error` response.
 pub fn error_response(message: impl Into<String>) -> Json {
     Json::object([
         ("type", Json::from("error")),
         ("message", Json::from(message.into())),
     ])
+}
+
+/// Builds an `error` response carrying a machine-readable `code` beside
+/// the human-readable message.
+pub fn coded_error_response(code: &str, message: impl Into<String>) -> Json {
+    Json::object([
+        ("type", Json::from("error")),
+        ("code", Json::from(code)),
+        ("message", Json::from(message.into())),
+    ])
+}
+
+/// Builds the structured `DeadlineExceeded` rejection.
+pub fn deadline_response(message: impl Into<String>) -> Json {
+    coded_error_response(CODE_DEADLINE_EXCEEDED, message)
+}
+
+/// Rewrites the `deadline_ms` member of a compile-request payload to the
+/// remaining budget, preserving every other byte of meaning (member
+/// order included). Returns `None` when the payload is not a JSON object
+/// — the caller forwards the original bytes unchanged.
+///
+/// This is how the router propagates deadlines: the client sends a
+/// *total* budget, each hop subtracts its own elapsed time, and the
+/// shard sees only what is left.
+pub fn rewrite_deadline_ms(payload: &[u8], remaining_ms: u64) -> Option<Vec<u8>> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let mut value = qcs_json::parse(text).ok()?;
+    if !matches!(value, Json::Object(_)) {
+        return None;
+    }
+    value.set("deadline_ms", remaining_ms);
+    Some(value.to_compact_string().into_bytes())
 }
 
 /// Builds a load-shedding `error` response carrying a `retry_after_ms`
@@ -409,5 +449,48 @@ mod tests {
         let e = shed_response("busy", 250);
         assert_eq!(e.get("type").and_then(Json::as_str), Some("error"));
         assert_eq!(e.get("retry_after_ms").and_then(Json::as_usize), Some(250));
+    }
+
+    #[test]
+    fn deadline_response_is_a_coded_error() {
+        let e = deadline_response("budget spent");
+        assert_eq!(e.get("type").and_then(Json::as_str), Some("error"));
+        assert_eq!(
+            e.get("code").and_then(Json::as_str),
+            Some(CODE_DEADLINE_EXCEEDED)
+        );
+        assert_eq!(
+            e.get("message").and_then(Json::as_str),
+            Some("budget spent")
+        );
+        assert_eq!(e.get("retry_after_ms"), None, "deadline errors are final");
+    }
+
+    #[test]
+    fn deadline_rewrite_updates_budget_in_place() {
+        let payload =
+            br#"{"type":"compile","workload":"ghz:4","deadline_ms":500,"request_id":"r1"}"#;
+        let rewritten = rewrite_deadline_ms(payload, 123).unwrap();
+        assert_eq!(
+            rewritten,
+            br#"{"type":"compile","workload":"ghz:4","deadline_ms":123,"request_id":"r1"}"#
+                .to_vec()
+        );
+        // The rewritten frame still parses to the same request modulo budget.
+        let Request::Compile(c) = Request::parse(&rewritten).unwrap() else {
+            panic!("expected compile")
+        };
+        assert_eq!(c.deadline_ms, Some(123));
+        assert_eq!(c.request_id, Some("r1".to_string()));
+    }
+
+    #[test]
+    fn deadline_rewrite_appends_when_absent_and_rejects_non_objects() {
+        let rewritten = rewrite_deadline_ms(br#"{"type":"ping"}"#, 9).unwrap();
+        let v = qcs_json::parse(std::str::from_utf8(&rewritten).unwrap()).unwrap();
+        assert_eq!(v.get("deadline_ms").and_then(Json::as_usize), Some(9));
+        assert_eq!(rewrite_deadline_ms(b"[1,2,3]", 9), None);
+        assert_eq!(rewrite_deadline_ms(b"not json", 9), None);
+        assert_eq!(rewrite_deadline_ms(&[0xFF, 0xFE], 9), None);
     }
 }

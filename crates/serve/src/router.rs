@@ -25,30 +25,73 @@
 //! unhealthy, its pooled connection dropped, and the request replayed to
 //! the next candidate. Replaying is safe because shard requests are
 //! idempotent — compilation is a pure function plus a cache. A
-//! background probe thread pings every shard each
-//! [`RouterConfig::health_interval`] so the ring heals (both directions:
-//! dead shards stop receiving traffic within one interval, revived
-//! shards rejoin). `kill -9` on a shard under load therefore costs zero
-//! accepted requests — `ci_shard_smoke.sh` enforces exactly that.
+//! background probe thread pings every shard around each
+//! [`RouterConfig::health_interval`] (with jitter, and exponential
+//! backoff while a shard stays down, so a fleet of routers never
+//! thundering-herds a recovering shard) and readmits an unhealthy shard
+//! only after **two consecutive** probe successes. `kill -9` on a shard
+//! under load therefore costs zero accepted requests —
+//! `ci_shard_smoke.sh` enforces exactly that.
+//!
+//! **Circuit breakers.** Health probes are a 250ms-granularity liveness
+//! signal; request outcomes are faster and richer. Each shard also has a
+//! closed→open→half-open breaker driven by consecutive forward failures:
+//! an open breaker takes the shard out of the primary rotation until its
+//! cooldown expires, then admits exactly one half-open probe request
+//! whose outcome closes or re-opens it (with doubled cooldown). The
+//! fallback pass ignores breakers — in a total outage the router still
+//! tries everything rather than failing fast on principle.
+//!
+//! **Hedged retries.** A request whose key has been served before is
+//! *cache-hit class*: the owning shard will answer from its LRU in
+//! microseconds unless something is wrong with it. For those requests
+//! the router arms a hedge: if the owner has not answered within a
+//! p99-derived delay, the same request is fired at the next healthy
+//! shard and the first response wins (the loser's connection is dropped
+//! — a response may not be reused out of order). Hedging is restricted
+//! to hit-class requests because duplicating a *cold* compile would
+//! double real work for latency that is dominated by the compile itself.
+//!
+//! **Admission control.** Each shard has a bounded in-flight window at
+//! the router ([`RouterConfig::max_in_flight`]): a shard that stops
+//! answering cannot accumulate an unbounded pile of router-side
+//! connections, it simply drops out of the rotation until responses (or
+//! timeouts) drain its window. When *every* shard's window is full the
+//! client gets a `retry_after_ms` shed response.
+//!
+//! **Deadline propagation.** A `deadline_ms` on a compile request is the
+//! request's *total* end-to-end budget. The router subtracts its own
+//! elapsed time and rewrites the member to the remaining budget before
+//! each forward attempt, so the shard sees only what is actually left;
+//! a budget that is exhausted (or provably insufficient against the
+//! observed forward p95) is refused up front with a structured
+//! `deadline_exceeded` error instead of burning a forward on it.
 //!
 //! **What the router answers itself.** `ping` (liveness), `stats` (its
 //! own counters plus per-shard health — shard cache stats come from the
 //! shards directly), and `shutdown` (stops the router; shards are
 //! independent processes with their own lifecycle).
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use qcs_circuit::hash::Fnv64;
 use qcs_json::Json;
+use qcs_rng::{RngCore, SplitMix64};
+use qcs_sys::{poll_fds, PollFd, POLLIN};
 
 use crate::frame::FrameDecoder;
-use crate::protocol::{error_response, read_frame, write_frame, write_json, Request, Source};
+use crate::histogram::LatencyHistogram;
+use crate::protocol::{
+    deadline_response, error_response, read_frame, rewrite_deadline_ms, shed_response, write_frame,
+    write_json, Request, Source,
+};
 
 /// Tuning knobs for [`Router::start`].
 #[derive(Debug, Clone)]
@@ -61,12 +104,34 @@ pub struct RouterConfig {
     pub shards: Vec<String>,
     /// Virtual nodes per shard on the consistent-hash ring.
     pub replicas: usize,
-    /// How often the health prober pings every shard.
+    /// Baseline probe cadence; actual probes add deterministic jitter
+    /// and back off exponentially while a shard stays down.
     pub health_interval: Duration,
+    /// Cap on the unhealthy-probe backoff.
+    pub probe_backoff_max: Duration,
     /// Budget for opening a connection to a shard.
     pub connect_timeout: Duration,
     /// Budget for one forwarded request's response (compiles included).
     pub io_timeout: Duration,
+    /// Consecutive forward failures that trip a shard's breaker open.
+    pub breaker_threshold: u32,
+    /// First open-state cooldown; doubles on each failed half-open
+    /// probe, up to [`RouterConfig::breaker_cooldown_max`].
+    pub breaker_cooldown: Duration,
+    /// Cap on the breaker cooldown growth.
+    pub breaker_cooldown_max: Duration,
+    /// Fixed hedge delay for cache-hit-class requests. `None` derives it
+    /// from the observed hit-class forward p99 (clamped to
+    /// [1ms, 100ms]); `Some(d)` pins it (benches pin it high so hedges
+    /// never fire nondeterministically).
+    pub hedge_after: Option<Duration>,
+    /// Hit-class latency observations required before a derived hedge
+    /// delay is trusted.
+    pub hedge_min_observations: u64,
+    /// Per-shard bound on requests the router allows in flight.
+    pub max_in_flight: usize,
+    /// Seed for deterministic probe jitter.
+    pub jitter_seed: u64,
 }
 
 impl Default for RouterConfig {
@@ -76,8 +141,16 @@ impl Default for RouterConfig {
             shards: Vec::new(),
             replicas: 64,
             health_interval: Duration::from_millis(250),
+            probe_backoff_max: Duration::from_secs(2),
             connect_timeout: Duration::from_secs(1),
             io_timeout: Duration::from_secs(120),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
+            breaker_cooldown_max: Duration::from_secs(5),
+            hedge_after: None,
+            hedge_min_observations: 32,
+            max_in_flight: 32,
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
         }
     }
 }
@@ -171,11 +244,185 @@ fn route_key(request: &Request) -> u64 {
     h.finish()
 }
 
+/// Per-shard circuit-breaker phases. `Closed` counts consecutive
+/// failures; `Open` refuses primary-pass traffic until its cooldown
+/// expires; `HalfOpen` admits exactly one probe request whose outcome
+/// decides between closing and re-opening with a doubled cooldown.
+enum BreakerPhase {
+    Closed { failures: u32 },
+    Open { until: Instant, streak: u32 },
+    HalfOpen { streak: u32, probing: bool },
+}
+
+/// What a breaker says about admitting one request right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerAdmit {
+    /// Closed: forward normally.
+    Yes,
+    /// Half-open: forward, and this request *is* the probe.
+    Probe,
+    /// Open (or a half-open probe is already out): skip this shard on
+    /// the primary pass.
+    No,
+}
+
+struct Breaker {
+    phase: Mutex<BreakerPhase>,
+    opens: AtomicU64,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            phase: Mutex::new(BreakerPhase::Closed { failures: 0 }),
+            opens: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerPhase> {
+        self.phase.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn admit(&self, now: Instant) -> BreakerAdmit {
+        let mut phase = self.lock();
+        match &mut *phase {
+            BreakerPhase::Closed { .. } => BreakerAdmit::Yes,
+            BreakerPhase::Open { until, streak } => {
+                if now >= *until {
+                    let streak = *streak;
+                    *phase = BreakerPhase::HalfOpen {
+                        streak,
+                        probing: true,
+                    };
+                    BreakerAdmit::Probe
+                } else {
+                    BreakerAdmit::No
+                }
+            }
+            BreakerPhase::HalfOpen { probing, .. } => {
+                if *probing {
+                    BreakerAdmit::No
+                } else {
+                    *probing = true;
+                    BreakerAdmit::Probe
+                }
+            }
+        }
+    }
+
+    /// A forward to this shard completed. Success from any phase closes
+    /// the breaker — even `Open`, which a fallback-pass attempt can
+    /// reach: the shard evidently works, so waiting out the cooldown
+    /// would only prolong the brown-out.
+    fn on_success(&self) {
+        *self.lock() = BreakerPhase::Closed { failures: 0 };
+    }
+
+    fn on_failure(&self, config: &RouterConfig, now: Instant) {
+        let mut phase = self.lock();
+        let reopen = |streak: u32| {
+            let exp = streak.min(5);
+            let cooldown = config
+                .breaker_cooldown
+                .saturating_mul(1u32 << exp)
+                .min(config.breaker_cooldown_max);
+            BreakerPhase::Open {
+                until: now + cooldown,
+                streak: streak.saturating_add(1),
+            }
+        };
+        match &mut *phase {
+            BreakerPhase::Closed { failures } => {
+                *failures += 1;
+                if *failures >= config.breaker_threshold.max(1) {
+                    *phase = reopen(0);
+                    self.opens.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            BreakerPhase::HalfOpen { streak, .. } => {
+                let streak = *streak;
+                *phase = reopen(streak);
+                self.opens.fetch_add(1, Ordering::SeqCst);
+            }
+            // Already open: fallback-pass failures carry no new signal.
+            BreakerPhase::Open { .. } => {}
+        }
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match &*self.lock() {
+            BreakerPhase::Closed { .. } => "closed",
+            BreakerPhase::Open { .. } => "open",
+            BreakerPhase::HalfOpen { .. } => "half-open",
+        }
+    }
+}
+
 struct ShardState {
     addr: String,
     resolved: Mutex<Option<SocketAddr>>,
     healthy: AtomicBool,
     forwarded: AtomicU64,
+    breaker: Breaker,
+    /// Requests currently forwarded to this shard, fleet-wide across
+    /// client threads; bounded by [`RouterConfig::max_in_flight`].
+    in_flight: AtomicUsize,
+}
+
+/// RAII guard for one unit of a shard's in-flight window.
+struct InFlightSlot<'a> {
+    counter: &'a AtomicUsize,
+}
+
+impl Drop for InFlightSlot<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn try_acquire_slot(counter: &AtomicUsize, cap: usize) -> Option<InFlightSlot<'_>> {
+    counter
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |current| {
+            (current < cap).then_some(current + 1)
+        })
+        .ok()
+        .map(|_| InFlightSlot { counter })
+}
+
+/// Bound on remembered routing keys for hit-class detection: covers any
+/// realistic working set of distinct circuits while staying ~1 MiB.
+const SEEN_KEYS_CAP: usize = 65_536;
+
+/// A bounded memory of routing keys that have been served successfully —
+/// the definition of "cache-hit class" for hedging. Oldest age out first.
+struct SeenKeys {
+    set: HashSet<u64>,
+    order: VecDeque<u64>,
+}
+
+impl SeenKeys {
+    fn new() -> SeenKeys {
+        SeenKeys {
+            set: HashSet::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.set.contains(&key)
+    }
+
+    fn note(&mut self, key: u64) {
+        if !self.set.insert(key) {
+            return;
+        }
+        self.order.push_back(key);
+        if self.order.len() > SEEN_KEYS_CAP {
+            if let Some(oldest) = self.order.pop_front() {
+                self.set.remove(&oldest);
+            }
+        }
+    }
 }
 
 struct RouterShared {
@@ -187,6 +434,17 @@ struct RouterShared {
     requests: AtomicU64,
     reroutes: AtomicU64,
     forward_errors: AtomicU64,
+    /// Requests refused because their end-to-end budget ran out (or
+    /// provably would) before forwarding.
+    deadline_rejected: AtomicU64,
+    /// Requests shed because every shard's in-flight window was full.
+    admission_shed: AtomicU64,
+    hedges_fired: AtomicU64,
+    hedges_won: AtomicU64,
+    seen_keys: Mutex<SeenKeys>,
+    /// Forward latency of cache-hit-class requests — the distribution
+    /// the hedge delay and the deadline p95 gate are derived from.
+    hit_latency: Mutex<LatencyHistogram>,
 }
 
 impl RouterShared {
@@ -301,6 +559,8 @@ impl Router {
                 // should route, not reject.
                 healthy: AtomicBool::new(true),
                 forwarded: AtomicU64::new(0),
+                breaker: Breaker::new(),
+                in_flight: AtomicUsize::new(0),
             })
             .collect();
         let shared = Arc::new(RouterShared {
@@ -312,6 +572,12 @@ impl Router {
             requests: AtomicU64::new(0),
             reroutes: AtomicU64::new(0),
             forward_errors: AtomicU64::new(0),
+            deadline_rejected: AtomicU64::new(0),
+            admission_shed: AtomicU64::new(0),
+            hedges_fired: AtomicU64::new(0),
+            hedges_won: AtomicU64::new(0),
+            seen_keys: Mutex::new(SeenKeys::new()),
+            hit_latency: Mutex::new(LatencyHistogram::default()),
         });
 
         probe_all(&shared);
@@ -361,16 +627,90 @@ fn accept_loop(
     }
 }
 
+/// Per-shard prober bookkeeping, local to the health thread.
+struct ProbeState {
+    consecutive_successes: u32,
+    consecutive_failures: u32,
+    next_due: Instant,
+    /// What the health flag said the last time we looked — detects
+    /// forward()-driven demotions between probes.
+    was_healthy: bool,
+}
+
+/// Deterministic probe jitter in `[0, interval/4]`: spreads a fleet of
+/// routers' probes so a recovering shard never sees them in lockstep.
+fn probe_jitter(rng: &mut SplitMix64, interval: Duration) -> Duration {
+    let span = ((interval / 4).as_millis() as u64).max(1);
+    Duration::from_millis(rng.next_u64() % span)
+}
+
+/// The backoff before the next probe of a shard that has failed
+/// `consecutive_failures` (>= 1) probes in a row: the base interval
+/// doubled per failure, capped at `probe_backoff_max`.
+fn probe_backoff(config: &RouterConfig, consecutive_failures: u32) -> Duration {
+    let interval = config.health_interval.max(Duration::from_millis(1));
+    let exp = consecutive_failures.saturating_sub(1).min(5);
+    interval
+        .saturating_mul(1u32 << exp)
+        .min(config.probe_backoff_max.max(interval))
+}
+
 fn health_loop(shared: &RouterShared) {
+    let mut rng = SplitMix64::new(shared.config.jitter_seed);
+    let start = Instant::now();
+    let mut states: Vec<ProbeState> = shared
+        .shards
+        .iter()
+        .map(|s| {
+            let healthy = s.healthy.load(Ordering::SeqCst);
+            ProbeState {
+                // A shard the startup probe found healthy is fully
+                // admitted; anything else earns its way in with two
+                // consecutive successes.
+                consecutive_successes: if healthy { 2 } else { 0 },
+                consecutive_failures: 0,
+                next_due: start,
+                was_healthy: healthy,
+            }
+        })
+        .collect();
     while !shared.shutdown.load(Ordering::SeqCst) {
-        probe_all(shared);
-        // Sleep in poll-sized slices so shutdown stays responsive.
-        let mut remaining = shared.config.health_interval;
-        while !remaining.is_zero() && !shared.shutdown.load(Ordering::SeqCst) {
-            let slice = remaining.min(POLL_INTERVAL);
-            std::thread::sleep(slice);
-            remaining = remaining.saturating_sub(slice);
+        let now = Instant::now();
+        for (idx, state) in states.iter_mut().enumerate() {
+            let shard = &shared.shards[idx];
+            let flagged = shard.healthy.load(Ordering::SeqCst);
+            if state.was_healthy && !flagged {
+                // A forward failure demoted this shard since our last
+                // probe: readmission needs two *fresh* successes, even
+                // if our own probes never saw it down.
+                state.consecutive_successes = 0;
+                state.was_healthy = false;
+            }
+            if now < state.next_due {
+                continue;
+            }
+            let interval = shared.config.health_interval.max(Duration::from_millis(1));
+            if probe_shard(shared, idx) {
+                state.consecutive_failures = 0;
+                state.consecutive_successes = state.consecutive_successes.saturating_add(1);
+                if state.consecutive_successes >= 2 {
+                    shard.healthy.store(true, Ordering::SeqCst);
+                    state.was_healthy = true;
+                }
+                state.next_due = now + interval + probe_jitter(&mut rng, interval);
+            } else {
+                state.consecutive_successes = 0;
+                state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+                shard.healthy.store(false, Ordering::SeqCst);
+                state.was_healthy = false;
+                state.next_due = now
+                    + probe_backoff(&shared.config, state.consecutive_failures)
+                    + probe_jitter(&mut rng, interval);
+            }
         }
+        // Tick in poll-sized slices so shutdown stays responsive.
+        let interval = shared.config.health_interval.max(Duration::from_millis(1));
+        std::thread::sleep(POLL_INTERVAL.min(interval));
     }
 }
 
@@ -466,6 +806,7 @@ fn client_loop(mut stream: TcpStream, shared: &RouterShared) {
     let mut pool: Vec<Option<TcpStream>> = (0..shared.shards.len()).map(|_| None).collect();
 
     while let Some(payload) = next_client_frame(&mut stream, &mut decoder, &mut ready, shared) {
+        let arrival = Instant::now();
         shared.requests.fetch_add(1, Ordering::SeqCst);
         let keep_going = match Request::parse(&payload) {
             Err(e) => write_json(&mut stream, &error_response(e.to_string())).is_ok(),
@@ -477,7 +818,22 @@ fn client_loop(mut stream: TcpStream, shared: &RouterShared) {
                 false
             }
             Ok(request @ (Request::Compile(_) | Request::CompileSuite(_))) => {
-                let response = forward(shared, &payload, route_key(&request), &mut pool);
+                // The deadline is the request's *total* remaining
+                // budget; `arrival` anchors the router's share of it.
+                let deadline = match &request {
+                    Request::Compile(c) => c.deadline_ms.map(Duration::from_millis),
+                    _ => None,
+                };
+                // Only single compiles hedge: a duplicated suite is
+                // never hit-class work, it is a whole benchmark run.
+                let hedgeable = matches!(request, Request::Compile(_));
+                let ctx = ForwardCtx {
+                    key: route_key(&request),
+                    arrival,
+                    deadline,
+                    hedgeable,
+                };
+                let response = forward(shared, &payload, &ctx, &mut pool);
                 write_frame(&mut stream, &response).is_ok()
             }
         };
@@ -487,20 +843,107 @@ fn client_loop(mut stream: TcpStream, shared: &RouterShared) {
     }
 }
 
-/// Forwards a request payload to the shard owning `key`, replaying down
-/// the ring-walk order on failure. Returns the shard's response payload,
-/// or an `error` response when every shard failed.
+/// Per-request routing context threaded through [`forward`].
+struct ForwardCtx {
+    key: u64,
+    /// When the request frame was read off the client socket.
+    arrival: Instant,
+    /// The request's *total* end-to-end budget, if it declared one.
+    deadline: Option<Duration>,
+    /// Whether this request class may hedge (single compiles only).
+    hedgeable: bool,
+}
+
+impl ForwardCtx {
+    /// Remaining end-to-end budget; `None` when no deadline was given.
+    fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|budget| budget.saturating_sub(self.arrival.elapsed()))
+    }
+}
+
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The hedge delay: the configured pin, or the observed hit-class
+/// forward p99 clamped to [1ms, 100ms] once enough observations exist.
+fn hedge_delay(shared: &RouterShared) -> Option<Duration> {
+    if let Some(pinned) = shared.config.hedge_after {
+        return Some(pinned);
+    }
+    let hist = lock_or_recover(&shared.hit_latency);
+    if hist.count() < shared.config.hedge_min_observations.max(1) {
+        return None;
+    }
+    let p99 = Duration::from_micros(hist.quantile_upper_micros(0.99));
+    Some(p99.clamp(Duration::from_millis(1), Duration::from_millis(100)))
+}
+
+/// Observed hit-class forward p95 in microseconds, once trustworthy.
+fn hit_forward_p95(shared: &RouterShared) -> Option<u64> {
+    let hist = lock_or_recover(&shared.hit_latency);
+    (hist.count() >= shared.config.hedge_min_observations.max(1))
+        .then(|| hist.quantile_upper_micros(0.95))
+}
+
+fn json_bytes(value: Json) -> Vec<u8> {
+    value.to_compact_string().into_bytes()
+}
+
+/// What one (possibly hedged) forward attempt produced.
+struct AttemptOutcome {
+    response: Vec<u8>,
+    /// Which shard's response this is.
+    winner: usize,
+    /// True when the primary leg hard-failed during a hedge (so the
+    /// caller charges its breaker) even though the backup delivered.
+    primary_failed: bool,
+}
+
+/// Forwards a request payload to the shard owning `ctx.key`, replaying
+/// down the ring-walk order on failure. Applies deadline checks,
+/// per-shard admission windows and circuit breakers, and hedges
+/// cache-hit-class requests. Returns the winning shard's response
+/// payload, or a structured error when no shard could serve.
 fn forward(
     shared: &RouterShared,
     payload: &[u8],
-    key: u64,
+    ctx: &ForwardCtx,
     pool: &mut [Option<TcpStream>],
 ) -> Vec<u8> {
-    let walk = shared.ring.walk(key);
+    let hit_class = lock_or_recover(&shared.seen_keys).contains(ctx.key);
+
+    // Deadline gate: refuse work whose remaining budget is already gone
+    // or (for hit-class requests, where the router's forward time is the
+    // whole story) provably insufficient against the observed p95 —
+    // better a fast structured refusal than a doomed forward.
+    if let Some(remaining) = ctx.remaining() {
+        if remaining.is_zero() {
+            shared.deadline_rejected.fetch_add(1, Ordering::SeqCst);
+            return json_bytes(deadline_response("deadline exhausted before forwarding"));
+        }
+        if hit_class {
+            if let Some(p95) = hit_forward_p95(shared) {
+                if Duration::from_micros(p95) > remaining {
+                    shared.deadline_rejected.fetch_add(1, Ordering::SeqCst);
+                    return json_bytes(deadline_response(format!(
+                        "remaining budget of {} ms cannot cover the observed forward p95 of {} us",
+                        remaining.as_millis(),
+                        p95
+                    )));
+                }
+            }
+        }
+    }
+
+    let walk = shared.ring.walk(ctx.key);
     // Healthy shards first (in ring order), then the rest: when the
     // prober has everything marked down (a fleet-wide blip, or probes
     // racing a restart) the router still tries rather than failing fast.
-    let attempts: Vec<usize> = walk
+    let candidates: Vec<usize> = walk
         .iter()
         .copied()
         .filter(|&i| shared.shards[i].healthy.load(Ordering::SeqCst))
@@ -510,30 +953,139 @@ fn forward(
                 .filter(|&i| !shared.shards[i].healthy.load(Ordering::SeqCst)),
         )
         .collect();
-    for (attempt, &idx) in attempts.iter().enumerate() {
-        // Two tries per shard: a pooled connection can be stale (the
-        // shard restarted since the last request) without the shard
-        // being down — reconnect once before writing the shard off.
-        for _ in 0..2 {
-            match forward_once(shared, idx, payload, &mut pool[idx]) {
-                Ok(response) => {
-                    shared.shards[idx].forwarded.fetch_add(1, Ordering::SeqCst);
-                    if attempt > 0 {
-                        shared.reroutes.fetch_add(1, Ordering::SeqCst);
+
+    let hedge_after = if ctx.hedgeable && hit_class {
+        hedge_delay(shared)
+    } else {
+        None
+    };
+
+    let started = Instant::now();
+    let mut attempted = false;
+    for (position, &idx) in candidates.iter().enumerate() {
+        let shard = &shared.shards[idx];
+        // Admission before the breaker: a half-open probe admission must
+        // never be stranded by a full in-flight window.
+        let Some(_slot) = try_acquire_slot(&shard.in_flight, shared.config.max_in_flight.max(1))
+        else {
+            continue;
+        };
+        let fallback = !shard.healthy.load(Ordering::SeqCst);
+        let admit = if fallback {
+            // Total-outage pass: breakers steer traffic away from sick
+            // shards, they do not veto the only options left.
+            BreakerAdmit::Yes
+        } else {
+            shard.breaker.admit(Instant::now())
+        };
+        if admit == BreakerAdmit::No {
+            continue;
+        }
+
+        // Rewrite the deadline to the remaining budget for every attempt
+        // so the shard only ever sees what is actually left.
+        let rewritten;
+        let body: &[u8] = match ctx.remaining() {
+            None => payload,
+            Some(remaining) if remaining.is_zero() => {
+                shared.deadline_rejected.fetch_add(1, Ordering::SeqCst);
+                return json_bytes(deadline_response("deadline exhausted during forwarding"));
+            }
+            Some(remaining) => match rewrite_deadline_ms(payload, remaining.as_millis() as u64) {
+                Some(bytes) => {
+                    rewritten = bytes;
+                    &rewritten
+                }
+                None => payload,
+            },
+        };
+
+        // Hedge only the first, healthy, closed-breaker attempt, and
+        // only when a distinct healthy backup exists to hedge *to*.
+        let backup = match (position, fallback, admit, hedge_after) {
+            (0, false, BreakerAdmit::Yes, Some(_)) => candidates
+                .get(1)
+                .copied()
+                .filter(|&b| shared.shards[b].healthy.load(Ordering::SeqCst)),
+            _ => None,
+        };
+
+        attempted = true;
+        let outcome = match (backup, hedge_after) {
+            (Some(backup), Some(delay)) => forward_hedged(shared, idx, backup, body, delay, pool),
+            _ => forward_with_retry(shared, idx, body, &mut pool[idx]).map(|response| {
+                AttemptOutcome {
+                    response,
+                    winner: idx,
+                    primary_failed: false,
+                }
+            }),
+        };
+        match outcome {
+            Ok(outcome) => {
+                let winner = &shared.shards[outcome.winner];
+                winner.forwarded.fetch_add(1, Ordering::SeqCst);
+                winner.breaker.on_success();
+                if outcome.primary_failed {
+                    shard.breaker.on_failure(&shared.config, Instant::now());
+                    shard.healthy.store(false, Ordering::SeqCst);
+                }
+                if position > 0 {
+                    shared.reroutes.fetch_add(1, Ordering::SeqCst);
+                }
+                if ctx.hedgeable {
+                    if hit_class {
+                        let micros =
+                            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                        lock_or_recover(&shared.hit_latency).record(micros);
                     }
-                    return response;
+                    lock_or_recover(&shared.seen_keys).note(ctx.key);
                 }
-                Err(_) => {
-                    pool[idx] = None;
-                }
+                return outcome.response;
+            }
+            Err(_) => {
+                shard.breaker.on_failure(&shared.config, Instant::now());
+                shard.healthy.store(false, Ordering::SeqCst);
+                pool[idx] = None;
             }
         }
-        shared.shards[idx].healthy.store(false, Ordering::SeqCst);
+    }
+    if !attempted {
+        // Every candidate was skipped without a wire attempt: the
+        // in-flight windows are full (or every breaker is open against
+        // healthy-flagged shards). Shed with a back-off hint rather than
+        // queueing unbounded work.
+        shared.admission_shed.fetch_add(1, Ordering::SeqCst);
+        return json_bytes(shed_response(
+            "router admission windows full; retry shortly",
+            50,
+        ));
     }
     shared.forward_errors.fetch_add(1, Ordering::SeqCst);
-    error_response("no shard available for request")
-        .to_compact_string()
-        .into_bytes()
+    json_bytes(error_response("no shard available for request"))
+}
+
+/// One logical forward to shard `idx` over this client's pooled
+/// connection, retrying once on a fresh connection: a pooled socket can
+/// be stale (the shard restarted since the last request) without the
+/// shard being down.
+fn forward_with_retry(
+    shared: &RouterShared,
+    idx: usize,
+    payload: &[u8],
+    slot: &mut Option<TcpStream>,
+) -> io::Result<Vec<u8>> {
+    let mut last_err = None;
+    for _ in 0..2 {
+        match forward_once(shared, idx, payload, slot) {
+            Ok(response) => return Ok(response),
+            Err(e) => {
+                *slot = None;
+                last_err = Some(e);
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("forward failed")))
 }
 
 /// One forwarding attempt over this client's pooled connection to shard
@@ -545,12 +1097,7 @@ fn forward_once(
     slot: &mut Option<TcpStream>,
 ) -> io::Result<Vec<u8>> {
     if slot.is_none() {
-        let addr = shared.shard_addr(idx)?;
-        let stream = TcpStream::connect_timeout(&addr, shared.config.connect_timeout)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(shared.config.io_timeout))?;
-        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
-        *slot = Some(stream);
+        *slot = Some(connect_shard(shared, idx)?);
     }
     let stream = slot.as_mut().expect("just filled");
     write_frame(stream, payload)?;
@@ -560,6 +1107,171 @@ fn forward_once(
             io::ErrorKind::UnexpectedEof,
             "shard closed before responding",
         )),
+    }
+}
+
+fn connect_shard(shared: &RouterShared, idx: usize) -> io::Result<TcpStream> {
+    let addr = shared.shard_addr(idx)?;
+    let stream = TcpStream::connect_timeout(&addr, shared.config.connect_timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(shared.config.io_timeout))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    Ok(stream)
+}
+
+/// Takes (or opens) the pooled connection to shard `idx` and writes one
+/// request frame on it, reconnecting once if the pooled socket rejects
+/// the write. Ownership of the stream moves to the caller — the hedged
+/// reader decides whether it comes back to the pool.
+fn send_request(
+    shared: &RouterShared,
+    idx: usize,
+    slot: &mut Option<TcpStream>,
+    payload: &[u8],
+) -> io::Result<TcpStream> {
+    for _ in 0..2 {
+        let mut stream = match slot.take() {
+            Some(stream) => stream,
+            None => connect_shard(shared, idx)?,
+        };
+        if write_frame(&mut stream, payload).is_ok() {
+            return Ok(stream);
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::BrokenPipe,
+        "could not write request to shard",
+    ))
+}
+
+/// A hedged forward for a cache-hit-class request: the primary shard
+/// gets `delay` to answer on its own; past that, the same payload fires
+/// at `backup` and the first *complete* response wins. The loser still
+/// owes a response on its connection, so only the winner's socket goes
+/// back to the pool — the other is dropped.
+///
+/// Errors mean the primary leg failed (after a fresh-connection retry)
+/// and no backup response arrived either; the caller replays down the
+/// walk order as for any failed attempt.
+fn forward_hedged(
+    shared: &RouterShared,
+    primary: usize,
+    backup: usize,
+    payload: &[u8],
+    delay: Duration,
+    pool: &mut [Option<TcpStream>],
+) -> io::Result<AttemptOutcome> {
+    let started = Instant::now();
+    let overall_deadline = started + shared.config.io_timeout;
+    let hedge_at = started + delay;
+
+    let mut primary_stream = Some(send_request(shared, primary, &mut pool[primary], payload)?);
+    // Mirror the unhedged path's stale-pool tolerance: one reconnect.
+    let mut primary_retries_left = 1u32;
+    let mut primary_failed = false;
+    let mut backup_stream: Option<TcpStream> = None;
+    let mut _backup_slot = None;
+    let mut backup_fired = false;
+    let mut backup_failed = false;
+
+    loop {
+        let now = Instant::now();
+        if now >= overall_deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "hedged forward timed out",
+            ));
+        }
+        if !backup_fired && !primary_failed && now >= hedge_at {
+            // The primary has had its p99-derived chance: fire the hedge
+            // (unless the backup's admission window is full — a hedge is
+            // opportunistic, never worth displacing first-try traffic).
+            backup_fired = true;
+            match try_acquire_slot(
+                &shared.shards[backup].in_flight,
+                shared.config.max_in_flight.max(1),
+            ) {
+                None => backup_failed = true,
+                Some(slot) => match send_request(shared, backup, &mut pool[backup], payload) {
+                    Ok(stream) => {
+                        _backup_slot = Some(slot);
+                        backup_stream = Some(stream);
+                        shared.hedges_fired.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(_) => backup_failed = true,
+                },
+            }
+        }
+        if primary_failed && (backup_failed || backup_stream.is_none()) {
+            return Err(io::Error::other("both hedge legs failed"));
+        }
+
+        let mut fds = Vec::with_capacity(2);
+        let mut legs = Vec::with_capacity(2);
+        if let Some(stream) = primary_stream.as_ref() {
+            fds.push(PollFd::new(stream.as_raw_fd(), POLLIN));
+            legs.push(primary);
+        }
+        if let Some(stream) = backup_stream.as_ref() {
+            fds.push(PollFd::new(stream.as_raw_fd(), POLLIN));
+            legs.push(backup);
+        }
+        let wait = if backup_fired || primary_failed {
+            overall_deadline
+                .saturating_duration_since(now)
+                .min(POLL_INTERVAL)
+        } else {
+            hedge_at.saturating_duration_since(now).min(POLL_INTERVAL)
+        };
+        let _ = poll_fds(&mut fds, Some(wait));
+
+        // Primary first: a free response always beats a hedged one.
+        for (slot_idx, &leg) in legs.iter().enumerate() {
+            if !fds[slot_idx].readable() {
+                continue;
+            }
+            if leg == primary {
+                let mut stream = primary_stream.take().expect("primary leg polled");
+                match read_frame(&mut stream) {
+                    Ok(Some(response)) => {
+                        // Exactly one request, one response: the socket
+                        // is position-clean and may rejoin the pool.
+                        pool[primary] = Some(stream);
+                        return Ok(AttemptOutcome {
+                            response,
+                            winner: primary,
+                            primary_failed: false,
+                        });
+                    }
+                    _ => {
+                        if primary_retries_left > 0 {
+                            primary_retries_left -= 1;
+                            match send_request(shared, primary, &mut pool[primary], payload) {
+                                Ok(fresh) => primary_stream = Some(fresh),
+                                Err(_) => primary_failed = true,
+                            }
+                        } else {
+                            primary_failed = true;
+                        }
+                    }
+                }
+                break;
+            }
+            let mut stream = backup_stream.take().expect("backup leg polled");
+            match read_frame(&mut stream) {
+                Ok(Some(response)) => {
+                    shared.hedges_won.fetch_add(1, Ordering::SeqCst);
+                    pool[backup] = Some(stream);
+                    return Ok(AttemptOutcome {
+                        response,
+                        winner: backup,
+                        primary_failed,
+                    });
+                }
+                _ => backup_failed = true,
+            }
+            break;
+        }
     }
 }
 
@@ -580,6 +1292,35 @@ fn router_stats_json(shared: &RouterShared) -> Json {
             Json::from(shared.forward_errors.load(Ordering::SeqCst)),
         ),
         (
+            "resilience",
+            Json::object([
+                (
+                    "deadline_rejected",
+                    Json::from(shared.deadline_rejected.load(Ordering::SeqCst)),
+                ),
+                (
+                    "admission_shed",
+                    Json::from(shared.admission_shed.load(Ordering::SeqCst)),
+                ),
+                (
+                    "hedges_fired",
+                    Json::from(shared.hedges_fired.load(Ordering::SeqCst)),
+                ),
+                (
+                    "hedges_won",
+                    Json::from(shared.hedges_won.load(Ordering::SeqCst)),
+                ),
+                (
+                    "hedge_delay_micros",
+                    Json::from(
+                        hedge_delay(shared)
+                            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+                            .unwrap_or(0),
+                    ),
+                ),
+            ]),
+        ),
+        (
             "shards",
             Json::Array(
                 shared
@@ -590,6 +1331,15 @@ fn router_stats_json(shared: &RouterShared) -> Json {
                             ("addr", Json::from(s.addr.clone())),
                             ("healthy", Json::from(s.healthy.load(Ordering::SeqCst))),
                             ("forwarded", Json::from(s.forwarded.load(Ordering::SeqCst))),
+                            ("breaker", Json::from(s.breaker.phase_name())),
+                            (
+                                "breaker_opens",
+                                Json::from(s.breaker.opens.load(Ordering::SeqCst)),
+                            ),
+                            (
+                                "in_flight",
+                                Json::from(s.in_flight.load(Ordering::SeqCst) as u64),
+                            ),
                         ])
                     })
                     .collect(),
@@ -659,6 +1409,153 @@ mod tests {
             if walk[0] != dead {
                 assert_eq!(walk[0], rerouted_owner, "surviving owner must not move");
             }
+        }
+    }
+
+    fn test_config() -> RouterConfig {
+        RouterConfig {
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(100),
+            breaker_cooldown_max: Duration::from_millis(500),
+            ..RouterConfig::default()
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_recovers_via_half_open() {
+        let config = test_config();
+        let breaker = Breaker::new();
+        let t0 = Instant::now();
+        assert_eq!(breaker.admit(t0), BreakerAdmit::Yes);
+        breaker.on_failure(&config, t0);
+        breaker.on_failure(&config, t0);
+        assert_eq!(breaker.admit(t0), BreakerAdmit::Yes, "below threshold");
+        breaker.on_failure(&config, t0);
+        assert_eq!(breaker.phase_name(), "open");
+        assert_eq!(breaker.opens.load(Ordering::SeqCst), 1);
+        assert_eq!(breaker.admit(t0), BreakerAdmit::No, "cooldown not elapsed");
+        // Past the cooldown: exactly one half-open probe is admitted.
+        let after = t0 + config.breaker_cooldown + Duration::from_millis(1);
+        assert_eq!(breaker.admit(after), BreakerAdmit::Probe);
+        assert_eq!(breaker.phase_name(), "half-open");
+        assert_eq!(breaker.admit(after), BreakerAdmit::No, "probe already out");
+        breaker.on_success();
+        assert_eq!(breaker.phase_name(), "closed");
+        assert_eq!(breaker.admit(after), BreakerAdmit::Yes);
+    }
+
+    #[test]
+    fn breaker_failed_probe_doubles_cooldown_up_to_cap() {
+        let config = test_config();
+        let breaker = Breaker::new();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            breaker.on_failure(&config, t0);
+        }
+        // Fail half-open probes repeatedly: each reopen doubles the
+        // cooldown until the cap pins it.
+        let mut now = t0;
+        let mut previous_until = t0;
+        for round in 0..6u32 {
+            now += Duration::from_secs(1);
+            assert_eq!(breaker.admit(now), BreakerAdmit::Probe, "round {round}");
+            breaker.on_failure(&config, now);
+            let until = match &*breaker.lock() {
+                BreakerPhase::Open { until, .. } => *until,
+                other_phase => panic!(
+                    "expected open after failed probe, got {}",
+                    match other_phase {
+                        BreakerPhase::Closed { .. } => "closed",
+                        BreakerPhase::HalfOpen { .. } => "half-open",
+                        BreakerPhase::Open { .. } => unreachable!(),
+                    }
+                ),
+            };
+            let cooldown = until - now;
+            let expected = config
+                .breaker_cooldown
+                .saturating_mul(1u32 << (round + 1).min(5))
+                .min(config.breaker_cooldown_max);
+            assert_eq!(cooldown, expected, "round {round}");
+            previous_until = until;
+        }
+        assert!(previous_until - now <= config.breaker_cooldown_max);
+        // One success out of half-open closes it regardless of streak.
+        now += Duration::from_secs(1);
+        assert_eq!(breaker.admit(now), BreakerAdmit::Probe);
+        breaker.on_success();
+        assert_eq!(breaker.phase_name(), "closed");
+    }
+
+    #[test]
+    fn breaker_success_from_open_closes_immediately() {
+        // A fallback-pass forward can succeed against an open breaker;
+        // real success is stronger evidence than any cooldown.
+        let config = test_config();
+        let breaker = Breaker::new();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            breaker.on_failure(&config, t0);
+        }
+        assert_eq!(breaker.phase_name(), "open");
+        breaker.on_success();
+        assert_eq!(breaker.phase_name(), "closed");
+    }
+
+    #[test]
+    fn in_flight_slots_are_bounded_and_release_on_drop() {
+        let counter = AtomicUsize::new(0);
+        let a = try_acquire_slot(&counter, 2).expect("first slot");
+        let b = try_acquire_slot(&counter, 2).expect("second slot");
+        assert!(try_acquire_slot(&counter, 2).is_none(), "window full");
+        drop(a);
+        let c = try_acquire_slot(&counter, 2).expect("slot freed by drop");
+        drop(b);
+        drop(c);
+        assert_eq!(counter.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn seen_keys_remember_and_evict_oldest() {
+        let mut seen = SeenKeys::new();
+        seen.note(7);
+        seen.note(7); // duplicate must not occupy a second slot
+        assert!(seen.contains(7));
+        for key in 0..(SEEN_KEYS_CAP as u64) {
+            seen.note(1_000_000 + key);
+        }
+        assert!(!seen.contains(7), "oldest key evicted at capacity");
+        assert!(seen.contains(1_000_000 + SEEN_KEYS_CAP as u64 - 1));
+        assert_eq!(seen.set.len(), SEEN_KEYS_CAP);
+        assert_eq!(seen.order.len(), SEEN_KEYS_CAP);
+    }
+
+    #[test]
+    fn probe_backoff_doubles_and_caps() {
+        let mut config = test_config();
+        config.health_interval = Duration::from_millis(100);
+        config.probe_backoff_max = Duration::from_millis(900);
+        assert_eq!(probe_backoff(&config, 1), Duration::from_millis(100));
+        assert_eq!(probe_backoff(&config, 2), Duration::from_millis(200));
+        assert_eq!(probe_backoff(&config, 3), Duration::from_millis(400));
+        assert_eq!(probe_backoff(&config, 4), Duration::from_millis(800));
+        assert_eq!(
+            probe_backoff(&config, 5),
+            Duration::from_millis(900),
+            "capped"
+        );
+        assert_eq!(probe_backoff(&config, 60), Duration::from_millis(900));
+    }
+
+    #[test]
+    fn probe_jitter_is_deterministic_and_bounded() {
+        let interval = Duration::from_millis(200);
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..64 {
+            let ja = probe_jitter(&mut a, interval);
+            assert_eq!(ja, probe_jitter(&mut b, interval));
+            assert!(ja < interval / 4 + Duration::from_millis(1));
         }
     }
 

@@ -209,6 +209,13 @@ pub(crate) struct Shared {
     connections_shed: AtomicU64,
     connections_admitted: AtomicU64,
     requests_retried: AtomicU64,
+    /// Requests rejected because their end-to-end deadline budget ran
+    /// out (or provably would) — total, and the subset refused *before*
+    /// any compilation work was spent on them.
+    deadline_rejected: AtomicU64,
+    deadline_rejected_precompile: AtomicU64,
+    /// Injected transport faults observed by the event loops.
+    pub(crate) transport_faults: AtomicU64,
     persist_errors: AtomicU64,
     /// Complete request frames decoded off sockets.
     pub(crate) frames_in: AtomicU64,
@@ -362,6 +369,9 @@ impl Server {
             connections_shed: AtomicU64::new(0),
             connections_admitted: AtomicU64::new(0),
             requests_retried: AtomicU64::new(0),
+            deadline_rejected: AtomicU64::new(0),
+            deadline_rejected_precompile: AtomicU64::new(0),
+            transport_faults: AtomicU64::new(0),
             persist_errors: AtomicU64::new(0),
             frames_in: AtomicU64::new(0),
             frames_out: AtomicU64::new(0),
@@ -484,9 +494,64 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// A client-presentable serving error, optionally carrying a
+/// machine-readable code (today only
+/// [`crate::protocol::CODE_DEADLINE_EXCEEDED`]).
+struct ServeError {
+    code: Option<&'static str>,
+    message: String,
+}
+
+impl ServeError {
+    fn plain(message: impl Into<String>) -> ServeError {
+        ServeError {
+            code: None,
+            message: message.into(),
+        }
+    }
+
+    fn deadline(message: impl Into<String>) -> ServeError {
+        ServeError {
+            code: Some(crate::protocol::CODE_DEADLINE_EXCEEDED),
+            message: message.into(),
+        }
+    }
+
+    fn response(&self) -> Json {
+        match self.code {
+            Some(code) => crate::protocol::coded_error_response(code, self.message.clone()),
+            None => error_response(self.message.clone()),
+        }
+    }
+}
+
+/// The cold-compile cost a fresh miss should be budgeted for: the sum of
+/// the per-stage p95 upper bounds. Stage histograms record *misses only*
+/// (hits skip them entirely), so this never inflates from cache traffic;
+/// it returns 0 until enough cold compiles have been observed to trust.
+fn predicted_cold_micros(stats: &ServeStats) -> u64 {
+    const MIN_OBSERVATIONS: u64 = 8;
+    if stats.decompose.count() < MIN_OBSERVATIONS {
+        return 0;
+    }
+    stats.decompose.quantile_upper_micros(0.95)
+        + stats.place.quantile_upper_micros(0.95)
+        + stats.route.quantile_upper_micros(0.95)
+        + stats.schedule.quantile_upper_micros(0.95)
+}
+
 /// Compiles one job through the cache; returns the canonical payload or
-/// a client-presentable error string. Records histograms and counters.
-fn compile_via_cache(shared: &Shared, request: &CompileRequest) -> Result<Arc<Vec<u8>>, String> {
+/// a client-presentable error. Records histograms and counters.
+///
+/// Deadline discipline: `deadline_ms` is the request's *remaining*
+/// end-to-end budget (the router already subtracted its own elapsed
+/// time). A cache miss whose remaining budget cannot cover the observed
+/// per-stage p95 cold cost is refused up front — a structured
+/// `deadline_exceeded` beats burning a worker on a doomed job.
+fn compile_via_cache(
+    shared: &Shared,
+    request: &CompileRequest,
+) -> Result<Arc<Vec<u8>>, ServeError> {
     let started = Instant::now();
     let deadline = request.deadline_ms.map(Duration::from_millis);
     let over_deadline = |when: &str| {
@@ -495,15 +560,17 @@ fn compile_via_cache(shared: &Shared, request: &CompileRequest) -> Result<Arc<Ve
             .map(|d| format!("deadline of {} ms exceeded {when}", d.as_millis()))
     };
 
-    let mut job = Job::resolve(request).map_err(|e| e.to_string())?;
+    let mut job = Job::resolve(request).map_err(|e| ServeError::plain(e.to_string()))?;
     // Chaos-test failpoint, deliberately *before* the cache lookup so
     // every request — cache hit or miss — can be made to fail. Panics
     // unwind into `respond_compile`'s isolation; triggers mutate the job
     // (e.g. a `degrade:...` calibration outage).
     match qcs_faults::hit("serve.worker.job") {
         Hit::Pass => {}
-        Hit::Error(message) => return Err(format!("injected fault: {message}")),
-        Hit::Triggered(tag) => job.apply_trigger(&tag).map_err(|e| e.to_string())?,
+        Hit::Error(message) => return Err(ServeError::plain(format!("injected fault: {message}"))),
+        Hit::Triggered(tag) => job
+            .apply_trigger(&tag)
+            .map_err(|e| ServeError::plain(e.to_string()))?,
     }
     let digest = job.digest();
     let full_key = job.full_key();
@@ -513,9 +580,29 @@ fn compile_via_cache(shared: &Shared, request: &CompileRequest) -> Result<Arc<Ve
         Some(payload) => payload,
         None => {
             if let Some(message) = over_deadline("before compilation started") {
-                return Err(message);
+                shared.deadline_rejected.fetch_add(1, Ordering::SeqCst);
+                shared
+                    .deadline_rejected_precompile
+                    .fetch_add(1, Ordering::SeqCst);
+                return Err(ServeError::deadline(message));
             }
-            let output = run_job(&job).map_err(|e| e.to_string())?;
+            if let Some(d) = deadline {
+                let remaining = d.saturating_sub(started.elapsed());
+                let predicted = predicted_cold_micros(&lock_recovering(&shared.stats));
+                if predicted > 0 && Duration::from_micros(predicted) > remaining {
+                    shared.deadline_rejected.fetch_add(1, Ordering::SeqCst);
+                    shared
+                        .deadline_rejected_precompile
+                        .fetch_add(1, Ordering::SeqCst);
+                    return Err(ServeError::deadline(format!(
+                        "remaining budget of {} ms cannot cover the observed \
+                         cold-compile p95 of {} us; rejected before compilation",
+                        remaining.as_millis(),
+                        predicted
+                    )));
+                }
+            }
+            let output = run_job(&job).map_err(|e| ServeError::plain(e.to_string()))?;
             let payload = Arc::new(output.payload);
             lock_recovering(&shared.cache).insert(
                 digest,
@@ -539,7 +626,8 @@ fn compile_via_cache(shared: &Shared, request: &CompileRequest) -> Result<Arc<Ve
         .record(started.elapsed().as_micros() as u64);
 
     if let Some(message) = over_deadline("by the finished job") {
-        return Err(message);
+        shared.deadline_rejected.fetch_add(1, Ordering::SeqCst);
+        return Err(ServeError::deadline(message));
     }
     Ok(payload)
 }
@@ -610,7 +698,7 @@ fn respond_compile(shared: &Shared, request: &CompileRequest) -> Vec<u8> {
             Some(id) => payload_with_request_id(&payload, id),
             None => payload.as_ref().clone(),
         },
-        Ok(Err(message)) => tag_request_id(error_response(message), &request.request_id)
+        Ok(Err(err)) => tag_request_id(err.response(), &request.request_id)
             .to_compact_string()
             .into_bytes(),
         Err(panic) => {
@@ -728,6 +816,23 @@ pub(crate) fn stats_json(shared: &Shared) -> Json {
             Json::from(shared.requests_retried.load(Ordering::SeqCst)),
         ),
         (
+            "deadline",
+            Json::object([
+                (
+                    "rejected",
+                    Json::from(shared.deadline_rejected.load(Ordering::SeqCst)),
+                ),
+                (
+                    "rejected_precompile",
+                    Json::from(shared.deadline_rejected_precompile.load(Ordering::SeqCst)),
+                ),
+                (
+                    "predicted_cold_micros",
+                    Json::from(predicted_cold_micros(&stats)),
+                ),
+            ]),
+        ),
+        (
             "transport",
             Json::object([
                 ("event_loops", Json::from(shared.config.event_loops)),
@@ -764,6 +869,10 @@ pub(crate) fn stats_json(shared: &Shared) -> Json {
                 (
                     "connections_shed",
                     Json::from(shared.connections_shed.load(Ordering::SeqCst)),
+                ),
+                (
+                    "transport_faults",
+                    Json::from(shared.transport_faults.load(Ordering::SeqCst)),
                 ),
             ]),
         ),

@@ -296,3 +296,97 @@ fn connection_limit_turns_excess_clients_away() {
     drop(first);
     handle.shutdown();
 }
+
+/// The shard-side deadline model has two gates for a cache miss: the
+/// elapsed-budget check and the *predictive* check that compares the
+/// remaining budget against the observed per-stage p95 cold cost. This
+/// test drives enough cold compiles to make the prediction non-zero,
+/// then shows a miss with an insufficient budget is refused before any
+/// compilation happens — structured `deadline_exceeded`, precompile
+/// counter bumped — while a generous budget still compiles the same job.
+#[test]
+fn cold_jobs_with_insufficient_budget_are_rejected_before_compiling() {
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        event_loops: 1,
+        max_connections: 8,
+        cache_bytes: 8 << 20,
+        frame_deadline: Duration::from_secs(5),
+        persist_dir: None,
+    })
+    .expect("daemon starts");
+    let addr = handle.local_addr();
+    let mut control = connect(addr);
+
+    // Ten distinct cold compiles: the per-stage histograms need at least
+    // eight miss observations before the shard trusts its prediction.
+    for n in 4..14 {
+        let reply = exchange_json(
+            &mut control,
+            &format!(r#"{{"type":"compile","workload":"ghz:{n}"}}"#),
+        );
+        assert_eq!(response_type(&reply), "result", "cold compile {n} works");
+    }
+
+    let stats = exchange_json(&mut control, r#"{"type":"stats"}"#);
+    let deadline_stats = stats.get("deadline").expect("stats carry deadline");
+    let predicted = deadline_stats
+        .get("predicted_cold_micros")
+        .and_then(Json::as_usize)
+        .unwrap();
+    assert!(
+        predicted > 0,
+        "after 10 cold compiles the shard predicts a cold cost"
+    );
+    assert_eq!(
+        deadline_stats.get("rejected").and_then(Json::as_usize),
+        Some(0),
+        "nothing rejected yet"
+    );
+
+    // A never-compiled workload whose budget cannot cover the predicted
+    // cold cost. A zero budget trips the elapsed-time gate; a small
+    // positive one (when the prediction is slow enough to leave room)
+    // trips the predictive gate. Either way the job must be refused
+    // *before* compilation.
+    let budget_ms = (predicted as u64 / 1000) / 2;
+    let reply = exchange_json(
+        &mut control,
+        &format!(r#"{{"type":"compile","workload":"qft:10","deadline_ms":{budget_ms}}}"#),
+    );
+    assert_eq!(response_type(&reply), "error");
+    assert_eq!(
+        reply.get("code").and_then(Json::as_str),
+        Some("deadline_exceeded"),
+        "rejection carries the machine-readable code: {reply:?}"
+    );
+    assert!(
+        reply.get("retry_after_ms").is_none(),
+        "deadline rejections are final, not retryable: {reply:?}"
+    );
+
+    let stats = exchange_json(&mut control, r#"{"type":"stats"}"#);
+    let deadline_stats = stats.get("deadline").expect("stats carry deadline");
+    assert_eq!(
+        deadline_stats.get("rejected").and_then(Json::as_usize),
+        Some(1)
+    );
+    assert_eq!(
+        deadline_stats
+            .get("rejected_precompile")
+            .and_then(Json::as_usize),
+        Some(1),
+        "the rejection happened before compilation started"
+    );
+
+    // The same workload with a generous budget compiles fine — the
+    // rejection was the budget's fault, not the job's.
+    let reply = exchange_json(
+        &mut control,
+        r#"{"type":"compile","workload":"qft:10","deadline_ms":60000}"#,
+    );
+    assert_eq!(response_type(&reply), "result");
+
+    handle.shutdown();
+}

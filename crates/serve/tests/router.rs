@@ -23,15 +23,25 @@ fn start_shard() -> ServerHandle {
     .expect("shard starts")
 }
 
-fn start_router(shards: &[&ServerHandle]) -> RouterHandle {
-    Router::start(RouterConfig {
+fn router_config(shard_addrs: Vec<String>) -> RouterConfig {
+    RouterConfig {
         addr: "127.0.0.1:0".to_string(),
-        shards: shards.iter().map(|s| s.local_addr().to_string()).collect(),
+        shards: shard_addrs,
         replicas: 64,
         health_interval: Duration::from_millis(100),
         connect_timeout: Duration::from_secs(1),
         io_timeout: Duration::from_secs(30),
-    })
+        // Pinned far above test latencies: hedges never fire unless a
+        // test opts in, keeping forwarded counts exact.
+        hedge_after: Some(Duration::from_secs(5)),
+        ..RouterConfig::default()
+    }
+}
+
+fn start_router(shards: &[&ServerHandle]) -> RouterHandle {
+    Router::start(router_config(
+        shards.iter().map(|s| s.local_addr().to_string()).collect(),
+    ))
     .expect("router starts")
 }
 
@@ -222,6 +232,122 @@ fn dead_shard_reroutes_with_zero_failed_requests() {
     drop(control);
     router.shutdown();
     for shard in remaining {
+        shard.shutdown();
+    }
+}
+
+/// A stand-in shard that answers health pings correctly but tears down
+/// mid-response on any compile: it writes a frame header promising 100
+/// bytes, sends only 10, and drops the connection.
+fn start_torn_frame_shard() -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("fake shard binds");
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        // Serve connections until the test drops interest; every
+        // connection is short-lived, so bound the loop generously.
+        for _ in 0..64 {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+            while let Ok(Some(request)) = read_frame(&mut stream) {
+                let is_ping = std::str::from_utf8(&request)
+                    .ok()
+                    .and_then(|text| qcs_json::parse(text).ok())
+                    .and_then(|v| v.get("type").and_then(Json::as_str).map(str::to_string))
+                    .as_deref()
+                    == Some("ping");
+                if is_ping {
+                    if write_frame(&mut stream, br#"{"type":"pong"}"#).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                // Torn response: a 100-byte header with a 10-byte body,
+                // then a hard close mid-frame.
+                use std::io::Write;
+                let _ = stream.write_all(&100u32.to_be_bytes());
+                let _ = stream.write_all(b"0123456789");
+                let _ = stream.flush();
+                break;
+            }
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn shard_dying_mid_response_never_leaks_a_torn_frame_to_the_client() {
+    let (fake_addr, _fake_thread) = start_torn_frame_shard();
+    let router = Router::start(router_config(vec![fake_addr.to_string()])).expect("router starts");
+    let mut control = connect(router.local_addr());
+
+    // The only shard tears every compile mid-response. The client must
+    // still receive one *complete* frame carrying a structured error —
+    // never the shard's torn bytes, never a hang.
+    let reply = exchange_json(&mut control, r#"{"type":"compile","workload":"ghz:4"}"#);
+    assert_eq!(response_type(&reply), "error", "reply: {reply:?}");
+    assert!(
+        reply.get("message").and_then(Json::as_str).is_some(),
+        "error carries a message: {reply:?}"
+    );
+
+    // The client connection survives the shard's collapse: the router
+    // tore down its shard leg only, so control requests still flow.
+    let pong = exchange_json(&mut control, r#"{"type":"ping"}"#);
+    assert_eq!(response_type(&pong), "pong");
+    let stats = exchange_json(&mut control, r#"{"type":"stats"}"#);
+    let resilience = stats.get("resilience").expect("router stats resilience");
+    assert_eq!(
+        resilience.get("deadline_rejected").and_then(Json::as_usize),
+        Some(0)
+    );
+
+    drop(control);
+    router.shutdown();
+}
+
+#[test]
+fn exhausted_deadline_is_rejected_before_forwarding() {
+    let shards = [start_shard()];
+    let router = start_router(&[&shards[0]]);
+    let mut control = connect(router.local_addr());
+
+    // A zero budget is spent by the time the router sees the request:
+    // structured rejection, no forward, no retry_after hint (deadline
+    // errors are final).
+    let reply = exchange_json(
+        &mut control,
+        r#"{"type":"compile","workload":"ghz:4","deadline_ms":0}"#,
+    );
+    assert_eq!(response_type(&reply), "error");
+    assert_eq!(
+        reply.get("code").and_then(Json::as_str),
+        Some("deadline_exceeded"),
+        "reply: {reply:?}"
+    );
+    assert!(reply.get("retry_after_ms").is_none());
+
+    let counts = forwarded_counts(&mut control);
+    assert_eq!(counts.iter().sum::<u64>(), 0, "request must not forward");
+    let stats = exchange_json(&mut control, r#"{"type":"stats"}"#);
+    let resilience = stats.get("resilience").expect("router stats resilience");
+    assert_eq!(
+        resilience.get("deadline_rejected").and_then(Json::as_usize),
+        Some(1)
+    );
+
+    // A generous budget flows through: the shard sees the rewritten
+    // remainder and compiles normally.
+    let reply = exchange_json(
+        &mut control,
+        r#"{"type":"compile","workload":"ghz:4","deadline_ms":60000}"#,
+    );
+    assert_eq!(response_type(&reply), "result", "reply: {reply:?}");
+
+    drop(control);
+    router.shutdown();
+    for shard in shards {
         shard.shutdown();
     }
 }

@@ -1,0 +1,605 @@
+//! Fleet supervision for the serving tier: one process that owns a
+//! shard fleet and its router, and keeps them alive.
+//!
+//! The serving tier is three binaries deep — `qcs-serve` shards hold
+//! the caches, `qcs-router` consistent-hashes requests across them —
+//! but nothing so far owned the *processes*. A crashed shard stayed
+//! dead until an operator noticed; the router rerouted around the hole
+//! and a third of the keyspace went cold. `qcs-supervisor` closes the
+//! loop:
+//!
+//! - **Spawn.** Reserves one port per shard plus one for the router,
+//!   gives every shard its own `--persist-dir` under the fleet root,
+//!   boots the shards, waits for each to answer a protocol `ping`
+//!   (which a WAL-backed shard only does *after* replaying its log —
+//!   readiness implies a warm cache), then boots the router over them.
+//! - **Monitor.** A poll loop `try_wait`s every child. An exited child
+//!   is rescheduled with exponential backoff plus deterministic jitter
+//!   ([`restart_delay`] / [`restart_jitter`]), so a crash-looping shard
+//!   cannot hot-spin the host and a fleet of supervisors cannot
+//!   thundering-herd shared infrastructure. The respawned shard reuses
+//!   its port and persist dir: it replays the WAL, answers pings, and
+//!   the router's prober readmits it — serving cache hits for
+//!   everything it had compiled before the crash.
+//! - **Drain.** `SIGTERM`/`SIGINT` (observed via `qcs-sys`'s
+//!   async-signal-safe pending mask) switches to graceful shutdown:
+//!   restarts stop, the router is asked to shut down first (no new work
+//!   enters the fleet, in-flight requests finish), then the shards,
+//!   each with a bounded wait before a hard kill. The supervisor exits
+//!   0 on a clean drain.
+//! - **Report.** `--state-file` atomically (tmp + rename) publishes a
+//!   JSON snapshot of the fleet — ports, pids, restart counts — on
+//!   every topology change. The chaos harness reads it to find victims
+//!   and to assert restart counts; operators read it to find the fleet.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use qcs_json::Json;
+use qcs_rng::{RngCore, SplitMix64};
+use qcs_serve::protocol::{read_frame, write_json};
+use qcs_sys::{kill_process, signal_pending, watch_signal, SIGINT, SIGKILL, SIGTERM};
+
+/// Tuning knobs for [`Supervisor::run`].
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Number of `qcs-serve` shards to run.
+    pub shards: usize,
+    /// Fleet root: shard `i` persists under `<root>/shard-<i>`.
+    pub root: PathBuf,
+    /// Path to the `qcs-serve` binary.
+    pub serve_bin: PathBuf,
+    /// Path to the `qcs-router` binary.
+    pub router_bin: PathBuf,
+    /// Where to publish the fleet state JSON (atomic tmp + rename).
+    pub state_file: Option<PathBuf>,
+    /// Where to write the router's bound port once the fleet is ready
+    /// (same convention as the daemons' `--port-file`).
+    pub port_file: Option<PathBuf>,
+    /// Directory for per-child log files; `None` inherits stdio.
+    pub log_dir: Option<PathBuf>,
+    /// Router bind address. Port 0 reserves an ephemeral port up front
+    /// so the state file can carry a concrete address.
+    pub router_addr: String,
+    /// Base restart backoff; doubles per consecutive restart of the
+    /// same child, up to [`SupervisorConfig::restart_backoff_max`].
+    pub restart_backoff: Duration,
+    /// Cap on the restart backoff growth.
+    pub restart_backoff_max: Duration,
+    /// Seed for deterministic restart jitter.
+    pub jitter_seed: u64,
+    /// Worker threads per shard (`qcs-serve --workers`).
+    pub workers: usize,
+    /// Result-cache size per shard in MiB (`qcs-serve --cache-mb`).
+    pub cache_mb: usize,
+    /// Budget for the whole fleet to become ready at boot.
+    pub boot_timeout: Duration,
+    /// Per-child budget for a graceful protocol shutdown during drain
+    /// before the supervisor hard-kills it.
+    pub drain_timeout: Duration,
+    /// Extra arguments appended to every shard's command line (e.g.
+    /// `--faults` specs from the chaos harness).
+    pub shard_args: Vec<String>,
+    /// Extra arguments appended to the router's command line.
+    pub router_args: Vec<String>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            shards: 3,
+            root: PathBuf::from("fleet-root"),
+            serve_bin: PathBuf::from("qcs-serve"),
+            router_bin: PathBuf::from("qcs-router"),
+            state_file: None,
+            port_file: None,
+            log_dir: None,
+            router_addr: "127.0.0.1:0".to_string(),
+            restart_backoff: Duration::from_millis(200),
+            restart_backoff_max: Duration::from_secs(5),
+            jitter_seed: 0xA5A5_5A5A_DEAD_BEEF,
+            workers: 2,
+            cache_mb: 64,
+            boot_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(10),
+            shard_args: Vec::new(),
+            router_args: Vec::new(),
+        }
+    }
+}
+
+/// How often the monitor loop reaps children and checks signals.
+const MONITOR_TICK: Duration = Duration::from_millis(50);
+
+/// The restart backoff before reviving a child that has already been
+/// restarted `restarts` times: `base * 2^min(restarts, 6)` capped at
+/// `cap`. Pure so the schedule is unit-testable.
+pub fn restart_delay(base: Duration, cap: Duration, restarts: u32) -> Duration {
+    let base = base.max(Duration::from_millis(1));
+    base.saturating_mul(1u32 << restarts.min(6))
+        .min(cap.max(base))
+}
+
+/// Deterministic restart jitter in `[0, base/2]`: decorrelates a fleet
+/// of supervisors restarting children after a shared-cause crash.
+pub fn restart_jitter(rng: &mut SplitMix64, base: Duration) -> Duration {
+    let span = ((base / 2).as_millis() as u64).max(1);
+    Duration::from_millis(rng.next_u64() % span)
+}
+
+/// Reserves an ephemeral port by binding and immediately dropping a
+/// listener. The window between drop and the child's own bind is a
+/// race in principle; in practice nothing else allocates from the
+/// ephemeral range and immediately listens on a specific port.
+pub fn reserve_port() -> io::Result<u16> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    Ok(listener.local_addr()?.port())
+}
+
+/// One supervised child process and its restart bookkeeping.
+struct Ward {
+    name: String,
+    addr: SocketAddr,
+    child: Option<Child>,
+    restarts: u32,
+    /// When a dead child may be respawned; `None` while running.
+    respawn_at: Option<Instant>,
+    command: Vec<String>,
+    log_path: Option<PathBuf>,
+}
+
+impl Ward {
+    fn pid(&self) -> u32 {
+        self.child.as_ref().map(Child::id).unwrap_or(0)
+    }
+}
+
+/// Builds the fleet-state JSON published via `--state-file`.
+fn fleet_state_json(router: &Ward, shards: &[Ward], draining: bool) -> Json {
+    Json::object([
+        ("role", Json::from("supervisor")),
+        ("pid", Json::from(u64::from(std::process::id()))),
+        ("draining", Json::from(draining)),
+        (
+            "router",
+            Json::object([
+                ("addr", Json::from(router.addr.to_string())),
+                ("pid", Json::from(u64::from(router.pid()))),
+                ("restarts", Json::from(u64::from(router.restarts))),
+            ]),
+        ),
+        (
+            "shards",
+            Json::Array(
+                shards
+                    .iter()
+                    .map(|s| {
+                        Json::object([
+                            ("addr", Json::from(s.addr.to_string())),
+                            ("pid", Json::from(u64::from(s.pid()))),
+                            ("restarts", Json::from(u64::from(s.restarts))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Atomically replaces `path` with `contents` (tmp file + rename), so a
+/// reader never observes a half-written state file.
+pub fn write_atomically(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// One protocol round trip against `addr` with a short budget; returns
+/// the response's `"type"` member, or `None` on any failure.
+fn protocol_exchange(addr: SocketAddr, request: &Json, budget: Duration) -> Option<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, budget).ok()?;
+    stream.set_read_timeout(Some(budget)).ok()?;
+    stream.set_write_timeout(Some(budget)).ok()?;
+    write_json(&mut stream, request).ok()?;
+    let payload = read_frame(&mut stream).ok()??;
+    let text = std::str::from_utf8(&payload).ok()?;
+    let value = qcs_json::parse(text).ok()?;
+    value.get("type").and_then(Json::as_str).map(str::to_string)
+}
+
+/// Liveness probe: does the daemon at `addr` answer `ping` with `pong`?
+/// A WAL-backed shard only listens after replaying its log, so a pong
+/// also certifies a warm cache.
+fn ping(addr: SocketAddr) -> bool {
+    protocol_exchange(
+        addr,
+        &Json::object([("type", "ping")]),
+        Duration::from_millis(500),
+    )
+    .as_deref()
+        == Some("pong")
+}
+
+/// Asks the daemon at `addr` to shut down gracefully. Best-effort: a
+/// dead daemon simply fails the connect.
+fn request_shutdown(addr: SocketAddr) {
+    let _ = protocol_exchange(
+        addr,
+        &Json::object([("type", "shutdown")]),
+        Duration::from_millis(500),
+    );
+}
+
+/// Namespace for [`Supervisor::run`].
+pub struct Supervisor;
+
+/// Outcome of a supervised run, for the binary's exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// A signal arrived and the fleet drained cleanly.
+    Drained,
+    /// The drain needed at least one hard kill.
+    DrainedWithKills,
+}
+
+impl Supervisor {
+    /// Boots the fleet, supervises it until `SIGTERM`/`SIGINT`, drains,
+    /// and returns how cleanly the drain went.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures to reserve ports, create directories, spawn
+    /// children, or see the fleet become ready within `boot_timeout`.
+    pub fn run(config: SupervisorConfig) -> io::Result<RunOutcome> {
+        if config.shards == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "supervisor needs at least one shard",
+            ));
+        }
+        watch_signal(SIGTERM);
+        watch_signal(SIGINT);
+        std::fs::create_dir_all(&config.root)?;
+        if let Some(dir) = &config.log_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+
+        // Reserve every port up front: the state file and the router's
+        // --shard list need concrete addresses before children exist.
+        let mut shards = Vec::with_capacity(config.shards);
+        for idx in 0..config.shards {
+            let port = reserve_port()?;
+            let addr: SocketAddr = format!("127.0.0.1:{port}").parse().expect("literal addr");
+            let persist_dir = config.root.join(format!("shard-{idx}"));
+            std::fs::create_dir_all(&persist_dir)?;
+            let mut command = vec![
+                config.serve_bin.display().to_string(),
+                "--addr".to_string(),
+                addr.to_string(),
+                "--workers".to_string(),
+                config.workers.to_string(),
+                "--cache-mb".to_string(),
+                config.cache_mb.to_string(),
+                "--persist-dir".to_string(),
+                persist_dir.display().to_string(),
+            ];
+            command.extend(config.shard_args.iter().cloned());
+            shards.push(Ward {
+                name: format!("shard-{idx}"),
+                addr,
+                child: None,
+                restarts: 0,
+                respawn_at: None,
+                command,
+                log_path: config
+                    .log_dir
+                    .as_ref()
+                    .map(|d| d.join(format!("shard-{idx}.log"))),
+            });
+        }
+
+        let router_addr: SocketAddr = {
+            let requested: SocketAddr = config.router_addr.parse().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidInput, format!("bad router addr: {e}"))
+            })?;
+            if requested.port() == 0 {
+                let port = reserve_port()?;
+                SocketAddr::new(requested.ip(), port)
+            } else {
+                requested
+            }
+        };
+        let mut router_command = vec![
+            config.router_bin.display().to_string(),
+            "--addr".to_string(),
+            router_addr.to_string(),
+        ];
+        for shard in &shards {
+            router_command.push("--shard".to_string());
+            router_command.push(shard.addr.to_string());
+        }
+        router_command.extend(config.router_args.iter().cloned());
+        let mut router = Ward {
+            name: "router".to_string(),
+            addr: router_addr,
+            child: None,
+            restarts: 0,
+            respawn_at: None,
+            command: router_command,
+            log_path: config.log_dir.as_ref().map(|d| d.join("router.log")),
+        };
+
+        // Boot: shards first (the router probes them at startup), each
+        // waited on until it pongs — which, with a persist dir, means
+        // its WAL is replayed and its cache warm.
+        let boot_deadline = Instant::now() + config.boot_timeout;
+        for shard in &mut shards {
+            spawn_ward(shard)?;
+        }
+        for shard in &shards {
+            wait_ready(shard, boot_deadline)?;
+        }
+        spawn_ward(&mut router)?;
+        wait_ready(&router, boot_deadline)?;
+
+        publish_state(&config, &router, &shards, false);
+        if let Some(path) = &config.port_file {
+            std::fs::write(path, router_addr.port().to_string())?;
+        }
+        eprintln!(
+            "qcs-supervisor: fleet ready — router {} over {} shard(s)",
+            router_addr,
+            shards.len()
+        );
+
+        // Monitor until a signal asks for the drain.
+        let mut rng = SplitMix64::new(config.jitter_seed);
+        loop {
+            if signal_pending(SIGTERM) || signal_pending(SIGINT) {
+                break;
+            }
+            let mut changed = false;
+            for ward in shards.iter_mut().chain(std::iter::once(&mut router)) {
+                changed |= reap_and_revive(ward, &config, &mut rng);
+            }
+            if changed {
+                publish_state(&config, &router, &shards, false);
+            }
+            std::thread::sleep(MONITOR_TICK);
+        }
+
+        // Drain: router first so no new work enters the fleet while the
+        // shards finish what they already accepted.
+        eprintln!("qcs-supervisor: draining fleet");
+        publish_state(&config, &router, &shards, true);
+        let mut kills = 0usize;
+        kills += drain_ward(&mut router, config.drain_timeout);
+        for shard in &mut shards {
+            kills += drain_ward(shard, config.drain_timeout);
+        }
+        publish_state(&config, &router, &shards, true);
+        eprintln!("qcs-supervisor: drained ({} hard kill(s))", kills);
+        Ok(if kills == 0 {
+            RunOutcome::Drained
+        } else {
+            RunOutcome::DrainedWithKills
+        })
+    }
+}
+
+fn spawn_ward(ward: &mut Ward) -> io::Result<()> {
+    let (program, args) = ward
+        .command
+        .split_first()
+        .expect("ward commands are never empty");
+    let mut command = Command::new(program);
+    command.args(args);
+    match &ward.log_path {
+        Some(path) => {
+            // Append across restarts: one log tells the whole story of
+            // a crash-looping child.
+            let open = || {
+                std::fs::File::options()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+            };
+            command.stdout(Stdio::from(open()?));
+            command.stderr(Stdio::from(open()?));
+        }
+        None => {
+            command.stdout(Stdio::inherit());
+            command.stderr(Stdio::inherit());
+        }
+    }
+    let child = command.spawn().map_err(|e| {
+        io::Error::new(e.kind(), format!("spawning {} ({program}): {e}", ward.name))
+    })?;
+    ward.child = Some(child);
+    ward.respawn_at = None;
+    Ok(())
+}
+
+fn wait_ready(ward: &Ward, deadline: Instant) -> io::Result<()> {
+    while !ping(ward.addr) {
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("{} at {} never became ready", ward.name, ward.addr),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Ok(())
+}
+
+/// Reaps an exited child and revives it once its backoff has elapsed.
+/// Returns true when the ward's externally visible state changed.
+fn reap_and_revive(ward: &mut Ward, config: &SupervisorConfig, rng: &mut SplitMix64) -> bool {
+    if let Some(child) = ward.child.as_mut() {
+        match child.try_wait() {
+            Ok(Some(status)) => {
+                let delay = restart_delay(
+                    config.restart_backoff,
+                    config.restart_backoff_max,
+                    ward.restarts,
+                ) + restart_jitter(rng, config.restart_backoff);
+                eprintln!(
+                    "qcs-supervisor: {} exited ({status}); restart #{} in {} ms",
+                    ward.name,
+                    ward.restarts + 1,
+                    delay.as_millis()
+                );
+                ward.child = None;
+                ward.restarts += 1;
+                ward.respawn_at = Some(Instant::now() + delay);
+                return true;
+            }
+            Ok(None) | Err(_) => return false,
+        }
+    }
+    if let Some(due) = ward.respawn_at {
+        if Instant::now() >= due {
+            match spawn_ward(ward) {
+                Ok(()) => return true,
+                Err(e) => {
+                    // Spawn failures reschedule like crashes: the
+                    // binary may be mid-redeploy.
+                    eprintln!("qcs-supervisor: respawning {}: {e}", ward.name);
+                    ward.respawn_at = Some(
+                        Instant::now()
+                            + restart_delay(
+                                config.restart_backoff,
+                                config.restart_backoff_max,
+                                ward.restarts,
+                            ),
+                    );
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Gracefully stops one child: protocol shutdown, bounded wait, then a
+/// hard kill. Returns how many hard kills were needed (0 or 1).
+fn drain_ward(ward: &mut Ward, budget: Duration) -> usize {
+    ward.respawn_at = None;
+    let Some(mut child) = ward.child.take() else {
+        return 0;
+    };
+    request_shutdown(ward.addr);
+    let deadline = Instant::now() + budget;
+    loop {
+        match child.try_wait() {
+            Ok(Some(_)) => return 0,
+            Ok(None) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            _ => break,
+        }
+    }
+    eprintln!(
+        "qcs-supervisor: {} ignored shutdown for {} ms; killing",
+        ward.name,
+        budget.as_millis()
+    );
+    let _ = kill_process(child.id(), SIGKILL);
+    let _ = child.wait();
+    1
+}
+
+fn publish_state(config: &SupervisorConfig, router: &Ward, shards: &[Ward], draining: bool) {
+    let Some(path) = &config.state_file else {
+        return;
+    };
+    let state = fleet_state_json(router, shards, draining);
+    if let Err(e) = write_atomically(path, &state.to_string_pretty()) {
+        eprintln!("qcs-supervisor: cannot write state file: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restart_delay_doubles_and_caps() {
+        let base = Duration::from_millis(200);
+        let cap = Duration::from_secs(5);
+        assert_eq!(restart_delay(base, cap, 0), Duration::from_millis(200));
+        assert_eq!(restart_delay(base, cap, 1), Duration::from_millis(400));
+        assert_eq!(restart_delay(base, cap, 3), Duration::from_millis(1600));
+        assert_eq!(
+            restart_delay(base, cap, 5),
+            Duration::from_secs(5),
+            "capped"
+        );
+        assert_eq!(restart_delay(base, cap, 60), Duration::from_secs(5));
+        // Degenerate inputs stay sane.
+        assert!(restart_delay(Duration::ZERO, Duration::ZERO, 9) >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn restart_jitter_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(200);
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..64 {
+            let ja = restart_jitter(&mut a, base);
+            assert_eq!(ja, restart_jitter(&mut b, base));
+            assert!(ja <= base / 2);
+        }
+    }
+
+    #[test]
+    fn reserved_ports_are_nonzero_and_fresh() {
+        let a = reserve_port().expect("port reserved");
+        assert_ne!(a, 0);
+        // The reservation is released: the port is bindable again.
+        TcpListener::bind(("127.0.0.1", a)).expect("reserved port is free after drop");
+    }
+
+    #[test]
+    fn state_json_carries_fleet_topology() {
+        let ward = |name: &str, port: u16, restarts: u32| Ward {
+            name: name.to_string(),
+            addr: format!("127.0.0.1:{port}").parse().unwrap(),
+            child: None,
+            restarts,
+            respawn_at: None,
+            command: vec!["noop".to_string()],
+            log_path: None,
+        };
+        let router = ward("router", 7000, 0);
+        let shards = vec![ward("shard-0", 7001, 2), ward("shard-1", 7002, 0)];
+        let state = fleet_state_json(&router, &shards, false);
+        assert_eq!(state.get("role").and_then(Json::as_str), Some("supervisor"));
+        assert_eq!(
+            state
+                .get("router")
+                .and_then(|r| r.get("addr"))
+                .and_then(Json::as_str),
+            Some("127.0.0.1:7000")
+        );
+        let Some(Json::Array(listed)) = state.get("shards") else {
+            panic!("state carries a shards array");
+        };
+        assert_eq!(listed.len(), 2);
+        assert_eq!(listed[0].get("restarts").and_then(Json::as_usize), Some(2));
+        // Dead children publish pid 0, never a stale pid.
+        assert_eq!(listed[0].get("pid").and_then(Json::as_usize), Some(0));
+    }
+
+    #[test]
+    fn atomic_write_replaces_content() {
+        let dir = std::env::temp_dir().join(format!("qcs-sup-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        write_atomically(&path, "first").unwrap();
+        write_atomically(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,126 @@
+//! `qcs-supervisor` — fleet supervisor binary.
+//!
+//! ```text
+//! qcs-supervisor --shards N --root DIR
+//!                [--addr HOST:PORT] [--serve-bin PATH] [--router-bin PATH]
+//!                [--state-file PATH] [--port-file PATH] [--log-dir DIR]
+//!                [--workers N] [--cache-mb N]
+//!                [--restart-backoff-ms N] [--restart-backoff-max-ms N]
+//!                [--drain-timeout-ms N]
+//!                [--shard-arg ARG ...] [--router-arg ARG ...]
+//! ```
+//!
+//! Boots `--shards` `qcs-serve` daemons (each with a WAL under
+//! `<root>/shard-<i>`) behind one `qcs-router`, restarts whatever
+//! crashes with exponential backoff and jitter, and drains the fleet
+//! gracefully on `SIGTERM`/`SIGINT`: router first (no new work), then
+//! the shards, hard-killing only children that ignore the protocol
+//! shutdown. `--serve-bin`/`--router-bin` default to siblings of the
+//! supervisor executable, so a built `target/release` runs as-is.
+//!
+//! `--shard-arg`/`--router-arg` append verbatim arguments to the child
+//! command lines (repeatable) — the chaos harness uses them to arm
+//! `--faults` specs on shards without touching the supervisor.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use qcs_supervisor::{RunOutcome, Supervisor, SupervisorConfig};
+
+fn usage() -> String {
+    "usage: qcs-supervisor --shards N --root DIR [--addr HOST:PORT] \
+     [--serve-bin PATH] [--router-bin PATH] [--state-file PATH] \
+     [--port-file PATH] [--log-dir DIR] [--workers N] [--cache-mb N] \
+     [--restart-backoff-ms N] [--restart-backoff-max-ms N] \
+     [--drain-timeout-ms N] [--shard-arg ARG ...] [--router-arg ARG ...]"
+        .to_string()
+}
+
+/// The directory holding this executable — where sibling binaries
+/// (`qcs-serve`, `qcs-router`) live after any normal cargo build.
+fn sibling(name: &str) -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|dir| dir.join(name)))
+        .unwrap_or_else(|| PathBuf::from(name))
+}
+
+fn parse_args(args: &[String]) -> Result<SupervisorConfig, String> {
+    let mut config = SupervisorConfig {
+        serve_bin: sibling("qcs-serve"),
+        router_bin: sibling("qcs-router"),
+        ..SupervisorConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(usage());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))?;
+        let bad = |what: &str| format!("bad {what} '{value}' for {flag}");
+        match flag.as_str() {
+            "--shards" => {
+                config.shards = value.parse().map_err(|_| bad("shard count"))?;
+                if config.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
+            "--root" => config.root = PathBuf::from(value),
+            "--addr" => config.router_addr = value.clone(),
+            "--serve-bin" => config.serve_bin = PathBuf::from(value),
+            "--router-bin" => config.router_bin = PathBuf::from(value),
+            "--state-file" => config.state_file = Some(PathBuf::from(value)),
+            "--port-file" => config.port_file = Some(PathBuf::from(value)),
+            "--log-dir" => config.log_dir = Some(PathBuf::from(value)),
+            "--workers" => {
+                config.workers = value.parse().map_err(|_| bad("worker count"))?;
+                if config.workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--cache-mb" => config.cache_mb = value.parse().map_err(|_| bad("cache size"))?,
+            "--restart-backoff-ms" => {
+                let ms: u64 = value.parse().map_err(|_| bad("backoff"))?;
+                config.restart_backoff = Duration::from_millis(ms);
+            }
+            "--restart-backoff-max-ms" => {
+                let ms: u64 = value.parse().map_err(|_| bad("backoff cap"))?;
+                config.restart_backoff_max = Duration::from_millis(ms);
+            }
+            "--drain-timeout-ms" => {
+                let ms: u64 = value.parse().map_err(|_| bad("timeout"))?;
+                config.drain_timeout = Duration::from_millis(ms);
+            }
+            "--shard-arg" => config.shard_args.push(value.clone()),
+            "--router-arg" => config.router_args.push(value.clone()),
+            _ => return Err(format!("unknown flag '{flag}'\n{}", usage())),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match Supervisor::run(config) {
+        Ok(RunOutcome::Drained) => ExitCode::SUCCESS,
+        Ok(RunOutcome::DrainedWithKills) => {
+            // The fleet is down either way, but a drain that needed
+            // hard kills is worth a nonzero exit for scripts.
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("qcs-supervisor: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

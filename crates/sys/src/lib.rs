@@ -26,12 +26,19 @@
 //! Waking a parked `poll` from another thread needs no extra syscall
 //! shim: the event loops register one end of a loopback socket pair and
 //! the waker writes a byte to the other end (see `qcs-serve::event`).
+//!
+//! The supervisor additionally needs two tiny process primitives that
+//! `std` hides: observing termination signals (`SIGTERM`/`SIGINT`) as a
+//! pollable flag instead of the default kill-the-process disposition,
+//! and sending a signal to a child it is draining. Both live here so
+//! this crate stays the sole home of `unsafe`/FFI in the tree.
 
 #![warn(missing_docs)]
 #![cfg(unix)]
 
 use std::io;
 use std::os::unix::io::RawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Readable data is available (or a peer hang-up will be reported).
@@ -145,6 +152,85 @@ pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usi
     }
 }
 
+/// `SIGINT` (interactive interrupt, Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` (polite termination request).
+pub const SIGTERM: i32 = 15;
+/// `SIGKILL` (uncatchable; only meaningful with [`kill_process`]).
+pub const SIGKILL: i32 = 9;
+
+// Pending-signal bitmask: bit `n` set means signal number `n` arrived
+// since the last [`take_signal`]. Async-signal-safe because the handler
+// does exactly one atomic RMW and returns.
+static PENDING_SIGNALS: AtomicU64 = AtomicU64::new(0);
+
+type SigHandler = extern "C" fn(std::os::raw::c_int);
+
+extern "C" {
+    // `signal(2)` returns the previous handler as a function pointer; we
+    // never inspect it, so model it as usize to avoid a fn-pointer cast.
+    fn signal(signum: std::os::raw::c_int, handler: SigHandler) -> usize;
+    fn kill(pid: std::os::raw::c_int, sig: std::os::raw::c_int) -> std::os::raw::c_int;
+}
+
+extern "C" fn note_signal(signum: std::os::raw::c_int) {
+    if (0..64).contains(&signum) {
+        PENDING_SIGNALS.fetch_or(1u64 << signum, Ordering::SeqCst);
+    }
+}
+
+/// Replaces the disposition of `signum` (e.g. [`SIGTERM`]) with a
+/// handler that records the arrival in a process-global pending mask,
+/// readable via [`signal_pending`] / [`take_signal`]. Idempotent.
+///
+/// Only small positive signal numbers are accepted; out-of-range values
+/// are ignored rather than handed to the kernel.
+pub fn watch_signal(signum: i32) {
+    if !(1..64).contains(&signum) {
+        return;
+    }
+    // SAFETY: `note_signal` is async-signal-safe (single atomic op) and
+    // has the exact `extern "C" fn(c_int)` signature `signal(2)` expects.
+    unsafe {
+        signal(signum, note_signal);
+    }
+}
+
+/// True when `signum` has arrived since the last [`take_signal`] for it.
+pub fn signal_pending(signum: i32) -> bool {
+    if !(0..64).contains(&signum) {
+        return false;
+    }
+    PENDING_SIGNALS.load(Ordering::SeqCst) & (1u64 << signum) != 0
+}
+
+/// Consumes a pending `signum`, returning whether it was pending.
+pub fn take_signal(signum: i32) -> bool {
+    if !(0..64).contains(&signum) {
+        return false;
+    }
+    let bit = 1u64 << signum;
+    PENDING_SIGNALS.fetch_and(!bit, Ordering::SeqCst) & bit != 0
+}
+
+/// Sends `sig` to process `pid` via `kill(2)`.
+///
+/// # Errors
+///
+/// The raw OS error (`ESRCH` for a vanished process, `EPERM`, …).
+pub fn kill_process(pid: u32, sig: i32) -> io::Result<()> {
+    let pid = std::os::raw::c_int::try_from(pid)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "pid out of range"))?;
+    // SAFETY: plain syscall wrapper; any (pid, sig) pair is memory-safe,
+    // the kernel validates semantics.
+    let rc = unsafe { kill(pid, sig) };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +315,43 @@ mod tests {
         let n = poll_fds(&mut [], Some(Duration::from_millis(20))).unwrap();
         assert_eq!(n, 0);
         assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn watched_signal_is_recorded_and_consumed_once() {
+        // SIGUSR1 — harmless to the test harness, unlike TERM/INT.
+        const SIGUSR1: i32 = 10;
+        watch_signal(SIGUSR1);
+        assert!(!signal_pending(SIGUSR1));
+        kill_process(std::process::id(), SIGUSR1).unwrap();
+        // Delivery is asynchronous; wait briefly for the handler to run.
+        let start = Instant::now();
+        while !signal_pending(SIGUSR1) {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "signal never delivered"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(take_signal(SIGUSR1), "first take consumes the signal");
+        assert!(!take_signal(SIGUSR1), "second take sees nothing pending");
+        assert!(!signal_pending(SIGUSR1));
+    }
+
+    #[test]
+    fn out_of_range_signals_are_ignored() {
+        watch_signal(-1);
+        watch_signal(64);
+        assert!(!signal_pending(-1));
+        assert!(!signal_pending(64));
+        assert!(!take_signal(999));
+    }
+
+    #[test]
+    fn kill_vanished_process_reports_os_error() {
+        // Signal 0 = existence probe; pid near the u32 max is unused.
+        let err = kill_process(0x7FFF_FFFE, 0).unwrap_err();
+        assert!(err.raw_os_error().is_some());
     }
 
     #[test]
