@@ -19,20 +19,25 @@
 #                                       router, per-shard cache locality,
 #                                       kill -9 one shard with zero failed
 #                                       requests
-#   9. fleet chaos test                 supervised 3-shard fleet under seeded
+#   9. portfolio smoke test             auto-strategy compile, tight-deadline
+#                                       degradation to a verified
+#                                       trivial/trivial result, forced --race,
+#                                       portfolio stats counters
+#  10. fleet chaos test                 supervised 3-shard fleet under seeded
 #                                       transport faults: two SIGKILLs and a
 #                                       SIGSTOP under closed-loop load lose
 #                                       zero requests, killed shards restart
 #                                       warm from their WAL, zero-budget
 #                                       requests are rejected up front, and
 #                                       SIGTERM drains the fleet cleanly
-#  10. benchmark regression gate        fresh bench_baseline run vs the
-#                                       committed BENCH_*.json (mapper, sim
+#  11. benchmark regression gate        fresh bench_baseline run vs the
+#                                       committed BENCH_*.json (mapper incl.
+#                                       portfolio selector/race counters, sim
 #                                       and dpqa movement sweeps): work
 #                                       counters exact, wall times within
 #                                       QCS_BENCH_WALL_BUDGET (default 4x,
 #                                       0 disables)
-#  11. serving regression gate          fresh bench_load run vs the committed
+#  12. serving regression gate          fresh bench_load run vs the committed
 #                                       BENCH_serve.json: routing/cache and
 #                                       resilience counters (hedges, breaker
 #                                       opens, sheds, deadline rejections)
@@ -66,6 +71,9 @@ echo "==> persist smoke test"
 
 echo "==> shard smoke test"
 ./ci_shard_smoke.sh
+
+echo "==> portfolio smoke test"
+./ci_portfolio_smoke.sh
 
 echo "==> fleet chaos test"
 ./ci_fleet_chaos.sh

@@ -1,0 +1,85 @@
+#!/usr/bin/env sh
+# Smoke test for the mapper portfolio serving path: an auto-strategy
+# compile returns a verified result, a deadline no cold compile can
+# meet still returns a verified cheapest-lane (trivial/trivial) result
+# instead of deadline_exceeded, an explicit --race request serves, and
+# the stats portfolio counters account for all three. Assumes
+# `cargo build --release` already ran (CI runs it first); builds on
+# demand otherwise.
+set -eu
+
+SMOKE_NAME="portfolio smoke"
+SMOKE_TAG=portfolio
+. ./ci_lib.sh
+smoke_build
+smoke_init
+
+smoke_start_daemon daemon --workers 2
+ADDR=$SMOKE_ADDR
+SERVE_PID=$SMOKE_PID
+echo "$SMOKE_NAME: daemon on $ADDR"
+
+# Metric-driven selection: an auto compile is served and verified.
+AUTO_OUT=$("$CLIENT" --addr "$ADDR" workload qft:8 --strategy auto --json)
+echo "$AUTO_OUT" | grep -q '"type": "result"' || {
+    echo "$AUTO_OUT" >&2
+    smoke_fail "auto compile did not return a result"
+}
+echo "$AUTO_OUT" | grep -q '"verified": true' || {
+    echo "$AUTO_OUT" >&2
+    smoke_fail "auto compile was not verified"
+}
+
+# The degradation guarantee: a 10 ms budget is far below the minimum
+# race budget, so the portfolio must degrade to the cheapest lane and
+# still answer with a verified trivial/trivial result — never
+# deadline_exceeded for an auto job.
+TIGHT_OUT=$("$CLIENT" --addr "$ADDR" workload wstate:9 --strategy auto --deadline-ms 10 --json)
+echo "$TIGHT_OUT" | grep -q '"type": "result"' || {
+    echo "$TIGHT_OUT" >&2
+    smoke_fail "tight-deadline auto compile did not return a result"
+}
+echo "$TIGHT_OUT" | grep -q '"placer": "trivial"' || {
+    echo "$TIGHT_OUT" >&2
+    smoke_fail "tight-deadline compile was not served by the trivial placer"
+}
+echo "$TIGHT_OUT" | grep -q '"router": "trivial"' || {
+    echo "$TIGHT_OUT" >&2
+    smoke_fail "tight-deadline compile was not served by the trivial router"
+}
+echo "$TIGHT_OUT" | grep -q '"verified": true' || {
+    echo "$TIGHT_OUT" >&2
+    smoke_fail "tight-deadline compile was not verified"
+}
+
+# Forced racing: --race serves the best verified lane result.
+RACE_OUT=$("$CLIENT" --addr "$ADDR" workload ghz:8 --race --json)
+echo "$RACE_OUT" | grep -q '"type": "result"' || {
+    echo "$RACE_OUT" >&2
+    smoke_fail "raced compile did not return a result"
+}
+echo "$RACE_OUT" | grep -q '"verified": true' || {
+    echo "$RACE_OUT" >&2
+    smoke_fail "raced compile was not verified"
+}
+
+# The stats portfolio block accounts for all three portfolio jobs, and
+# at least one run degraded to the cheapest lane.
+STATS=$("$CLIENT" --addr "$ADDR" stats --json)
+echo "$STATS" | grep -q '"portfolio"' || {
+    echo "$STATS" >&2
+    smoke_fail "stats carries no portfolio block"
+}
+echo "$STATS" | grep -q '"cheapest": 1' || {
+    echo "$STATS" >&2
+    smoke_fail "the tight-deadline run did not degrade to the cheapest lane"
+}
+echo "$STATS" | grep -q '"budget_limited": 1' || {
+    echo "$STATS" >&2
+    smoke_fail "the tight-deadline run was not counted as budget-limited"
+}
+
+# Clean protocol shutdown; the daemon process must exit on its own.
+"$CLIENT" --addr "$ADDR" shutdown >/dev/null
+wait "$SERVE_PID"
+smoke_pass

@@ -17,6 +17,7 @@ fn job_for(qubits: usize) -> Job {
         config: MapperConfig::default(),
         deadline_ms: None,
         request_id: None,
+        race: false,
     })
     .expect("benchmark job resolves")
 }

@@ -58,6 +58,20 @@ struct MapperRow {
     wall_ms: f64,
 }
 
+/// Deterministic portfolio counters over the same suite: what the
+/// metric-driven selector picks per lane, how often it matches the
+/// cheapest-adequate oracle, and which lane a *complete* race would
+/// serve. Pure functions of the code (no wall-clock anywhere), gated
+/// exactly — drift means the selector or the keep-best rule changed.
+struct PortfolioRow {
+    records: usize,
+    confident: usize,
+    selector_matches: usize,
+    adequate_picks: usize,
+    selected: Vec<usize>,
+    race_wins: Vec<usize>,
+}
+
 /// One sim kernel's measurement.
 struct SimRow {
     name: &'static str,
@@ -80,10 +94,10 @@ struct DpqaRow {
 
 fn main() -> ExitCode {
     let check = std::env::args().any(|a| a == "--check");
-    let mapper_rows = run_mapper_suite();
+    let (mapper_rows, portfolio_row) = run_mapper_suite();
     let sim_rows = run_sim_kernels();
     let dpqa_row = run_dpqa_suite();
-    let mapper_json = mapper_doc(&mapper_rows);
+    let mapper_json = mapper_doc(&mapper_rows, &portfolio_row);
     let sim_json = sim_doc(&sim_rows);
     let dpqa_json = dpqa_doc(&dpqa_row);
 
@@ -120,10 +134,15 @@ fn wall_budget() -> f64 {
 // Mapper suite
 // ---------------------------------------------------------------------
 
-fn run_mapper_suite() -> Vec<MapperRow> {
+fn run_mapper_suite() -> (Vec<MapperRow>, PortfolioRow) {
     let device = fig3_device();
     let benches = suite(&SuiteConfig::default());
-    ["trivial", "lookahead", "sabre"]
+    // Per strategy, the per-circuit (swaps, routed_gates) pairs — the
+    // three strategies below are exactly the portfolio's lane
+    // pipelines (see `qcs_core::portfolio::lane_config`), so the
+    // portfolio counters reuse these runs instead of re-mapping.
+    let mut per_lane: Vec<Vec<(usize, usize)>> = Vec::new();
+    let rows = ["trivial", "lookahead", "sabre"]
         .into_iter()
         .map(|name| {
             let mapper = match name {
@@ -132,6 +151,7 @@ fn run_mapper_suite() -> Vec<MapperRow> {
                 _ => Mapper::sabre(),
             };
             let mut records = Vec::with_capacity(benches.len());
+            let mut lane_counters = Vec::with_capacity(benches.len());
             let mut swaps = 0u64;
             let mut evals = 0u64;
             let mut gates = 0u64;
@@ -142,6 +162,8 @@ fn run_mapper_suite() -> Vec<MapperRow> {
                         swaps += outcome.report.swaps_inserted as u64;
                         evals += outcome.routed.score_evals as u64;
                         gates += outcome.report.routed_gates as u64;
+                        lane_counters
+                            .push((outcome.report.swaps_inserted, outcome.report.routed_gates));
                         let mut report = outcome.report;
                         // Timing is measurement, not content: zero it so
                         // the digest is reproducible (same convention as
@@ -155,12 +177,19 @@ fn run_mapper_suite() -> Vec<MapperRow> {
                             report,
                         });
                     }
-                    Err(e) => eprintln!("skipping {}: {e}", b.name),
+                    Err(e) => {
+                        // Keep the per-circuit rows aligned across
+                        // lanes: a failed lane can never win or be
+                        // adequate.
+                        lane_counters.push((usize::MAX, usize::MAX));
+                        eprintln!("skipping {}: {e}", b.name);
+                    }
                 }
             }
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             let mut h = Fnv64::new();
             h.write_str(&MappingRecord::batch_to_json(&records));
+            per_lane.push(lane_counters);
             MapperRow {
                 name,
                 records: records.len(),
@@ -171,10 +200,57 @@ fn run_mapper_suite() -> Vec<MapperRow> {
                 wall_ms,
             }
         })
-        .collect()
+        .collect();
+    (rows, portfolio_counters(&benches, &per_lane))
 }
 
-fn mapper_doc(rows: &[MapperRow]) -> Json {
+/// Replays the metric-driven selector and the racing engine's
+/// keep-best rule over the recorded per-lane counters — the same
+/// definitions `portfolio_calibrate` reports, so these numbers must
+/// agree with the committed CALIBRATION_portfolio.json.
+fn portfolio_counters(
+    benches: &[qcs_workloads::suite::Benchmark],
+    per_lane: &[Vec<(usize, usize)>],
+) -> PortfolioRow {
+    use qcs_core::portfolio::{adequate, lane_index, oracle_lane, Selector, LANES};
+    let selector = Selector::default();
+    let mut row = PortfolioRow {
+        records: benches.len(),
+        confident: 0,
+        selector_matches: 0,
+        adequate_picks: 0,
+        selected: vec![0; LANES.len()],
+        race_wins: vec![0; LANES.len()],
+    };
+    for (i, b) in benches.iter().enumerate() {
+        let selection = selector
+            .select(&b.circuit)
+            .expect("selection is total without faults");
+        let swaps: Vec<usize> = per_lane.iter().map(|lane| lane[i].0).collect();
+        let pick = lane_index(selection.lane).expect("known lane");
+        let best = swaps.iter().copied().min().unwrap_or(0);
+        let winner = (0..LANES.len())
+            .min_by_key(|&l| (per_lane[l][i].0, per_lane[l][i].1, l))
+            .expect("at least one lane");
+        row.confident += usize::from(selection.confident);
+        row.selector_matches += usize::from(selection.lane == oracle_lane(&swaps));
+        row.adequate_picks += usize::from(adequate(swaps[pick], best));
+        row.selected[pick] += 1;
+        row.race_wins[winner] += 1;
+    }
+    row
+}
+
+fn mapper_doc(rows: &[MapperRow], portfolio: &PortfolioRow) -> Json {
+    let lane_counts = |counts: &[usize]| {
+        Json::object(
+            qcs_core::portfolio::LANES
+                .iter()
+                .zip(counts)
+                .map(|(lane, &n)| (*lane, Json::from(n)))
+                .collect::<Vec<_>>(),
+        )
+    };
     Json::object([
         ("schema", Json::from(SCHEMA)),
         (
@@ -194,6 +270,17 @@ fn mapper_doc(rows: &[MapperRow]) -> Json {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "portfolio",
+            Json::object([
+                ("records", Json::from(portfolio.records)),
+                ("confident", Json::from(portfolio.confident)),
+                ("selector_matches", Json::from(portfolio.selector_matches)),
+                ("adequate_picks", Json::from(portfolio.adequate_picks)),
+                ("selected", lane_counts(&portfolio.selected)),
+                ("race_wins", lane_counts(&portfolio.race_wins)),
+            ]),
         ),
     ])
 }

@@ -58,6 +58,26 @@ pub trait Backend: Send + Sync {
     /// unsatisfiable on the target.
     fn map(&self, circuit: &Circuit, config: &MapperConfig) -> Result<MapOutcome, LadderError>;
 
+    /// Compiles `circuit` with *exactly* the given pipeline — no
+    /// internal fallback chain — verification on. The racing
+    /// portfolio ([`crate::portfolio`]) runs its lanes through this
+    /// so a failing lane is genuinely discarded (and another lane's
+    /// result kept) instead of being silently demoted inside the
+    /// backend; the default forwards to [`Backend::map`] for
+    /// backends whose physics has no per-strategy ladder to bypass.
+    ///
+    /// # Errors
+    ///
+    /// [`LadderError`] when the pipeline failed, did not verify, or
+    /// found the job unsatisfiable on the target.
+    fn map_single(
+        &self,
+        circuit: &Circuit,
+        config: &MapperConfig,
+    ) -> Result<MapOutcome, LadderError> {
+        self.map(circuit, config)
+    }
+
     /// A new backend of the same physics with the health overlay
     /// applied (qubit/coupler outages). The returned backend's
     /// [`id`](Backend::id) reflects the overlay so cache keys stay
@@ -118,7 +138,21 @@ impl Backend for CoupledBackend {
     }
 
     fn map(&self, circuit: &Circuit, config: &MapperConfig) -> Result<MapOutcome, LadderError> {
+        if crate::portfolio::is_auto(config) {
+            let backend: Arc<dyn Backend> = Arc::new(self.clone());
+            return crate::portfolio::Portfolio::default()
+                .map(circuit, &backend, None)
+                .map(|(outcome, _)| outcome);
+        }
         FallbackLadder::standard(config.clone()).map(circuit, &self.device)
+    }
+
+    fn map_single(
+        &self,
+        circuit: &Circuit,
+        config: &MapperConfig,
+    ) -> Result<MapOutcome, LadderError> {
+        FallbackLadder::new(vec![config.clone()]).map(circuit, &self.device)
     }
 
     fn degrade(&self, health: &DeviceHealth) -> Result<Arc<dyn Backend>, DeviceError> {

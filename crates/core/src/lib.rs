@@ -40,7 +40,10 @@
 //!   harnesses;
 //! * [`place_subgraph`] — exact subgraph-isomorphism placement (refs
 //!   \[41\]/\[42\]) with greedy fallback;
-//! * [`place_sabre`] — SABRE-style forward/backward placement refinement.
+//! * [`place_sabre`] — SABRE-style forward/backward placement refinement;
+//! * [`portfolio`] — the metric-driven strategy selector and
+//!   deadline-bounded racing engine that put the Section IV analysis
+//!   on the serving path.
 //!
 //! # Examples
 //!
@@ -70,6 +73,7 @@ pub mod mapper;
 pub mod place;
 pub mod place_sabre;
 pub mod place_subgraph;
+pub mod portfolio;
 pub mod profile;
 pub mod report;
 pub mod route;
@@ -82,4 +86,5 @@ pub use error::UnsatisfiableReason;
 pub use ladder::{FallbackLadder, LadderAttempt, LadderError};
 pub use layout::Layout;
 pub use mapper::{MapError, MapOutcome, Mapper, StageTiming};
+pub use portfolio::{Portfolio, PortfolioMode, PortfolioReport, Selection, Selector};
 pub use verify::{verify_outcome, VerifyConfig, VerifyError, VerifyReport};

@@ -9,8 +9,18 @@
 //! qcs-client --list-devices
 //!
 //! options: --device SPEC  --placer NAME  --router NAME
+//!          --strategy auto|trivial|lookahead|sabre  --race
 //!          --deadline-ms N  --request-id ID  --retries N
 //!          --timeout-ms N  --json
+//! ```
+//!
+//! `--strategy auto` asks the daemon's metric-driven portfolio to pick
+//! the cheapest adequate mapper lane (racing the lanes when the pick is
+//! unconfident); `--race` races every lane and serves the best verified
+//! result. Both degrade gracefully inside `--deadline-ms` instead of
+//! being rejected against it.
+//!
+//! ```text
 //! ```
 //!
 //! `--list-devices` prints the accepted device-spec grammar — one line
@@ -51,6 +61,7 @@ const USAGE: &str = "usage: qcs-client --addr HOST:PORT <command> [options]\n\
        qcs-client --list-devices\n\
   commands: compile FILE | workload SPEC | suite | stats | ping | shutdown | probe\n\
   options:  --device SPEC --placer NAME --router NAME --deadline-ms N\n\
+            --strategy auto|trivial|lookahead|sabre --race\n\
             --request-id ID --count N --max-qubits N --max-gates N\n\
             --seed N --retries N --timeout-ms N --json";
 
@@ -60,6 +71,8 @@ struct Options {
     device: Option<String>,
     placer: Option<String>,
     router: Option<String>,
+    strategy: Option<String>,
+    race: bool,
     deadline_ms: Option<u64>,
     request_id: Option<String>,
     count: Option<usize>,
@@ -79,6 +92,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         device: None,
         placer: None,
         router: None,
+        strategy: None,
+        race: false,
         deadline_ms: None,
         request_id: None,
         count: None,
@@ -103,6 +118,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             opts.list_devices = true;
             continue;
         }
+        if arg == "--race" {
+            opts.race = true;
+            continue;
+        }
         if !arg.starts_with("--") {
             opts.command.push(arg.clone());
             continue;
@@ -116,6 +135,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--device" => opts.device = Some(value.clone()),
             "--placer" => opts.placer = Some(value.clone()),
             "--router" => opts.router = Some(value.clone()),
+            "--strategy" => opts.strategy = Some(value.clone()),
             "--deadline-ms" => {
                 opts.deadline_ms = Some(value.parse().map_err(|_| bad("deadline"))?);
             }
@@ -164,10 +184,34 @@ fn print_device_families() {
     }
 }
 
+/// The `(placer, router)` pipeline a `--strategy` name stands for:
+/// `auto` asks the daemon's metric-driven selector, the portfolio lane
+/// names ask for that lane's pipeline directly.
+fn strategy_pipeline(name: &str) -> Result<(String, String), String> {
+    if name == "auto" {
+        return Ok(("auto".to_string(), "auto".to_string()));
+    }
+    match qcs_core::portfolio::lane_config(name) {
+        Some(config) => Ok((config.placer, config.router)),
+        None => Err(format!(
+            "unknown strategy '{name}' (want auto, trivial, lookahead or sabre)"
+        )),
+    }
+}
+
 /// Members shared by `compile` and `compile_suite` requests.
-fn push_common(members: &mut Vec<(String, Json)>, opts: &Options) {
+fn push_common(members: &mut Vec<(String, Json)>, opts: &Options) -> Result<(), String> {
     if let Some(device) = &opts.device {
         members.push(("device".to_string(), Json::from(device.clone())));
+    }
+    if let Some(strategy) = &opts.strategy {
+        if opts.placer.is_some() || opts.router.is_some() {
+            return Err("--strategy conflicts with --placer/--router".to_string());
+        }
+        let (placer, router) = strategy_pipeline(strategy)?;
+        members.push(("placer".to_string(), Json::from(placer)));
+        members.push(("router".to_string(), Json::from(router)));
+        return Ok(());
     }
     if let Some(placer) = &opts.placer {
         members.push(("placer".to_string(), Json::from(placer.clone())));
@@ -175,6 +219,7 @@ fn push_common(members: &mut Vec<(String, Json)>, opts: &Options) {
     if let Some(router) = &opts.router {
         members.push(("router".to_string(), Json::from(router.clone())));
     }
+    Ok(())
 }
 
 fn build_request(opts: &Options) -> Result<Json, String> {
@@ -222,7 +267,10 @@ fn build_request(opts: &Options) -> Result<Json, String> {
     }
     match command {
         "compile" | "workload" => {
-            push_common(&mut members, opts);
+            push_common(&mut members, opts)?;
+            if opts.race {
+                members.push(("race".to_string(), Json::Bool(true)));
+            }
             if let Some(deadline) = opts.deadline_ms {
                 members.push(("deadline_ms".to_string(), Json::from(deadline)));
             }
@@ -232,7 +280,12 @@ fn build_request(opts: &Options) -> Result<Json, String> {
             let id = opts.request_id.clone().unwrap_or_else(generate_request_id);
             members.push(("request_id".to_string(), Json::from(id)));
         }
-        _ => push_common(&mut members, opts),
+        _ => {
+            if opts.race {
+                return Err("--race applies to compile/workload requests only".to_string());
+            }
+            push_common(&mut members, opts)?;
+        }
     }
     Ok(Json::object(members))
 }

@@ -23,6 +23,7 @@ use qcs_circuit::qasm;
 use qcs_core::backend::Backend;
 use qcs_core::config::MapperConfig;
 use qcs_core::mapper::StageTiming;
+use qcs_core::portfolio::{is_auto, Portfolio, PortfolioReport};
 use qcs_json::{Json, ToJson};
 use qcs_topology::DeviceHealth;
 
@@ -50,6 +51,11 @@ pub struct Job {
     pub backend: Arc<dyn Backend>,
     /// The pipeline description.
     pub config: MapperConfig,
+    /// Race every portfolio lane instead of selecting (the request's
+    /// `"race": true`). Part of job identity: a forced race and a
+    /// selector pick can legitimately serve different (both correct)
+    /// results, so they must not share a cache entry.
+    pub race: bool,
 }
 
 impl std::fmt::Debug for Job {
@@ -89,12 +95,30 @@ impl Job {
             circuit,
             backend,
             config: request.config.clone(),
+            race: request.race,
         })
+    }
+
+    /// True when this job runs through the mapper portfolio (an `auto`
+    /// strategy or an explicit race) rather than a fixed pipeline.
+    /// Portfolio jobs degrade inside their deadline instead of being
+    /// rejected against it.
+    pub fn portfolio(&self) -> bool {
+        self.race || is_auto(&self.config)
     }
 
     /// The job's content digest — the cache key.
     pub fn digest(&self) -> u64 {
-        job_digest(&self.circuit, self.backend.as_ref(), &self.config)
+        let base = job_digest(&self.circuit, self.backend.as_ref(), &self.config);
+        if !self.race {
+            return base;
+        }
+        // Forced races are a distinct job identity; fold a marker so
+        // pre-portfolio digests (race = false) are unchanged.
+        let mut h = Fnv64::new();
+        h.write_u64(base);
+        h.write_str("race");
+        h.finish()
     }
 
     /// The job's *full* key: the complete canonical description the
@@ -113,6 +137,10 @@ impl Job {
         key.extend_from_slice(self.config.placer.as_bytes());
         key.push(0);
         key.extend_from_slice(self.config.router.as_bytes());
+        if self.race {
+            key.push(0);
+            key.extend_from_slice(b"race");
+        }
         key
     }
 
@@ -180,6 +208,19 @@ pub struct CompileOutput {
     pub payload: Vec<u8>,
     /// Measured per-stage wall-clock timing of this compile.
     pub timing: StageTiming,
+    /// The `placer/router` pipeline that actually served (for a
+    /// portfolio job, the winning lane's pipeline; for a fixed job,
+    /// the rung that served). Keys the per-strategy latency
+    /// histograms and the strategy-aware cold-compile predictor.
+    pub strategy: String,
+    /// False when the result is correct and verified but *not* a pure
+    /// function of the job — a portfolio run whose path was altered by
+    /// the remaining deadline budget. Such results must be served but
+    /// never cached.
+    pub cacheable: bool,
+    /// Portfolio accounting when the job ran through the portfolio
+    /// (delivery metadata — never part of the canonical payload).
+    pub portfolio: Option<PortfolioReport>,
 }
 
 /// Runs the backend's mapping pipeline — the requested config at the
@@ -196,15 +237,46 @@ pub struct CompileOutput {
 /// (unknown strategy, circuit wider than the target, routing failure…)
 /// or the job is unsatisfiable on the target.
 pub fn run_job(job: &Job) -> Result<CompileOutput, JobError> {
+    run_job_with_deadline(job, None)
+}
+
+/// [`run_job`] with the request's *remaining* deadline budget.
+///
+/// Fixed-pipeline jobs ignore the budget (the server rejects them
+/// against the predictor before compiling). Portfolio jobs hand it to
+/// [`Portfolio::map`], which degrades *inside* the budget — a tight
+/// deadline yields a verified cheapest-lane result, never an error.
+///
+/// # Errors
+///
+/// As for [`run_job`].
+pub fn run_job_with_deadline(
+    job: &Job,
+    deadline: Option<std::time::Duration>,
+) -> Result<CompileOutput, JobError> {
     let digest = job.digest();
-    let outcome = job
-        .backend
-        .map(&job.circuit, &job.config)
-        .map_err(|e| JobError(format!("mapping failed: {e}")))?;
+    let (outcome, portfolio) = if job.portfolio() {
+        let engine = Portfolio::default();
+        let raced = if job.race {
+            engine.map_racing(&job.circuit, &job.backend, deadline)
+        } else {
+            engine.map(&job.circuit, &job.backend, deadline)
+        };
+        let (outcome, report) = raced.map_err(|e| JobError(format!("mapping failed: {e}")))?;
+        (outcome, Some(report))
+    } else {
+        let outcome = job
+            .backend
+            .map(&job.circuit, &job.config)
+            .map_err(|e| JobError(format!("mapping failed: {e}")))?;
+        (outcome, None)
+    };
     let timing = outcome.report.timing;
 
     let mut report = outcome.report;
     report.timing = StageTiming::ZERO; // measurement out of canonical content
+    let strategy = format!("{}/{}", report.placer, report.router);
+    let cacheable = portfolio.as_ref().is_none_or(|p| !p.budget_limited);
     let value = Json::object([
         ("type", Json::from("result")),
         ("digest", Json::from(format!("{digest:016x}"))),
@@ -215,6 +287,9 @@ pub fn run_job(job: &Job) -> Result<CompileOutput, JobError> {
         digest,
         payload: value.to_compact_string().into_bytes(),
         timing,
+        strategy,
+        cacheable,
+        portfolio,
     })
 }
 
@@ -229,6 +304,7 @@ mod tests {
             config: MapperConfig::new("trivial", "lookahead"),
             deadline_ms: None,
             request_id: None,
+            race: false,
         }
     }
 
@@ -318,6 +394,7 @@ mod tests {
             config: MapperConfig::new("trivial", "trivial"),
             deadline_ms: None,
             request_id: None,
+            race: false,
         };
         let job = Job::resolve(&req).unwrap();
         assert_eq!(job.circuit.gate_count(), 3);
@@ -337,6 +414,7 @@ mod tests {
             config: MapperConfig::default(),
             deadline_ms: None,
             request_id: None,
+            race: false,
         };
         assert!(Job::resolve(&req).unwrap_err().0.contains("qasm rejected"));
     }
@@ -347,5 +425,65 @@ mod tests {
         req.device = "line:5".to_string();
         let job = Job::resolve(&req).unwrap();
         assert!(run_job(&job).unwrap_err().0.contains("mapping failed"));
+    }
+
+    #[test]
+    fn fixed_jobs_report_their_strategy_and_stay_cacheable() {
+        let job = Job::resolve(&request("ghz:6")).unwrap();
+        let out = run_job(&job).unwrap();
+        assert_eq!(out.strategy, "trivial/lookahead");
+        assert!(out.cacheable);
+        assert!(out.portfolio.is_none());
+    }
+
+    #[test]
+    fn auto_jobs_run_the_portfolio_and_are_deterministic() {
+        let mut req = request("qft:6");
+        req.config = MapperConfig::new("auto", "auto");
+        let job = Job::resolve(&req).unwrap();
+        assert!(job.portfolio());
+        let a = run_job(&job).unwrap();
+        let b = run_job(&job).unwrap();
+        assert_eq!(a.payload, b.payload, "unbounded auto runs are pure");
+        assert_eq!(a.strategy, b.strategy);
+        assert!(a.cacheable);
+        let report = a.portfolio.expect("auto jobs carry portfolio accounting");
+        assert!(report.race_complete);
+        assert!(!report.budget_limited);
+    }
+
+    #[test]
+    fn race_flag_is_part_of_job_identity() {
+        let mut req = request("qft:6");
+        req.config = MapperConfig::new("auto", "auto");
+        let auto = Job::resolve(&req).unwrap();
+        req.race = true;
+        let raced = Job::resolve(&req).unwrap();
+        assert!(raced.portfolio());
+        assert_ne!(auto.digest(), raced.digest());
+        assert_ne!(auto.full_key(), raced.full_key());
+        // A raced fixed-pipeline job is also distinct from the plain one.
+        let mut fixed = request("qft:6");
+        fixed.race = true;
+        assert_ne!(
+            Job::resolve(&request("qft:6")).unwrap().digest(),
+            Job::resolve(&fixed).unwrap().digest()
+        );
+    }
+
+    #[test]
+    fn tight_deadline_portfolio_jobs_degrade_and_are_uncacheable() {
+        let mut req = request("qft:6");
+        req.config = MapperConfig::new("auto", "auto");
+        let job = Job::resolve(&req).unwrap();
+        let out = run_job_with_deadline(&job, Some(std::time::Duration::from_millis(1))).unwrap();
+        assert_eq!(out.strategy, "trivial/trivial");
+        assert!(!out.cacheable, "budget-limited results must not be cached");
+        let report = out.portfolio.unwrap();
+        assert!(report.budget_limited);
+        // The payload still embeds a verified report.
+        let value = qcs_json::parse(std::str::from_utf8(&out.payload).unwrap()).unwrap();
+        let embedded = value.get("report").unwrap();
+        assert_eq!(embedded.get("verified").and_then(Json::as_bool), Some(true));
     }
 }

@@ -108,7 +108,12 @@ pub struct CompileRequest {
     pub config: MapperConfig,
     /// Optional per-request latency budget in milliseconds; when the
     /// daemon cannot meet it, the job gets an `error` response.
+    /// Portfolio (`auto`/`race`) jobs are the exception: they degrade
+    /// inside the budget instead of being rejected.
     pub deadline_ms: Option<u64>,
+    /// Race every portfolio lane and serve the best verified result,
+    /// bypassing the metric-driven selector (`"race": true`).
+    pub race: bool,
     /// Optional client-generated request id, echoed verbatim in the
     /// response (`"request_id"` member). A client that retries reuses
     /// the id, so the daemon can tell retried requests from new ones
@@ -245,12 +250,19 @@ impl Request {
                             .to_string(),
                     ),
                 };
+                let race = match value.get("race") {
+                    None => false,
+                    Some(v) => v
+                        .as_bool()
+                        .ok_or_else(|| RequestError("'race' must be a boolean".to_string()))?,
+                };
                 Ok(Request::Compile(CompileRequest {
                     source,
                     device: opt_str(&value, "device", "surface17")?,
                     config: mapper_config(&value)?,
                     deadline_ms,
                     request_id,
+                    race,
                 }))
             }
             "compile_suite" => Ok(Request::CompileSuite(SuiteRequest {
@@ -370,6 +382,20 @@ mod tests {
         assert_eq!(c.config, MapperConfig::default());
         assert_eq!(c.deadline_ms, None);
         assert_eq!(c.request_id, None);
+        assert!(!c.race);
+    }
+
+    #[test]
+    fn parses_auto_and_race_compile_requests() {
+        let req =
+            Request::parse(br#"{"type":"compile","workload":"qft:6","placer":"auto","race":true}"#)
+                .unwrap();
+        let Request::Compile(c) = req else {
+            panic!("expected compile")
+        };
+        assert_eq!(c.config, MapperConfig::new("auto", "lookahead"));
+        assert!(qcs_core::portfolio::is_auto(&c.config));
+        assert!(c.race);
     }
 
     #[test]
@@ -417,6 +443,7 @@ mod tests {
             br#"{"type":"compile","qasm":7}"#,
             br#"{"type":"compile","workload":"ghz:4","deadline_ms":-1}"#,
             br#"{"type":"compile","workload":"ghz:4","request_id":7}"#,
+            br#"{"type":"compile","workload":"ghz:4","race":"yes"}"#,
         ] {
             assert!(
                 Request::parse(bad).is_err(),

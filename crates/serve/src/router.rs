@@ -228,6 +228,11 @@ fn route_key(request: &Request) -> u64 {
             h.write_str(&c.device)
                 .write_str(&c.config.placer)
                 .write_str(&c.config.router);
+            if c.race {
+                // Forced races are a distinct cache identity shard-side
+                // (see `Job::digest`), so they route as one too.
+                h.write_str("race");
+            }
         }
         Request::CompileSuite(s) => {
             h.write_str("suite")
@@ -1567,6 +1572,7 @@ mod tests {
             config: MapperConfig::default(),
             deadline_ms: None,
             request_id: None,
+            race: false,
         };
         let k1 = route_key(&Request::Compile(base.clone()));
         // Request id and deadline are delivery metadata, not identity:
@@ -1575,8 +1581,12 @@ mod tests {
         retry.request_id = Some("retry-1".to_string());
         retry.deadline_ms = Some(5000);
         assert_eq!(k1, route_key(&Request::Compile(retry)));
-        let mut other = base;
+        let mut other = base.clone();
         other.device = "line:5".to_string();
         assert_ne!(k1, route_key(&Request::Compile(other)));
+        // A forced race is a distinct cache identity, so it routes as one.
+        let mut raced = base;
+        raced.race = true;
+        assert_ne!(k1, route_key(&Request::Compile(raced)));
     }
 }

@@ -130,22 +130,116 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-struct ServeStats {
-    total: LatencyHistogram,
+/// Per-stage cold-compile histograms for one `placer/router` pipeline.
+/// Separating strategies keeps the predictive deadline rejection honest:
+/// a trivial/trivial compile must not be refused against a p95 that sabre
+/// traffic inflated, and a sabre request must not sneak past a p95 that
+/// trivial traffic diluted.
+#[derive(Default)]
+struct StageStats {
     decompose: LatencyHistogram,
     place: LatencyHistogram,
     route: LatencyHistogram,
     schedule: LatencyHistogram,
 }
 
+impl StageStats {
+    fn record(&mut self, timing: &qcs_core::mapper::StageTiming) {
+        self.decompose.record(timing.decompose_micros as u64);
+        self.place.record(timing.place_micros as u64);
+        self.route.record(timing.route_micros as u64);
+        self.schedule.record(timing.schedule_micros as u64);
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("decompose", self.decompose.to_json()),
+            ("place", self.place.to_json()),
+            ("route", self.route.to_json()),
+            ("schedule", self.schedule.to_json()),
+        ])
+    }
+}
+
+/// Counters for the mapper portfolio (auto-strategy and raced jobs).
+#[derive(Default)]
+struct PortfolioCounters {
+    /// Jobs that ran through the portfolio (cache misses only; hits
+    /// never re-run the selector).
+    jobs: u64,
+    /// Serving mode tallies, matching `PortfolioMode::as_str`.
+    selected: u64,
+    raced: u64,
+    cheapest: u64,
+    ladder: u64,
+    /// Runs where the selector panicked or was error-injected.
+    selector_failed: u64,
+    /// Lanes launched into races / lanes discarded across all runs.
+    lanes_raced: u64,
+    lanes_discarded: u64,
+    /// Runs whose path was altered by the deadline budget (served but
+    /// not cached).
+    budget_limited: u64,
+    /// Serving-lane tally by lane name (`ladder` for the last resort).
+    wins: std::collections::BTreeMap<String, u64>,
+}
+
+impl PortfolioCounters {
+    fn record(&mut self, report: &qcs_core::portfolio::PortfolioReport) {
+        use qcs_core::portfolio::PortfolioMode;
+        self.jobs += 1;
+        match report.mode {
+            PortfolioMode::Selected => self.selected += 1,
+            PortfolioMode::Raced => self.raced += 1,
+            PortfolioMode::Cheapest => self.cheapest += 1,
+            PortfolioMode::Ladder => self.ladder += 1,
+        }
+        self.selector_failed += u64::from(report.selector_failed);
+        self.lanes_raced += report.raced as u64;
+        self.lanes_discarded += report.discarded as u64;
+        self.budget_limited += u64::from(report.budget_limited);
+        *self.wins.entry(report.lane.clone()).or_insert(0) += 1;
+    }
+
+    fn to_json(&self) -> Json {
+        let wins = self
+            .wins
+            .iter()
+            .map(|(lane, count)| (lane.clone(), Json::from(*count)))
+            .collect();
+        Json::object([
+            ("jobs", Json::from(self.jobs)),
+            ("selected", Json::from(self.selected)),
+            ("raced", Json::from(self.raced)),
+            ("cheapest", Json::from(self.cheapest)),
+            ("ladder", Json::from(self.ladder)),
+            ("selector_failed", Json::from(self.selector_failed)),
+            ("lanes_raced", Json::from(self.lanes_raced)),
+            ("lanes_discarded", Json::from(self.lanes_discarded)),
+            ("budget_limited", Json::from(self.budget_limited)),
+            ("wins", Json::Object(wins)),
+        ])
+    }
+}
+
+struct ServeStats {
+    total: LatencyHistogram,
+    /// Aggregate per-stage histograms across every strategy (the
+    /// long-standing `latency_micros` members).
+    stages: StageStats,
+    /// The same stages keyed by the `placer/router` pipeline that
+    /// actually served, for strategy-aware deadline prediction.
+    by_strategy: std::collections::BTreeMap<String, StageStats>,
+    portfolio: PortfolioCounters,
+}
+
 impl ServeStats {
     fn new() -> Self {
         ServeStats {
             total: LatencyHistogram::default(),
-            decompose: LatencyHistogram::default(),
-            place: LatencyHistogram::default(),
-            route: LatencyHistogram::default(),
-            schedule: LatencyHistogram::default(),
+            stages: StageStats::default(),
+            by_strategy: std::collections::BTreeMap::new(),
+            portfolio: PortfolioCounters::default(),
         }
     }
 }
@@ -525,19 +619,42 @@ impl ServeError {
     }
 }
 
-/// The cold-compile cost a fresh miss should be budgeted for: the sum of
-/// the per-stage p95 upper bounds. Stage histograms record *misses only*
-/// (hits skip them entirely), so this never inflates from cache traffic;
-/// it returns 0 until enough cold compiles have been observed to trust.
-fn predicted_cold_micros(stats: &ServeStats) -> u64 {
-    const MIN_OBSERVATIONS: u64 = 8;
-    if stats.decompose.count() < MIN_OBSERVATIONS {
+/// Minimum cold compiles a histogram needs before its p95 is trusted
+/// for predictive rejection.
+const MIN_PREDICTION_OBSERVATIONS: u64 = 8;
+
+/// Sum of the per-stage p95 upper bounds of `stages`, or 0 until enough
+/// cold compiles have been observed to trust it. Stage histograms record
+/// *misses only* (hits skip them entirely), so this never inflates from
+/// cache traffic.
+fn stage_p95_sum(stages: &StageStats) -> u64 {
+    if stages.decompose.count() < MIN_PREDICTION_OBSERVATIONS {
         return 0;
     }
-    stats.decompose.quantile_upper_micros(0.95)
-        + stats.place.quantile_upper_micros(0.95)
-        + stats.route.quantile_upper_micros(0.95)
-        + stats.schedule.quantile_upper_micros(0.95)
+    stages.decompose.quantile_upper_micros(0.95)
+        + stages.place.quantile_upper_micros(0.95)
+        + stages.route.quantile_upper_micros(0.95)
+        + stages.schedule.quantile_upper_micros(0.95)
+}
+
+/// The cold-compile cost a fresh miss should be budgeted for,
+/// strategy-aware: the requested pipeline's own per-stage p95s when that
+/// strategy has been observed enough, otherwise the cross-strategy
+/// aggregate (which a trained strategy histogram always refines — a
+/// sabre request is judged against sabre history, not against a p95
+/// diluted by trivial traffic).
+fn predicted_cold_micros(stats: &ServeStats, strategy: &str) -> u64 {
+    match stats.by_strategy.get(strategy) {
+        Some(stages) => {
+            let own = stage_p95_sum(stages);
+            if own > 0 {
+                own
+            } else {
+                stage_p95_sum(&stats.stages)
+            }
+        }
+        None => stage_p95_sum(&stats.stages),
+    }
 }
 
 /// Compiles one job through the cache; returns the canonical payload or
@@ -545,9 +662,12 @@ fn predicted_cold_micros(stats: &ServeStats) -> u64 {
 ///
 /// Deadline discipline: `deadline_ms` is the request's *remaining*
 /// end-to-end budget (the router already subtracted its own elapsed
-/// time). A cache miss whose remaining budget cannot cover the observed
-/// per-stage p95 cold cost is refused up front — a structured
-/// `deadline_exceeded` beats burning a worker on a doomed job.
+/// time). A cache miss whose remaining budget cannot cover the requested
+/// strategy's observed per-stage p95 cold cost is refused up front — a
+/// structured `deadline_exceeded` beats burning a worker on a doomed
+/// job. Portfolio (`auto`/`race`) jobs are never deadline-rejected:
+/// their remaining budget flows into the racing engine, which degrades
+/// *inside* it and always returns a verified result.
 fn compile_via_cache(
     shared: &Shared,
     request: &CompileRequest,
@@ -579,43 +699,59 @@ fn compile_via_cache(
     let payload = match cached {
         Some(payload) => payload,
         None => {
-            if let Some(message) = over_deadline("before compilation started") {
-                shared.deadline_rejected.fetch_add(1, Ordering::SeqCst);
-                shared
-                    .deadline_rejected_precompile
-                    .fetch_add(1, Ordering::SeqCst);
-                return Err(ServeError::deadline(message));
-            }
-            if let Some(d) = deadline {
-                let remaining = d.saturating_sub(started.elapsed());
-                let predicted = predicted_cold_micros(&lock_recovering(&shared.stats));
-                if predicted > 0 && Duration::from_micros(predicted) > remaining {
+            // Predictive rejection applies to fixed-pipeline jobs only:
+            // a portfolio job spends whatever budget is left degrading
+            // gracefully instead of being refused.
+            if !job.portfolio() {
+                if let Some(message) = over_deadline("before compilation started") {
                     shared.deadline_rejected.fetch_add(1, Ordering::SeqCst);
                     shared
                         .deadline_rejected_precompile
                         .fetch_add(1, Ordering::SeqCst);
-                    return Err(ServeError::deadline(format!(
-                        "remaining budget of {} ms cannot cover the observed \
-                         cold-compile p95 of {} us; rejected before compilation",
-                        remaining.as_millis(),
-                        predicted
-                    )));
+                    return Err(ServeError::deadline(message));
+                }
+                if let Some(d) = deadline {
+                    let remaining = d.saturating_sub(started.elapsed());
+                    let strategy = format!("{}/{}", job.config.placer, job.config.router);
+                    let predicted =
+                        predicted_cold_micros(&lock_recovering(&shared.stats), &strategy);
+                    if predicted > 0 && Duration::from_micros(predicted) > remaining {
+                        shared.deadline_rejected.fetch_add(1, Ordering::SeqCst);
+                        shared
+                            .deadline_rejected_precompile
+                            .fetch_add(1, Ordering::SeqCst);
+                        return Err(ServeError::deadline(format!(
+                            "remaining budget of {} ms cannot cover {strategy}'s observed \
+                             cold-compile p95 of {} us; rejected before compilation",
+                            remaining.as_millis(),
+                            predicted
+                        )));
+                    }
                 }
             }
-            let output = run_job(&job).map_err(|e| ServeError::plain(e.to_string()))?;
+            let remaining = deadline.map(|d| d.saturating_sub(started.elapsed()));
+            let output = crate::compile::run_job_with_deadline(&job, remaining)
+                .map_err(|e| ServeError::plain(e.to_string()))?;
             let payload = Arc::new(output.payload);
-            lock_recovering(&shared.cache).insert(
-                digest,
-                full_key.clone(),
-                payload.as_ref().clone(),
-            );
-            persist_entry(shared, digest, &full_key, &payload);
+            if output.cacheable {
+                lock_recovering(&shared.cache).insert(
+                    digest,
+                    full_key.clone(),
+                    payload.as_ref().clone(),
+                );
+                persist_entry(shared, digest, &full_key, &payload);
+            }
             let timing = output.timing;
             let mut stats = lock_recovering(&shared.stats);
-            stats.decompose.record(timing.decompose_micros as u64);
-            stats.place.record(timing.place_micros as u64);
-            stats.route.record(timing.route_micros as u64);
-            stats.schedule.record(timing.schedule_micros as u64);
+            stats.stages.record(&timing);
+            stats
+                .by_strategy
+                .entry(output.strategy.clone())
+                .or_default()
+                .record(&timing);
+            if let Some(report) = &output.portfolio {
+                stats.portfolio.record(report);
+            }
             payload
         }
     };
@@ -625,9 +761,14 @@ fn compile_via_cache(
         .total
         .record(started.elapsed().as_micros() as u64);
 
-    if let Some(message) = over_deadline("by the finished job") {
-        shared.deadline_rejected.fetch_add(1, Ordering::SeqCst);
-        return Err(ServeError::deadline(message));
+    // A portfolio job that got this far produced a verified result
+    // inside its budget by construction; only fixed-pipeline jobs can
+    // finish over-deadline and be turned into a structured rejection.
+    if !job.portfolio() {
+        if let Some(message) = over_deadline("by the finished job") {
+            shared.deadline_rejected.fetch_add(1, Ordering::SeqCst);
+            return Err(ServeError::deadline(message));
+        }
     }
     Ok(payload)
 }
@@ -742,6 +883,7 @@ fn respond_suite(shared: &Shared, request: &SuiteRequest) -> Vec<u8> {
             circuit: benchmark.circuit.clone(),
             backend: backend.clone(),
             config: request.config.clone(),
+            race: false,
         };
         let digest = job.digest();
         let full_key = job.full_key();
@@ -755,12 +897,20 @@ fn respond_suite(shared: &Shared, request: &SuiteRequest) -> Vec<u8> {
                 match std::panic::catch_unwind(AssertUnwindSafe(|| run_job(&job))) {
                     Ok(Ok(output)) => {
                         let payload = Arc::new(output.payload);
-                        lock_recovering(&shared.cache).insert(
-                            digest,
-                            full_key.clone(),
-                            payload.as_ref().clone(),
-                        );
-                        persist_entry(shared, digest, &full_key, &payload);
+                        // Suite jobs run unbounded, so portfolio results
+                        // here are always complete — but honor the flag
+                        // anyway so the invariant lives in one place.
+                        if output.cacheable {
+                            lock_recovering(&shared.cache).insert(
+                                digest,
+                                full_key.clone(),
+                                payload.as_ref().clone(),
+                            );
+                            persist_entry(shared, digest, &full_key, &payload);
+                        }
+                        if let Some(report) = &output.portfolio {
+                            lock_recovering(&shared.stats).portfolio.record(report);
+                        }
                         Ok(payload)
                     }
                     Ok(Err(e)) => Err(e.to_string()),
@@ -828,10 +978,23 @@ pub(crate) fn stats_json(shared: &Shared) -> Json {
                 ),
                 (
                     "predicted_cold_micros",
-                    Json::from(predicted_cold_micros(&stats)),
+                    Json::from(stage_p95_sum(&stats.stages)),
+                ),
+                (
+                    "predicted_cold_micros_by_strategy",
+                    Json::Object(
+                        stats
+                            .by_strategy
+                            .iter()
+                            .map(|(strategy, stages)| {
+                                (strategy.clone(), Json::from(stage_p95_sum(stages)))
+                            })
+                            .collect(),
+                    ),
                 ),
             ]),
         ),
+        ("portfolio", stats.portfolio.to_json()),
         (
             "transport",
             Json::object([
@@ -892,10 +1055,20 @@ pub(crate) fn stats_json(shared: &Shared) -> Json {
             "latency_micros",
             Json::object([
                 ("total", stats.total.to_json()),
-                ("decompose", stats.decompose.to_json()),
-                ("place", stats.place.to_json()),
-                ("route", stats.route.to_json()),
-                ("schedule", stats.schedule.to_json()),
+                ("decompose", stats.stages.decompose.to_json()),
+                ("place", stats.stages.place.to_json()),
+                ("route", stats.stages.route.to_json()),
+                ("schedule", stats.stages.schedule.to_json()),
+                (
+                    "by_strategy",
+                    Json::Object(
+                        stats
+                            .by_strategy
+                            .iter()
+                            .map(|(strategy, stages)| (strategy.clone(), stages.to_json()))
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
     ]);

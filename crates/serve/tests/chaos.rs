@@ -73,6 +73,7 @@ fn degraded_expectations(count: usize) -> Vec<(String, Vec<u8>)> {
                 config: MapperConfig::new("trivial", "lookahead"),
                 deadline_ms: None,
                 request_id: None,
+                race: false,
             })
             .expect("degraded device resolves");
             let expected = run_job(&job).expect("degraded jobs compile").payload;

@@ -79,6 +79,7 @@ fn sweep_expectations() -> Vec<(String, Vec<u8>)> {
                 config: MapperConfig::new("trivial", "lookahead"),
                 deadline_ms: None,
                 request_id: None,
+                race: false,
             })
             .expect("sweep workloads resolve");
             let expected = run_job(&job).expect("sweep workloads compile").payload;

@@ -1,0 +1,226 @@
+//! Portfolio chaos suite: the daemon's auto-strategy path under
+//! deterministic fault injection at the portfolio failpoints
+//! (`mapper.select`, `mapper.race.<lane>`).
+//!
+//! One sequential test (the `qcs-faults` registry is process-global, so
+//! phases must not interleave — and this file is a separate process
+//! from the transport chaos suite, so the two cannot fight over it)
+//! proves the issue's acceptance scenario: a panicking, error-injected
+//! or hung selector/lane produces **zero client-visible errors** — every
+//! auto request gets a verified `result` frame, served by another lane
+//! or a cheaper degradation stage. Each phase uses a distinct workload
+//! so a cached result from an earlier phase can never mask a fault.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use qcs_faults::{arm, reset, FaultAction, Policy};
+use qcs_json::Json;
+use qcs_serve::server::{Server, ServerConfig};
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    TcpStream::connect(addr).expect("daemon accepts connections")
+}
+
+fn exchange(stream: &mut TcpStream, request: &str) -> Json {
+    qcs_serve::protocol::write_frame(stream, request.as_bytes()).expect("request frame written");
+    let payload = qcs_serve::protocol::read_frame(stream)
+        .expect("response frame read")
+        .expect("daemon replied before closing");
+    qcs_json::parse(std::str::from_utf8(&payload).unwrap()).expect("response is JSON")
+}
+
+/// Asserts the response is a verified `result` (never an error) and
+/// returns the `(placer, router)` pipeline that served it.
+fn assert_verified_result(response: &Json, context: &str) -> (String, String) {
+    assert_eq!(
+        response.get("type").and_then(Json::as_str),
+        Some("result"),
+        "{context}: expected a result frame, got {}",
+        response.to_compact_string()
+    );
+    let report = response.get("report").expect("results embed a report");
+    assert_eq!(
+        report.get("verified").and_then(Json::as_bool),
+        Some(true),
+        "{context}: served result must be verified"
+    );
+    let field = |key: &str| {
+        report
+            .get(key)
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    (field("placer"), field("router"))
+}
+
+fn auto_request(workload: &str) -> String {
+    format!(r#"{{"type":"compile","workload":"{workload}","placer":"auto","router":"auto"}}"#)
+}
+
+fn portfolio_counter(stats: &Json, key: &str) -> usize {
+    stats
+        .get("portfolio")
+        .and_then(|p| p.get(key))
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| panic!("stats carries portfolio.{key}"))
+}
+
+#[test]
+fn portfolio_faults_never_reach_clients() {
+    reset();
+    // The acceptance phase needs to know which lane the selector would
+    // pick as primary, computed in-process *before* any failpoint is
+    // armed (the selector shares this process's fault registry).
+    let acceptance_circuit = qcs_workloads::qft::qft(7).unwrap();
+    let primary = qcs_core::portfolio::Selector::default()
+        .select(&acceptance_circuit)
+        .expect("selection is total without faults")
+        .lane;
+    assert_ne!(
+        primary, "trivial",
+        "qft:7 must select an expensive lane for the mid-race panic to be meaningful"
+    );
+
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        event_loops: 2,
+        max_connections: 32,
+        cache_bytes: 8 << 20,
+        frame_deadline: Duration::from_secs(5),
+        persist_dir: None,
+    })
+    .expect("daemon starts");
+    let addr = handle.local_addr();
+    let mut control = connect(addr);
+
+    // Phase 1 — panicking selector: the portfolio treats the circuit as
+    // unconfident and races; the client sees a verified result.
+    arm("mapper.select", FaultAction::Panic, Policy::Once);
+    let reply = exchange(&mut control, &auto_request("qft:5"));
+    assert_verified_result(&reply, "selector panic");
+    reset();
+
+    // Phase 2 — error-injected selector: same degradation, same outcome.
+    arm(
+        "mapper.select",
+        FaultAction::Error("metrics store down".into()),
+        Policy::Once,
+    );
+    let reply = exchange(&mut control, &auto_request("ghz:9"));
+    assert_verified_result(&reply, "selector error");
+    reset();
+
+    // Phase 3 — hung selector: a 200 ms stall delays but never fails
+    // the request.
+    arm("mapper.select", FaultAction::Delay(200), Policy::Once);
+    let reply = exchange(&mut control, &auto_request("wstate:8"));
+    assert_verified_result(&reply, "selector hang");
+    reset();
+
+    // Phase 4 — the acceptance scenario: the selected primary lane
+    // panics every time it launches (confident direct run and raced
+    // alike). The daemon must answer with a verified result served by
+    // *another* lane — no error frame of any kind.
+    arm(
+        &format!("mapper.race.{primary}"),
+        FaultAction::Panic,
+        Policy::Always,
+    );
+    let reply = exchange(&mut control, &auto_request("qft:7"));
+    let (placer, router) = assert_verified_result(&reply, "primary lane panic");
+    let primary_config = qcs_core::portfolio::lane_config(primary).unwrap();
+    assert_ne!(
+        (placer.as_str(), router.as_str()),
+        (
+            primary_config.placer.as_str(),
+            primary_config.router.as_str()
+        ),
+        "the panicking primary lane must not have served"
+    );
+    let fired = qcs_faults::fired(&format!("mapper.race.{primary}"));
+    reset();
+    assert!(fired > 0, "the primary lane was actually launched and hit");
+
+    // Phase 5 — hung lane under a deadline: sabre sleeps far past the
+    // budget; the race is truncated and a cheaper lane's verified
+    // result is served, well before the sleeping lane would wake.
+    arm(
+        "mapper.race.sabre",
+        FaultAction::Delay(5_000),
+        Policy::Always,
+    );
+    let started = Instant::now();
+    let request = r#"{"type":"compile","workload":"qft:8","placer":"auto","router":"auto","deadline_ms":1500}"#;
+    let reply = exchange(&mut control, request);
+    let elapsed = started.elapsed();
+    reset();
+    let (placer, router) = assert_verified_result(&reply, "hung lane under deadline");
+    assert_ne!(
+        (placer.as_str(), router.as_str()),
+        ("sabre", "lookahead"),
+        "the sleeping sabre lane must not have served"
+    );
+    assert!(
+        elapsed < Duration::from_millis(4_000),
+        "the response must not wait out the 5 s lane stall (took {elapsed:?})"
+    );
+
+    // Phase 6 — a deadline no cold race can meet: the portfolio still
+    // returns a verified cheapest-lane result, never deadline_exceeded.
+    let request = r#"{"type":"compile","workload":"wstate:9","placer":"auto","router":"auto","deadline_ms":1}"#;
+    let reply = exchange(&mut control, request);
+    let (placer, router) = assert_verified_result(&reply, "hopeless deadline");
+    assert_eq!((placer.as_str(), router.as_str()), ("trivial", "trivial"));
+    assert_eq!(reply.get("code"), None, "no deadline_exceeded code");
+
+    // The counters account for everything the phases injected.
+    let stats = exchange(&mut control, r#"{"type":"stats"}"#);
+    assert!(portfolio_counter(&stats, "jobs") >= 6);
+    assert!(
+        portfolio_counter(&stats, "selector_failed") >= 2,
+        "phases 1 and 2 each failed the selector"
+    );
+    assert!(
+        portfolio_counter(&stats, "lanes_discarded") >= 2,
+        "panicked and timed-out lanes were discarded"
+    );
+    assert!(
+        portfolio_counter(&stats, "budget_limited") >= 1,
+        "phases 5/6 were budget-limited"
+    );
+    assert!(
+        portfolio_counter(&stats, "cheapest") >= 1,
+        "phase 6 degraded to the cheapest lane"
+    );
+    let wins = stats
+        .get("portfolio")
+        .and_then(|p| p.get("wins"))
+        .expect("stats carries portfolio.wins");
+    assert!(
+        matches!(wins, Json::Object(members) if !members.is_empty()),
+        "every served job recorded a winning lane"
+    );
+    // Zero deadline rejections: portfolio jobs degrade, they are never
+    // refused against their budget.
+    let rejected = stats
+        .get("deadline")
+        .and_then(|d| d.get("rejected"))
+        .and_then(Json::as_usize)
+        .unwrap();
+    assert_eq!(rejected, 0, "no portfolio request was deadline-rejected");
+
+    let ok = exchange(&mut control, r#"{"type":"shutdown"}"#);
+    assert_eq!(ok.get("type").and_then(Json::as_str), Some("ok"));
+    let shutdown = handle.wait();
+    assert_eq!(
+        shutdown.threads_panicked, 0,
+        "panic isolation kept every daemon thread alive"
+    );
+    assert_eq!(
+        shutdown.threads_joined, 7,
+        "4 workers + 2 event loops + 1 accept thread"
+    );
+}

@@ -1,0 +1,162 @@
+//! Portfolio determinism suite: the auto-strategy serving path must be
+//! a pure function of the job whenever no deadline truncates it.
+//!
+//! Unbounded portfolio runs wait for every lane, so the race winner is
+//! the deterministic minimum of `(swaps, routed gates, lane order)` —
+//! which makes the served bytes independent of worker count, wall-clock
+//! and cache state. These tests pin that: the same auto suite is
+//! byte-identical at 1 and 8 workers, auto compiles on the `degraded:`
+//! and `dpqa:` backends match a fault-free in-process run byte for
+//! byte, and an explicit `race` request has its own cache identity.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use qcs_core::config::MapperConfig;
+use qcs_json::Json;
+use qcs_serve::compile::{run_job, Job};
+use qcs_serve::protocol::{read_frame, write_frame, CompileRequest, Source};
+use qcs_serve::server::{Server, ServerConfig, ServerHandle};
+
+fn start_daemon(workers: usize, event_loops: usize) -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        event_loops,
+        max_connections: 32,
+        cache_bytes: 8 << 20,
+        frame_deadline: Duration::from_secs(5),
+        persist_dir: None,
+    })
+    .expect("daemon starts")
+}
+
+fn exchange(stream: &mut TcpStream, request: &str) -> Vec<u8> {
+    write_frame(stream, request.as_bytes()).expect("request frame written");
+    read_frame(stream)
+        .expect("response frame read")
+        .expect("daemon replied before closing")
+}
+
+fn shutdown(handle: ServerHandle) {
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    exchange(&mut stream, r#"{"type":"shutdown"}"#);
+    handle.wait();
+}
+
+fn parse(payload: &[u8]) -> Json {
+    qcs_json::parse(std::str::from_utf8(payload).unwrap()).expect("response is JSON")
+}
+
+#[test]
+fn auto_suite_is_byte_identical_across_worker_counts() {
+    let request = r#"{"type":"compile_suite","count":6,"max_qubits":9,"max_gates":160,"seed":11,"placer":"auto","router":"auto"}"#;
+
+    let serial = start_daemon(1, 1);
+    let mut stream = TcpStream::connect(serial.local_addr()).unwrap();
+    let from_one_worker = exchange(&mut stream, request);
+    drop(stream);
+    shutdown(serial);
+
+    let pooled = start_daemon(8, 2);
+    let mut stream = TcpStream::connect(pooled.local_addr()).unwrap();
+    let from_eight_workers = exchange(&mut stream, request);
+    // And again on the same daemon: the cache-hit path serves the very
+    // same bytes the cold path produced.
+    let replay = exchange(&mut stream, request);
+    drop(stream);
+    shutdown(pooled);
+
+    let value = parse(&from_one_worker);
+    assert_eq!(
+        value.get("type").and_then(Json::as_str),
+        Some("suite_result")
+    );
+    assert_eq!(
+        from_one_worker, from_eight_workers,
+        "auto suite bytes must not depend on worker count"
+    );
+    assert_eq!(
+        from_eight_workers, replay,
+        "auto suite bytes must not depend on cache state"
+    );
+}
+
+#[test]
+fn auto_compiles_deterministically_on_alternate_backends() {
+    // ~10% of surface-17's couplers disabled, deterministically — the
+    // same spec the transport chaos suite uses — plus the movement
+    // (neutral-atom) backend.
+    for device in ["degraded:0:0.1:11:surface17", "dpqa:3x4"] {
+        let workload = "qft:6";
+        let job = Job::resolve(&CompileRequest {
+            source: Source::Workload(workload.to_string()),
+            device: device.to_string(),
+            config: MapperConfig::new("auto", "auto"),
+            deadline_ms: None,
+            request_id: None,
+            race: false,
+        })
+        .expect("device resolves");
+        assert!(job.portfolio(), "auto jobs run through the portfolio");
+        let expected = run_job(&job).expect("auto job compiles").payload;
+
+        let handle = start_daemon(4, 1);
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let request = format!(
+            r#"{{"type":"compile","workload":"{workload}","device":"{device}","placer":"auto","router":"auto"}}"#
+        );
+        let cold = exchange(&mut stream, &request);
+        let warm = exchange(&mut stream, &request);
+        drop(stream);
+        shutdown(handle);
+
+        assert_eq!(
+            cold, expected,
+            "{device}: served bytes must equal the in-process portfolio run"
+        );
+        assert_eq!(warm, expected, "{device}: cache replay must be identical");
+        let report = parse(&cold);
+        let report = report.get("report").expect("results embed a report");
+        assert_eq!(
+            report.get("verified").and_then(Json::as_bool),
+            Some(true),
+            "{device}: portfolio results are verified"
+        );
+    }
+}
+
+#[test]
+fn raced_requests_have_their_own_identity_and_stay_deterministic() {
+    let handle = start_daemon(4, 1);
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+
+    let auto = exchange(
+        &mut stream,
+        r#"{"type":"compile","workload":"ghz:8","placer":"auto","router":"auto"}"#,
+    );
+    let raced = exchange(
+        &mut stream,
+        r#"{"type":"compile","workload":"ghz:8","placer":"auto","router":"auto","race":true}"#,
+    );
+    let raced_again = exchange(
+        &mut stream,
+        r#"{"type":"compile","workload":"ghz:8","placer":"auto","router":"auto","race":true}"#,
+    );
+    drop(stream);
+    shutdown(handle);
+
+    let auto = parse(&auto);
+    let first = parse(&raced);
+    assert_eq!(auto.get("type").and_then(Json::as_str), Some("result"));
+    assert_eq!(first.get("type").and_then(Json::as_str), Some("result"));
+    assert_ne!(
+        auto.get("digest").and_then(Json::as_str),
+        first.get("digest").and_then(Json::as_str),
+        "the race flag is part of the job identity"
+    );
+    assert_eq!(
+        raced, raced_again,
+        "an unbounded race is complete, so its winner is cacheable and replayed byte-identically"
+    );
+}

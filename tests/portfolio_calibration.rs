@@ -1,0 +1,58 @@
+//! The portfolio selector's baked-in thresholds and the committed
+//! calibration sweep must agree.
+//!
+//! `SelectorThresholds::default()` hardcodes the winning thresholds of
+//! the `portfolio_calibrate` grid search so the serving path needs no
+//! file I/O; `CALIBRATION_portfolio.json` is the committed, re-derivable
+//! record of that search. If either changes without the other, the
+//! selector silently serves with thresholds nobody calibrated — this
+//! test makes that drift a build failure. (The *freshness* of the
+//! committed file itself is separately gated by
+//! `portfolio_calibrate --check` and the portfolio section of
+//! BENCH_mapper.json.)
+
+use qcs_core::portfolio::{SelectorThresholds, ADEQUACY_FACTOR, ADEQUACY_SLACK};
+use qcs_json::Json;
+
+fn committed() -> Json {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/CALIBRATION_portfolio.json");
+    let text = std::fs::read_to_string(path).expect("CALIBRATION_portfolio.json is committed");
+    qcs_json::parse(&text).expect("calibration file parses")
+}
+
+fn number(doc: &Json, section: &str, key: &str) -> f64 {
+    let Some(Json::Number(n)) = doc.get(section).and_then(|s| s.get(key)) else {
+        panic!("calibration file misses {section}.{key}");
+    };
+    *n
+}
+
+#[test]
+fn default_thresholds_match_committed_calibration() {
+    let doc = committed();
+    let defaults = SelectorThresholds::default();
+    assert_eq!(
+        number(&doc, "thresholds", "trivial_min_path"),
+        defaults.trivial_min_path
+    );
+    assert_eq!(
+        number(&doc, "thresholds", "trivial_max_degree"),
+        defaults.trivial_max_degree
+    );
+    assert_eq!(
+        number(&doc, "thresholds", "lookahead_max_path"),
+        defaults.lookahead_max_path
+    );
+    assert_eq!(
+        number(&doc, "thresholds", "lookahead_min_degree"),
+        defaults.lookahead_min_degree
+    );
+    assert_eq!(number(&doc, "thresholds", "margin"), defaults.margin);
+}
+
+#[test]
+fn adequacy_constants_match_committed_calibration() {
+    let doc = committed();
+    assert_eq!(number(&doc, "adequacy", "factor"), ADEQUACY_FACTOR);
+    assert_eq!(number(&doc, "adequacy", "slack"), ADEQUACY_SLACK as f64);
+}
