@@ -23,26 +23,29 @@
 #                                       degradation to a verified
 #                                       trivial/trivial result, forced --race,
 #                                       portfolio stats counters
-#  10. fleet chaos test                 supervised 3-shard fleet under seeded
+#  10. semantic-cache smoke test        offline --canonical-digest twins,
+#                                       then compile + renamed/reordered
+#                                       twin served as a canonical hit
+#  11. fleet chaos test                 supervised 3-shard fleet under seeded
 #                                       transport faults: two SIGKILLs and a
 #                                       SIGSTOP under closed-loop load lose
 #                                       zero requests, killed shards restart
 #                                       warm from their WAL, zero-budget
 #                                       requests are rejected up front, and
 #                                       SIGTERM drains the fleet cleanly
-#  11. benchmark regression gate        fresh bench_baseline run vs the
+#  12. benchmark regression gate        fresh bench_baseline run vs the
 #                                       committed BENCH_*.json (mapper incl.
 #                                       portfolio selector/race counters, sim
 #                                       and dpqa movement sweeps): work
 #                                       counters exact, wall times within
 #                                       QCS_BENCH_WALL_BUDGET (default 4x,
 #                                       0 disables)
-#  12. serving regression gate          fresh bench_load run vs the committed
-#                                       BENCH_serve.json: routing/cache and
-#                                       resilience counters (hedges, breaker
-#                                       opens, sheds, deadline rejections)
-#                                       exact, latency and rps within the
-#                                       same wall budget
+#  13. serving regression gate          fresh bench_load run vs the committed
+#                                       BENCH_serve.json: routing/cache,
+#                                       resilience and semantic (canonical
+#                                       vs exact keying) counters exact,
+#                                       latency and rps within the same
+#                                       wall budget
 set -eu
 
 echo "==> cargo build --release"
@@ -74,6 +77,9 @@ echo "==> shard smoke test"
 
 echo "==> portfolio smoke test"
 ./ci_portfolio_smoke.sh
+
+echo "==> semantic-cache smoke test"
+./ci_semcache_smoke.sh
 
 echo "==> fleet chaos test"
 ./ci_fleet_chaos.sh

@@ -1,0 +1,93 @@
+#!/usr/bin/env sh
+# Semantic-cache smoke test: compile a circuit, resubmit a renamed +
+# relabeled + reordered twin, and require the daemon to serve the twin
+# from the canonical index (`canonical_hits: 1`) instead of recompiling.
+# Also pins the offline `--canonical-digest` tool: the twins must share
+# a canonical digest while their exact digests differ. Assumes `cargo
+# build --release` already ran (CI runs it first); builds on demand
+# otherwise.
+set -eu
+
+SMOKE_NAME="semcache smoke"
+SMOKE_TAG=semcache
+. ./ci_lib.sh
+smoke_build
+smoke_init
+
+DEVICE=grid:3x4
+
+# The subject circuit, and a hand-relabeled (0<->3, 1<->2) twin with two
+# disjoint commuting gates swapped — textually different, semantically
+# the same program.
+cat >"$SMOKE_SCRATCH/original.qasm" <<'EOF'
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+t q[1];
+rz(0.5) q[3];
+EOF
+cat >"$SMOKE_SCRATCH/twin.qasm" <<'EOF'
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[3];
+cx q[3],q[2];
+cx q[2],q[1];
+cx q[1],q[0];
+rz(0.5) q[0];
+t q[2];
+EOF
+
+# Offline digest tool: canonical digests collapse, exact digests don't.
+DIGESTS_A=$("$CLIENT" --canonical-digest "$SMOKE_SCRATCH/original.qasm")
+DIGESTS_B=$("$CLIENT" --canonical-digest "$SMOKE_SCRATCH/twin.qasm")
+CANON_A=$(echo "$DIGESTS_A" | awk '/^canonical/ {print $2}')
+CANON_B=$(echo "$DIGESTS_B" | awk '/^canonical/ {print $2}')
+EXACT_A=$(echo "$DIGESTS_A" | awk '/^exact/ {print $2}')
+EXACT_B=$(echo "$DIGESTS_B" | awk '/^exact/ {print $2}')
+[ -n "$CANON_A" ] || smoke_fail "--canonical-digest printed no canonical line"
+[ "$CANON_A" = "$CANON_B" ] ||
+    smoke_fail "twins must share a canonical digest ($CANON_A vs $CANON_B)"
+[ "$EXACT_A" != "$EXACT_B" ] ||
+    smoke_fail "twins must differ on the exact digest ($EXACT_A)"
+echo "$SMOKE_NAME: twins share canonical digest $CANON_A, exact digests differ"
+
+smoke_start_daemon daemon --workers 2
+ADDR=$SMOKE_ADDR
+SERVE_PID=$SMOKE_PID
+echo "$SMOKE_NAME: daemon on $ADDR"
+
+"$CLIENT" --addr "$ADDR" compile "$SMOKE_SCRATCH/original.qasm" \
+    --device "$DEVICE" --json >"$SMOKE_SCRATCH/original.json"
+grep -q '"type": "result"' "$SMOKE_SCRATCH/original.json" || {
+    cat "$SMOKE_SCRATCH/original.json" >&2
+    smoke_fail "original did not compile"
+}
+
+"$CLIENT" --addr "$ADDR" compile "$SMOKE_SCRATCH/twin.qasm" \
+    --device "$DEVICE" --json >"$SMOKE_SCRATCH/twin.json"
+grep -q '"type": "result"' "$SMOKE_SCRATCH/twin.json" || {
+    cat "$SMOKE_SCRATCH/twin.json" >&2
+    smoke_fail "twin did not compile"
+}
+
+STATS=$("$CLIENT" --addr "$ADDR" stats --json)
+echo "$STATS" | grep -q '"canonical_hits": 1' || {
+    echo "$STATS" >&2
+    smoke_fail "the twin must be a canonical hit"
+}
+echo "$STATS" | grep -q '"canonical_rejected": 0' || {
+    echo "$STATS" >&2
+    smoke_fail "the verifier must not reject the canonical replay"
+}
+echo "$SMOKE_NAME: twin served from the canonical index"
+
+"$CLIENT" --addr "$ADDR" shutdown >/dev/null
+wait "$SERVE_PID"
+smoke_pass

@@ -1,0 +1,614 @@
+//! Canonical form for circuits: the semantic-cache key.
+//!
+//! Two users submitting "the same" circuit rarely submit the same
+//! bytes: qubits get renamed, commuting gates get emitted in a
+//! different order, and the circuit name is whatever their tool chose.
+//! [`canonicalize`] collapses those presentation differences into one
+//! representative so every cache in the serving stack (LRU, WAL,
+//! router placement) can key on structure instead of spelling:
+//!
+//! 1. **Deterministic qubit relabeling.** Per-qubit signatures are
+//!    built from the multiset of gates touching the line (kind, angle
+//!    bits, operand role), refined Weisfeiler–Lehman-style through the
+//!    neighbouring operands, then finalized by a weight-ordered BFS
+//!    over the interaction graph ([`crate::interaction`]) with stable
+//!    tie-breaking. The signatures are multisets, so the relabeling is
+//!    invariant under both qubit permutation and gate reordering.
+//! 2. **Commutation normal form.** Equivalence under adjacent swaps of
+//!    commuting gates ([`crate::commute::gates_commute`]) is a trace
+//!    monoid: every equivalent ordering shares one dependency DAG
+//!    (edges between non-commuting pairs in program order). The normal
+//!    form is the *greedy minimal linear extension* of that DAG —
+//!    repeatedly emit the ready gate with the smallest content key.
+//!    (A naive bubble-sort to fixed point is **not** canonical: with
+//!    `a‖b`, `b‖c` commuting but `a∦c`, both `bca` and `cab` are
+//!    fixed points of adjacent-swap sorting yet equivalent.)
+//! 3. **Optional angle bucketing.** Off by default — the default path
+//!    stays bit-exact. When enabled, rotation angles are snapped to a
+//!    grid of [`CanonConfig::angle_buckets`] steps per turn before
+//!    hashing, trading exactness for hit rate (opt-in, documented).
+//!
+//! The canonical digest deliberately **excludes the circuit name**
+//! (unlike [`crate::hash::circuit_digest`]): a rename must not miss.
+//!
+//! Canonicalization can only produce *false misses*, never false hits:
+//! the serving layer still compares full canonical keys byte-for-byte
+//! and replays + re-verifies cached mappings before serving them, so
+//! an imperfect tie-break costs a cold compile, not correctness.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use crate::circuit::Circuit;
+use crate::commute::gates_commute;
+use crate::gate::Gate;
+use crate::hash::{write_gate, Fnv64};
+use crate::interaction::interaction_graph;
+
+/// Gate-count ceiling for the commutation normal form. Part of the
+/// canonical-form *definition* (every component of the stack must agree
+/// on when normalization is skipped), not a tunable.
+pub const CANON_MAX_GATES: usize = 4096;
+
+/// Ceiling on same-line gate-pair commutation checks during DAG
+/// construction; beyond it normalization is skipped (relabeling still
+/// applies). Also part of the canonical-form definition.
+pub const CANON_MAX_PAIR_CHECKS: usize = 1 << 20;
+
+/// Rounds of signature refinement. Enough to separate lines by their
+/// radius-8 neighbourhood; more rounds only matter for pathological
+/// near-regular circuits where a miss is acceptable.
+const REFINE_ROUNDS: usize = 8;
+
+/// Canonicalization options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonConfig {
+    /// Snap rotation angles to a bucket grid before hashing. **Off by
+    /// default**: with bucketing on, circuits differing by less than
+    /// half a bucket share a cache entry, so served results are exact
+    /// for the cached twin, approximate for the request.
+    pub bucket_angles: bool,
+    /// Buckets per full turn (2π) when `bucket_angles` is set.
+    pub angle_buckets: u32,
+}
+
+impl Default for CanonConfig {
+    fn default() -> Self {
+        CanonConfig {
+            bucket_angles: false,
+            angle_buckets: 4096,
+        }
+    }
+}
+
+/// A circuit reduced to canonical form.
+#[derive(Debug, Clone)]
+pub struct CanonicalForm {
+    /// The canonical circuit: relabeled, normal-ordered, name cleared.
+    pub circuit: Circuit,
+    /// The relabeling that was applied: `relabel[original] = canonical`.
+    pub relabel: Vec<usize>,
+    /// False when the size caps skipped the commutation normal form
+    /// (the relabeling still applied).
+    pub normalized: bool,
+    /// Wall-clock cost of the relabeling stage.
+    pub relabel_micros: u64,
+    /// Wall-clock cost of the normal-form stage.
+    pub normalize_micros: u64,
+}
+
+/// Reduces a circuit to canonical form. Deterministic: a pure function
+/// of the circuit content and `config`.
+pub fn canonicalize(circuit: &Circuit, config: &CanonConfig) -> CanonicalForm {
+    let bucketed;
+    let subject = if config.bucket_angles {
+        bucketed = bucket_angles(circuit, config.angle_buckets);
+        &bucketed
+    } else {
+        circuit
+    };
+
+    let start = Instant::now();
+    let relabel = canonical_relabeling(subject);
+    let mut relabeled = permute_qubits(subject, &relabel);
+    relabeled.set_name("");
+    let relabel_micros = micros_since(start);
+
+    let start = Instant::now();
+    let (circuit, normalized) = match normal_order(&relabeled) {
+        Some(ordered) => (ordered, true),
+        None => (relabeled, false),
+    };
+    let normalize_micros = micros_since(start);
+
+    CanonicalForm {
+        circuit,
+        relabel,
+        normalized,
+        relabel_micros,
+        normalize_micros,
+    }
+}
+
+/// Digest of a canonical circuit's content — exactly
+/// [`crate::hash::circuit_digest`] minus the circuit name, under a
+/// distinct domain tag so exact and canonical digests never collide by
+/// construction.
+pub fn canonical_digest(circuit: &Circuit) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("canon/1");
+    h.write_usize(circuit.qubit_count());
+    h.write_usize(circuit.len());
+    for gate in circuit.iter() {
+        write_gate(&mut h, gate);
+    }
+    h.finish()
+}
+
+/// Applies a qubit relabeling (`relabel[old] = new`) gate by gate,
+/// preserving gate order, width and name.
+///
+/// # Panics
+///
+/// Panics if `relabel` is not a permutation of `0..qubit_count` (the
+/// callers construct it as one; a violation is a canonicalization bug).
+pub fn permute_qubits(circuit: &Circuit, relabel: &[usize]) -> Circuit {
+    assert_eq!(relabel.len(), circuit.qubit_count(), "relabel width");
+    let mut seen = vec![false; relabel.len()];
+    for &v in relabel {
+        assert!(
+            v < relabel.len() && !seen[v],
+            "relabel must be a permutation"
+        );
+        seen[v] = true;
+    }
+    let mut out = Circuit::with_name(circuit.qubit_count(), circuit.name());
+    for gate in circuit.iter() {
+        out.push(gate.map_qubits(|q| relabel[q]))
+            .expect("permutation keeps operands in range");
+    }
+    out
+}
+
+/// Seeded random adjacent swaps of commuting gates: produces a circuit
+/// equivalent to the input with a scrambled (but legal) gate order.
+/// Test/bench helper for exercising the normal form.
+pub fn commuting_shuffle(circuit: &Circuit, seed: u64, attempts: usize) -> Circuit {
+    let mut gates: Vec<Gate> = circuit.gates().to_vec();
+    if gates.len() >= 2 {
+        let mut state = seed | 1;
+        for _ in 0..attempts {
+            // xorshift64* — self-contained so qcs-circuit needs no rng dep.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let i = (state.wrapping_mul(0x2545_f491_4f6c_dd1d) % (gates.len() as u64 - 1)) as usize;
+            if gates_commute(&gates[i], &gates[i + 1]) {
+                gates.swap(i, i + 1);
+            }
+        }
+    }
+    let mut out = Circuit::with_name(circuit.qubit_count(), circuit.name());
+    for gate in gates {
+        out.push(gate).expect("same operands, same width");
+    }
+    out
+}
+
+fn micros_since(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Rebuilds the circuit with every rotation angle snapped to the
+/// nearest of `buckets` grid points per turn.
+fn bucket_angles(circuit: &Circuit, buckets: u32) -> Circuit {
+    let step = std::f64::consts::TAU / f64::from(buckets.max(1));
+    let snap = |a: f64| (a / step).round() * step;
+    let mut out = Circuit::with_name(circuit.qubit_count(), circuit.name());
+    for gate in circuit.iter() {
+        let snapped = match *gate {
+            Gate::Rx(q, a) => Gate::Rx(q, snap(a)),
+            Gate::Ry(q, a) => Gate::Ry(q, snap(a)),
+            Gate::Rz(q, a) => Gate::Rz(q, snap(a)),
+            Gate::Cphase(c, t, a) => Gate::Cphase(c, t, snap(a)),
+            g => g,
+        };
+        out.push(snapped).expect("same operands, same width");
+    }
+    out
+}
+
+/// One gate's contribution to the signature of the line `q`, including
+/// which operand slot the line occupies (control vs target matters).
+fn gate_role_hash(gate: &Gate, role: usize) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(gate.name());
+    h.write_usize(role);
+    match gate.angle() {
+        Some(a) => h.write_u64(1).write_f64(a),
+        None => h.write_u64(0),
+    };
+    h.finish()
+}
+
+/// Folds a sorted multiset of hashes into one hash.
+fn fold_sorted(mut items: Vec<u64>, salt: u64) -> u64 {
+    items.sort_unstable();
+    let mut h = Fnv64::new();
+    h.write_u64(salt);
+    h.write_usize(items.len());
+    for item in items {
+        h.write_u64(item);
+    }
+    h.finish()
+}
+
+/// The deterministic relabeling: `relabel[original] = canonical`.
+///
+/// Invariant under qubit permutation and gate reordering by
+/// construction — every input is a multiset or a weight — except for
+/// the final original-index tie-break, which only fires between lines
+/// the refined signatures cannot separate (in practice: automorphic
+/// lines, where any choice yields the same canonical circuit).
+fn canonical_relabeling(circuit: &Circuit) -> Vec<usize> {
+    let n = circuit.qubit_count();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Initial colors: the multiset of (gate kind, angle, operand role)
+    // over every gate touching the line.
+    let mut per_line: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for gate in circuit.iter() {
+        for (role, q) in gate.qubits().into_iter().enumerate() {
+            per_line[q].push(gate_role_hash(gate, role));
+        }
+    }
+    let mut colors: Vec<u64> = per_line
+        .into_iter()
+        .map(|items| fold_sorted(items, 0x11))
+        .collect();
+
+    // WL refinement through operand neighbourhoods: a line's new color
+    // folds, per touching gate, the (role, color) of the *other*
+    // operands. Stop when the partition stops splitting.
+    let mut distinct = distinct_count(&colors);
+    for _ in 0..REFINE_ROUNDS.min(n) {
+        let mut next_items: Vec<Vec<u64>> = vec![Vec::new(); n];
+        for gate in circuit.iter() {
+            let qs = gate.qubits();
+            for (role, &q) in qs.iter().enumerate() {
+                let mut h = Fnv64::new();
+                h.write_u64(gate_role_hash(gate, role));
+                for (other_role, &other) in qs.iter().enumerate() {
+                    if other_role != role {
+                        h.write_usize(other_role).write_u64(colors[other]);
+                    }
+                }
+                next_items[q].push(h.finish());
+            }
+        }
+        let next: Vec<u64> = next_items
+            .into_iter()
+            .zip(&colors)
+            .map(|(items, &old)| fold_sorted(items, old))
+            .collect();
+        colors = next;
+        let now = distinct_count(&colors);
+        if now == distinct {
+            break;
+        }
+        distinct = now;
+    }
+
+    // Weight-ordered BFS over the interaction graph: seed each
+    // component at its best-colored line, then repeatedly visit the
+    // frontier qubit with the strongest connection to the visited set
+    // (total edge weight desc, color asc, original index last).
+    let graph = interaction_graph(circuit);
+    let mut visited = vec![false; n];
+    let mut weight_to_visited = vec![0.0f64; n];
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        let next = (0..n)
+            .filter(|&q| !visited[q])
+            .min_by(|&a, &b| {
+                weight_to_visited[b]
+                    .total_cmp(&weight_to_visited[a])
+                    .then(colors[a].cmp(&colors[b]))
+                    .then(a.cmp(&b))
+            })
+            .expect("an unvisited qubit exists");
+        visited[next] = true;
+        order.push(next);
+        for &nb in graph.neighbors(next) {
+            if !visited[nb] {
+                weight_to_visited[nb] += graph.weight(next, nb).unwrap_or(0.0);
+            }
+        }
+    }
+
+    let mut relabel = vec![0usize; n];
+    for (new, &old) in order.iter().enumerate() {
+        relabel[old] = new;
+    }
+    relabel
+}
+
+fn distinct_count(colors: &[u64]) -> usize {
+    let mut sorted = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Content key for the greedy linear extension: orders ready gates by
+/// kind name, operands, then angle bits. The original index is a final
+/// tie-break between *identical* gates (either emission order yields
+/// the same sequence).
+type GateKey = (&'static str, Vec<usize>, u64, usize);
+
+fn gate_key(gate: &Gate, index: usize) -> GateKey {
+    let angle_bits = gate.angle().map_or(0, f64::to_bits);
+    (gate.name(), gate.qubits(), angle_bits, index)
+}
+
+/// Commutation normal form: the greedy minimal linear extension of the
+/// non-commutation dependency DAG. Returns `None` when the size caps
+/// apply (the caller keeps the input order).
+fn normal_order(circuit: &Circuit) -> Option<Circuit> {
+    let gates = circuit.gates();
+    let n = gates.len();
+    if n > CANON_MAX_GATES {
+        return None;
+    }
+
+    // Only gates sharing a line can fail to commute, so candidate pairs
+    // are prior gates on any of this gate's lines. Cap the total pair
+    // work so a pathological single-line circuit cannot stall serving.
+    let mut lines: Vec<Vec<usize>> = vec![Vec::new(); circuit.qubit_count()];
+    let mut pair_budget = CANON_MAX_PAIR_CHECKS;
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indegree = vec![0usize; n];
+    let mut candidates = Vec::new();
+    for (j, gate) in gates.iter().enumerate() {
+        candidates.clear();
+        for &q in &gate.qubits() {
+            candidates.extend_from_slice(&lines[q]);
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        if candidates.len() > pair_budget {
+            return None;
+        }
+        pair_budget -= candidates.len();
+        for &i in &candidates {
+            if !gates_commute(&gates[i], gate) {
+                successors[i].push(j);
+                indegree[j] += 1;
+            }
+        }
+        for q in gate.qubits() {
+            lines[q].push(j);
+        }
+    }
+
+    let mut ready: BinaryHeap<Reverse<GateKey>> = (0..n)
+        .filter(|&j| indegree[j] == 0)
+        .map(|j| Reverse(gate_key(&gates[j], j)))
+        .collect();
+    let mut out = Circuit::with_name(circuit.qubit_count(), circuit.name());
+    while let Some(Reverse((_, _, _, j))) = ready.pop() {
+        out.push(gates[j]).expect("same operands, same width");
+        for &s in &successors[j] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                ready.push(Reverse(gate_key(&gates[s], s)));
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), n, "DAG emission must cover every gate");
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qasm;
+
+    fn digest_of(c: &Circuit, config: &CanonConfig) -> u64 {
+        canonical_digest(&canonicalize(c, config).circuit)
+    }
+
+    fn sample_circuit() -> Circuit {
+        // Asymmetric enough that every line has a distinct signature.
+        let mut c = Circuit::with_name(5, "sample");
+        c.h(0).unwrap();
+        c.cnot(0, 1).unwrap();
+        c.cnot(1, 2).unwrap();
+        c.rz(2, 0.25).unwrap();
+        c.cphase(2, 3, 0.5).unwrap();
+        c.cnot(3, 4).unwrap();
+        c.rx(4, 1.5).unwrap();
+        c.measure_all();
+        c
+    }
+
+    fn seeded_permutation(n: usize, seed: u64) -> Vec<usize> {
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state.wrapping_mul(0x2545_f491_4f6c_dd1d) % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        perm
+    }
+
+    #[test]
+    fn relabel_is_a_permutation() {
+        let form = canonicalize(&sample_circuit(), &CanonConfig::default());
+        let mut seen = vec![false; form.relabel.len()];
+        for &v in &form.relabel {
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+        assert_eq!(form.circuit.len(), sample_circuit().len());
+    }
+
+    #[test]
+    fn digest_invariant_under_qubit_permutation() {
+        let base = sample_circuit();
+        let config = CanonConfig::default();
+        let want = digest_of(&base, &config);
+        for seed in 1..20u64 {
+            let perm = seeded_permutation(base.qubit_count(), seed);
+            let renamed = permute_qubits(&base, &perm);
+            assert_eq!(
+                digest_of(&renamed, &config),
+                want,
+                "permutation seed {seed} changed the canonical digest"
+            );
+        }
+    }
+
+    #[test]
+    fn digest_invariant_under_commuting_shuffle() {
+        let base = sample_circuit();
+        let config = CanonConfig::default();
+        let want = digest_of(&base, &config);
+        for seed in 1..20u64 {
+            let shuffled = commuting_shuffle(&base, seed, 200);
+            assert_eq!(
+                digest_of(&shuffled, &config),
+                want,
+                "shuffle seed {seed} changed the canonical digest"
+            );
+        }
+    }
+
+    #[test]
+    fn digest_invariant_under_both_at_once() {
+        let base = sample_circuit();
+        let config = CanonConfig::default();
+        let want = digest_of(&base, &config);
+        for seed in 1..20u64 {
+            let perm = seeded_permutation(base.qubit_count(), seed.wrapping_mul(7919));
+            let variant = commuting_shuffle(&permute_qubits(&base, &perm), seed, 200);
+            assert_eq!(digest_of(&variant, &config), want);
+        }
+    }
+
+    #[test]
+    fn name_is_excluded_from_the_canonical_digest() {
+        let a = sample_circuit();
+        let mut b = sample_circuit();
+        b.set_name("completely different");
+        let config = CanonConfig::default();
+        assert_ne!(
+            crate::hash::circuit_digest(&a),
+            crate::hash::circuit_digest(&b)
+        );
+        assert_eq!(digest_of(&a, &config), digest_of(&b, &config));
+    }
+
+    #[test]
+    fn bubble_sort_counterexample_normalizes_to_one_form() {
+        // a = X(0), b = Z(1), c = Z(0): a‖b and b‖c commute (disjoint),
+        // a∦c share a line and anticommute. All orders keeping a before
+        // c are one trace; naive adjacent-swap sorting has two fixed
+        // points among them ("bca" vs "cab" shapes).
+        let build = |order: [&Gate; 3]| {
+            let mut c = Circuit::new(2);
+            for g in order {
+                c.push(*g).unwrap();
+            }
+            c
+        };
+        let a = Gate::X(0);
+        let b = Gate::Z(1);
+        let c = Gate::Z(0);
+        let config = CanonConfig::default();
+        let abc = digest_of(&build([&a, &b, &c]), &config);
+        assert_eq!(digest_of(&build([&b, &a, &c]), &config), abc);
+        assert_eq!(digest_of(&build([&a, &c, &b]), &config), abc);
+        // c before a is a *different* trace and must not collapse.
+        assert_ne!(digest_of(&build([&c, &a, &b]), &config), abc);
+    }
+
+    #[test]
+    fn distinct_circuits_have_distinct_digests() {
+        let config = CanonConfig::default();
+        let base = digest_of(&sample_circuit(), &config);
+        let mut wider = sample_circuit();
+        wider.h(1).unwrap();
+        assert_ne!(digest_of(&wider, &config), base);
+
+        let mut angle = Circuit::new(2);
+        angle.rz(0, 0.25).unwrap();
+        let mut angle2 = Circuit::new(2);
+        angle2.rz(0, 0.26).unwrap();
+        assert_ne!(digest_of(&angle, &config), digest_of(&angle2, &config));
+    }
+
+    #[test]
+    fn angle_bucketing_merges_near_angles_only_when_enabled() {
+        let mut a = Circuit::new(1);
+        a.rz(0, 0.5).unwrap();
+        let mut b = Circuit::new(1);
+        b.rz(0, 0.5 + 1e-7).unwrap();
+        let exact = CanonConfig::default();
+        assert_ne!(digest_of(&a, &exact), digest_of(&b, &exact));
+        let bucketed = CanonConfig {
+            bucket_angles: true,
+            ..CanonConfig::default()
+        };
+        assert_eq!(digest_of(&a, &bucketed), digest_of(&b, &bucketed));
+        // Far-apart angles stay distinct even with bucketing.
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.6).unwrap();
+        assert_ne!(digest_of(&a, &bucketed), digest_of(&c, &bucketed));
+    }
+
+    #[test]
+    fn oversized_circuits_skip_normalization_but_still_relabel() {
+        let mut big = Circuit::new(2);
+        for _ in 0..=CANON_MAX_GATES / 2 {
+            big.h(0).unwrap();
+            big.h(1).unwrap();
+        }
+        let form = canonicalize(&big, &CanonConfig::default());
+        assert!(!form.normalized);
+        assert_eq!(form.relabel.len(), 2);
+        // Determinism holds either way.
+        let again = canonicalize(&big, &CanonConfig::default());
+        assert_eq!(
+            canonical_digest(&form.circuit),
+            canonical_digest(&again.circuit)
+        );
+    }
+
+    #[test]
+    fn measurement_order_is_preserved_per_line() {
+        // Two measures on one line must not reorder.
+        let mut c = Circuit::new(1);
+        c.h(0).unwrap();
+        c.measure(0).unwrap();
+        c.x(0).unwrap();
+        c.measure(0).unwrap();
+        let form = canonicalize(&c, &CanonConfig::default());
+        let names: Vec<&str> = form.circuit.iter().map(Gate::name).collect();
+        assert_eq!(names, vec!["h", "measure", "x", "measure"]);
+    }
+
+    #[test]
+    fn canonical_qasm_round_trips() {
+        let form = canonicalize(&sample_circuit(), &CanonConfig::default());
+        let text = qasm::print(&form.circuit);
+        let back = qasm::parse(&text).unwrap();
+        assert_eq!(back.gates(), form.circuit.gates());
+    }
+}

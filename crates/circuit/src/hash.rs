@@ -100,7 +100,11 @@ impl Fnv64 {
 
 /// Folds one gate into a hasher: a kind tag, the operand list and (for
 /// rotations) the exact angle bits.
-fn write_gate(h: &mut Fnv64, gate: &Gate) {
+///
+/// Public so [`crate::canon::canonical_digest`] folds gates exactly the
+/// way [`circuit_digest`] does — the two digests differ only in whether
+/// the circuit name participates.
+pub fn write_gate(h: &mut Fnv64, gate: &Gate) {
     // The kind's QASM name is a stable tag (GateKind has no guaranteed
     // discriminant values); Measure/Barrier share names with nothing.
     h.write_str(gate.name());

@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod circuit;
 pub mod commute;
 pub mod dag;

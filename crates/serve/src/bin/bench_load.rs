@@ -13,6 +13,13 @@
 //!   (1, 2, 3): 8 clients drain a shared pool of all-hit requests as
 //!   fast as the tier will go. Request/error counts are exact;
 //!   `throughput_rps` is budgeted (higher is better).
+//! - **Semantic run** — the 200-circuit suite warms one daemon with
+//!   canonical keying and one exact-only, then replays a seeded mix
+//!   (`--near-dup-frac`, default 0.5) of renamed + relabeled +
+//!   commuting-reordered near-duplicates and exact repeats against
+//!   both. Hit counters gate exactly and the run itself asserts
+//!   canonical keying lifts the mix hit count >= 1.5x with zero
+//!   verifier rejections.
 //!
 //! Numbers land in `BENCH_serve.json` with the same record/check split
 //! as `bench_baseline`: integers and counter arrays must match the
@@ -58,11 +65,14 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use qcs_circuit::canon::{commuting_shuffle, permute_qubits};
+use qcs_circuit::qasm;
 use qcs_json::Json;
 use qcs_rng::{Rng, SeedableRng, Xoshiro256StarStar};
 use qcs_serve::protocol::{read_frame, write_frame};
 use qcs_serve::router::{Router, RouterConfig, RouterHandle};
 use qcs_serve::server::{Server, ServerConfig, ServerHandle};
+use qcs_workloads::suite::{generate_suite, SuiteConfig};
 
 const FILE: &str = "BENCH_serve.json";
 const SCHEMA: &str = "qcs-bench-serve/1";
@@ -109,9 +119,15 @@ fn main() -> ExitCode {
         return run_chaos_external(addr, Duration::from_secs(seconds), seed);
     }
     let check = args.iter().any(|a| a == "--check");
+    let near_dup_frac = flag_f64(&args, "--near-dup-frac").unwrap_or(NEAR_DUP_FRAC);
+    assert!(
+        (0.0..=1.0).contains(&near_dup_frac),
+        "--near-dup-frac takes a fraction in [0, 1]"
+    );
     let locality = run_locality();
     let saturation: Vec<SweepRow> = SWEEP.iter().map(|&n| run_sweep_point(n)).collect();
-    let doc = doc(&locality, &saturation);
+    let semantic = run_semantic(near_dup_frac);
+    let doc = doc(&locality, &saturation, &semantic);
 
     if check {
         if check_file(FILE, &doc, wall_budget()) {
@@ -126,6 +142,16 @@ fn main() -> ExitCode {
         println!("wrote {FILE}");
         ExitCode::SUCCESS
     }
+}
+
+fn flag_f64(args: &[String], flag: &str) -> Option<f64> {
+    let i = args.iter().position(|a| a == flag)?;
+    let value = args.get(i + 1)?;
+    Some(
+        value
+            .parse()
+            .unwrap_or_else(|_| panic!("{flag} takes a number, got '{value}'")),
+    )
 }
 
 fn flag_u64(args: &[String], flag: &str) -> Option<u64> {
@@ -177,6 +203,8 @@ fn start_shards(count: usize) -> Vec<ServerHandle> {
                 cache_bytes: 32 << 20,
                 frame_deadline: Duration::from_secs(30),
                 persist_dir: None,
+                semantic_cache: true,
+                bucket_angles: false,
             })
             .expect("shard starts")
         })
@@ -830,6 +858,201 @@ fn run_sweep_point(shard_count: usize) -> SweepRow {
 }
 
 // ---------------------------------------------------------------------
+// Semantic-cache run: canonical vs exact keying on a near-dup mix
+// ---------------------------------------------------------------------
+
+/// Circuits in the semantic suite (the paper's benchmark count).
+const SEMANTIC_SUITE: usize = 200;
+/// Default fraction of the second pass that is a renamed + relabeled +
+/// commuting-reordered *near-duplicate* rather than an exact repeat.
+const NEAR_DUP_FRAC: f64 = 0.5;
+/// Minimum canonical-over-exact hit-count lift the gate demands.
+const SEMANTIC_LIFT_FLOOR: f64 = 1.5;
+/// Semantic device: 12 qubits, inside the server's statevector
+/// re-verification bound, so every canonical hit is oracle-checked.
+const SEMANTIC_DEVICE: &str = "grid:3x4";
+
+struct SemanticRun {
+    suite: usize,
+    near_dup_frac: f64,
+    near_dups: u64,
+    exact_repeats: u64,
+    on_mix_exact_hits: u64,
+    on_mix_canonical_hits: u64,
+    on_mix_misses: u64,
+    on_canonical_rejected: u64,
+    on_warm_wall_ms: f64,
+    on_mix_wall_ms: f64,
+    off_mix_hits: u64,
+    off_mix_misses: u64,
+    off_mix_wall_ms: f64,
+    hit_lift: f64,
+}
+
+fn qasm_request(source: &str) -> String {
+    let escaped = source
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n");
+    format!(
+        r#"{{"type":"compile","qasm":"{escaped}","device":"{SEMANTIC_DEVICE}","placer":"trivial","router":"lookahead"}}"#
+    )
+}
+
+/// The suite in QASM form, plus the seeded second-pass mix: for each
+/// circuit either its near-duplicate twin (renamed, qubits relabeled,
+/// commuting-adjacent gates reordered) or the exact same text again.
+/// Returns (originals, mix, near_dup_count).
+fn semantic_workload(near_dup_frac: f64) -> (Vec<String>, Vec<String>, u64) {
+    // Over-generate and keep the first SEMANTIC_SUITE circuits that fit
+    // the 12-qubit device — some families add ancillas past max_qubits.
+    let suite: Vec<_> = generate_suite(&SuiteConfig {
+        count: SEMANTIC_SUITE * 2,
+        max_qubits: 12,
+        max_gates: 300,
+        seed: 0xE16,
+    })
+    .into_iter()
+    .filter(|b| b.circuit.qubit_count() <= 12)
+    .take(SEMANTIC_SUITE)
+    .collect();
+    assert_eq!(suite.len(), SEMANTIC_SUITE, "suite fills the target count");
+    let mut rng = Xoshiro256StarStar::seed_from_u64(SEED ^ 0x5EAC);
+    let mut originals = Vec::with_capacity(suite.len());
+    let mut mix = Vec::with_capacity(suite.len());
+    let mut near_dups = 0u64;
+    for bench in &suite {
+        let source = qasm::print(&bench.circuit);
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        if roll < near_dup_frac {
+            near_dups += 1;
+            let n = bench.circuit.qubit_count();
+            let mut relabel: Vec<usize> = (0..n).collect();
+            shuffle(&mut relabel, &mut rng);
+            let twin = commuting_shuffle(
+                &permute_qubits(&bench.circuit, &relabel),
+                rng.gen::<u64>(),
+                128,
+            );
+            mix.push(qasm_request(&qasm::print(&twin)));
+        } else {
+            mix.push(qasm_request(&source));
+        }
+        originals.push(qasm_request(&source));
+    }
+    (originals, mix, near_dups)
+}
+
+/// Fires every request sequentially on one connection; every response
+/// must be a `result`. Returns wall milliseconds.
+fn drive(addr: SocketAddr, requests: &[String]) -> f64 {
+    let mut stream = connect(addr);
+    let start = Instant::now();
+    for request in requests {
+        let reply = exchange_json(&mut stream, request);
+        assert_eq!(
+            response_type(&reply),
+            "result",
+            "semantic bench compile failed: {}",
+            reply.to_compact_string()
+        );
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn semantic_stats(addr: SocketAddr) -> (u64, u64, u64, u64) {
+    let mut control = connect(addr);
+    let stats = exchange_json(&mut control, r#"{"type":"stats"}"#);
+    let s = stats.get("semantic").expect("stats carry semantic block");
+    let counter = |key: &str| {
+        s.get(key)
+            .and_then(Json::as_usize)
+            .unwrap_or_else(|| panic!("semantic stats carry {key}")) as u64
+    };
+    (
+        counter("exact_hits"),
+        counter("canonical_hits"),
+        counter("misses"),
+        counter("canonical_rejected"),
+    )
+}
+
+fn start_semantic_shard(semantic: bool) -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        event_loops: 1,
+        max_connections: 16,
+        cache_bytes: 64 << 20,
+        frame_deadline: Duration::from_secs(30),
+        persist_dir: None,
+        semantic_cache: semantic,
+        bucket_angles: false,
+    })
+    .expect("shard starts")
+}
+
+/// A/B measurement of canonical vs exact keying: warm the suite, then
+/// replay the seeded near-dup mix against a semantic daemon and an
+/// exact-only daemon. Counters are pure functions of the seeded
+/// workload, so they gate exactly; the lift and rejection floors are
+/// additionally asserted here so a regression fails even a re-record.
+fn run_semantic(near_dup_frac: f64) -> SemanticRun {
+    let (originals, mix, near_dups) = semantic_workload(near_dup_frac);
+
+    let on = start_semantic_shard(true);
+    let on_warm_wall_ms = drive(on.local_addr(), &originals);
+    let warm_stats = semantic_stats(on.local_addr());
+    let on_mix_wall_ms = drive(on.local_addr(), &mix);
+    let (exact_hits, canonical_hits, misses, rejected) = semantic_stats(on.local_addr());
+    on.shutdown();
+    // Mix-phase deltas: the warm pass can itself hit canonically when
+    // two suite members are structurally equivalent.
+    let on_mix_exact_hits = exact_hits - warm_stats.0;
+    let on_mix_canonical_hits = canonical_hits - warm_stats.1;
+    let on_mix_misses = misses - warm_stats.2;
+
+    let off = start_semantic_shard(false);
+    drive(off.local_addr(), &originals);
+    let off_warm = semantic_stats(off.local_addr());
+    let off_mix_wall_ms = drive(off.local_addr(), &mix);
+    let (off_hits, _, off_misses, _) = semantic_stats(off.local_addr());
+    off.shutdown();
+    let off_mix_hits = off_hits - off_warm.0;
+    let off_mix_misses = off_misses - off_warm.2;
+
+    let on_hits = on_mix_exact_hits + on_mix_canonical_hits;
+    let hit_lift = on_hits as f64 / (off_mix_hits.max(1)) as f64;
+    assert!(
+        hit_lift >= SEMANTIC_LIFT_FLOOR,
+        "canonical keying must lift the near-dup hit count >= \
+         {SEMANTIC_LIFT_FLOOR}x over exact keying (got {hit_lift:.3}: \
+         {on_hits} vs {off_mix_hits})"
+    );
+    assert_eq!(
+        rejected, 0,
+        "the statevector verifier must never reject a canonical replay"
+    );
+
+    SemanticRun {
+        suite: SEMANTIC_SUITE,
+        near_dup_frac,
+        near_dups,
+        exact_repeats: SEMANTIC_SUITE as u64 - near_dups,
+        on_mix_exact_hits,
+        on_mix_canonical_hits,
+        on_mix_misses,
+        on_canonical_rejected: rejected,
+        on_warm_wall_ms,
+        on_mix_wall_ms,
+        off_mix_hits,
+        off_mix_misses,
+        off_mix_wall_ms,
+        hit_lift,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Document
 // ---------------------------------------------------------------------
 
@@ -837,7 +1060,7 @@ fn u64_array(values: &[u64]) -> Json {
     Json::Array(values.iter().map(|&v| Json::from(v)).collect())
 }
 
-fn doc(locality: &LocalityRun, saturation: &[SweepRow]) -> Json {
+fn doc(locality: &LocalityRun, saturation: &[SweepRow], semantic: &SemanticRun) -> Json {
     Json::object([
         ("schema", Json::from(SCHEMA)),
         (
@@ -913,6 +1136,49 @@ fn doc(locality: &LocalityRun, saturation: &[SweepRow]) -> Json {
                     })
                     .collect(),
             ),
+        ),
+        // Counters are pure functions of the seeded workload and gate
+        // exactly; `hit_lift` is a deterministic counter ratio.
+        (
+            "semantic",
+            Json::object([
+                ("suite", Json::from(semantic.suite)),
+                ("near_dup_frac", Json::Number(semantic.near_dup_frac)),
+                ("near_dups", Json::from(semantic.near_dups)),
+                ("exact_repeats", Json::from(semantic.exact_repeats)),
+                (
+                    "canonical_keying",
+                    Json::object([
+                        ("mix_exact_hits", Json::from(semantic.on_mix_exact_hits)),
+                        (
+                            "mix_canonical_hits",
+                            Json::from(semantic.on_mix_canonical_hits),
+                        ),
+                        ("mix_misses", Json::from(semantic.on_mix_misses)),
+                        (
+                            "canonical_rejected",
+                            Json::from(semantic.on_canonical_rejected),
+                        ),
+                        (
+                            "warm_wall_ms",
+                            Json::Number(round3(semantic.on_warm_wall_ms)),
+                        ),
+                        ("mix_wall_ms", Json::Number(round3(semantic.on_mix_wall_ms))),
+                    ]),
+                ),
+                (
+                    "exact_keying",
+                    Json::object([
+                        ("mix_hits", Json::from(semantic.off_mix_hits)),
+                        ("mix_misses", Json::from(semantic.off_mix_misses)),
+                        (
+                            "mix_wall_ms",
+                            Json::Number(round3(semantic.off_mix_wall_ms)),
+                        ),
+                    ]),
+                ),
+                ("hit_lift", Json::Number(round3(semantic.hit_lift))),
+            ]),
         ),
     ])
 }

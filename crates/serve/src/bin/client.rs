@@ -7,6 +7,7 @@
 //!                                   [--max-gates N] [--seed N] [options]
 //! qcs-client --addr HOST:PORT stats | ping | shutdown | probe
 //! qcs-client --list-devices
+//! qcs-client --canonical-digest FILE.qasm|SPEC
 //!
 //! options: --device SPEC  --placer NAME  --router NAME
 //!          --strategy auto|trivial|lookahead|sabre  --race
@@ -26,6 +27,13 @@
 //! `--list-devices` prints the accepted device-spec grammar — one line
 //! per family, straight from the daemon's own catalog table — and
 //! exits without contacting a server.
+//!
+//! `--canonical-digest` takes a QASM file (or a workload spec like
+//! `qft:5`) and prints its exact and canonical circuit digests without
+//! compiling or contacting a server. Two circuits that differ only by
+//! qubit labels, commuting gate reorderings or circuit name share the
+//! canonical digest — the identity the daemon's semantic cache serves
+//! by — while their exact digests differ.
 //!
 //! `compile`/`workload` print a one-line summary of the mapped circuit;
 //! `suite` prints a fixed-width table, one row per benchmark. `--json`
@@ -59,6 +67,7 @@ use qcs_serve::protocol::{read_frame, write_json};
 
 const USAGE: &str = "usage: qcs-client --addr HOST:PORT <command> [options]\n\
        qcs-client --list-devices\n\
+       qcs-client --canonical-digest FILE.qasm|SPEC\n\
   commands: compile FILE | workload SPEC | suite | stats | ping | shutdown | probe\n\
   options:  --device SPEC --placer NAME --router NAME --deadline-ms N\n\
             --strategy auto|trivial|lookahead|sabre --race\n\
@@ -68,6 +77,7 @@ const USAGE: &str = "usage: qcs-client --addr HOST:PORT <command> [options]\n\
 struct Options {
     addr: String,
     list_devices: bool,
+    canonical_digest: Option<String>,
     device: Option<String>,
     placer: Option<String>,
     router: Option<String>,
@@ -89,6 +99,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         addr: String::new(),
         list_devices: false,
+        canonical_digest: None,
         device: None,
         placer: None,
         router: None,
@@ -132,6 +143,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         let bad = |what: &str| format!("bad {what} '{value}' for {arg}");
         match arg.as_str() {
             "--addr" => opts.addr = value.clone(),
+            "--canonical-digest" => opts.canonical_digest = Some(value.clone()),
             "--device" => opts.device = Some(value.clone()),
             "--placer" => opts.placer = Some(value.clone()),
             "--router" => opts.router = Some(value.clone()),
@@ -156,9 +168,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             _ => return Err(format!("unknown flag '{arg}'\n{USAGE}")),
         }
     }
-    // `--list-devices` is answered locally from the catalog table —
+    // `--list-devices` and `--canonical-digest` are answered locally —
     // no daemon, so no address or command needed.
-    if opts.list_devices {
+    if opts.list_devices || opts.canonical_digest.is_some() {
         return Ok(opts);
     }
     if opts.addr.is_empty() {
@@ -182,6 +194,27 @@ fn print_device_families() {
     for (grammar, description) in qcs_serve::catalog::DEVICE_FAMILIES {
         println!("{grammar:<width$}  {description}");
     }
+}
+
+/// Prints a circuit's exact and canonical digests, locally. `target` is
+/// a QASM file path when such a file exists, otherwise a workload spec
+/// resolved through the daemon's own catalog.
+fn print_canonical_digest(target: &str) -> Result<(), String> {
+    let circuit = if std::path::Path::new(target).is_file() {
+        let text =
+            std::fs::read_to_string(target).map_err(|e| format!("cannot read {target}: {e}"))?;
+        qcs_circuit::qasm::parse(&text).map_err(|e| format!("qasm rejected: {e}"))?
+    } else {
+        qcs_serve::catalog::resolve_workload(target)
+            .map_err(|e| format!("{target} is neither a readable file nor a workload spec: {e}"))?
+    };
+    let exact = qcs_circuit::hash::circuit_digest(&circuit);
+    let form =
+        qcs_circuit::canon::canonicalize(&circuit, &qcs_circuit::canon::CanonConfig::default());
+    let canonical = qcs_circuit::canon::canonical_digest(&form.circuit);
+    println!("exact      {exact:016x}");
+    println!("canonical  {canonical:016x}");
+    Ok(())
 }
 
 /// The `(placer, router)` pipeline a `--strategy` name stands for:
@@ -561,6 +594,17 @@ fn print_resilience_summary(response: &Json) {
             count(deadline, "rejected_precompile"),
         );
     }
+    if let Some(semantic) = response.get("semantic") {
+        let enabled = semantic.get("enabled").and_then(Json::as_bool) == Some(true);
+        println!(
+            "semantic:   {}, {} canonical hits / {} exact hits / {} misses, {} rejected",
+            if enabled { "on" } else { "off" },
+            count(semantic, "canonical_hits"),
+            count(semantic, "exact_hits"),
+            count(semantic, "misses"),
+            count(semantic, "canonical_rejected"),
+        );
+    }
 }
 
 /// Fires hostile input at the daemon (unframed garbage, a truncated
@@ -619,6 +663,15 @@ fn main() -> ExitCode {
     if opts.list_devices {
         print_device_families();
         return ExitCode::SUCCESS;
+    }
+    if let Some(target) = &opts.canonical_digest {
+        return match print_canonical_digest(target) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("qcs-client: {message}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if opts.command[0] == "probe" {
         return match probe(&opts) {

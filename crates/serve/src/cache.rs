@@ -20,19 +20,76 @@
 //! digest collision between two distinct jobs therefore degrades to a
 //! counted miss (`hash_conflicts`) and a recompile, never a silently
 //! wrong result.
+//!
+//! # Semantic (canonical) lookups
+//!
+//! Entries may additionally carry their job's *canonical* identity
+//! ([`CanonicalInfo`]): the canonical-form digest and full key from
+//! [`crate::compile::Job::canonicalize`], the qubit relabeling that
+//! produced the canonical form, and the mapping's initial/final
+//! layouts. A side index from canonical digest to exact digest lets
+//! [`ResultCache::get_canonical`] serve a *structurally equivalent*
+//! job — same circuit up to qubit renaming and commuting-gate order —
+//! from an entry inserted under a different exact key. The same
+//! collision discipline applies: the canonical full key is byte-compared
+//! (`canonical_conflicts`), and the server replays + re-verifies the
+//! mapping through the relabeling before anything reaches a client.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-/// One live cache entry as `(digest, full key, canonical payload)` —
-/// the exchange format between the in-memory cache and the persistence
-/// layer (snapshot compaction, warm-restart replay).
-pub type EntryRef = (u64, Arc<Vec<u8>>, Arc<Vec<u8>>);
+/// The canonical identity riding along with a cache entry, everything a
+/// canonical hit needs to replay the cached mapping for a twin job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalInfo {
+    /// Canonical job digest (the semantic index key).
+    pub digest: u64,
+    /// Canonical full key, byte-compared on every canonical lookup.
+    pub key: Arc<Vec<u8>>,
+    /// The inserting job's relabeling: `relabel[original] = canonical`.
+    pub relabel: Arc<Vec<usize>>,
+    /// The cached mapping's virtual→physical assignment before the
+    /// first gate (indexed by the inserting job's virtual qubits).
+    pub initial_layout: Arc<Vec<usize>>,
+    /// The assignment after the last gate.
+    pub final_layout: Arc<Vec<usize>>,
+}
+
+/// One live cache entry — the exchange format between the in-memory
+/// cache and the persistence layer (snapshot compaction, warm-restart
+/// replay).
+#[derive(Debug, Clone)]
+pub struct EntryRef {
+    /// Exact job digest.
+    pub digest: u64,
+    /// Exact full key.
+    pub key: Arc<Vec<u8>>,
+    /// Canonical response payload bytes.
+    pub payload: Arc<Vec<u8>>,
+    /// The entry's canonical identity, when known.
+    pub canonical: Option<CanonicalInfo>,
+}
+
+/// A successful canonical lookup: the twin entry's payload plus the
+/// geometry needed to re-aim it at the requesting job.
+#[derive(Debug, Clone)]
+pub struct CanonicalHit {
+    /// Exact digest of the entry that served.
+    pub exact_digest: u64,
+    /// The cached payload bytes (still keyed to the *inserting* job).
+    pub payload: Arc<Vec<u8>>,
+    /// The inserting job's relabeling (original → canonical).
+    pub relabel: Arc<Vec<usize>>,
+    /// The cached mapping's initial layout (inserting job's virtuals).
+    pub initial_layout: Arc<Vec<usize>>,
+    /// The cached mapping's final layout.
+    pub final_layout: Arc<Vec<usize>>,
+}
 
 /// Counters describing cache effectiveness, reported by `stats`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CacheStats {
-    /// Lookups served from memory.
+    /// Lookups served from memory by exact key.
     pub hits: u64,
     /// Lookups that required a compile.
     pub misses: u64,
@@ -41,6 +98,14 @@ pub struct CacheStats {
     /// Digest hits whose stored full key did not match the request —
     /// served as misses instead of wrong results.
     pub hash_conflicts: u64,
+    /// Canonical-index lookups served (exact key differed, canonical
+    /// form matched byte-for-byte).
+    pub canonical_hits: u64,
+    /// Canonical-digest hits whose stored canonical key did not match —
+    /// refused, exactly like `hash_conflicts`.
+    pub canonical_conflicts: u64,
+    /// Live entries carrying a canonical identity.
+    pub canonical_entries: usize,
     /// Live entries.
     pub entries: usize,
     /// Bytes held by live entries.
@@ -48,13 +113,14 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hits over lookups, 0 when no lookups happened.
+    /// Hits over lookups, 0 when no lookups happened. Canonical hits
+    /// count as hits: the lookup was served from memory.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits + self.canonical_hits + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            (self.hits + self.canonical_hits) as f64 / total as f64
         }
     }
 }
@@ -63,14 +129,17 @@ struct Entry {
     seq: u64,
     key: Arc<Vec<u8>>,
     payload: Arc<Vec<u8>>,
+    canonical: Option<CanonicalInfo>,
 }
 
 /// An LRU map from result digest to canonical response bytes, bounded by
-/// total payload size (full keys ride along but the budget is over
-/// payloads — keys are a small fixed overhead per entry).
+/// total payload size (full keys and canonical metadata ride along but
+/// the budget is over payloads — a small fixed overhead per entry).
 pub struct ResultCache {
     budget_bytes: usize,
     map: HashMap<u64, Entry>,
+    /// Canonical digest → exact digest of the entry serving that form.
+    canon_index: HashMap<u64, u64>,
     recency: BTreeMap<u64, u64>,
     next_seq: u64,
     bytes: usize,
@@ -78,6 +147,8 @@ pub struct ResultCache {
     misses: u64,
     evictions: u64,
     hash_conflicts: u64,
+    canonical_hits: u64,
+    canonical_conflicts: u64,
 }
 
 impl ResultCache {
@@ -86,6 +157,7 @@ impl ResultCache {
         ResultCache {
             budget_bytes,
             map: HashMap::new(),
+            canon_index: HashMap::new(),
             recency: BTreeMap::new(),
             next_seq: 0,
             bytes: 0,
@@ -93,6 +165,8 @@ impl ResultCache {
             misses: 0,
             evictions: 0,
             hash_conflicts: 0,
+            canonical_hits: 0,
+            canonical_conflicts: 0,
         }
     }
 
@@ -124,16 +198,64 @@ impl ResultCache {
         }
     }
 
+    /// Looks up a *canonical* digest after an exact miss. Does not
+    /// touch the hit/miss counters (the exact lookup already counted
+    /// the miss); a success counts `canonical_hits`, a canonical-key
+    /// mismatch counts `canonical_conflicts`.
+    pub fn get_canonical(&mut self, canon_digest: u64, canon_key: &[u8]) -> Option<CanonicalHit> {
+        let &exact_digest = self.canon_index.get(&canon_digest)?;
+        let Some(entry) = self.map.get_mut(&exact_digest) else {
+            // Stale index entry (should be unreachable: eviction prunes
+            // the index) — self-heal rather than serve nothing forever.
+            self.canon_index.remove(&canon_digest);
+            return None;
+        };
+        let Some(info) = entry.canonical.as_ref() else {
+            self.canon_index.remove(&canon_digest);
+            return None;
+        };
+        if info.key.as_slice() != canon_key {
+            self.canonical_conflicts += 1;
+            return None;
+        }
+        self.canonical_hits += 1;
+        self.recency.remove(&entry.seq);
+        entry.seq = self.next_seq;
+        self.recency.insert(entry.seq, exact_digest);
+        self.next_seq += 1;
+        Some(CanonicalHit {
+            exact_digest,
+            payload: Arc::clone(&entry.payload),
+            relabel: Arc::clone(&info.relabel),
+            initial_layout: Arc::clone(&info.initial_layout),
+            final_layout: Arc::clone(&info.final_layout),
+        })
+    }
+
     /// Stores a payload under a digest + full key, evicting
     /// least-recently-used entries until the budget holds. Payloads
     /// larger than the whole budget are not cached at all.
     pub fn insert(&mut self, digest: u64, key: Vec<u8>, payload: Vec<u8>) {
+        self.insert_with_canonical(digest, key, payload, None);
+    }
+
+    /// [`insert`](Self::insert) plus the entry's canonical identity;
+    /// the canonical index points at whichever entry registered the
+    /// form most recently.
+    pub fn insert_with_canonical(
+        &mut self,
+        digest: u64,
+        key: Vec<u8>,
+        payload: Vec<u8>,
+        canonical: Option<CanonicalInfo>,
+    ) {
         if payload.len() > self.budget_bytes {
             return;
         }
         if let Some(old) = self.map.remove(&digest) {
             self.recency.remove(&old.seq);
             self.bytes -= old.payload.len();
+            self.unlink_canonical(digest, &old);
             if old.key.as_slice() != key {
                 // Colliding jobs fight over one slot; last writer wins,
                 // and the guard in `get` keeps both of them correct.
@@ -143,12 +265,16 @@ impl ResultCache {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.bytes += payload.len();
+        if let Some(info) = &canonical {
+            self.canon_index.insert(info.digest, digest);
+        }
         self.map.insert(
             digest,
             Entry {
                 seq,
                 key: Arc::new(key),
                 payload: Arc::new(payload),
+                canonical,
             },
         );
         self.recency.insert(seq, digest);
@@ -161,20 +287,36 @@ impl ResultCache {
             self.recency.remove(&oldest_seq);
             let evicted = self.map.remove(&oldest_key).expect("recency tracks map");
             self.bytes -= evicted.payload.len();
+            self.unlink_canonical(oldest_key, &evicted);
             self.evictions += 1;
         }
     }
 
-    /// Every live entry as `(digest, key, payload)`, least recently used
-    /// first — replaying the list through [`insert`](Self::insert)
-    /// reproduces both contents and LRU order, which is exactly what
-    /// snapshot compaction and warm restart need.
+    /// Removes the canonical-index link iff it still points at this
+    /// entry (a later twin may have re-aimed the form elsewhere).
+    fn unlink_canonical(&mut self, exact_digest: u64, entry: &Entry) {
+        if let Some(info) = &entry.canonical {
+            if self.canon_index.get(&info.digest) == Some(&exact_digest) {
+                self.canon_index.remove(&info.digest);
+            }
+        }
+    }
+
+    /// Every live entry, least recently used first — replaying the list
+    /// through [`insert_with_canonical`](Self::insert_with_canonical)
+    /// reproduces contents, LRU order and the canonical index, which is
+    /// exactly what snapshot compaction and warm restart need.
     pub fn entries_by_recency(&self) -> Vec<EntryRef> {
         self.recency
             .values()
             .map(|digest| {
                 let entry = &self.map[digest];
-                (*digest, Arc::clone(&entry.key), Arc::clone(&entry.payload))
+                EntryRef {
+                    digest: *digest,
+                    key: Arc::clone(&entry.key),
+                    payload: Arc::clone(&entry.payload),
+                    canonical: entry.canonical.clone(),
+                }
             })
             .collect()
     }
@@ -186,6 +328,9 @@ impl ResultCache {
             misses: self.misses,
             evictions: self.evictions,
             hash_conflicts: self.hash_conflicts,
+            canonical_hits: self.canonical_hits,
+            canonical_conflicts: self.canonical_conflicts,
+            canonical_entries: self.canon_index.len(),
             entries: self.map.len(),
             bytes: self.bytes,
         }
@@ -204,6 +349,16 @@ mod tests {
     /// the digest rendered as text.
     fn key(digest: u64) -> Vec<u8> {
         format!("key:{digest}").into_bytes()
+    }
+
+    fn canon(digest: u64, width: usize) -> CanonicalInfo {
+        CanonicalInfo {
+            digest,
+            key: Arc::new(format!("canon:{digest}").into_bytes()),
+            relabel: Arc::new((0..width).collect()),
+            initial_layout: Arc::new((0..width).collect()),
+            final_layout: Arc::new((0..width).collect()),
+        }
     }
 
     #[test]
@@ -286,25 +441,91 @@ mod tests {
     }
 
     #[test]
+    fn canonical_hit_serves_a_twin_without_an_exact_key() {
+        let mut c = ResultCache::new(1024);
+        c.insert_with_canonical(1, key(1), b"mapped".to_vec(), Some(canon(100, 3)));
+        // A twin job with a different exact key but the same canonical
+        // identity is served through the index.
+        let hit = c.get_canonical(100, b"canon:100").expect("canonical hit");
+        assert_eq!(hit.exact_digest, 1);
+        assert_eq!(hit.payload.as_slice(), b"mapped");
+        assert_eq!(hit.relabel.as_slice(), &[0, 1, 2]);
+        let s = c.stats();
+        assert_eq!((s.canonical_hits, s.canonical_conflicts), (1, 0));
+        assert_eq!(s.canonical_entries, 1);
+    }
+
+    #[test]
+    fn canonical_key_mismatch_is_refused_and_counted() {
+        let mut c = ResultCache::new(1024);
+        c.insert_with_canonical(1, key(1), b"mapped".to_vec(), Some(canon(100, 2)));
+        assert!(c.get_canonical(100, b"some other job").is_none());
+        assert_eq!(c.stats().canonical_conflicts, 1);
+        assert_eq!(c.stats().canonical_hits, 0);
+    }
+
+    #[test]
+    fn eviction_prunes_the_canonical_index() {
+        let mut c = ResultCache::new(100);
+        c.insert_with_canonical(1, key(1), payload(60), Some(canon(100, 2)));
+        c.insert_with_canonical(2, key(2), payload(60), Some(canon(200, 2)));
+        // Entry 1 was evicted; its canonical form must not resolve.
+        assert!(c.get_canonical(100, b"canon:100").is_none());
+        assert!(c.get_canonical(200, b"canon:200").is_some());
+        assert_eq!(c.stats().canonical_entries, 1);
+    }
+
+    #[test]
+    fn canonical_hit_bumps_recency() {
+        let mut c = ResultCache::new(100);
+        c.insert_with_canonical(1, key(1), payload(40), Some(canon(100, 2)));
+        c.insert(2, key(2), payload(40));
+        // Canonical touch of entry 1 makes 2 the LRU victim.
+        assert!(c.get_canonical(100, b"canon:100").is_some());
+        c.insert(3, key(3), payload(40));
+        assert!(c.get(2, &key(2)).is_none());
+        assert!(c.get(1, &key(1)).is_some());
+    }
+
+    #[test]
+    fn a_later_twin_takes_over_the_canonical_form() {
+        let mut c = ResultCache::new(1024);
+        c.insert_with_canonical(1, key(1), b"from A".to_vec(), Some(canon(100, 2)));
+        c.insert_with_canonical(2, key(2), b"from B".to_vec(), Some(canon(100, 2)));
+        let hit = c.get_canonical(100, b"canon:100").unwrap();
+        assert_eq!(hit.exact_digest, 2);
+        // Evicting the *old* owner must not break the new link.
+        c.insert(1, key(1), b"replaced".to_vec());
+        assert!(c.get_canonical(100, b"canon:100").is_some());
+    }
+
+    #[test]
     fn entries_by_recency_replays_in_lru_order() {
         let mut c = ResultCache::new(1024);
         c.insert(1, key(1), b"one".to_vec());
         c.insert(2, key(2), b"two".to_vec());
-        c.insert(3, key(3), b"three".to_vec());
+        c.insert_with_canonical(3, key(3), b"three".to_vec(), Some(canon(300, 2)));
         assert!(c.get(1, &key(1)).is_some()); // 1 becomes most recent
-        let order: Vec<u64> = c.entries_by_recency().iter().map(|(d, _, _)| *d).collect();
+        let order: Vec<u64> = c.entries_by_recency().iter().map(|e| e.digest).collect();
         assert_eq!(order, vec![2, 3, 1]);
-        // Replaying into a fresh cache reproduces contents and order.
+        // Replaying into a fresh cache reproduces contents, order and
+        // the canonical index.
         let mut replay = ResultCache::new(1024);
-        for (digest, k, p) in c.entries_by_recency() {
-            replay.insert(digest, k.as_ref().clone(), p.as_ref().clone());
+        for e in c.entries_by_recency() {
+            replay.insert_with_canonical(
+                e.digest,
+                e.key.as_ref().clone(),
+                e.payload.as_ref().clone(),
+                e.canonical.clone(),
+            );
         }
         let replayed: Vec<u64> = replay
             .entries_by_recency()
             .iter()
-            .map(|(d, _, _)| *d)
+            .map(|e| e.digest)
             .collect();
         assert_eq!(replayed, order);
         assert_eq!(replay.get(3, &key(3)).unwrap().as_slice(), b"three");
+        assert!(replay.get_canonical(300, b"canon:300").is_some());
     }
 }

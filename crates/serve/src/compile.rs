@@ -17,6 +17,7 @@
 
 use std::sync::Arc;
 
+use qcs_circuit::canon::{self, CanonConfig, CanonicalForm};
 use qcs_circuit::circuit::Circuit;
 use qcs_circuit::hash::{circuit_digest, Fnv64};
 use qcs_circuit::qasm;
@@ -144,6 +145,47 @@ impl Job {
         key
     }
 
+    /// Reduces the job's circuit to canonical form and derives the
+    /// job-level canonical digest and full key. The non-circuit job
+    /// dimensions (backend identity, strategy, race) fold in exactly as
+    /// they do for the exact digest/key, so two jobs share a canonical
+    /// identity iff their circuits are structurally equivalent *and*
+    /// they target the same backend + pipeline.
+    pub fn canonicalize(&self, config: &CanonConfig) -> CanonicalJob {
+        let form = canon::canonicalize(&self.circuit, config);
+        let mut h = Fnv64::new();
+        h.write_u64(canon::canonical_digest(&form.circuit));
+        h.write_str(self.backend.id());
+        h.write_usize(self.backend.qubit_count());
+        h.write_str(&self.config.placer);
+        h.write_str(&self.config.router);
+        if self.race {
+            h.write_str("race");
+        }
+        let digest = h.finish();
+
+        // Same layout as `full_key`, in a distinct domain ("canon\0"
+        // prefix) and with the *canonical* QASM — which carries no
+        // circuit name, so a rename cannot split the key.
+        let mut key = Vec::new();
+        key.extend_from_slice(b"canon");
+        key.push(0);
+        key.extend_from_slice(qasm::print(&form.circuit).as_bytes());
+        key.push(0);
+        key.extend_from_slice(self.backend.id().as_bytes());
+        key.push(0);
+        key.extend_from_slice(self.backend.qubit_count().to_string().as_bytes());
+        key.push(0);
+        key.extend_from_slice(self.config.placer.as_bytes());
+        key.push(0);
+        key.extend_from_slice(self.config.router.as_bytes());
+        if self.race {
+            key.push(0);
+            key.extend_from_slice(b"race");
+        }
+        CanonicalJob { form, digest, key }
+    }
+
     /// Applies a `qcs-faults` trigger tag to this job.
     ///
     /// The only tag currently understood is
@@ -198,6 +240,20 @@ pub fn job_digest(circuit: &Circuit, backend: &dyn Backend, config: &MapperConfi
     h.finish()
 }
 
+/// A job's canonical identity: the reduced circuit plus the digest and
+/// full key the semantic cache layers share.
+#[derive(Debug, Clone)]
+pub struct CanonicalJob {
+    /// The canonical form (relabeling, reduced circuit, stage costs).
+    pub form: CanonicalForm,
+    /// Canonical job digest: canonical circuit digest + backend +
+    /// strategy + race, under the `canon/1` domain tag.
+    pub digest: u64,
+    /// Canonical full key, byte-compared on every canonical-digest hit
+    /// so a 64-bit collision can never serve across distinct jobs.
+    pub key: Vec<u8>,
+}
+
 /// A finished compilation: canonical payload plus measurement.
 #[derive(Debug, Clone)]
 pub struct CompileOutput {
@@ -221,6 +277,12 @@ pub struct CompileOutput {
     /// Portfolio accounting when the job ran through the portfolio
     /// (delivery metadata — never part of the canonical payload).
     pub portfolio: Option<PortfolioReport>,
+    /// Virtual→physical assignment before the first gate. Stored with
+    /// the cache entry so a canonical hit can compose this mapping
+    /// through the relabeling and re-verify it for the new circuit.
+    pub initial_layout: Vec<usize>,
+    /// Virtual→physical assignment after the last gate.
+    pub final_layout: Vec<usize>,
 }
 
 /// Runs the backend's mapping pipeline — the requested config at the
@@ -272,6 +334,8 @@ pub fn run_job_with_deadline(
         (outcome, None)
     };
     let timing = outcome.report.timing;
+    let initial_layout = outcome.routed.initial.as_assignment().to_vec();
+    let final_layout = outcome.routed.final_layout.as_assignment().to_vec();
 
     let mut report = outcome.report;
     report.timing = StageTiming::ZERO; // measurement out of canonical content
@@ -290,6 +354,8 @@ pub fn run_job_with_deadline(
         strategy,
         cacheable,
         portfolio,
+        initial_layout,
+        final_layout,
     })
 }
 
@@ -469,6 +535,50 @@ mod tests {
             Job::resolve(&request("qft:6")).unwrap().digest(),
             Job::resolve(&fixed).unwrap().digest()
         );
+    }
+
+    #[test]
+    fn canonical_identity_collapses_renames_and_reorders_only() {
+        let base = Job::resolve(&request("qft:5")).unwrap();
+        let config = CanonConfig::default();
+        let canon_base = base.canonicalize(&config);
+
+        // A renamed + relabeled + reordered twin shares the canonical
+        // identity while its exact identity differs.
+        let mut twin = base.clone();
+        let perm: Vec<usize> = (0..twin.circuit.qubit_count()).rev().collect();
+        twin.circuit =
+            canon::commuting_shuffle(&canon::permute_qubits(&twin.circuit, &perm), 7, 100);
+        twin.circuit.set_name("renamed");
+        assert_ne!(base.digest(), twin.digest());
+        let canon_twin = twin.canonicalize(&config);
+        assert_eq!(canon_base.digest, canon_twin.digest);
+        assert_eq!(canon_base.key, canon_twin.key);
+
+        // Every non-circuit job dimension still separates.
+        let mut req = request("qft:5");
+        req.device = "grid:5x4".to_string();
+        let other_device = Job::resolve(&req).unwrap().canonicalize(&config);
+        assert_ne!(canon_base.digest, other_device.digest);
+
+        let mut req = request("qft:5");
+        req.config = MapperConfig::new("trivial", "trivial");
+        let other_config = Job::resolve(&req).unwrap().canonicalize(&config);
+        assert_ne!(canon_base.digest, other_config.digest);
+
+        let mut req = request("qft:5");
+        req.race = true;
+        let raced = Job::resolve(&req).unwrap().canonicalize(&config);
+        assert_ne!(canon_base.digest, raced.digest);
+        assert_ne!(canon_base.key, raced.key);
+    }
+
+    #[test]
+    fn outputs_carry_the_layouts() {
+        let job = Job::resolve(&request("ghz:6")).unwrap();
+        let out = run_job(&job).unwrap();
+        assert_eq!(out.initial_layout.len(), job.circuit.qubit_count());
+        assert_eq!(out.final_layout.len(), job.circuit.qubit_count());
     }
 
     #[test]

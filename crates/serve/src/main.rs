@@ -4,7 +4,15 @@
 //! qcs-serve [--addr HOST:PORT] [--workers N] [--event-loops N]
 //!           [--max-conns N] [--cache-mb N] [--frame-deadline-ms N]
 //!           [--port-file PATH] [--persist-dir PATH] [--faults SPEC]
+//!           [--no-semantic-cache] [--bucket-angles]
 //! ```
+//!
+//! `--no-semantic-cache` turns off canonical-form (semantic) cache
+//! lookups, reverting to a pure exact-key cache. `--bucket-angles`
+//! opts into approximate serving: rotation angles are snapped to a
+//! fixed grid before canonicalization, so near-identical parameterized
+//! circuits share cache entries (bucketed hits skip the statevector
+//! re-check — see the server docs).
 //!
 //! `--persist-dir` makes the result cache crash-safe: every compiled
 //! result is durably appended to a write-ahead log in that directory
@@ -29,7 +37,8 @@ use qcs_serve::server::{Server, ServerConfig};
 fn usage() -> String {
     "usage: qcs-serve [--addr HOST:PORT] [--workers N] [--event-loops N] \
      [--max-conns N] [--cache-mb N] [--frame-deadline-ms N] \
-     [--port-file PATH] [--persist-dir PATH] [--faults SPEC]"
+     [--port-file PATH] [--persist-dir PATH] [--faults SPEC] \
+     [--no-semantic-cache] [--bucket-angles]"
         .to_string()
 }
 
@@ -41,6 +50,18 @@ fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<String>, Option<S
     while let Some(flag) = it.next() {
         if flag == "--help" || flag == "-h" {
             return Err(usage());
+        }
+        // Boolean flags take no value.
+        match flag.as_str() {
+            "--no-semantic-cache" => {
+                config.semantic_cache = false;
+                continue;
+            }
+            "--bucket-angles" => {
+                config.bucket_angles = true;
+                continue;
+            }
+            _ => {}
         }
         let value = it
             .next()

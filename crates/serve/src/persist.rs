@@ -5,18 +5,40 @@
 //!
 //! A persist directory holds at most one `snapshot.qcs` and any number of
 //! `wal-NNNNNN.qcs` segments (strictly increasing indices; appends go to
-//! the highest). Every file starts with the 8-byte magic `QCSPERS1`;
-//! after it, both file kinds carry the same record stream:
+//! the highest). Every file starts with an 8-byte magic that pins its
+//! record-body version — `QCSPERS2` ([`MAGIC`]) for files written by
+//! this build, `QCSPERS1` ([`MAGIC_V1`]) for pre-semantic-cache files,
+//! which remain fully readable. After the magic, both file kinds carry
+//! the same record framing:
 //!
 //! ```text
 //! [u32 body_len BE][u64 FNV-1a(body) BE][body]
-//! body = [u64 digest BE][u32 key_len BE][key bytes][payload bytes]
+//! v1 body = [u64 digest BE][u32 key_len BE][key bytes][payload bytes]
+//! v2 body = [u64 digest BE][u32 key_len BE][key bytes][u8 flags]
+//!           [flags & 1: canonical block][payload bytes]
+//! canonical block = [u64 canon_digest BE][u32 canon_key_len BE][canon key]
+//!                   [u32 width BE][width × u32 relabel]
+//!                   [width × u32 initial][width × u32 final]
 //! ```
 //!
 //! `digest` is the cache digest, `key` the job's full key, `payload` the
 //! canonical response bytes — exactly one [`crate::cache::ResultCache`]
 //! entry per record, so recovery is "replay every record through
-//! `insert`" and later records win.
+//! `insert`" and later records win. The v2 canonical block carries the
+//! entry's semantic identity ([`crate::cache::CanonicalInfo`]) so a warm
+//! restart also re-warms the canonical index; v1 records replay as
+//! exact-only entries (`flags = 0` semantics), losing nothing they ever
+//! had.
+//!
+//! # Version upgrade
+//!
+//! Opening a directory whose newest WAL segment is v1 never mixes
+//! versions inside one file: the v1 segment is left intact for replay
+//! and a fresh v2 segment is started for appends. The first compaction
+//! after that rewrites every live entry as a v2 snapshot and deletes
+//! the v1 segments — upgrade completes as a side effect of normal
+//! operation. Records recovered from v1 files are additionally counted
+//! in [`PersistStats::legacy_records_recovered`].
 //!
 //! # Durability and recovery policy
 //!
@@ -51,15 +73,20 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use qcs_circuit::hash::Fnv64;
 use qcs_faults::Hit;
 
-use crate::cache::EntryRef;
+use crate::cache::{CanonicalInfo, EntryRef};
 
-/// Leading magic of every persist file: identifies the format and pins
-/// version 1 of the framing.
-pub const MAGIC: &[u8; 8] = b"QCSPERS1";
+/// Leading magic of files written by this build: version 2 bodies
+/// (exact key + optional canonical block).
+pub const MAGIC: &[u8; 8] = b"QCSPERS2";
+
+/// Magic of pre-semantic-cache files: version 1 bodies (exact key
+/// only). Read support is permanent; nothing writes it anymore.
+pub const MAGIC_V1: &[u8; 8] = b"QCSPERS1";
 
 /// Per-record framing overhead: length prefix + checksum.
 const RECORD_HEADER_BYTES: usize = 4 + 8;
@@ -75,11 +102,20 @@ pub const MAX_RECORD_BYTES: usize = 64 << 20;
 /// Default WAL size that triggers compaction.
 const DEFAULT_COMPACT_THRESHOLD: u64 = 8 << 20;
 
+/// Record-body version, derived from the file magic at read time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BodyVersion {
+    V1,
+    V2,
+}
+
 /// Counters describing the store's life so far, reported by `stats`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PersistStats {
     /// Entries recovered (snapshot + WAL) at open time.
     pub records_recovered: u64,
+    /// Of those, entries recovered from pre-upgrade (v1) files.
+    pub legacy_records_recovered: u64,
     /// Records dropped at open time for failing their checksum.
     pub corrupt_records_skipped: u64,
     /// Files truncated at open time because their tail was incomplete.
@@ -95,7 +131,7 @@ pub struct PersistStats {
 }
 
 /// One cache entry read back from disk.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecoveredRecord {
     /// The cache digest.
     pub digest: u64,
@@ -103,6 +139,8 @@ pub struct RecoveredRecord {
     pub key: Vec<u8>,
     /// The canonical response payload.
     pub payload: Vec<u8>,
+    /// The entry's canonical identity (v2 records that carried one).
+    pub canonical: Option<CanonicalInfo>,
 }
 
 /// The open persist directory: an append handle on the active WAL
@@ -122,6 +160,10 @@ impl Store {
     /// index; within a file, record order — so replaying through the
     /// cache reproduces its pre-crash state, later records winning).
     ///
+    /// Both body versions replay. When the newest existing WAL segment
+    /// is v1, a fresh v2 segment is started for appends so no file ever
+    /// mixes versions.
+    ///
     /// # Errors
     ///
     /// Only on environmental I/O failure (directory not creatable, files
@@ -140,16 +182,26 @@ impl Store {
         let mut segments = wal_segments(dir)?;
         segments.sort_unstable();
         let last = segments.last().copied();
+        let mut last_is_legacy = false;
         for &index in &segments {
             let path = wal_path(dir, index);
             // Only the highest segment ever receives appends again, so
             // only its torn tail needs physical truncation.
             let truncate = Some(index) == last;
             stats.wal_bytes += read_records(&path, &mut records, &mut stats, truncate)?;
+            if truncate {
+                last_is_legacy = file_version(&path)? == Some(BodyVersion::V1);
+            }
         }
         stats.records_recovered = records.len() as u64;
 
-        let wal_index = last.unwrap_or(1);
+        // Appends must land in a v2 file: roll past a legacy segment
+        // instead of appending v2 records under a v1 magic.
+        let wal_index = match last {
+            Some(index) if last_is_legacy => index + 1,
+            Some(index) => index,
+            None => 1,
+        };
         let path = wal_path(dir, wal_index);
         let fresh = !path.exists();
         let mut wal = OpenOptions::new().create(true).append(true).open(&path)?;
@@ -187,11 +239,17 @@ impl Store {
     /// Disk-level failures, or an injected `serve.cache.persist`
     /// failpoint error. An armed `panic` on that site unwinds from here
     /// (callers isolate it like any compile panic).
-    pub fn append(&mut self, digest: u64, key: &[u8], payload: &[u8]) -> io::Result<()> {
+    pub fn append(
+        &mut self,
+        digest: u64,
+        key: &[u8],
+        payload: &[u8],
+        canonical: Option<&CanonicalInfo>,
+    ) -> io::Result<()> {
         if let Hit::Error(message) = qcs_faults::hit("serve.cache.persist") {
             return Err(io::Error::other(format!("injected fault: {message}")));
         }
-        let record = encode_record(digest, key, payload)?;
+        let record = encode_record(digest, key, payload, canonical)?;
         self.wal.write_all(&record)?;
         self.wal.sync_data()?;
         self.stats.wal_bytes += record.len() as u64;
@@ -208,7 +266,9 @@ impl Store {
     /// Atomically replaces the snapshot with `entries` (the cache's live
     /// set, LRU-first) and starts a fresh WAL segment. The rename of the
     /// fsynced temp file is the commit point; a crash on either side of
-    /// it leaves a fully consistent directory.
+    /// it leaves a fully consistent directory. Always writes the current
+    /// (v2) format — compacting is how legacy directories finish their
+    /// upgrade.
     ///
     /// # Errors
     ///
@@ -221,8 +281,13 @@ impl Store {
         {
             let mut tmp = File::create(&tmp_path)?;
             tmp.write_all(MAGIC)?;
-            for (digest, key, payload) in entries {
-                let record = encode_record(*digest, key, payload)?;
+            for entry in entries {
+                let record = encode_record(
+                    entry.digest,
+                    &entry.key,
+                    &entry.payload,
+                    entry.canonical.as_ref(),
+                )?;
                 tmp.write_all(&record)?;
                 bytes += record.len() as u64;
             }
@@ -263,9 +328,15 @@ impl Store {
     }
 }
 
-/// Frames one cache entry as a checksummed record.
-fn encode_record(digest: u64, key: &[u8], payload: &[u8]) -> io::Result<Vec<u8>> {
-    let body_len = BODY_HEADER_BYTES + key.len() + payload.len();
+/// Frames one cache entry as a checksummed v2 record.
+fn encode_record(
+    digest: u64,
+    key: &[u8],
+    payload: &[u8],
+    canonical: Option<&CanonicalInfo>,
+) -> io::Result<Vec<u8>> {
+    let canon_len = canonical.map_or(0, |c| 8 + 4 + c.key.len() + 4 + 3 * 4 * c.relabel.len());
+    let body_len = BODY_HEADER_BYTES + key.len() + 1 + canon_len + payload.len();
     if body_len > MAX_RECORD_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -278,6 +349,24 @@ fn encode_record(digest: u64, key: &[u8], payload: &[u8]) -> io::Result<Vec<u8>>
     record.extend_from_slice(&digest.to_be_bytes());
     record.extend_from_slice(&(key.len() as u32).to_be_bytes());
     record.extend_from_slice(key);
+    match canonical {
+        None => record.push(0),
+        Some(c) => {
+            record.push(1);
+            record.extend_from_slice(&c.digest.to_be_bytes());
+            record.extend_from_slice(&(c.key.len() as u32).to_be_bytes());
+            record.extend_from_slice(&c.key);
+            let width = c.relabel.len();
+            debug_assert_eq!(c.initial_layout.len(), width);
+            debug_assert_eq!(c.final_layout.len(), width);
+            record.extend_from_slice(&(width as u32).to_be_bytes());
+            for lane in [&c.relabel, &c.initial_layout, &c.final_layout] {
+                for &v in lane.iter() {
+                    record.extend_from_slice(&(v as u32).to_be_bytes());
+                }
+            }
+        }
+    }
     record.extend_from_slice(payload);
     let checksum = fnv64(&record[RECORD_HEADER_BYTES..]);
     record[4..12].copy_from_slice(&checksum.to_be_bytes());
@@ -288,6 +377,92 @@ fn fnv64(bytes: &[u8]) -> u64 {
     let mut h = Fnv64::new();
     h.write_bytes(bytes);
     h.finish()
+}
+
+/// A bounds-checked big-endian reader over one record body.
+struct BodyReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> BodyReader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.bytes.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(slice)
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn rest(self) -> &'a [u8] {
+        &self.bytes[self.at..]
+    }
+}
+
+/// Decodes one record body; `None` means structurally corrupt (counted
+/// by the caller as a corrupt record).
+fn parse_body(body: &[u8], version: BodyVersion) -> Option<RecoveredRecord> {
+    let mut r = BodyReader { bytes: body, at: 0 };
+    let digest = r.u64()?;
+    let key_len = r.u32()? as usize;
+    let key = r.take(key_len)?.to_vec();
+    let canonical = match version {
+        BodyVersion::V1 => None,
+        BodyVersion::V2 => {
+            let flags = r.take(1)?[0];
+            if flags & 1 == 0 {
+                None
+            } else {
+                let canon_digest = r.u64()?;
+                let canon_key_len = r.u32()? as usize;
+                let canon_key = r.take(canon_key_len)?.to_vec();
+                let width = r.u32()? as usize;
+                let mut lanes = [Vec::new(), Vec::new(), Vec::new()];
+                for lane in &mut lanes {
+                    lane.reserve(width);
+                    for _ in 0..width {
+                        lane.push(r.u32()? as usize);
+                    }
+                }
+                let [relabel, initial_layout, final_layout] = lanes;
+                Some(CanonicalInfo {
+                    digest: canon_digest,
+                    key: Arc::new(canon_key),
+                    relabel: Arc::new(relabel),
+                    initial_layout: Arc::new(initial_layout),
+                    final_layout: Arc::new(final_layout),
+                })
+            }
+        }
+    };
+    Some(RecoveredRecord {
+        digest,
+        key,
+        payload: r.rest().to_vec(),
+        canonical,
+    })
+}
+
+/// The body version a file's magic pins; `None` for unrecognizable
+/// files.
+fn file_version(path: &Path) -> io::Result<Option<BodyVersion>> {
+    let mut magic = [0u8; 8];
+    let mut file = File::open(path)?;
+    let mut read = 0;
+    while read < magic.len() {
+        match file.read(&mut magic[read..])? {
+            0 => return Ok(None),
+            n => read += n,
+        }
+    }
+    Ok(match &magic {
+        m if m == MAGIC => Some(BodyVersion::V2),
+        m if m == MAGIC_V1 => Some(BodyVersion::V1),
+        _ => None,
+    })
 }
 
 /// Replays one file's records into `out`, applying the recovery policy
@@ -304,7 +479,11 @@ fn read_records(
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
 
-    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+    let version = if bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] == MAGIC {
+        BodyVersion::V2
+    } else if bytes.len() >= MAGIC_V1.len() && &bytes[..MAGIC_V1.len()] == MAGIC_V1 {
+        BodyVersion::V1
+    } else {
         // Unrecognizable file: nothing recoverable. If it's the active
         // WAL, reset it to a valid empty file so appends can proceed.
         stats.corrupt_records_skipped += 1;
@@ -316,7 +495,7 @@ fn read_records(
             return Ok(MAGIC.len() as u64);
         }
         return Ok(0);
-    }
+    };
 
     let mut offset = MAGIC.len();
     let mut good_end = offset; // end of the last intact record
@@ -349,17 +528,18 @@ fn read_records(
             stats.corrupt_records_skipped += 1;
             continue; // framing intact, content flipped: skip one record
         }
-        let digest = u64::from_be_bytes(body[..8].try_into().unwrap());
-        let key_len = u32::from_be_bytes(body[8..12].try_into().unwrap()) as usize;
-        if BODY_HEADER_BYTES + key_len > body_len {
-            stats.corrupt_records_skipped += 1;
-            continue;
+        match parse_body(body, version) {
+            Some(record) => {
+                if version == BodyVersion::V1 {
+                    stats.legacy_records_recovered += 1;
+                }
+                out.push(record);
+            }
+            None => {
+                stats.corrupt_records_skipped += 1;
+                continue;
+            }
         }
-        out.push(RecoveredRecord {
-            digest,
-            key: body[BODY_HEADER_BYTES..BODY_HEADER_BYTES + key_len].to_vec(),
-            payload: body[BODY_HEADER_BYTES + key_len..].to_vec(),
-        });
         good_end = offset;
     }
 
@@ -433,6 +613,37 @@ mod tests {
         )
     }
 
+    fn canonical(i: u64) -> CanonicalInfo {
+        CanonicalInfo {
+            digest: 0x1000 + i,
+            key: Arc::new(format!("canon-key-{i}").into_bytes()),
+            relabel: Arc::new(vec![2, 0, 1]),
+            initial_layout: Arc::new(vec![4, 5, 6]),
+            final_layout: Arc::new(vec![6, 5, 4]),
+        }
+    }
+
+    /// Writes a pre-upgrade (v1) WAL segment byte-for-byte as the old
+    /// build did: `QCSPERS1` magic, then v1 bodies (no flags byte).
+    fn write_v1_wal(dir: &Path, index: u64, entries: &[(u64, Vec<u8>, Vec<u8>)]) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V1);
+        for (digest, key, payload) in entries {
+            let body_len = BODY_HEADER_BYTES + key.len() + payload.len();
+            bytes.extend_from_slice(&(body_len as u32).to_be_bytes());
+            let checksum_at = bytes.len();
+            bytes.extend_from_slice(&[0u8; 8]);
+            let body_at = bytes.len();
+            bytes.extend_from_slice(&digest.to_be_bytes());
+            bytes.extend_from_slice(&(key.len() as u32).to_be_bytes());
+            bytes.extend_from_slice(key);
+            bytes.extend_from_slice(payload);
+            let checksum = fnv64(&bytes[body_at..]);
+            bytes[checksum_at..checksum_at + 8].copy_from_slice(&checksum.to_be_bytes());
+        }
+        fs::write(wal_path(dir, index), bytes).unwrap();
+    }
+
     #[test]
     fn appends_survive_reopen() {
         let tmp = TempDir::new("reopen");
@@ -441,7 +652,7 @@ mod tests {
             assert!(recovered.is_empty());
             for i in 0..10 {
                 let (d, k, p) = entry(i);
-                store.append(d, &k, &p).unwrap();
+                store.append(d, &k, &p, None).unwrap();
             }
         }
         let (store, recovered) = Store::open(tmp.path()).unwrap();
@@ -449,11 +660,92 @@ mod tests {
         for (i, r) in recovered.iter().enumerate() {
             let (d, k, p) = entry(i as u64);
             assert_eq!((r.digest, &r.key, &r.payload), (d, &k, &p));
+            assert!(r.canonical.is_none());
         }
         let s = store.stats();
         assert_eq!(s.records_recovered, 10);
+        assert_eq!(s.legacy_records_recovered, 0);
         assert_eq!(s.corrupt_records_skipped, 0);
         assert_eq!(s.torn_tails_truncated, 0);
+    }
+
+    #[test]
+    fn canonical_identity_round_trips() {
+        let tmp = TempDir::new("canon");
+        {
+            let (mut store, _) = Store::open(tmp.path()).unwrap();
+            let (d, k, p) = entry(1);
+            store.append(d, &k, &p, Some(&canonical(1))).unwrap();
+            let (d, k, p) = entry(2);
+            store.append(d, &k, &p, None).unwrap();
+        }
+        let (_, recovered) = Store::open(tmp.path()).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0].canonical.as_ref(), Some(&canonical(1)));
+        assert!(recovered[1].canonical.is_none());
+    }
+
+    #[test]
+    fn pre_upgrade_wal_replays_and_compacts_into_v2() {
+        let tmp = TempDir::new("v1compat");
+        // A directory exactly as the previous build left it: one v1 WAL.
+        let old: Vec<_> = (0..6).map(entry).collect();
+        write_v1_wal(tmp.path(), 1, &old);
+
+        let (mut store, recovered) = Store::open(tmp.path()).unwrap();
+        // Every pre-upgrade record replays cleanly, exact-key only.
+        assert_eq!(recovered.len(), 6);
+        for (r, (d, k, p)) in recovered.iter().zip(&old) {
+            assert_eq!((&r.digest, &r.key, &r.payload), (d, k, p));
+            assert!(r.canonical.is_none());
+        }
+        let s = store.stats();
+        assert_eq!(s.legacy_records_recovered, 6);
+        assert_eq!(s.corrupt_records_skipped, 0);
+
+        // Appends rolled to a fresh v2 segment — the v1 file is intact
+        // and un-mixed.
+        assert_eq!(
+            file_version(&wal_path(tmp.path(), 1)).unwrap(),
+            Some(BodyVersion::V1)
+        );
+        assert_eq!(
+            file_version(&wal_path(tmp.path(), 2)).unwrap(),
+            Some(BodyVersion::V2)
+        );
+        let (d, k, p) = entry(6);
+        store.append(d, &k, &p, Some(&canonical(6))).unwrap();
+
+        // First snapshot rewrites everything as v2 and deletes the v1
+        // segment: the upgrade is complete.
+        let live: Vec<EntryRef> = recovered
+            .iter()
+            .map(|r| EntryRef {
+                digest: r.digest,
+                key: Arc::new(r.key.clone()),
+                payload: Arc::new(r.payload.clone()),
+                canonical: r.canonical.clone(),
+            })
+            .chain(std::iter::once(EntryRef {
+                digest: 6,
+                key: Arc::new(entry(6).1),
+                payload: Arc::new(entry(6).2),
+                canonical: Some(canonical(6)),
+            }))
+            .collect();
+        store.compact(&live).unwrap();
+        drop(store);
+        assert!(!wal_path(tmp.path(), 1).exists());
+        assert_eq!(
+            file_version(&tmp.path().join("snapshot.qcs")).unwrap(),
+            Some(BodyVersion::V2)
+        );
+
+        let (store, recovered) = Store::open(tmp.path()).unwrap();
+        assert_eq!(recovered.len(), 7);
+        assert_eq!(recovered[6].canonical.as_ref(), Some(&canonical(6)));
+        // Nothing legacy remains after compaction.
+        assert_eq!(store.stats().legacy_records_recovered, 0);
     }
 
     #[test]
@@ -463,12 +755,12 @@ mod tests {
             let (mut store, _) = Store::open(tmp.path()).unwrap();
             for i in 0..5 {
                 let (d, k, p) = entry(i);
-                store.append(d, &k, &p).unwrap();
+                store.append(d, &k, &p, None).unwrap();
             }
         }
         // Simulate a crash mid-write: append half a record.
         let wal = wal_path(tmp.path(), 1);
-        let torn = &encode_record(99, b"torn-key", b"torn-payload").unwrap();
+        let torn = &encode_record(99, b"torn-key", b"torn-payload", None).unwrap();
         let mut f = OpenOptions::new().append(true).open(&wal).unwrap();
         f.write_all(&torn[..torn.len() / 2]).unwrap();
         drop(f);
@@ -478,7 +770,7 @@ mod tests {
         assert_eq!(store.stats().torn_tails_truncated, 1);
         // The tail was physically cut: a fresh append then reopen sees
         // exactly 6 clean records.
-        store.append(100, b"after", b"the tear").unwrap();
+        store.append(100, b"after", b"the tear", None).unwrap();
         drop(store);
         let (store, recovered) = Store::open(tmp.path()).unwrap();
         assert_eq!(recovered.len(), 6);
@@ -494,15 +786,16 @@ mod tests {
             let (mut store, _) = Store::open(tmp.path()).unwrap();
             for i in 0..5 {
                 let (d, k, p) = entry(i);
-                store.append(d, &k, &p).unwrap();
+                store.append(d, &k, &p, None).unwrap();
                 offsets.push(store.stats().wal_bytes as usize);
             }
         }
         // Flip one payload bit inside record 2 (past its 12-byte record
-        // header and 12-byte body header, so framing stays intact).
+        // header, 12-byte body header and flags byte, so framing stays
+        // intact).
         let wal = wal_path(tmp.path(), 1);
         let mut bytes = fs::read(&wal).unwrap();
-        bytes[offsets[2] + RECORD_HEADER_BYTES + BODY_HEADER_BYTES + 1] ^= 0x40;
+        bytes[offsets[2] + RECORD_HEADER_BYTES + BODY_HEADER_BYTES + 2] ^= 0x40;
         fs::write(&wal, &bytes).unwrap();
 
         let (store, recovered) = Store::open(tmp.path()).unwrap();
@@ -520,11 +813,11 @@ mod tests {
         {
             let (mut store, _) = Store::open(tmp.path()).unwrap();
             let (d, k, p) = entry(0);
-            store.append(d, &k, &p).unwrap();
+            store.append(d, &k, &p, None).unwrap();
             second_record_at = store.stats().wal_bytes as usize;
             for i in 1..4 {
                 let (d, k, p) = entry(i);
-                store.append(d, &k, &p).unwrap();
+                store.append(d, &k, &p, None).unwrap();
             }
         }
         let wal = wal_path(tmp.path(), 1);
@@ -547,14 +840,19 @@ mod tests {
             store.set_compact_threshold(64);
             for i in 0..8 {
                 let (d, k, p) = entry(i);
-                store.append(d, &k, &p).unwrap();
+                store.append(d, &k, &p, None).unwrap();
             }
             assert!(store.should_compact());
             // Pretend the cache only kept entries 5..8 (eviction).
             let live: Vec<EntryRef> = (5..8)
                 .map(|i| {
                     let (d, k, p) = entry(i);
-                    (d, Arc::new(k), Arc::new(p))
+                    EntryRef {
+                        digest: d,
+                        key: Arc::new(k),
+                        payload: Arc::new(p),
+                        canonical: None,
+                    }
                 })
                 .collect();
             store.compact(&live).unwrap();
@@ -563,7 +861,7 @@ mod tests {
             assert_eq!(s.wal_bytes, MAGIC.len() as u64);
             assert!(s.snapshot_bytes > MAGIC.len() as u64);
             // Post-compaction appends land in the new segment.
-            store.append(42, b"new", b"entry").unwrap();
+            store.append(42, b"new", b"entry", None).unwrap();
         }
         assert!(tmp.path().join("snapshot.qcs").exists());
         assert!(!wal_path(tmp.path(), 1).exists());
@@ -579,13 +877,13 @@ mod tests {
         let tmp = TempDir::new("badmagic");
         {
             let (mut store, _) = Store::open(tmp.path()).unwrap();
-            store.append(1, b"k", b"p").unwrap();
+            store.append(1, b"k", b"p", None).unwrap();
         }
         fs::write(wal_path(tmp.path(), 1), b"zz").unwrap();
         let (mut store, recovered) = Store::open(tmp.path()).unwrap();
         assert!(recovered.is_empty());
         assert_eq!(store.stats().corrupt_records_skipped, 1);
-        store.append(2, b"k2", b"p2").unwrap();
+        store.append(2, b"k2", b"p2", None).unwrap();
         drop(store);
         let (_, recovered) = Store::open(tmp.path()).unwrap();
         assert_eq!(recovered.len(), 1);
@@ -597,7 +895,7 @@ mod tests {
         let tmp = TempDir::new("empty");
         {
             let (mut store, _) = Store::open(tmp.path()).unwrap();
-            store.append(0, b"", b"").unwrap();
+            store.append(0, b"", b"", None).unwrap();
         }
         let (_, recovered) = Store::open(tmp.path()).unwrap();
         assert_eq!(
@@ -606,6 +904,7 @@ mod tests {
                 digest: 0,
                 key: Vec::new(),
                 payload: Vec::new(),
+                canonical: None,
             }]
         );
     }

@@ -212,6 +212,85 @@ impl HashRing {
     }
 }
 
+/// Bound on the canonical-route-key memo: enough to cover any realistic
+/// working set of distinct request texts, small enough to never matter
+/// for memory (two u64 per entry).
+const CANON_KEY_MEMO_CAP: usize = 16_384;
+
+/// A bounded text-hash → canonical-route-key memo. Canonicalizing a
+/// circuit costs real CPU (parse + relabel + normal-order); memoizing on
+/// the cheap text hash means each distinct request body pays it once per
+/// router. Oldest entries age out first.
+struct CanonKeyMemo {
+    map: std::collections::HashMap<u64, u64>,
+    order: VecDeque<u64>,
+}
+
+impl CanonKeyMemo {
+    fn new() -> CanonKeyMemo {
+        CanonKeyMemo {
+            map: std::collections::HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, text_key: u64) -> Option<u64> {
+        self.map.get(&text_key).copied()
+    }
+
+    fn note(&mut self, text_key: u64, canon_key: u64) {
+        if self.map.insert(text_key, canon_key).is_some() {
+            return;
+        }
+        self.order.push_back(text_key);
+        if self.order.len() > CANON_KEY_MEMO_CAP {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+    }
+}
+
+/// The *semantic* routing key for single compiles: the job's canonical
+/// digest (see [`crate::compile::Job::canonicalize`]), so structurally
+/// equivalent requests — renamed, relabeled, reordered — land on the
+/// same shard and hit that shard's semantic cache instead of warming a
+/// cold twin elsewhere. Falls back to the plain text-hash key when the
+/// request does not resolve (the shard will reject it with a proper
+/// error anyway). Other request kinds keep the text-hash key.
+fn semantic_route_key(request: &Request, shared: &RouterShared) -> u64 {
+    let text_key = route_key(request);
+    let Request::Compile(_) = request else {
+        return text_key;
+    };
+    if let Some(known) = lock_memo(shared).get(text_key) {
+        return known;
+    }
+    let canon_key = canonical_route_key(request).unwrap_or(text_key);
+    lock_memo(shared).note(text_key, canon_key);
+    canon_key
+}
+
+/// The canonical routing key of a single compile, or `None` when the
+/// request does not resolve to a job.
+fn canonical_route_key(request: &Request) -> Option<u64> {
+    let Request::Compile(c) = request else {
+        return None;
+    };
+    let job = crate::compile::Job::resolve(c).ok()?;
+    Some(
+        job.canonicalize(&qcs_circuit::canon::CanonConfig::default())
+            .digest,
+    )
+}
+
+fn lock_memo(shared: &RouterShared) -> std::sync::MutexGuard<'_, CanonKeyMemo> {
+    shared
+        .canon_keys
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// The routing key: a stable hash of the fields that determine which
 /// shard's cache a request belongs to. Mirrors the shard-side cache key
 /// inputs (source, device, mapper config) without resolving the circuit,
@@ -450,6 +529,8 @@ struct RouterShared {
     /// Forward latency of cache-hit-class requests — the distribution
     /// the hedge delay and the deadline p95 gate are derived from.
     hit_latency: Mutex<LatencyHistogram>,
+    /// Text-hash → canonical routing key memo (see [`CanonKeyMemo`]).
+    canon_keys: Mutex<CanonKeyMemo>,
 }
 
 impl RouterShared {
@@ -583,6 +664,7 @@ impl Router {
             hedges_won: AtomicU64::new(0),
             seen_keys: Mutex::new(SeenKeys::new()),
             hit_latency: Mutex::new(LatencyHistogram::default()),
+            canon_keys: Mutex::new(CanonKeyMemo::new()),
         });
 
         probe_all(&shared);
@@ -833,7 +915,7 @@ fn client_loop(mut stream: TcpStream, shared: &RouterShared) {
                 // never hit-class work, it is a whole benchmark run.
                 let hedgeable = matches!(request, Request::Compile(_));
                 let ctx = ForwardCtx {
-                    key: route_key(&request),
+                    key: semantic_route_key(&request, shared),
                     arrival,
                     deadline,
                     hedgeable,
@@ -1588,5 +1670,53 @@ mod tests {
         let mut raced = base;
         raced.race = true;
         assert_ne!(k1, route_key(&Request::Compile(raced)));
+    }
+
+    #[test]
+    fn canonical_route_key_collapses_structural_twins() {
+        let request = |qasm: &str| {
+            Request::Compile(CompileRequest {
+                source: Source::Qasm(qasm.to_string()),
+                device: "surface17".to_string(),
+                config: MapperConfig::default(),
+                deadline_ms: None,
+                request_id: None,
+                race: false,
+            })
+        };
+        // The same circuit under a qubit relabeling (and different text):
+        // distinct text keys, one canonical routing key — so both land on
+        // the shard whose semantic cache can serve them.
+        let a = request("qreg q[3]; h q[0]; cx q[0],q[1]; cx q[1],q[2];");
+        let b = request("qreg q[3]; h q[2]; cx q[2],q[1]; cx q[1],q[0];");
+        assert_ne!(route_key(&a), route_key(&b));
+        assert_eq!(
+            canonical_route_key(&a).unwrap(),
+            canonical_route_key(&b).unwrap()
+        );
+        // A genuinely different circuit routes elsewhere.
+        let c = request("qreg q[3]; x q[0]; cx q[0],q[1]; cx q[1],q[2];");
+        assert_ne!(
+            canonical_route_key(&a).unwrap(),
+            canonical_route_key(&c).unwrap()
+        );
+        // Unresolvable requests have no canonical key (the caller falls
+        // back to the text hash).
+        let mut bad = request("qreg q[3]; h q[0];");
+        if let Request::Compile(c) = &mut bad {
+            c.device = "warp-core".to_string();
+        }
+        assert!(canonical_route_key(&bad).is_none());
+
+        let memo_cycle = {
+            let mut memo = CanonKeyMemo::new();
+            memo.note(1, 100);
+            assert_eq!(memo.get(1), Some(100));
+            for i in 2..(CANON_KEY_MEMO_CAP as u64 + 3) {
+                memo.note(i, i);
+            }
+            memo.get(1)
+        };
+        assert_eq!(memo_cycle, None, "oldest memo entries age out");
     }
 }

@@ -53,8 +53,13 @@ use qcs_workloads::suite::{generate_suite, SuiteConfig};
 
 use qcs_faults::Hit;
 
-use crate::cache::ResultCache;
-use crate::compile::{run_job, Job};
+use qcs_circuit::canon::CanonConfig;
+use qcs_circuit::hash::circuit_digest;
+use qcs_circuit::qasm;
+use qcs_rng::SeedableRng;
+
+use crate::cache::{CanonicalHit, CanonicalInfo, ResultCache};
+use crate::compile::{run_job, CanonicalJob, Job};
 use crate::event::{spawn_loops, LoopShared};
 use crate::histogram::LatencyHistogram;
 use crate::persist::Store;
@@ -86,6 +91,17 @@ pub struct ServerConfig {
     /// a directory, the daemon replays it at startup and comes back warm
     /// after any restart — including `kill -9`.
     pub persist_dir: Option<String>,
+    /// Semantic caching: on an exact-key miss, reduce the circuit to
+    /// canonical form ([`qcs_circuit::canon`]) and serve a structurally
+    /// equivalent cached result — relabeled, re-verified — when one
+    /// exists. Off turns the cache back into a pure exact-key store.
+    pub semantic_cache: bool,
+    /// Snap rotation angles to a fixed grid before canonicalizing, so
+    /// near-identical parameterized circuits share a canonical identity.
+    /// **Approximate serving, off by default**: bucketed hits skip the
+    /// statevector equivalence re-check (deliberately — they are not
+    /// exactly equivalent) and rely on the structural key guard only.
+    pub bucket_angles: bool,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +114,8 @@ impl Default for ServerConfig {
             cache_bytes: 64 << 20,
             frame_deadline: Duration::from_secs(5),
             persist_dir: None,
+            semantic_cache: true,
+            bucket_angles: false,
         }
     }
 }
@@ -231,6 +249,12 @@ struct ServeStats {
     /// actually served, for strategy-aware deadline prediction.
     by_strategy: std::collections::BTreeMap<String, StageStats>,
     portfolio: PortfolioCounters,
+    /// Cost of the canonicalization stages themselves (qubit relabeling
+    /// and commutation normal-ordering), recorded on every exact-key
+    /// miss while semantic caching is on — the price paid for the shot
+    /// at a canonical hit.
+    relabel: LatencyHistogram,
+    normalize: LatencyHistogram,
 }
 
 impl ServeStats {
@@ -240,6 +264,8 @@ impl ServeStats {
             stages: StageStats::default(),
             by_strategy: std::collections::BTreeMap::new(),
             portfolio: PortfolioCounters::default(),
+            relabel: LatencyHistogram::default(),
+            normalize: LatencyHistogram::default(),
         }
     }
 }
@@ -311,6 +337,14 @@ pub(crate) struct Shared {
     /// Injected transport faults observed by the event loops.
     pub(crate) transport_faults: AtomicU64,
     persist_errors: AtomicU64,
+    /// Requests served from a structurally equivalent cache entry (a
+    /// canonical hit that passed replay + re-verification).
+    canonical_hits: AtomicU64,
+    /// Canonical hits that *failed* replay or re-verification and fell
+    /// back to a cold compile. Nonzero means the canonical index aimed
+    /// at an entry the verifier refused — always safe (the client gets
+    /// a fresh compile), but worth watching.
+    canonical_rejected: AtomicU64,
     /// Complete request frames decoded off sockets.
     pub(crate) frames_in: AtomicU64,
     /// Response frames queued to write buffers.
@@ -442,7 +476,14 @@ impl Server {
             Some(dir) => {
                 let (store, recovered) = Store::open(Path::new(dir))?;
                 for record in recovered {
-                    cache.insert(record.digest, record.key, record.payload);
+                    // v2 records re-warm the canonical index too, so a
+                    // restarted daemon serves canonical hits immediately.
+                    cache.insert_with_canonical(
+                        record.digest,
+                        record.key,
+                        record.payload,
+                        record.canonical,
+                    );
                 }
                 Some(Mutex::new(store))
             }
@@ -467,6 +508,8 @@ impl Server {
             deadline_rejected_precompile: AtomicU64::new(0),
             transport_faults: AtomicU64::new(0),
             persist_errors: AtomicU64::new(0),
+            canonical_hits: AtomicU64::new(0),
+            canonical_rejected: AtomicU64::new(0),
             frames_in: AtomicU64::new(0),
             frames_out: AtomicU64::new(0),
             partial_reads: AtomicU64::new(0),
@@ -696,6 +739,14 @@ fn compile_via_cache(
     let full_key = job.full_key();
 
     let cached = lock_recovering(&shared.cache).get(digest, &full_key);
+    // On an exact miss, try the semantic layer: a canonical-form hit is
+    // replayed (relabeled + re-verified) and served; otherwise the
+    // canonical identity is kept so the cold compile below can register
+    // it for future twins.
+    let (cached, canonical_job) = match cached {
+        Some(payload) => (Some(payload), None),
+        None => try_canonical(shared, &job, digest, &full_key),
+    };
     let payload = match cached {
         Some(payload) => payload,
         None => {
@@ -734,12 +785,23 @@ fn compile_via_cache(
                 .map_err(|e| ServeError::plain(e.to_string()))?;
             let payload = Arc::new(output.payload);
             if output.cacheable {
-                lock_recovering(&shared.cache).insert(
+                // The fresh entry registers its canonical identity (when
+                // semantic caching computed one) so structurally
+                // equivalent future requests can hit it.
+                let info = canonical_job.map(|cjob| CanonicalInfo {
+                    digest: cjob.digest,
+                    key: Arc::new(cjob.key),
+                    relabel: Arc::new(cjob.form.relabel),
+                    initial_layout: Arc::new(output.initial_layout.clone()),
+                    final_layout: Arc::new(output.final_layout.clone()),
+                });
+                lock_recovering(&shared.cache).insert_with_canonical(
                     digest,
                     full_key.clone(),
                     payload.as_ref().clone(),
+                    info.clone(),
                 );
-                persist_entry(shared, digest, &full_key, &payload);
+                persist_entry(shared, digest, &full_key, &payload, info.as_ref());
             }
             let timing = output.timing;
             let mut stats = lock_recovering(&shared.stats);
@@ -773,16 +835,197 @@ fn compile_via_cache(
     Ok(payload)
 }
 
+/// Devices small enough for the statevector equivalence re-check on a
+/// canonical hit (mirrors the cold-compile verifier's
+/// `equiv_max_qubits`). Wider devices rely on the structural guarantee
+/// alone: byte-identical canonical key, bijective relabeling.
+const SEMANTIC_VERIFY_MAX_QUBITS: usize = 12;
+
+/// Semantic-cache lookup after an exact-key miss. Canonicalizes the
+/// job (recording the stage costs), probes the canonical index, and on
+/// a hit replays the cached twin's result for this circuit. Returns the
+/// served payload, or — on a semantic miss — the canonical identity for
+/// the cold compile to register with its fresh entry.
+fn try_canonical(
+    shared: &Shared,
+    job: &Job,
+    exact_digest: u64,
+    exact_key: &[u8],
+) -> (Option<Arc<Vec<u8>>>, Option<CanonicalJob>) {
+    if !shared.config.semantic_cache {
+        return (None, None);
+    }
+    let canon_config = CanonConfig {
+        bucket_angles: shared.config.bucket_angles,
+        ..CanonConfig::default()
+    };
+    let cjob = job.canonicalize(&canon_config);
+    {
+        let mut stats = lock_recovering(&shared.stats);
+        stats.relabel.record(cjob.form.relabel_micros);
+        stats.normalize.record(cjob.form.normalize_micros);
+    }
+    let hit = lock_recovering(&shared.cache).get_canonical(cjob.digest, &cjob.key);
+    let Some(hit) = hit else {
+        return (None, Some(cjob));
+    };
+    match replay_canonical(job, &cjob, &hit, shared.config.bucket_angles) {
+        Ok(replay) => {
+            shared.canonical_hits.fetch_add(1, Ordering::SeqCst);
+            let payload = Arc::new(replay.payload);
+            // Promote: the twin's result now also lives under *this*
+            // job's exact identity, carrying its own relabeling and
+            // layouts — the next rename of the same structure can chain
+            // through it.
+            let info = CanonicalInfo {
+                digest: cjob.digest,
+                key: Arc::new(cjob.key),
+                relabel: Arc::new(cjob.form.relabel),
+                initial_layout: Arc::new(replay.initial_layout),
+                final_layout: Arc::new(replay.final_layout),
+            };
+            lock_recovering(&shared.cache).insert_with_canonical(
+                exact_digest,
+                exact_key.to_vec(),
+                payload.as_ref().clone(),
+                Some(info.clone()),
+            );
+            persist_entry(shared, exact_digest, exact_key, &payload, Some(&info));
+            (Some(payload), None)
+        }
+        Err(_reason) => {
+            // The replay refused (stale entry shape, failed equivalence,
+            // panicking simulator). Fall back to a cold compile — the
+            // client always gets a verified fresh result — and surface
+            // the event in stats.
+            shared.canonical_rejected.fetch_add(1, Ordering::SeqCst);
+            (None, Some(cjob))
+        }
+    }
+}
+
+/// A successfully replayed canonical hit: the rewritten payload plus
+/// the incoming twin's own layouts.
+struct CanonicalReplay {
+    payload: Vec<u8>,
+    initial_layout: Vec<usize>,
+    final_layout: Vec<usize>,
+}
+
+/// Replays a canonical hit for an incoming twin: composes the cached
+/// mapping through both relabelings, re-verifies the mapped circuit
+/// against *this* job's circuit, and rewrites the payload's identity
+/// fields (digest, circuit name). Returns the payload bytes plus the
+/// twin's own initial/final layouts.
+///
+/// # Errors
+///
+/// A one-line reason whenever anything about the cached entry cannot be
+/// proven right for this circuit; the caller falls back to compiling.
+fn replay_canonical(
+    job: &Job,
+    cjob: &CanonicalJob,
+    hit: &CanonicalHit,
+    bucket_angles: bool,
+) -> Result<CanonicalReplay, String> {
+    let width = job.circuit.qubit_count();
+    let r_b = &cjob.form.relabel;
+    if r_b.len() != width
+        || hit.relabel.len() != width
+        || hit.initial_layout.len() != width
+        || hit.final_layout.len() != width
+    {
+        return Err("cached canonical entry width mismatch".to_string());
+    }
+    // Invert the cached twin's relabeling (original A → canonical).
+    let mut inv_a = vec![usize::MAX; width];
+    for (old, &new) in hit.relabel.iter().enumerate() {
+        if new >= width || inv_a[new] != usize::MAX {
+            return Err("cached relabeling is not a permutation".to_string());
+        }
+        inv_a[new] = old;
+    }
+    // This circuit's qubit v names the same wire as canonical qubit
+    // r_b[v], which is the twin's qubit inv_a[r_b[v]] — so v inherits
+    // that qubit's physical assignment.
+    let mut initial = vec![0usize; width];
+    let mut final_layout = vec![0usize; width];
+    for v in 0..width {
+        let c = r_b[v];
+        if c >= width {
+            return Err("relabeling out of range".to_string());
+        }
+        let a = inv_a[c];
+        initial[v] = hit.initial_layout[a];
+        final_layout[v] = hit.final_layout[a];
+    }
+
+    let text = std::str::from_utf8(&hit.payload).map_err(|e| format!("payload not UTF-8: {e}"))?;
+    let mut value = qcs_json::parse(text).map_err(|e| format!("payload not JSON: {e}"))?;
+    let qasm_text = value
+        .get("qasm")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "payload carries no qasm".to_string())?;
+
+    // Statevector re-verification on small devices, exactly as the cold
+    // path's verifier would: the cached *mapped* circuit, under the
+    // composed layouts, must implement this request's circuit. Bucketed
+    // angles are deliberately not exactly equivalent, so that opt-in
+    // mode serves on the structural guarantee alone.
+    let device_qubits = job.backend.qubit_count();
+    if !bucket_angles && device_qubits <= SEMANTIC_VERIFY_MAX_QUBITS {
+        let native = qasm::parse(qasm_text).map_err(|e| format!("cached qasm rejected: {e}"))?;
+        let seed = circuit_digest(&job.circuit) ^ 0x5345_4D43; // "SEMC"
+        let verdict = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = qcs_rng::ChaCha8Rng::seed_from_u64(seed);
+            qcs_sim::equiv::mapped_equivalent(
+                &job.circuit,
+                &native,
+                device_qubits,
+                &initial,
+                &final_layout,
+                2,
+                &mut rng,
+            )
+        }));
+        match verdict {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Err(format!("replayed mapping failed re-verification: {e}")),
+            Err(_) => return Err("re-verification panicked".to_string()),
+        }
+    }
+
+    // The payload's identity fields describe the twin; rewrite them for
+    // this request so clients see their own digest and circuit name.
+    value.set("digest", format!("{:016x}", job.digest()));
+    if let Some(report) = value.get("report") {
+        let mut report = report.clone();
+        report.set("circuit_name", job.circuit.name().to_string());
+        value.set("report", report);
+    }
+    Ok(CanonicalReplay {
+        payload: value.to_compact_string().into_bytes(),
+        initial_layout: initial,
+        final_layout,
+    })
+}
+
 /// Durably logs a fresh cache entry into the persist store (when one is
 /// configured), folding the WAL into a snapshot once it outgrows the
 /// threshold. Persistence failures are counted in `persist_errors` but
 /// never fail the request: the daemon keeps serving from memory.
-fn persist_entry(shared: &Shared, digest: u64, key: &[u8], payload: &[u8]) {
+fn persist_entry(
+    shared: &Shared,
+    digest: u64,
+    key: &[u8],
+    payload: &[u8],
+    canonical: Option<&CanonicalInfo>,
+) {
     let Some(persist) = &shared.persist else {
         return;
     };
     let mut store = lock_recovering(persist);
-    if store.append(digest, key, payload).is_err() {
+    if store.append(digest, key, payload, canonical).is_err() {
         shared.persist_errors.fetch_add(1, Ordering::SeqCst);
     }
     if store.should_compact() {
@@ -906,7 +1149,7 @@ fn respond_suite(shared: &Shared, request: &SuiteRequest) -> Vec<u8> {
                                 full_key.clone(),
                                 payload.as_ref().clone(),
                             );
-                            persist_entry(shared, digest, &full_key, &payload);
+                            persist_entry(shared, digest, &full_key, &payload, None);
                         }
                         if let Some(report) = &output.portfolio {
                             lock_recovering(&shared.stats).portfolio.record(report);
@@ -1052,6 +1295,36 @@ pub(crate) fn stats_json(shared: &Shared) -> Json {
             ]),
         ),
         (
+            "semantic",
+            Json::object([
+                ("enabled", Json::from(shared.config.semantic_cache)),
+                ("bucket_angles", Json::from(shared.config.bucket_angles)),
+                (
+                    "canonical_hits",
+                    Json::from(shared.canonical_hits.load(Ordering::SeqCst)),
+                ),
+                ("exact_hits", Json::from(cache.hits)),
+                // Requests that missed both layers (the cache counts a
+                // canonically-served request as an exact miss first).
+                (
+                    "misses",
+                    Json::from(
+                        cache
+                            .misses
+                            .saturating_sub(shared.canonical_hits.load(Ordering::SeqCst)),
+                    ),
+                ),
+                (
+                    "canonical_rejected",
+                    Json::from(shared.canonical_rejected.load(Ordering::SeqCst)),
+                ),
+                ("canonical_conflicts", Json::from(cache.canonical_conflicts)),
+                ("canonical_entries", Json::from(cache.canonical_entries)),
+                ("relabel_micros", stats.relabel.to_json()),
+                ("normalize_micros", stats.normalize.to_json()),
+            ]),
+        ),
+        (
             "latency_micros",
             Json::object([
                 ("total", stats.total.to_json()),
@@ -1079,6 +1352,10 @@ pub(crate) fn stats_json(shared: &Shared) -> Json {
                 "persist".to_string(),
                 Json::object([
                     ("records_recovered", Json::from(p.records_recovered)),
+                    (
+                        "legacy_records_recovered",
+                        Json::from(p.legacy_records_recovered),
+                    ),
                     (
                         "corrupt_records_skipped",
                         Json::from(p.corrupt_records_skipped),

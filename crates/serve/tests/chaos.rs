@@ -95,6 +95,8 @@ fn daemon_serves_through_injected_faults() {
         cache_bytes: 8 << 20,
         frame_deadline: Duration::from_secs(5),
         persist_dir: None,
+        semantic_cache: true,
+        bucket_angles: false,
     })
     .expect("daemon starts");
     let addr = handle.local_addr();

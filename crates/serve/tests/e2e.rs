@@ -127,6 +127,8 @@ fn daemon_end_to_end() {
         cache_bytes: 8 << 20,
         frame_deadline: Duration::from_millis(400),
         persist_dir: None,
+        semantic_cache: true,
+        bucket_angles: false,
     })
     .expect("daemon starts on an ephemeral port");
     let addr = handle.local_addr();
@@ -272,6 +274,8 @@ fn connection_limit_turns_excess_clients_away() {
         cache_bytes: 1 << 20,
         frame_deadline: Duration::from_secs(2),
         persist_dir: None,
+        semantic_cache: true,
+        bucket_angles: false,
     })
     .expect("daemon starts");
     let addr = handle.local_addr();
@@ -315,6 +319,8 @@ fn cold_jobs_with_insufficient_budget_are_rejected_before_compiling() {
         cache_bytes: 8 << 20,
         frame_deadline: Duration::from_secs(5),
         persist_dir: None,
+        semantic_cache: true,
+        bucket_angles: false,
     })
     .expect("daemon starts");
     let addr = handle.local_addr();

@@ -26,6 +26,8 @@ fn start_daemon() -> ServerHandle {
         cache_bytes: 8 << 20,
         frame_deadline: Duration::from_secs(5),
         persist_dir: None,
+        semantic_cache: true,
+        bucket_angles: false,
     })
     .expect("daemon starts")
 }

@@ -47,6 +47,8 @@ fn start_daemon(persist_dir: &Path) -> ServerHandle {
         cache_bytes: 8 << 20,
         frame_deadline: Duration::from_secs(2),
         persist_dir: Some(persist_dir.to_string_lossy().into_owned()),
+        semantic_cache: true,
+        bucket_angles: false,
     })
     .expect("daemon starts")
 }
@@ -215,18 +217,19 @@ fn bit_flipped_snapshot_is_skipped_and_counted() {
     for seed in 1u64..=6 {
         let tmp = TempDir::new(&format!("snap-{seed}"));
         let entries: Vec<EntryRef> = (0..10u64)
-            .map(|i| {
-                (
-                    i,
-                    Arc::new(format!("key-{i}").into_bytes()),
-                    Arc::new(format!("payload-{i}").into_bytes()),
-                )
+            .map(|i| EntryRef {
+                digest: i,
+                key: Arc::new(format!("key-{i}").into_bytes()),
+                payload: Arc::new(format!("payload-{i}").into_bytes()),
+                canonical: None,
             })
             .collect();
         {
             let (mut store, _) = Store::open(tmp.path()).unwrap();
-            for (digest, key, payload) in &entries {
-                store.append(*digest, key, payload).unwrap();
+            for entry in &entries {
+                store
+                    .append(entry.digest, &entry.key, &entry.payload, None)
+                    .unwrap();
             }
             store.compact(&entries).unwrap();
         }
@@ -247,10 +250,10 @@ fn bit_flipped_snapshot_is_skipped_and_counted() {
         assert!(recovered.len() < entries.len(), "seed {seed}");
         // Everything recovered is genuine (undamaged) data.
         for record in &recovered {
-            let (digest, key, payload) = &entries[record.digest as usize];
-            assert_eq!(record.digest, *digest);
-            assert_eq!(&record.key, key.as_ref());
-            assert_eq!(&record.payload, payload.as_ref());
+            let entry = &entries[record.digest as usize];
+            assert_eq!(record.digest, entry.digest);
+            assert_eq!(&record.key, entry.key.as_ref());
+            assert_eq!(&record.payload, entry.payload.as_ref());
         }
     }
 }

@@ -91,6 +91,8 @@ fn portfolio_faults_never_reach_clients() {
         cache_bytes: 8 << 20,
         frame_deadline: Duration::from_secs(5),
         persist_dir: None,
+        semantic_cache: true,
+        bucket_angles: false,
     })
     .expect("daemon starts");
     let addr = handle.local_addr();

@@ -19,6 +19,8 @@ fn start_shard() -> ServerHandle {
         cache_bytes: 8 << 20,
         frame_deadline: Duration::from_secs(5),
         persist_dir: None,
+        semantic_cache: true,
+        bucket_angles: false,
     })
     .expect("shard starts")
 }

@@ -1,0 +1,385 @@
+//! Semantic-cache coverage: property tests pinning the canonical form
+//! (rename / relabel / commuting-reorder invariance, and no collisions
+//! between non-equivalent circuits, statevector-checked), plus daemon
+//! end-to-end tests proving a structurally-equivalent twin is served
+//! from the canonical index — warm from memory, warm across a restart
+//! through the v2 WAL, and *not* served when `--no-semantic-cache` is
+//! set.
+
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use qcs_circuit::canon::{
+    canonical_digest, canonicalize, commuting_shuffle, permute_qubits, CanonConfig,
+};
+use qcs_circuit::circuit::Circuit;
+use qcs_circuit::qasm;
+use qcs_core::config::MapperConfig;
+use qcs_json::Json;
+use qcs_rng::{ChaCha8Rng, Rng, SeedableRng};
+use qcs_serve::compile::Job;
+use qcs_serve::protocol::{read_frame, write_frame, CompileRequest, Source};
+use qcs_serve::server::{Server, ServerConfig, ServerHandle};
+use qcs_sim::equiv::circuits_equivalent;
+use qcs_workloads::suite::{generate_suite, SuiteConfig};
+
+/// Widest circuit the statevector oracle checks (matches the server's
+/// semantic re-verification bound).
+const SIM_MAX_QUBITS: usize = 12;
+
+fn property_suite() -> Vec<qcs_workloads::suite::Benchmark> {
+    generate_suite(&SuiteConfig {
+        count: 40,
+        max_qubits: SIM_MAX_QUBITS,
+        max_gates: 300,
+        seed: 0xE16,
+    })
+}
+
+/// A seeded random permutation of `0..n`.
+fn random_permutation(n: usize, rng: &mut ChaCha8Rng) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+/// Builds the "same circuit, different author" twin: renamed, qubits
+/// relabeled by a seeded permutation, commuting-adjacent gates shuffled.
+fn structural_twin(circuit: &Circuit, seed: u64) -> Circuit {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let relabel = random_permutation(circuit.qubit_count(), &mut rng);
+    let mut twin = commuting_shuffle(&permute_qubits(circuit, &relabel), seed ^ 0x5AFE, 128);
+    twin.set_name(format!("twin-{seed:x}"));
+    twin
+}
+
+/// Tentpole property: canonicalization erases authorship noise. Every
+/// suite circuit and its renamed + relabeled + reordered twin reduce to
+/// byte-identical canonical forms, hence identical canonical digests.
+#[test]
+fn suite_canonical_digests_survive_rename_relabel_and_reorder() {
+    let config = CanonConfig::default();
+    for (i, bench) in property_suite().iter().enumerate() {
+        let twin = structural_twin(&bench.circuit, 0xC0DE + i as u64);
+        let base = canonicalize(&bench.circuit, &config);
+        let twisted = canonicalize(&twin, &config);
+        assert!(
+            base.normalized && twisted.normalized,
+            "{}: property circuits are under the normal-form caps",
+            bench.name
+        );
+        assert_eq!(
+            qasm::print(&base.circuit),
+            qasm::print(&twisted.circuit),
+            "{}: canonical forms must be byte-identical",
+            bench.name
+        );
+        assert_eq!(
+            canonical_digest(&base.circuit),
+            canonical_digest(&twisted.circuit),
+            "{}: canonical digests must collapse the twin",
+            bench.name
+        );
+    }
+}
+
+/// Soundness property: canonical digests never merge circuits that are
+/// not actually equivalent. Any same-digest pair in the suite must pass
+/// the statevector oracle, and a single-gate mutation must always move
+/// the digest.
+#[test]
+fn non_equivalent_circuits_never_share_a_canonical_digest() {
+    let config = CanonConfig::default();
+    let suite = property_suite();
+    let digests: Vec<u64> = suite
+        .iter()
+        .map(|b| canonical_digest(&canonicalize(&b.circuit, &config).circuit))
+        .collect();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0x0DDC_0111);
+    for i in 0..suite.len() {
+        for j in (i + 1)..suite.len() {
+            if digests[i] != digests[j] {
+                continue;
+            }
+            // A collision is only legal between genuinely equivalent
+            // circuits — prove it on random states.
+            let (a, b) = (&suite[i].circuit, &suite[j].circuit);
+            assert_eq!(
+                a.qubit_count(),
+                b.qubit_count(),
+                "{} vs {}: colliding digests across widths",
+                suite[i].name,
+                suite[j].name
+            );
+            assert!(
+                a.qubit_count() <= SIM_MAX_QUBITS,
+                "suite is generated within the oracle bound"
+            );
+            circuits_equivalent(a, b, 2, &mut rng).unwrap_or_else(|failure| {
+                panic!(
+                    "{} vs {}: canonical digest collided on non-equivalent \
+                     circuits ({failure})",
+                    suite[i].name, suite[j].name
+                )
+            });
+        }
+    }
+
+    // Mutations: flipping one gate must move the canonical digest.
+    for bench in suite.iter().take(12) {
+        let mut mutated = bench.circuit.clone();
+        mutated.x(0).expect("every suite circuit has qubit 0");
+        let mutated_digest = canonical_digest(&canonicalize(&mutated, &config).circuit);
+        let base_digest = canonical_digest(&canonicalize(&bench.circuit, &config).circuit);
+        assert_ne!(
+            base_digest, mutated_digest,
+            "{}: appending a gate must change the canonical digest",
+            bench.name
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon end-to-end.
+// ---------------------------------------------------------------------------
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("qcs-semantic-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn start_daemon(semantic: bool, persist_dir: Option<&Path>) -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        event_loops: 1,
+        max_connections: 16,
+        cache_bytes: 8 << 20,
+        frame_deadline: Duration::from_secs(2),
+        persist_dir: persist_dir.map(|p| p.to_string_lossy().into_owned()),
+        semantic_cache: semantic,
+        bucket_angles: false,
+    })
+    .expect("daemon starts")
+}
+
+fn exchange(stream: &mut TcpStream, request: &str) -> Vec<u8> {
+    write_frame(stream, request.as_bytes()).expect("request written");
+    read_frame(stream)
+        .expect("response read")
+        .expect("daemon replied")
+}
+
+fn exchange_json(addr: SocketAddr, request: &str) -> Json {
+    let mut stream = TcpStream::connect(addr).expect("daemon accepts");
+    let payload = exchange(&mut stream, request);
+    qcs_json::parse(std::str::from_utf8(&payload).unwrap()).expect("response is JSON")
+}
+
+/// The e2e subject: an asymmetric 8-qubit circuit (every line has a
+/// distinct signature, so the relabeling has no automorphism slack).
+fn subject_circuit() -> Circuit {
+    let mut c = Circuit::new(8);
+    c.h(0).unwrap();
+    for q in 0..7 {
+        c.cnot(q, q + 1).unwrap();
+    }
+    c.rz(3, 0.375).unwrap();
+    c.rx(5, 1.25).unwrap();
+    c.t(1).unwrap();
+    c.s(6).unwrap();
+    c.cz(0, 4).unwrap();
+    c.h(7).unwrap();
+    c
+}
+
+fn compile_request(qasm_source: &str) -> String {
+    let escaped = qasm_source
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n");
+    format!(
+        r#"{{"type":"compile","qasm":"{escaped}","device":"grid:3x4","placer":"trivial","router":"lookahead"}}"#
+    )
+}
+
+fn semantic_counter(stats: &Json, field: &str) -> usize {
+    stats
+        .get("semantic")
+        .and_then(|s| s.get(field))
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| {
+            panic!(
+                "stats.semantic.{field} missing: {}",
+                stats.to_compact_string()
+            )
+        })
+}
+
+/// Resolves the exact job digest the daemon should stamp on a QASM
+/// compile response, as a 16-hex string.
+fn expected_digest(qasm_source: &str) -> String {
+    let job = Job::resolve(&CompileRequest {
+        source: Source::Qasm(qasm_source.to_string()),
+        device: "grid:3x4".to_string(),
+        config: MapperConfig::new("trivial", "lookahead"),
+        deadline_ms: None,
+        request_id: None,
+        race: false,
+    })
+    .expect("subject resolves");
+    format!("{:016x}", job.digest())
+}
+
+/// A renamed + relabeled + reordered twin compiles as a *canonical* hit:
+/// no recompilation, the response is stamped with the twin's own exact
+/// digest, and the served mapping re-verifies on the statevector oracle
+/// (grid:3x4 is 12 qubits — inside the verify bound).
+#[test]
+fn structural_twin_is_served_from_the_canonical_index() {
+    let original = subject_circuit();
+    let twin = structural_twin(&original, 0xBEEF);
+    let source_a = qasm::print(&original);
+    let source_b = qasm::print(&twin);
+    assert_ne!(source_a, source_b, "twin must differ textually");
+
+    let handle = start_daemon(true, None);
+    let addr = handle.local_addr();
+
+    let response_a = exchange_json(addr, &compile_request(&source_a));
+    assert_eq!(
+        response_a.get("type").and_then(Json::as_str),
+        Some("result")
+    );
+
+    let response_b = exchange_json(addr, &compile_request(&source_b));
+    assert_eq!(
+        response_b.get("type").and_then(Json::as_str),
+        Some("result"),
+        "twin must be served: {}",
+        response_b.to_compact_string()
+    );
+    // The replayed payload is rewritten under the twin's own identity.
+    assert_eq!(
+        response_b.get("digest").and_then(Json::as_str),
+        Some(expected_digest(&source_b).as_str()),
+        "canonical hit must carry the twin's exact digest"
+    );
+    let stats = exchange_json(addr, r#"{"type":"stats"}"#);
+    assert_eq!(semantic_counter(&stats, "canonical_hits"), 1);
+    assert_eq!(semantic_counter(&stats, "canonical_rejected"), 0);
+    assert_eq!(semantic_counter(&stats, "exact_hits"), 0);
+    assert_eq!(semantic_counter(&stats, "misses"), 1, "only A missed");
+
+    // Resubmitting the twin now hits the *exact* cache (the canonical
+    // hit promoted it under its own identity).
+    let replayed = exchange_json(addr, &compile_request(&source_b));
+    assert_eq!(replayed, response_b, "promoted entry replays unchanged");
+    let stats = exchange_json(addr, r#"{"type":"stats"}"#);
+    assert_eq!(semantic_counter(&stats, "canonical_hits"), 1);
+    assert_eq!(semantic_counter(&stats, "exact_hits"), 1);
+
+    handle.shutdown();
+}
+
+/// Canonical identities survive the v2 WAL: compile, restart, and the
+/// twin still lands as a canonical hit against the *recovered* entry.
+#[test]
+fn canonical_hit_survives_a_restart_through_the_wal() {
+    let tmp = TempDir::new("wal-restart");
+    let original = subject_circuit();
+    let source_a = qasm::print(&original);
+
+    let handle = start_daemon(true, Some(tmp.path()));
+    let response_a = exchange_json(handle.local_addr(), &compile_request(&source_a));
+    assert_eq!(
+        response_a.get("type").and_then(Json::as_str),
+        Some("result")
+    );
+    handle.shutdown();
+
+    let handle = start_daemon(true, Some(tmp.path()));
+    let addr = handle.local_addr();
+    let stats = exchange_json(addr, r#"{"type":"stats"}"#);
+    let recovered = stats
+        .get("persist")
+        .and_then(|p| p.get("records_recovered"))
+        .and_then(Json::as_usize)
+        .unwrap();
+    assert_eq!(recovered, 1, "the compiled entry replays from the WAL");
+
+    let twin = structural_twin(&original, 0xD00D);
+    let source_b = qasm::print(&twin);
+    let response_b = exchange_json(addr, &compile_request(&source_b));
+    assert_eq!(
+        response_b.get("type").and_then(Json::as_str),
+        Some("result")
+    );
+    assert_eq!(
+        response_b.get("digest").and_then(Json::as_str),
+        Some(expected_digest(&source_b).as_str())
+    );
+
+    let stats = exchange_json(addr, r#"{"type":"stats"}"#);
+    assert_eq!(
+        semantic_counter(&stats, "canonical_hits"),
+        1,
+        "recovered canonical identity must serve the twin: {}",
+        stats.to_compact_string()
+    );
+    assert_eq!(semantic_counter(&stats, "canonical_rejected"), 0);
+    handle.shutdown();
+}
+
+/// `--no-semantic-cache` control: with semantic lookups off, the twin
+/// compiles cold and the canonical counters stay at zero.
+#[test]
+fn disabled_semantic_cache_compiles_the_twin_cold() {
+    let original = subject_circuit();
+    let twin = structural_twin(&original, 0xF00D);
+
+    let handle = start_daemon(false, None);
+    let addr = handle.local_addr();
+    let response_a = exchange_json(addr, &compile_request(&qasm::print(&original)));
+    assert_eq!(
+        response_a.get("type").and_then(Json::as_str),
+        Some("result")
+    );
+    let response_b = exchange_json(addr, &compile_request(&qasm::print(&twin)));
+    assert_eq!(
+        response_b.get("type").and_then(Json::as_str),
+        Some("result")
+    );
+
+    let stats = exchange_json(addr, r#"{"type":"stats"}"#);
+    assert_eq!(
+        stats
+            .get("semantic")
+            .and_then(|s| s.get("enabled"))
+            .and_then(Json::as_bool),
+        Some(false)
+    );
+    assert_eq!(semantic_counter(&stats, "canonical_hits"), 0);
+    assert_eq!(semantic_counter(&stats, "misses"), 2, "both compile cold");
+    handle.shutdown();
+}
